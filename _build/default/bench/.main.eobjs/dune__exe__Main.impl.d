@@ -1,0 +1,1 @@
+bench/main.ml: Array Perf Printf Sys Tables

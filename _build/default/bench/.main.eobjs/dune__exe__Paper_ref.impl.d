@@ -1,0 +1,1 @@
+bench/paper_ref.ml: List Wfs_util

@@ -1,0 +1,1 @@
+bench/perf.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Printf Staged Test Time Toolkit Wfs_channel Wfs_core Wfs_traffic Wfs_util Wfs_wireline

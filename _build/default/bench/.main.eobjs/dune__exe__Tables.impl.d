@@ -1,0 +1,1 @@
+bench/tables.ml: Array List Paper_ref Printf Wfs_bounds Wfs_channel Wfs_core Wfs_mac Wfs_traffic Wfs_util

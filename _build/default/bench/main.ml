@@ -1,0 +1,51 @@
+(* Benchmark harness entry point.
+
+   Default: regenerate every paper table (1-11), the ablations, the MAC
+   integration figures and the Section-5 bound checks, then run the
+   Bechamel micro-benchmarks.
+
+   Arguments:
+     --quick          shorter horizon (20k slots)
+     --horizon N      explicit horizon in slots (default 200000)
+     --seed N         PRNG seed (default 42)
+     --tables-only    skip micro-benchmarks
+     --perf-only      only micro-benchmarks *)
+
+let () =
+  let horizon = ref 200_000 in
+  let seed = ref 42 in
+  let tables = ref true in
+  let perf = ref true in
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        horizon := 20_000;
+        parse rest
+    | "--horizon" :: n :: rest ->
+        horizon := int_of_string n;
+        parse rest
+    | "--seed" :: n :: rest ->
+        seed := int_of_string n;
+        parse rest
+    | "--tables-only" :: rest ->
+        perf := false;
+        parse rest
+    | "--perf-only" :: rest ->
+        tables := false;
+        parse rest
+    | arg :: rest ->
+        if arg <> Sys.argv.(0) then
+          Printf.eprintf "warning: ignoring unknown argument %s\n%!" arg;
+        parse rest
+  in
+  (match args with _ :: rest -> parse rest | [] -> ());
+  let opts = { Tables.horizon = !horizon; seed = !seed } in
+  Printf.printf
+    "Wireless fair scheduling benchmarks (horizon=%d slots, seed=%d)\n"
+    !horizon !seed;
+  if !tables then Tables.all ~opts;
+  if !perf then begin
+    Printf.printf "\n=== Micro-benchmarks ===\n\n";
+    Perf.run ()
+  end

@@ -1,0 +1,141 @@
+(* Bechamel micro-benchmarks: per-operation cost of the scheduler decision
+   paths and the supporting data structures.  One Test.make per measured
+   operation; results print as ns/op. *)
+
+open Bechamel
+open Toolkit
+module Core = Wfs_core
+
+(* A steady-state WPS cell stepped one slot per run. *)
+let wps_step_test ~name ~params ~n_flows =
+  let flows =
+    Array.init n_flows (fun id -> Core.Params.flow ~id ~weight:1. ())
+  in
+  let wps = Core.Wps.create ~params flows in
+  let sched = Core.Wps.instance wps in
+  let rng = Wfs_util.Rng.create 7 in
+  let slot = ref 0 in
+  let seq = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let s = !slot in
+         incr slot;
+         (* Keep roughly one arrival per slot so queues stay small. *)
+         let flow = Wfs_util.Rng.int rng n_flows in
+         sched.enqueue ~slot:s
+           (Wfs_traffic.Packet.make ~flow ~seq:!seq ~arrival:s ());
+         incr seq;
+         let predicted_good f = (f + s) mod 7 <> 0 in
+         (match sched.select ~slot:s ~predicted_good with
+         | Some f -> sched.complete ~flow:f
+         | None -> ());
+         sched.on_slot_end ~slot:s))
+
+let iwfq_step_test ~n_flows =
+  let flows =
+    Array.init n_flows (fun id -> Core.Params.flow ~id ~weight:1. ())
+  in
+  let iwfq = Core.Iwfq.create flows in
+  let sched = Core.Iwfq.instance iwfq in
+  let rng = Wfs_util.Rng.create 8 in
+  let slot = ref 0 in
+  let seq = ref 0 in
+  Test.make ~name:(Printf.sprintf "iwfq-slot-%dflows" n_flows)
+    (Staged.stage (fun () ->
+         let s = !slot in
+         incr slot;
+         let flow = Wfs_util.Rng.int rng n_flows in
+         sched.enqueue ~slot:s
+           (Wfs_traffic.Packet.make ~flow ~seq:!seq ~arrival:s ());
+         incr seq;
+         let predicted_good f = (f + s) mod 7 <> 0 in
+         (match sched.select ~slot:s ~predicted_good with
+         | Some f -> sched.complete ~flow:f
+         | None -> ());
+         sched.on_slot_end ~slot:s))
+
+let spreading_test ~n_flows =
+  let weights = Array.init n_flows (fun i -> 1 + (i mod 3)) in
+  Test.make ~name:(Printf.sprintf "spreading-frame-%dflows" n_flows)
+    (Staged.stage (fun () -> ignore (Core.Spreading.frame ~weights)))
+
+let gps_test () =
+  let flows = Wfs_wireline.Flow.equal_weights 8 in
+  let gps = Wfs_wireline.Gps.create ~capacity:1. flows in
+  let rng = Wfs_util.Rng.create 9 in
+  let t = ref 0. in
+  Test.make ~name:"gps-arrive+advance"
+    (Staged.stage (fun () ->
+         t := !t +. 0.2;
+         ignore
+           (Wfs_wireline.Gps.arrive gps ~time:!t ~flow:(Wfs_util.Rng.int rng 8)
+              ~size:1.)))
+
+let heap_test () =
+  let h = Wfs_util.Heap.create ~leq:(fun (a : float) b -> a <= b) () in
+  let rng = Wfs_util.Rng.create 10 in
+  for _ = 1 to 1000 do
+    Wfs_util.Heap.push h (Wfs_util.Rng.float rng)
+  done;
+  Test.make ~name:"heap-push+pop@1000"
+    (Staged.stage (fun () ->
+         Wfs_util.Heap.push h (Wfs_util.Rng.float rng);
+         ignore (Wfs_util.Heap.pop h)))
+
+let channel_test () =
+  let ch =
+    Wfs_channel.Gilbert_elliott.create ~rng:(Wfs_util.Rng.create 11) ~pg:0.07
+      ~pe:0.03 ()
+  in
+  let slot = ref 0 in
+  Test.make ~name:"gilbert-elliott-advance"
+    (Staged.stage (fun () ->
+         ignore (Wfs_channel.Channel.advance ch ~slot:!slot);
+         incr slot))
+
+let all_tests () =
+  [
+    wps_step_test ~name:"wps-swapa-slot-2flows" ~params:(Core.Params.swapa ())
+      ~n_flows:2;
+    wps_step_test ~name:"wps-swapa-slot-16flows" ~params:(Core.Params.swapa ())
+      ~n_flows:16;
+    wps_step_test ~name:"wps-wrr-slot-16flows" ~params:Core.Params.wrr
+      ~n_flows:16;
+    iwfq_step_test ~n_flows:2;
+    iwfq_step_test ~n_flows:16;
+    spreading_test ~n_flows:16;
+    spreading_test ~n_flows:64;
+    gps_test ();
+    heap_test ();
+    channel_test ();
+  ]
+
+let run () =
+  let tests = all_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let table =
+    Wfs_util.Tablefmt.create ~title:"Micro-benchmarks (per-operation cost)"
+      ~columns:[ "operation"; "ns/op" ]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ x ] -> x
+            | Some _ | None -> nan
+          in
+          Wfs_util.Tablefmt.add_row table
+            [ name; Wfs_util.Tablefmt.cell_of_float ns ])
+        analyzed)
+    tests;
+  Wfs_util.Tablefmt.print table

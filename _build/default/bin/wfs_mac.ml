@@ -1,0 +1,103 @@
+(* MAC-level cell simulator: runs a scenario file through the Section-6
+   medium access protocol (uplink invisibility, control-slot notification
+   contention, piggybacked queue reports).
+
+   Examples:
+     wfs_mac examples/uplink.scenario
+     wfs_mac --aloha 0.5 examples/uplink.scenario *)
+
+module Mac = Wfs_mac
+module Core = Wfs_core
+
+let run ~path ~contention ~control_weight =
+  let scenario = Core.Scenario.load path in
+  let flows =
+    Array.mapi
+      (fun i setup ->
+        let host, direction = scenario.Core.Scenario.addrs.(i) in
+        {
+          Mac.Mac_sim.addr =
+            {
+              Mac.Frame.host;
+              direction =
+                (match direction with
+                | Core.Scenario.Up -> Mac.Frame.Uplink
+                | Core.Scenario.Down -> Mac.Frame.Downlink);
+              index = i;
+            };
+          weight = setup.Core.Simulator.flow.Core.Params.weight;
+          source = setup.Core.Simulator.source;
+          channel = setup.Core.Simulator.channel;
+          drop = setup.Core.Simulator.flow.Core.Params.drop;
+        })
+      scenario.Core.Scenario.setups
+  in
+  let cfg =
+    Mac.Mac_sim.config
+      ~rng:(Wfs_util.Rng.create scenario.Core.Scenario.seed)
+      ~control_weight ~contention
+      ~horizon:scenario.Core.Scenario.horizon flows
+  in
+  let r = Mac.Mac_sim.run cfg in
+  let m = r.Mac.Mac_sim.metrics in
+  let table =
+    Wfs_util.Tablefmt.create
+      ~title:
+        (Printf.sprintf "%s through the MAC (horizon=%d)" path
+           scenario.Core.Scenario.horizon)
+      ~columns:
+        [ "flow"; "addr"; "arrivals"; "delivered"; "mean delay"; "loss" ]
+  in
+  Array.iteri
+    (fun i (fl : Mac.Mac_sim.flow_spec) ->
+      Wfs_util.Tablefmt.add_row table
+        [
+          string_of_int i;
+          Format.asprintf "%a" Mac.Frame.pp_addr fl.Mac.Mac_sim.addr;
+          string_of_int (Core.Metrics.arrivals m ~flow:i);
+          string_of_int (Core.Metrics.delivered m ~flow:i);
+          Wfs_util.Tablefmt.cell_of_float (Core.Metrics.mean_delay m ~flow:i);
+          Wfs_util.Tablefmt.cell_of_float ~decimals:4 (Core.Metrics.loss m ~flow:i);
+        ])
+    flows;
+  Wfs_util.Tablefmt.print table;
+  Printf.printf
+    "\ncontrol slots %d | data slots %d | idle %d | notifications %d (collisions %d) | piggyback reveals %d | mean reveal delay %.2f\n"
+    r.Mac.Mac_sim.control_slots r.Mac.Mac_sim.data_slots r.Mac.Mac_sim.idle_slots
+    r.Mac.Mac_sim.notifications_won r.Mac.Mac_sim.notification_collisions
+    r.Mac.Mac_sim.piggyback_reveals r.Mac.Mac_sim.mean_reveal_delay
+
+open Cmdliner
+
+let scenario_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SCENARIO" ~doc:"Scenario file (see lib/core/scenario.mli).")
+
+let aloha_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "aloha" ]
+        ~doc:"Use p-persistent ALOHA notification contention with this persistence.")
+
+let control_weight_arg =
+  Arg.(
+    value & opt float 1.
+    & info [ "control-weight" ] ~doc:"Scheduling weight of the control flow.")
+
+let main path aloha control_weight =
+  let contention =
+    match aloha with
+    | None -> Mac.Mac_sim.Single_shot
+    | Some p -> Mac.Mac_sim.Aloha p
+  in
+  run ~path ~contention ~control_weight
+
+let cmd =
+  let doc = "Wireless cell simulator with the Section-6 MAC protocol" in
+  Cmd.v (Cmd.info "wfs_mac" ~doc)
+    Term.(const main $ scenario_arg $ aloha_arg $ control_weight_arg)
+
+let () = exit (Cmd.eval cmd)

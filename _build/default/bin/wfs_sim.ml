@@ -1,0 +1,252 @@
+(* Command-line driver: run any paper example with any scheduler variant.
+
+   Examples:
+     wfs_sim -e 1 -a all                    # Table-1-style grid
+     wfs_sim -e 4 -a swapa -k predicted     # one variant of Example 4
+     wfs_sim -e 1 -b 1.0 --csv              # memoryless channel, CSV output
+     wfs_sim -e 6 --credit 2 --debit 0      # Example 6 with tighter caps *)
+
+let default_horizon = 200_000
+
+type output = Table | Csv
+
+(* Run a scenario file against the requested algorithm variants. *)
+let run_scenario_file ~path ~credit ~debit ~output ~algorithms =
+  let scenario = Wfs_core.Scenario.load path in
+  let columns =
+    [ "algorithm"; "flow"; "mean_delay"; "loss"; "max_delay"; "stddev"; "thpt" ]
+  in
+  let table =
+    Wfs_util.Tablefmt.create
+      ~title:
+        (Printf.sprintf "%s (seed=%d, horizon=%d slots)" path
+           scenario.Wfs_core.Scenario.seed scenario.Wfs_core.Scenario.horizon)
+      ~columns
+  in
+  let csv_rows = ref [] in
+  let emit cells =
+    match output with
+    | Table -> Wfs_util.Tablefmt.add_row table cells
+    | Csv -> csv_rows := String.concat "," cells :: !csv_rows
+  in
+  List.iter
+    (fun (alg, info) ->
+      (* Rebuild the scenario per run: sources/channels are stateful. *)
+      let scenario = Wfs_core.Scenario.load path in
+      let m =
+        Wfs_core.Scenario.run
+          ~scheduler:(fun flows ->
+            Wfs_core.Presets.scheduler ~credit_limit:credit ~debit_limit:debit
+              alg flows)
+          {
+            scenario with
+            Wfs_core.Scenario.predictor = Wfs_core.Presets.predictor alg info;
+          }
+      in
+      Array.iteri
+        (fun i _ ->
+          emit
+            [
+              Wfs_core.Presets.algorithm_name alg info;
+              string_of_int i;
+              Wfs_util.Tablefmt.cell_of_float (Wfs_core.Metrics.mean_delay m ~flow:i);
+              Wfs_util.Tablefmt.cell_of_float ~decimals:4
+                (Wfs_core.Metrics.loss m ~flow:i);
+              Wfs_util.Tablefmt.cell_of_float (Wfs_core.Metrics.max_delay m ~flow:i);
+              Wfs_util.Tablefmt.cell_of_float
+                (Wfs_core.Metrics.stddev_delay m ~flow:i);
+              Wfs_util.Tablefmt.cell_of_float ~decimals:4
+                (Wfs_core.Metrics.throughput m ~flow:i
+                   ~slots:scenario.Wfs_core.Scenario.horizon);
+            ])
+        scenario.Wfs_core.Scenario.setups)
+    algorithms;
+  match output with
+  | Table -> Wfs_util.Tablefmt.print table
+  | Csv ->
+      print_endline (String.concat "," columns);
+      List.iter print_endline (List.rev !csv_rows)
+
+let run_example ~example ~seed ~horizon ~sum ~credit ~debit ~output ~fairness
+    ~algorithms =
+  let setups () =
+    match example with
+    | 1 -> Wfs_core.Presets.example1 ~sum ~seed ()
+    | 2 -> Wfs_core.Presets.example2 ~sum ~seed ()
+    | 3 -> Wfs_core.Presets.example3 ~seed ()
+    | 4 -> Wfs_core.Presets.example4 ~seed ()
+    | 5 -> Wfs_core.Presets.example5 ~seed ()
+    | 6 -> Wfs_core.Presets.example6 ~seed ()
+    | n -> invalid_arg (Printf.sprintf "unknown example %d (use 1-6)" n)
+  in
+  let columns =
+    [ "algorithm"; "flow"; "mean_delay"; "loss"; "max_delay"; "stddev"; "thpt" ]
+    @ if fairness then [ "jain"; "worst_gap" ] else []
+  in
+  let table =
+    Wfs_util.Tablefmt.create
+      ~title:
+        (Printf.sprintf "Example %d (seed=%d, horizon=%d slots)" example seed
+           horizon)
+      ~columns
+  in
+  let csv_rows = ref [] in
+  let emit cells =
+    match output with
+    | Table -> Wfs_util.Tablefmt.add_row table cells
+    | Csv -> csv_rows := String.concat "," cells :: !csv_rows
+  in
+  List.iter
+    (fun (alg, info) ->
+      let setups = setups () in
+      let flows = Wfs_core.Presets.flows_of setups in
+      let sched =
+        Wfs_core.Presets.scheduler ~credit_limit:credit ~debit_limit:debit alg
+          flows
+      in
+      let monitor =
+        if fairness then
+          Some
+            (Wfs_core.Fairness.Monitor.create
+               ~weights:(Array.map (fun (f : Wfs_core.Params.flow) -> f.weight) flows)
+               ~window:100 ~sched)
+        else None
+      in
+      let cfg =
+        Wfs_core.Simulator.config
+          ~predictor:(Wfs_core.Presets.predictor alg info)
+          ?observer:(Option.map Wfs_core.Fairness.Monitor.observer monitor)
+          ~horizon setups
+      in
+      let m = Wfs_core.Simulator.run cfg sched in
+      Array.iteri
+        (fun i _ ->
+          let base =
+            [
+              Wfs_core.Presets.algorithm_name alg info;
+              string_of_int (i + 1);
+              Wfs_util.Tablefmt.cell_of_float (Wfs_core.Metrics.mean_delay m ~flow:i);
+              Wfs_util.Tablefmt.cell_of_float ~decimals:4
+                (Wfs_core.Metrics.loss m ~flow:i);
+              Wfs_util.Tablefmt.cell_of_float (Wfs_core.Metrics.max_delay m ~flow:i);
+              Wfs_util.Tablefmt.cell_of_float
+                (Wfs_core.Metrics.stddev_delay m ~flow:i);
+              Wfs_util.Tablefmt.cell_of_float ~decimals:4
+                (Wfs_core.Metrics.throughput m ~flow:i ~slots:horizon);
+            ]
+          in
+          let extra =
+            match monitor with
+            | None -> []
+            | Some mon ->
+                [
+                  Wfs_util.Tablefmt.cell_of_float ~decimals:4
+                    (Wfs_core.Fairness.Monitor.mean_jain mon);
+                  Wfs_util.Tablefmt.cell_of_float
+                    (Wfs_core.Fairness.Monitor.worst_gap mon);
+                ]
+          in
+          emit (base @ extra))
+        flows)
+    algorithms;
+  match output with
+  | Table -> Wfs_util.Tablefmt.print table
+  | Csv ->
+      print_endline (String.concat "," columns);
+      List.iter print_endline (List.rev !csv_rows)
+
+open Cmdliner
+
+let example_arg =
+  Arg.(value & opt int 1 & info [ "e"; "example" ] ~doc:"Paper example (1-6).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "s"; "seed" ] ~doc:"PRNG seed.")
+
+let horizon_arg =
+  Arg.(
+    value
+    & opt int default_horizon
+    & info [ "n"; "horizon" ] ~doc:"Slots to simulate.")
+
+let sum_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "b"; "burstiness" ]
+        ~doc:"pg+pe for examples 1-2 (0.1 bursty ... 1.0 memoryless).")
+
+let credit_arg =
+  Arg.(value & opt int 4 & info [ "credit" ] ~doc:"Credit cap (WPS variants).")
+
+let debit_arg =
+  Arg.(value & opt int 4 & info [ "debit" ] ~doc:"Debit cap (SwapA).")
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+
+let fairness_arg =
+  Arg.(
+    value & flag
+    & info [ "fairness" ]
+        ~doc:"Also report windowed Jain index and worst normalised-service gap.")
+
+let algo_arg =
+  let all =
+    [ "all"; "blind"; "wrr"; "noswap"; "swapw"; "swapa"; "iwfq"; "cifq"; "csdps" ]
+  in
+  Arg.(
+    value & opt string "all"
+    & info [ "a"; "algorithm" ]
+        ~doc:(Printf.sprintf "Algorithm: %s." (String.concat ", " all)))
+
+let info_arg =
+  Arg.(
+    value & opt string "both"
+    & info [ "k"; "knowledge" ] ~doc:"Channel knowledge: ideal, predicted, both.")
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "scenario" ]
+        ~doc:"Run a scenario file instead of a paper example (see lib/core/scenario.mli for the format).")
+
+let parse_algorithms algo info =
+  let open Wfs_core.Presets in
+  let infos =
+    match info with
+    | "ideal" -> [ Ideal ]
+    | "predicted" -> [ Predicted ]
+    | "both" -> [ Ideal; Predicted ]
+    | s -> invalid_arg ("unknown knowledge: " ^ s)
+  in
+  let with_infos a = List.map (fun i -> (a, i)) infos in
+  match algo with
+  | "all" -> table1_algorithms @ with_infos Iwfq_alg
+  | "blind" -> [ (Blind_wrr, Predicted) ]
+  | "wrr" -> with_infos Wrr
+  | "noswap" -> with_infos Noswap
+  | "swapw" -> with_infos Swapw
+  | "swapa" -> with_infos Swapa
+  | "iwfq" -> with_infos Iwfq_alg
+  | "cifq" -> with_infos Cifq_alg
+  | "csdps" -> [ (Csdps_alg, Predicted) ]
+  | s -> invalid_arg ("unknown algorithm: " ^ s)
+
+let main example seed horizon sum credit debit csv fairness algo info scenario =
+  let output = if csv then Csv else Table in
+  let algorithms = parse_algorithms algo info in
+  match scenario with
+  | Some path -> run_scenario_file ~path ~credit ~debit ~output ~algorithms
+  | None ->
+      run_example ~example ~seed ~horizon ~sum ~credit ~debit ~output ~fairness
+        ~algorithms
+
+let cmd =
+  let doc = "Wireless fair scheduling simulator (Lu/Bharghavan/Srikant 1997)" in
+  Cmd.v
+    (Cmd.info "wfs_sim" ~doc)
+    Term.(
+      const main $ example_arg $ seed_arg $ horizon_arg $ sum_arg $ credit_arg
+      $ debit_arg $ csv_arg $ fairness_arg $ algo_arg $ info_arg $ scenario_arg)
+
+let () = exit (Cmd.eval cmd)

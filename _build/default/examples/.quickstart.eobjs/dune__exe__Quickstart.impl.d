@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Wfs_channel Wfs_core Wfs_traffic Wfs_util

@@ -1,0 +1,1 @@
+examples/starvation.ml: Array List Printf Wfs_channel Wfs_core Wfs_traffic Wfs_util

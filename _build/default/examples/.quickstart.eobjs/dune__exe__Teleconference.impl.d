@@ -1,0 +1,1 @@
+examples/teleconference.ml: Array Printf Wfs_channel Wfs_core Wfs_traffic Wfs_util

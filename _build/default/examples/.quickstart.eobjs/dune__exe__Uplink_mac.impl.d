@@ -1,0 +1,1 @@
+examples/uplink_mac.ml: Array Printf Wfs_channel Wfs_core Wfs_mac Wfs_traffic Wfs_util

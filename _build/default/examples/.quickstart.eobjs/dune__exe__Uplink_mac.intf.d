@@ -1,0 +1,1 @@
+examples/uplink_mac.mli:

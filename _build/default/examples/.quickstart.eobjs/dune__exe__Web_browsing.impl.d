@@ -1,0 +1,1 @@
+examples/web_browsing.ml: Array List Wfs_channel Wfs_core Wfs_traffic Wfs_util

@@ -1,0 +1,1 @@
+lib/bounds/theorems.ml: Array

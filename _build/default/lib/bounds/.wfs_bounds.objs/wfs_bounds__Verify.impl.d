@@ -1,0 +1,1 @@
+lib/bounds/verify.ml: Array Float Format Hashtbl List Theorems Wfs_channel Wfs_core Wfs_sim

@@ -1,0 +1,1 @@
+lib/bounds/verify.mli: Format Wfs_channel Wfs_core

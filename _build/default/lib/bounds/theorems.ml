@@ -1,0 +1,54 @@
+type system = {
+  weights : float array;
+  lag_total : float;
+  lead : float array;
+}
+
+let make ~weights ~lag_total ~lead =
+  if Array.length weights <> Array.length lead then
+    invalid_arg "Theorems.make: weights/lead length mismatch";
+  Array.iter
+    (fun w -> if w <= 0. then invalid_arg "Theorems.make: weights must be > 0")
+    weights;
+  if lag_total < 0. then invalid_arg "Theorems.make: negative lag bound";
+  { weights = Array.copy weights; lag_total; lead = Array.copy lead }
+
+let total_weight s = Array.fold_left ( +. ) 0. s.weights
+
+let other_weight s ~flow =
+  total_weight s -. s.weights.(flow)
+
+(* L_P = 1 packet, C = 1 packet/slot throughout. *)
+
+let wfq_max_hol_delay s ~flow = 1. +. (total_weight s /. s.weights.(flow))
+
+let extra_delay_error_free s = s.lag_total
+
+let new_queue_delay s ~flow =
+  let delta_t = s.lead.(flow) *. other_weight s ~flow /. s.weights.(flow) in
+  extra_delay_error_free s +. wfq_max_hol_delay s ~flow +. delta_t
+
+let short_term_backlog_clearance s ~flow ~lags ~lead_now =
+  if Array.length lags <> Array.length s.weights then
+    invalid_arg "Theorems.short_term_backlog_clearance: lags length mismatch";
+  let other_lags = ref 0. in
+  Array.iteri (fun j b -> if j <> flow then other_lags := !other_lags +. b) lags;
+  !other_lags +. (lead_now *. other_weight s ~flow /. s.weights.(flow))
+
+let max_lagging_slots_of_others s ~flow =
+  (* Fact 1: Σ b_i ≤ B with b_i = B·r_i/Σr; excluding [flow]'s own share. *)
+  s.lag_total *. other_weight s ~flow /. total_weight s
+
+let error_prone_extra_delay s ~flow ~good_slot_time =
+  let m = int_of_float (ceil (max_lagging_slots_of_others s ~flow)) in
+  good_slot_time (m + 1)
+
+let throughput_short_term s ~flow ~good_slots ~lags ~lead_now =
+  if Array.length lags <> Array.length s.weights then
+    invalid_arg "Theorems.throughput_short_term: lags length mismatch";
+  let other_lags = ref 0. in
+  Array.iteri (fun j b -> if j <> flow then other_lags := !other_lags +. b) lags;
+  let n_t =
+    !other_lags +. (lead_now *. other_weight s ~flow /. s.weights.(flow))
+  in
+  ((float_of_int good_slots -. n_t) *. s.weights.(flow) /. total_weight s) -. 1.

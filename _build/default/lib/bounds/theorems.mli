@@ -1,0 +1,53 @@
+(** The analytical guarantees of Section 5 as executable bound calculators.
+
+    All quantities are in slot/packet units ([L_P = 1], [C = 1] packet per
+    slot), matching {!Wfs_core}.  Weights are the [r_i]; [lag_total] is the
+    aggregate lag bound [B] in packets; [lead] the per-flow [l_i].
+
+    These functions compute the right-hand sides of the theorems; the
+    {!Verify} module checks simulated IWFQ runs against them. *)
+
+type system = {
+  weights : float array;
+  lag_total : float;  (** B, packets *)
+  lead : float array;  (** l_i, packets *)
+}
+
+val make : weights:float array -> lag_total:float -> lead:float array -> system
+(** @raise Invalid_argument on length mismatch or non-positive weights. *)
+
+val wfq_max_hol_delay : system -> flow:int -> float
+(** The classic WFQ head-of-line bound the paper quotes in Section 4:
+    [d_WFQ ≤ L_P/C + (L_P·Σr_j)/(r_i·C)] slots. *)
+
+val extra_delay_error_free : system -> float
+(** Lemma 2 / Theorem 1: on an error-free channel IWFQ finishes any slot at
+    most [Δd = B/C] slots after error-free WFQ would. *)
+
+val new_queue_delay : system -> flow:int -> float
+(** Theorem 3: bound on the delay of a packet arriving at an empty queue of
+    an error-free flow: [Δd_g + d_WFQ + ΔT_g] with
+    [ΔT_g = l_g·(Σ_{j≠g} r_j)/(C·r_g)]. *)
+
+val short_term_backlog_clearance : system -> flow:int -> lags:float array -> lead_now:float -> float
+(** Theorem 4's [T_g(t)]: the horizon (slots) after which an error-free
+    flow's IWFQ service dominates its error-free WFQ service shifted by
+    [T_g], given current per-flow lags [b_j(t)] (packets) and [flow]'s own
+    current lead [l_g(t)]. *)
+
+val error_prone_extra_delay : system -> flow:int -> good_slot_time:(int -> float) -> float
+(** Theorem 5: delay bound increase for an error-prone flow [e]:
+    [T_{e,(M+1)}] where [M = Σ_{j≠e} b_j] is the worst-case number of
+    lagging slots of other flows and [good_slot_time k] returns the worst
+    case time for flow [e] to see its [k]-th good slot.  For a
+    deterministic channel model this is exact; for stochastic channels pass
+    a quantile. *)
+
+val max_lagging_slots_of_others : system -> flow:int -> float
+(** [M = Σ_{j≠flow} B_j] in packets (Fact 1 restricted to other flows). *)
+
+val throughput_short_term : system -> flow:int -> good_slots:int -> lags:float array -> lead_now:float -> float
+(** Theorem 7's lower bound on the packets flow [e] receives while it is
+    continuously backlogged and sees [good_slots] good slots:
+    [(N_G − N(t))·r_e/Σr − 1] packets, with
+    [N(t) = Σ_{i≠e} b_i(t) + l_e(t)·(Σ_{i≠e} r_i)/r_e]. *)

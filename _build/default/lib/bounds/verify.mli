@@ -1,0 +1,84 @@
+(** Empirical verification of Section 5's guarantees on simulated runs.
+
+    Each check runs IWFQ on a scenario and compares measured trajectories
+    against the corresponding {!Theorems} bound.  Checks return a {!report}
+    rather than asserting, so tests can assert [violations = 0] and benches
+    can print slack. *)
+
+type report = {
+  samples : int;  (** data points examined *)
+  violations : int;  (** points where the bound failed *)
+  worst_slack : float;
+      (** minimum of [bound − measured] over all samples (negative iff a
+          violation occurred) *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val check_fact1 :
+  ?params:Wfs_core.Params.iwfq ->
+  horizon:int ->
+  make_setups:(unit -> Wfs_core.Simulator.flow_setup array) ->
+  predictor:Wfs_channel.Predictor.kind ->
+  unit ->
+  report
+(** Fact 1: the aggregate positive lag [Σ_i max(lag_i, 0)] never exceeds
+    [B] plus a one-packet-per-flow discretisation allowance (packetization
+    can overshoot the fluid reference by under one packet per flow). *)
+
+val check_long_term_throughput :
+  ?params:Wfs_core.Params.iwfq ->
+  horizon:int ->
+  shift:int ->
+  make_setups:(unit -> Wfs_core.Simulator.flow_setup array) ->
+  predictor:Wfs_channel.Predictor.kind ->
+  flow:int ->
+  unit ->
+  report
+(** Theorems 2/6: cumulative delivered packets of [flow] under errored IWFQ
+    at time [t + shift] must dominate its delivery curve under the same
+    arrivals with {e all} channels error-free.  [make_setups] must be
+    deterministic in the sense of {!Wfs_core.Presets} (same seed → same
+    sample path); the error-free run replaces every channel with
+    [Error_free]. *)
+
+val check_error_free_delay :
+  ?params:Wfs_core.Params.iwfq ->
+  horizon:int ->
+  make_setups:(unit -> Wfs_core.Simulator.flow_setup array) ->
+  predictor:Wfs_channel.Predictor.kind ->
+  flow:int ->
+  unit ->
+  report
+(** Theorem 1 (empirical form): per-packet delivery times of an error-free
+    [flow] under errored IWFQ exceed its delivery times under all-error-free
+    IWFQ by at most [B/C] slots ([Theorems.extra_delay_error_free]) plus a
+    one-slot packetization allowance. *)
+
+val check_new_queue_delay :
+  ?params:Wfs_core.Params.iwfq ->
+  horizon:int ->
+  make_setups:(unit -> Wfs_core.Simulator.flow_setup array) ->
+  predictor:Wfs_channel.Predictor.kind ->
+  flow:int ->
+  unit ->
+  report
+(** Theorem 3: every packet of an error-free [flow] that arrives to an
+    empty queue is delivered within [Δd_g + d_WFQ + ΔT_g] slots
+    ({!Theorems.new_queue_delay}) plus a one-slot packetization allowance.
+    New-queue packets are identified from the simulation trace. *)
+
+val check_short_term_throughput :
+  ?params:Wfs_core.Params.iwfq ->
+  horizon:int ->
+  window:int ->
+  make_setups:(unit -> Wfs_core.Simulator.flow_setup array) ->
+  predictor:Wfs_channel.Predictor.kind ->
+  flow:int ->
+  unit ->
+  report
+(** Theorem 7: over every window of [window] slots during which [flow] is
+    continuously backlogged, the packets it receives are at least
+    [(N_G − N(t))·r_e/Σr − 1], where [N_G] counts the window's good slots
+    on [flow]'s true channel and [N(t)] is computed from the measured lags
+    and lead at the window start ({!Theorems.throughput_short_term}). *)

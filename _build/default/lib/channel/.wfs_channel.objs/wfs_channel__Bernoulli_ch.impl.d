@@ -1,0 +1,1 @@
+lib/channel/bernoulli_ch.ml: Channel Printf Wfs_util

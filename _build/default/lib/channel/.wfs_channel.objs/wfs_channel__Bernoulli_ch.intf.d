@@ -1,0 +1,1 @@
+lib/channel/bernoulli_ch.mli: Channel Wfs_util

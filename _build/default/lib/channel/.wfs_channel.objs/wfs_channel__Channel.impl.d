@@ -1,0 +1,1 @@
+lib/channel/channel.ml: Format Printf

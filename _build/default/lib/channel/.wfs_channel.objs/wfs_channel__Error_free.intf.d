@@ -1,0 +1,1 @@
+lib/channel/error_free.mli: Channel

@@ -1,0 +1,1 @@
+lib/channel/gilbert_elliott.ml: Channel Printf Wfs_util

@@ -1,0 +1,1 @@
+lib/channel/gilbert_elliott.mli: Channel Wfs_util

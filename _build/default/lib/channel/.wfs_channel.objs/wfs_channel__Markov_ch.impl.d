@@ -1,0 +1,1 @@
+lib/channel/markov_ch.ml: Array Channel Printf Wfs_util

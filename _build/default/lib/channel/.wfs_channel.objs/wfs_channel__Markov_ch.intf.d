@@ -1,0 +1,1 @@
+lib/channel/markov_ch.mli: Channel Wfs_util

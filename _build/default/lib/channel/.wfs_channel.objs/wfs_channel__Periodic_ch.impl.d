@@ -1,0 +1,1 @@
+lib/channel/periodic_ch.ml: Array Channel Printf

@@ -1,0 +1,1 @@
+lib/channel/periodic_ch.mli: Channel

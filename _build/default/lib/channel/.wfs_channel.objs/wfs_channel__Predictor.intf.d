@@ -1,0 +1,1 @@
+lib/channel/predictor.mli: Channel

@@ -1,0 +1,1 @@
+lib/channel/trace_ch.ml: Array Channel Hashtbl List Option

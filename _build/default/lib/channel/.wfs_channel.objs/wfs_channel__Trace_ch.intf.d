@@ -1,0 +1,1 @@
+lib/channel/trace_ch.mli: Channel

@@ -1,0 +1,7 @@
+(** Memoryless channel: each slot is independently Good with probability
+    [good_prob].  Equivalent to Gilbert–Elliott with [pg + pe = 1]; kept as
+    its own module because Table 3 singles the memoryless case out as the
+    regime where one-step prediction fails. *)
+
+val create : rng:Wfs_util.Rng.t -> good_prob:float -> Channel.t
+(** [good_prob] must lie in [\[0,1\]]. *)

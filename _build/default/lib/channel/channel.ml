@@ -1,0 +1,36 @@
+type state = Good | Bad
+
+let pp_state ppf = function
+  | Good -> Format.pp_print_string ppf "good"
+  | Bad -> Format.pp_print_string ppf "bad"
+
+let state_is_good = function Good -> true | Bad -> false
+
+type t = {
+  label : string;
+  step : int -> state;
+  mutable current : state option;
+  mutable previous : state;
+  mutable last_slot : int;
+}
+
+let make ~label ?(initial = Good) step =
+  { label; step; current = None; previous = initial; last_slot = -1 }
+
+let advance t ~slot =
+  if slot <= t.last_slot then
+    invalid_arg
+      (Printf.sprintf "Channel.advance: slot %d not after %d" slot t.last_slot);
+  (match t.current with Some s -> t.previous <- s | None -> ());
+  let s = t.step slot in
+  t.current <- Some s;
+  t.last_slot <- slot;
+  s
+
+let state t =
+  match t.current with
+  | Some s -> s
+  | None -> invalid_arg "Channel.state: not advanced yet"
+
+let previous_state t = t.previous
+let label t = t.label

@@ -1,0 +1,37 @@
+(** Per-flow wireless channel abstraction.
+
+    A channel is the error process seen by one flow: in each slot it is
+    either [Good] (a transmission would succeed) or [Bad] (a transmission
+    would be corrupted).  The paper's key premise is that these states are
+    location-dependent — each flow owns an independent channel — and bursty.
+
+    A channel is advanced exactly once per slot by the simulator; the state
+    for the current slot can then be read repeatedly ({!state}), and the
+    previous slot's state remains available for one-step prediction
+    ({!previous_state}). *)
+
+type state = Good | Bad
+
+val pp_state : Format.formatter -> state -> unit
+val state_is_good : state -> bool
+
+type t
+
+val make : label:string -> ?initial:state -> (int -> state) -> t
+(** [make ~label step] wraps [step], called once per slot with the slot
+    index to produce that slot's state.  [initial] (default [Good]) seeds
+    {!previous_state} for slot 0's prediction. *)
+
+val advance : t -> slot:int -> state
+(** Draw the state for [slot].  Must be called with strictly increasing
+    slot indices, exactly once per slot. *)
+
+val state : t -> state
+(** State of the most recently advanced slot.
+    @raise Invalid_argument before the first {!advance}. *)
+
+val previous_state : t -> state
+(** State of the slot before the most recently advanced one (the seed state
+    before slot 0) — the information a one-step predictor works from. *)
+
+val label : t -> string

@@ -1,0 +1,3 @@
+(** Always-good channel (a wireline-like link, e.g. Example 1's Source 2). *)
+
+val create : unit -> Channel.t

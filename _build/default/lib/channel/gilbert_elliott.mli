@@ -1,0 +1,25 @@
+(** Two-state Markov (Gilbert–Elliott) channel — the paper's error model.
+
+    Transition probabilities follow the paper's convention:
+    - [pg] = P(next slot Good | current slot Bad)
+    - [pe] = P(next slot Bad  | current slot Good)
+
+    Steady state: [PG = pg / (pg + pe)], [PE = pe / (pg + pe)].  The one-step
+    autocovariance is [PG·PE·(1 − (pg+pe))]: the smaller [pg + pe], the
+    burstier the errors; [pg + pe = 1] degenerates to i.i.d. Bernoulli
+    states (Table 3's adversarial case for one-step prediction). *)
+
+val create :
+  rng:Wfs_util.Rng.t -> pg:float -> pe:float -> ?start_good:bool -> unit -> Channel.t
+(** [start_good] defaults to a draw from the steady-state distribution.
+    Requires [pg, pe] in [\[0,1\]] with [pg + pe > 0]. *)
+
+val steady_state_good : pg:float -> pe:float -> float
+(** [PG = pg / (pg + pe)]. *)
+
+val of_burstiness :
+  rng:Wfs_util.Rng.t -> good_prob:float -> sum:float -> unit -> Channel.t
+(** The parameterisation used throughout Example 1: fix [PG = good_prob] and
+    the burstiness knob [sum = pg + pe], giving [pg = PG·sum] and
+    [pe = PE·sum].  Requires [good_prob] in (0,1) and
+    [0 < sum ≤ min(1/PG, 1/PE)] so both probabilities stay in [0,1]. *)

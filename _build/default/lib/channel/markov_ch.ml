@@ -1,0 +1,74 @@
+type spec = { transition : float array array; good_prob : float array }
+
+let validate { transition; good_prob } =
+  let n = Array.length transition in
+  if n = 0 then invalid_arg "Markov_ch: empty chain";
+  if Array.length good_prob <> n then
+    invalid_arg "Markov_ch: good_prob length mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Markov_ch: matrix not square";
+      let sum = Array.fold_left ( +. ) 0. row in
+      Array.iter
+        (fun p ->
+          if p < 0. || p > 1. then
+            invalid_arg "Markov_ch: transition probabilities must be in [0,1]")
+        row;
+      if abs_float (sum -. 1.) > 1e-9 then
+        invalid_arg "Markov_ch: rows must sum to 1")
+    transition;
+  Array.iter
+    (fun p ->
+      if p < 0. || p > 1. then
+        invalid_arg "Markov_ch: good_prob must be in [0,1]")
+    good_prob
+
+let step_state rng row =
+  let u = Wfs_util.Rng.float rng in
+  let rec pick i acc =
+    if i >= Array.length row - 1 then i
+    else
+      let acc = acc +. row.(i) in
+      if u < acc then i else pick (i + 1) acc
+  in
+  pick 0 0.
+
+let create ~rng ?(start = 0) spec =
+  validate spec;
+  let n = Array.length spec.transition in
+  if start < 0 || start >= n then invalid_arg "Markov_ch.create: bad start state";
+  let state = ref start in
+  let step _slot =
+    state := step_state rng spec.transition.(!state);
+    if Wfs_util.Rng.bernoulli rng spec.good_prob.(!state) then Channel.Good
+    else Channel.Bad
+  in
+  Channel.make ~label:(Printf.sprintf "markov(%d states)" n) step
+
+let stationary spec =
+  validate spec;
+  let n = Array.length spec.transition in
+  let pi = Array.make n (1. /. float_of_int n) in
+  let next = Array.make n 0. in
+  for _ = 1 to 10_000 do
+    Array.fill next 0 n 0.;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        next.(j) <- next.(j) +. (pi.(i) *. spec.transition.(i).(j))
+      done
+    done;
+    Array.blit next 0 pi 0 n
+  done;
+  pi
+
+let steady_state_good spec =
+  let pi = stationary spec in
+  let sum = ref 0. in
+  Array.iteri (fun i p -> sum := !sum +. (p *. spec.good_prob.(i))) pi;
+  !sum
+
+let of_gilbert_elliott ~pg ~pe =
+  {
+    transition = [| [| 1. -. pe; pe |]; [| pg; 1. -. pg |] |];
+    good_prob = [| 1.; 0. |];
+  }

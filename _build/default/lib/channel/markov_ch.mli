@@ -1,0 +1,33 @@
+(** General finite-state Markov channel.
+
+    Generalises {!Gilbert_elliott} to [n] states, each with its own
+    per-slot probability that a transmission succeeds — e.g. a
+    good/shadowed/deep-fade model.  The slot is Good if an independent
+    Bernoulli draw with the current state's success probability comes up
+    true, so a state can be "mostly good" rather than all-or-nothing. *)
+
+type spec = {
+  transition : float array array;
+      (** row-stochastic matrix: [transition.(i).(j)] = P(next state j |
+          current state i) *)
+  good_prob : float array;  (** per-state success probability *)
+}
+
+val validate : spec -> unit
+(** @raise Invalid_argument unless the matrix is square, row-stochastic
+    (within 1e-9), matches [good_prob]'s length, and all probabilities lie
+    in [\[0,1\]]. *)
+
+val create : rng:Wfs_util.Rng.t -> ?start:int -> spec -> Channel.t
+(** [start] defaults to state 0. *)
+
+val stationary : spec -> float array
+(** Stationary distribution of the chain (power iteration; the chain should
+    be irreducible and aperiodic for this to converge). *)
+
+val steady_state_good : spec -> float
+(** Long-run fraction of Good slots: [Σ π_i · good_prob_i]. *)
+
+val of_gilbert_elliott : pg:float -> pe:float -> spec
+(** The paper's two-state model as a [spec]: state 0 = Good (success 1),
+    state 1 = Bad (success 0). *)

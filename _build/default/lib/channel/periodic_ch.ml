@@ -1,0 +1,19 @@
+let create ~pattern =
+  let n = Array.length pattern in
+  if n = 0 then invalid_arg "Periodic_ch.create: empty pattern";
+  Channel.make ~label:(Printf.sprintf "periodic(%d)" n) (fun slot ->
+      pattern.(slot mod n))
+
+let bad_every ~period ~offset =
+  if period <= 0 then invalid_arg "Periodic_ch.bad_every: period must be > 0";
+  let offset = ((offset mod period) + period) mod period in
+  Channel.make
+    ~label:(Printf.sprintf "bad-every(%d@%d)" period offset)
+    (fun slot -> if slot mod period = offset then Channel.Bad else Channel.Good)
+
+let bad_burst ~start ~length =
+  if length < 0 then invalid_arg "Periodic_ch.bad_burst: negative length";
+  Channel.make
+    ~label:(Printf.sprintf "burst(%d+%d)" start length)
+    (fun slot ->
+      if slot >= start && slot < start + length then Channel.Bad else Channel.Good)

@@ -1,0 +1,18 @@
+(** Deterministic periodic channel patterns.
+
+    Used for worst-case constructions: Section 7 describes a pathological
+    flow whose channel is bad exactly in its own scheduled slots and good in
+    between — WPS starves it while IWFQ does not.  Also handy for exact
+    expectations in unit tests. *)
+
+val create : pattern:Channel.state array -> Channel.t
+(** [create ~pattern] repeats [pattern] forever ([pattern.(slot mod n)]).
+    @raise Invalid_argument on an empty pattern. *)
+
+val bad_every : period:int -> offset:int -> Channel.t
+(** Bad exactly in slots congruent to [offset] mod [period], good elsewhere.
+    [period] must be positive. *)
+
+val bad_burst : start:int -> length:int -> Channel.t
+(** A single bad burst covering slots [start .. start+length-1]; good
+    elsewhere (non-periodic). *)

@@ -1,0 +1,34 @@
+type kind = Perfect | One_step | Blind | Periodic_snoop of int
+
+type t = {
+  kind : kind;
+  mutable last_observed : Channel.state;
+  mutable last_snoop : int;
+}
+
+let create kind =
+  (match kind with
+  | Periodic_snoop k when k <= 0 ->
+      invalid_arg "Predictor.create: snoop period must be > 0"
+  | Perfect | One_step | Blind | Periodic_snoop _ -> ());
+  { kind; last_observed = Channel.Good; last_snoop = min_int }
+
+let kind t = t.kind
+
+let predict t ch ~slot =
+  match t.kind with
+  | Perfect -> Channel.state ch
+  | Blind -> Channel.Good
+  | One_step -> Channel.previous_state ch
+  | Periodic_snoop k ->
+      if t.last_snoop = min_int || slot - t.last_snoop >= k then begin
+        t.last_observed <- Channel.previous_state ch;
+        t.last_snoop <- slot
+      end;
+      t.last_observed
+
+let label = function
+  | Perfect -> "I"
+  | One_step -> "P"
+  | Blind -> "blind"
+  | Periodic_snoop k -> Printf.sprintf "snoop%d" k

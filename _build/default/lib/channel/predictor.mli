@@ -1,0 +1,34 @@
+(** Channel-state predictors.
+
+    The scheduler never knows the current slot's true state a priori; it
+    acts on a prediction.  The paper evaluates three information models:
+
+    - [Perfect] — an oracle returning the true current state (the "-I",
+      ideal-information variants);
+    - [One_step] — predict that this slot equals the previous slot's
+      observed state (the "-P" variants; Section 6.1), which works well
+      exactly when errors are bursty ([pg + pe < 1]);
+    - [Blind] — always predict Good (Blind WRR transmits regardless);
+    - [Periodic_snoop k] — like one-step but the channel is only monitored
+      every [k] slots (Section 6.1's proposed power-saving extension); the
+      last observed state is held between snoops.
+
+    A predictor instance is stateful and must be dedicated to one channel. *)
+
+type kind = Perfect | One_step | Blind | Periodic_snoop of int
+
+type t
+
+val create : kind -> t
+(** @raise Invalid_argument for [Periodic_snoop k] with [k <= 0]. *)
+
+val kind : t -> kind
+
+val predict : t -> Channel.t -> slot:int -> Channel.state
+(** Predicted state of [slot].  The channel must already have been advanced
+    to [slot]; the predictor only reads information legitimately available
+    before transmission ([Channel.previous_state], or the true state for
+    [Perfect]). *)
+
+val label : kind -> string
+(** Short suffix used in algorithm names: "I", "P", "blind", "snoopK". *)

@@ -1,0 +1,10 @@
+let create ?(default = Channel.Good) entries =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (slot, st) -> Hashtbl.replace tbl slot st) entries;
+  Channel.make ~label:"trace" ~initial:default (fun slot ->
+      Option.value ~default (Hashtbl.find_opt tbl slot))
+
+let of_bad_slots slots = create (List.map (fun s -> (s, Channel.Bad)) slots)
+
+let record ch ~slots =
+  Array.init slots (fun slot -> Channel.advance ch ~slot)

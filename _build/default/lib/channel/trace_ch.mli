@@ -1,0 +1,16 @@
+(** Trace-driven channel: replays an explicit slot → state map.
+
+    Lets tests and what-if experiments pin the exact error sample path (for
+    example to compare two schedulers on identical channel realisations). *)
+
+val create : ?default:Channel.state -> (int * Channel.state) list -> Channel.t
+(** Slots absent from the list take [default] (default [Good]). *)
+
+val of_bad_slots : int list -> Channel.t
+(** Bad exactly in the listed slots. *)
+
+val record :
+  Channel.t -> slots:int -> Channel.state array
+(** [record ch ~slots] advances a fresh channel through [slots] slots and
+    returns the realised states — useful to replay one realisation across
+    several schedulers via {!create}. *)

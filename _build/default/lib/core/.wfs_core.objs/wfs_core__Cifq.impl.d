@@ -1,0 +1,1 @@
+lib/core/cifq.ml: Array List Option Params Queue Wfs_traffic Wireless_sched

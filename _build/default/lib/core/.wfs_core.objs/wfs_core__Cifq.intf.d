@@ -1,0 +1,1 @@
+lib/core/cifq.mli: Params Wireless_sched

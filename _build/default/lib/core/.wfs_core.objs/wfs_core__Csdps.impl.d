@@ -1,0 +1,1 @@
+lib/core/csdps.ml: Array Float List Params Queue Wfs_traffic Wireless_sched

@@ -1,0 +1,1 @@
+lib/core/csdps.mli: Params Wireless_sched

@@ -1,0 +1,1 @@
+lib/core/fairness.ml: Array Float Metrics Wireless_sched

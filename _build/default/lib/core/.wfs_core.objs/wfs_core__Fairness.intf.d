@@ -1,0 +1,1 @@
+lib/core/fairness.mli: Metrics Wireless_sched

@@ -1,0 +1,1 @@
+lib/core/iwfq.ml: Array Fluid_ref List Option Params Queue Slot_queue Wfs_traffic Wireless_sched

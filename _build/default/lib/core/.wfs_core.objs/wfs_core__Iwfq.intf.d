@@ -1,0 +1,1 @@
+lib/core/iwfq.mli: Fluid_ref Params Wireless_sched

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Wfs_util

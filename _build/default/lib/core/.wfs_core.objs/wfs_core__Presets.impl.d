@@ -1,0 +1,1 @@
+lib/core/presets.ml: Array Cifq Csdps Iwfq Params Simulator Wfs_channel Wfs_traffic Wfs_util Wps

@@ -1,0 +1,1 @@
+lib/core/presets.mli: Params Simulator Wfs_channel Wireless_sched

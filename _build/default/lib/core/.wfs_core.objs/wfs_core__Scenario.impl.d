@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array List Option Params Presets Printf Simulator String Wfs_channel Wfs_traffic Wfs_util Wps

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Metrics Params Simulator Wfs_channel Wireless_sched

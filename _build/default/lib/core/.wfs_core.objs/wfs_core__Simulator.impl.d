@@ -1,0 +1,1 @@
+lib/core/simulator.ml: Array List Metrics Params Printf Wfs_channel Wfs_sim Wfs_traffic Wireless_sched

@@ -1,0 +1,1 @@
+lib/core/simulator.mli: Metrics Params Wfs_channel Wfs_sim Wfs_traffic Wireless_sched

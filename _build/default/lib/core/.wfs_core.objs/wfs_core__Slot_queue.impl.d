@@ -1,0 +1,1 @@
+lib/core/slot_queue.ml: Float List

@@ -1,0 +1,1 @@
+lib/core/wireless_sched.ml: Wfs_traffic

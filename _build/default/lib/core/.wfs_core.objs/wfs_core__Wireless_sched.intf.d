@@ -1,0 +1,1 @@
+lib/core/wireless_sched.mli: Wfs_traffic

@@ -1,0 +1,1 @@
+lib/core/wps.ml: Array Credit Float List Params Queue Spreading Wfs_sim Wfs_traffic Wfs_util Wireless_sched

@@ -1,0 +1,1 @@
+lib/core/wps.mli: Params Wfs_sim Wireless_sched

@@ -1,0 +1,164 @@
+module Packet = Wfs_traffic.Packet
+
+type flow_state = {
+  cfg : Params.flow;
+  packets : Packet.t Queue.t;
+  mutable v : float;  (* reference-system virtual time *)
+  mutable lag : int;  (* reference service − real service, packets *)
+  mutable selected_leading : int;  (* times picked by the reference while leading *)
+  mutable relinquished : int;  (* of those, times it gave the slot away *)
+}
+
+type t = { alpha : float; flows : flow_state array }
+
+let create ?(alpha = 0.9) flows =
+  if not (alpha >= 0. && alpha <= 1.) then
+    invalid_arg "Cifq.create: alpha must be in [0,1]";
+  Array.iteri
+    (fun i (f : Params.flow) ->
+      if f.id <> i then invalid_arg "Cifq.create: flow ids must be 0..n-1")
+    flows;
+  {
+    alpha;
+    flows =
+      Array.map
+        (fun cfg ->
+          {
+            cfg;
+            packets = Queue.create ();
+            v = 0.;
+            lag = 0;
+            selected_leading = 0;
+            relinquished = 0;
+          })
+        flows;
+  }
+
+let backlogged fs = not (Queue.is_empty fs.packets)
+
+(* An "active" flow for the reference system: one with real work.  (The
+   full CIF-Q also keeps flows active while they are owed/owing service;
+   with bounded runs and persistent flows this simplification only affects
+   flows that drain completely, whose lag CIF-Q redistributes — we simply
+   freeze it.) *)
+let active fs = backlogged fs
+
+let min_v_flow t ~pred =
+  let best = ref None in
+  Array.iteri
+    (fun i fs ->
+      if pred i fs then
+        match !best with
+        | Some (_, bv) when bv <= fs.v -> ()
+        | Some _ | None -> best := Some (i, fs.v))
+    t.flows;
+  Option.map fst !best
+
+(* Should a leading flow give this reference slot away?  Deterministic
+   α-accounting, called after [selected_leading] was incremented for the
+   current selection: relinquish whenever doing so still leaves at least an
+   α fraction of its leading selections retained. *)
+let must_relinquish t fs =
+  float_of_int (fs.selected_leading - fs.relinquished - 1)
+  >= (t.alpha *. float_of_int fs.selected_leading) -. 1e-9
+
+let select t ~slot:_ ~predicted_good =
+  (* 1. Reference selection and charge. *)
+  match min_v_flow t ~pred:(fun _ fs -> active fs) with
+  | None -> None
+  | Some i ->
+      let fi = t.flows.(i) in
+      fi.v <- fi.v +. (1. /. fi.cfg.Params.weight);
+      fi.lag <- fi.lag + 1;
+      let can_transmit j = backlogged t.flows.(j) && predicted_good j in
+      (* 2. Does i keep the slot? *)
+      let keeps =
+        if not (can_transmit i) then false
+        else if fi.lag - 1 < 0 then begin
+          (* Leading (lag was negative before the charge).  The α account
+             only counts selections where relinquishing was possible — a
+             lagging flow stood ready to take the slot — so uncontested
+             slots never build up a give-away debt. *)
+          let taker_exists =
+            Option.is_some
+              (min_v_flow t ~pred:(fun j fs ->
+                   j <> i && fs.lag > 0 && can_transmit j))
+          in
+          if taker_exists then begin
+            fi.selected_leading <- fi.selected_leading + 1;
+            if must_relinquish t fi then begin
+              fi.relinquished <- fi.relinquished + 1;
+              false
+            end
+            else true
+          end
+          else true
+        end
+        else true
+      in
+      let transmitter =
+        if keeps then Some i
+        else
+          (* 3. Redistribute: lagging flows first (min v), then anyone. *)
+          match
+            min_v_flow t ~pred:(fun j fs -> j <> i && fs.lag > 0 && can_transmit j)
+          with
+          | Some j -> Some j
+          | None -> (
+              match min_v_flow t ~pred:(fun j _ -> j <> i && can_transmit j) with
+              | Some j -> Some j
+              | None -> if can_transmit i then Some i else None)
+      in
+      (match transmitter with
+      | Some k -> t.flows.(k).lag <- t.flows.(k).lag - 1
+      | None -> ());
+      transmitter
+
+let enqueue t ~slot:_ (pkt : Packet.t) = Queue.push pkt t.flows.(pkt.flow).packets
+let head t flow = Queue.peek_opt t.flows.(flow).packets
+
+let complete t ~flow =
+  match Queue.pop t.flows.(flow).packets with
+  | exception Queue.Empty -> invalid_arg "Cifq.complete: empty queue"
+  | _ -> ()
+
+(* A failed transmission: the real service did not happen after all, so the
+   credit taken in [select] is returned. *)
+let fail t ~flow = t.flows.(flow).lag <- t.flows.(flow).lag + 1
+
+let drop_head t ~flow =
+  match Queue.pop t.flows.(flow).packets with
+  | exception Queue.Empty -> invalid_arg "Cifq.drop_head: empty queue"
+  | _ -> ()
+
+let drop_expired t ~flow ~now ~bound =
+  let q = t.flows.(flow).packets in
+  let dropped = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt q with
+    | Some pkt when Packet.age pkt ~now > bound ->
+        ignore (Queue.pop q);
+        dropped := pkt :: !dropped
+    | Some _ | None -> continue := false
+  done;
+  List.rev !dropped
+
+let queue_length t flow = Queue.length t.flows.(flow).packets
+
+let instance t =
+  {
+    Wireless_sched.name = "CIF-Q";
+    enqueue = (fun ~slot pkt -> enqueue t ~slot pkt);
+    select = (fun ~slot ~predicted_good -> select t ~slot ~predicted_good);
+    head = head t;
+    complete = (fun ~flow -> complete t ~flow);
+    fail = (fun ~flow -> fail t ~flow);
+    drop_head = (fun ~flow -> drop_head t ~flow);
+    drop_expired = (fun ~flow ~now ~bound -> drop_expired t ~flow ~now ~bound);
+    queue_length = queue_length t;
+    on_slot_end = (fun ~slot:_ -> ());
+  }
+
+let lag t ~flow = t.flows.(flow).lag
+let virtual_time t ~flow = t.flows.(flow).v

@@ -1,0 +1,41 @@
+(** CIF-Q — Channel-condition Independent Fair Queueing (Ng, Stoica &
+    Zhang, INFOCOM 1998), the direct successor of this paper's model.
+
+    Included as an extension because it answers the two rough edges the
+    paper itself acknowledges in IWFQ/WPS: a lagging flow seizing the
+    channel outright when it recovers, and leading flows losing service
+    abruptly.  CIF-Q runs an error-free {e reference system} (start-time
+    fair queueing: per-flow virtual times advancing by [1/r_i] per served
+    packet) and tracks each flow's [lag] = reference service − real
+    service.  Each slot:
+
+    + the reference system picks the active flow [i] with minimum virtual
+      time and charges it ([v_i += 1/r_i], [lag_i += 1]);
+    + if [i] can transmit and is not obliged to give the slot away, it
+      transmits ([lag_i -= 1]: net zero);
+    + a {e leading} flow ([lag < 0]) relinquishes at most a fraction
+      [1 − α] of its reference slots to lagging flows — the graceful
+      degradation knob: [α = 1] never gives up (full separation), [α = 0]
+      gives up everything until the laggers catch up;
+    + a slot [i] cannot use (bad channel, or relinquished) goes to the
+      lagging flow with the smallest virtual time among those that can
+      transmit, else to any transmittable active flow, else idles.  The
+      actual transmitter [k] is credited ([lag_k -= 1]).
+
+    Simplifications vs. the full paper, documented here: fixed-size
+    packets and slotted time (as everywhere in this repository), no
+    dynamic flow join/leave redistribution, and deterministic
+    (counter-based) rather than randomised α-relinquishing. *)
+
+type t
+
+val create : ?alpha:float -> Params.flow array -> t
+(** [alpha] in [\[0,1\]], default 0.9 (the CIF-Q paper's recommendation).
+    @raise Invalid_argument on out-of-range alpha or bad flow ids. *)
+
+val instance : t -> Wireless_sched.instance
+
+val lag : t -> flow:int -> int
+(** Current lag in packets (positive = owed service, negative = ahead). *)
+
+val virtual_time : t -> flow:int -> float

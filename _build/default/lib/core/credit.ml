@@ -1,0 +1,48 @@
+type t = {
+  credit_limit : int;
+  debit_limit : int;
+  credit_per_frame : int option;
+  weight : int;
+  mutable balance : int;
+  mutable carry : int;  (* unredeemed credit withheld this frame *)
+  mutable effective : int;  (* effective weight of the open frame *)
+}
+
+let create ~credit_limit ~debit_limit ?credit_per_frame ~weight () =
+  if credit_limit < 0 || debit_limit < 0 then
+    invalid_arg "Credit.create: negative limit";
+  if weight < 1 then invalid_arg "Credit.create: weight must be >= 1";
+  (match credit_per_frame with
+  | Some k when k < 0 -> invalid_arg "Credit.create: negative per-frame cap"
+  | Some _ | None -> ());
+  {
+    credit_limit;
+    debit_limit;
+    credit_per_frame;
+    weight;
+    balance = 0;
+    carry = 0;
+    effective = weight;
+  }
+
+let balance t = t.balance
+
+let clamp t v = min (max v (-t.debit_limit)) t.credit_limit
+
+let begin_frame t =
+  let redeemed =
+    match t.credit_per_frame with
+    | Some cap when t.balance > cap -> cap
+    | Some _ | None -> t.balance
+  in
+  t.carry <- t.balance - redeemed;
+  t.effective <- t.weight + redeemed;
+  t.effective
+
+let end_frame t ~attempts =
+  if attempts < 0 then invalid_arg "Credit.end_frame: negative attempts";
+  t.balance <- clamp t (t.effective - attempts + t.carry);
+  t.carry <- 0;
+  t.effective <- t.weight
+
+let weight t = t.weight

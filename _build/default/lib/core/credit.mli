@@ -1,0 +1,38 @@
+(** Per-flow credit/debit accounting for WPS (Section 7).
+
+    At the start of every frame a flow's effective weight is its default
+    weight plus redeemed credit; at the end of the frame the balance is
+    recomputed from what the flow actually transmitted:
+
+    [credit = min(max(effective_weight − attempts, −debit_limit),
+    credit_limit)]
+
+    so missing granted slots earns credit, transmitting beyond the grant
+    (via inter-frame swaps) incurs debt, and both are capped to bound how
+    far any flow can drift from its error-free service — the
+    credit-and-debit mirror of IWFQ's lag/lead bounds.
+
+    The optional per-frame redemption cap implements the amortised
+    compensation extension: a flow returning from a long error burst
+    reclaims its credit over several frames instead of capturing the
+    channel. *)
+
+type t
+
+val create :
+  credit_limit:int -> debit_limit:int -> ?credit_per_frame:int -> weight:int -> unit -> t
+(** [weight] is the flow's default integer weight (≥ 1). *)
+
+val balance : t -> int
+(** Current credit (negative = debt). *)
+
+val begin_frame : t -> int
+(** Open a frame: returns the effective weight [weight + redeemed], where
+    [redeemed] is the full positive balance (or all debt) unless capped by
+    [credit_per_frame].  May be ≤ 0 when in debt. *)
+
+val end_frame : t -> attempts:int -> unit
+(** Close the frame opened by {!begin_frame} given the number of
+    transmission attempts the flow actually made. *)
+
+val weight : t -> int

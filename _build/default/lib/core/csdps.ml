@@ -1,0 +1,114 @@
+module Packet = Wfs_traffic.Packet
+
+type t = {
+  backoff : int;
+  weights : int array;
+  queues : Packet.t Queue.t array;
+  marked_until : int array;  (* flow skipped while now < marked_until *)
+  mutable current : int;  (* round-robin position *)
+  mutable remaining : int;  (* grants left for the current flow *)
+  mutable now : int;  (* last slot seen by select *)
+  mutable last_selected : int;  (* flow whose outcome the next ack reports *)
+}
+
+let int_weight w =
+  let k = int_of_float (Float.round w) in
+  if k < 1 then 1 else k
+
+let create ?(backoff = 10) flows =
+  if backoff <= 0 then invalid_arg "Csdps.create: backoff must be > 0";
+  Array.iteri
+    (fun i (f : Params.flow) ->
+      if f.id <> i then invalid_arg "Csdps.create: flow ids must be 0..n-1")
+    flows;
+  let n = Array.length flows in
+  {
+    backoff;
+    weights = Array.map (fun (f : Params.flow) -> int_weight f.weight) flows;
+    queues = Array.init n (fun _ -> Queue.create ());
+    marked_until = Array.make n 0;
+    current = 0;
+    remaining = (if n = 0 then 0 else 1);
+    now = 0;
+    last_selected = -1;
+  }
+
+let is_marked t ~flow ~now = now < t.marked_until.(flow)
+
+let enqueue t ~slot:_ (pkt : Packet.t) = Queue.push pkt t.queues.(pkt.flow)
+
+let n_flows t = Array.length t.weights
+
+let advance t =
+  t.current <- (t.current + 1) mod n_flows t;
+  t.remaining <- t.weights.(t.current)
+
+let select t ~slot ~predicted_good:_ =
+  t.now <- slot;
+  t.last_selected <- -1;
+  (* Serve the round-robin order, skipping empty queues and marked flows;
+     at most one full cycle per slot. *)
+  let n = n_flows t in
+  if t.remaining <= 0 then advance t;
+  let rec scan tried =
+    if tried > n then None
+    else begin
+      let f = t.current in
+      if (not (Queue.is_empty t.queues.(f))) && not (is_marked t ~flow:f ~now:slot)
+      then begin
+        t.remaining <- t.remaining - 1;
+        t.last_selected <- f;
+        Some f
+      end
+      else begin
+        advance t;
+        scan (tried + 1)
+      end
+    end
+  in
+  scan 0
+
+let head t flow = Queue.peek_opt t.queues.(flow)
+
+let complete t ~flow =
+  match Queue.pop t.queues.(flow) with
+  | exception Queue.Empty -> invalid_arg "Csdps.complete: empty queue"
+  | _ -> ()
+
+(* The distinguishing CSDPS move: a failed transmission (missing ack) marks
+   the link bad for [backoff] slots. *)
+let fail t ~flow = t.marked_until.(flow) <- t.now + 1 + t.backoff
+
+let drop_head t ~flow =
+  match Queue.pop t.queues.(flow) with
+  | exception Queue.Empty -> invalid_arg "Csdps.drop_head: empty queue"
+  | _ -> ()
+
+let drop_expired t ~flow ~now ~bound =
+  let q = t.queues.(flow) in
+  let dropped = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt q with
+    | Some pkt when Packet.age pkt ~now > bound ->
+        ignore (Queue.pop q);
+        dropped := pkt :: !dropped
+    | Some _ | None -> continue := false
+  done;
+  List.rev !dropped
+
+let queue_length t flow = Queue.length t.queues.(flow)
+
+let instance t =
+  {
+    Wireless_sched.name = "CSDPS";
+    enqueue = (fun ~slot pkt -> enqueue t ~slot pkt);
+    select = (fun ~slot ~predicted_good -> select t ~slot ~predicted_good);
+    head = head t;
+    complete = (fun ~flow -> complete t ~flow);
+    fail = (fun ~flow -> fail t ~flow);
+    drop_head = (fun ~flow -> drop_head t ~flow);
+    drop_expired = (fun ~flow ~now ~bound -> drop_expired t ~flow ~now ~bound);
+    queue_length = queue_length t;
+    on_slot_end = (fun ~slot:_ -> ());
+  }

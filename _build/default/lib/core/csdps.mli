@@ -1,0 +1,28 @@
+(** Channel-State Dependent Packet Scheduling (CSDPS) — Bhagwat,
+    Bhattacharya, Krishna & Tripathi, INFOCOM 1997.
+
+    The closest prior work the paper compares against (Section 9): a
+    round-robin server that {e marks} a flow's link bad when a transmission
+    fails and skips marked flows for a backoff period, unmarking on expiry
+    (or on a successful probe).  It needs only ACK feedback — no channel
+    prediction — but, as the paper argues, it "does not address the issues
+    of fairness, throughput and delay guarantees": a flow whose link was
+    marked receives no compensation for the service it missed.
+
+    Included as a baseline so that claim is measurable: the fairness
+    ablation in the bench compares CSDPS's normalised-service gap against
+    WPS's under identical channels. *)
+
+type t
+
+val create : ?backoff:int -> Params.flow array -> t
+(** [backoff] (default 10 slots) is how long a flow stays marked after a
+    failed transmission.  Weights are honoured as in WRR (rounded to
+    integers ≥ 1).
+    @raise Invalid_argument on non-positive backoff or bad flow ids. *)
+
+val instance : t -> Wireless_sched.instance
+(** Note: CSDPS ignores the [predicted_good] argument of [select] — its
+    only channel knowledge is its own marking state. *)
+
+val is_marked : t -> flow:int -> now:int -> bool

@@ -1,0 +1,42 @@
+(** Slotted error-free fluid fair queueing reference service.
+
+    The wireless fairness model (Section 3) measures every flow against the
+    service it {e would} have received from a fluid fair queueing server
+    with the same arrivals and {e no} channel errors.  This module simulates
+    that reference exactly on the slotted time axis: arrivals land at slot
+    starts, and during each slot one packet's worth of capacity is
+    distributed among backlogged flows in proportion to their weights
+    (water-filling handles flows that empty mid-slot).
+
+    The system virtual time [v(t)] advances with slope [C / Σ_{i∈B(t)} r_i]
+    during fluid busy periods and is constant when idle; IWFQ stamps
+    arriving packets with [v] at their arrival instant. *)
+
+type t
+
+val create : ?capacity:float -> weights:float array -> unit -> t
+(** [capacity] in packets per slot, default 1.  Weights must be positive. *)
+
+val n_flows : t -> int
+
+val add_arrivals : t -> flow:int -> count:int -> unit
+(** Register [count] packet arrivals at the current instant (the start of
+    the next un-stepped slot). *)
+
+val virtual_time : t -> float
+(** [v] at the current instant. *)
+
+val step : t -> unit
+(** Advance one slot of fluid service. *)
+
+val slot : t -> int
+(** Number of slots stepped so far. *)
+
+val queue : t -> flow:int -> float
+(** Fluid backlog of [flow] at the current instant, in packets. *)
+
+val service : t -> flow:int -> float
+(** Cumulative fluid service granted to [flow], in packets. *)
+
+val is_backlogged : t -> flow:int -> bool
+val backlogged_weight : t -> float

@@ -1,0 +1,182 @@
+module Packet = Wfs_traffic.Packet
+
+type flow_state = {
+  cfg : Params.flow;
+  packets : Packet.t Queue.t;
+  slots : Slot_queue.t;
+}
+
+type t = {
+  flows : flow_state array;
+  fluid : Fluid_ref.t;
+  params : Params.iwfq;
+  lag_caps : int array;  (* B_i in packets *)
+}
+
+let create ?params flows =
+  let n = Array.length flows in
+  Array.iteri
+    (fun i (f : Params.flow) ->
+      if f.id <> i then invalid_arg "Iwfq.create: flow ids must be 0..n-1")
+    flows;
+  let params =
+    match params with Some p -> p | None -> Params.iwfq_defaults ~n_flows:n
+  in
+  if Array.length params.lead <> n then
+    invalid_arg "Iwfq.create: lead bounds must match flow count";
+  let weights = Array.map (fun (f : Params.flow) -> f.weight) flows in
+  {
+    flows =
+      Array.map
+        (fun (cfg : Params.flow) ->
+          {
+            cfg;
+            packets = Queue.create ();
+            slots = Slot_queue.create ~weight:cfg.weight;
+          })
+        flows;
+    fluid = Fluid_ref.create ~weights ();
+    params;
+    lag_caps = Params.per_flow_lag params ~flows;
+  }
+
+let virtual_time t = Fluid_ref.virtual_time t.fluid
+
+let service_tag t ~flow =
+  let fs = t.flows.(flow) in
+  if Queue.is_empty fs.packets then infinity
+  else
+    match Slot_queue.head fs.slots with
+    | Some s -> s.Slot_queue.finish
+    | None -> infinity
+
+let lag t ~flow =
+  let fs = t.flows.(flow) in
+  float_of_int (Queue.length fs.packets) -. Fluid_ref.queue t.fluid ~flow
+
+let slot_queue_length t ~flow = Slot_queue.length t.flows.(flow).slots
+let fluid t = t.fluid
+
+let enqueue t ~slot:_ (pkt : Packet.t) =
+  let fs = t.flows.(pkt.flow) in
+  Fluid_ref.add_arrivals t.fluid ~flow:pkt.flow ~count:1;
+  ignore (Slot_queue.add fs.slots ~v:(Fluid_ref.virtual_time t.fluid));
+  Queue.push pkt fs.packets
+
+(* Drop the newest packet so the flow keeps its earliest (lowest-tag)
+   slots; used when the lag bound deletes slots. *)
+let drop_newest_packet fs =
+  let n = Queue.length fs.packets in
+  if n > 0 then begin
+    (* Queue has no remove-from-tail; rotate n-1 elements. *)
+    let keep = Queue.create () in
+    for _ = 1 to n - 1 do
+      Queue.push (Queue.pop fs.packets) keep
+    done;
+    ignore (Queue.pop fs.packets);
+    Queue.transfer keep fs.packets
+  end
+
+let readjust t =
+  let v = Fluid_ref.virtual_time t.fluid in
+  Array.iteri
+    (fun i fs ->
+      (* Lag bound: retain at most B_i lagging slots (Section 4.1, 4a). *)
+      let deleted =
+        Slot_queue.trim_lagging fs.slots ~v ~max_lagging:t.lag_caps.(i)
+      in
+      for _ = 1 to deleted do
+        drop_newest_packet fs
+      done;
+      (* Lead bound: clamp the head tags (Section 4.1, 4b). *)
+      ignore
+        (Slot_queue.clamp_lead fs.slots ~v ~max_lead:t.params.lead.(i)
+           ~weight:fs.cfg.weight))
+    t.flows
+
+let select t ~slot:_ ~predicted_good =
+  readjust t;
+  let v = Fluid_ref.virtual_time t.fluid in
+  let eligible_start fs =
+    match Slot_queue.head fs.slots with
+    | Some s -> s.Slot_queue.start <= v +. 1e-9
+    | None -> false
+  in
+  let best restrict_eligible =
+    let best = ref None in
+    Array.iteri
+      (fun i fs ->
+        if
+          (not (Queue.is_empty fs.packets))
+          && (not (Slot_queue.is_empty fs.slots))
+          && predicted_good i
+          && ((not restrict_eligible) || eligible_start fs)
+        then begin
+          let tag = service_tag t ~flow:i in
+          match !best with
+          | Some (_, best_tag) when best_tag <= tag -> ()
+          | Some _ | None -> best := Some (i, tag)
+        end)
+      t.flows;
+    Option.map fst !best
+  in
+  if t.params.wf2q_selection then
+    match best true with Some f -> Some f | None -> best false
+  else best false
+
+let head t flow =
+  let fs = t.flows.(flow) in
+  if Queue.is_empty fs.packets then None else Some (Queue.peek fs.packets)
+
+let complete t ~flow =
+  let fs = t.flows.(flow) in
+  (match Slot_queue.pop_front fs.slots with
+  | Some _ -> ()
+  | None -> invalid_arg "Iwfq.complete: no slot");
+  match Queue.pop fs.packets with
+  | exception Queue.Empty -> invalid_arg "Iwfq.complete: empty queue"
+  | _pkt -> ()
+
+let fail _t ~flow:_ = ()
+
+(* Head packet dropped (e.g. retransmission limit): the packet leaves but
+   the flow keeps its earliest slot; the newest slot is removed instead to
+   restore |slots| = |packets| (Section 4.2's dynamic slot/packet
+   mapping). *)
+let drop_head t ~flow =
+  let fs = t.flows.(flow) in
+  (match Queue.pop fs.packets with
+  | exception Queue.Empty -> invalid_arg "Iwfq.drop_head: empty queue"
+  | _ -> ());
+  ignore (Slot_queue.pop_back fs.slots)
+
+let drop_expired t ~flow ~now ~bound =
+  let fs = t.flows.(flow) in
+  let dropped = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt fs.packets with
+    | Some pkt when Packet.age pkt ~now > bound ->
+        ignore (Queue.pop fs.packets);
+        ignore (Slot_queue.pop_back fs.slots);
+        dropped := pkt :: !dropped
+    | Some _ | None -> continue := false
+  done;
+  List.rev !dropped
+
+let queue_length t flow = Queue.length t.flows.(flow).packets
+let on_slot_end t ~slot:_ = Fluid_ref.step t.fluid
+
+let instance t =
+  {
+    Wireless_sched.name = "IWFQ";
+    enqueue = (fun ~slot pkt -> enqueue t ~slot pkt);
+    select = (fun ~slot ~predicted_good -> select t ~slot ~predicted_good);
+    head = head t;
+    complete = (fun ~flow -> complete t ~flow);
+    fail = (fun ~flow -> fail t ~flow);
+    drop_head = (fun ~flow -> drop_head t ~flow);
+    drop_expired = (fun ~flow ~now ~bound -> drop_expired t ~flow ~now ~bound);
+    queue_length = queue_length t;
+    on_slot_end = (fun ~slot -> on_slot_end t ~slot);
+  }

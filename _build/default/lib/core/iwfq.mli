@@ -1,0 +1,44 @@
+(** Idealized Wireless Fair Queueing (Section 4).
+
+    IWFQ packetizes the wireless fluid fairness model:
+
+    - a parallel {e error-free} fluid reference ({!Fluid_ref}) with the same
+      arrivals supplies the virtual time [v(t)];
+    - every arriving packet creates a logical slot tagged
+      [S = max(v(A), F_prev)], [F = S + 1/r_i] (equations 2–3);
+    - each scheduling step first readjusts tags — lagging flows keep at most
+      [B_i] slots with [F < v(t)] (excess slots, and a matching packet each,
+      are deleted), and a flow leading by more than [l_i] has its head start
+      tag clamped to [v(t) + l_i/r_i] (equation 4);
+    - among backlogged flows whose channel is (predicted) good, the smallest
+      service tag — the head slot's finish tag — transmits.  With
+      [wf2q_selection] only slots whose fluid service has begun
+      ([S ≤ v(t)]) are eligible, falling back to WFQ selection when none is.
+
+    Because a denied flow's service tag does not change, a lagging flow
+    regains precedence as soon as its channel turns good — the property the
+    delay/throughput bounds of Section 5 rest on. *)
+
+type t
+
+val create : ?params:Params.iwfq -> Params.flow array -> t
+(** Flow ids must be [0..n-1] in order.  Default parameters:
+    {!Params.iwfq_defaults}. *)
+
+val instance : t -> Wireless_sched.instance
+
+val virtual_time : t -> float
+(** Current error-free virtual time [v(t)]. *)
+
+val service_tag : t -> flow:int -> float
+(** Finish tag of the flow's head slot; [infinity] when not backlogged. *)
+
+val lag : t -> flow:int -> float
+(** Packets by which the flow trails its error-free fluid service:
+    [queue_length − fluid_queue_length] (positive = lagging, negative =
+    leading), the Section 3 definition. *)
+
+val slot_queue_length : t -> flow:int -> int
+
+val fluid : t -> Fluid_ref.t
+(** The internal error-free reference (read-only use). *)

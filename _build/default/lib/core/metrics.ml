@@ -1,0 +1,83 @@
+module Summary = Wfs_util.Stats.Summary
+module Histogram = Wfs_util.Stats.Histogram
+
+type flow_acc = {
+  delays : Summary.t;
+  histogram : Histogram.t option;
+  mutable arrivals : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable failed : int;
+}
+
+type t = { flows : flow_acc array; mutable idle : int; mutable busy : int }
+
+let create ?(histograms = false) ~n_flows () =
+  {
+    flows =
+      Array.init n_flows (fun _ ->
+          {
+            delays = Summary.create ();
+            histogram = (if histograms then Some (Histogram.create ()) else None);
+            arrivals = 0;
+            delivered = 0;
+            dropped = 0;
+            failed = 0;
+          });
+    idle = 0;
+    busy = 0;
+  }
+
+let acc t flow = t.flows.(flow)
+let on_arrival t ~flow = (acc t flow).arrivals <- (acc t flow).arrivals + 1
+
+let on_deliver t ~flow ~delay =
+  let a = acc t flow in
+  a.delivered <- a.delivered + 1;
+  Summary.add a.delays (float_of_int delay);
+  match a.histogram with
+  | Some h -> Histogram.add h (float_of_int delay)
+  | None -> ()
+
+let on_drop t ~flow = (acc t flow).dropped <- (acc t flow).dropped + 1
+let on_idle_slot t = t.idle <- t.idle + 1
+let on_busy_slot t = t.busy <- t.busy + 1
+let on_failed_attempt t ~flow = (acc t flow).failed <- (acc t flow).failed + 1
+
+let n_flows t = Array.length t.flows
+let arrivals t ~flow = (acc t flow).arrivals
+let delivered t ~flow = (acc t flow).delivered
+let dropped t ~flow = (acc t flow).dropped
+let failed_attempts t ~flow = (acc t flow).failed
+let mean_delay t ~flow = Summary.mean (acc t flow).delays
+
+let max_delay t ~flow =
+  let a = acc t flow in
+  if Summary.count a.delays = 0 then 0. else Summary.max a.delays
+
+let stddev_delay t ~flow = Summary.stddev (acc t flow).delays
+
+let delay_percentile t ~flow ~p =
+  match (acc t flow).histogram with
+  | Some h -> Histogram.percentile h p
+  | None -> invalid_arg "Metrics.delay_percentile: created without histograms"
+
+let loss t ~flow =
+  let a = acc t flow in
+  if a.arrivals = 0 then 0. else float_of_int a.dropped /. float_of_int a.arrivals
+
+let drop_share t ~flow =
+  let a = acc t flow in
+  let settled = a.delivered + a.dropped in
+  if settled = 0 then 0. else float_of_int a.dropped /. float_of_int settled
+
+let throughput t ~flow ~slots =
+  if slots <= 0 then 0.
+  else float_of_int (acc t flow).delivered /. float_of_int slots
+
+let idle_slots t = t.idle
+let busy_slots t = t.busy
+
+let backlog_remaining t ~flow =
+  let a = acc t flow in
+  a.arrivals - a.delivered - a.dropped

@@ -1,0 +1,58 @@
+(** Per-flow performance accounting.
+
+    Collects exactly the measures reported in the paper's tables: average
+    delay of successfully transmitted packets [d̄_i], loss probability
+    [l_i], maximum delay [d^max_i] and delay standard deviation [σ_i] —
+    plus throughput and channel/occupancy counters used by the extra
+    benches. *)
+
+type t
+
+val create : ?histograms:bool -> n_flows:int -> unit -> t
+(** With [histograms] (default off, saving memory on long runs) per-flow
+    delay histograms are kept and {!delay_percentile} becomes available. *)
+
+val on_arrival : t -> flow:int -> unit
+val on_deliver : t -> flow:int -> delay:int -> unit
+val on_drop : t -> flow:int -> unit
+val on_idle_slot : t -> unit
+val on_busy_slot : t -> unit
+val on_failed_attempt : t -> flow:int -> unit
+
+val n_flows : t -> int
+val arrivals : t -> flow:int -> int
+val delivered : t -> flow:int -> int
+val dropped : t -> flow:int -> int
+val failed_attempts : t -> flow:int -> int
+
+val mean_delay : t -> flow:int -> float
+(** Over delivered packets; 0 when none. *)
+
+val max_delay : t -> flow:int -> float
+(** 0 when none delivered. *)
+
+val stddev_delay : t -> flow:int -> float
+
+val delay_percentile : t -> flow:int -> p:float -> float
+(** [p] in [0,100]; [nan] when no packets were delivered.
+    @raise Invalid_argument unless the metrics were created with
+    [~histograms:true]. *)
+
+val loss : t -> flow:int -> float
+(** dropped / arrivals; 0 when no arrivals. *)
+
+val drop_share : t -> flow:int -> float
+(** dropped / (delivered + dropped): the fraction of packets that entered
+    service (or expired) and were lost.  For saturated sources — whose
+    arrivals exceed any possible service — this is the loss measure the
+    paper reports (Example 4's sources 2 and 4). *)
+
+val throughput : t -> flow:int -> slots:int -> float
+(** delivered packets per slot over a horizon of [slots]. *)
+
+val idle_slots : t -> int
+val busy_slots : t -> int
+
+val backlog_remaining : t -> flow:int -> int
+(** arrivals − delivered − dropped: packets still queued at the end of the
+    run (neither counted as delivered nor lost). *)

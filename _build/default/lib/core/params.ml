@@ -1,0 +1,100 @@
+type drop_policy =
+  | No_drop
+  | Retx_limit of int
+  | Delay_bound of int
+  | Retx_or_delay of int * int
+
+let validate_drop_policy = function
+  | No_drop -> ()
+  | Retx_limit k ->
+      if k < 0 then invalid_arg "Params: negative retransmission limit"
+  | Delay_bound d -> if d < 0 then invalid_arg "Params: negative delay bound"
+  | Retx_or_delay (k, d) ->
+      if k < 0 || d < 0 then invalid_arg "Params: negative drop limits"
+
+type flow = { id : int; weight : float; drop : drop_policy; buffer : int option }
+
+let flow ?(drop = No_drop) ?buffer ~id ~weight () =
+  if weight <= 0. then invalid_arg "Params.flow: weight must be > 0";
+  validate_drop_policy drop;
+  (match buffer with
+  | Some b when b <= 0 -> invalid_arg "Params.flow: buffer must be > 0"
+  | Some _ | None -> ());
+  { id; weight; drop; buffer }
+
+type iwfq = { lag_total : float; lead : float array; wf2q_selection : bool }
+
+let iwfq_defaults ~n_flows =
+  {
+    lag_total = 4. *. float_of_int n_flows;
+    lead = Array.make n_flows 4.;
+    wf2q_selection = false;
+  }
+
+let per_flow_lag t ~flows =
+  let total_weight = Array.fold_left (fun acc f -> acc +. f.weight) 0. flows in
+  Array.map
+    (fun f ->
+      let share = t.lag_total *. f.weight /. total_weight in
+      Stdlib.max 1 (int_of_float (floor share)))
+    flows
+
+type wps = {
+  skip_on_predicted_error : bool;
+  swap_intra : bool;
+  swap_window : int option;
+  swap_inter : bool;
+  credits : bool;
+  credit_limit : int;
+  debit_limit : int;
+  credit_per_frame : int option;
+}
+
+let validate_wps t =
+  if t.credit_limit < 0 then invalid_arg "Params: negative credit limit";
+  (match t.swap_window with
+  | Some w when w < 1 -> invalid_arg "Params: swap window must be >= 1"
+  | Some _ | None -> ());
+  if t.debit_limit < 0 then invalid_arg "Params: negative debit limit";
+  (match t.credit_per_frame with
+  | Some k when k < 0 -> invalid_arg "Params: negative per-frame credit cap"
+  | Some _ | None -> ());
+  if t.swap_inter && not t.credits then
+    invalid_arg "Params: inter-frame swapping requires credit accounting"
+
+let blind_wrr =
+  {
+    skip_on_predicted_error = false;
+    swap_intra = false;
+    swap_window = None;
+    swap_inter = false;
+    credits = false;
+    credit_limit = 0;
+    debit_limit = 0;
+    credit_per_frame = None;
+  }
+
+let wrr = { blind_wrr with skip_on_predicted_error = true }
+
+let noswap ?(credit_limit = 4) () =
+  {
+    wrr with
+    credits = true;
+    credit_limit;
+    debit_limit = 0;
+  }
+
+let swapw ?(credit_limit = 4) () = { (noswap ~credit_limit ()) with swap_intra = true }
+
+let swapa ?(credit_limit = 4) ?(debit_limit = 4) ?credit_per_frame ?swap_window
+    () =
+  {
+    skip_on_predicted_error = true;
+    swap_intra = true;
+    swap_window;
+    swap_inter = true;
+    credits = true;
+    credit_limit;
+    debit_limit;
+    credit_per_frame;
+  }

@@ -1,0 +1,91 @@
+(** Configuration types shared by the wireless schedulers.
+
+    Terminology follows the paper: weights [r_i], the aggregate lag bound
+    [B] (bits) split into per-flow bounds [b_i = B·r_i/Σr_j], per-flow lead
+    bounds [l_i], and WPS credit/debit caps.  Packets are fixed-size
+    ([L_P = 1] slot each), so bit bounds translate 1:1 into packet/slot
+    counts here. *)
+
+type drop_policy =
+  | No_drop  (** keep retrying forever *)
+  | Retx_limit of int
+      (** maximum number of retransmissions; a packet is dropped after
+          [limit + 1] failed attempts (the paper's Example 1 uses 2) *)
+  | Delay_bound of int
+      (** drop any packet that has been in the system longer than this many
+          slots, even before reaching the head of line (Example 2 uses 100) *)
+  | Retx_or_delay of int * int  (** whichever triggers first *)
+
+val validate_drop_policy : drop_policy -> unit
+(** @raise Invalid_argument on negative limits. *)
+
+type flow = {
+  id : int;
+  weight : float;  (** the paper's [r_i]; must be positive *)
+  drop : drop_policy;
+  buffer : int option;
+      (** maximum queue length in packets; arrivals beyond it are dropped
+          on entry (the WFQ-style buffer overflow the paper contrasts with
+          IWFQ's lag-bound discards).  [None] = unbounded. *)
+}
+
+val flow :
+  ?drop:drop_policy -> ?buffer:int -> id:int -> weight:float -> unit -> flow
+(** Default drop policy: [No_drop]; default buffer: unbounded.
+    @raise Invalid_argument on [buffer <= 0]. *)
+
+type iwfq = {
+  lag_total : float;
+      (** the paper's [B], in packets; per-flow lag cap is
+          [B·r_i / Σ_j r_j] *)
+  lead : float array;
+      (** per-flow lead bound [l_i], in packets *)
+  wf2q_selection : bool;
+      (** restrict selection to slots whose error-free fluid service has
+          started (the WF²Q adaptation mentioned in Section 4.1) *)
+}
+
+val iwfq_defaults : n_flows:int -> iwfq
+(** [B = 4·n] packets, [l_i = 4] packets, WFQ-style selection. *)
+
+val per_flow_lag : iwfq -> flows:flow array -> int array
+(** [B_i] in whole packets (floor, at least 1), per Section 4.1 step 4a. *)
+
+type wps = {
+  skip_on_predicted_error : bool;
+      (** [false] = Blind WRR behaviour: transmit into the error *)
+  swap_intra : bool;  (** intra-frame slot swapping *)
+  swap_window : int option;
+      (** how far ahead in the frame an intra-frame swap may reach.
+          [None] = the whole frame (the idealised scheduler evaluation);
+          [Some 3] models the Section-6.2 MAC, where only the three
+          pre-announced slots can react to a channel-good flag *)
+  swap_inter : bool;
+      (** cross-frame reallocation via the marker ring (full WPS / SwapA) *)
+  credits : bool;  (** credit/debit accounting across frames *)
+  credit_limit : int;  (** max positive credit per flow *)
+  debit_limit : int;  (** max debt per flow; 0 = "credits but no debits" *)
+  credit_per_frame : int option;
+      (** optional cap on credits redeemable in a single frame — the
+          amortised-compensation extension discussed at the end of
+          Section 7; [None] redeems everything at once (paper default) *)
+}
+
+val validate_wps : wps -> unit
+(** @raise Invalid_argument on negative limits or on [swap_inter] without
+    [credits] (SwapA's debits are implicit in credit accounting). *)
+
+val blind_wrr : wps
+val wrr : wps
+val noswap : ?credit_limit:int -> unit -> wps
+val swapw : ?credit_limit:int -> unit -> wps
+
+val swapa :
+  ?credit_limit:int ->
+  ?debit_limit:int ->
+  ?credit_per_frame:int ->
+  ?swap_window:int ->
+  unit ->
+  wps
+(** Full WPS; default caps 4/4 as in the paper's examples, whole-frame
+    swapping. *)

@@ -1,0 +1,165 @@
+module Rng = Wfs_util.Rng
+module Predictor = Wfs_channel.Predictor
+
+type algorithm =
+  | Blind_wrr
+  | Wrr
+  | Noswap
+  | Swapw
+  | Swapa
+  | Iwfq_alg
+  | Cifq_alg
+  | Csdps_alg
+type info = Ideal | Predicted
+
+let algorithm_name alg info =
+  let suffix = match info with Ideal -> "I" | Predicted -> "P" in
+  match alg with
+  | Blind_wrr -> "Blind WRR"
+  | Wrr -> "WRR-" ^ suffix
+  | Noswap -> "NoSwap-" ^ suffix
+  | Swapw -> "SwapW-" ^ suffix
+  | Swapa -> "SwapA-" ^ suffix
+  | Iwfq_alg -> "IWFQ-" ^ suffix
+  | Cifq_alg -> "CIF-Q-" ^ suffix
+  | Csdps_alg -> "CSDPS"
+
+let predictor alg info =
+  match (alg, info) with
+  | Blind_wrr, _ -> Predictor.Blind
+  | _, Ideal -> Predictor.Perfect
+  | _, Predicted -> Predictor.One_step
+
+let scheduler ?(credit_limit = 4) ?(debit_limit = 4) ?credit_per_frame ?limits
+    ?iwfq alg flows =
+  match alg with
+  | Iwfq_alg -> Iwfq.instance (Iwfq.create ?params:iwfq flows)
+  | Cifq_alg -> Cifq.instance (Cifq.create flows)
+  | Csdps_alg -> Csdps.instance (Csdps.create flows)
+  | Blind_wrr -> Wps.instance (Wps.create ~params:Params.blind_wrr flows)
+  | Wrr -> Wps.instance (Wps.create ~params:Params.wrr flows)
+  | Noswap ->
+      Wps.instance (Wps.create ~params:(Params.noswap ~credit_limit ()) ?limits flows)
+  | Swapw ->
+      Wps.instance (Wps.create ~params:(Params.swapw ~credit_limit ()) ?limits flows)
+  | Swapa ->
+      Wps.instance
+        (Wps.create
+           ~params:(Params.swapa ~credit_limit ~debit_limit ?credit_per_frame ())
+           ?limits flows)
+
+let table1_algorithms =
+  [
+    (Blind_wrr, Predicted);
+    (Wrr, Ideal);
+    (Noswap, Ideal);
+    (Swapw, Ideal);
+    (Swapa, Ideal);
+    (Wrr, Predicted);
+    (Noswap, Predicted);
+    (Swapw, Predicted);
+    (Swapa, Predicted);
+  ]
+
+(* Common random numbers: channels and sources are seeded by their position
+   in a fixed split order, so the sample path depends only on [seed]. *)
+let split_streams ~seed ~n =
+  let master = Rng.create seed in
+  Array.init (2 * n) (fun _ -> Rng.split master)
+
+let make_setup flows sources channels =
+  Array.mapi
+    (fun i flow ->
+      { Simulator.flow; source = sources.(i); channel = channels.(i) })
+    flows
+
+let example1 ?(sum = 0.1) ?(drop = Params.Retx_limit 2) ~seed () =
+  let streams = split_streams ~seed ~n:2 in
+  let flows =
+    [|
+      Params.flow ~id:0 ~weight:1. ~drop ();
+      Params.flow ~id:1 ~weight:1. ~drop ();
+    |]
+  in
+  let sources =
+    [|
+      Wfs_traffic.Mmpp.paper_source ~rng:streams.(0) ~mean_rate:0.2 ();
+      Wfs_traffic.Cbr.create ~interarrival:2. ();
+    |]
+  in
+  let channels =
+    [|
+      Wfs_channel.Gilbert_elliott.of_burstiness ~rng:streams.(2) ~good_prob:0.7
+        ~sum ();
+      Wfs_channel.Error_free.create ();
+    |]
+  in
+  make_setup flows sources channels
+
+let example2 ?sum ~seed () = example1 ?sum ~drop:(Params.Delay_bound 100) ~seed ()
+
+let example3 ~seed () =
+  let streams = split_streams ~seed ~n:3 in
+  let drop = Params.Retx_limit 2 in
+  let flows = Array.init 3 (fun id -> Params.flow ~id ~weight:1. ~drop ()) in
+  let sources =
+    [|
+      Wfs_traffic.Mmpp.paper_source ~rng:streams.(0) ~mean_rate:0.2 ();
+      Wfs_traffic.Poisson.create ~rng:streams.(1) ~rate:0.25;
+      Wfs_traffic.Cbr.create ~interarrival:4. ();
+    |]
+  in
+  let ge i pg pe =
+    Wfs_channel.Gilbert_elliott.create ~rng:streams.(3 + i) ~pg ~pe ()
+  in
+  let channels = [| ge 0 0.07 0.03; ge 1 0.095 0.005; ge 2 0.09 0.01 |] in
+  make_setup flows sources channels
+
+(* Example 4 and 5 share the Table 7 channels; only the two Poisson rates
+   differ.  Paper flow numbering: sources 1..5 map to flows 0..4. *)
+let example45 ~poisson_rate ~seed () =
+  let streams = split_streams ~seed ~n:5 in
+  let drop i = if i = 3 then Params.Retx_limit 0 else Params.Retx_limit 2 in
+  let flows =
+    Array.init 5 (fun id -> Params.flow ~id ~weight:1. ~drop:(drop id) ())
+  in
+  let mmpp i = Wfs_traffic.Mmpp.paper_source ~rng:streams.(i) ~mean_rate:0.08 () in
+  let poisson i = Wfs_traffic.Poisson.create ~rng:streams.(i) ~rate:poisson_rate in
+  let sources = [| mmpp 0; poisson 1; mmpp 2; poisson 3; mmpp 4 |] in
+  let ge i pg pe =
+    Wfs_channel.Gilbert_elliott.create ~rng:streams.(5 + i) ~pg ~pe ()
+  in
+  let channels =
+    [|
+      ge 0 0.09 0.01;
+      ge 1 0.095 0.005;
+      ge 2 0.08 0.02;
+      ge 3 0.07 0.03;
+      ge 4 0.035 0.015;
+    |]
+  in
+  make_setup flows sources channels
+
+let example4 ~seed () = example45 ~poisson_rate:8.0 ~seed ()
+let example5 ~seed () = example45 ~poisson_rate:0.07 ~seed ()
+
+let example6 ~seed () =
+  let streams = split_streams ~seed ~n:5 in
+  let drop = Params.Delay_bound 200 in
+  let flows = Array.init 5 (fun id -> Params.flow ~id ~weight:1. ~drop ()) in
+  let sources =
+    Array.init 5 (fun i ->
+        let rate = if i = 4 then 0.07 else 0.22 in
+        Wfs_traffic.Poisson.create ~rng:streams.(i) ~rate)
+  in
+  let channels =
+    Array.init 5 (fun i ->
+        let pg, pe = if i = 4 then (0.03, 0.07) else (0.095, 0.005) in
+        Wfs_channel.Gilbert_elliott.create ~rng:streams.(5 + i) ~pg ~pe ())
+  in
+  make_setup flows sources channels
+
+let example6_limits ~d ~c =
+  Array.init 5 (fun i -> if i = 4 then (c, 4) else (4, d))
+
+let flows_of setups = Array.map (fun s -> s.Simulator.flow) setups

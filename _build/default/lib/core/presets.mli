@@ -1,0 +1,85 @@
+(** The paper's simulation scenarios (Examples 1–6) and scheduler variants.
+
+    Every example returns a fresh, seeded {!Simulator.flow_setup} array —
+    sources and channels each own an independent PRNG stream split from the
+    master seed, so two calls with the same seed produce the identical
+    sample path.  Running several algorithms against setups built from the
+    same seed therefore compares them under common random numbers, as the
+    paper's tables do. *)
+
+type algorithm =
+  | Blind_wrr
+  | Wrr
+  | Noswap
+  | Swapw
+  | Swapa
+  | Iwfq_alg
+  | Cifq_alg  (** the CIF-Q successor (extension) *)
+  | Csdps_alg  (** the CSDPS prior art (extension) *)
+
+type info = Ideal | Predicted
+(** Channel knowledge: [Ideal] = the "-I" rows (perfect state), [Predicted]
+    = the "-P" rows (one-step prediction).  Blind WRR ignores this. *)
+
+val algorithm_name : algorithm -> info -> string
+(** Table row labels: "Blind WRR", "WRR-I", "SwapA-P", "IWFQ-I", ... *)
+
+val predictor : algorithm -> info -> Wfs_channel.Predictor.kind
+
+val scheduler :
+  ?credit_limit:int ->
+  ?debit_limit:int ->
+  ?credit_per_frame:int ->
+  ?limits:(int * int) array ->
+  ?iwfq:Params.iwfq ->
+  algorithm ->
+  Params.flow array ->
+  Wireless_sched.instance
+(** Build the scheduler variant.  [credit_limit]/[debit_limit] default to
+    the paper's 4/4; [limits] gives per-flow overrides (Example 6);
+    [iwfq] configures the IWFQ variant. *)
+
+val table1_algorithms : (algorithm * info) list
+(** The nine rows of Tables 1–4, in paper order. *)
+
+(** {1 Examples} *)
+
+val example1 :
+  ?sum:float -> ?drop:Params.drop_policy -> seed:int -> unit ->
+  Simulator.flow_setup array
+(** Example 1: two unit-weight flows.  Flow 0 is the paper's Source 1
+    (MMPP, mean 0.2 pkt/slot; Gilbert–Elliott channel with [PG = 0.7] and
+    burstiness [sum = pg + pe], default 0.1); flow 1 is Source 2 (CBR,
+    interarrival 2; error-free channel).  Default drop policy:
+    2 retransmissions. *)
+
+val example2 : ?sum:float -> seed:int -> unit -> Simulator.flow_setup array
+(** Example 2 = Example 1 with a 100-slot delay bound instead of the
+    retransmission limit. *)
+
+val example3 : seed:int -> unit -> Simulator.flow_setup array
+(** Example 3: MMPP 0.2 / Poisson 0.25 / CBR 0.25 over channels
+    (pg, pe) = (0.07, 0.03), (0.095, 0.005), (0.09, 0.01);
+    2 retransmissions. *)
+
+val example4 : seed:int -> unit -> Simulator.flow_setup array
+(** Example 4: five flows — MMPP 0.08 (flows 0, 2, 4), saturated Poisson
+    λ=8 (flows 1, 3); channels per Table 7; 2 retransmissions except
+    flow 3 (0 retransmissions). *)
+
+val example5 : seed:int -> unit -> Simulator.flow_setup array
+(** Example 5 = Example 4 with the saturated sources slowed to λ=0.07
+    (stable system). *)
+
+val example6 : seed:int -> unit -> Simulator.flow_setup array
+(** Example 6: four identical heavily loading flows plus one flow with a
+    much worse, bursty channel; 200-slot delay bound.  Channel parameters
+    follow the documented substitution (DESIGN.md): flows 0–3
+    λ=0.22, (pg, pe) = (0.095, 0.005); flow 4 λ=0.07,
+    (pg, pe) = (0.03, 0.07). *)
+
+val example6_limits : d:int -> c:int -> (int * int) array
+(** Per-flow (credit, debit) caps for Table 11's sweep: flows 0–3 get
+    (4, [d]), flow 4 gets ([c], 4). *)
+
+val flows_of : Simulator.flow_setup array -> Params.flow array

@@ -1,0 +1,225 @@
+type direction = Up | Down
+
+type t = {
+  setups : Simulator.flow_setup array;
+  addrs : (int * direction) array;
+  horizon : int;
+  predictor : Wfs_channel.Predictor.kind;
+  seed : int;
+}
+
+exception Parse_error of { line : int; message : string }
+
+let fail ~line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let float_of ~line what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail ~line "%s: expected a number, got %S" what s
+
+let int_of ~line what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail ~line "%s: expected an integer, got %S" what s
+
+(* "kind:arg1,arg2" -> (kind, [args]) *)
+let split_spec s =
+  match String.index_opt s ':' with
+  | None -> (s, [])
+  | Some i ->
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      (kind, String.split_on_char ',' rest)
+
+let parse_drop ~line s =
+  match split_spec s with
+  | "none", [] -> Params.No_drop
+  | "retx", [ k ] -> Params.Retx_limit (int_of ~line "retx limit" k)
+  | "delay", [ d ] -> Params.Delay_bound (int_of ~line "delay bound" d)
+  | "retx-delay", [ k; d ] ->
+      Params.Retx_or_delay (int_of ~line "retx limit" k, int_of ~line "delay bound" d)
+  | _ -> fail ~line "unknown drop policy %S" s
+
+let parse_source ~line ~rng s =
+  match split_spec s with
+  | "cbr", [ ia ] ->
+      Wfs_traffic.Cbr.create ~interarrival:(float_of ~line "cbr interarrival" ia) ()
+  | "poisson", [ r ] ->
+      Wfs_traffic.Poisson.create ~rng:(rng ()) ~rate:(float_of ~line "poisson rate" r)
+  | "mmpp", [ r ] ->
+      Wfs_traffic.Mmpp.paper_source ~rng:(rng ())
+        ~mean_rate:(float_of ~line "mmpp mean rate" r)
+        ()
+  | "onoff", [ p1; p2 ] ->
+      Wfs_traffic.Onoff.create ~rng:(rng ())
+        ~p_on_to_off:(float_of ~line "onoff p_on_to_off" p1)
+        ~p_off_to_on:(float_of ~line "onoff p_off_to_on" p2)
+        ()
+  | "pareto", [ on; off ] ->
+      Wfs_traffic.Pareto_onoff.create ~rng:(rng ())
+        ~mean_on:(float_of ~line "pareto mean_on" on)
+        ~mean_off:(float_of ~line "pareto mean_off" off)
+        ()
+  | _ -> fail ~line "unknown source %S" s
+
+let parse_channel ~line ~rng s =
+  match split_spec s with
+  | "good", [] -> Wfs_channel.Error_free.create ()
+  | "ge", [ pg; pe ] ->
+      Wfs_channel.Gilbert_elliott.create ~rng:(rng ())
+        ~pg:(float_of ~line "ge pg" pg) ~pe:(float_of ~line "ge pe" pe) ()
+  | "bernoulli", [ p ] ->
+      Wfs_channel.Bernoulli_ch.create ~rng:(rng ())
+        ~good_prob:(float_of ~line "bernoulli good prob" p)
+  | "badburst", [ start; len ] ->
+      Wfs_channel.Periodic_ch.bad_burst
+        ~start:(int_of ~line "badburst start" start)
+        ~length:(int_of ~line "badburst length" len)
+  | _ -> fail ~line "unknown channel %S" s
+
+let parse_predictor ~line s =
+  match split_spec s with
+  | "one-step", [] -> Wfs_channel.Predictor.One_step
+  | "perfect", [] -> Wfs_channel.Predictor.Perfect
+  | "blind", [] -> Wfs_channel.Predictor.Blind
+  | "snoop", [ k ] ->
+      Wfs_channel.Predictor.Periodic_snoop (int_of ~line "snoop period" k)
+  | _ -> fail ~line "unknown predictor %S" s
+
+type flow_line = {
+  weight : float;
+  drop : Params.drop_policy;
+  buffer : int option;
+  host : int option;
+  direction : direction;
+  source_spec : string;
+  channel_spec : string;
+  line : int;
+}
+
+let parse_flow_line ~line tokens =
+  let weight = ref 1. in
+  let drop = ref Params.No_drop in
+  let buffer = ref None in
+  let host = ref None in
+  let direction = ref Down in
+  let source_spec = ref None in
+  let channel_spec = ref None in
+  List.iter
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | None -> fail ~line "flow attribute %S is not key=value" tok
+      | Some i ->
+          let key = String.sub tok 0 i in
+          let value = String.sub tok (i + 1) (String.length tok - i - 1) in
+          (match key with
+          | "weight" -> weight := float_of ~line "weight" value
+          | "drop" -> drop := parse_drop ~line value
+          | "buffer" -> buffer := Some (int_of ~line "buffer" value)
+          | "host" -> host := Some (int_of ~line "host" value)
+          | "dir" ->
+              direction :=
+                (match value with
+                | "up" -> Up
+                | "down" -> Down
+                | _ -> fail ~line "dir must be up or down, got %S" value)
+          | "source" -> source_spec := Some value
+          | "channel" -> channel_spec := Some value
+          | _ -> fail ~line "unknown flow attribute %S" key))
+    tokens;
+  let source_spec =
+    match !source_spec with Some s -> s | None -> fail ~line "flow needs source="
+  in
+  let channel_spec =
+    match !channel_spec with
+    | Some s -> s
+    | None -> fail ~line "flow needs channel="
+  in
+  {
+    weight = !weight;
+    drop = !drop;
+    buffer = !buffer;
+    host = !host;
+    direction = !direction;
+    source_spec;
+    channel_spec;
+    line;
+  }
+
+let tokens_of line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let parse text =
+  let horizon = ref 100_000 in
+  let seed = ref 42 in
+  let predictor = ref Wfs_channel.Predictor.One_step in
+  let flow_lines = ref [] in
+  let seen_flow = ref false in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      match tokens_of (strip_comment raw) with
+      | [] -> ()
+      | "horizon" :: [ n ] -> horizon := int_of ~line "horizon" n
+      | "seed" :: [ n ] ->
+          if !seen_flow then
+            fail ~line "seed must be set before the first flow";
+          seed := int_of ~line "seed" n
+      | "predictor" :: [ p ] -> predictor := parse_predictor ~line p
+      | "flow" :: attrs ->
+          seen_flow := true;
+          flow_lines := parse_flow_line ~line attrs :: !flow_lines
+      | directive :: _ -> fail ~line "unknown directive %S" directive)
+    (String.split_on_char '\n' text);
+  let flow_lines = List.rev !flow_lines in
+  if flow_lines = [] then fail ~line:0 "scenario has no flows";
+  let master = Wfs_util.Rng.create !seed in
+  let rng () = Wfs_util.Rng.split master in
+  let setups =
+    Array.of_list
+      (List.mapi
+         (fun id fl ->
+           let flow =
+             Params.flow ~id ~weight:fl.weight ~drop:fl.drop ?buffer:fl.buffer ()
+           in
+           let source = parse_source ~line:fl.line ~rng fl.source_spec in
+           let channel = parse_channel ~line:fl.line ~rng fl.channel_spec in
+           { Simulator.flow; source; channel })
+         flow_lines)
+  in
+  let addrs =
+    Array.of_list
+      (List.mapi
+         (fun id fl ->
+           (Option.value ~default:(id + 1) fl.host, fl.direction))
+         flow_lines)
+  in
+  { setups; addrs; horizon = !horizon; predictor = !predictor; seed = !seed }
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let flows t = Presets.flows_of t.setups
+
+let run ?scheduler t =
+  let flow_params = flows t in
+  let sched =
+    match scheduler with
+    | Some f -> f flow_params
+    | None -> Wps.instance (Wps.create ~params:(Params.swapa ()) flow_params)
+  in
+  let cfg =
+    Simulator.config ~predictor:t.predictor ~horizon:t.horizon t.setups
+  in
+  Simulator.run cfg sched

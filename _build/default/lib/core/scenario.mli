@@ -1,0 +1,56 @@
+(** Text-file scenario descriptions.
+
+    Lets a cell be described in a small line-oriented format instead of
+    code, so workloads can be versioned and shared:
+
+    {v
+    # lines starting with # are comments
+    horizon 100000
+    seed 42
+    predictor one-step          # one-step | perfect | blind | snoop:K
+    flow weight=1 drop=retx:2  source=mmpp:0.2    channel=ge:0.07,0.03
+    flow weight=1              source=cbr:2       channel=good
+    flow weight=2 drop=delay:100 source=poisson:0.25 channel=bernoulli:0.7
+    v}
+
+    Flows get ids 0, 1, ... in file order.  Optional per-flow [buffer=N]
+    bounds the queue, and [host=N dir=up|down] place the flow for MAC
+    simulations ({!Wfs_mac.Mac_sim} via [bin/wfs_mac]).  Sources:
+    [cbr:INTERARRIVAL], [poisson:RATE], [mmpp:MEANRATE] (the paper's
+    modulating chain), [onoff:P_ON_OFF,P_OFF_ON].  Channels: [good],
+    [ge:PG,PE] (Gilbert–Elliott), [bernoulli:GOODPROB],
+    [badburst:START,LEN].  Drop policies: [none] (default), [retx:K],
+    [delay:D], [retx-delay:K,D].
+
+    Randomness: every stochastic source/channel receives its own stream
+    split from the scenario seed, in file order, so a file plus a seed is a
+    reproducible experiment. *)
+
+type direction = Up | Down
+
+type t = {
+  setups : Simulator.flow_setup array;
+  addrs : (int * direction) array;
+      (** per-flow (host, direction) for MAC simulations; defaults to
+          [(flow id + 1, Down)] when a flow line has no [host=]/[dir=] *)
+  horizon : int;
+  predictor : Wfs_channel.Predictor.kind;
+  seed : int;
+}
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> t
+(** Parse scenario text.  Defaults: horizon 100000, seed 42, predictor
+    one-step.  A [seed N] directive must precede the first [flow] line.
+    @raise Parse_error with a line number on malformed input. *)
+
+val load : string -> t
+(** [load path] reads and parses a file.
+    @raise Parse_error or [Sys_error]. *)
+
+val flows : t -> Params.flow array
+
+val run : ?scheduler:(Params.flow array -> Wireless_sched.instance) -> t -> Metrics.t
+(** Run the scenario; default scheduler is full WPS
+    ([Wps.create ~params:(Params.swapa ())]). *)

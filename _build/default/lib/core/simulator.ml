@@ -1,0 +1,164 @@
+module Packet = Wfs_traffic.Packet
+module Arrival = Wfs_traffic.Arrival
+module Channel = Wfs_channel.Channel
+module Predictor = Wfs_channel.Predictor
+module Tracelog = Wfs_sim.Tracelog
+
+type flow_setup = {
+  flow : Params.flow;
+  source : Arrival.t;
+  channel : Channel.t;
+}
+
+type config = {
+  flows : flow_setup array;
+  predictor : Predictor.kind;
+  horizon : int;
+  trace : Tracelog.t option;
+  observer : (int -> Metrics.t -> unit) option;
+  histograms : bool;
+}
+
+let config ?(predictor = Predictor.One_step) ?trace ?observer
+    ?(histograms = false) ~horizon flows =
+  if horizon < 0 then invalid_arg "Simulator.config: negative horizon";
+  if Array.length flows = 0 then invalid_arg "Simulator.config: no flows";
+  Array.iteri
+    (fun i fs ->
+      if fs.flow.Params.id <> i then
+        invalid_arg "Simulator.config: flow ids must be 0..n-1")
+    flows;
+  { flows; predictor; horizon; trace; observer; histograms }
+
+let delay_bound_of (p : Params.drop_policy) =
+  match p with
+  | Params.Delay_bound d | Params.Retx_or_delay (_, d) -> Some d
+  | Params.No_drop | Params.Retx_limit _ -> None
+
+let retx_limit_of (p : Params.drop_policy) =
+  match p with
+  | Params.Retx_limit k | Params.Retx_or_delay (k, _) -> Some k
+  | Params.No_drop | Params.Delay_bound _ -> None
+
+let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
+  let n = Array.length cfg.flows in
+  let metrics = Metrics.create ~histograms:cfg.histograms ~n_flows:n () in
+  let seqs = Array.make n 0 in
+  let predictors = Array.map (fun _ -> Predictor.create cfg.predictor) cfg.flows in
+  let record ~slot ev =
+    match cfg.trace with None -> () | Some tr -> Tracelog.record tr ~slot ev
+  in
+  for slot = 0 to cfg.horizon - 1 do
+    (* 1. Arrivals. *)
+    Array.iteri
+      (fun i fs ->
+        let count = Arrival.arrivals fs.source ~slot in
+        for _ = 1 to count do
+          let pkt = Packet.make ~flow:i ~seq:seqs.(i) ~arrival:slot () in
+          seqs.(i) <- seqs.(i) + 1;
+          Metrics.on_arrival metrics ~flow:i;
+          record ~slot (Tracelog.Arrival { flow = i; seq = pkt.Packet.seq });
+          match fs.flow.Params.buffer with
+          | Some limit when sched.queue_length i >= limit ->
+              (* Buffer overflow: the packet never enters the system. *)
+              Metrics.on_drop metrics ~flow:i;
+              record ~slot
+                (Tracelog.Drop { flow = i; seq = pkt.Packet.seq; reason = "buffer" })
+          | Some _ | None -> sched.enqueue ~slot pkt
+        done)
+      cfg.flows;
+    (* 2–3. Channel states and predictions. *)
+    let states = Array.mapi (fun i _ -> channel_state ~flow:i ~slot) cfg.flows in
+    let predicted_good i =
+      Channel.state_is_good (Predictor.predict predictors.(i) cfg.flows.(i).channel ~slot)
+    in
+    (* 4. Delay-bound drops (may discard packets anywhere in the queue). *)
+    Array.iteri
+      (fun i fs ->
+        match delay_bound_of fs.flow.Params.drop with
+        | None -> ()
+        | Some bound ->
+            let dropped = sched.drop_expired ~flow:i ~now:slot ~bound in
+            List.iter
+              (fun (pkt : Packet.t) ->
+                Metrics.on_drop metrics ~flow:i;
+                record ~slot
+                  (Tracelog.Drop { flow = i; seq = pkt.seq; reason = "delay" }))
+              dropped)
+      cfg.flows;
+    (* 5–6. Selection and transmission outcome. *)
+    (match sched.select ~slot ~predicted_good with
+    | None ->
+        Metrics.on_idle_slot metrics;
+        record ~slot Tracelog.Slot_idle
+    | Some f -> (
+        Metrics.on_busy_slot metrics;
+        match sched.head f with
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Simulator.run: scheduler selected flow %d with empty queue" f)
+        | Some pkt ->
+            if Channel.state_is_good states.(f) then begin
+              sched.complete ~flow:f;
+              let delay = slot - pkt.Packet.arrival in
+              Metrics.on_deliver metrics ~flow:f ~delay;
+              record ~slot
+                (Tracelog.Transmit_ok { flow = f; seq = pkt.Packet.seq; delay })
+            end
+            else begin
+              pkt.Packet.attempts <- pkt.Packet.attempts + 1;
+              Metrics.on_failed_attempt metrics ~flow:f;
+              sched.fail ~flow:f;
+              record ~slot
+                (Tracelog.Transmit_fail
+                   { flow = f; seq = pkt.Packet.seq; attempt = pkt.Packet.attempts });
+              match retx_limit_of cfg.flows.(f).flow.Params.drop with
+              | Some limit when pkt.Packet.attempts > limit ->
+                  sched.drop_head ~flow:f;
+                  Metrics.on_drop metrics ~flow:f;
+                  record ~slot
+                    (Tracelog.Drop { flow = f; seq = pkt.Packet.seq; reason = "retx" })
+              | Some _ | None -> ()
+            end));
+    (* 7. End-of-slot hooks. *)
+    sched.on_slot_end ~slot;
+    (match cfg.observer with None -> () | Some f -> f slot metrics)
+  done;
+  metrics
+
+let run cfg sched =
+  let channel_state ~flow ~slot =
+    Channel.advance cfg.flows.(flow).channel ~slot
+  in
+  (* Channels must advance exactly once per slot, before predictions read
+     them; run_generic calls [channel_state] once per flow per slot in
+     phase 2. *)
+  run_generic cfg sched ~channel_state
+
+let run_with_channels cfg sched ~channel_states =
+  if Array.length channel_states <> Array.length cfg.flows then
+    invalid_arg "Simulator.run_with_channels: one state row per flow required";
+  Array.iter
+    (fun row ->
+      if Array.length row < cfg.horizon then
+        invalid_arg "Simulator.run_with_channels: row shorter than horizon")
+    channel_states;
+  (* Feed the recorded states through trace channels so predictors see the
+     same view as in a live run. *)
+  let replay =
+    Array.map
+      (fun row ->
+        Wfs_channel.Trace_ch.create
+          (Array.to_list (Array.mapi (fun slot st -> (slot, st)) row)))
+      channel_states
+  in
+  let cfg =
+    {
+      cfg with
+      flows =
+        Array.mapi (fun i fs -> { fs with channel = replay.(i) }) cfg.flows;
+    }
+  in
+  let channel_state ~flow ~slot = Channel.advance replay.(flow) ~slot in
+  run_generic cfg sched ~channel_state

@@ -1,0 +1,57 @@
+(** Slotted wireless-cell simulator (the evaluation harness of Section 8).
+
+    Per slot, in order: (1) packet arrivals join their flow queues, (2) every
+    flow's channel advances one slot, (3) predictors produce per-flow
+    channel estimates, (4) delay-bound drop policies discard expired
+    packets, (5) the scheduler picks at most one flow to transmit, (6) the
+    transmission succeeds iff the flow's {e true} channel state is good —
+    on failure the packet stays at the head and its attempt count may
+    trigger a retransmission-limit drop, (7) end-of-slot hooks run.
+
+    All randomness lives in the sources and channels; given the same
+    scheduler and the same seeded components, runs are reproducible. *)
+
+type flow_setup = {
+  flow : Params.flow;
+  source : Wfs_traffic.Arrival.t;
+  channel : Wfs_channel.Channel.t;
+}
+
+type config = {
+  flows : flow_setup array;
+  predictor : Wfs_channel.Predictor.kind;
+  horizon : int;  (** number of slots to simulate *)
+  trace : Wfs_sim.Tracelog.t option;
+  observer : (int -> Metrics.t -> unit) option;
+      (** called at the end of every slot with the slot index and the live
+          metrics — used by the bounds verifier and tests to sample
+          cumulative service/lag trajectories *)
+  histograms : bool;
+      (** keep per-flow delay histograms so [Metrics.delay_percentile]
+          works on the result *)
+}
+
+val config :
+  ?predictor:Wfs_channel.Predictor.kind ->
+  ?trace:Wfs_sim.Tracelog.t ->
+  ?observer:(int -> Metrics.t -> unit) ->
+  ?histograms:bool ->
+  horizon:int ->
+  flow_setup array ->
+  config
+(** Default predictor: [One_step].
+    @raise Invalid_argument on a negative horizon, flow ids out of order,
+    or an empty flow array. *)
+
+val run : config -> Wireless_sched.instance -> Metrics.t
+(** Simulate [horizon] slots and return the collected metrics. *)
+
+val run_with_channels :
+  config ->
+  Wireless_sched.instance ->
+  channel_states:Wfs_channel.Channel.state array array ->
+  Metrics.t
+(** Like {!run} but forces the given per-flow, per-slot channel
+    realisations (outer index = flow, inner = slot) instead of advancing
+    [config]'s channels — used to compare schedulers on identical error
+    sample paths.  Each row must cover [horizon] slots. *)

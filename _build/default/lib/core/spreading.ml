@@ -1,0 +1,51 @@
+let frame ~weights =
+  let n = Array.length weights in
+  let eff = Array.map (fun w -> if w < 0 then 0 else w) weights in
+  let total = Array.fold_left ( + ) 0 eff in
+  if total = 0 then [||]
+  else begin
+    let sent = Array.make n 0 in
+    let out = Array.make total (-1) in
+    let eps = 1e-9 in
+    for pos = 0 to total - 1 do
+      let v = float_of_int pos /. float_of_int total in
+      (* Smallest finish tag among eligible slots; fall back to smallest
+         finish overall (always non-empty: some flow has slots left). *)
+      let consider restrict =
+        let best = ref None in
+        for i = 0 to n - 1 do
+          if sent.(i) < eff.(i) then begin
+            let w = float_of_int eff.(i) in
+            let start = float_of_int sent.(i) /. w in
+            let finish = float_of_int (sent.(i) + 1) /. w in
+            if (not restrict) || start <= v +. eps then
+              match !best with
+              | Some (_, bf) when bf <= finish -> ()
+              | Some _ | None -> best := Some (i, finish)
+          end
+        done;
+        !best
+      in
+      let choice =
+        match consider true with Some c -> Some c | None -> consider false
+      in
+      match choice with
+      | Some (i, _) ->
+          out.(pos) <- i;
+          sent.(i) <- sent.(i) + 1
+      | None -> assert false
+    done;
+    out
+  end
+
+let is_spread_of ~weights seq =
+  let n = Array.length weights in
+  let counts = Array.make n 0 in
+  let ok = ref true in
+  Array.iter
+    (fun i -> if i < 0 || i >= n then ok := false else counts.(i) <- counts.(i) + 1)
+    seq;
+  !ok
+  && Array.for_all2
+       (fun w c -> c = if w < 0 then 0 else w)
+       weights counts

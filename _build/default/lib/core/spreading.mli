@@ -1,0 +1,22 @@
+(** WF²Q slot spreading for WPS frames (Section 7).
+
+    Given per-flow effective weights, produce the order in which the frame's
+    slots are allocated.  The allocation equals the service order WF²Q would
+    give when every flow is continuously backlogged: slot [k] of flow [i]
+    has virtual start [k/w_i] and finish [(k+1)/w_i]; at each frame position
+    the eligible slot (start ≤ elapsed fraction of the frame) with the
+    smallest finish tag is placed.  Errors and bursts being the norm,
+    spreading a flow's slots evenly across the frame minimises the damage
+    of an error burst hitting consecutive slots (requirement (d) of
+    Section 7). *)
+
+val frame : weights:int array -> int array
+(** [frame ~weights] returns flow ids, one per slot, of length
+    [Σ max(weights, 0)]; flows with weight ≤ 0 receive no slots (WPS's
+    "ignore flows with effective weight < 0").
+    Deterministic: ties break toward the lower flow id. *)
+
+val is_spread_of : weights:int array -> int array -> bool
+(** Check that a sequence contains exactly [w_i] slots of each flow [i] —
+    used by tests and the MAC layer to validate externally supplied
+    frames. *)

@@ -1,0 +1,12 @@
+type instance = {
+  name : string;
+  enqueue : slot:int -> Wfs_traffic.Packet.t -> unit;
+  select : slot:int -> predicted_good:(int -> bool) -> int option;
+  head : int -> Wfs_traffic.Packet.t option;
+  complete : flow:int -> unit;
+  fail : flow:int -> unit;
+  drop_head : flow:int -> unit;
+  drop_expired : flow:int -> now:int -> bound:int -> Wfs_traffic.Packet.t list;
+  queue_length : int -> int;
+  on_slot_end : slot:int -> unit;
+}

@@ -1,0 +1,33 @@
+(** Runtime interface every wireless scheduler implements.
+
+    The {!Simulator} drives a scheduler through this record once per slot:
+    arrivals are enqueued, then [select] picks the flow to transmit given
+    the current channel {e predictions}, and the transmission outcome
+    (decided by the true channel state) is reported back via [complete] /
+    [fail] / [drop_head].  Schedulers own the per-flow packet queues so
+    they can make backlog-aware decisions. *)
+
+type instance = {
+  name : string;
+  enqueue : slot:int -> Wfs_traffic.Packet.t -> unit;
+      (** A packet arrived at the start of [slot]. *)
+  select : slot:int -> predicted_good:(int -> bool) -> int option;
+      (** Flow chosen to transmit in [slot], or [None] to idle.  Called
+          exactly once per slot, after all enqueues for that slot. *)
+  head : int -> Wfs_traffic.Packet.t option;
+      (** Head-of-line packet of a flow. *)
+  complete : flow:int -> unit;
+      (** The selected flow's head packet was delivered: consume it. *)
+  fail : flow:int -> unit;
+      (** The transmission failed; the packet stays at the head for
+          retransmission. *)
+  drop_head : flow:int -> unit;
+      (** Drop the head packet (retransmission limit exceeded). *)
+  drop_expired : flow:int -> now:int -> bound:int -> Wfs_traffic.Packet.t list;
+      (** Drop every queued packet older than [bound] slots; returns the
+          dropped packets (used for delay-bound loss accounting). *)
+  queue_length : int -> int;
+  on_slot_end : slot:int -> unit;
+      (** End-of-slot housekeeping (e.g. advancing IWFQ's fluid
+          reference). *)
+}

@@ -1,0 +1,324 @@
+module Packet = Wfs_traffic.Packet
+module Ring = Wfs_util.Ring
+module Tracelog = Wfs_sim.Tracelog
+
+type flow_state = {
+  cfg : Params.flow;
+  weight_int : int;
+  packets : Packet.t Queue.t;
+  credit : Credit.t;
+  mutable attempts : int;  (* transmissions counted against this frame *)
+  mutable eff : int;  (* effective weight of the current frame *)
+  mutable in_frame : bool;  (* participates in the current frame's accounts *)
+  mutable contending : bool;
+      (* still eligible to transmit this frame; cleared when the flow drains
+         its queue mid-frame (it then stays out until the next frame even if
+         it refills — Section 7 requirement (c)) *)
+}
+
+type t = {
+  params : Params.wps;
+  flows : flow_state array;
+  mutable frame : int array;  (* flow id per slot; -1 = deleted *)
+  mutable pos : int;
+  ring : int Ring.t;  (* cross-frame swap ring, marker persists *)
+  mutable ring_members : int list;  (* backlogged set the ring was built from *)
+  trace : Tracelog.t option;
+}
+
+let int_weight w =
+  let k = int_of_float (Float.round w) in
+  if k < 1 then 1 else k
+
+let create ?params ?limits ?trace flows =
+  let params = match params with Some p -> p | None -> Params.swapa () in
+  Params.validate_wps params;
+  Array.iteri
+    (fun i (f : Params.flow) ->
+      if f.id <> i then invalid_arg "Wps.create: flow ids must be 0..n-1")
+    flows;
+  (match limits with
+  | Some l when Array.length l <> Array.length flows ->
+      invalid_arg "Wps.create: limits must match flow count"
+  | Some _ | None -> ());
+  {
+    params;
+    flows =
+      Array.mapi
+        (fun i (cfg : Params.flow) ->
+          let weight_int = int_weight cfg.weight in
+          let credit_limit, debit_limit =
+            match limits with
+            | Some l -> l.(i)
+            | None -> (params.credit_limit, params.debit_limit)
+          in
+          {
+            cfg;
+            weight_int;
+            packets = Queue.create ();
+            credit =
+              Credit.create ~credit_limit ~debit_limit
+                ?credit_per_frame:params.credit_per_frame ~weight:weight_int ();
+            attempts = 0;
+            eff = 0;
+            in_frame = false;
+            contending = false;
+          })
+        flows;
+    frame = [||];
+    pos = 0;
+    ring = Ring.create [||];
+    ring_members = [];
+    trace;
+  }
+
+let record t ~slot ev =
+  match t.trace with None -> () | Some tr -> Tracelog.record tr ~slot ev
+
+let backlogged fs = not (Queue.is_empty fs.packets)
+
+(* Rebuild the cross-frame swap ring when the known-backlogged set changes
+   (the paper's "new queue phase"), spread by default weights. *)
+let refresh_ring t members =
+  if members <> t.ring_members then begin
+    let weights =
+      Array.mapi
+        (fun i fs -> if List.mem i members then fs.weight_int else 0)
+        t.flows
+    in
+    Ring.rebuild t.ring (Spreading.frame ~weights);
+    t.ring_members <- members
+  end
+
+(* Close the previous frame's accounts and open a new frame over the flows
+   known backlogged now. *)
+let new_frame t ~slot =
+  Array.iter
+    (fun fs ->
+      if fs.in_frame && t.params.credits then
+        Credit.end_frame fs.credit ~attempts:fs.attempts;
+      fs.attempts <- 0;
+      fs.in_frame <- false;
+      fs.contending <- false;
+      fs.eff <- 0)
+    t.flows;
+  let members = ref [] in
+  Array.iteri
+    (fun i fs -> if backlogged fs then members := i :: !members)
+    t.flows;
+  let members = List.rev !members in
+  List.iter
+    (fun i ->
+      let fs = t.flows.(i) in
+      fs.in_frame <- true;
+      fs.contending <- true;
+      fs.eff <-
+        (if t.params.credits then Credit.begin_frame fs.credit else fs.weight_int))
+    members;
+  let weights = Array.map (fun fs -> if fs.in_frame then fs.eff else 0) t.flows in
+  t.frame <- Spreading.frame ~weights;
+  t.pos <- 0;
+  refresh_ring t members;
+  if Array.length t.frame > 0 then
+    record t ~slot (Tracelog.Frame_start { length = Array.length t.frame })
+
+(* A flow drained its queue mid-frame: delete its remaining slots and make
+   sure the unused grant does not turn into credit (empty queues are not
+   compensable — only channel error is). *)
+let drop_from_frame t f =
+  let fs = t.flows.(f) in
+  for i = t.pos to Array.length t.frame - 1 do
+    if t.frame.(i) = f then t.frame.(i) <- -1
+  done;
+  fs.contending <- false;
+  if fs.attempts < fs.eff then fs.attempts <- fs.eff
+
+(* "No flow can transmit" for the exception case is read as universal
+   channel error: if some contending flow's channel is good, the blocked
+   flow's miss is attributable to its own channel error and stays
+   compensable even when the good-channel peers happen to have empty
+   queues (the fluid model compensates error, never idleness). *)
+let exists_good_channel t ~predicted_good =
+  let found = ref false in
+  Array.iteri
+    (fun i fs -> if (not !found) && fs.contending && predicted_good i then found := true)
+    t.flows;
+  !found
+
+(* Intra-frame swap: find a later slot in the frame held by a flow that is
+   backlogged and predicted good, and exchange it with position [pos]. *)
+let try_swap_intra t ~predicted_good ~slot =
+  let f = t.frame.(t.pos) in
+  let limit =
+    match t.params.swap_window with
+    | None -> Array.length t.frame
+    | Some w -> min (Array.length t.frame) (t.pos + w)
+  in
+  let rec scan j =
+    if j >= limit then false
+    else begin
+      let g = t.frame.(j) in
+      if g >= 0 && g <> f && backlogged t.flows.(g) && predicted_good g then begin
+        t.frame.(j) <- f;
+        t.frame.(t.pos) <- g;
+        record t ~slot (Tracelog.Swap { from_flow = f; to_flow = g });
+        true
+      end
+      else scan (j + 1)
+    end
+  in
+  scan (t.pos + 1)
+
+(* Cross-frame reallocation: hand the slot to the next good backlogged flow
+   on the marker ring; accounts settle implicitly through attempts. *)
+let try_swap_inter t ~predicted_good ~slot =
+  let f = t.frame.(t.pos) in
+  let eligible g =
+    g <> f && t.flows.(g).contending && backlogged t.flows.(g) && predicted_good g
+  in
+  match Ring.next_matching t.ring eligible with
+  | Some g ->
+      record t ~slot (Tracelog.Swap { from_flow = f; to_flow = g });
+      Some g
+  | None -> None
+
+let select t ~slot ~predicted_good =
+  (* Bounded by frame rebuilds: each pass either consumes a frame position
+     or rebuilds an exhausted frame, and an empty rebuild idles. *)
+  let rec pick ~rebuilt =
+    if t.pos >= Array.length t.frame then
+      if rebuilt then None
+      else begin
+        new_frame t ~slot;
+        if Array.length t.frame = 0 then None else pick ~rebuilt:true
+      end
+    else begin
+      let f = t.frame.(t.pos) in
+      if f < 0 then begin
+        t.pos <- t.pos + 1;
+        pick ~rebuilt
+      end
+      else begin
+        let fs = t.flows.(f) in
+        if not (backlogged fs) then begin
+          (* Case 1: the flow has no queue. *)
+          drop_from_frame t f;
+          pick ~rebuilt
+        end
+        else if predicted_good f || not t.params.skip_on_predicted_error then begin
+          (* Case 4 (or Blind WRR transmitting into the error). *)
+          t.pos <- t.pos + 1;
+          fs.attempts <- fs.attempts + 1;
+          Some f
+        end
+        else if t.params.swap_intra && try_swap_intra t ~predicted_good ~slot
+        then
+          (* Case 3a: the swapped-in flow now owns position [pos]. *)
+          pick ~rebuilt
+        else if t.params.swap_inter then begin
+          if not (exists_good_channel t ~predicted_good) then begin
+            (* Case 2: universal channel error; no credit for the missed
+               slot. *)
+            fs.attempts <- fs.attempts + 1;
+            t.pos <- t.pos + 1;
+            None
+          end
+          else
+            (* Case 3b: cross-frame swap via the marker ring; if every
+               good-channel peer is idle the slot is skipped with the
+               credit kept (attempts untouched). *)
+            match try_swap_inter t ~predicted_good ~slot with
+            | Some g ->
+                t.pos <- t.pos + 1;
+                t.flows.(g).attempts <- t.flows.(g).attempts + 1;
+                Some g
+            | None ->
+                t.pos <- t.pos + 1;
+                pick ~rebuilt
+        end
+        else if not t.params.credits then begin
+          (* Plain WRR "skips the slot": the physical slot is wasted and
+             nothing is owed to anyone (Section 8's WRR-I/P). *)
+          fs.attempts <- fs.attempts + 1;
+          t.pos <- t.pos + 1;
+          None
+        end
+        else begin
+          (* NoSwap / SwapW with no (or failed) intra-frame swap: give the
+             flow credit and "skip to the next slot" of the frame within
+             the same physical slot — the frame compresses, as in the
+             paper's get_next_slot scan.  The unincremented attempt count
+             becomes credit at frame end. *)
+          t.pos <- t.pos + 1;
+          pick ~rebuilt
+        end
+      end
+    end
+  in
+  pick ~rebuilt:false
+
+let enqueue t ~slot:_ (pkt : Packet.t) = Queue.push pkt t.flows.(pkt.flow).packets
+
+let head t flow =
+  match Queue.peek_opt t.flows.(flow).packets with
+  | Some pkt -> Some pkt
+  | None -> None
+
+let complete t ~flow =
+  match Queue.pop t.flows.(flow).packets with
+  | exception Queue.Empty -> invalid_arg "Wps.complete: empty queue"
+  | _pkt -> ()
+
+let fail _t ~flow:_ = ()
+
+let drop_head t ~flow =
+  match Queue.pop t.flows.(flow).packets with
+  | exception Queue.Empty -> invalid_arg "Wps.drop_head: empty queue"
+  | _ -> ()
+
+let drop_expired t ~flow ~now ~bound =
+  let fs = t.flows.(flow) in
+  let dropped = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt fs.packets with
+    | Some pkt when Packet.age pkt ~now > bound ->
+        ignore (Queue.pop fs.packets);
+        dropped := pkt :: !dropped
+    | Some _ | None -> continue := false
+  done;
+  List.rev !dropped
+
+let queue_length t flow = Queue.length t.flows.(flow).packets
+let on_slot_end _t ~slot:_ = ()
+
+let name_of_params (p : Params.wps) =
+  if not p.skip_on_predicted_error then "BlindWRR"
+  else if not p.credits then "WRR"
+  else if p.swap_inter then "SwapA"
+  else if p.swap_intra then "SwapW"
+  else "NoSwap"
+
+let instance t =
+  {
+    Wireless_sched.name = name_of_params t.params;
+    enqueue = (fun ~slot pkt -> enqueue t ~slot pkt);
+    select = (fun ~slot ~predicted_good -> select t ~slot ~predicted_good);
+    head = head t;
+    complete = (fun ~flow -> complete t ~flow);
+    fail = (fun ~flow -> fail t ~flow);
+    drop_head = (fun ~flow -> drop_head t ~flow);
+    drop_expired = (fun ~flow ~now ~bound -> drop_expired t ~flow ~now ~bound);
+    queue_length = queue_length t;
+    on_slot_end = (fun ~slot -> on_slot_end t ~slot);
+  }
+
+let credit t ~flow = Credit.balance t.flows.(flow).credit
+let effective_weight t ~flow = if t.flows.(flow).in_frame then t.flows.(flow).eff else 0
+
+let frame_snapshot t =
+  let len = Array.length t.frame in
+  let pos = min t.pos len in
+  Array.sub t.frame pos (len - pos)
+
+let frame_position t = t.pos

@@ -1,0 +1,1 @@
+lib/mac/backlog_set.ml: Array List

@@ -1,0 +1,1 @@
+lib/mac/backlog_set.mli:

@@ -1,0 +1,1 @@
+lib/mac/contention.ml: Array List Wfs_util

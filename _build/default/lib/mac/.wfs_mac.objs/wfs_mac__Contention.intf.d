@@ -1,0 +1,1 @@
+lib/mac/contention.mli: Wfs_util

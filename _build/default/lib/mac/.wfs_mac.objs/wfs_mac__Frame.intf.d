@@ -1,0 +1,1 @@
+lib/mac/frame.mli: Format

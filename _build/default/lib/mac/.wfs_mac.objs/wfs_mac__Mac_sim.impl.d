@@ -1,0 +1,1 @@
+lib/mac/mac_sim.ml: Array Contention Frame Hashtbl List Queue Wfs_channel Wfs_core Wfs_sim Wfs_traffic Wfs_util

@@ -1,0 +1,1 @@
+lib/mac/mac_sim.mli: Frame Wfs_channel Wfs_core Wfs_sim Wfs_traffic Wfs_util

@@ -1,0 +1,24 @@
+type t = { believed : int array }
+
+let create ~n_flows = { believed = Array.make n_flows 0 }
+
+let known t ~flow = t.believed.(flow) > 0
+let believed_queue t ~flow = t.believed.(flow)
+
+let report t ~flow ~queue =
+  if queue < 0 then invalid_arg "Backlog_set.report: negative queue";
+  t.believed.(flow) <- queue
+
+let notify t ~flow ~queue = t.believed.(flow) <- max 1 queue
+
+let decrement t ~flow =
+  if t.believed.(flow) > 0 then t.believed.(flow) <- t.believed.(flow) - 1
+
+let known_flows t =
+  let out = ref [] in
+  for i = Array.length t.believed - 1 downto 0 do
+    if t.believed.(i) > 0 then out := i :: !out
+  done;
+  !out
+
+let cardinal t = List.length (known_flows t)

@@ -1,0 +1,36 @@
+(** The base station's set of known backlogged flows (Section 6.1).
+
+    The scheduler may only allocate slots to flows the base station knows to
+    be backlogged.  Downlink queues are local, so their sizes are exact;
+    uplink queue sizes are {e beliefs}, refreshed from the counts flows
+    piggyback on their data packets, and a flow reporting zero is removed
+    from the set.  Uplink arrivals are invisible until reported, so the
+    believed size may trail the true size — exactly the information model
+    the paper imposes on the scheduler. *)
+
+type t
+
+val create : n_flows:int -> t
+
+val known : t -> flow:int -> bool
+(** Is the flow in the known-backlogged set? *)
+
+val believed_queue : t -> flow:int -> int
+(** The base station's current belief; 0 for unknown flows. *)
+
+val report : t -> flow:int -> queue:int -> unit
+(** A piggybacked (or locally observed) queue size: [queue = 0] removes the
+    flow from the set, a positive value (re)admits it. *)
+
+val notify : t -> flow:int -> queue:int -> unit
+(** A successful notification-slot contention: admit with the advertised
+    queue size (at least 1). *)
+
+val decrement : t -> flow:int -> unit
+(** One believed packet was served (keeps beliefs self-consistent between
+    reports); removes the flow when the belief reaches 0. *)
+
+val known_flows : t -> int list
+(** Ascending flow ids. *)
+
+val cardinal : t -> int

@@ -1,0 +1,42 @@
+type outcome = { winners : int list; collided : int list; deferred : int list }
+
+let resolve picks =
+  match picks with
+  | [] -> ([], [])
+  | _ ->
+      let max_slot = List.fold_left (fun acc (_, m) -> max acc m) 0 picks in
+      let count = Array.make (max_slot + 1) 0 in
+      List.iter (fun (_, m) -> count.(m) <- count.(m) + 1) picks;
+      let winners, collided = List.partition (fun (_, m) -> count.(m) = 1) picks in
+      (List.map fst winners, List.map fst collided)
+
+let contend ~rng ~minislots ~contenders =
+  if minislots <= 0 then invalid_arg "Contention.contend: minislots must be > 0";
+  let picks = List.map (fun c -> (c, Wfs_util.Rng.int rng minislots)) contenders in
+  let winners, collided = resolve picks in
+  { winners; collided; deferred = [] }
+
+let contend_aloha ~rng ~minislots ~persistence ~contenders =
+  if minislots <= 0 then invalid_arg "Contention.contend_aloha: minislots must be > 0";
+  if not (persistence > 0. && persistence <= 1.) then
+    invalid_arg "Contention.contend_aloha: persistence must be in (0,1]";
+  let transmitters, deferred =
+    List.partition (fun _ -> Wfs_util.Rng.bernoulli rng persistence) contenders
+  in
+  let picks =
+    List.map (fun c -> (c, Wfs_util.Rng.int rng minislots)) transmitters
+  in
+  let winners, collided = resolve picks in
+  { winners; collided; deferred }
+
+let success_probability ~minislots ~contenders =
+  if contenders <= 0 then 0.
+  else
+    (1. -. (1. /. float_of_int minislots)) ** float_of_int (contenders - 1)
+
+let aloha_success_probability ~minislots ~persistence ~contenders =
+  if contenders <= 0 then 0.
+  else
+    persistence
+    *. ((1. -. (persistence /. float_of_int minislots))
+       ** float_of_int (contenders - 1))

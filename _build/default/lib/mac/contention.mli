@@ -1,0 +1,46 @@
+(** Notification-slot contention (Section 6.2).
+
+    During a control slot's notification sub-slot, every mobile host with a
+    newly backlogged uplink flow (and no ongoing flow to piggyback on) picks
+    one mini-slot uniformly at random and transmits its notification there.
+    A mini-slot chosen by exactly one host succeeds; collided hosts learn
+    from the advertisement sub-slot that they failed and retry at the next
+    control slot.  (The paper notes slotted-ALOHA-style retry would improve
+    this; the single-shot rule here is its baseline.) *)
+
+type outcome = {
+  winners : int list;  (** contenders that got through, any order *)
+  collided : int list;  (** contenders that transmitted and collided *)
+  deferred : int list;  (** contenders that chose not to transmit (ALOHA) *)
+}
+
+val contend :
+  rng:Wfs_util.Rng.t -> minislots:int -> contenders:int list -> outcome
+(** The paper's baseline single-shot rule: every contender transmits in one
+    uniformly chosen mini-slot ([deferred] is always empty).
+    @raise Invalid_argument if [minislots <= 0]. *)
+
+val contend_aloha :
+  rng:Wfs_util.Rng.t ->
+  minislots:int ->
+  persistence:float ->
+  contenders:int list ->
+  outcome
+(** Section 6.2's suggested improvement: p-persistent slotted ALOHA.  Each
+    contender transmits with probability [persistence] (otherwise it
+    defers to the next control slot); transmitters pick a mini-slot
+    uniformly.  With many contenders a persistence below 1 raises the
+    expected number of winners per control slot.
+    @raise Invalid_argument if [minislots <= 0] or [persistence] is outside
+    (0, 1]. *)
+
+val success_probability : minislots:int -> contenders:int -> float
+(** Analytic per-contender success probability of the single-shot rule —
+    each of [contenders] picks one of [minislots] uniformly:
+    [(1 − 1/m)^(k−1)].  Used by tests to validate {!contend}
+    statistically. *)
+
+val aloha_success_probability :
+  minislots:int -> persistence:float -> contenders:int -> float
+(** Per-contender success probability under {!contend_aloha}:
+    [p · (1 − p/m)^(k−1)]. *)

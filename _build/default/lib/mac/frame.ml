@@ -1,0 +1,17 @@
+type direction = Uplink | Downlink
+
+type flow_addr = { host : int; direction : direction; index : int }
+
+let control_addr = { host = 0; direction = Downlink; index = 0 }
+
+let is_control a = a = control_addr
+
+let pp_addr ppf a =
+  Format.fprintf ppf "<%d,%s,%d>" a.host
+    (match a.direction with Uplink -> "up" | Downlink -> "down")
+    a.index
+
+type slot_kind = Data_slot of { flow : int } | Control_slot
+
+let advertised_window = 3
+let notification_minislots = 4

@@ -1,0 +1,262 @@
+module Core = Wfs_core
+module Packet = Wfs_traffic.Packet
+module Channel = Wfs_channel.Channel
+module Predictor = Wfs_channel.Predictor
+
+type flow_spec = {
+  addr : Frame.flow_addr;
+  weight : float;
+  source : Wfs_traffic.Arrival.t;
+  channel : Channel.t;
+  drop : Core.Params.drop_policy;
+}
+
+type contention_policy = Single_shot | Aloha of float
+
+type config = {
+  flows : flow_spec array;
+  control_weight : float;
+  wps : Core.Params.wps;
+  contention : contention_policy;
+  horizon : int;
+  rng : Wfs_util.Rng.t;
+  trace : Wfs_sim.Tracelog.t option;
+}
+
+let config ?(control_weight = 1.) ?wps ?(contention = Single_shot) ?trace ~rng
+    ~horizon flows =
+  if horizon < 0 then invalid_arg "Mac_sim.config: negative horizon";
+  let wps = match wps with Some p -> p | None -> Core.Params.swapa () in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun fs ->
+      if Frame.is_control fs.addr then
+        invalid_arg "Mac_sim.config: the control address is reserved";
+      if Hashtbl.mem seen fs.addr then
+        invalid_arg "Mac_sim.config: duplicate flow address";
+      Hashtbl.replace seen fs.addr ())
+    flows;
+  (match contention with
+  | Aloha p when not (p > 0. && p <= 1.) ->
+      invalid_arg "Mac_sim.config: ALOHA persistence must be in (0,1]"
+  | Aloha _ | Single_shot -> ());
+  { flows; control_weight; wps; contention; horizon; rng; trace }
+
+type result = {
+  metrics : Core.Metrics.t;
+  control_slots : int;
+  data_slots : int;
+  idle_slots : int;
+  notifications_won : int;
+  notification_collisions : int;
+  piggyback_reveals : int;
+  mean_reveal_delay : float;
+}
+
+(* Per-flow MAC-side state: packets the base station has not been told about
+   yet (uplink only — downlink queues live at the base station). *)
+type mac_flow = {
+  spec : flow_spec;
+  unknown : Packet.t Queue.t;
+  predictor : Predictor.t;
+}
+
+let is_uplink mf = mf.spec.addr.Frame.direction = Frame.Uplink
+
+let run cfg =
+  let n = Array.length cfg.flows in
+  let control = n in
+  (* WPS sees n data flows plus the always-backlogged control flow. *)
+  let params_flows =
+    Array.init (n + 1) (fun id ->
+        if id = control then
+          Core.Params.flow ~id ~weight:cfg.control_weight ()
+        else
+          Core.Params.flow ~id ~weight:cfg.flows.(id).weight
+            ~drop:cfg.flows.(id).drop ())
+  in
+  let wps = Core.Wps.create ~params:cfg.wps ?trace:cfg.trace params_flows in
+  let sched = Core.Wps.instance wps in
+  let mac =
+    Array.map
+      (fun spec ->
+        { spec; unknown = Queue.create (); predictor = Predictor.create One_step })
+      cfg.flows
+  in
+  let metrics = Core.Metrics.create ~n_flows:n () in
+  let reveal_delay = Wfs_util.Stats.Summary.create () in
+  let control_slots = ref 0 in
+  let data_slots = ref 0 in
+  let idle_slots = ref 0 in
+  let notifications_won = ref 0 in
+  let notification_collisions = ref 0 in
+  let piggyback_reveals = ref 0 in
+  let seqs = Array.make n 0 in
+  (* Keep the control flow's queue at exactly one dummy packet. *)
+  let control_seq = ref 0 in
+  let feed_control ~slot =
+    if sched.queue_length control = 0 then begin
+      let pkt = Packet.make ~flow:control ~seq:!control_seq ~arrival:slot () in
+      incr control_seq;
+      sched.enqueue ~slot pkt
+    end
+  in
+  let reveal ~slot ~via_piggyback flow =
+    let mf = mac.(flow) in
+    while not (Queue.is_empty mf.unknown) do
+      let pkt = Queue.pop mf.unknown in
+      Wfs_util.Stats.Summary.add reveal_delay
+        (float_of_int (slot - pkt.Packet.arrival));
+      if via_piggyback then incr piggyback_reveals;
+      sched.enqueue ~slot pkt
+    done
+  in
+  (* Piggybacking: a successful transmission from host [h] carries current
+     queue sizes for every flow of that host. *)
+  let piggyback_host ~slot host =
+    Array.iteri
+      (fun i mf ->
+        if is_uplink mf && mf.spec.addr.Frame.host = host then
+          reveal ~slot ~via_piggyback:true i)
+      mac
+  in
+  let known flow = sched.queue_length flow > 0 in
+  let host_has_known_flow host =
+    let found = ref false in
+    Array.iteri
+      (fun i mf ->
+        if
+          (not !found) && is_uplink mf
+          && mf.spec.addr.Frame.host = host
+          && known i
+        then found := true)
+      mac;
+    !found
+  in
+  let delay_bound_of = function
+    | Core.Params.Delay_bound d | Core.Params.Retx_or_delay (_, d) -> Some d
+    | Core.Params.No_drop | Core.Params.Retx_limit _ -> None
+  in
+  let retx_limit_of = function
+    | Core.Params.Retx_limit k | Core.Params.Retx_or_delay (k, _) -> Some k
+    | Core.Params.No_drop | Core.Params.Delay_bound _ -> None
+  in
+  for slot = 0 to cfg.horizon - 1 do
+    feed_control ~slot;
+    (* 1. Arrivals: downlink packets are immediately known; uplink packets
+       start invisible. *)
+    Array.iteri
+      (fun i mf ->
+        let count = Wfs_traffic.Arrival.arrivals mf.spec.source ~slot in
+        for _ = 1 to count do
+          let pkt = Packet.make ~flow:i ~seq:seqs.(i) ~arrival:slot () in
+          seqs.(i) <- seqs.(i) + 1;
+          Core.Metrics.on_arrival metrics ~flow:i;
+          if is_uplink mf then Queue.push pkt mf.unknown
+          else sched.enqueue ~slot pkt
+        done)
+      mac;
+    (* 2–3. Channels and one-step predictions (the control flow is always
+       good). *)
+    let states =
+      Array.map (fun mf -> Channel.advance mf.spec.channel ~slot) mac
+    in
+    let predicted_good i =
+      i = control
+      || Channel.state_is_good
+           (Predictor.predict mac.(i).predictor mac.(i).spec.channel ~slot)
+    in
+    (* 4. Delay-bound drops apply to known and still-invisible packets
+       alike (the host drops its own stale packets). *)
+    Array.iteri
+      (fun i mf ->
+        match delay_bound_of mf.spec.drop with
+        | None -> ()
+        | Some bound ->
+            List.iter
+              (fun (_pkt : Packet.t) -> Core.Metrics.on_drop metrics ~flow:i)
+              (sched.drop_expired ~flow:i ~now:slot ~bound);
+            let continue = ref true in
+            while !continue do
+              match Queue.peek_opt mf.unknown with
+              | Some pkt when Packet.age pkt ~now:slot > bound ->
+                  ignore (Queue.pop mf.unknown);
+                  Core.Metrics.on_drop metrics ~flow:i
+              | Some _ | None -> continue := false
+            done)
+      mac;
+    (* 5. Scheduling decision. *)
+    (match sched.select ~slot ~predicted_good with
+    | None ->
+        incr idle_slots;
+        Core.Metrics.on_idle_slot metrics
+    | Some f when f = control ->
+        (* Control slot: notification contention for unknown uplink flows
+           whose host has nothing to piggyback on. *)
+        incr control_slots;
+        sched.complete ~flow:control;
+        let contenders =
+          let out = ref [] in
+          Array.iteri
+            (fun i mf ->
+              if
+                is_uplink mf
+                && (not (Queue.is_empty mf.unknown))
+                && (not (known i))
+                && not (host_has_known_flow mf.spec.addr.Frame.host)
+              then out := i :: !out)
+            mac;
+          List.rev !out
+        in
+        let outcome =
+          match cfg.contention with
+          | Single_shot ->
+              Contention.contend ~rng:cfg.rng
+                ~minislots:Frame.notification_minislots ~contenders
+          | Aloha persistence ->
+              Contention.contend_aloha ~rng:cfg.rng
+                ~minislots:Frame.notification_minislots ~persistence
+                ~contenders
+        in
+        notifications_won := !notifications_won + List.length outcome.winners;
+        notification_collisions :=
+          !notification_collisions + List.length outcome.collided;
+        List.iter (reveal ~slot ~via_piggyback:false) outcome.winners
+    | Some f -> (
+        incr data_slots;
+        Core.Metrics.on_busy_slot metrics;
+        match sched.head f with
+        | None -> invalid_arg "Mac_sim.run: selected flow has empty queue"
+        | Some pkt ->
+            if Channel.state_is_good states.(f) then begin
+              sched.complete ~flow:f;
+              Core.Metrics.on_deliver metrics ~flow:f
+                ~delay:(slot - pkt.Packet.arrival);
+              (* The ack/data exchange carries piggybacked queue sizes for
+                 the transmitting host (uplink) — and the base station's own
+                 transmission lets every host monitor the channel. *)
+              if is_uplink mac.(f) then
+                piggyback_host ~slot mac.(f).spec.addr.Frame.host
+            end
+            else begin
+              pkt.Packet.attempts <- pkt.Packet.attempts + 1;
+              Core.Metrics.on_failed_attempt metrics ~flow:f;
+              sched.fail ~flow:f;
+              match retx_limit_of mac.(f).spec.drop with
+              | Some limit when pkt.Packet.attempts > limit ->
+                  sched.drop_head ~flow:f;
+                  Core.Metrics.on_drop metrics ~flow:f
+              | Some _ | None -> ()
+            end));
+    sched.on_slot_end ~slot
+  done;
+  {
+    metrics;
+    control_slots = !control_slots;
+    data_slots = !data_slots;
+    idle_slots = !idle_slots;
+    notifications_won = !notifications_won;
+    notification_collisions = !notification_collisions;
+    piggyback_reveals = !piggyback_reveals;
+    mean_reveal_delay = Wfs_util.Stats.Summary.mean reveal_delay;
+  }

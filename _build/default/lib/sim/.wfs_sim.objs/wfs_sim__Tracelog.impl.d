@@ -1,0 +1,1 @@
+lib/sim/tracelog.ml: Format List

@@ -1,0 +1,12 @@
+type t = { mutable now : float }
+
+let create () = { now = 0. }
+let now t = t.now
+
+let advance_to t target =
+  if target < t.now then
+    invalid_arg
+      (Printf.sprintf "Clock.advance_to: %g precedes current time %g" target t.now);
+  t.now <- target
+
+let reset t = t.now <- 0.

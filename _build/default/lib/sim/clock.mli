@@ -1,0 +1,17 @@
+(** Monotonic simulation clock.
+
+    A tiny mutable wrapper shared between co-simulated components (e.g. the
+    slotted wireless system and its continuous-time fluid reference) so they
+    agree on the current instant. *)
+
+type t
+
+val create : unit -> t
+(** Starts at time 0. *)
+
+val now : t -> float
+
+val advance_to : t -> float -> unit
+(** @raise Invalid_argument if the target precedes the current time. *)
+
+val reset : t -> unit

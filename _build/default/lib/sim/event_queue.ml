@@ -1,0 +1,16 @@
+type 'a t = (float * 'a) Wfs_util.Heap.t
+
+let create () =
+  Wfs_util.Heap.create ~leq:(fun (ta, _) (tb, _) -> ta <= tb) ()
+
+let schedule q ~at ev =
+  if Float.is_nan at then invalid_arg "Event_queue.schedule: NaN time";
+  Wfs_util.Heap.push q (at, ev)
+
+let next_time q =
+  match Wfs_util.Heap.peek q with None -> None | Some (t, _) -> Some t
+
+let pop q = Wfs_util.Heap.pop q
+let is_empty q = Wfs_util.Heap.is_empty q
+let length q = Wfs_util.Heap.length q
+let clear q = Wfs_util.Heap.clear q

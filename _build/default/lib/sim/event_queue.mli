@@ -1,0 +1,23 @@
+(** Discrete-event calendar.
+
+    A time-ordered queue of events used by the continuous-time components
+    (the GPS fluid reference and the MAC simulator).  Events scheduled for
+    the same instant fire in scheduling order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val schedule : 'a t -> at:float -> 'a -> unit
+(** [schedule q ~at ev] enqueues [ev] to fire at time [at].
+    @raise Invalid_argument if [at] is NaN. *)
+
+val next_time : 'a t -> float option
+(** Time of the earliest pending event. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event with its timestamp. *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val clear : 'a t -> unit

@@ -1,0 +1,24 @@
+type t = { mutable slot : int }
+
+let create () = { slot = -1 }
+let slot t = t.slot
+
+let run t ~slots step =
+  assert (slots >= 0);
+  for _ = 1 to slots do
+    t.slot <- t.slot + 1;
+    step t.slot
+  done
+
+let run_until t step ~max_slots =
+  assert (max_slots >= 0);
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue && !executed < max_slots do
+    t.slot <- t.slot + 1;
+    incr executed;
+    if not (step t.slot) then continue := false
+  done;
+  !executed
+
+let reset t = t.slot <- -1

@@ -1,0 +1,26 @@
+(** Driver for slotted (TDMA-style) simulations.
+
+    The wireless system of the paper is slotted: one fixed-size packet per
+    slot.  This module owns the slot loop so that every simulation advances
+    phases in the same order and instrumentation hooks observe a consistent
+    schedule. *)
+
+type t
+
+val create : unit -> t
+
+val slot : t -> int
+(** Index of the slot currently being executed (0-based); [-1] before the
+    first slot. *)
+
+val run : t -> slots:int -> (int -> unit) -> unit
+(** [run t ~slots step] executes [step s] for [s = 0 .. slots-1], updating
+    {!slot} before each call.  Can be called repeatedly to extend a run; slot
+    numbering continues from the previous call. *)
+
+val run_until : t -> (int -> bool) -> max_slots:int -> int
+(** [run_until t step ~max_slots] executes [step] until it returns [false]
+    or [max_slots] further slots have elapsed; returns the number of slots
+    executed. *)
+
+val reset : t -> unit

@@ -1,0 +1,39 @@
+type event =
+  | Arrival of { flow : int; seq : int }
+  | Transmit_ok of { flow : int; seq : int; delay : int }
+  | Transmit_fail of { flow : int; seq : int; attempt : int }
+  | Drop of { flow : int; seq : int; reason : string }
+  | Slot_idle
+  | Swap of { from_flow : int; to_flow : int }
+  | Credit of { flow : int; delta : int }
+  | Frame_start of { length : int }
+
+type entry = { slot : int; event : event }
+
+type t = { enabled : bool; mutable entries : entry list (* reversed *) }
+
+let create ?(enabled = true) () = { enabled; entries = [] }
+let enabled t = t.enabled
+
+let record t ~slot event =
+  if t.enabled then t.entries <- { slot; event } :: t.entries
+
+let events t = List.rev t.entries
+let filter t p = List.rev (List.filter p t.entries)
+
+let count t p =
+  List.fold_left (fun acc e -> if p e then acc + 1 else acc) 0 t.entries
+
+let clear t = t.entries <- []
+
+let pp_event ppf = function
+  | Arrival { flow; seq } -> Format.fprintf ppf "arrival f%d#%d" flow seq
+  | Transmit_ok { flow; seq; delay } ->
+      Format.fprintf ppf "tx-ok f%d#%d delay=%d" flow seq delay
+  | Transmit_fail { flow; seq; attempt } ->
+      Format.fprintf ppf "tx-fail f%d#%d attempt=%d" flow seq attempt
+  | Drop { flow; seq; reason } -> Format.fprintf ppf "drop f%d#%d (%s)" flow seq reason
+  | Slot_idle -> Format.fprintf ppf "idle"
+  | Swap { from_flow; to_flow } -> Format.fprintf ppf "swap f%d->f%d" from_flow to_flow
+  | Credit { flow; delta } -> Format.fprintf ppf "credit f%d %+d" flow delta
+  | Frame_start { length } -> Format.fprintf ppf "frame len=%d" length

@@ -1,0 +1,32 @@
+(** Structured event trace of a simulation run.
+
+    Optional recording of per-slot scheduler activity.  The bounds verifier
+    (lib/bounds) replays traces to check the theorems of Section 5 against
+    measured behaviour, and tests use traces to assert scheduling order. *)
+
+type event =
+  | Arrival of { flow : int; seq : int }
+  | Transmit_ok of { flow : int; seq : int; delay : int }
+  | Transmit_fail of { flow : int; seq : int; attempt : int }
+  | Drop of { flow : int; seq : int; reason : string }
+  | Slot_idle
+  | Swap of { from_flow : int; to_flow : int }
+  | Credit of { flow : int; delta : int }
+  | Frame_start of { length : int }
+
+type entry = { slot : int; event : event }
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** A disabled trace records nothing and costs nothing; default enabled. *)
+
+val enabled : t -> bool
+val record : t -> slot:int -> event -> unit
+val events : t -> entry list
+(** In chronological order. *)
+
+val filter : t -> (entry -> bool) -> entry list
+val count : t -> (entry -> bool) -> int
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit

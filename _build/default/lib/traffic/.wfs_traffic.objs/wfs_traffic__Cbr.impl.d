@@ -1,0 +1,1 @@
+lib/traffic/cbr.ml: Arrival Printf

@@ -1,0 +1,1 @@
+lib/traffic/mmpp.ml: Arrival Printf Wfs_util

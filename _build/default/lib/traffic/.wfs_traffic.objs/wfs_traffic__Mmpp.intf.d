@@ -1,0 +1,1 @@
+lib/traffic/mmpp.mli: Arrival Wfs_util

@@ -1,0 +1,1 @@
+lib/traffic/onoff.ml: Arrival Printf Wfs_util

@@ -1,0 +1,1 @@
+lib/traffic/onoff.mli: Arrival Wfs_util

@@ -1,0 +1,1 @@
+lib/traffic/packet.mli: Format

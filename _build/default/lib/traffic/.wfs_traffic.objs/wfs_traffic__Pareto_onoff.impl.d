@@ -1,0 +1,1 @@
+lib/traffic/pareto_onoff.ml: Arrival Float Printf Wfs_util

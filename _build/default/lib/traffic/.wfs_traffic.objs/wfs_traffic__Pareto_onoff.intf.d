@@ -1,0 +1,1 @@
+lib/traffic/pareto_onoff.mli: Arrival Wfs_util

@@ -1,0 +1,1 @@
+lib/traffic/poisson.ml: Arrival Printf Wfs_util

@@ -1,0 +1,1 @@
+lib/traffic/poisson.mli: Arrival Wfs_util

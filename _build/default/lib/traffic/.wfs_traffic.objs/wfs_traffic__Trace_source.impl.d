@@ -1,0 +1,1 @@
+lib/traffic/trace_source.ml: Arrival Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/traffic/trace_source.mli: Arrival

@@ -1,0 +1,6 @@
+type t = { label : string; mean_rate : float; step : int -> int }
+
+let make ~label ~mean_rate step = { label; mean_rate; step }
+let arrivals t ~slot = t.step slot
+let label t = t.label
+let mean_rate t = t.mean_rate

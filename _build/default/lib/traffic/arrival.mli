@@ -1,0 +1,23 @@
+(** Arrival-process abstraction.
+
+    An arrival process is queried once per slot and answers how many packets
+    arrive during that slot.  Concrete processes (CBR, Poisson, MMPP, on-off,
+    trace) live in sibling modules and all construct values of this type, so
+    simulators can mix heterogeneous sources freely. *)
+
+type t
+
+val make : label:string -> mean_rate:float -> (int -> int) -> t
+(** [make ~label ~mean_rate step] wraps [step], which receives the slot index
+    and returns the number of arrivals in that slot.  [mean_rate] is the
+    long-run packets-per-slot average, used for load accounting and display
+    only. *)
+
+val arrivals : t -> slot:int -> int
+(** Number of packets arriving in [slot].  Must be called with strictly
+    increasing slot indices; processes may keep internal state. *)
+
+val label : t -> string
+
+val mean_rate : t -> float
+(** Declared long-run rate in packets per slot. *)

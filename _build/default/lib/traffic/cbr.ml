@@ -1,0 +1,15 @@
+let create ?(phase = 0.) ~interarrival () =
+  if interarrival <= 0. then invalid_arg "Cbr.create: interarrival must be > 0";
+  let next = ref phase in
+  let step slot =
+    let slot_end = float_of_int (slot + 1) in
+    let count = ref 0 in
+    while !next < slot_end do
+      incr count;
+      next := !next +. interarrival
+    done;
+    !count
+  in
+  Arrival.make
+    ~label:(Printf.sprintf "cbr(1/%g)" interarrival)
+    ~mean_rate:(1. /. interarrival) step

@@ -1,0 +1,10 @@
+(** Constant-bit-rate source.
+
+    Deterministic arrivals every [interarrival] slots (fractional intervals
+    are supported; arrivals land in the slot containing their ideal instant).
+    Example 1's Source 2 is CBR with interarrival 2. *)
+
+val create : ?phase:float -> interarrival:float -> unit -> Arrival.t
+(** [create ~interarrival ()] emits the first packet in the slot containing
+    time [phase] (default 0, i.e. slot 0) and every [interarrival] slots
+    after.  [interarrival] must be positive. *)

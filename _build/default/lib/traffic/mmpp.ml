@@ -1,0 +1,52 @@
+type mode = On | Off
+
+type state = {
+  rng : Wfs_util.Rng.t;
+  on_to_off : float;
+  off_to_on : float;
+  on_rate : float;
+  mutable mode : mode;
+  mutable next_switch : float;  (* absolute time of the next mode change *)
+}
+
+let sojourn st =
+  let rate = match st.mode with On -> st.on_to_off | Off -> st.off_to_on in
+  Wfs_util.Rng.exponential st.rng ~rate
+
+(* Arrivals over a segment of length [dt] in the current mode. *)
+let arrivals_in_segment st dt =
+  match st.mode with
+  | Off -> 0
+  | On -> Wfs_util.Rng.poisson st.rng ~mean:(st.on_rate *. dt)
+
+let create ~rng ?(on_to_off = 9.) ?(off_to_on = 1.) ?(time_scale = 1.) ~on_rate () =
+  if on_to_off <= 0. || off_to_on <= 0. then
+    invalid_arg "Mmpp.create: modulating rates must be > 0";
+  if time_scale <= 0. then invalid_arg "Mmpp.create: time_scale must be > 0";
+  if on_rate < 0. then invalid_arg "Mmpp.create: negative on_rate";
+  let on_to_off = on_to_off /. time_scale and off_to_on = off_to_on /. time_scale in
+  let st =
+    { rng; on_to_off; off_to_on; on_rate; mode = Off; next_switch = 0. }
+  in
+  st.next_switch <- sojourn st;
+  let step slot =
+    let slot_start = float_of_int slot and slot_end = float_of_int (slot + 1) in
+    let count = ref 0 in
+    let cursor = ref slot_start in
+    while st.next_switch < slot_end do
+      count := !count + arrivals_in_segment st (st.next_switch -. !cursor);
+      cursor := st.next_switch;
+      st.mode <- (match st.mode with On -> Off | Off -> On);
+      st.next_switch <- st.next_switch +. sojourn st
+    done;
+    count := !count + arrivals_in_segment st (slot_end -. !cursor);
+    !count
+  in
+  let p_on = off_to_on /. (off_to_on +. on_to_off) in
+  Arrival.make
+    ~label:(Printf.sprintf "mmpp(on=%g,%g/%g)" on_rate on_to_off off_to_on)
+    ~mean_rate:(on_rate *. p_on) step
+
+let paper_source ?(time_scale = 20.) ~rng ~mean_rate () =
+  if mean_rate < 0. then invalid_arg "Mmpp.paper_source: negative mean_rate";
+  create ~rng ~on_to_off:9. ~off_to_on:1. ~time_scale ~on_rate:(10. *. mean_rate) ()

@@ -1,0 +1,22 @@
+let create ~rng ?(packets_per_on_slot = 1) ~p_on_to_off ~p_off_to_on () =
+  let check name p =
+    if not (p > 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Onoff.create: %s must be in (0,1]" name)
+  in
+  check "p_on_to_off" p_on_to_off;
+  check "p_off_to_on" p_off_to_on;
+  if packets_per_on_slot <= 0 then
+    invalid_arg "Onoff.create: packets_per_on_slot must be > 0";
+  let on = ref false in
+  let step _slot =
+    (* Switch decision at the slot boundary, then emit according to the new
+       state, so burst lengths are geometric with the stated parameters. *)
+    let p = if !on then p_on_to_off else p_off_to_on in
+    if Wfs_util.Rng.bernoulli rng p then on := not !on;
+    if !on then packets_per_on_slot else 0
+  in
+  let p_on = p_off_to_on /. (p_off_to_on +. p_on_to_off) in
+  Arrival.make
+    ~label:(Printf.sprintf "onoff(%d,%g/%g)" packets_per_on_slot p_on_to_off p_off_to_on)
+    ~mean_rate:(float_of_int packets_per_on_slot *. p_on)
+    step

@@ -1,0 +1,16 @@
+(** Discrete-time on-off source.
+
+    A simpler bursty source than {!Mmpp}: the source alternates between ON
+    and OFF periods with geometrically distributed lengths (in slots); while
+    ON it emits a fixed number of packets per slot.  Used by the example
+    applications to model talk-spurt style traffic. *)
+
+val create :
+  rng:Wfs_util.Rng.t ->
+  ?packets_per_on_slot:int ->
+  p_on_to_off:float ->
+  p_off_to_on:float ->
+  unit ->
+  Arrival.t
+(** [p_on_to_off] / [p_off_to_on] are per-slot switching probabilities in
+    (0,1]; [packets_per_on_slot] defaults to 1.  The source starts OFF. *)

@@ -1,0 +1,18 @@
+type t = {
+  flow : int;
+  seq : int;
+  arrival : int;
+  size : int;
+  mutable attempts : int;
+}
+
+let make ~flow ~seq ~arrival ?(size = 1) () =
+  assert (size > 0);
+  { flow; seq; arrival; size; attempts = 0 }
+
+let delay t ~departed = departed - t.arrival
+let age t ~now = now - t.arrival
+
+let pp ppf t =
+  Format.fprintf ppf "f%d#%d@%d(size=%d,att=%d)" t.flow t.seq t.arrival t.size
+    t.attempts

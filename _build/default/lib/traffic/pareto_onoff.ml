@@ -1,0 +1,37 @@
+let pareto ~rng ~shape ~scale =
+  let u = 1. -. Wfs_util.Rng.float rng in
+  (* u in (0,1] *)
+  scale /. (u ** (1. /. shape))
+
+(* Scale such that E[Pareto(shape, scale)] = shape*scale/(shape-1) equals
+   the requested mean. *)
+let scale_for ~shape ~mean = mean *. (shape -. 1.) /. shape
+
+let create ~rng ?(packets_per_on_slot = 1) ?(shape = 1.5) ~mean_on ~mean_off () =
+  if shape <= 1. then invalid_arg "Pareto_onoff.create: shape must be > 1";
+  if mean_on < 1. || mean_off < 1. then
+    invalid_arg "Pareto_onoff.create: means must be >= 1";
+  if packets_per_on_slot <= 0 then
+    invalid_arg "Pareto_onoff.create: packets_per_on_slot must be > 0";
+  let on_scale = scale_for ~shape ~mean:mean_on in
+  let off_scale = scale_for ~shape ~mean:mean_off in
+  let on = ref false in
+  let remaining = ref 0 in
+  let draw_period scale =
+    max 1 (int_of_float (Float.round (pareto ~rng ~shape ~scale)))
+  in
+  let step _slot =
+    if !remaining <= 0 then begin
+      on := not !on;
+      remaining := draw_period (if !on then on_scale else off_scale)
+    end;
+    decr remaining;
+    if !on then packets_per_on_slot else 0
+  in
+  let mean_rate =
+    float_of_int packets_per_on_slot *. mean_on /. (mean_on +. mean_off)
+  in
+  Arrival.make
+    ~label:
+      (Printf.sprintf "pareto-onoff(%g/%g,a=%g)" mean_on mean_off shape)
+    ~mean_rate step

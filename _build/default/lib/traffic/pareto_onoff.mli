@@ -1,0 +1,23 @@
+(** Heavy-tailed on-off source.
+
+    Like {!Onoff} but ON/OFF period lengths are Pareto-distributed, the
+    standard model for self-similar web traffic: rare, very long bursts
+    dominate.  Used by the web-browsing example to stress schedulers with
+    burst lengths that a geometric source never produces. *)
+
+val create :
+  rng:Wfs_util.Rng.t ->
+  ?packets_per_on_slot:int ->
+  ?shape:float ->
+  mean_on:float ->
+  mean_off:float ->
+  unit ->
+  Arrival.t
+(** ON/OFF period lengths (in slots, at least 1) are drawn from a Pareto
+    distribution with tail index [shape] (default 1.5 — infinite variance,
+    finite mean) scaled to the requested means.  [shape] must exceed 1 for
+    the mean to exist; [mean_on], [mean_off] must be ≥ 1. *)
+
+val pareto : rng:Wfs_util.Rng.t -> shape:float -> scale:float -> float
+(** One Pareto(shape, scale) draw: [scale / U^(1/shape)], support
+    [\[scale, ∞)].  Exposed for tests. *)

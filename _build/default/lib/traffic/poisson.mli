@@ -1,0 +1,6 @@
+(** Poisson source: i.i.d. Poisson(rate) arrivals per slot.
+
+    Examples 3–5 use Poisson sources (λ = 0.25, 8.0, 0.07, ...). *)
+
+val create : rng:Wfs_util.Rng.t -> rate:float -> Arrival.t
+(** [rate] in packets per slot; must be non-negative. *)

@@ -1,0 +1,20 @@
+let create arrivals =
+  let tbl = Hashtbl.create 16 in
+  let total = ref 0 in
+  let horizon = ref 0 in
+  List.iter
+    (fun (slot, count) ->
+      if slot < 0 || count < 0 then
+        invalid_arg "Trace_source.create: negative slot or count";
+      total := !total + count;
+      if slot + 1 > !horizon then horizon := slot + 1;
+      Hashtbl.replace tbl slot
+        (count + Option.value ~default:0 (Hashtbl.find_opt tbl slot)))
+    arrivals;
+  let mean_rate =
+    if !horizon = 0 then 0. else float_of_int !total /. float_of_int !horizon
+  in
+  let step slot = Option.value ~default:0 (Hashtbl.find_opt tbl slot) in
+  Arrival.make ~label:"trace" ~mean_rate step
+
+let of_slots slots = create (List.map (fun s -> (s, 1)) slots)

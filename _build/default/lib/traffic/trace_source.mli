@@ -1,0 +1,13 @@
+(** Trace-driven source.
+
+    Replays a fixed list of (slot, count) arrivals — used in unit tests to
+    construct exact scenarios (e.g. the fairness counterexample of Section 3)
+    and to feed recorded workloads into the simulator. *)
+
+val create : (int * int) list -> Arrival.t
+(** [create arrivals] with [(slot, count)] pairs; slots may appear in any
+    order and duplicate slots accumulate.
+    @raise Invalid_argument on a negative slot or count. *)
+
+val of_slots : int list -> Arrival.t
+(** [of_slots slots]: one packet in each listed slot. *)

@@ -1,0 +1,110 @@
+(* Binary min-heap over a growable array.  Each element carries an insertion
+   sequence number so that equal-priority elements pop FIFO — schedulers rely
+   on this for deterministic tie-breaking. *)
+
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(initial_capacity = 16) ~leq () =
+  ignore initial_capacity;
+  { leq; data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* [before a b]: should entry [a] pop before entry [b]? *)
+let before t a b =
+  if t.leq a.value b.value then
+    if t.leq b.value a.value then a.seq < b.seq else true
+  else false
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.size >= cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    (* Dummy from an existing element or lazily via Obj-free trick: we only
+       grow when size >= cap, and when cap = 0 we can't have a template, so
+       we delay allocation to the first push. *)
+    let template = if t.size > 0 then t.data.(0) else invalid_arg "Heap.grow" in
+    let ndata = Array.make ncap template in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let push t v =
+  let entry = { value = v; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.data = 0 then t.data <- Array.make 16 entry
+  else if t.size >= Array.length t.data then grow t;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before t t.data.(!i) t.data.(parent) then begin
+      let tmp = t.data.(parent) in
+      t.data.(parent) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek t = if t.size = 0 then None else Some t.data.(0).value
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before t t.data.(l) t.data.(!smallest) then smallest := l;
+    if r < t.size && before t t.data.(r) t.data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = t.data.(!smallest) in
+      t.data.(!smallest) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0).value in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t
+    end;
+    Some top
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some v -> v
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0
+
+let to_list t =
+  let rec build i acc = if i < 0 then acc else build (i - 1) (t.data.(i).value :: acc) in
+  build (t.size - 1) []
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i).value
+  done;
+  !acc

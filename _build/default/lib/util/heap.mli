@@ -1,0 +1,35 @@
+(** Imperative binary min-heap.
+
+    Used as the priority queue of the discrete-event calendar and for
+    tag-ordered selection in the fair-queueing schedulers.  Ordering is
+    supplied at creation; ties are broken by insertion order so that
+    schedulers have deterministic, FIFO-stable behaviour. *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> leq:('a -> 'a -> bool) -> unit -> 'a t
+(** [create ~leq ()] makes an empty heap ordered by [leq] (a total preorder:
+    [leq a b] means [a] may be served before [b]).  Elements comparing equal
+    are popped in insertion order. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in unspecified order. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over contents in unspecified order. *)

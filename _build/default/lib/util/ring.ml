@@ -1,0 +1,44 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable pos : int;  (* index of the element under the marker; -1 = fresh *)
+}
+
+let create items = { data = Array.copy items; pos = -1 }
+
+let length t = Array.length t.data
+let is_empty t = Array.length t.data = 0
+let items t = Array.copy t.data
+
+let marker t =
+  if t.pos < 0 || t.pos >= Array.length t.data then None else Some t.data.(t.pos)
+
+let next t =
+  let n = Array.length t.data in
+  if n = 0 then None
+  else begin
+    t.pos <- (t.pos + 1) mod n;
+    Some t.data.(t.pos)
+  end
+
+let next_matching t p =
+  let n = Array.length t.data in
+  if n = 0 then None
+  else begin
+    let start = t.pos in
+    let rec scan tried =
+      if tried >= n then begin
+        t.pos <- start;
+        None
+      end
+      else begin
+        let candidate = (if t.pos < 0 then 0 else (t.pos + 1) mod n) in
+        t.pos <- candidate;
+        if p t.data.(candidate) then Some t.data.(candidate) else scan (tried + 1)
+      end
+    in
+    scan 0
+  end
+
+let rebuild t items =
+  t.data <- Array.copy items;
+  t.pos <- -1

@@ -1,0 +1,33 @@
+(** Circular sequence with a persistent marker.
+
+    WPS keeps a weighted round-robin ring (WF²Q-spread) of the known
+    backlogged flows; a marker remembers the last position used for
+    cross-frame slot swapping, so repeated swaps rotate through flows rather
+    than always penalising the same one (Section 7 of the paper). *)
+
+type 'a t
+
+val create : 'a array -> 'a t
+(** [create items] builds a ring over a copy of [items]; the marker starts
+    just before the first element.  The ring may be empty. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val items : 'a t -> 'a array
+(** Copy of the contents in ring order starting at index 0. *)
+
+val marker : 'a t -> 'a option
+(** Element currently under the marker, or [None] for an empty ring or a
+    marker that has not advanced yet. *)
+
+val next : 'a t -> 'a option
+(** Advance the marker one position (cyclically) and return the element. *)
+
+val next_matching : 'a t -> ('a -> bool) -> 'a option
+(** [next_matching t p] advances the marker until an element satisfying [p]
+    is found, visiting each element at most once; [None] if no element
+    matches (marker returns to its original position in that case). *)
+
+val rebuild : 'a t -> 'a array -> unit
+(** Replace the contents, resetting the marker. *)

@@ -1,0 +1,116 @@
+(* xoshiro256** with splitmix64 seeding.  Chosen over Stdlib.Random to keep
+   sample paths stable across OCaml releases and to support cheap stream
+   splitting. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let float t =
+  (* Top 53 bits scaled to [0,1). *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let int t n =
+  assert (n > 0);
+  (* Rejection sampling on the low bits to avoid modulo bias. *)
+  if n = 1 then 0
+  else begin
+    let mask =
+      let rec widen m = if m >= n - 1 then m else widen ((m lsl 1) lor 1) in
+      widen 1
+    in
+    let rec draw () =
+      let v = Int64.to_int (Int64.logand (bits64 t) 0x3FFFFFFFFFFFFFFFL) land mask in
+      if v < n then v else draw ()
+    in
+    draw ()
+  end
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let bernoulli t p = float t < p
+
+let exponential t ~rate =
+  assert (rate > 0.);
+  let u = float t in
+  (* 1 - u is in (0,1], so log is finite. *)
+  -.log (1. -. u) /. rate
+
+let poisson t ~mean =
+  assert (mean >= 0.);
+  if mean = 0. then 0
+  else if mean < 500. then begin
+    (* Inversion by sequential search (Knuth), linear in the mean. *)
+    let limit = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. float t in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end
+  else begin
+    (* Normal approximation; adequate for the rare huge-mean case. *)
+    let u1 = float t and u2 = float t in
+    let z = sqrt (-2. *. log (1. -. u1)) *. cos (2. *. Float.pi *. u2) in
+    let x = mean +. (sqrt mean *. z) in
+    if x < 0. then 0 else int_of_float (Float.round x)
+  end
+
+let geometric t ~p =
+  assert (p > 0. && p <= 1.);
+  if p = 1. then 0
+  else
+    let u = float t in
+    int_of_float (floor (log (1. -. u) /. log (1. -. p)))
+
+let uniform t ~lo ~hi =
+  assert (hi >= lo);
+  lo +. ((hi -. lo) *. float t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

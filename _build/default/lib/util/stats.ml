@@ -1,0 +1,120 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable minv : float;
+    mutable maxv : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.; m2 = 0.; minv = nan; maxv = nan; total = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if t.n = 1 then begin
+      t.minv <- x;
+      t.maxv <- x
+    end
+    else begin
+      if x < t.minv then t.minv <- x;
+      if x > t.maxv then t.maxv <- x
+    end
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int t.n
+  let stddev t = sqrt (variance t)
+  let min t = t.minv
+  let max t = t.maxv
+  let total t = t.total
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+      in
+      {
+        n;
+        mean;
+        m2;
+        minv = Float.min a.minv b.minv;
+        maxv = Float.max a.maxv b.maxv;
+        total = a.total +. b.total;
+      }
+    end
+end
+
+module Histogram = struct
+  type t = {
+    bin_width : float;
+    mutable bins : int array;
+    mutable n : int;
+    summary : Summary.t;
+  }
+
+  let create ?(bin_width = 1.0) () =
+    assert (bin_width > 0.);
+    { bin_width; bins = Array.make 64 0; n = 0; summary = Summary.create () }
+
+  let bin_of t x =
+    if x <= 0. then 0 else int_of_float (x /. t.bin_width)
+
+  let add t x =
+    let b = bin_of t x in
+    if b >= Array.length t.bins then begin
+      let ncap =
+        let rec widen c = if c > b then c else widen (c * 2) in
+        widen (Array.length t.bins)
+      in
+      let nbins = Array.make ncap 0 in
+      Array.blit t.bins 0 nbins 0 (Array.length t.bins);
+      t.bins <- nbins
+    end;
+    t.bins.(b) <- t.bins.(b) + 1;
+    t.n <- t.n + 1;
+    Summary.add t.summary x
+
+  let count t = t.n
+
+  let percentile t p =
+    assert (p >= 0. && p <= 100.);
+    if t.n = 0 then nan
+    else begin
+      let target = int_of_float (ceil (p /. 100. *. float_of_int t.n)) in
+      let target = if target < 1 then 1 else target in
+      let rec scan i acc =
+        if i >= Array.length t.bins then float_of_int (Array.length t.bins) *. t.bin_width
+        else
+          let acc = acc + t.bins.(i) in
+          if acc >= target then float_of_int i *. t.bin_width else scan (i + 1) acc
+      in
+      scan 0 0
+    end
+
+  let mean t = Summary.mean t.summary
+  let max_value t = Summary.max t.summary
+end
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+  let incr_by t k = t.v <- t.v + k
+  let value t = t.v
+
+  let ratio t ~over =
+    if over.v = 0 then 0. else float_of_int t.v /. float_of_int over.v
+end

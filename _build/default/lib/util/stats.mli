@@ -1,0 +1,58 @@
+(** Streaming statistics for simulation metrics.
+
+    {!Summary} accumulates count/mean/variance/min/max in O(1) space
+    (Welford's algorithm); {!Histogram} adds fixed-width binning for
+    percentile estimates; {!Counter} tracks simple event ratios such as
+    packet loss. *)
+
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Population variance; 0 when fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [nan] when empty. *)
+
+  val max : t -> float
+  (** [nan] when empty. *)
+
+  val total : t -> float
+  val merge : t -> t -> t
+  (** Combine two summaries as if all samples were added to one. *)
+end
+
+module Histogram : sig
+  type t
+
+  val create : ?bin_width:float -> unit -> t
+  (** Fixed-width bins starting at 0; values below 0 clamp to bin 0.
+      Default bin width 1.0 (natural for slot-valued delays). *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile h p] for [p] in [0,100]: lower edge of the bin containing
+      the p-th percentile sample.  [nan] when empty. *)
+
+  val mean : t -> float
+  val max_value : t -> float
+end
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val incr_by : t -> int -> unit
+  val value : t -> int
+  val ratio : t -> over:t -> float
+  (** [ratio num ~over:den] = num/den, 0 when [den] is zero. *)
+end

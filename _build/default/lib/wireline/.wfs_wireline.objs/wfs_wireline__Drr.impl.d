@@ -1,0 +1,1 @@
+lib/wireline/drr.ml: Array Flow Job Queue Sched_intf

@@ -1,0 +1,1 @@
+lib/wireline/drr.mli: Flow Job Sched_intf

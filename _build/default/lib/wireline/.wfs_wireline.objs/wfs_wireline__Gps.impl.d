@@ -1,0 +1,1 @@
+lib/wireline/gps.ml: Array Float Flow List Printf Wfs_util

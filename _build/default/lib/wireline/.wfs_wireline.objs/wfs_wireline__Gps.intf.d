@@ -1,0 +1,1 @@
+lib/wireline/gps.mli: Flow

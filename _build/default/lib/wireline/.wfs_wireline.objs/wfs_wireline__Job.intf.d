@@ -1,0 +1,1 @@
+lib/wireline/job.mli: Format

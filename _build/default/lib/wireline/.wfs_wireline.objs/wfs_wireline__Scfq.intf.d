@@ -1,0 +1,1 @@
+lib/wireline/scfq.mli: Flow Job Sched_intf

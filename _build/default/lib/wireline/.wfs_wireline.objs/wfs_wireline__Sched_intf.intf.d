@@ -1,0 +1,1 @@
+lib/wireline/sched_intf.mli: Job

@@ -1,0 +1,1 @@
+lib/wireline/server.ml: Float Hashtbl Job List Option Sched_intf

@@ -1,0 +1,1 @@
+lib/wireline/server.mli: Job Sched_intf

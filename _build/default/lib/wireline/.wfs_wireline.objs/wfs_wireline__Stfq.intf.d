@@ -1,0 +1,1 @@
+lib/wireline/stfq.mli: Flow Job Sched_intf

@@ -1,0 +1,1 @@
+lib/wireline/virtual_clock.ml: Array Float Flow Job Sched_intf Wfs_util

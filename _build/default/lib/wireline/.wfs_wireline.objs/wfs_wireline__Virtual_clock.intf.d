@@ -1,0 +1,1 @@
+lib/wireline/virtual_clock.mli: Flow Job Sched_intf

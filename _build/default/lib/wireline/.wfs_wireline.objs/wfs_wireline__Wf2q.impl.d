@@ -1,0 +1,1 @@
+lib/wireline/wf2q.ml: Gps Job Sched_intf Wfs_util

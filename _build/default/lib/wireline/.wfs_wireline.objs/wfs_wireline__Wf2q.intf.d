@@ -1,0 +1,1 @@
+lib/wireline/wf2q.mli: Flow Gps Job Sched_intf

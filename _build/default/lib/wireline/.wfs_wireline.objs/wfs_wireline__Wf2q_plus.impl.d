@@ -1,0 +1,1 @@
+lib/wireline/wf2q_plus.ml: Array Float Flow Job Option Queue Sched_intf

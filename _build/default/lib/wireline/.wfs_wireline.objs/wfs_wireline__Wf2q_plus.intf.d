@@ -1,0 +1,1 @@
+lib/wireline/wf2q_plus.mli: Flow Job Sched_intf

@@ -1,0 +1,1 @@
+lib/wireline/wfq.ml: Gps Hashtbl Job Sched_intf Wfs_util

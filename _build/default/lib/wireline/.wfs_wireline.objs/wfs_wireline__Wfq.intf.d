@@ -1,0 +1,1 @@
+lib/wireline/wfq.mli: Flow Gps Job Sched_intf

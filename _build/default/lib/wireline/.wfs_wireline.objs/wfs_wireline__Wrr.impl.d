@@ -1,0 +1,1 @@
+lib/wireline/wrr.ml: Array Float Flow Job Queue Sched_intf

@@ -1,0 +1,1 @@
+lib/wireline/wrr.mli: Flow Job Sched_intf

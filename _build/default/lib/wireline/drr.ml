@@ -1,0 +1,100 @@
+type t = {
+  quanta : float array;  (* per-round deficit increment per flow *)
+  queues : Job.t Queue.t array;
+  deficit : float array;
+  active : int Queue.t;  (* round-robin list of backlogged flow ids *)
+  in_active : bool array;
+  mutable current : int option;  (* flow holding the round, if any *)
+  mutable total_queued : int;
+}
+
+let create ?(quantum = 1.0) ~capacity flows =
+  ignore capacity;
+  if quantum <= 0. then invalid_arg "Drr.create: quantum must be > 0";
+  Array.iteri
+    (fun i (f : Flow.t) ->
+      if f.id <> i then invalid_arg "Drr.create: flow ids must be 0..n-1")
+    flows;
+  let n = Array.length flows in
+  {
+    quanta = Array.map (fun (f : Flow.t) -> quantum *. f.weight) flows;
+    queues = Array.init n (fun _ -> Queue.create ());
+    deficit = Array.make n 0.;
+    active = Queue.create ();
+    in_active = Array.make n false;
+    current = None;
+    total_queued = 0;
+  }
+
+let enqueue t (job : Job.t) =
+  if job.flow < 0 || job.flow >= Array.length t.queues then
+    invalid_arg "Drr.enqueue: unknown flow";
+  Queue.push job t.queues.(job.flow);
+  t.total_queued <- t.total_queued + 1;
+  if not t.in_active.(job.flow) then begin
+    (* A flow (re)entering the active list starts a fresh round with an
+       empty deficit, as in the original algorithm. *)
+    t.deficit.(job.flow) <- 0.;
+    t.in_active.(job.flow) <- true;
+    Queue.push job.flow t.active
+  end
+
+let dequeue t ~time =
+  ignore time;
+  if t.total_queued = 0 then None
+  else begin
+    (* The flow holding the round keeps sending while its deficit covers
+       the head packet; it yields (rejoining the active tail if still
+       backlogged) once the deficit runs out. *)
+    let rec serve () =
+      match t.current with
+      | Some flow ->
+          if Queue.is_empty t.queues.(flow) then begin
+            t.in_active.(flow) <- false;
+            t.deficit.(flow) <- 0.;
+            t.current <- None;
+            serve ()
+          end
+          else begin
+            let head = Queue.peek t.queues.(flow) in
+            if t.deficit.(flow) >= head.Job.size then begin
+              let job = Queue.pop t.queues.(flow) in
+              t.deficit.(flow) <- t.deficit.(flow) -. job.Job.size;
+              t.total_queued <- t.total_queued - 1;
+              if Queue.is_empty t.queues.(flow) then begin
+                t.in_active.(flow) <- false;
+                t.deficit.(flow) <- 0.;
+                t.current <- None
+              end;
+              Some job
+            end
+            else begin
+              Queue.push flow t.active;
+              t.current <- None;
+              serve ()
+            end
+          end
+      | None ->
+          let flow = Queue.pop t.active in
+          if Queue.is_empty t.queues.(flow) then begin
+            (* Stale entry: the flow drained earlier in this round. *)
+            t.in_active.(flow) <- false;
+            serve ()
+          end
+          else begin
+            t.deficit.(flow) <- t.deficit.(flow) +. t.quanta.(flow);
+            t.current <- Some flow;
+            serve ()
+          end
+    in
+    serve ()
+  end
+
+let queued t = t.total_queued
+let deficit t ~flow = t.deficit.(flow)
+
+let instance ?quantum ~capacity flows =
+  let t = create ?quantum ~capacity flows in
+  Sched_intf.make ~name:"DRR" ~enqueue:(enqueue t)
+    ~dequeue:(fun ~time -> dequeue t ~time)
+    ~queued:(fun () -> queued t)

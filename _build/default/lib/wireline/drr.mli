@@ -1,0 +1,18 @@
+(** Deficit Round Robin — Shreedhar & Varghese 1995.
+
+    Byte-accurate round robin for variable packet sizes: each backlogged
+    flow banks [quantum × weight] per round and sends head-of-line packets
+    while its deficit covers them.  Included as the standard low-cost
+    wireline baseline alongside WRR. *)
+
+type t
+
+val create : ?quantum:float -> capacity:float -> Flow.t array -> t
+(** [quantum] is the base per-round allowance in bits (default: the largest
+    weight-normalised packet we expect, 1.0). *)
+
+val enqueue : t -> Job.t -> unit
+val dequeue : t -> time:float -> Job.t option
+val queued : t -> int
+val deficit : t -> flow:int -> float
+val instance : ?quantum:float -> capacity:float -> Flow.t array -> Sched_intf.instance

@@ -1,0 +1,9 @@
+type t = { id : int; weight : float }
+
+let make ~id ~weight =
+  if weight <= 0. then invalid_arg "Flow.make: weight must be > 0";
+  { id; weight }
+
+let equal_weights n = Array.init n (fun id -> make ~id ~weight:1.)
+let of_weights weights = Array.mapi (fun id weight -> make ~id ~weight) weights
+let total_weight flows = Array.fold_left (fun acc f -> acc +. f.weight) 0. flows

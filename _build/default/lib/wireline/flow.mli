@@ -1,0 +1,17 @@
+(** Flow descriptors for the wireline substrate.
+
+    A flow is a stream of packets sharing one queue and one weight [r] (the
+    paper's [r_i]); weights are real-valued and need not be normalised. *)
+
+type t = { id : int; weight : float }
+
+val make : id:int -> weight:float -> t
+(** @raise Invalid_argument on a non-positive weight. *)
+
+val equal_weights : int -> t array
+(** [equal_weights n] is n flows with ids [0..n-1] and weight 1. *)
+
+val of_weights : float array -> t array
+(** Flows with ids [0..n-1] and the given weights. *)
+
+val total_weight : t array -> float

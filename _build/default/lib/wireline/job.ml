@@ -1,0 +1,9 @@
+type t = { flow : int; seq : int; arrival : float; size : float }
+
+let make ~flow ~seq ~arrival ~size =
+  if size <= 0. then invalid_arg "Job.make: size must be > 0";
+  if arrival < 0. then invalid_arg "Job.make: negative arrival";
+  { flow; seq; arrival; size }
+
+let pp ppf t =
+  Format.fprintf ppf "f%d#%d@%g(%g bits)" t.flow t.seq t.arrival t.size

@@ -1,0 +1,17 @@
+(** Self-Clocked Fair Queueing — Golestani 1994.
+
+    Avoids the fluid reference entirely: the system virtual time is the
+    finish tag of the packet currently in service, so tags cost O(1).
+    Slightly weaker delay bounds than WFQ, much cheaper. *)
+
+type t
+
+val create : capacity:float -> Flow.t array -> t
+val enqueue : t -> Job.t -> unit
+val dequeue : t -> time:float -> Job.t option
+val queued : t -> int
+
+val virtual_time : t -> float
+(** Current self-clocked virtual time. *)
+
+val instance : capacity:float -> Flow.t array -> Sched_intf.instance

@@ -1,0 +1,8 @@
+type instance = {
+  name : string;
+  enqueue : Job.t -> unit;
+  dequeue : time:float -> Job.t option;
+  queued : unit -> int;
+}
+
+let make ~name ~enqueue ~dequeue ~queued = { name; enqueue; dequeue; queued }

@@ -1,0 +1,22 @@
+(** Common runtime interface for the packetized wireline schedulers.
+
+    Each scheduler module exposes a typed API plus an [instance] constructor
+    returning this record, which the {!Server} driver and the comparative
+    tests/benches consume uniformly. *)
+
+type instance = {
+  name : string;
+  enqueue : Job.t -> unit;
+      (** Called in non-decreasing order of [Job.arrival]. *)
+  dequeue : time:float -> Job.t option;
+      (** Select the next job to put on the wire at [time]; [None] iff no
+          job is queued. *)
+  queued : unit -> int;  (** Number of jobs waiting (excludes in service). *)
+}
+
+val make :
+  name:string ->
+  enqueue:(Job.t -> unit) ->
+  dequeue:(time:float -> Job.t option) ->
+  queued:(unit -> int) ->
+  instance

@@ -1,0 +1,77 @@
+type completion = { job : Job.t; start : float; finish : float }
+
+let run ~capacity (sched : Sched_intf.instance) jobs =
+  if capacity <= 0. then invalid_arg "Server.run: capacity must be > 0";
+  let arrivals =
+    List.stable_sort
+      (fun (a : Job.t) (b : Job.t) -> compare a.arrival b.arrival)
+      jobs
+  in
+  let pending = ref arrivals in
+  let completions = ref [] in
+  let free_at = ref 0. in
+  (* Deliver every arrival with time <= t to the scheduler. *)
+  let deliver_until t =
+    let rec loop () =
+      match !pending with
+      | (j : Job.t) :: rest when j.arrival <= t ->
+          sched.enqueue j;
+          pending := rest;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
+  let rec step () =
+    let next_arrival =
+      match !pending with [] -> None | j :: _ -> Some j.Job.arrival
+    in
+    if sched.queued () = 0 then
+      match next_arrival with
+      | None -> ()
+      | Some a ->
+          (* Idle until the next arrival. *)
+          deliver_until a;
+          if !free_at < a then free_at := a;
+          step ()
+    else begin
+      let t = !free_at in
+      deliver_until t;
+      match sched.dequeue ~time:t with
+      | None ->
+          (* queued() > 0 guarantees a job; defensive. *)
+          assert false
+      | Some job ->
+          let finish = t +. (job.Job.size /. capacity) in
+          completions := { job; start = t; finish } :: !completions;
+          free_at := finish;
+          step ()
+    end
+  in
+  (* Prime with the first arrival so the first dequeue sees it. *)
+  (match !pending with [] -> () | j :: _ -> free_at := Float.max 0. j.Job.arrival);
+  deliver_until !free_at;
+  step ();
+  List.rev !completions
+
+let delays_by_flow completions =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun { job; finish; _ } ->
+      let delay = finish -. job.Job.arrival in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl job.Job.flow) in
+      Hashtbl.replace tbl job.Job.flow (delay :: prev))
+    completions;
+  Hashtbl.fold (fun flow delays acc -> (flow, List.rev delays) :: acc) tbl []
+  |> List.sort compare
+
+let throughput_by_flow completions ~until =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun { job; finish; _ } ->
+      if finish <= until then begin
+        let prev = Option.value ~default:0. (Hashtbl.find_opt tbl job.Job.flow) in
+        Hashtbl.replace tbl job.Job.flow (prev +. job.Job.size)
+      end)
+    completions;
+  Hashtbl.fold (fun flow bits acc -> (flow, bits) :: acc) tbl [] |> List.sort compare

@@ -1,0 +1,48 @@
+type tagged = { job : Job.t; start : float; finish : float }
+
+type t = {
+  weights : float array;
+  heap : tagged Wfs_util.Heap.t;  (* by start tag, ties by finish *)
+  last_finish : float array;
+  mutable v : float;  (* start tag of the packet in service *)
+}
+
+let leq a b = if a.start = b.start then a.finish <= b.finish else a.start < b.start
+
+let create ~capacity flows =
+  ignore capacity;
+  Array.iteri
+    (fun i (f : Flow.t) ->
+      if f.id <> i then invalid_arg "Stfq.create: flow ids must be 0..n-1")
+    flows;
+  {
+    weights = Array.map (fun (f : Flow.t) -> f.weight) flows;
+    heap = Wfs_util.Heap.create ~leq ();
+    last_finish = Array.make (Array.length flows) 0.;
+    v = 0.;
+  }
+
+let enqueue t (job : Job.t) =
+  if job.flow < 0 || job.flow >= Array.length t.weights then
+    invalid_arg "Stfq.enqueue: unknown flow";
+  let start = Float.max t.v t.last_finish.(job.flow) in
+  let finish = start +. (job.size /. t.weights.(job.flow)) in
+  t.last_finish.(job.flow) <- finish;
+  Wfs_util.Heap.push t.heap { job; start; finish }
+
+let dequeue t ~time =
+  ignore time;
+  match Wfs_util.Heap.pop t.heap with
+  | None -> None
+  | Some { job; start; _ } ->
+      t.v <- start;
+      Some job
+
+let queued t = Wfs_util.Heap.length t.heap
+let virtual_time t = t.v
+
+let instance ~capacity flows =
+  let t = create ~capacity flows in
+  Sched_intf.make ~name:"STFQ" ~enqueue:(enqueue t)
+    ~dequeue:(fun ~time -> dequeue t ~time)
+    ~queued:(fun () -> queued t)

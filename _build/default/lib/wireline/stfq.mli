@@ -1,0 +1,16 @@
+(** Start-Time Fair Queueing — Goyal, Vin & Cheng 1996.
+
+    Serves the packet with the smallest {e start} tag (ties by finish tag);
+    system virtual time is the start tag of the packet in service.  Fair
+    even when the server capacity fluctuates, which is why the wireless
+    paper cites it as the closest wireline relative — though it still
+    assumes all flows see the same channel. *)
+
+type t
+
+val create : capacity:float -> Flow.t array -> t
+val enqueue : t -> Job.t -> unit
+val dequeue : t -> time:float -> Job.t option
+val queued : t -> int
+val virtual_time : t -> float
+val instance : capacity:float -> Flow.t array -> Sched_intf.instance

@@ -1,0 +1,44 @@
+type tagged = { job : Job.t; stamp : float }
+
+type t = {
+  weights : float array;
+  heap : tagged Wfs_util.Heap.t;
+  auxvc : float array;
+}
+
+let create ~capacity flows =
+  ignore capacity;
+  Array.iteri
+    (fun i (f : Flow.t) ->
+      if f.id <> i then invalid_arg "Virtual_clock.create: flow ids must be 0..n-1")
+    flows;
+  {
+    weights = Array.map (fun (f : Flow.t) -> f.weight) flows;
+    heap = Wfs_util.Heap.create ~leq:(fun a b -> a.stamp <= b.stamp) ();
+    auxvc = Array.make (Array.length flows) 0.;
+  }
+
+let enqueue t (job : Job.t) =
+  if job.flow < 0 || job.flow >= Array.length t.weights then
+    invalid_arg "Virtual_clock.enqueue: unknown flow";
+  (* auxVC = max(now, auxVC) + size/r; the max is what denies credit for
+     idle periods yet lets a flow bank capacity it never used — the
+     behaviour the wireless model rejects for error periods. *)
+  let vc = Float.max job.arrival t.auxvc.(job.flow) +. (job.size /. t.weights.(job.flow)) in
+  t.auxvc.(job.flow) <- vc;
+  Wfs_util.Heap.push t.heap { job; stamp = vc }
+
+let dequeue t ~time =
+  ignore time;
+  match Wfs_util.Heap.pop t.heap with
+  | None -> None
+  | Some { job; _ } -> Some job
+
+let queued t = Wfs_util.Heap.length t.heap
+let clock t ~flow = t.auxvc.(flow)
+
+let instance ~capacity flows =
+  let t = create ~capacity flows in
+  Sched_intf.make ~name:"VirtualClock" ~enqueue:(enqueue t)
+    ~dequeue:(fun ~time -> dequeue t ~time)
+    ~queued:(fun () -> queued t)

@@ -1,0 +1,20 @@
+(** Virtual Clock — Zhang 1991.
+
+    Each flow's clock advances by [size/r] per packet but never falls behind
+    real time; packets are served in clock order.  Provides rate guarantees
+    but — the contrast Section 3 of the wireless paper draws — it lets an
+    idle flow reclaim missed capacity later, and punishes flows that used
+    idle capacity.  The wireless compensation model deliberately differs:
+    only error-induced (not idleness-induced) lag is reclaimable. *)
+
+type t
+
+val create : capacity:float -> Flow.t array -> t
+val enqueue : t -> Job.t -> unit
+val dequeue : t -> time:float -> Job.t option
+val queued : t -> int
+
+val clock : t -> flow:int -> float
+(** Current auxiliary virtual clock of [flow]. *)
+
+val instance : capacity:float -> Flow.t array -> Sched_intf.instance

@@ -1,0 +1,55 @@
+type tagged = { job : Job.t; start : float; finish : float }
+
+type t = {
+  gps : Gps.t;
+  waiting : tagged Wfs_util.Heap.t;  (* not yet eligible, ordered by start *)
+  eligible : tagged Wfs_util.Heap.t;  (* ordered by finish *)
+}
+
+let eps = 1e-9
+
+let create ~capacity flows =
+  {
+    gps = Gps.create ~capacity flows;
+    waiting = Wfs_util.Heap.create ~leq:(fun a b -> a.start <= b.start) ();
+    eligible = Wfs_util.Heap.create ~leq:(fun a b -> a.finish <= b.finish) ();
+  }
+
+let enqueue t (job : Job.t) =
+  let start, finish =
+    Gps.arrive t.gps ~time:job.arrival ~flow:job.flow ~size:job.size
+  in
+  Wfs_util.Heap.push t.waiting { job; start; finish }
+
+let promote t v =
+  let rec loop () =
+    match Wfs_util.Heap.peek t.waiting with
+    | Some tagged when tagged.start <= v +. eps ->
+        ignore (Wfs_util.Heap.pop t.waiting);
+        Wfs_util.Heap.push t.eligible tagged;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let dequeue t ~time =
+  let v = Gps.virtual_time t.gps ~time in
+  promote t v;
+  match Wfs_util.Heap.pop t.eligible with
+  | Some { job; _ } -> Some job
+  | None -> (
+      (* A busy WF2Q server always has an eligible packet in exact
+         arithmetic; fall back to the earliest start tag to stay
+         work-conserving under floating-point rounding. *)
+      match Wfs_util.Heap.pop t.waiting with
+      | Some { job; _ } -> Some job
+      | None -> None)
+
+let queued t = Wfs_util.Heap.length t.waiting + Wfs_util.Heap.length t.eligible
+let gps t = t.gps
+
+let instance ~capacity flows =
+  let t = create ~capacity flows in
+  Sched_intf.make ~name:"WF2Q" ~enqueue:(enqueue t)
+    ~dequeue:(fun ~time -> dequeue t ~time)
+    ~queued:(fun () -> queued t)

@@ -1,0 +1,17 @@
+(** Worst-case Fair Weighted Fair Queueing (WF²Q) — Bennett & Zhang 1996.
+
+    Like WFQ but a packet is only eligible for service once its fluid
+    service would have started, i.e. its start tag is at most the current
+    GPS virtual time.  Among eligible packets the smallest finish tag wins.
+    This removes WFQ's burstiness: a flow can never be ahead of its fluid
+    service by more than one packet.  WPS uses WF²Q ordering as its
+    slot-spreading rule (Section 7 of the wireless paper). *)
+
+type t
+
+val create : capacity:float -> Flow.t array -> t
+val enqueue : t -> Job.t -> unit
+val dequeue : t -> time:float -> Job.t option
+val queued : t -> int
+val gps : t -> Gps.t
+val instance : capacity:float -> Flow.t array -> Sched_intf.instance

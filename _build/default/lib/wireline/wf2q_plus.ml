@@ -1,0 +1,90 @@
+type t = {
+  weights : float array;
+  total_weight : float;
+  queues : Job.t Queue.t array;
+  start : float array;  (* head-of-line start tag, valid when queue nonempty *)
+  finish : float array;  (* head-of-line finish tag *)
+  last_finish : float array;  (* finish tag of the last packet that left HOL *)
+  mutable v : float;
+}
+
+let eps = 1e-9
+
+let create ~capacity flows =
+  ignore capacity;
+  Array.iteri
+    (fun i (f : Flow.t) ->
+      if f.id <> i then invalid_arg "Wf2q_plus.create: flow ids must be 0..n-1")
+    flows;
+  let n = Array.length flows in
+  {
+    weights = Array.map (fun (f : Flow.t) -> f.weight) flows;
+    total_weight = Flow.total_weight flows;
+    queues = Array.init n (fun _ -> Queue.create ());
+    start = Array.make n 0.;
+    finish = Array.make n 0.;
+    last_finish = Array.make n 0.;
+    v = 0.;
+  }
+
+let set_hol_tags t flow ~start_at (job : Job.t) =
+  t.start.(flow) <- start_at;
+  t.finish.(flow) <- start_at +. (job.size /. t.weights.(flow))
+
+let enqueue t (job : Job.t) =
+  let flow = job.Job.flow in
+  if flow < 0 || flow >= Array.length t.weights then
+    invalid_arg "Wf2q_plus.enqueue: unknown flow";
+  let was_empty = Queue.is_empty t.queues.(flow) in
+  Queue.push job t.queues.(flow);
+  if was_empty then
+    set_hol_tags t flow ~start_at:(Float.max t.v t.last_finish.(flow)) job
+
+let min_backlogged_start t =
+  let best = ref infinity in
+  Array.iteri
+    (fun i q -> if not (Queue.is_empty q) then best := Float.min !best t.start.(i))
+    t.queues;
+  !best
+
+let dequeue t ~time =
+  ignore time;
+  (* Eligible = fluid service would have begun (S <= V); among those the
+     smallest finish tag wins; fall back to the smallest start tag so the
+     server never idles while backlogged. *)
+  let pick restrict =
+    let best = ref None in
+    Array.iteri
+      (fun i q ->
+        if not (Queue.is_empty q) then
+          if (not restrict) || t.start.(i) <= t.v +. eps then begin
+            let key = if restrict then t.finish.(i) else t.start.(i) in
+            match !best with
+            | Some (_, k) when k <= key -> ()
+            | Some _ | None -> best := Some (i, key)
+          end)
+      t.queues;
+    Option.map fst !best
+  in
+  let chosen = match pick true with Some f -> Some f | None -> pick false in
+  match chosen with
+  | None -> None
+  | Some flow ->
+      let job = Queue.pop t.queues.(flow) in
+      t.last_finish.(flow) <- t.finish.(flow);
+      if not (Queue.is_empty t.queues.(flow)) then
+        set_hol_tags t flow ~start_at:t.finish.(flow) (Queue.peek t.queues.(flow));
+      (* Advance the virtual clock: fluid pace plus the WF2Q+ jump. *)
+      t.v <- t.v +. (job.Job.size /. t.total_weight);
+      let m = min_backlogged_start t in
+      if m > t.v && m < infinity then t.v <- m;
+      Some job
+
+let queued t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+let virtual_time t = t.v
+
+let instance ~capacity flows =
+  let t = create ~capacity flows in
+  Sched_intf.make ~name:"WF2Q+" ~enqueue:(enqueue t)
+    ~dequeue:(fun ~time -> dequeue t ~time)
+    ~queued:(fun () -> queued t)

@@ -1,0 +1,24 @@
+(** WF²Q+ — Bennett & Zhang 1997.
+
+    The O(1)-virtual-time successor of {!Wf2q}: instead of simulating the
+    fluid reference, the system virtual time advances by the normalised
+    size of each served packet and jumps up to the minimum start tag of the
+    backlogged flows:
+
+    [V ← max(V + L/Σr, min_{i backlogged} S_i)]
+
+    Per-flow tags are kept only for the head packet ([S = max(V, F_prev)]
+    on arrival to an empty queue, [S = F_prev] on head change).  Selection
+    is eligibility-gated smallest-finish-tag, like WF²Q.  Retains WF²Q's
+    worst-case fairness with much cheaper bookkeeping — included both as a
+    substrate baseline and because WPS's frame spreading is exactly the
+    all-backlogged special case of this discipline. *)
+
+type t
+
+val create : capacity:float -> Flow.t array -> t
+val enqueue : t -> Job.t -> unit
+val dequeue : t -> time:float -> Job.t option
+val queued : t -> int
+val virtual_time : t -> float
+val instance : capacity:float -> Flow.t array -> Sched_intf.instance

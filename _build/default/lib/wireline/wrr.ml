@@ -1,0 +1,58 @@
+type t = {
+  weights : int array;
+  queues : Job.t Queue.t array;
+  mutable current : int;  (* flow being served this round *)
+  mutable remaining : int;  (* packets the current flow may still send *)
+  mutable total_queued : int;
+}
+
+let int_weight w =
+  let k = int_of_float (Float.round w) in
+  if k < 1 then 1 else k
+
+let create ~capacity flows =
+  ignore capacity;
+  Array.iteri
+    (fun i (f : Flow.t) ->
+      if f.id <> i then invalid_arg "Wrr.create: flow ids must be 0..n-1")
+    flows;
+  let n = Array.length flows in
+  {
+    weights = Array.map (fun (f : Flow.t) -> int_weight f.weight) flows;
+    queues = Array.init n (fun _ -> Queue.create ());
+    current = 0;
+    remaining = (if n = 0 then 0 else int_weight flows.(0).weight);
+    total_queued = 0;
+  }
+
+let enqueue t (job : Job.t) =
+  if job.flow < 0 || job.flow >= Array.length t.queues then
+    invalid_arg "Wrr.enqueue: unknown flow";
+  Queue.push job t.queues.(job.flow);
+  t.total_queued <- t.total_queued + 1
+
+let advance t =
+  t.current <- (t.current + 1) mod Array.length t.queues;
+  t.remaining <- t.weights.(t.current)
+
+let dequeue t ~time =
+  ignore time;
+  if t.total_queued = 0 then None
+  else begin
+    (* At least one queue is non-empty, so the scan terminates. *)
+    while t.remaining = 0 || Queue.is_empty t.queues.(t.current) do
+      advance t
+    done;
+    let job = Queue.pop t.queues.(t.current) in
+    t.remaining <- t.remaining - 1;
+    t.total_queued <- t.total_queued - 1;
+    Some job
+  end
+
+let queued t = t.total_queued
+
+let instance ~capacity flows =
+  let t = create ~capacity flows in
+  Sched_intf.make ~name:"WRR" ~enqueue:(enqueue t)
+    ~dequeue:(fun ~time -> dequeue t ~time)
+    ~queued:(fun () -> queued t)

@@ -1,0 +1,16 @@
+(** Weighted Round Robin over per-flow FIFO queues.
+
+    Integer weights; a round visits flows in id order, serving up to [w_i]
+    packets from flow [i].  Empty queues are skipped (work-conserving).
+    WPS (the wireless paper's practical algorithm) is a WRR at heart, with
+    WF²Q spreading replacing the consecutive per-flow service below. *)
+
+type t
+
+val create : capacity:float -> Flow.t array -> t
+(** Weights are rounded to the nearest positive integer. *)
+
+val enqueue : t -> Job.t -> unit
+val dequeue : t -> time:float -> Job.t option
+val queued : t -> int
+val instance : capacity:float -> Flow.t array -> Sched_intf.instance

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Array Format String Wfs_bounds Wfs_channel Wfs_core Wfs_traffic Wfs_util

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Array Fun List Wfs_channel Wfs_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Fun List Option QCheck QCheck_alcotest String Wfs_channel Wfs_core Wfs_mac Wfs_sim Wfs_traffic Wfs_util Wfs_wireline

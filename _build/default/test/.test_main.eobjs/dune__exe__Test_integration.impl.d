@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Hashtbl List Option Printf Wfs_channel Wfs_core Wfs_mac Wfs_traffic Wfs_util Wfs_wireline

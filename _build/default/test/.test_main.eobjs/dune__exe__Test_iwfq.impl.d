@@ -1,0 +1,1 @@
+test/test_iwfq.ml: Alcotest Array Gen List Option QCheck QCheck_alcotest Wfs_core Wfs_traffic Wfs_util Wfs_wireline

@@ -1,0 +1,1 @@
+test/test_mac.ml: Alcotest Array Fun List Wfs_channel Wfs_core Wfs_mac Wfs_traffic Wfs_util

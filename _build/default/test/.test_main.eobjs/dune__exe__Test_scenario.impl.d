@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Filename List Sys Wfs_channel Wfs_core

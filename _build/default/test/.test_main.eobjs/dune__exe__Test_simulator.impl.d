@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array List Wfs_channel Wfs_core Wfs_sim Wfs_traffic Wfs_util

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest List Wfs_traffic Wfs_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen List Option Printf QCheck QCheck_alcotest String Wfs_util

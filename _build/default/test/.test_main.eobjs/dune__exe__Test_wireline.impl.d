@@ -1,0 +1,1 @@
+test/test_wireline.ml: Alcotest Array Float Hashtbl List Option Printf QCheck QCheck_alcotest Wfs_util Wfs_wireline

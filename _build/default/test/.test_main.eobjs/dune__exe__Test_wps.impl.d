@@ -1,0 +1,1 @@
+test/test_wps.ml: Alcotest Array List Option Wfs_core Wfs_sim Wfs_traffic

@@ -1,0 +1,171 @@
+(* Tests for the Section-5 bound calculators and the empirical verifier. *)
+
+module B = Wfs_bounds
+module Core = Wfs_core
+module Rng = Wfs_util.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let sys2 = B.Theorems.make ~weights:[| 1.; 1. |] ~lag_total:4. ~lead:[| 2.; 2. |]
+
+let test_wfq_hol_delay () =
+  (* Lp/C + Lp*sum_r/(r*C) = 1 + 2/1 = 3 slots. *)
+  check_float "two equal flows" 3. (B.Theorems.wfq_max_hol_delay sys2 ~flow:0);
+  let sys = B.Theorems.make ~weights:[| 1.; 3. |] ~lag_total:4. ~lead:[| 1.; 1. |] in
+  check_float "weighted" 5. (B.Theorems.wfq_max_hol_delay sys ~flow:0);
+  Alcotest.(check (float 1e-6)) "heavy flow"
+    (1. +. (4. /. 3.))
+    (B.Theorems.wfq_max_hol_delay sys ~flow:1)
+
+let test_extra_delay_is_lag_total () =
+  check_float "B/C" 4. (B.Theorems.extra_delay_error_free sys2)
+
+let test_new_queue_delay () =
+  (* Δd + d_WFQ + ΔT = 4 + 3 + l*Σother/r = 4 + 3 + 2 = 9. *)
+  check_float "theorem 3" 9. (B.Theorems.new_queue_delay sys2 ~flow:0)
+
+let test_short_term_clearance () =
+  let t =
+    B.Theorems.short_term_backlog_clearance sys2 ~flow:0 ~lags:[| 9.; 3. |]
+      ~lead_now:2.
+  in
+  (* other lags (3) + lead*Σother/r (2) = 5; own lag excluded. *)
+  check_float "theorem 4 horizon" 5. t
+
+let test_max_lagging_slots_of_others () =
+  check_float "fact 1 share" 2. (B.Theorems.max_lagging_slots_of_others sys2 ~flow:0)
+
+let test_error_prone_extra_delay () =
+  (* Deterministic channel: good every 3rd slot -> k-th good slot at 3k. *)
+  let good_slot_time k = float_of_int (3 * k) in
+  (* M = 2, so T_{M+1} = T_3 = 9. *)
+  check_float "theorem 5" 9.
+    (B.Theorems.error_prone_extra_delay sys2 ~flow:0 ~good_slot_time)
+
+let test_throughput_short_term () =
+  let s =
+    B.Theorems.throughput_short_term sys2 ~flow:0 ~good_slots:20
+      ~lags:[| 0.; 4. |] ~lead_now:2.
+  in
+  (* N(t) = 4 + 2 = 6; (20-6)*1/2 - 1 = 6. *)
+  check_float "theorem 7" 6. s
+
+let test_make_validation () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Theorems.make: weights/lead length mismatch") (fun () ->
+      ignore (B.Theorems.make ~weights:[| 1. |] ~lag_total:1. ~lead:[||]))
+
+(* --- Empirical verification on simulated IWFQ --- *)
+
+let example1_setups ~seed () = Core.Presets.example1 ~sum:0.1 ~seed ()
+
+let test_verify_fact1_holds () =
+  let r =
+    B.Verify.check_fact1 ~horizon:20_000
+      ~make_setups:(example1_setups ~seed:5)
+      ~predictor:Wfs_channel.Predictor.Perfect ()
+  in
+  Alcotest.(check int) "no violations" 0 r.B.Verify.violations;
+  check_bool "sampled" true (r.B.Verify.samples = 20_000)
+
+let test_verify_long_term_throughput () =
+  (* Theorem 6 with a generous shift: the errored system, shifted, keeps up
+     with the error-free one.  The lag bound is raised far above the run's
+     worst burst so no packets are discarded — the theorem bounds service,
+     not loss. *)
+  let params =
+    {
+      (Core.Params.iwfq_defaults ~n_flows:2) with
+      Core.Params.lag_total = 1000.;
+    }
+  in
+  let r =
+    B.Verify.check_long_term_throughput ~params ~horizon:20_000 ~shift:600
+      ~make_setups:(example1_setups ~seed:6)
+      ~predictor:Wfs_channel.Predictor.Perfect ~flow:0 ()
+  in
+  Alcotest.(check int) "no violations" 0 r.B.Verify.violations
+
+let test_verify_error_free_flow_delay () =
+  (* Theorem 1 for the error-free flow (flow 1 in Example 1): its
+     deliveries shift by at most B/C + 1. *)
+  let params =
+    { (Core.Params.iwfq_defaults ~n_flows:2) with Core.Params.lag_total = 8. }
+  in
+  let r =
+    B.Verify.check_error_free_delay ~params ~horizon:20_000
+      ~make_setups:(example1_setups ~seed:7)
+      ~predictor:Wfs_channel.Predictor.Perfect ~flow:1 ()
+  in
+  Alcotest.(check int) "no violations" 0 r.B.Verify.violations;
+  check_bool "many packets compared" true (r.B.Verify.samples > 5_000)
+
+let test_verify_new_queue_delay () =
+  (* Theorem 3 for the error-free flow of Example 1. *)
+  let r =
+    B.Verify.check_new_queue_delay ~horizon:20_000
+      ~make_setups:(example1_setups ~seed:8)
+      ~predictor:Wfs_channel.Predictor.Perfect ~flow:1 ()
+  in
+  Alcotest.(check int) "no violations" 0 r.B.Verify.violations;
+  check_bool "new-queue packets found" true (r.B.Verify.samples > 1_000)
+
+let test_verify_short_term_throughput () =
+  (* Theorem 7 needs the flow continuously backlogged, so use a heavily
+     loaded variant: flow 0 near-saturates its share over a bad bursty
+     channel. *)
+  let make_setups () =
+    let master = Wfs_util.Rng.create 9 in
+    let flows =
+      [|
+        Core.Params.flow ~id:0 ~weight:1. ();
+        Core.Params.flow ~id:1 ~weight:1. ();
+      |]
+    in
+    [|
+      {
+        Core.Simulator.flow = flows.(0);
+        source = Wfs_traffic.Cbr.create ~interarrival:1.6 ();
+        channel =
+          Wfs_channel.Gilbert_elliott.of_burstiness
+            ~rng:(Wfs_util.Rng.split master) ~good_prob:0.7 ~sum:0.1 ();
+      };
+      {
+        Core.Simulator.flow = flows.(1);
+        source = Wfs_traffic.Cbr.create ~interarrival:2. ();
+        channel = Wfs_channel.Error_free.create ();
+      };
+    |]
+  in
+  let r =
+    B.Verify.check_short_term_throughput ~horizon:20_000 ~window:100
+      ~make_setups ~predictor:Wfs_channel.Predictor.Perfect ~flow:0 ()
+  in
+  Alcotest.(check int) "no violations" 0 r.B.Verify.violations;
+  check_bool "windows sampled" true (r.B.Verify.samples > 10)
+
+let test_report_pp () =
+  let s =
+    Format.asprintf "%a" B.Verify.pp_report
+      { B.Verify.samples = 10; violations = 1; worst_slack = -0.5 }
+  in
+  check_bool "renders" true (String.length s > 0)
+
+let suite =
+  [
+    ("wfq hol delay", `Quick, test_wfq_hol_delay);
+    ("extra delay = B/C", `Quick, test_extra_delay_is_lag_total);
+    ("new queue delay", `Quick, test_new_queue_delay);
+    ("short-term clearance", `Quick, test_short_term_clearance);
+    ("max lagging slots of others", `Quick, test_max_lagging_slots_of_others);
+    ("error-prone extra delay", `Quick, test_error_prone_extra_delay);
+    ("short-term throughput", `Quick, test_throughput_short_term);
+    ("theorem input validation", `Quick, test_make_validation);
+    ("fact 1 empirically", `Slow, test_verify_fact1_holds);
+    ("long-term throughput empirically", `Slow, test_verify_long_term_throughput);
+    ("error-free delay empirically", `Slow, test_verify_error_free_flow_delay);
+    ("new-queue delay empirically", `Slow, test_verify_new_queue_delay);
+    ("short-term throughput empirically", `Slow, test_verify_short_term_throughput);
+    ("report pp", `Quick, test_report_pp);
+  ]

@@ -1,0 +1,226 @@
+(* Tests for channel models and predictors: steady state, burstiness,
+   autocovariance, prediction accuracy regimes. *)
+
+module Rng = Wfs_util.Rng
+module Channel = Wfs_channel.Channel
+module Ge = Wfs_channel.Gilbert_elliott
+module Predictor = Wfs_channel.Predictor
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let record ch ~slots =
+  Array.init slots (fun slot -> Channel.advance ch ~slot)
+
+let fraction_good states =
+  let good = Array.fold_left (fun acc s -> if Channel.state_is_good s then acc + 1 else acc) 0 states in
+  float_of_int good /. float_of_int (Array.length states)
+
+(* --- Channel wrapper --- *)
+
+let test_channel_advance_order () =
+  let ch = Wfs_channel.Error_free.create () in
+  ignore (Channel.advance ch ~slot:0);
+  Alcotest.check_raises "same slot rejected"
+    (Invalid_argument "Channel.advance: slot 0 not after 0") (fun () ->
+      ignore (Channel.advance ch ~slot:0))
+
+let test_channel_previous_state () =
+  let ch = Wfs_channel.Trace_ch.of_bad_slots [ 1 ] in
+  ignore (Channel.advance ch ~slot:0);
+  Alcotest.(check bool) "prev before slot0 is initial good" true
+    (Channel.state_is_good (Channel.previous_state ch));
+  ignore (Channel.advance ch ~slot:1);
+  check_bool "prev of slot1 = slot0 state" true
+    (Channel.state_is_good (Channel.previous_state ch));
+  check_bool "current is bad" false (Channel.state_is_good (Channel.state ch))
+
+let test_channel_state_before_advance () =
+  let ch = Wfs_channel.Error_free.create () in
+  Alcotest.check_raises "state before advance"
+    (Invalid_argument "Channel.state: not advanced yet") (fun () ->
+      ignore (Channel.state ch))
+
+(* --- Gilbert-Elliott --- *)
+
+let test_ge_steady_state () =
+  let ch = Ge.create ~rng:(Rng.create 1) ~pg:0.07 ~pe:0.03 () in
+  let states = record ch ~slots:200_000 in
+  check_bool "PG near 0.7" true (abs_float (fraction_good states -. 0.7) < 0.01)
+
+let test_ge_burst_lengths () =
+  (* Mean bad-burst length is 1/pg. *)
+  let ch = Ge.create ~rng:(Rng.create 2) ~pg:0.1 ~pe:0.05 () in
+  let states = record ch ~slots:300_000 in
+  let bursts = ref [] and current = ref 0 in
+  Array.iter
+    (fun s ->
+      if not (Channel.state_is_good s) then incr current
+      else if !current > 0 then begin
+        bursts := !current :: !bursts;
+        current := 0
+      end)
+    states;
+  let mean =
+    float_of_int (List.fold_left ( + ) 0 !bursts)
+    /. float_of_int (List.length !bursts)
+  in
+  check_bool "mean bad burst near 10" true (abs_float (mean -. 10.) < 0.5)
+
+let test_ge_autocovariance_sign () =
+  (* C(1) = PG*PE*(1-(pg+pe)): positive for sum<1, ~zero for sum=1. *)
+  let autocov states =
+    let n = Array.length states in
+    let x i = if Channel.state_is_good states.(i) then 1. else 0. in
+    let mean = fraction_good states in
+    let s = ref 0. in
+    for i = 0 to n - 2 do
+      s := !s +. ((x i -. mean) *. (x (i + 1) -. mean))
+    done;
+    !s /. float_of_int (n - 1)
+  in
+  let bursty =
+    record (Ge.of_burstiness ~rng:(Rng.create 3) ~good_prob:0.7 ~sum:0.1 ()) ~slots:100_000
+  in
+  let memoryless =
+    record (Ge.of_burstiness ~rng:(Rng.create 4) ~good_prob:0.7 ~sum:1.0 ()) ~slots:100_000
+  in
+  check_bool "bursty C(1) > 0.15" true (autocov bursty > 0.15);
+  check_bool "memoryless C(1) ~ 0" true (abs_float (autocov memoryless) < 0.01)
+
+let test_ge_of_burstiness_params () =
+  Alcotest.(check (float 1e-9)) "steady state" 0.7 (Ge.steady_state_good ~pg:0.07 ~pe:0.03);
+  Alcotest.check_raises "bad good_prob"
+    (Invalid_argument "Gilbert_elliott.of_burstiness: good_prob must be in (0,1)")
+    (fun () ->
+      ignore (Ge.of_burstiness ~rng:(Rng.create 1) ~good_prob:1.0 ~sum:0.1 ()))
+
+let test_ge_start_state () =
+  let ch = Ge.create ~rng:(Rng.create 5) ~pg:0.5 ~pe:0.5 ~start_good:false () in
+  (* The initial state seeds previous_state for one-step prediction. *)
+  ignore (Channel.advance ch ~slot:0);
+  check_bool "initial seed is bad" false
+    (Channel.state_is_good (Channel.previous_state ch))
+
+(* --- Bernoulli --- *)
+
+let test_bernoulli_rate () =
+  let ch = Wfs_channel.Bernoulli_ch.create ~rng:(Rng.create 6) ~good_prob:0.3 in
+  let states = record ch ~slots:100_000 in
+  check_bool "fraction near 0.3" true (abs_float (fraction_good states -. 0.3) < 0.01)
+
+(* --- Periodic / burst --- *)
+
+let test_periodic_pattern () =
+  let ch = Wfs_channel.Periodic_ch.bad_every ~period:3 ~offset:1 in
+  let states = record ch ~slots:9 in
+  let bads =
+    List.filter (fun i -> not (Channel.state_is_good states.(i))) (List.init 9 Fun.id)
+  in
+  Alcotest.(check (list int)) "bad at 1,4,7" [ 1; 4; 7 ] bads
+
+let test_bad_burst () =
+  let ch = Wfs_channel.Periodic_ch.bad_burst ~start:2 ~length:3 in
+  let states = record ch ~slots:8 in
+  let bads =
+    List.filter (fun i -> not (Channel.state_is_good states.(i))) (List.init 8 Fun.id)
+  in
+  Alcotest.(check (list int)) "burst 2..4" [ 2; 3; 4 ] bads
+
+(* --- Trace channel --- *)
+
+let test_trace_channel_replay () =
+  let src = Ge.create ~rng:(Rng.create 7) ~pg:0.1 ~pe:0.1 () in
+  let states = Wfs_channel.Trace_ch.record src ~slots:500 in
+  let replayed =
+    Wfs_channel.Trace_ch.create
+      (Array.to_list (Array.mapi (fun i s -> (i, s)) states))
+  in
+  let states' = record replayed ~slots:500 in
+  check_bool "identical replay" true (states = states')
+
+(* --- Predictors --- *)
+
+let one_step_accuracy ~sum =
+  let rng = Rng.create 8 in
+  let ch = Ge.of_burstiness ~rng ~good_prob:0.7 ~sum () in
+  let p = Predictor.create Predictor.One_step in
+  let hits = ref 0 and n = 100_000 in
+  for slot = 0 to n - 1 do
+    let actual = Channel.advance ch ~slot in
+    let predicted = Predictor.predict p ch ~slot in
+    if predicted = actual then incr hits
+  done;
+  float_of_int !hits /. float_of_int n
+
+let test_one_step_accuracy_regimes () =
+  (* Bursty channels are predictable; memoryless ones are not (Table 3's
+     point). *)
+  let bursty = one_step_accuracy ~sum:0.1 in
+  let memoryless = one_step_accuracy ~sum:1.0 in
+  check_bool "bursty accuracy > 0.9" true (bursty > 0.9);
+  (* With sum=1 states are iid: accuracy = PG^2+PE^2 = 0.58. *)
+  check_bool "memoryless accuracy near 0.58" true (abs_float (memoryless -. 0.58) < 0.02)
+
+let test_perfect_predictor () =
+  let ch = Ge.create ~rng:(Rng.create 9) ~pg:0.3 ~pe:0.3 () in
+  let p = Predictor.create Predictor.Perfect in
+  for slot = 0 to 999 do
+    let actual = Channel.advance ch ~slot in
+    Alcotest.(check bool) "oracle" true (Predictor.predict p ch ~slot = actual)
+  done
+
+let test_blind_predictor () =
+  let ch = Wfs_channel.Trace_ch.of_bad_slots [ 0; 1; 2 ] in
+  let p = Predictor.create Predictor.Blind in
+  for slot = 0 to 2 do
+    ignore (Channel.advance ch ~slot);
+    check_bool "always good" true
+      (Channel.state_is_good (Predictor.predict p ch ~slot))
+  done
+
+let test_snoop_predictor () =
+  (* Period-3 snooping holds its observation between snoops. *)
+  let ch = Wfs_channel.Trace_ch.of_bad_slots [ 0; 1; 2; 3 ] in
+  let p = Predictor.create (Predictor.Periodic_snoop 3) in
+  let predictions =
+    List.init 6 (fun slot ->
+        ignore (Channel.advance ch ~slot);
+        Channel.state_is_good (Predictor.predict p ch ~slot))
+  in
+  (* slot0: snoop sees initial Good seed; holds until slot3 snoop sees
+     slot2=bad; slot4,5 hold bad observation (slot3 was bad). *)
+  Alcotest.(check (list bool)) "snoop holds between observations"
+    [ true; true; true; false; false; false ] predictions
+
+let test_snoop_invalid () =
+  Alcotest.check_raises "period 0"
+    (Invalid_argument "Predictor.create: snoop period must be > 0") (fun () ->
+      ignore (Predictor.create (Predictor.Periodic_snoop 0)))
+
+let test_predictor_labels () =
+  Alcotest.(check string) "I" "I" (Predictor.label Predictor.Perfect);
+  Alcotest.(check string) "P" "P" (Predictor.label Predictor.One_step);
+  Alcotest.(check string) "snoop" "snoop5" (Predictor.label (Predictor.Periodic_snoop 5))
+
+let suite =
+  [
+    ("advance order enforced", `Quick, test_channel_advance_order);
+    ("previous state tracking", `Quick, test_channel_previous_state);
+    ("state before advance", `Quick, test_channel_state_before_advance);
+    ("GE steady state", `Quick, test_ge_steady_state);
+    ("GE burst lengths", `Quick, test_ge_burst_lengths);
+    ("GE autocovariance", `Quick, test_ge_autocovariance_sign);
+    ("GE burstiness params", `Quick, test_ge_of_burstiness_params);
+    ("GE start state", `Quick, test_ge_start_state);
+    ("Bernoulli rate", `Quick, test_bernoulli_rate);
+    ("periodic pattern", `Quick, test_periodic_pattern);
+    ("bad burst", `Quick, test_bad_burst);
+    ("trace replay", `Quick, test_trace_channel_replay);
+    ("one-step accuracy regimes", `Quick, test_one_step_accuracy_regimes);
+    ("perfect predictor", `Quick, test_perfect_predictor);
+    ("blind predictor", `Quick, test_blind_predictor);
+    ("snoop predictor", `Quick, test_snoop_predictor);
+    ("snoop invalid", `Quick, test_snoop_invalid);
+    ("predictor labels", `Quick, test_predictor_labels);
+  ]

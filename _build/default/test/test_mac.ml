@@ -1,0 +1,240 @@
+(* Tests for the MAC substrate: backlog beliefs, notification contention,
+   and the integrated cell simulation (uplink invisibility, piggybacking,
+   control slots). *)
+
+module Mac = Wfs_mac
+module Core = Wfs_core
+module Rng = Wfs_util.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Frame types --- *)
+
+let test_control_addr () =
+  check_bool "control is control" true (Mac.Frame.is_control Mac.Frame.control_addr);
+  check_bool "data addr is not" false
+    (Mac.Frame.is_control { Mac.Frame.host = 1; direction = Mac.Frame.Uplink; index = 0 })
+
+(* --- Backlog set --- *)
+
+let test_backlog_report_lifecycle () =
+  let b = Mac.Backlog_set.create ~n_flows:3 in
+  check_bool "initially unknown" false (Mac.Backlog_set.known b ~flow:0);
+  Mac.Backlog_set.report b ~flow:0 ~queue:2;
+  check_bool "admitted" true (Mac.Backlog_set.known b ~flow:0);
+  check_int "belief" 2 (Mac.Backlog_set.believed_queue b ~flow:0);
+  Mac.Backlog_set.decrement b ~flow:0;
+  Mac.Backlog_set.decrement b ~flow:0;
+  check_bool "removed at zero" false (Mac.Backlog_set.known b ~flow:0)
+
+let test_backlog_notify_and_list () =
+  let b = Mac.Backlog_set.create ~n_flows:3 in
+  Mac.Backlog_set.notify b ~flow:2 ~queue:0;
+  check_int "notify admits at least 1" 1 (Mac.Backlog_set.believed_queue b ~flow:2);
+  Mac.Backlog_set.report b ~flow:1 ~queue:4;
+  Alcotest.(check (list int)) "known list sorted" [ 1; 2 ] (Mac.Backlog_set.known_flows b);
+  check_int "cardinal" 2 (Mac.Backlog_set.cardinal b)
+
+(* --- Contention --- *)
+
+let test_contention_single_contender_wins () =
+  let out =
+    Mac.Contention.contend ~rng:(Rng.create 1) ~minislots:4 ~contenders:[ 7 ]
+  in
+  Alcotest.(check (list int)) "solo always wins" [ 7 ] out.Mac.Contention.winners
+
+let test_contention_conservation () =
+  let contenders = [ 1; 2; 3; 4; 5 ] in
+  let out = Mac.Contention.contend ~rng:(Rng.create 2) ~minislots:4 ~contenders in
+  check_int "winners + collided = contenders"
+    (List.length contenders)
+    (List.length out.Mac.Contention.winners + List.length out.Mac.Contention.collided)
+
+let test_contention_statistics () =
+  (* Empirical success rate matches (1 - 1/m)^(k-1). *)
+  let rng = Rng.create 3 in
+  let trials = 20_000 and m = 4 and k = 3 in
+  let wins = ref 0 in
+  for _ = 1 to trials do
+    let out =
+      Mac.Contention.contend ~rng ~minislots:m ~contenders:(List.init k Fun.id)
+    in
+    if List.mem 0 out.Mac.Contention.winners then incr wins
+  done;
+  let expected = Mac.Contention.success_probability ~minislots:m ~contenders:k in
+  let measured = float_of_int !wins /. float_of_int trials in
+  check_bool "matches analytic probability" true (abs_float (measured -. expected) < 0.01)
+
+let test_contention_invalid () =
+  Alcotest.check_raises "minislots 0"
+    (Invalid_argument "Contention.contend: minislots must be > 0") (fun () ->
+      ignore (Mac.Contention.contend ~rng:(Rng.create 1) ~minislots:0 ~contenders:[]))
+
+(* --- Integrated MAC simulation --- *)
+
+let uplink host index = { Mac.Frame.host; direction = Mac.Frame.Uplink; index }
+let downlink host index = { Mac.Frame.host; direction = Mac.Frame.Downlink; index }
+
+let spec ?(drop = Core.Params.No_drop) ~addr ~source ~channel () =
+  { Mac.Mac_sim.addr; weight = 1.; source; channel; drop }
+
+let cbr interarrival = Wfs_traffic.Cbr.create ~interarrival ()
+let good () = Wfs_channel.Error_free.create ()
+
+let test_mac_downlink_only () =
+  (* Downlink flows need no notifications: everything is delivered and no
+     contention happens. *)
+  let cfg =
+    Mac.Mac_sim.config ~rng:(Rng.create 4) ~horizon:400
+      [|
+        spec ~addr:(downlink 1 0) ~source:(cbr 4.) ~channel:(good ()) ();
+        spec ~addr:(downlink 2 0) ~source:(cbr 4.) ~channel:(good ()) ();
+      |]
+  in
+  let r = Mac.Mac_sim.run cfg in
+  check_int "no notifications" 0 r.Mac.Mac_sim.notifications_won;
+  check_int "flow0 all delivered" 100
+    (Core.Metrics.delivered r.Mac.Mac_sim.metrics ~flow:0);
+  check_bool "control slots issued" true (r.Mac.Mac_sim.control_slots > 0)
+
+let test_mac_uplink_needs_notification () =
+  (* A single uplink flow starts invisible; its first packet must wait for
+     a control slot. *)
+  let cfg =
+    Mac.Mac_sim.config ~rng:(Rng.create 5) ~horizon:400
+      [| spec ~addr:(uplink 1 0) ~source:(cbr 4.) ~channel:(good ()) () |]
+  in
+  let r = Mac.Mac_sim.run cfg in
+  check_bool "notifications happened" true (r.Mac.Mac_sim.notifications_won > 0);
+  check_bool "most packets delivered" true
+    (Core.Metrics.delivered r.Mac.Mac_sim.metrics ~flow:0 > 80);
+  (* With a lightly loaded cell a control slot is almost always pending, so
+     reveals are fast — but never negative. *)
+  check_bool "reveal delay sane" true (r.Mac.Mac_sim.mean_reveal_delay >= 0.)
+
+let test_mac_piggyback_avoids_contention () =
+  (* A saturated uplink flow reveals its arrivals by piggybacking: after
+     the first notification, contention is rarely needed. *)
+  let cfg =
+    Mac.Mac_sim.config ~rng:(Rng.create 6) ~horizon:400
+      [| spec ~addr:(uplink 1 0) ~source:(cbr 1.2) ~channel:(good ()) () |]
+  in
+  let r = Mac.Mac_sim.run cfg in
+  check_bool "piggyback dominates" true
+    (r.Mac.Mac_sim.piggyback_reveals > 5 * r.Mac.Mac_sim.notifications_won)
+
+let test_mac_same_host_flows_share_piggyback () =
+  (* Host 1 has two uplink flows; the second flow's packets ride on the
+     first flow's transmissions instead of contending. *)
+  let cfg =
+    Mac.Mac_sim.config ~rng:(Rng.create 7) ~horizon:600
+      [|
+        spec ~addr:(uplink 1 0) ~source:(cbr 2.) ~channel:(good ()) ();
+        spec ~addr:(uplink 1 1)
+          ~source:(Wfs_traffic.Trace_source.of_slots [ 100; 200; 300 ])
+          ~channel:(good ()) ();
+      |]
+  in
+  let r = Mac.Mac_sim.run cfg in
+  check_int "second flow fully served" 3
+    (Core.Metrics.delivered r.Mac.Mac_sim.metrics ~flow:1)
+
+let test_mac_error_channel_retransmits () =
+  (* Data flows get weight 4 so the always-backlogged unit-weight control
+     flow consumes ~1/9 of the capacity rather than a third. *)
+  let chan =
+    Wfs_channel.Gilbert_elliott.create ~rng:(Rng.create 8) ~pg:0.07 ~pe:0.03 ()
+  in
+  let heavy spec_ = { spec_ with Mac.Mac_sim.weight = 4. } in
+  let cfg =
+    Mac.Mac_sim.config ~rng:(Rng.create 9) ~horizon:2_000
+      [|
+        heavy
+          (spec ~addr:(uplink 1 0) ~source:(cbr 5.) ~channel:chan
+             ~drop:(Core.Params.Retx_limit 2) ());
+        heavy (spec ~addr:(downlink 2 0) ~source:(cbr 2.) ~channel:(good ()) ());
+      |]
+  in
+  let r = Mac.Mac_sim.run cfg in
+  let m = r.Mac.Mac_sim.metrics in
+  check_bool "some deliveries on errored uplink" true
+    (Core.Metrics.delivered m ~flow:0 > 0);
+  check_bool "downlink mostly unharmed" true
+    (Core.Metrics.mean_delay m ~flow:1 < 10.)
+
+let test_mac_slot_accounting () =
+  let cfg =
+    Mac.Mac_sim.config ~rng:(Rng.create 10) ~horizon:500
+      [| spec ~addr:(downlink 1 0) ~source:(cbr 2.) ~channel:(good ()) () |]
+  in
+  let r = Mac.Mac_sim.run cfg in
+  check_int "slots partitioned" 500
+    (r.Mac.Mac_sim.control_slots + r.Mac.Mac_sim.data_slots + r.Mac.Mac_sim.idle_slots)
+
+let test_mac_delay_bound_drops_invisible_packets () =
+  (* Uplink packets stuck invisible past the delay bound are dropped by the
+     host and counted as losses. *)
+  let cfg =
+    Mac.Mac_sim.config ~rng:(Rng.create 20) ~horizon:100
+      [|
+        (* A flow whose channel is dead: its notification can win, but no
+           data slot ever succeeds, so queued + invisible packets age out. *)
+        spec
+          ~addr:(uplink 1 0)
+          ~drop:(Core.Params.Delay_bound 10)
+          ~source:(Wfs_traffic.Trace_source.create [ (0, 5) ])
+          ~channel:(Wfs_channel.Periodic_ch.bad_burst ~start:0 ~length:200)
+          ();
+      |]
+  in
+  let r = Mac.Mac_sim.run cfg in
+  check_int "all packets aged out" 5
+    (Core.Metrics.dropped r.Mac.Mac_sim.metrics ~flow:0)
+
+let test_scenario_mac_addresses () =
+  let s =
+    Core.Scenario.parse
+      "flow host=7 dir=up source=cbr:2 channel=good\nflow source=cbr:2 channel=good\n"
+  in
+  Alcotest.(check (pair int bool))
+    "explicit host/up" (7, true)
+    (let h, d = s.Core.Scenario.addrs.(0) in
+     (h, d = Core.Scenario.Up));
+  Alcotest.(check (pair int bool))
+    "default host/down" (2, true)
+    (let h, d = s.Core.Scenario.addrs.(1) in
+     (h, d = Core.Scenario.Down))
+
+let test_mac_config_validation () =
+  Alcotest.check_raises "control address reserved"
+    (Invalid_argument "Mac_sim.config: the control address is reserved")
+    (fun () ->
+      ignore
+        (Mac.Mac_sim.config ~rng:(Rng.create 1) ~horizon:10
+           [| spec ~addr:Mac.Frame.control_addr ~source:(cbr 2.) ~channel:(good ()) () |]));
+  let dup = spec ~addr:(uplink 1 0) ~source:(cbr 2.) ~channel:(good ()) () in
+  let dup2 = spec ~addr:(uplink 1 0) ~source:(cbr 2.) ~channel:(good ()) () in
+  Alcotest.check_raises "duplicate address"
+    (Invalid_argument "Mac_sim.config: duplicate flow address") (fun () ->
+      ignore (Mac.Mac_sim.config ~rng:(Rng.create 1) ~horizon:10 [| dup; dup2 |]))
+
+let suite =
+  [
+    ("control address", `Quick, test_control_addr);
+    ("backlog report lifecycle", `Quick, test_backlog_report_lifecycle);
+    ("backlog notify/list", `Quick, test_backlog_notify_and_list);
+    ("contention solo win", `Quick, test_contention_single_contender_wins);
+    ("contention conservation", `Quick, test_contention_conservation);
+    ("contention statistics", `Quick, test_contention_statistics);
+    ("contention invalid", `Quick, test_contention_invalid);
+    ("mac downlink only", `Quick, test_mac_downlink_only);
+    ("mac uplink notification", `Quick, test_mac_uplink_needs_notification);
+    ("mac piggyback dominates", `Quick, test_mac_piggyback_avoids_contention);
+    ("mac same-host piggyback", `Quick, test_mac_same_host_flows_share_piggyback);
+    ("mac errored uplink", `Quick, test_mac_error_channel_retransmits);
+    ("mac slot accounting", `Quick, test_mac_slot_accounting);
+    ("mac delay bound on invisible packets", `Quick, test_mac_delay_bound_drops_invisible_packets);
+    ("scenario mac addresses", `Quick, test_scenario_mac_addresses);
+    ("mac config validation", `Quick, test_mac_config_validation);
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "wfs"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("traffic", Test_traffic.suite);
+      ("channel", Test_channel.suite);
+      ("wireline", Test_wireline.suite);
+      ("iwfq", Test_iwfq.suite);
+      ("wps", Test_wps.suite);
+      ("simulator", Test_simulator.suite);
+      ("mac", Test_mac.suite);
+      ("bounds", Test_bounds.suite);
+      ("extensions", Test_extensions.suite);
+      ("scenario", Test_scenario.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,109 @@
+(* Tests for the simulation engine: event queue, clock, slotted driver,
+   trace log. *)
+
+module Eq = Wfs_sim.Event_queue
+module Clock = Wfs_sim.Clock
+module Slotted = Wfs_sim.Slotted
+module Tracelog = Wfs_sim.Tracelog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_event_queue_order () =
+  let q = Eq.create () in
+  Eq.schedule q ~at:3. "c";
+  Eq.schedule q ~at:1. "a";
+  Eq.schedule q ~at:2. "b";
+  let out = List.init 3 (fun _ -> snd (Option.get (Eq.pop q))) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] out
+
+let test_event_queue_same_time_fifo () =
+  let q = Eq.create () in
+  Eq.schedule q ~at:1. "first";
+  Eq.schedule q ~at:1. "second";
+  Alcotest.(check string) "fifo" "first" (snd (Option.get (Eq.pop q)));
+  Alcotest.(check string) "fifo" "second" (snd (Option.get (Eq.pop q)))
+
+let test_event_queue_nan () =
+  let q = Eq.create () in
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Event_queue.schedule: NaN time") (fun () ->
+      Eq.schedule q ~at:nan "x")
+
+let test_event_queue_next_time () =
+  let q = Eq.create () in
+  Alcotest.(check (option (float 0.))) "empty" None (Eq.next_time q);
+  Eq.schedule q ~at:5. ();
+  Alcotest.(check (option (float 0.))) "peek" (Some 5.) (Eq.next_time q);
+  check_int "length" 1 (Eq.length q)
+
+let test_clock_advance () =
+  let c = Clock.create () in
+  Alcotest.(check (float 0.)) "starts at 0" 0. (Clock.now c);
+  Clock.advance_to c 2.5;
+  Alcotest.(check (float 0.)) "advanced" 2.5 (Clock.now c);
+  Alcotest.check_raises "no going back"
+    (Invalid_argument "Clock.advance_to: 1 precedes current time 2.5")
+    (fun () -> Clock.advance_to c 1.)
+
+let test_slotted_run () =
+  let s = Slotted.create () in
+  let seen = ref [] in
+  Slotted.run s ~slots:3 (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "slots in order" [ 2; 1; 0 ] !seen;
+  (* A second run continues numbering. *)
+  Slotted.run s ~slots:2 (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "continues" [ 4; 3; 2; 1; 0 ] !seen
+
+let test_slotted_run_until () =
+  let s = Slotted.create () in
+  let n = Slotted.run_until s (fun i -> i < 4) ~max_slots:100 in
+  check_int "stopped by predicate" 5 n;
+  Slotted.reset s;
+  let n = Slotted.run_until s (fun _ -> true) ~max_slots:7 in
+  check_int "stopped by cap" 7 n
+
+let test_tracelog_basic () =
+  let t = Tracelog.create () in
+  Tracelog.record t ~slot:0 (Tracelog.Arrival { flow = 1; seq = 0 });
+  Tracelog.record t ~slot:1 Tracelog.Slot_idle;
+  Tracelog.record t ~slot:2 (Tracelog.Transmit_ok { flow = 1; seq = 0; delay = 2 });
+  check_int "3 events" 3 (List.length (Tracelog.events t));
+  check_int "1 idle" 1
+    (Tracelog.count t (fun e -> e.Tracelog.event = Tracelog.Slot_idle));
+  let arrivals =
+    Tracelog.filter t (fun e ->
+        match e.Tracelog.event with Tracelog.Arrival _ -> true | _ -> false)
+  in
+  check_int "arrival at slot 0" 0 (List.hd arrivals).Tracelog.slot
+
+let test_tracelog_disabled () =
+  let t = Tracelog.create ~enabled:false () in
+  Tracelog.record t ~slot:0 Tracelog.Slot_idle;
+  check_int "records nothing" 0 (List.length (Tracelog.events t));
+  check_bool "reports disabled" false (Tracelog.enabled t)
+
+let test_tracelog_clear () =
+  let t = Tracelog.create () in
+  Tracelog.record t ~slot:0 Tracelog.Slot_idle;
+  Tracelog.clear t;
+  check_int "cleared" 0 (List.length (Tracelog.events t))
+
+let test_tracelog_pp () =
+  let s = Format.asprintf "%a" Tracelog.pp_event (Tracelog.Swap { from_flow = 1; to_flow = 2 }) in
+  Alcotest.(check string) "pp swap" "swap f1->f2" s
+
+let suite =
+  [
+    ("event queue order", `Quick, test_event_queue_order);
+    ("event queue same-time FIFO", `Quick, test_event_queue_same_time_fifo);
+    ("event queue rejects NaN", `Quick, test_event_queue_nan);
+    ("event queue next_time", `Quick, test_event_queue_next_time);
+    ("clock advance", `Quick, test_clock_advance);
+    ("slotted run", `Quick, test_slotted_run);
+    ("slotted run_until", `Quick, test_slotted_run_until);
+    ("tracelog basic", `Quick, test_tracelog_basic);
+    ("tracelog disabled", `Quick, test_tracelog_disabled);
+    ("tracelog clear", `Quick, test_tracelog_clear);
+    ("tracelog pp", `Quick, test_tracelog_pp);
+  ]

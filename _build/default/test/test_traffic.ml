@@ -1,0 +1,162 @@
+(* Tests for arrival processes: exact rates, burst structure, trace replay. *)
+
+module Rng = Wfs_util.Rng
+module Arrival = Wfs_traffic.Arrival
+module Packet = Wfs_traffic.Packet
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let total_arrivals src ~slots =
+  let sum = ref 0 in
+  for slot = 0 to slots - 1 do
+    sum := !sum + Arrival.arrivals src ~slot
+  done;
+  !sum
+
+(* --- Packet --- *)
+
+let test_packet_delay_age () =
+  let p = Packet.make ~flow:0 ~seq:3 ~arrival:10 () in
+  check_int "delay" 5 (Packet.delay p ~departed:15);
+  check_int "age" 2 (Packet.age p ~now:12);
+  check_int "fresh attempts" 0 p.Packet.attempts
+
+(* --- CBR --- *)
+
+let test_cbr_exact_schedule () =
+  let src = Wfs_traffic.Cbr.create ~interarrival:2. () in
+  let counts = List.init 6 (fun slot -> Arrival.arrivals src ~slot) in
+  Alcotest.(check (list int)) "every other slot" [ 1; 0; 1; 0; 1; 0 ] counts
+
+let test_cbr_fractional () =
+  let src = Wfs_traffic.Cbr.create ~interarrival:1.5 () in
+  let total = total_arrivals src ~slots:300 in
+  check_int "rate 2/3" 200 total
+
+let test_cbr_phase () =
+  let src = Wfs_traffic.Cbr.create ~phase:1.0 ~interarrival:2. () in
+  let counts = List.init 4 (fun slot -> Arrival.arrivals src ~slot) in
+  Alcotest.(check (list int)) "shifted" [ 0; 1; 0; 1 ] counts
+
+let test_cbr_invalid () =
+  Alcotest.check_raises "interarrival 0"
+    (Invalid_argument "Cbr.create: interarrival must be > 0") (fun () ->
+      ignore (Wfs_traffic.Cbr.create ~interarrival:0. ()))
+
+(* --- Poisson --- *)
+
+let test_poisson_rate () =
+  let src = Wfs_traffic.Poisson.create ~rng:(Rng.create 1) ~rate:0.25 in
+  let total = total_arrivals src ~slots:100_000 in
+  check_bool "rate near 0.25" true
+    (abs_float ((float_of_int total /. 100_000.) -. 0.25) < 0.01)
+
+let test_poisson_zero_rate () =
+  let src = Wfs_traffic.Poisson.create ~rng:(Rng.create 1) ~rate:0. in
+  check_int "silent" 0 (total_arrivals src ~slots:1000)
+
+(* --- MMPP --- *)
+
+let test_mmpp_mean_rate () =
+  let src = Wfs_traffic.Mmpp.create ~rng:(Rng.create 2) ~on_rate:2. () in
+  Alcotest.(check (float 1e-9)) "declared mean" 0.2 (Arrival.mean_rate src);
+  let total = total_arrivals src ~slots:200_000 in
+  check_bool "measured near 0.2" true
+    (abs_float ((float_of_int total /. 200_000.) -. 0.2) < 0.01)
+
+let test_mmpp_paper_source_rate () =
+  let src = Wfs_traffic.Mmpp.paper_source ~rng:(Rng.create 3) ~mean_rate:0.08 () in
+  let total = total_arrivals src ~slots:200_000 in
+  check_bool "measured near 0.08" true
+    (abs_float ((float_of_int total /. 200_000.) -. 0.08) < 0.008)
+
+let test_mmpp_burstier_than_poisson () =
+  (* Per-slot counts of an MMPP with slow modulation have higher variance
+     than a Poisson source of the same mean. *)
+  let slots = 100_000 in
+  let var_of src =
+    let s = Wfs_util.Stats.Summary.create () in
+    for slot = 0 to slots - 1 do
+      Wfs_util.Stats.Summary.add s (float_of_int (Arrival.arrivals src ~slot))
+    done;
+    Wfs_util.Stats.Summary.variance s
+  in
+  let mmpp =
+    Wfs_traffic.Mmpp.create ~rng:(Rng.create 4) ~on_to_off:0.02 ~off_to_on:0.005
+      ~on_rate:1.0 ()
+  in
+  let poisson = Wfs_traffic.Poisson.create ~rng:(Rng.create 5) ~rate:0.2 in
+  check_bool "mmpp variance dominates" true (var_of mmpp > 1.5 *. var_of poisson)
+
+let test_mmpp_invalid () =
+  Alcotest.check_raises "bad rates"
+    (Invalid_argument "Mmpp.create: modulating rates must be > 0") (fun () ->
+      ignore (Wfs_traffic.Mmpp.create ~rng:(Rng.create 1) ~on_to_off:0. ~on_rate:1. ()))
+
+(* --- On-off --- *)
+
+let test_onoff_mean_rate () =
+  let src =
+    Wfs_traffic.Onoff.create ~rng:(Rng.create 6) ~p_on_to_off:0.1 ~p_off_to_on:0.1 ()
+  in
+  let total = total_arrivals src ~slots:100_000 in
+  check_bool "rate near 0.5" true
+    (abs_float ((float_of_int total /. 100_000.) -. 0.5) < 0.02)
+
+let test_onoff_bursts_geometric () =
+  let src =
+    Wfs_traffic.Onoff.create ~rng:(Rng.create 7) ~p_on_to_off:0.25 ~p_off_to_on:0.25 ()
+  in
+  (* Measure mean ON-burst length; should be near 1/0.25 = 4. *)
+  let bursts = ref [] in
+  let current = ref 0 in
+  for slot = 0 to 100_000 - 1 do
+    if Arrival.arrivals src ~slot > 0 then incr current
+    else if !current > 0 then begin
+      bursts := !current :: !bursts;
+      current := 0
+    end
+  done;
+  let mean =
+    float_of_int (List.fold_left ( + ) 0 !bursts)
+    /. float_of_int (List.length !bursts)
+  in
+  check_bool "mean burst near 4" true (abs_float (mean -. 4.) < 0.3)
+
+(* --- Trace --- *)
+
+let test_trace_source_replay () =
+  let src = Wfs_traffic.Trace_source.create [ (0, 2); (3, 1); (0, 1) ] in
+  let counts = List.init 5 (fun slot -> Arrival.arrivals src ~slot) in
+  Alcotest.(check (list int)) "replay with accumulation" [ 3; 0; 0; 1; 0 ] counts
+
+let test_trace_source_of_slots () =
+  let src = Wfs_traffic.Trace_source.of_slots [ 1; 4 ] in
+  let counts = List.init 5 (fun slot -> Arrival.arrivals src ~slot) in
+  Alcotest.(check (list int)) "one each" [ 0; 1; 0; 0; 1 ] counts
+
+let test_trace_source_invalid () =
+  Alcotest.check_raises "negative slot"
+    (Invalid_argument "Trace_source.create: negative slot or count") (fun () ->
+      ignore (Wfs_traffic.Trace_source.create [ (-1, 1) ]))
+
+let suite =
+  [
+    ("packet delay/age", `Quick, test_packet_delay_age);
+    ("cbr exact schedule", `Quick, test_cbr_exact_schedule);
+    ("cbr fractional rate", `Quick, test_cbr_fractional);
+    ("cbr phase", `Quick, test_cbr_phase);
+    ("cbr invalid", `Quick, test_cbr_invalid);
+    ("poisson rate", `Quick, test_poisson_rate);
+    ("poisson zero rate", `Quick, test_poisson_zero_rate);
+    ("mmpp mean rate", `Quick, test_mmpp_mean_rate);
+    ("mmpp paper source", `Quick, test_mmpp_paper_source_rate);
+    ("mmpp burstier than poisson", `Quick, test_mmpp_burstier_than_poisson);
+    ("mmpp invalid", `Quick, test_mmpp_invalid);
+    ("onoff mean rate", `Quick, test_onoff_mean_rate);
+    ("onoff geometric bursts", `Quick, test_onoff_bursts_geometric);
+    ("trace source replay", `Quick, test_trace_source_replay);
+    ("trace source of_slots", `Quick, test_trace_source_of_slots);
+    ("trace source invalid", `Quick, test_trace_source_invalid);
+  ]

@@ -1,0 +1,324 @@
+(* Unit and property tests for wfs_util: PRNG, heap, statistics, ring,
+   table formatting. *)
+
+module Rng = Wfs_util.Rng
+module Heap = Wfs_util.Heap
+module Stats = Wfs_util.Stats
+module Ring = Wfs_util.Ring
+module Tablefmt = Wfs_util.Tablefmt
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_copy () =
+  let a = Rng.create 3 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 11 in
+  let b = Rng.split a in
+  let xs = Array.init 64 (fun _ -> Rng.bits64 a) in
+  let ys = Array.init 64 (fun _ -> Rng.bits64 b) in
+  check_bool "streams differ" true (xs <> ys)
+
+let test_rng_float_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    check_bool "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 6 in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 70_000 do
+    let k = Rng.int rng 7 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_bool (Printf.sprintf "bucket %d near uniform" i) true
+        (c > 9_000 && c < 11_000))
+    counts
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 8 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (Rng.exponential rng ~rate:2.)
+  done;
+  check_bool "mean near 0.5" true (abs_float (Stats.Summary.mean s -. 0.5) < 0.01)
+
+let test_rng_poisson_mean_var () =
+  let rng = Rng.create 9 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (float_of_int (Rng.poisson rng ~mean:3.))
+  done;
+  check_bool "mean near 3" true (abs_float (Stats.Summary.mean s -. 3.) < 0.05);
+  check_bool "variance near 3" true
+    (abs_float (Stats.Summary.variance s -. 3.) < 0.15)
+
+let test_rng_geometric_mean () =
+  let rng = Rng.create 10 in
+  let s = Stats.Summary.create () in
+  let p = 0.25 in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (float_of_int (Rng.geometric rng ~p))
+  done;
+  (* mean of failures-before-success = (1-p)/p = 3 *)
+  check_bool "mean near 3" true (abs_float (Stats.Summary.mean s -. 3.) < 0.08)
+
+let test_rng_bernoulli () =
+  let rng = Rng.create 12 in
+  let hits = ref 0 in
+  for _ = 1 to 100_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  check_bool "p near 0.3" true
+    (abs_float ((float_of_int !hits /. 100_000.) -. 0.3) < 0.01)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 13 in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+(* --- Heap --- *)
+
+let test_heap_order () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let out = List.init (Heap.length h) (fun _ -> Heap.pop_exn h) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] out
+
+let test_heap_fifo_ties () =
+  let h = Heap.create ~leq:(fun (a, _) (b, _) -> a <= b) () in
+  List.iter (Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let labels = List.init 4 (fun _ -> snd (Heap.pop_exn h)) in
+  Alcotest.(check (list string)) "ties pop FIFO" [ "z"; "a"; "b"; "c" ] labels
+
+let test_heap_empty () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) () in
+  check_bool "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Alcotest.check_raises "pop_exn raises"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) () in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Heap.clear h;
+  check_int "cleared" 0 (Heap.length h);
+  Heap.push h 42;
+  Alcotest.(check (option int)) "usable after clear" (Some 42) (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~leq:(fun a b -> a <= b) () in
+      List.iter (Heap.push h) xs;
+      let out = List.init (List.length xs) (fun _ -> Heap.pop_exn h) in
+      out = List.sort compare xs)
+
+let remove_one x l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | y :: tl -> if y = x then List.rev_append acc tl else go (y :: acc) tl
+  in
+  go [] l
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap pop is minimum under interleaved ops" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~leq:(fun a b -> a <= b) () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, x) ->
+          if is_push then begin
+            Heap.push h x;
+            model := x :: !model;
+            true
+          end
+          else
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some v, (_ :: _ as l) ->
+                let m = List.fold_left min max_int l in
+                model := remove_one m l;
+                v = m
+            | Some _, [] | None, _ :: _ -> false)
+        ops)
+
+(* --- Stats --- *)
+
+let test_summary_basic () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_int "count" 8 (Stats.Summary.count s);
+  check_float "mean" 5. (Stats.Summary.mean s);
+  check_float "variance" 4. (Stats.Summary.variance s);
+  check_float "stddev" 2. (Stats.Summary.stddev s);
+  check_float "min" 2. (Stats.Summary.min s);
+  check_float "max" 9. (Stats.Summary.max s);
+  check_float "total" 40. (Stats.Summary.total s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  check_float "mean of empty" 0. (Stats.Summary.mean s);
+  check_float "variance of empty" 0. (Stats.Summary.variance s);
+  check_bool "min is nan" true (Float.is_nan (Stats.Summary.min s))
+
+let test_summary_merge () =
+  let a = Stats.Summary.create () and b = Stats.Summary.create () in
+  let all = Stats.Summary.create () in
+  List.iter
+    (fun x ->
+      Stats.Summary.add (if x < 5. then a else b) x;
+      Stats.Summary.add all x)
+    [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  let m = Stats.Summary.merge a b in
+  check_int "merged count" (Stats.Summary.count all) (Stats.Summary.count m);
+  check_float "merged mean" (Stats.Summary.mean all) (Stats.Summary.mean m);
+  Alcotest.(check (float 1e-6))
+    "merged variance" (Stats.Summary.variance all) (Stats.Summary.variance m)
+
+let prop_summary_matches_naive =
+  QCheck.Test.make ~name:"Welford matches naive mean/variance" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. n
+      in
+      abs_float (Stats.Summary.mean s -. mean) < 1e-6
+      && (List.length xs < 2 || abs_float (Stats.Summary.variance s -. var) < 1e-4))
+
+let test_histogram_percentile () =
+  let h = Stats.Histogram.create ~bin_width:1.0 () in
+  for i = 1 to 100 do
+    Stats.Histogram.add h (float_of_int i)
+  done;
+  check_float "p50" 50. (Stats.Histogram.percentile h 50.);
+  check_float "p99" 99. (Stats.Histogram.percentile h 99.);
+  check_float "p100" 100. (Stats.Histogram.percentile h 100.);
+  check_bool "empty is nan" true
+    (Float.is_nan (Stats.Histogram.percentile (Stats.Histogram.create ()) 50.))
+
+let test_counter_ratio () =
+  let num = Stats.Counter.create () and den = Stats.Counter.create () in
+  check_float "0/0" 0. (Stats.Counter.ratio num ~over:den);
+  Stats.Counter.incr_by den 4;
+  Stats.Counter.incr num;
+  check_float "1/4" 0.25 (Stats.Counter.ratio num ~over:den)
+
+(* --- Ring --- *)
+
+let test_ring_cycle () =
+  let r = Ring.create [| 10; 20; 30 |] in
+  let xs = List.init 7 (fun _ -> Option.get (Ring.next r)) in
+  Alcotest.(check (list int)) "cycles" [ 10; 20; 30; 10; 20; 30; 10 ] xs
+
+let test_ring_empty () =
+  let r = Ring.create [||] in
+  Alcotest.(check (option int)) "next of empty" None (Ring.next r);
+  Alcotest.(check (option int)) "match of empty" None
+    (Ring.next_matching r (fun _ -> true))
+
+let test_ring_next_matching () =
+  let r = Ring.create [| 1; 2; 3; 4 |] in
+  Alcotest.(check (option int)) "first even" (Some 2)
+    (Ring.next_matching r (fun x -> x mod 2 = 0));
+  Alcotest.(check (option int)) "next even from marker" (Some 4)
+    (Ring.next_matching r (fun x -> x mod 2 = 0));
+  Alcotest.(check (option int)) "wraps around" (Some 2)
+    (Ring.next_matching r (fun x -> x mod 2 = 0))
+
+let test_ring_next_matching_none () =
+  let r = Ring.create [| 1; 3; 5 |] in
+  ignore (Ring.next r);
+  let before = Ring.marker r in
+  Alcotest.(check (option int)) "no match" None
+    (Ring.next_matching r (fun x -> x mod 2 = 0));
+  Alcotest.(check (option int)) "marker restored" before (Ring.marker r)
+
+let test_ring_rebuild () =
+  let r = Ring.create [| 1; 2 |] in
+  ignore (Ring.next r);
+  Ring.rebuild r [| 7; 8; 9 |];
+  check_int "new length" 3 (Ring.length r);
+  Alcotest.(check (option int)) "restarts" (Some 7) (Ring.next r)
+
+(* --- Tablefmt --- *)
+
+let test_table_render () =
+  let t = Tablefmt.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Tablefmt.add_row t [ "1"; "2" ];
+  Tablefmt.add_row t [ "333" ];
+  let s = Tablefmt.render t in
+  check_bool "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  (* title + header + separator + 2 rows, with a trailing newline *)
+  check_bool "pads short rows" true
+    (List.length (String.split_on_char '\n' s) = 6)
+
+let test_cell_of_float () =
+  Alcotest.(check string) "integer renders bare" "3" (Tablefmt.cell_of_float 3.0);
+  Alcotest.(check string) "nan renders dash" "-" (Tablefmt.cell_of_float nan);
+  Alcotest.(check string)
+    "decimals respected" "3.14"
+    (Tablefmt.cell_of_float ~decimals:2 3.14159)
+
+let suite =
+  [
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng copy", `Quick, test_rng_copy);
+    ("rng split independence", `Quick, test_rng_split_independent);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("rng int uniformity", `Quick, test_rng_int_range);
+    ("rng exponential mean", `Quick, test_rng_exponential_mean);
+    ("rng poisson mean/var", `Quick, test_rng_poisson_mean_var);
+    ("rng geometric mean", `Quick, test_rng_geometric_mean);
+    ("rng bernoulli", `Quick, test_rng_bernoulli);
+    ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
+    ("heap order", `Quick, test_heap_order);
+    ("heap FIFO ties", `Quick, test_heap_fifo_ties);
+    ("heap empty", `Quick, test_heap_empty);
+    ("heap clear", `Quick, test_heap_clear);
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_heap_interleaved;
+    ("summary basic", `Quick, test_summary_basic);
+    ("summary empty", `Quick, test_summary_empty);
+    ("summary merge", `Quick, test_summary_merge);
+    QCheck_alcotest.to_alcotest prop_summary_matches_naive;
+    ("histogram percentile", `Quick, test_histogram_percentile);
+    ("counter ratio", `Quick, test_counter_ratio);
+    ("ring cycle", `Quick, test_ring_cycle);
+    ("ring empty", `Quick, test_ring_empty);
+    ("ring next_matching", `Quick, test_ring_next_matching);
+    ("ring next_matching none", `Quick, test_ring_next_matching_none);
+    ("ring rebuild", `Quick, test_ring_rebuild);
+    ("table render", `Quick, test_table_render);
+    ("table float cells", `Quick, test_cell_of_float);
+  ]
