@@ -1,0 +1,25 @@
+# Convenience targets; `make check` is the tier-1 gate CI runs.
+
+.PHONY: all build lint test check bench clean
+
+all: build
+
+build:
+	dune build
+
+lint:
+	dune build @lint
+
+test:
+	dune runtest
+
+check:
+	dune build @lint
+	dune build
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

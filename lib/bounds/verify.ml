@@ -197,12 +197,13 @@ let check_error_free_delay ?params ~horizon ~make_setups ~predictor ~flow () =
       ~flow
   in
   let report = ref empty_report in
-  Hashtbl.iter
-    (fun seq t_ref ->
-      match Hashtbl.find_opt errored seq with
-      | Some t_err ->
-          report :=
-            observe !report ~measured:(float_of_int (t_err - t_ref)) ~bound
-      | None -> ())
-    reference;
+  (* lint: allow R1 -- bindings are sorted by seq immediately below, so hash order never reaches the report *)
+  Hashtbl.fold (fun seq t_ref acc -> (seq, t_ref) :: acc) reference []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (seq, t_ref) ->
+         match Hashtbl.find_opt errored seq with
+         | Some t_err ->
+             report :=
+               observe !report ~measured:(float_of_int (t_err - t_ref)) ~bound
+         | None -> ());
   !report

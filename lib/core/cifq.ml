@@ -138,7 +138,7 @@ let drop_expired t ~flow ~now ~bound =
   while !continue do
     match Queue.peek_opt q with
     | Some pkt when Packet.age pkt ~now > bound ->
-        ignore (Queue.pop q);
+        ignore (Queue.take_opt q);
         dropped := pkt :: !dropped
     | Some _ | None -> continue := false
   done;

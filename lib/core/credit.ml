@@ -27,7 +27,7 @@ let create ~credit_limit ~debit_limit ?credit_per_frame ~weight () =
 
 let balance t = t.balance
 
-let clamp t v = min (max v (-t.debit_limit)) t.credit_limit
+let clamp t v = Int.min (Int.max v (-t.debit_limit)) t.credit_limit
 
 let begin_frame t =
   let redeemed =

@@ -8,7 +8,6 @@ type t = {
   mutable current : int;  (* round-robin position *)
   mutable remaining : int;  (* grants left for the current flow *)
   mutable now : int;  (* last slot seen by select *)
-  mutable last_selected : int;  (* flow whose outcome the next ack reports *)
 }
 
 let int_weight w =
@@ -30,7 +29,6 @@ let create ?(backoff = 10) flows =
     current = 0;
     remaining = (if n = 0 then 0 else 1);
     now = 0;
-    last_selected = -1;
   }
 
 let is_marked t ~flow ~now = now < t.marked_until.(flow)
@@ -45,7 +43,6 @@ let advance t =
 
 let select t ~slot ~predicted_good:_ =
   t.now <- slot;
-  t.last_selected <- -1;
   (* Serve the round-robin order, skipping empty queues and marked flows;
      at most one full cycle per slot. *)
   let n = n_flows t in
@@ -57,7 +54,6 @@ let select t ~slot ~predicted_good:_ =
       if (not (Queue.is_empty t.queues.(f))) && not (is_marked t ~flow:f ~now:slot)
       then begin
         t.remaining <- t.remaining - 1;
-        t.last_selected <- f;
         Some f
       end
       else begin
@@ -91,7 +87,7 @@ let drop_expired t ~flow ~now ~bound =
   while !continue do
     match Queue.peek_opt q with
     | Some pkt when Packet.age pkt ~now > bound ->
-        ignore (Queue.pop q);
+        ignore (Queue.take_opt q);
         dropped := pkt :: !dropped
     | Some _ | None -> continue := false
   done;

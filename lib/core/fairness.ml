@@ -4,7 +4,7 @@ let jain xs =
   else begin
     let sum = Array.fold_left ( +. ) 0. xs in
     let sumsq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
-    if sumsq = 0. then 1.0 else sum *. sum /. (float_of_int n *. sumsq)
+    if sumsq <= 0. then 1.0 else sum *. sum /. (float_of_int n *. sumsq)
   end
 
 let max_normalized_gap ~weights ~service =
@@ -21,7 +21,7 @@ module Monitor = struct
     weights : float array;
     window : int;
     sched : Wireless_sched.instance;
-    mutable window_start_service : int array;
+    window_start_service : int array;
     mutable slots_in_window : int;
     mutable all_backlogged : bool;
     mutable windows : int;

@@ -71,9 +71,11 @@ let drop_newest_packet fs =
     (* Queue has no remove-from-tail; rotate n-1 elements. *)
     let keep = Queue.create () in
     for _ = 1 to n - 1 do
-      Queue.push (Queue.pop fs.packets) keep
+      match Queue.take_opt fs.packets with
+      | Some pkt -> Queue.push pkt keep
+      | None -> ()
     done;
-    ignore (Queue.pop fs.packets);
+    ignore (Queue.take_opt fs.packets);
     Queue.transfer keep fs.packets
   end
 
@@ -124,15 +126,13 @@ let select t ~slot:_ ~predicted_good =
     match best true with Some f -> Some f | None -> best false
   else best false
 
-let head t flow =
-  let fs = t.flows.(flow) in
-  if Queue.is_empty fs.packets then None else Some (Queue.peek fs.packets)
+let head t flow = Queue.peek_opt t.flows.(flow).packets
 
 let complete t ~flow =
   let fs = t.flows.(flow) in
   (match Slot_queue.pop_front fs.slots with
   | Some _ -> ()
-  | None -> invalid_arg "Iwfq.complete: no slot");
+  | None -> invalid_arg "Iwfq.complete: empty queue");
   match Queue.pop fs.packets with
   | exception Queue.Empty -> invalid_arg "Iwfq.complete: empty queue"
   | _pkt -> ()
@@ -157,7 +157,7 @@ let drop_expired t ~flow ~now ~bound =
   while !continue do
     match Queue.peek_opt fs.packets with
     | Some pkt when Packet.age pkt ~now > bound ->
-        ignore (Queue.pop fs.packets);
+        ignore (Queue.take_opt fs.packets);
         ignore (Slot_queue.pop_back fs.slots);
         dropped := pkt :: !dropped
     | Some _ | None -> continue := false

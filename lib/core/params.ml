@@ -36,7 +36,7 @@ let per_flow_lag t ~flows =
   Array.map
     (fun f ->
       let share = t.lag_total *. f.weight /. total_weight in
-      Stdlib.max 1 (int_of_float (floor share)))
+      Int.max 1 (int_of_float (floor share)))
     flows
 
 type wps = {

@@ -149,7 +149,7 @@ let parse_flow_line ~line tokens =
 let tokens_of line =
   String.split_on_char ' ' line
   |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun s -> s <> "")
+  |> List.filter (fun s -> String.length s > 0)
 
 let strip_comment line =
   match String.index_opt line '#' with
@@ -179,7 +179,7 @@ let parse text =
       | directive :: _ -> fail ~line "unknown directive %S" directive)
     (String.split_on_char '\n' text);
   let flow_lines = List.rev !flow_lines in
-  if flow_lines = [] then fail ~line:0 "scenario has no flows";
+  if List.is_empty flow_lines then fail ~line:0 "scenario has no flows";
   let master = Wfs_util.Rng.create !seed in
   let rng () = Wfs_util.Rng.split master in
   let setups =

@@ -19,7 +19,7 @@ let length t = t.len
 let is_empty t = t.len = 0
 
 let normalize t =
-  if t.back <> [] then begin
+  if not (List.is_empty t.back) then begin
     t.front <- t.front @ List.rev t.back;
     t.back <- []
   end
@@ -77,7 +77,7 @@ let lagging_count t ~v =
   match count 0 t.front with
   | Some n -> n
   | None ->
-      if t.back = [] then List.length t.front
+      if List.is_empty t.back then List.length t.front
       else begin
         normalize t;
         match count 0 t.front with Some n -> n | None -> t.len

@@ -5,7 +5,17 @@
     the current channel {e predictions}, and the transmission outcome
     (decided by the true channel state) is reported back via [complete] /
     [fail] / [drop_head].  Schedulers own the per-flow packet queues so
-    they can make backlog-aware decisions. *)
+    they can make backlog-aware decisions.
+
+    {b Error convention.}  Queries where emptiness is an expected state
+    return options ([head], [select]).  Outcome callbacks ([complete],
+    [fail], [drop_head]) may only refer to the packet the scheduler just
+    offered via [select]/[head]; calling them on a flow with an empty
+    queue is a driver bug and raises
+    [Invalid_argument "<Module>.<function>: empty queue"] — uniformly
+    worded across implementations so tests can assert on it.  Contrast
+    {!Wfs_wireline.Sched_intf}, whose [dequeue] returns [None] instead of
+    raising, because there an empty queue is a normal idle condition. *)
 
 type instance = {
   name : string;

@@ -3,7 +3,6 @@ module Ring = Wfs_util.Ring
 module Tracelog = Wfs_sim.Tracelog
 
 type flow_state = {
-  cfg : Params.flow;
   weight_int : int;
   packets : Packet.t Queue.t;
   credit : Credit.t;
@@ -53,7 +52,6 @@ let create ?params ?limits ?trace flows =
             | None -> (params.credit_limit, params.debit_limit)
           in
           {
-            cfg;
             weight_int;
             packets = Queue.create ();
             credit =
@@ -80,10 +78,10 @@ let backlogged fs = not (Queue.is_empty fs.packets)
 (* Rebuild the cross-frame swap ring when the known-backlogged set changes
    (the paper's "new queue phase"), spread by default weights. *)
 let refresh_ring t members =
-  if members <> t.ring_members then begin
+  if not (List.equal Int.equal members t.ring_members) then begin
     let weights =
       Array.mapi
-        (fun i fs -> if List.mem i members then fs.weight_int else 0)
+        (fun i fs -> if List.memq i members then fs.weight_int else 0)
         t.flows
     in
     Ring.rebuild t.ring (Spreading.frame ~weights);
@@ -152,7 +150,7 @@ let try_swap_intra t ~predicted_good ~slot =
   let limit =
     match t.params.swap_window with
     | None -> Array.length t.frame
-    | Some w -> min (Array.length t.frame) (t.pos + w)
+    | Some w -> Int.min (Array.length t.frame) (t.pos + w)
   in
   let rec scan j =
     if j >= limit then false
@@ -283,7 +281,7 @@ let drop_expired t ~flow ~now ~bound =
   while !continue do
     match Queue.peek_opt fs.packets with
     | Some pkt when Packet.age pkt ~now > bound ->
-        ignore (Queue.pop fs.packets);
+        ignore (Queue.take_opt fs.packets);
         dropped := pkt :: !dropped
     | Some _ | None -> continue := false
   done;
@@ -318,7 +316,7 @@ let effective_weight t ~flow = if t.flows.(flow).in_frame then t.flows.(flow).ef
 
 let frame_snapshot t =
   let len = Array.length t.frame in
-  let pos = min t.pos len in
+  let pos = Int.min t.pos len in
   Array.sub t.frame pos (len - pos)
 
 let frame_position t = t.pos

@@ -9,7 +9,7 @@ let report t ~flow ~queue =
   if queue < 0 then invalid_arg "Backlog_set.report: negative queue";
   t.believed.(flow) <- queue
 
-let notify t ~flow ~queue = t.believed.(flow) <- max 1 queue
+let notify t ~flow ~queue = t.believed.(flow) <- Int.max 1 queue
 
 let decrement t ~flow =
   if t.believed.(flow) > 0 then t.believed.(flow) <- t.believed.(flow) - 1

@@ -4,7 +4,7 @@ let resolve picks =
   match picks with
   | [] -> ([], [])
   | _ ->
-      let max_slot = List.fold_left (fun acc (_, m) -> max acc m) 0 picks in
+      let max_slot = List.fold_left (fun acc (_, m) -> Int.max acc m) 0 picks in
       let count = Array.make (max_slot + 1) 0 in
       List.iter (fun (_, m) -> count.(m) <- count.(m) + 1) picks;
       let winners, collided = List.partition (fun (_, m) -> count.(m) = 1) picks in

@@ -103,12 +103,15 @@ let run cfg =
   in
   let reveal ~slot ~via_piggyback flow =
     let mf = mac.(flow) in
-    while not (Queue.is_empty mf.unknown) do
-      let pkt = Queue.pop mf.unknown in
-      Wfs_util.Stats.Summary.add reveal_delay
-        (float_of_int (slot - pkt.Packet.arrival));
-      if via_piggyback then incr piggyback_reveals;
-      sched.enqueue ~slot pkt
+    let continue = ref true in
+    while !continue do
+      match Queue.take_opt mf.unknown with
+      | None -> continue := false
+      | Some pkt ->
+          Wfs_util.Stats.Summary.add reveal_delay
+            (float_of_int (slot - pkt.Packet.arrival));
+          if via_piggyback then incr piggyback_reveals;
+          sched.enqueue ~slot pkt
     done
   in
   (* Piggybacking: a successful transmission from host [h] carries current
@@ -180,7 +183,7 @@ let run cfg =
             while !continue do
               match Queue.peek_opt mf.unknown with
               | Some pkt when Packet.age pkt ~now:slot > bound ->
-                  ignore (Queue.pop mf.unknown);
+                  ignore (Queue.take_opt mf.unknown);
                   Core.Metrics.on_drop metrics ~flow:i
               | Some _ | None -> continue := false
             done)

@@ -18,7 +18,7 @@ let create ~rng ?(packets_per_on_slot = 1) ?(shape = 1.5) ~mean_on ~mean_off () 
   let on = ref false in
   let remaining = ref 0 in
   let draw_period scale =
-    max 1 (int_of_float (Float.round (pareto ~rng ~shape ~scale)))
+    Int.max 1 (int_of_float (Float.round (pareto ~rng ~shape ~scale)))
   in
   let step _slot =
     if !remaining <= 0 then begin

@@ -78,7 +78,7 @@ let exponential t ~rate =
 
 let poisson t ~mean =
   assert (mean >= 0.);
-  if mean = 0. then 0
+  if mean <= 0. then 0
   else if mean < 500. then begin
     (* Inversion by sequential search (Knuth), linear in the mean. *)
     let limit = exp (-.mean) in
@@ -98,7 +98,7 @@ let poisson t ~mean =
 
 let geometric t ~p =
   assert (p > 0. && p <= 1.);
-  if p = 1. then 0
+  if p >= 1. then 0
   else
     let u = float t in
     int_of_float (floor (log (1. -. u) /. log (1. -. p)))

@@ -49,32 +49,31 @@ let dequeue t ~time =
     let rec serve () =
       match t.current with
       | Some flow ->
-          if Queue.is_empty t.queues.(flow) then begin
-            t.in_active.(flow) <- false;
-            t.deficit.(flow) <- 0.;
-            t.current <- None;
-            serve ()
-          end
-          else begin
-            let head = Queue.peek t.queues.(flow) in
-            if t.deficit.(flow) >= head.Job.size then begin
-              let job = Queue.pop t.queues.(flow) in
-              t.deficit.(flow) <- t.deficit.(flow) -. job.Job.size;
-              t.total_queued <- t.total_queued - 1;
-              if Queue.is_empty t.queues.(flow) then begin
-                t.in_active.(flow) <- false;
-                t.deficit.(flow) <- 0.;
-                t.current <- None
-              end;
-              Some job
-            end
-            else begin
-              Queue.push flow t.active;
+          (match Queue.peek_opt t.queues.(flow) with
+          | None ->
+              t.in_active.(flow) <- false;
+              t.deficit.(flow) <- 0.;
               t.current <- None;
               serve ()
-            end
-          end
+          | Some head ->
+              if t.deficit.(flow) >= head.Job.size then begin
+                ignore (Queue.take_opt t.queues.(flow));
+                t.deficit.(flow) <- t.deficit.(flow) -. head.Job.size;
+                t.total_queued <- t.total_queued - 1;
+                if Queue.is_empty t.queues.(flow) then begin
+                  t.in_active.(flow) <- false;
+                  t.deficit.(flow) <- 0.;
+                  t.current <- None
+                end;
+                Some head
+              end
+              else begin
+                Queue.push flow t.active;
+                t.current <- None;
+                serve ()
+              end)
       | None ->
+          (* lint: allow R5 -- total_queued > 0 guarantees a backlogged flow sits on the active ring; an empty pop here is a broken invariant that must fail loudly *)
           let flow = Queue.pop t.active in
           if Queue.is_empty t.queues.(flow) then begin
             (* Stale entry: the flow drained earlier in this round. *)

@@ -2,7 +2,16 @@
 
     Each scheduler module exposes a typed API plus an [instance] constructor
     returning this record, which the {!Server} driver and the comparative
-    tests/benches consume uniformly. *)
+    tests/benches consume uniformly.
+
+    {b Error convention.}  Wireline schedulers never raise on an empty
+    queue: emptiness is an expected state, so [dequeue] reports it as
+    [None] and callers branch on the option.  Exceptions are reserved for
+    caller bugs (e.g. out-of-range flow ids), which raise
+    [Invalid_argument].  Contrast {!Wfs_core.Wireless_sched}, where
+    [complete]/[drop_head] on an empty queue {e is} a caller bug — the
+    simulator only reports outcomes for a packet it was just handed — and
+    therefore raises. *)
 
 type instance = {
   name : string;

@@ -4,7 +4,7 @@ let run ~capacity (sched : Sched_intf.instance) jobs =
   if capacity <= 0. then invalid_arg "Server.run: capacity must be > 0";
   let arrivals =
     List.stable_sort
-      (fun (a : Job.t) (b : Job.t) -> compare a.arrival b.arrival)
+      (fun (a : Job.t) (b : Job.t) -> Float.compare a.arrival b.arrival)
       jobs
   in
   let pending = ref arrivals in
@@ -54,24 +54,36 @@ let run ~capacity (sched : Sched_intf.instance) jobs =
   step ();
   List.rev !completions
 
+(* Flow ids in first-completion order, tracked alongside the table so the
+   result never depends on hash-bucket order. *)
 let delays_by_flow completions =
   let tbl = Hashtbl.create 16 in
+  let flows = ref [] in
   List.iter
     (fun { job; finish; _ } ->
       let delay = finish -. job.Job.arrival in
-      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl job.Job.flow) in
-      Hashtbl.replace tbl job.Job.flow (delay :: prev))
+      (match Hashtbl.find_opt tbl job.Job.flow with
+      | None ->
+          flows := job.Job.flow :: !flows;
+          Hashtbl.replace tbl job.Job.flow [ delay ]
+      | Some prev -> Hashtbl.replace tbl job.Job.flow (delay :: prev)))
     completions;
-  Hashtbl.fold (fun flow delays acc -> (flow, List.rev delays) :: acc) tbl []
-  |> List.sort compare
+  List.sort Int.compare !flows
+  |> List.map (fun flow ->
+         (flow, List.rev (Option.value ~default:[] (Hashtbl.find_opt tbl flow))))
 
 let throughput_by_flow completions ~until =
   let tbl = Hashtbl.create 16 in
+  let flows = ref [] in
   List.iter
     (fun { job; finish; _ } ->
-      if finish <= until then begin
-        let prev = Option.value ~default:0. (Hashtbl.find_opt tbl job.Job.flow) in
-        Hashtbl.replace tbl job.Job.flow (prev +. job.Job.size)
-      end)
+      if finish <= until then
+        match Hashtbl.find_opt tbl job.Job.flow with
+        | None ->
+            flows := job.Job.flow :: !flows;
+            Hashtbl.replace tbl job.Job.flow job.Job.size
+        | Some prev -> Hashtbl.replace tbl job.Job.flow (prev +. job.Job.size))
     completions;
-  Hashtbl.fold (fun flow bits acc -> (flow, bits) :: acc) tbl [] |> List.sort compare
+  List.sort Int.compare !flows
+  |> List.map (fun flow ->
+         (flow, Option.value ~default:0. (Hashtbl.find_opt tbl flow)))

@@ -69,16 +69,19 @@ let dequeue t ~time =
   let chosen = match pick true with Some f -> Some f | None -> pick false in
   match chosen with
   | None -> None
-  | Some flow ->
-      let job = Queue.pop t.queues.(flow) in
-      t.last_finish.(flow) <- t.finish.(flow);
-      if not (Queue.is_empty t.queues.(flow)) then
-        set_hol_tags t flow ~start_at:t.finish.(flow) (Queue.peek t.queues.(flow));
-      (* Advance the virtual clock: fluid pace plus the WF2Q+ jump. *)
-      t.v <- t.v +. (job.Job.size /. t.total_weight);
-      let m = min_backlogged_start t in
-      if m > t.v && m < infinity then t.v <- m;
-      Some job
+  | Some flow -> (
+      match Queue.take_opt t.queues.(flow) with
+      | None -> None  (* unreachable: pick only returns backlogged flows *)
+      | Some job ->
+          t.last_finish.(flow) <- t.finish.(flow);
+          (match Queue.peek_opt t.queues.(flow) with
+          | Some next -> set_hol_tags t flow ~start_at:t.finish.(flow) next
+          | None -> ());
+          (* Advance the virtual clock: fluid pace plus the WF2Q+ jump. *)
+          t.v <- t.v +. (job.Job.size /. t.total_weight);
+          let m = min_backlogged_start t in
+          if m > t.v && m < infinity then t.v <- m;
+          Some job)
 
 let queued t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
 let virtual_time t = t.v

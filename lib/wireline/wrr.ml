@@ -43,10 +43,12 @@ let dequeue t ~time =
     while t.remaining = 0 || Queue.is_empty t.queues.(t.current) do
       advance t
     done;
-    let job = Queue.pop t.queues.(t.current) in
-    t.remaining <- t.remaining - 1;
-    t.total_queued <- t.total_queued - 1;
-    Some job
+    match Queue.take_opt t.queues.(t.current) with
+    | None -> None  (* unreachable: the scan stopped on a non-empty queue *)
+    | Some job ->
+        t.remaining <- t.remaining - 1;
+        t.total_queued <- t.total_queued - 1;
+        Some job
   end
 
 let queued t = t.total_queued

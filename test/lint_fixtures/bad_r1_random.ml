@@ -1,0 +1,4 @@
+(* R1: the ambient global RNG must not appear in lib/ code. *)
+let jitter () = Random.float 1.0
+let reseed () = Random.self_init ()
+let pick n = Random.int n

@@ -1,0 +1,3 @@
+(* R1: wall-clock reads must not appear in lib/ code. *)
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

@@ -1,0 +1,7 @@
+(* R2: polymorphic comparison in scheduler code. *)
+let sort_ids ids = List.sort compare ids
+let clamp v lo hi = min (max v lo) hi
+let is_nil l = l = []
+let missing o = o = None
+let named s = s = "IWFQ"
+let has x xs = List.mem x xs

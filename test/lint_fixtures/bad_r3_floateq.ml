@@ -1,0 +1,5 @@
+(* R3: exact equality on computed floats. *)
+let drained backlog = backlog = 0.
+let same_tag a b = a +. 0.1 = b
+let not_sentinel v = v <> infinity
+let caught_up virt target = Float.min virt target = target

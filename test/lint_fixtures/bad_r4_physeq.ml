@@ -1,0 +1,3 @@
+(* R4: physical equality without a stated identity invariant. *)
+let same_ref a b = a == b
+let distinct a b = a != b

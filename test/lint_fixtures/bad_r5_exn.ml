@@ -1,0 +1,5 @@
+(* R5: container exceptions escaping without a local handler. *)
+let head q = Queue.peek q
+let next q = Queue.pop q
+let lookup tbl k = Hashtbl.find tbl k
+let field l k = List.assoc k l

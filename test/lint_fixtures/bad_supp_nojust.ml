@@ -1,0 +1,4 @@
+(* SUPP: an allow-comment without a justification is itself a violation.
+   Queue.length below is not a banned call, so the only diagnostic here is
+   the malformed suppression. *)
+let size q = Queue.length q (* lint: allow R5 *)

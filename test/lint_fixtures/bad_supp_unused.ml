@@ -1,0 +1,5 @@
+(* SUPP: a suppression that silences nothing must be reported, so stale
+   allow-comments cannot accumulate as the code under them changes. *)
+
+(* lint: allow R1 -- this comment matches no diagnostic and must be flagged as unused *)
+let identity x = x

@@ -1,0 +1,19 @@
+(* Each construct here is the sanctioned spelling of something the bad_*
+   fixtures flag; the linter must stay quiet on all of it. *)
+
+let head q = Queue.peek_opt q
+
+let next q =
+  match Queue.pop q with
+  | pkt -> Some pkt
+  | exception Queue.Empty -> None
+
+let safe_next q = try Some (Queue.pop q) with Queue.Empty -> None
+let sort_ids ids = List.sort Int.compare ids
+let clamp v lo hi = Int.min (Int.max v lo) hi
+let drained backlog = backlog <= 0.
+let close a b = Float.abs (a -. b) < 1e-9
+let same_int (a : int) (b : int) = a = b
+let is_nil l = List.is_empty l
+let named s = String.equal s "IWFQ"
+let lookup tbl k = Hashtbl.find_opt tbl k

@@ -1,0 +1,7 @@
+(* Justified suppressions: each allow-comment silences exactly one
+   diagnostic, so the file is clean and no suppression is unused. *)
+
+let next_must_exist q = Queue.pop q (* lint: allow R5 -- fixture: same-line suppression of a guarded pop *)
+
+(* lint: allow R4 -- fixture: next-line suppression of a mutable-identity check *)
+let same_cell a b = a == b

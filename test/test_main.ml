@@ -5,6 +5,7 @@ let () =
       ("sim", Test_sim.suite);
       ("traffic", Test_traffic.suite);
       ("channel", Test_channel.suite);
+      ("predictor", Test_predictor.suite);
       ("wireline", Test_wireline.suite);
       ("iwfq", Test_iwfq.suite);
       ("wps", Test_wps.suite);

@@ -1,0 +1,82 @@
+(* Property tests for channel predictors: the perfect predictor tracks the
+   realized Gilbert-Elliott state exactly, and one-step prediction accuracy
+   on a two-state Markov channel converges to the theoretical stationary
+   hit rate. *)
+
+module Rng = Wfs_util.Rng
+module Channel = Wfs_channel.Channel
+module Ge = Wfs_channel.Gilbert_elliott
+module Predictor = Wfs_channel.Predictor
+
+(* pg = P(bad->good), pe = P(good->bad); stationary P(good) = pg/(pg+pe).
+   A one-step predictor repeats the previous state, so its hit rate is
+   P(X_t = X_(t-1)) = pi_g*(1-pe) + (1-pi_g)*(1-pg). *)
+let one_step_theoretical ~pg ~pe =
+  let pi_g = pg /. (pg +. pe) in
+  (pi_g *. (1. -. pe)) +. ((1. -. pi_g) *. (1. -. pg))
+
+(* Transition probabilities bounded away from 0 keep the mixing time well
+   under the simulated horizon. *)
+let arb_params =
+  QCheck.triple
+    QCheck.(0 -- 1_000_000)
+    (QCheck.float_range 0.02 0.3)
+    (QCheck.float_range 0.02 0.3)
+
+let drive ~slots ~pg ~pe ~seed kind =
+  let ch = Ge.create ~rng:(Rng.create seed) ~pg ~pe () in
+  let p = Predictor.create kind in
+  let hits = ref 0 in
+  for slot = 0 to slots - 1 do
+    let realized = Channel.advance ch ~slot in
+    let predicted = Predictor.predict p ch ~slot in
+    if predicted = realized then incr hits
+  done;
+  float_of_int !hits /. float_of_int slots
+
+let prop_perfect_matches_realized =
+  QCheck.Test.make ~count:25
+    ~name:"perfect predictor always matches the realized GE state" arb_params
+    (fun (seed, pg, pe) ->
+      drive ~slots:2_000 ~pg ~pe ~seed Predictor.Perfect = 1.0)
+
+let prop_one_step_converges =
+  QCheck.Test.make ~count:10
+    ~name:"one-step accuracy converges to the stationary hit rate" arb_params
+    (fun (seed, pg, pe) ->
+      let accuracy = drive ~slots:120_000 ~pg ~pe ~seed Predictor.One_step in
+      abs_float (accuracy -. one_step_theoretical ~pg ~pe) < 0.01)
+
+let prop_snoop1_equals_one_step =
+  QCheck.Test.make ~count:10
+    ~name:"snoop with period 1 behaves exactly like one-step" arb_params
+    (fun (seed, pg, pe) ->
+      let ch = Ge.create ~rng:(Rng.create seed) ~pg ~pe () in
+      let one = Predictor.create Predictor.One_step in
+      let snoop = Predictor.create (Predictor.Periodic_snoop 1) in
+      let ok = ref true in
+      for slot = 0 to 4_999 do
+        ignore (Channel.advance ch ~slot);
+        if Predictor.predict one ch ~slot <> Predictor.predict snoop ch ~slot
+        then ok := false
+      done;
+      !ok)
+
+(* Sanity anchor with hand-checked numbers: pg=0.1, pe=0.05 gives
+   pi_g = 2/3 and hit rate 2/3*0.95 + 1/3*0.9 = 0.93333... *)
+let test_one_step_known_point () =
+  let accuracy =
+    drive ~slots:200_000 ~pg:0.1 ~pe:0.05 ~seed:42 Predictor.One_step
+  in
+  Alcotest.(check bool)
+    "accuracy within 0.01 of 14/15" true
+    (abs_float (accuracy -. (14. /. 15.)) < 0.01)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_perfect_matches_realized;
+    QCheck_alcotest.to_alcotest prop_one_step_converges;
+    QCheck_alcotest.to_alcotest prop_snoop1_equals_one_step;
+    Alcotest.test_case "one-step accuracy at a known point" `Quick
+      test_one_step_known_point;
+  ]

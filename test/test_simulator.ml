@@ -238,7 +238,7 @@ let test_scheduler_misuse_raises () =
       wps.complete ~flow:0);
   let iwfq = Core.Iwfq.instance (Core.Iwfq.create flows) in
   Alcotest.check_raises "iwfq complete empty"
-    (Invalid_argument "Iwfq.complete: no slot") (fun () ->
+    (Invalid_argument "Iwfq.complete: empty queue") (fun () ->
       iwfq.complete ~flow:0)
 
 let test_presets_flow_shapes () =

@@ -1,0 +1,80 @@
+(* Diagnostics for wfs_lint: location, rule id, message, and a sink that
+   deduplicates and sorts for stable output. *)
+
+type rule = R1 | R2 | R3 | R4 | R5 | Supp
+
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | Supp -> "SUPP"
+
+let rule_of_id = function
+  | "R1" | "r1" -> Some R1
+  | "R2" | "r2" -> Some R2
+  | "R3" | "r3" -> Some R3
+  | "R4" | "r4" -> Some R4
+  | "R5" | "r5" -> Some R5
+  | "SUPP" | "supp" -> Some Supp
+  | _ -> None
+
+let rule_title = function
+  | R1 -> "ambient nondeterminism"
+  | R2 -> "polymorphic comparison"
+  | R3 -> "exact float equality"
+  | R4 -> "physical equality"
+  | R5 -> "bare exception escape"
+  | Supp -> "suppression hygiene"
+
+type t = {
+  file : string;
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, matches compiler convention *)
+  rule : rule;
+  message : string;
+}
+
+let make ~file ~line ~col ~rule message = { file; line; col; rule; message }
+
+let of_location ~rule ~message (loc : Location.t) =
+  let pos = loc.loc_start in
+  {
+    file = pos.pos_fname;
+    line = pos.pos_lnum;
+    col = pos.pos_cnum - pos.pos_bol;
+    rule;
+    message;
+  }
+
+let compare_diag a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (rule_id a.rule) (rule_id b.rule)
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" d.file d.line d.col (rule_id d.rule)
+    d.message
+
+(* A sink collects diagnostics across files. *)
+
+type sink = { mutable diags : t list }
+
+let sink () = { diags = [] }
+let report sink d = sink.diags <- d :: sink.diags
+
+let contents sink =
+  let sorted = List.sort compare_diag sink.diags in
+  (* Drop exact duplicates (same site, same rule). *)
+  let rec dedup = function
+    | a :: b :: rest when compare_diag a b = 0 -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted

@@ -1,0 +1,275 @@
+(* The wfs_lint rule set, as an Ast_iterator walk over compiler-libs
+   parsetrees.
+
+   The rules formalize the determinism contract of the simulator: every
+   published table must be bit-reproducible from a scenario and a seed, so
+   no code path in lib/ may consult ambient state (R1), compare through
+   the polymorphic runtime on non-immediate values (R2), test computed
+   floats for exact equality (R3), use physical equality without a stated
+   identity invariant (R4), or let container exceptions escape a hot path
+   unhandled (R5).  bin/, bench/ and examples/ are held to R4 only — they
+   render results rather than produce them.
+
+   Everything here is purely syntactic (parsetree, not typedtree), so each
+   detector errs toward the patterns that actually occur in this tree; the
+   known blind spots are documented per rule in docs/LINT.md. *)
+
+open Parsetree
+
+type file_class = Lib | Other
+
+(* --- longident helpers --- *)
+
+let name_of_lid lid =
+  match Longident.flatten lid with
+  | exception _ -> ""
+  | parts -> String.concat "." parts
+
+let drop_stdlib n =
+  if String.length n > 7 && String.sub n 0 7 = "Stdlib." then
+    String.sub n 7 (String.length n - 7)
+  else n
+
+let head_module n = match String.index_opt n '.' with
+  | Some i -> String.sub n 0 i
+  | None -> ""
+
+let last_component n =
+  match String.rindex_opt n '.' with
+  | Some i -> String.sub n (i + 1) (String.length n - i - 1)
+  | None -> n
+
+(* --- R1: ambient nondeterminism --- *)
+
+let r1_message name =
+  match head_module name with
+  | "Random" ->
+      Printf.sprintf
+        "%s uses the ambient global RNG; draw from a seeded Wfs_util.Rng \
+         stream threaded through the scenario instead" name
+  | "Unix" | "Sys" ->
+      Printf.sprintf
+        "%s reads wall-clock state; simulation time must flow through \
+         Wfs_sim.Clock / slot indices only" name
+  | _ ->
+      Printf.sprintf
+        "%s visits bindings in hash order, which is not a stable order \
+         (and is randomizable via OCAMLRUNPARAM=R); collect the bindings \
+         and sort by key, or keep an explicit key list" name
+
+let r1_exact =
+  [
+    "Unix.gettimeofday"; "Unix.time"; "Unix.times"; "Sys.time";
+    "Hashtbl.hash"; "Hashtbl.seeded_hash"; "Hashtbl.hash_param";
+    "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.randomize";
+    "Hashtbl.to_seq"; "Hashtbl.to_seq_keys"; "Hashtbl.to_seq_values";
+  ]
+
+let r1_match name =
+  head_module name = "Random" || List.mem name r1_exact
+
+(* --- R2: polymorphic comparison --- *)
+
+let r2_poly_funs = [ "compare"; "min"; "max" ]
+
+let r2_fun_message name =
+  if name = "List.mem" then
+    "List.mem compares with polymorphic equality; use List.memq for \
+     immediates or List.exists with an explicit equality"
+  else
+    Printf.sprintf
+      "polymorphic %s goes through the runtime comparator and cannot be \
+       specialized when passed first-class; use Int.%s / Float.%s or a \
+       module-explicit comparator" name name name
+
+let comparison_ops = [ "="; "<>"; "<"; ">"; "<="; ">=" ]
+
+let rec strip e =
+  match e.pexp_desc with Pexp_constraint (e', _) -> strip e' | _ -> e
+
+(* Operands whose syntax proves a non-immediate (structural) comparison. *)
+let structural_kind e =
+  match (strip e).pexp_desc with
+  | Pexp_tuple _ -> Some "tuple operand: compare fields explicitly"
+  | Pexp_record _ -> Some "record operand: compare fields explicitly"
+  | Pexp_array _ -> Some "array operand: compare elementwise"
+  | Pexp_constant (Pconst_string _) ->
+      Some "string operand: use String.equal / String.compare"
+  | Pexp_construct ({ txt; _ }, arg) -> (
+      match (name_of_lid txt, arg) with
+      | ("[]" | "::"), _ ->
+          Some "list operand: match on the shape or use List.is_empty / List.equal"
+      | "None", _ -> Some "option operand: use Option.is_none"
+      | "Some", _ -> Some "option operand: use Option.is_some / Option.equal"
+      | _, Some _ -> Some "constructor payload: compare through a typed equality"
+      | _, None -> None)
+  | _ -> None
+
+(* --- R3: exact float equality --- *)
+
+let float_idents =
+  [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
+
+let float_funs =
+  [
+    "+."; "-."; "*."; "/."; "**"; "~-."; "sqrt"; "exp"; "log"; "log10";
+    "expm1"; "log1p"; "floor"; "ceil"; "abs_float"; "mod_float"; "copysign";
+    "float_of_int"; "float_of_string"; "ldexp"; "frexp";
+  ]
+
+(* Float.* functions that do NOT return float. *)
+let float_module_nonfloat =
+  [
+    "Float.compare"; "Float.equal"; "Float.hash"; "Float.to_int";
+    "Float.to_string"; "Float.is_nan"; "Float.is_finite"; "Float.is_integer";
+    "Float.sign_bit"; "Float.classify_float";
+  ]
+
+let is_float_const e =
+  let rec go e =
+    match (strip e).pexp_desc with
+    | Pexp_constant (Pconst_float _) -> true
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, arg) ])
+      when drop_stdlib (name_of_lid txt) = "~-." ->
+        go arg
+    | _ -> false
+  in
+  go e
+
+let is_floaty e =
+  match (strip e).pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt; _ } ->
+      let n = drop_stdlib (name_of_lid txt) in
+      List.mem n float_idents || n = "Float.pi"
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      let n = drop_stdlib (name_of_lid txt) in
+      List.mem n float_funs
+      || (head_module n = "Float" && not (List.mem n float_module_nonfloat))
+  | _ -> false
+
+(* --- R5: bare exception escapes --- *)
+
+(* function -> (exception it raises, total replacement) *)
+let r5_table =
+  [
+    ("Queue.pop", ("Queue.Empty", "Queue.take_opt"));
+    ("Queue.take", ("Queue.Empty", "Queue.take_opt"));
+    ("Queue.peek", ("Queue.Empty", "Queue.peek_opt"));
+    ("Queue.top", ("Queue.Empty", "Queue.peek_opt"));
+    ("Hashtbl.find", ("Not_found", "Hashtbl.find_opt"));
+    ("List.assoc", ("Not_found", "List.assoc_opt"));
+    ("List.find", ("Not_found", "List.find_opt"));
+  ]
+
+(* Exception constructors named by a try-case pattern. *)
+let rec exn_names_of_pattern p =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, _) -> [ drop_stdlib (name_of_lid txt) ]
+  | Ppat_or (a, b) -> exn_names_of_pattern a @ exn_names_of_pattern b
+  | Ppat_alias (p, _) -> exn_names_of_pattern p
+  | Ppat_any | Ppat_var _ -> [ "*" ]
+  | _ -> []
+
+(* Exception constructors handled by a match's [exception p] cases. *)
+let rec exn_cases_of_pattern p =
+  match p.ppat_desc with
+  | Ppat_exception q -> exn_names_of_pattern q
+  | Ppat_or (a, b) -> exn_cases_of_pattern a @ exn_cases_of_pattern b
+  | Ppat_alias (p, _) -> exn_cases_of_pattern p
+  | _ -> []
+
+let exn_matches ~handled exn =
+  handled = "*" || handled = exn || handled = last_component exn
+
+(* --- the walk --- *)
+
+let check_file ~file_class ~sink ~suppress structure_or_sig =
+  (* Stack of handled-exception sets: one frame per enclosing [try] body or
+     [match] scrutinee currently being visited. *)
+  let ctx : string list list ref = ref [] in
+  let exn_handled exn =
+    List.exists (List.exists (fun h -> exn_matches ~handled:h exn)) !ctx
+  in
+  let report ~loc ~rule msg =
+    let d = Lint_diag.of_location ~rule ~message:msg loc in
+    if not (Lint_suppress.covers suppress d) then Lint_diag.report sink d
+  in
+  let check_ident txt loc =
+    let n = drop_stdlib (name_of_lid txt) in
+    if file_class = Lib then begin
+      if r1_match n then report ~loc ~rule:Lint_diag.R1 (r1_message n);
+      if List.mem n r2_poly_funs || n = "List.mem" then
+        report ~loc ~rule:Lint_diag.R2 (r2_fun_message n);
+      match List.assoc_opt n r5_table with
+      | Some (exn, replacement) ->
+          if not (exn_handled exn) then
+            report ~loc ~rule:Lint_diag.R5
+              (Printf.sprintf
+                 "%s may raise %s across the hot path; use %s or handle %s \
+                  locally (try / match-exception around this call)"
+                 n exn replacement exn)
+      | None -> ()
+    end
+  in
+  let check_apply e fn args =
+    match (strip fn).pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        let n = drop_stdlib (name_of_lid txt) in
+        let operands = List.map snd args in
+        match (n, operands) with
+        | ("==" | "!="), _ ->
+            report ~loc:e.pexp_loc ~rule:Lint_diag.R4
+              (Printf.sprintf
+                 "physical equality %s: use structural (=) on immutable data, \
+                  or state the mutable-identity invariant in a lint \
+                  allow-comment" n)
+        | ("=" | "<>"), [ a; b ]
+          when file_class = Lib
+               && (is_floaty a || is_floaty b)
+               && not (is_float_const a && is_float_const b) ->
+            report ~loc:e.pexp_loc ~rule:Lint_diag.R3
+              (Printf.sprintf
+                 "exact float %s on a computed value: virtual times and \
+                  credits accumulate rounding, so exact equality is \
+                  load-bearing luck; compare against a tolerance, an \
+                  inequality, or document the sentinel" n)
+        | op, a :: b :: _ when file_class = Lib && List.mem op comparison_ops
+          -> (
+            match
+              match structural_kind a with
+              | Some k -> Some k
+              | None -> structural_kind b
+            with
+            | Some kind ->
+                report ~loc:e.pexp_loc ~rule:Lint_diag.R2
+                  (Printf.sprintf
+                     "polymorphic %s on a non-immediate value (%s)" op kind)
+            | None -> ())
+        | _ -> ())
+    | _ -> ()
+  in
+  let expr self e =
+    match e.pexp_desc with
+    | Pexp_try (body, cases) ->
+        let handled = List.concat_map (fun c -> exn_names_of_pattern c.pc_lhs) cases in
+        ctx := handled :: !ctx;
+        self.Ast_iterator.expr self body;
+        ctx := List.tl !ctx;
+        List.iter (self.Ast_iterator.case self) cases
+    | Pexp_match (scrut, cases) ->
+        let handled = List.concat_map (fun c -> exn_cases_of_pattern c.pc_lhs) cases in
+        ctx := handled :: !ctx;
+        self.Ast_iterator.expr self scrut;
+        ctx := List.tl !ctx;
+        List.iter (self.Ast_iterator.case self) cases
+    | Pexp_ident { txt; loc } -> check_ident txt loc
+    | Pexp_apply (fn, args) ->
+        check_apply e fn args;
+        Ast_iterator.default_iterator.expr self e
+    | _ -> Ast_iterator.default_iterator.expr self e
+  in
+  let iterator = { Ast_iterator.default_iterator with expr } in
+  match structure_or_sig with
+  | `Impl structure -> iterator.structure iterator structure
+  | `Intf signature -> iterator.signature iterator signature

@@ -1,0 +1,236 @@
+(* wfs_lint — determinism & correctness static analysis for the wfs tree.
+
+   Usage:
+     wfs_lint DIR...            lint every .ml/.mli under the given roots
+     wfs_lint --fixtures DIR    self-test mode over known-bad snippets
+     wfs_lint --list-rules      print the rule set
+
+   Exit status: 0 clean, 1 violations found, 2 usage/parse failure.
+
+   Files under a path component named [lib] get the full rule set; other
+   roots (bin/, bench/, examples/) are held to R4 only.  See docs/LINT.md
+   for the rationale of each rule. *)
+
+let usage = "usage: wfs_lint [--fixtures DIR | --list-rules | DIR...]"
+
+let rules_help =
+  [
+    ( "R1",
+      "no ambient nondeterminism: Random.*, Unix.gettimeofday/time, \
+       Sys.time, Hashtbl.hash, and hash-order iteration (Hashtbl.iter/\
+       fold/to_seq*) are banned in lib/" );
+    ( "R2",
+      "no polymorphic comparison in lib/: bare compare/min/max/List.mem, \
+       and =/<>/</>/<=/>= where an operand is syntactically a string, \
+       list, option, tuple, record, array, or constructor payload" );
+    ( "R3",
+      "no exact float =/<> in lib/ where either operand is a computed \
+       float expression (literal-vs-literal is allowed)" );
+    ( "R4",
+      "no physical equality ==/!= anywhere without an allow-comment \
+       stating the mutable-identity invariant" );
+    ( "R5",
+      "no Queue.pop/peek/take/top, Hashtbl.find, List.assoc/find in lib/ \
+       outside a local handler for Queue.Empty / Not_found; use the _opt \
+       variants" );
+    ( "SUPP",
+      "suppression hygiene: '(* lint: allow R<n> <justification> *)' \
+       needs a real justification and must actually silence something" );
+  ]
+
+(* --- file collection --- *)
+
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures"; "node_modules" ]
+
+let rec collect_files acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if List.mem entry skip_dirs then acc
+           else collect_files acc (Filename.concat path entry))
+         acc
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let classify path : Lint_rules.file_class =
+  let parts = String.split_on_char '/' path in
+  if List.mem "lib" parts then Lint_rules.Lib else Lint_rules.Other
+
+(* --- per-file check --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+exception Parse_failure of string
+
+let parse ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  try
+    if Filename.check_suffix path ".mli" then
+      `Intf (Parse.interface lexbuf)
+    else `Impl (Parse.implementation lexbuf)
+  with exn ->
+    let detail =
+      match Location.error_of_exn exn with
+      | Some (`Ok _) | Some `Already_displayed | None -> Printexc.to_string exn
+    in
+    raise (Parse_failure (Printf.sprintf "%s: parse failure (%s)" path detail))
+
+let check_file ~file_class path =
+  let source = read_file path in
+  let suppress = Lint_suppress.scan ~file:path source in
+  let sink = Lint_diag.sink () in
+  Lint_rules.check_file ~file_class ~sink ~suppress (parse ~path source);
+  List.iter (Lint_diag.report sink) (Lint_suppress.leftovers ~file:path suppress);
+  Lint_diag.contents sink
+
+(* --- main lint mode --- *)
+
+let run_lint roots =
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Printf.eprintf "wfs_lint: no such path: %s\n" root;
+        exit 2
+      end)
+    roots;
+  let files = List.fold_left collect_files [] roots |> List.sort String.compare in
+  let total = ref 0 and dirty_files = ref 0 in
+  List.iter
+    (fun path ->
+      match check_file ~file_class:(classify path) path with
+      | [] -> ()
+      | diags ->
+          incr dirty_files;
+          total := !total + List.length diags;
+          List.iter (fun d -> Format.printf "%a@." Lint_diag.pp d) diags
+      | exception Parse_failure msg ->
+          Printf.eprintf "wfs_lint: %s\n" msg;
+          exit 2)
+    files;
+  if !total > 0 then begin
+    Printf.printf "wfs_lint: %d violation(s) in %d file(s) (%d checked)\n"
+      !total !dirty_files (List.length files);
+    exit 1
+  end
+  else Printf.printf "wfs_lint: clean (%d files checked)\n" (List.length files)
+
+(* --- fixture self-test mode --- *)
+
+type expectation = Expect_rule of Lint_diag.rule | Expect_clean
+
+let expectation_of_filename base =
+  let strip_prefix p s =
+    let lp = String.length p in
+    if String.length s >= lp && String.sub s 0 lp = p then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  match strip_prefix "bad_" base with
+  | Some rest ->
+      let tok =
+        match String.index_opt rest '_' with
+        | Some i -> String.sub rest 0 i
+        | None -> Filename.remove_extension rest
+      in
+      Option.map (fun r -> Expect_rule r) (Lint_diag.rule_of_id tok)
+  | None -> (
+      match strip_prefix "ok_" base with
+      | Some _ -> Some Expect_clean
+      | None -> None)
+
+let run_fixtures dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "wfs_lint: fixture dir not found: %s\n" dir;
+    exit 2
+  end;
+  let files =
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  in
+  let failures = ref 0 in
+  let seen_rules = ref [] and seen_clean = ref false in
+  let fail path fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr failures;
+        Printf.printf "FAIL %s: %s\n" path msg)
+      fmt
+  in
+  List.iter
+    (fun base ->
+      let path = Filename.concat dir base in
+      match expectation_of_filename base with
+      | None ->
+          fail path
+            "unrecognized fixture name (want bad_<rule>_*.ml or ok_*.ml)"
+      | Some expect -> (
+          (* Fixtures model lib/ code, so the full rule set applies. *)
+          match check_file ~file_class:Lint_rules.Lib path with
+          | exception Parse_failure msg -> fail path "%s" msg
+          | diags -> (
+              match expect with
+              | Expect_clean ->
+                  if diags = [] then begin
+                    seen_clean := true;
+                    Printf.printf "PASS %s: clean as expected\n" path
+                  end
+                  else begin
+                    fail path "expected clean, got %d diagnostic(s):"
+                      (List.length diags);
+                    List.iter
+                      (fun d -> Format.printf "  %a@." Lint_diag.pp d)
+                      diags
+                  end
+              | Expect_rule rule ->
+                  let id = Lint_diag.rule_id rule in
+                  let matching, stray =
+                    List.partition (fun d -> d.Lint_diag.rule = rule) diags
+                  in
+                  if matching = [] then
+                    fail path "expected at least one %s diagnostic, got none"
+                      id
+                  else if stray <> [] then begin
+                    fail path "expected only %s diagnostics, also got:" id;
+                    List.iter
+                      (fun d -> Format.printf "  %a@." Lint_diag.pp d)
+                      stray
+                  end
+                  else begin
+                    if not (List.mem id !seen_rules) then
+                      seen_rules := id :: !seen_rules;
+                    Printf.printf "PASS %s: %d %s diagnostic(s)\n" path
+                      (List.length matching) id
+                  end)))
+    files;
+  List.iter
+    (fun id ->
+      if not (List.mem id !seen_rules) then
+        fail dir "no passing bad_%s fixture: rule %s is unproven"
+          (String.lowercase_ascii id) id)
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "SUPP" ];
+  if not !seen_clean then fail dir "no passing ok_* fixture";
+  if !failures > 0 then begin
+    Printf.printf "wfs_lint --fixtures: %d failure(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "wfs_lint --fixtures: all %d fixture(s) pass\n"
+      (List.length files)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--list-rules" :: _ ->
+      List.iter (fun (id, text) -> Printf.printf "%-4s %s\n" id text) rules_help
+  | _ :: "--fixtures" :: [ dir ] -> run_fixtures dir
+  | _ :: (_ :: _ as roots) when not (String.length (List.hd roots) > 0 && (List.hd roots).[0] = '-') ->
+      run_lint roots
+  | _ ->
+      prerr_endline usage;
+      exit 2
