@@ -1,32 +1,80 @@
 (* Benchmark harness entry point.
 
    Default: regenerate every paper table (1-11), the ablations, the MAC
-   integration figures and the Section-5 bound checks, then run the
-   Bechamel micro-benchmarks.
+   integration figures and the Section-5 bound checks on a pool of worker
+   domains, write the machine-readable BENCH_<timestamp>.json artifact,
+   then run the Bechamel micro-benchmarks.
 
    Arguments:
      --quick          shorter horizon (20k slots)
      --horizon N      explicit horizon in slots (default 200000)
-     --seed N         PRNG seed (default 42)
+     --seed N         base PRNG seed (default 42)
+     --seeds K        replications per run, seeds N..N+K-1 (default 1);
+                      K > 1 renders mean±95% CI cells
+     --jobs N         worker domains (default: all cores; 1 = sequential)
+     --json PATH      artifact path (default BENCH_<timestamp>.json)
+     --no-json        skip the artifact
      --tables-only    skip micro-benchmarks
-     --perf-only      only micro-benchmarks *)
+     --perf-only      only micro-benchmarks
+
+   Table output is byte-identical for every --jobs value: each run draws
+   from RNG streams split from its own spec seed, and results merge by
+   input position, not completion order. *)
+
+let usage =
+  "usage: main.exe [--quick] [--horizon N] [--seed N] [--seeds K] [--jobs N]\n\
+  \                [--json PATH | --no-json] [--tables-only | --perf-only]"
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "error: %s\n%s\n" msg usage;
+      exit 2)
+    fmt
 
 let () =
-  let horizon = ref 200_000 in
+  let quick = ref false in
+  let horizon = ref None in
   let seed = ref 42 in
+  let seeds = ref 1 in
+  let jobs = ref None in
+  let json_path = ref None in
+  let write_json = ref true in
   let tables = ref true in
   let perf = ref true in
-  let args = Array.to_list Sys.argv in
+  let int_arg flag value =
+    match int_of_string_opt value with
+    | Some n -> n
+    | None -> die "%s expects an integer, got %S" flag value
+  in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
-        horizon := 20_000;
+        quick := true;
         parse rest
-    | "--horizon" :: n :: rest ->
-        horizon := int_of_string n;
+    | ("--horizon" as flag) :: value :: rest ->
+        let n = int_arg flag value in
+        if n <= 0 then die "%s must be positive, got %d" flag n;
+        horizon := Some n;
         parse rest
-    | "--seed" :: n :: rest ->
-        seed := int_of_string n;
+    | ("--seed" as flag) :: value :: rest ->
+        seed := int_arg flag value;
+        parse rest
+    | ("--seeds" as flag) :: value :: rest ->
+        let n = int_arg flag value in
+        if n < 1 then die "%s must be >= 1, got %d" flag n;
+        seeds := n;
+        parse rest
+    | ("--jobs" as flag) :: value :: rest ->
+        let n = int_arg flag value in
+        if n < 1 then die "%s must be >= 1, got %d" flag n;
+        jobs := Some n;
+        parse rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | "--no-json" :: rest ->
+        write_json := false;
         parse rest
     | "--tables-only" :: rest ->
         perf := false;
@@ -34,17 +82,49 @@ let () =
     | "--perf-only" :: rest ->
         tables := false;
         parse rest
-    | arg :: rest ->
-        if arg <> Sys.argv.(0) then
-          Printf.eprintf "warning: ignoring unknown argument %s\n%!" arg;
-        parse rest
+    | [ ("--horizon" | "--seed" | "--seeds" | "--jobs" | "--json") as flag ] ->
+        die "%s expects a value" flag
+    | arg :: _ -> die "unknown argument %s" arg
   in
-  (match args with _ :: rest -> parse rest | [] -> ());
-  let opts = { Tables.horizon = !horizon; seed = !seed } in
+  parse (List.tl (Array.to_list Sys.argv));
+  let horizon =
+    match !horizon with
+    | Some n -> n
+    | None -> if !quick then 20_000 else 200_000
+  in
+  let jobs =
+    match !jobs with Some n -> n | None -> Wfs_runner.Pool.default_jobs ()
+  in
+  let opts = { Tables.horizon; seed = !seed; seeds = !seeds; jobs } in
   Printf.printf
-    "Wireless fair scheduling benchmarks (horizon=%d slots, seed=%d)\n"
-    !horizon !seed;
-  if !tables then Tables.all ~opts;
+    "Wireless fair scheduling benchmarks (horizon=%d slots, seed=%d, seeds=%d, jobs=%d)\n"
+    horizon !seed !seeds jobs;
+  if !tables then begin
+    let t0 = Unix.gettimeofday () in
+    let artifact_tables, stats = Tables.all ~opts in
+    let wall_clock_s = Unix.gettimeofday () -. t0 in
+    let artifact =
+      Wfs_runner.Artifact.v ~horizon ~seed:!seed ~seeds:!seeds ~jobs
+        ~runs:stats.Runs.runs ~slots:stats.Runs.slots ~wall_clock_s
+        ~tables:artifact_tables
+    in
+    Printf.printf "\n%d runs, %d slots in %.2f s (%.0f slots/s, %d domain(s))\n"
+      artifact.runs artifact.slots artifact.wall_clock_s artifact.slots_per_sec
+      jobs;
+    if !write_json then begin
+      let path =
+        match !json_path with
+        | Some p -> p
+        | None ->
+            let tm = Unix.gmtime (Unix.gettimeofday ()) in
+            Printf.sprintf "BENCH_%04d%02d%02dT%02d%02d%02dZ.json"
+              (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+              tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+      in
+      Wfs_runner.Artifact.write ~path artifact;
+      Printf.printf "wrote %s\n" path
+    end
+  end;
   if !perf then begin
     Printf.printf "\n=== Micro-benchmarks ===\n\n";
     Perf.run ()

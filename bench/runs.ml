@@ -1,0 +1,77 @@
+(* The bench's job graph: every measurement the report needs is enumerated
+   up front as a keyed, self-contained thunk, executed once on the domain
+   pool (duplicate keys — e.g. a Table-1 cell that a later ablation reuses —
+   run a single time), and looked up by key during the sequential render
+   phase.  Thunks must not print and must derive all randomness from their
+   captured seed, so results are independent of worker count and completion
+   order. *)
+
+module Core = Wfs_core
+
+type result =
+  | Metrics of Core.Metrics.t
+  | Mac of Wfs_mac.Mac_sim.result
+  | Bounds of Wfs_bounds.Verify.report
+  | Fairness of { windows : int; jain : float; gap : float }
+
+type job = {
+  key : string;  (* unique id; specs use Spec.to_string *)
+  slots : int;  (* simulated slots, for engine-throughput accounting *)
+  run : unit -> result;
+}
+
+type stats = { runs : int; slots : int }
+
+let spec_job spec =
+  {
+    key = Wfs_runner.Spec.to_string spec;
+    slots = spec.Wfs_runner.Spec.horizon;
+    run = (fun () -> Metrics (Wfs_runner.Exec.run spec));
+  }
+
+let exec ~jobs job_list =
+  (* Dedup by key, keeping first occurrence order. *)
+  let seen = Hashtbl.create 256 in
+  let distinct =
+    List.filter
+      (fun j ->
+        if Hashtbl.mem seen j.key then false
+        else begin
+          Hashtbl.add seen j.key ();
+          true
+        end)
+      job_list
+  in
+  let arr = Array.of_list distinct in
+  Printf.printf "running %d simulations on %d domain(s)...\n%!"
+    (Array.length arr) (max 1 jobs);
+  let results = Wfs_runner.Pool.map ~jobs (fun j -> j.run ()) arr in
+  let table = Hashtbl.create 256 in
+  Array.iteri (fun i j -> Hashtbl.replace table j.key results.(i)) arr;
+  let stats =
+    {
+      runs = Array.length arr;
+      slots = Array.fold_left (fun acc (j : job) -> acc + j.slots) 0 arr;
+    }
+  in
+  let get key =
+    match Hashtbl.find_opt table key with
+    | Some r -> r
+    | None -> invalid_arg (Printf.sprintf "Runs.exec: no job with key %S" key)
+  in
+  (stats, get)
+
+let metrics get key =
+  match get key with
+  | Metrics m -> m
+  | _ -> invalid_arg (Printf.sprintf "job %S did not produce metrics" key)
+
+let mac get key =
+  match get key with
+  | Mac r -> r
+  | _ -> invalid_arg (Printf.sprintf "job %S did not produce a MAC result" key)
+
+let bounds get key =
+  match get key with
+  | Bounds r -> r
+  | _ -> invalid_arg (Printf.sprintf "job %S did not produce a bounds report" key)

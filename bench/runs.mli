@@ -1,0 +1,35 @@
+(** Keyed job graph for the bench: enumerate every simulation up front,
+    execute the distinct ones on the domain pool, look results up by key
+    while rendering sequentially.  Keys double as the dedup unit — two
+    sections that need the same run (same {!Wfs_runner.Spec.t}) pay for it
+    once. *)
+
+type result =
+  | Metrics of Wfs_core.Metrics.t
+  | Mac of Wfs_mac.Mac_sim.result
+  | Bounds of Wfs_bounds.Verify.report
+  | Fairness of { windows : int; jain : float; gap : float }
+
+type job = {
+  key : string;  (** unique id; spec-backed jobs use [Spec.to_string] *)
+  slots : int;  (** simulated slots, for engine-throughput accounting *)
+  run : unit -> result;  (** must not print; seeds only from captured data *)
+}
+
+type stats = { runs : int; slots : int }
+
+val spec_job : Wfs_runner.Spec.t -> job
+(** Job keyed by [Spec.to_string] that runs the spec through
+    {!Wfs_runner.Exec.run}. *)
+
+val exec : jobs:int -> job list -> stats * (string -> result)
+(** Dedup by key (first occurrence wins), run the distinct jobs on up to
+    [jobs] domains, and return run/slot counts plus a lookup function.
+    The lookup raises [Invalid_argument] for a key that was never
+    submitted. *)
+
+val metrics : (string -> result) -> string -> Wfs_core.Metrics.t
+val mac : (string -> result) -> string -> Wfs_mac.Mac_sim.result
+val bounds : (string -> result) -> string -> Wfs_bounds.Verify.report
+(** Typed accessors over the lookup function; raise [Invalid_argument] on a
+    key of the wrong result kind. *)

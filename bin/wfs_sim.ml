@@ -1,159 +1,241 @@
-(* Command-line driver: run any paper example with any scheduler variant.
+(* Command-line driver: run any paper example, scenario file, or run spec
+   with any registered scheduler.
 
    Examples:
      wfs_sim -e 1 -a all                    # Table-1-style grid
      wfs_sim -e 4 -a swapa -k predicted     # one variant of Example 4
      wfs_sim -e 1 -b 1.0 --csv              # memoryless channel, CSV output
-     wfs_sim -e 6 --credit 2 --debit 0      # Example 6 with tighter caps *)
+     wfs_sim -e 6 --credit 2 --debit 0      # Example 6 with tighter caps
+     wfs_sim -a WPS,IWFQ-I,CIF-Q            # registry names work directly
+     wfs_sim --spec 'example:1?sum=0.5 | WPS | seed=7 | horizon=50000'
+     wfs_sim -e 1 --seeds 5 --jobs 4        # 5 replicas/run, mean±CI cells
 
-let default_horizon = 200_000
+   Schedulers are resolved through Wfs_core.Registry (see --list), runs are
+   typed Wfs_runner.Spec values, and replicas execute in parallel on a
+   domain pool — output is identical for every --jobs value. *)
+
+module Registry = Wfs_core.Registry
+module Spec = Wfs_runner.Spec
+module T = Wfs_util.Tablefmt
+module M = Wfs_core.Metrics
+module Summary = Wfs_util.Stats.Summary
 
 type output = Table | Csv
 
-(* Run a scenario file against the requested algorithm variants. *)
-let run_scenario_file ~path ~credit ~debit ~output ~algorithms =
-  let scenario = Wfs_core.Scenario.load path in
+(* Map the legacy family names (-a wrr -k both) onto registry names; pass
+   anything else through the registry itself, so every canonical name and
+   alias — "WPS", "IWFQ-I", "CIF-Q", comma-separated lists — works too. *)
+let resolve_algorithms algo info =
+  let infos =
+    match info with
+    | "ideal" -> [ "I" ]
+    | "predicted" -> [ "P" ]
+    | "both" -> [ "I"; "P" ]
+    | s -> invalid_arg ("unknown knowledge: " ^ s)
+  in
+  let variants base = List.map (fun s -> base ^ "-" ^ s) infos in
+  match String.lowercase_ascii algo with
+  | "all" -> List.map (fun e -> e.Registry.name) (Registry.table1_extended ())
+  | "blind" -> [ "Blind WRR" ]
+  | "wrr" -> variants "WRR"
+  | "noswap" -> variants "NoSwap"
+  | "swapw" -> variants "SwapW"
+  | "swapa" -> variants "SwapA"
+  | "iwfq" -> variants "IWFQ"
+  | "cifq" -> variants "CIF-Q"
+  | "csdps" -> [ "CSDPS" ]
+  | _ ->
+      (* Registry names/aliases, possibly comma-separated.  get raises with
+         the known-name list on a typo. *)
+      String.split_on_char ',' algo
+      |> List.map (fun name -> (Registry.get (String.trim name)).Registry.name)
+
+type run_result = {
+  metrics : M.t;
+  jain_gap : (float * float) option;  (* windowed fairness, when requested *)
+}
+
+(* One self-contained run: registry lookup, fresh seeded setups, optional
+   fairness monitor.  Safe to execute on any domain. *)
+let run_one ~credit ~debit ~fairness (spec : Spec.t) =
+  let entry = Registry.get spec.sched in
+  let setups = Wfs_runner.Exec.setups_of spec in
+  let flows = Wfs_core.Presets.flows_of setups in
+  let sched = entry.Registry.make ~credit_limit:credit ~debit_limit:debit flows in
+  let monitor =
+    if fairness then
+      Some
+        (Wfs_core.Fairness.Monitor.create
+           ~weights:(Array.map (fun (f : Wfs_core.Params.flow) -> f.weight) flows)
+           ~window:100 ~sched)
+    else None
+  in
+  let cfg =
+    Wfs_core.Simulator.config ~predictor:entry.Registry.predictor
+      ?observer:(Option.map Wfs_core.Fairness.Monitor.observer monitor)
+      ~horizon:spec.horizon setups
+  in
+  let metrics = Wfs_core.Simulator.run cfg sched in
+  {
+    metrics;
+    jain_gap =
+      Option.map
+        (fun mon ->
+          ( Wfs_core.Fairness.Monitor.mean_jain mon,
+            Wfs_core.Fairness.Monitor.worst_gap mon ))
+        monitor;
+  }
+
+(* One rendered cell: plain value for a single replica, mean±95% CI across
+   several. *)
+let agg ?decimals results f =
+  match results with
+  | [| r |] -> T.cell_of_float ?decimals (f r)
+  | results ->
+      let s = Summary.create () in
+      Array.iter (fun r -> Summary.add s (f r)) results;
+      Printf.sprintf "%s±%s"
+        (T.cell_of_float ?decimals (Summary.mean s))
+        (T.cell_of_float ?decimals (Summary.ci95 s))
+
+(* Run every (label, spec) with [seeds] replicas on the domain pool and
+   print one row per flow per label. *)
+let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
+    ~flow_base labeled_specs =
+  let units =
+    Array.of_list
+      (List.concat_map
+         (fun (_, sp) ->
+           List.init seeds (fun k -> Spec.with_seed (sp.Spec.seed + k) sp))
+         labeled_specs)
+  in
+  let results =
+    Wfs_runner.Pool.map ~jobs (run_one ~credit ~debit ~fairness) units
+  in
   let columns =
     [ "algorithm"; "flow"; "mean_delay"; "loss"; "max_delay"; "stddev"; "thpt" ]
+    @ (if fairness then [ "jain"; "worst_gap" ] else [])
   in
-  let table =
-    Wfs_util.Tablefmt.create
-      ~title:
-        (Printf.sprintf "%s (seed=%d, horizon=%d slots)" path
-           scenario.Wfs_core.Scenario.seed scenario.Wfs_core.Scenario.horizon)
-      ~columns
-  in
+  let table = T.create ~title ~columns in
   let csv_rows = ref [] in
   let emit cells =
     match output with
-    | Table -> Wfs_util.Tablefmt.add_row table cells
+    | Table -> T.add_row table cells
     | Csv -> csv_rows := String.concat "," cells :: !csv_rows
   in
-  List.iter
-    (fun (alg, info) ->
-      (* Rebuild the scenario per run: sources/channels are stateful. *)
-      let scenario = Wfs_core.Scenario.load path in
-      let m =
-        Wfs_core.Scenario.run
-          ~scheduler:(fun flows ->
-            Wfs_core.Presets.scheduler ~credit_limit:credit ~debit_limit:debit
-              alg flows)
-          {
-            scenario with
-            Wfs_core.Scenario.predictor = Wfs_core.Presets.predictor alg info;
-          }
-      in
-      Array.iteri
-        (fun i _ ->
-          emit
+  List.iteri
+    (fun li (label, (sp : Spec.t)) ->
+      let reps = Array.sub results (li * seeds) seeds in
+      let n_flows = M.n_flows reps.(0).metrics in
+      for i = 0 to n_flows - 1 do
+        let base =
+          [
+            label;
+            string_of_int (i + flow_base);
+            agg reps (fun r -> M.mean_delay r.metrics ~flow:i);
+            agg ~decimals:4 reps (fun r -> M.loss r.metrics ~flow:i);
+            agg reps (fun r -> M.max_delay r.metrics ~flow:i);
+            agg reps (fun r -> M.stddev_delay r.metrics ~flow:i);
+            agg ~decimals:4 reps (fun r ->
+                M.throughput r.metrics ~flow:i ~slots:sp.Spec.horizon);
+          ]
+        in
+        let extra =
+          if fairness then
             [
-              Wfs_core.Presets.algorithm_name alg info;
-              string_of_int i;
-              Wfs_util.Tablefmt.cell_of_float (Wfs_core.Metrics.mean_delay m ~flow:i);
-              Wfs_util.Tablefmt.cell_of_float ~decimals:4
-                (Wfs_core.Metrics.loss m ~flow:i);
-              Wfs_util.Tablefmt.cell_of_float (Wfs_core.Metrics.max_delay m ~flow:i);
-              Wfs_util.Tablefmt.cell_of_float
-                (Wfs_core.Metrics.stddev_delay m ~flow:i);
-              Wfs_util.Tablefmt.cell_of_float ~decimals:4
-                (Wfs_core.Metrics.throughput m ~flow:i
-                   ~slots:scenario.Wfs_core.Scenario.horizon);
-            ])
-        scenario.Wfs_core.Scenario.setups)
-    algorithms;
+              agg ~decimals:4 reps (fun r -> fst (Option.get r.jain_gap));
+              agg reps (fun r -> snd (Option.get r.jain_gap));
+            ]
+          else []
+        in
+        emit (base @ extra)
+      done)
+    labeled_specs;
   match output with
-  | Table -> Wfs_util.Tablefmt.print table
+  | Table -> T.print table
   | Csv ->
       print_endline (String.concat "," columns);
       List.iter print_endline (List.rev !csv_rows)
 
-let run_example ~example ~seed ~horizon ~sum ~credit ~debit ~output ~fairness
-    ~algorithms =
-  let setups () =
-    match example with
-    | 1 -> Wfs_core.Presets.example1 ~sum ~seed ()
-    | 2 -> Wfs_core.Presets.example2 ~sum ~seed ()
-    | 3 -> Wfs_core.Presets.example3 ~seed ()
-    | 4 -> Wfs_core.Presets.example4 ~seed ()
-    | 5 -> Wfs_core.Presets.example5 ~seed ()
-    | 6 -> Wfs_core.Presets.example6 ~seed ()
-    | n -> invalid_arg (Printf.sprintf "unknown example %d (use 1-6)" n)
-  in
-  let columns =
-    [ "algorithm"; "flow"; "mean_delay"; "loss"; "max_delay"; "stddev"; "thpt" ]
-    @ if fairness then [ "jain"; "worst_gap" ] else []
-  in
-  let table =
-    Wfs_util.Tablefmt.create
-      ~title:
-        (Printf.sprintf "Example %d (seed=%d, horizon=%d slots)" example seed
-           horizon)
-      ~columns
-  in
-  let csv_rows = ref [] in
-  let emit cells =
-    match output with
-    | Table -> Wfs_util.Tablefmt.add_row table cells
-    | Csv -> csv_rows := String.concat "," cells :: !csv_rows
-  in
+let title_info ~seeds ~seed ~horizon =
+  if seeds > 1 then
+    Printf.sprintf "seeds=%d..%d, horizon=%d slots" seed (seed + seeds - 1)
+      horizon
+  else Printf.sprintf "seed=%d, horizon=%d slots" seed horizon
+
+let list_schedulers () =
+  let t = T.create ~title:"Registered schedulers" ~columns:[ "name"; "aliases" ] in
   List.iter
-    (fun (alg, info) ->
-      let setups = setups () in
-      let flows = Wfs_core.Presets.flows_of setups in
-      let sched =
-        Wfs_core.Presets.scheduler ~credit_limit:credit ~debit_limit:debit alg
-          flows
-      in
-      let monitor =
-        if fairness then
-          Some
-            (Wfs_core.Fairness.Monitor.create
-               ~weights:(Array.map (fun (f : Wfs_core.Params.flow) -> f.weight) flows)
-               ~window:100 ~sched)
-        else None
-      in
-      let cfg =
-        Wfs_core.Simulator.config
-          ~predictor:(Wfs_core.Presets.predictor alg info)
-          ?observer:(Option.map Wfs_core.Fairness.Monitor.observer monitor)
-          ~horizon setups
-      in
-      let m = Wfs_core.Simulator.run cfg sched in
-      Array.iteri
-        (fun i _ ->
-          let base =
-            [
-              Wfs_core.Presets.algorithm_name alg info;
-              string_of_int (i + 1);
-              Wfs_util.Tablefmt.cell_of_float (Wfs_core.Metrics.mean_delay m ~flow:i);
-              Wfs_util.Tablefmt.cell_of_float ~decimals:4
-                (Wfs_core.Metrics.loss m ~flow:i);
-              Wfs_util.Tablefmt.cell_of_float (Wfs_core.Metrics.max_delay m ~flow:i);
-              Wfs_util.Tablefmt.cell_of_float
-                (Wfs_core.Metrics.stddev_delay m ~flow:i);
-              Wfs_util.Tablefmt.cell_of_float ~decimals:4
-                (Wfs_core.Metrics.throughput m ~flow:i ~slots:horizon);
-            ]
-          in
-          let extra =
-            match monitor with
-            | None -> []
-            | Some mon ->
-                [
-                  Wfs_util.Tablefmt.cell_of_float ~decimals:4
-                    (Wfs_core.Fairness.Monitor.mean_jain mon);
-                  Wfs_util.Tablefmt.cell_of_float
-                    (Wfs_core.Fairness.Monitor.worst_gap mon);
-                ]
-          in
-          emit (base @ extra))
-        flows)
-    algorithms;
-  match output with
-  | Table -> Wfs_util.Tablefmt.print table
-  | Csv ->
-      print_endline (String.concat "," columns);
-      List.iter print_endline (List.rev !csv_rows)
+    (fun name ->
+      let e = Registry.get name in
+      T.add_row t [ e.Registry.name; String.concat ", " e.Registry.aliases ])
+    (Registry.names ());
+  T.print t
+
+let main_checked example seed horizon sum credit debit csv fairness algo info
+    scenario specs seeds jobs list =
+  let output = if csv then Csv else Table in
+  if seeds < 1 then (
+    Printf.eprintf "wfs_sim: --seeds must be >= 1, got %d\n" seeds;
+    exit 2);
+  (match jobs with
+  | Some n when n < 1 ->
+      Printf.eprintf "wfs_sim: --jobs must be >= 1, got %d\n" n;
+      exit 2
+  | _ -> ());
+  let jobs =
+    match jobs with Some n -> n | None -> Wfs_runner.Pool.default_jobs ()
+  in
+  let render = run_and_render ~output ~jobs ~seeds ~credit ~debit ~fairness in
+  if list then list_schedulers ()
+  else if specs <> [] then
+    (* Explicit run specs: each is its own experiment id. *)
+    let labeled =
+      List.map (fun s -> (Spec.to_string s, s)) (List.map Spec.of_string_exn specs)
+    in
+    render ~title:(Printf.sprintf "%d run spec(s)" (List.length labeled))
+      ~flow_base:1 labeled
+  else
+    let algorithms = resolve_algorithms algo info in
+    match scenario with
+    | Some path ->
+        (* Seed and horizon come from the file's directives, as before. *)
+        let labeled =
+          List.map
+            (fun name -> (name, Spec.of_scenario_file ~sched:name path))
+            algorithms
+        in
+        let sp = snd (List.hd labeled) in
+        render
+          ~title:
+            (Printf.sprintf "%s (%s)" path
+               (title_info ~seeds ~seed:sp.Spec.seed ~horizon:sp.Spec.horizon))
+          ~flow_base:0 labeled
+    | None ->
+        let scn =
+          Spec.example ?sum:(if example <= 2 then Some sum else None) example
+        in
+        let labeled =
+          List.map
+            (fun name -> (name, Spec.make ~seed ~horizon ~sched:name scn))
+            algorithms
+        in
+        render
+          ~title:
+            (Printf.sprintf "Example %d (%s)" example
+               (title_info ~seeds ~seed ~horizon))
+          ~flow_base:1 labeled
+
+(* Bad scheduler names, malformed specs and out-of-range examples all raise
+   Invalid_argument with a helpful message — turn them into a clean exit. *)
+let main example seed horizon sum credit debit csv fairness algo info scenario
+    specs seeds jobs list =
+  try
+    main_checked example seed horizon sum credit debit csv fairness algo info
+      scenario specs seeds jobs list
+  with Invalid_argument msg ->
+    Printf.eprintf "wfs_sim: %s\n" msg;
+    exit 2
 
 open Cmdliner
 
@@ -165,7 +247,7 @@ let seed_arg = Arg.(value & opt int 42 & info [ "s"; "seed" ] ~doc:"PRNG seed.")
 let horizon_arg =
   Arg.(
     value
-    & opt int default_horizon
+    & opt int Spec.default_horizon
     & info [ "n"; "horizon" ] ~doc:"Slots to simulate.")
 
 let sum_arg =
@@ -190,13 +272,14 @@ let fairness_arg =
         ~doc:"Also report windowed Jain index and worst normalised-service gap.")
 
 let algo_arg =
-  let all =
-    [ "all"; "blind"; "wrr"; "noswap"; "swapw"; "swapa"; "iwfq"; "cifq"; "csdps" ]
-  in
   Arg.(
     value & opt string "all"
     & info [ "a"; "algorithm" ]
-        ~doc:(Printf.sprintf "Algorithm: %s." (String.concat ", " all)))
+        ~doc:
+          "Scheduler(s): a legacy family name (all, blind, wrr, noswap, swapw, \
+           swapa, iwfq, cifq, csdps — combined with $(b,-k)), or \
+           comma-separated registry names/aliases (see $(b,--list)), e.g. \
+           'WPS,IWFQ-I,CIF-Q'.")
 
 let info_arg =
   Arg.(
@@ -208,38 +291,38 @@ let scenario_arg =
     value
     & opt (some file) None
     & info [ "scenario" ]
-        ~doc:"Run a scenario file instead of a paper example (see lib/core/scenario.mli for the format).")
+        ~doc:
+          "Run a scenario file instead of a paper example (see \
+           lib/core/scenario.mli for the format).")
 
-let parse_algorithms algo info =
-  let open Wfs_core.Presets in
-  let infos =
-    match info with
-    | "ideal" -> [ Ideal ]
-    | "predicted" -> [ Predicted ]
-    | "both" -> [ Ideal; Predicted ]
-    | s -> invalid_arg ("unknown knowledge: " ^ s)
-  in
-  let with_infos a = List.map (fun i -> (a, i)) infos in
-  match algo with
-  | "all" -> table1_algorithms @ with_infos Iwfq_alg
-  | "blind" -> [ (Blind_wrr, Predicted) ]
-  | "wrr" -> with_infos Wrr
-  | "noswap" -> with_infos Noswap
-  | "swapw" -> with_infos Swapw
-  | "swapa" -> with_infos Swapa
-  | "iwfq" -> with_infos Iwfq_alg
-  | "cifq" -> with_infos Cifq_alg
-  | "csdps" -> [ (Csdps_alg, Predicted) ]
-  | s -> invalid_arg ("unknown algorithm: " ^ s)
+let spec_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "spec" ]
+        ~doc:
+          "Run an explicit run spec, e.g. 'example:1?sum=0.5 | WPS | seed=7 | \
+           horizon=50000' or 'file:cell.scenario | IWFQ | seed=1 | \
+           horizon=100000'.  Repeatable; overrides $(b,-e)/$(b,-a).")
 
-let main example seed horizon sum credit debit csv fairness algo info scenario =
-  let output = if csv then Csv else Table in
-  let algorithms = parse_algorithms algo info in
-  match scenario with
-  | Some path -> run_scenario_file ~path ~credit ~debit ~output ~algorithms
-  | None ->
-      run_example ~example ~seed ~horizon ~sum ~credit ~debit ~output ~fairness
-        ~algorithms
+let seeds_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seeds" ]
+        ~doc:
+          "Replicas per run (consecutive seeds); with K > 1, cells show mean \
+           ± 95% CI.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ]
+        ~doc:"Worker domains (default: all cores).  Output is jobs-invariant.")
+
+let list_arg =
+  Arg.(
+    value & flag
+    & info [ "list" ] ~doc:"List registered schedulers and aliases, then exit.")
 
 let cmd =
   let doc = "Wireless fair scheduling simulator (Lu/Bharghavan/Srikant 1997)" in
@@ -247,6 +330,7 @@ let cmd =
     (Cmd.info "wfs_sim" ~doc)
     Term.(
       const main $ example_arg $ seed_arg $ horizon_arg $ sum_arg $ credit_arg
-      $ debit_arg $ csv_arg $ fairness_arg $ algo_arg $ info_arg $ scenario_arg)
+      $ debit_arg $ csv_arg $ fairness_arg $ algo_arg $ info_arg $ scenario_arg
+      $ spec_arg $ seeds_arg $ jobs_arg $ list_arg)
 
 let () = exit (Cmd.eval cmd)

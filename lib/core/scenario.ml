@@ -156,7 +156,7 @@ let strip_comment line =
   | None -> line
   | Some i -> String.sub line 0 i
 
-let parse text =
+let parse ?seed:seed_override ?horizon:horizon_override text =
   let horizon = ref 100_000 in
   let seed = ref 42 in
   let predictor = ref Wfs_channel.Predictor.One_step in
@@ -180,6 +180,10 @@ let parse text =
     (String.split_on_char '\n' text);
   let flow_lines = List.rev !flow_lines in
   if List.is_empty flow_lines then fail ~line:0 "scenario has no flows";
+  (* CLI/run-spec overrides win over the file's directives: a spec names a
+     (scenario, seed, horizon) triple, the file only provides defaults. *)
+  Option.iter (fun s -> seed := s) seed_override;
+  Option.iter (fun h -> horizon := h) horizon_override;
   let master = Wfs_util.Rng.create !seed in
   let rng () = Wfs_util.Rng.split master in
   let setups =
@@ -203,12 +207,12 @@ let parse text =
   in
   { setups; addrs; horizon = !horizon; predictor = !predictor; seed = !seed }
 
-let load path =
+let load ?seed ?horizon path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse text
+  parse ?seed ?horizon text
 
 let flows t = Presets.flows_of t.setups
 

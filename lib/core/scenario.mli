@@ -40,13 +40,16 @@ type t = {
 
 exception Parse_error of { line : int; message : string }
 
-val parse : string -> t
+val parse : ?seed:int -> ?horizon:int -> string -> t
 (** Parse scenario text.  Defaults: horizon 100000, seed 42, predictor
     one-step.  A [seed N] directive must precede the first [flow] line.
+    The optional [seed]/[horizon] arguments override the file's directives
+    (used by run specs, which carry their own seed and horizon).
     @raise Parse_error with a line number on malformed input. *)
 
-val load : string -> t
-(** [load path] reads and parses a file.
+val load : ?seed:int -> ?horizon:int -> string -> t
+(** [load path] reads and parses a file, with the same overrides as
+    {!parse}.
     @raise Parse_error or [Sys_error]. *)
 
 val flows : t -> Params.flow array

@@ -1,0 +1,46 @@
+module Core = Wfs_core
+
+let setups_of (spec : Spec.t) =
+  match spec.scenario with
+  | Spec.Example { n; sum } -> begin
+      let seed = spec.seed in
+      match n with
+      | 1 -> Core.Presets.example1 ?sum ~seed ()
+      | 2 -> Core.Presets.example2 ?sum ~seed ()
+      | 3 -> Core.Presets.example3 ~seed ()
+      | 4 -> Core.Presets.example4 ~seed ()
+      | 5 -> Core.Presets.example5 ~seed ()
+      | 6 -> Core.Presets.example6 ~seed ()
+      | n ->
+          (* Spec.example validates 1-6; an out-of-range n here means the
+             record was built by hand. *)
+          invalid_arg (Printf.sprintf "Exec.run: unknown example %d" n)
+    end
+  | Spec.File path ->
+      let sc = Core.Scenario.load ~seed:spec.seed ~horizon:spec.horizon path in
+      sc.Core.Scenario.setups
+
+let run ?credit_limit ?debit_limit ?limits ?observer ?histograms (spec : Spec.t) =
+  let entry = Core.Registry.get spec.sched in
+  let setups = setups_of spec in
+  let flows = Core.Presets.flows_of setups in
+  let sched = entry.Core.Registry.make ?credit_limit ?debit_limit ?limits flows in
+  let cfg =
+    Core.Simulator.config ~predictor:entry.Core.Registry.predictor ?observer
+      ?histograms ~horizon:spec.horizon setups
+  in
+  Core.Simulator.run cfg sched
+
+let run_all ~jobs ?credit_limit ?debit_limit ?limits specs =
+  Pool.map ~jobs (fun spec -> run ?credit_limit ?debit_limit ?limits spec) specs
+
+let replicate ~jobs ~seeds (spec : Spec.t) =
+  if seeds < 1 then
+    invalid_arg (Printf.sprintf "Exec.replicate: seeds must be >= 1, got %d" seeds);
+  run_all ~jobs
+    (Array.init seeds (fun k -> Spec.with_seed (spec.seed + k) spec))
+
+let summarize metric results =
+  let s = Wfs_util.Stats.Summary.create () in
+  Array.iter (fun m -> Wfs_util.Stats.Summary.add s (metric m)) results;
+  s

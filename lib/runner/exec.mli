@@ -1,0 +1,55 @@
+(** Execute run specs: spec enumeration → parallel execution → merge.
+
+    {!run} turns one {!Spec.t} into metrics by resolving the scheduler
+    through {!Wfs_core.Registry}, building the scenario's seeded flow
+    setups, and driving {!Wfs_core.Simulator}.  Every run is
+    self-contained — all RNG streams are split from the spec's own seed —
+    so {!run_all} can execute any number of specs on a {!Pool} of domains
+    and the merged result array is byte-identical for any [jobs] count and
+    any execution order. *)
+
+val setups_of : Spec.t -> Wfs_core.Simulator.flow_setup array
+(** The spec's seeded flow setups (source/channel streams split from the
+    spec seed), freshly built — sources and channels are stateful, so each
+    run needs its own.  Exposed for drivers that assemble a custom
+    {!Wfs_core.Simulator.config} (e.g. to attach a fairness monitor).
+    @raise Wfs_core.Scenario.Parse_error / [Sys_error] on a bad file *)
+
+val run :
+  ?credit_limit:int ->
+  ?debit_limit:int ->
+  ?limits:(int * int) array ->
+  ?observer:(int -> Wfs_core.Metrics.t -> unit) ->
+  ?histograms:bool ->
+  Spec.t ->
+  Wfs_core.Metrics.t
+(** Run one spec to completion in the calling domain.  The optional
+    scheduler knobs are forwarded to the registry constructor; [observer]
+    and [histograms] to {!Wfs_core.Simulator.config}.  For a [File]
+    scenario the spec's seed/horizon override the file's directives, and
+    the scheduler entry's predictor overrides the file's [predictor] line
+    (the registry name states the channel knowledge, e.g. "-I" vs "-P").
+    @raise Invalid_argument on an unknown scheduler name
+    @raise Wfs_core.Scenario.Parse_error / [Sys_error] on a bad file *)
+
+val run_all :
+  jobs:int ->
+  ?credit_limit:int ->
+  ?debit_limit:int ->
+  ?limits:(int * int) array ->
+  Spec.t array ->
+  Wfs_core.Metrics.t array
+(** {!run} every spec on up to [jobs] domains; result [i] belongs to spec
+    [i] regardless of scheduling. *)
+
+val replicate : jobs:int -> seeds:int -> Spec.t -> Wfs_core.Metrics.t array
+(** Multi-seed replication: run [seeds] copies of the spec with seeds
+    [spec.seed, spec.seed + 1, ..., spec.seed + seeds - 1] in parallel.
+    @raise Invalid_argument when [seeds < 1]. *)
+
+val summarize :
+  (Wfs_core.Metrics.t -> float) ->
+  Wfs_core.Metrics.t array ->
+  Wfs_util.Stats.Summary.t
+(** Fold one scalar metric across replications into a summary (mean,
+    stddev, {!Wfs_util.Stats.Summary.ci95}, ...). *)

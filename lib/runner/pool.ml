@@ -1,0 +1,42 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+exception Worker_error of exn * Printexc.raw_backtrace
+
+let map ~jobs f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let jobs = Int.max 1 (Int.min jobs n) in
+    if jobs = 1 then Array.map f items
+    else begin
+      let results = Array.make n None in
+      let error = Atomic.make None in
+      let next = Atomic.make 0 in
+      (* Self-scheduling loop: each worker claims the next unclaimed index.
+         The claim order is racy but harmless — result slot [i] only ever
+         receives [f items.(i)], so the merged output is order-independent. *)
+      let rec work () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Option.is_none (Atomic.get error) then begin
+          (match f items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore
+                (Atomic.compare_and_set error None
+                   (Some (Worker_error (e, bt)))));
+          work ()
+        end
+      in
+      let workers = Array.init (jobs - 1) (fun _ -> Domain.spawn work) in
+      work ();
+      Array.iter Domain.join workers;
+      (match Atomic.get error with
+      | Some (Worker_error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some e -> raise e
+      | None -> ());
+      Array.map
+        (function Some v -> v | None -> assert false (* all indices filled *))
+        results
+    end
+  end

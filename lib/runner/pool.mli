@@ -1,0 +1,20 @@
+(** Fixed-size domain pool with deterministic result ordering.
+
+    {!map} fans an array of independent work items out over OCaml 5
+    domains.  Results land at the index of their input item, so the output
+    is byte-identical regardless of worker count or completion order — the
+    property the parallel experiment engine is built on.  Work items must
+    be self-contained (each simulation run seeds its own RNG streams and
+    owns all its mutable state); the pool adds no synchronization beyond
+    the work-stealing counter and the final join. *)
+
+val default_jobs : unit -> int
+(** The runtime's recommended domain count for this machine. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f items] applies [f] to every item, on up to [jobs] domains
+    ([jobs] is clamped to [1 .. length items]; [jobs <= 1] runs everything
+    in the calling domain, spawning nothing).  [f] must not share mutable
+    state across items.  If any application raises, the first error (in
+    completion order) is re-raised in the caller after all workers have
+    stopped; remaining items are skipped. *)

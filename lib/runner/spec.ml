@@ -1,0 +1,158 @@
+type scenario =
+  | Example of { n : int; sum : float option }
+  | File of string
+
+type t = {
+  scenario : scenario;
+  sched : string;
+  seed : int;
+  horizon : int;
+}
+
+let default_seed = 42
+let default_horizon = 200_000
+
+let example ?sum n =
+  if n < 1 || n > 6 then
+    invalid_arg (Printf.sprintf "Spec.example: unknown example %d (use 1-6)" n);
+  if n > 2 && Option.is_some sum then
+    invalid_arg
+      (Printf.sprintf
+         "Spec.example: sum (pg+pe) is only a knob of examples 1-2, not %d" n);
+  Example { n; sum }
+
+let file path = File path
+
+let make ?(seed = default_seed) ?(horizon = default_horizon) ~sched scenario =
+  if horizon <= 0 then
+    invalid_arg (Printf.sprintf "Spec.make: non-positive horizon %d" horizon);
+  { scenario; sched; seed; horizon }
+
+let with_seed seed t = { t with seed }
+let with_horizon horizon t = make ~seed:t.seed ~horizon ~sched:t.sched t.scenario
+let with_sched sched t = { t with sched }
+
+let of_scenario_file ?(sched = "WPS") path =
+  let sc = Wfs_core.Scenario.load path in
+  {
+    scenario = File path;
+    sched;
+    seed = sc.Wfs_core.Scenario.seed;
+    horizon = sc.Wfs_core.Scenario.horizon;
+  }
+
+let scenario_to_string s =
+  match s with
+  | Example { n; sum = None } -> Printf.sprintf "example:%d" n
+  | Example { n; sum = Some sum } ->
+      Printf.sprintf "example:%d?sum=%s" n (Json.float_to_string sum)
+  | File path -> "file:" ^ path
+
+let to_string t =
+  Printf.sprintf "%s | %s | seed=%d | horizon=%d"
+    (scenario_to_string t.scenario)
+    t.sched t.seed t.horizon
+
+let scenario_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "scenario %S: expected example:N or file:PATH" s)
+  | Some i -> begin
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "file" ->
+          if String.length rest = 0 then Error "file: needs a path"
+          else Ok (File rest)
+      | "example" -> begin
+          let num, sum_part =
+            match String.index_opt rest '?' with
+            | None -> (rest, None)
+            | Some j ->
+                ( String.sub rest 0 j,
+                  Some (String.sub rest (j + 1) (String.length rest - j - 1)) )
+          in
+          match int_of_string_opt num with
+          | None -> Error (Printf.sprintf "example number %S is not an integer" num)
+          | Some n -> begin
+              let sum =
+                match sum_part with
+                | None -> Ok None
+                | Some kv -> begin
+                    match String.split_on_char '=' kv with
+                    | [ "sum"; v ] -> begin
+                        match float_of_string_opt v with
+                        | Some f -> Ok (Some f)
+                        | None ->
+                            Error (Printf.sprintf "sum value %S is not a number" v)
+                      end
+                    | _ ->
+                        Error
+                          (Printf.sprintf "unknown example parameter %S (only sum=F)" kv)
+                  end
+              in
+              match sum with
+              | Error _ as e -> e
+              | Ok sum -> begin
+                  match example ?sum n with
+                  | scenario -> Ok scenario
+                  | exception Invalid_argument msg -> Error msg
+                end
+            end
+        end
+      | _ -> Error (Printf.sprintf "unknown scenario kind %S (example | file)" kind)
+    end
+
+let int_field ~key s =
+  match String.split_on_char '=' s with
+  | [ k; v ] when String.equal k key -> begin
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "%s value %S is not an integer" key v)
+    end
+  | _ -> Error (Printf.sprintf "expected %s=N, got %S" key s)
+
+let of_string s =
+  let fields = List.map String.trim (String.split_on_char '|' s) in
+  match fields with
+  | [ scenario; sched; seed; horizon ] -> begin
+      match scenario_of_string scenario with
+      | Error _ as e -> e
+      | Ok scenario -> begin
+          if String.length sched = 0 then Error "empty scheduler name"
+          else
+            match int_field ~key:"seed" seed with
+            | Error _ as e -> e
+            | Ok seed -> begin
+                match int_field ~key:"horizon" horizon with
+                | Error _ as e -> e
+                | Ok horizon ->
+                    if horizon <= 0 then
+                      Error (Printf.sprintf "non-positive horizon %d" horizon)
+                    else Ok { scenario; sched; seed; horizon }
+              end
+        end
+    end
+  | _ ->
+      Error
+        (Printf.sprintf
+           "spec %S: expected 4 |-separated fields (scenario | sched | seed=N \
+            | horizon=N)"
+           s)
+
+let of_string_exn s =
+  match of_string s with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Spec.of_string: " ^ msg)
+
+let scenario_equal a b =
+  match (a, b) with
+  | Example a, Example b ->
+      Int.equal a.n b.n && Option.equal Float.equal a.sum b.sum
+  | File a, File b -> String.equal a b
+  | Example _, File _ | File _, Example _ -> false
+
+let equal a b =
+  scenario_equal a.scenario b.scenario
+  && String.equal a.sched b.sched
+  && Int.equal a.seed b.seed
+  && Int.equal a.horizon b.horizon

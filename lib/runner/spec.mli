@@ -1,0 +1,73 @@
+(** Typed run specs: the (scenario, scheduler, seed, horizon) tuple.
+
+    A spec names one simulation run completely: which workload (a paper
+    example or a scenario file), which scheduler (a {!Wfs_core.Registry}
+    name), the PRNG seed every stream in the run is split from, and the
+    horizon in slots.  Specs are pure data — {!Exec} turns one into a
+    {!Wfs_core.Metrics.t} — and serialize to a stable string form that
+    round-trips through {!of_string}, so a spec is also a reproducible
+    experiment id (the bench uses it as the dedup/merge key, the CLI
+    accepts it via [--spec]).
+
+    String form (fields separated by [|], whitespace around fields is
+    ignored):
+
+    {v
+    example:1?sum=0.5 | SwapA-P | seed=42 | horizon=200000
+    file:examples/cell.scenario | WPS | seed=7 | horizon=50000
+    v} *)
+
+type scenario =
+  | Example of { n : int; sum : float option }
+      (** paper Example [n] (1–6); [sum] is the pg+pe burstiness knob of
+          Examples 1–2 *)
+  | File of string  (** a scenario file, {!Wfs_core.Scenario} format *)
+
+type t = {
+  scenario : scenario;
+  sched : string;  (** scheduler registry name, e.g. ["SwapA-P"] *)
+  seed : int;
+  horizon : int;
+}
+
+val default_seed : int
+(** 42 — the bench default. *)
+
+val default_horizon : int
+(** 200000 slots — the paper's evaluation horizon. *)
+
+(** {1 Builder} *)
+
+val example : ?sum:float -> int -> scenario
+(** @raise Invalid_argument when [n] is outside 1–6 or [sum] is given for
+    an example other than 1–2. *)
+
+val file : string -> scenario
+
+val make : ?seed:int -> ?horizon:int -> sched:string -> scenario -> t
+(** Defaults: {!default_seed}, {!default_horizon}.
+    @raise Invalid_argument on a non-positive horizon. *)
+
+val with_seed : int -> t -> t
+val with_horizon : int -> t -> t
+val with_sched : string -> t -> t
+
+val of_scenario_file : ?sched:string -> string -> t
+(** [of_scenario_file path] parses the scenario file and lifts it into a
+    spec, taking seed and horizon from the file's directives (their
+    defaults when absent).  [sched] defaults to ["WPS"].
+    @raise Wfs_core.Scenario.Parse_error or [Sys_error]. *)
+
+(** {1 Serialization} *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}: [of_string (to_string t)] always yields
+    [Ok t'] with [equal t t'].  Purely syntactic — the scheduler name is
+    validated by {!Exec}, not here. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument with the parse message. *)
+
+val equal : t -> t -> bool

@@ -34,6 +34,24 @@ module Summary = struct
   let max t = t.maxv
   let total t = t.total
 
+  (* Two-sided 97.5% Student-t quantiles for df = 1..30; larger samples use
+     the normal approximation. *)
+  let t975 =
+    [|
+      12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+      2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+      2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+    |]
+
+  let ci95 t =
+    if t.n < 2 then 0.
+    else begin
+      let df = t.n - 1 in
+      let quantile = if df <= 30 then t975.(df - 1) else 1.96 in
+      let sample_stddev = sqrt (t.m2 /. float_of_int df) in
+      quantile *. sample_stddev /. sqrt (float_of_int t.n)
+    end
+
   let merge a b =
     if a.n = 0 then { b with n = b.n }
     else if b.n = 0 then { a with n = a.n }

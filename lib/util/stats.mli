@@ -25,6 +25,13 @@ module Summary : sig
   (** [nan] when empty. *)
 
   val total : t -> float
+
+  val ci95 : t -> float
+  (** Half-width of the 95% confidence interval for the mean (Student-t for
+      samples up to 31, normal approximation beyond); 0 with fewer than two
+      samples.  Used by the bench to report mean ± CI across seed
+      replications. *)
+
   val merge : t -> t -> t
   (** Combine two summaries as if all samples were added to one. *)
 end

@@ -14,6 +14,10 @@ let add_row t cells =
   in
   t.rows <- fit 0 cells :: t.rows
 
+let title t = t.title
+let columns t = t.columns
+let rows t = List.rev t.rows
+
 let cell_of_float ?(decimals = 2) x =
   if Float.is_nan x then "-"
   else if Float.is_integer x && Float.abs x < 1e15 then

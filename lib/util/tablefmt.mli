@@ -18,6 +18,13 @@ val add_float_row : t -> label:string -> ?decimals:int -> float list -> unit
     decimals; integers render without a fractional part; [nan] renders
     as [-]). *)
 
+val title : t -> string
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Added rows in insertion order, already padded/truncated to the header
+    width — the shape serialized into the bench's JSON artifact. *)
+
 val render : t -> string
 val print : t -> unit
 

@@ -1,0 +1,51 @@
+type entry = {
+  name : string;
+  aliases : string list;
+  make : capacity:float -> Flow.t array -> Sched_intf.instance;
+}
+
+let keys_of e = List.map String.lowercase_ascii (e.name :: e.aliases)
+
+(* A linear list keeps registration order (and therefore enumeration order
+   in tests/benches) deterministic. *)
+let entries : entry list ref = ref []
+
+let find name =
+  let key = String.lowercase_ascii name in
+  List.find_opt (fun e -> List.exists (String.equal key) (keys_of e)) !entries
+
+let names () = List.map (fun e -> e.name) !entries
+
+let register e =
+  List.iter
+    (fun key ->
+      if List.exists (fun e' -> List.exists (String.equal key) (keys_of e')) !entries
+      then
+        invalid_arg
+          (Printf.sprintf "Registry.register: %S is already registered" key))
+    (keys_of e);
+  entries := !entries @ [ e ]
+
+let get name =
+  match find name with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown wireline scheduler %S (known: %s)" name
+           (String.concat ", " (names ())))
+
+let instances ~capacity flows =
+  List.map (fun e -> e.make ~capacity flows) !entries
+
+let () =
+  List.iter register
+    [
+      { name = "WFQ"; aliases = [ "PGPS" ]; make = (fun ~capacity flows -> Wfq.instance ~capacity flows) };
+      { name = "WF2Q"; aliases = [ "WF²Q" ]; make = (fun ~capacity flows -> Wf2q.instance ~capacity flows) };
+      { name = "WF2Q+"; aliases = [ "WF²Q+" ]; make = (fun ~capacity flows -> Wf2q_plus.instance ~capacity flows) };
+      { name = "SCFQ"; aliases = []; make = (fun ~capacity flows -> Scfq.instance ~capacity flows) };
+      { name = "STFQ"; aliases = []; make = (fun ~capacity flows -> Stfq.instance ~capacity flows) };
+      { name = "VirtualClock"; aliases = [ "VC" ]; make = (fun ~capacity flows -> Virtual_clock.instance ~capacity flows) };
+      { name = "WRR"; aliases = []; make = (fun ~capacity flows -> Wrr.instance ~capacity flows) };
+      { name = "DRR"; aliases = []; make = (fun ~capacity flows -> Drr.instance ~capacity flows) };
+    ]

@@ -1,0 +1,27 @@
+(** Wireline scheduler registry — the {!Wfs_core.Registry} mirror for the
+    packetized reference schedulers.
+
+    Maps canonical names (["WFQ"], ["WF2Q+"], ["VirtualClock"], ...) to
+    {!Sched_intf.instance} constructors so comparative tests and benches
+    enumerate the wireline family from one place.  Lookups are
+    case-insensitive and cover aliases (["WF²Q"], ["VC"]). *)
+
+type entry = {
+  name : string;
+  aliases : string list;
+  make : capacity:float -> Flow.t array -> Sched_intf.instance;
+}
+
+val register : entry -> unit
+(** @raise Invalid_argument on a (case-insensitive) name/alias collision. *)
+
+val find : string -> entry option
+val get : string -> entry
+(** @raise Invalid_argument on an unknown name, listing the known ones. *)
+
+val names : unit -> string list
+(** Canonical names in registration order. *)
+
+val instances : capacity:float -> Flow.t array -> Sched_intf.instance list
+(** One instance of every registered scheduler, in registration order —
+    the comparative-test enumeration. *)

@@ -11,65 +11,70 @@ let check_bool = Alcotest.(check bool)
 let horizon = 60_000
 let seed = 2024
 
-let run ?(horizon = horizon) ~setups alg info =
+(* Schedulers are resolved by registry name: the entry carries both the
+   constructor and the channel knowledge ("-I"/"-P") of the variant. *)
+let run ?(horizon = horizon) ?limits ~setups name =
+  let entry = Core.Registry.get name in
   let flows = P.flows_of setups in
-  let sched = P.scheduler alg flows in
-  let cfg = Core.Simulator.config ~predictor:(P.predictor alg info) ~horizon setups in
+  let sched = entry.Core.Registry.make ?limits flows in
+  let cfg =
+    Core.Simulator.config ~predictor:entry.Core.Registry.predictor ~horizon
+      setups
+  in
   Core.Simulator.run cfg sched
 
-let example1_metrics ?sum alg info =
-  run ~setups:(P.example1 ?sum ~seed ()) alg info
+let example1_metrics ?sum name = run ~setups:(P.example1 ?sum ~seed ()) name
 
 let test_blind_lossy_others_lossless () =
-  let blind = example1_metrics P.Blind_wrr P.Predicted in
+  let blind = example1_metrics "Blind WRR" in
   check_bool "blind has real loss" true (Core.Metrics.loss blind ~flow:0 > 0.05);
   List.iter
-    (fun alg ->
-      let m = example1_metrics alg P.Ideal in
+    (fun name ->
+      let m = example1_metrics name in
       check_bool "ideal-information variants lossless" true
         (Core.Metrics.loss m ~flow:0 < 1e-9))
-    [ P.Wrr; P.Noswap; P.Swapw; P.Swapa ]
+    [ "WRR-I"; "NoSwap-I"; "SwapW-I"; "SwapA-I" ]
 
 let test_credits_reduce_flow1_delay () =
   (* Table 1 ordering: compensating variants beat plain WRR for the
      errored flow. *)
-  let d alg info = Core.Metrics.mean_delay (example1_metrics alg info) ~flow:0 in
-  let wrr = d P.Wrr P.Ideal in
-  let noswap = d P.Noswap P.Ideal in
-  let swapa = d P.Swapa P.Ideal in
+  let d name = Core.Metrics.mean_delay (example1_metrics name) ~flow:0 in
+  let wrr = d "WRR-I" in
+  let noswap = d "NoSwap-I" in
+  let swapa = d "SwapA-I" in
   check_bool "noswap < wrr" true (noswap < wrr);
   check_bool "swapa < wrr" true (swapa < wrr);
   check_bool "swapa <= noswap (debits help)" true (swapa <= noswap +. 0.2)
 
 let test_compensation_costs_flow2_little () =
   (* The error-free flow pays only slightly (paper: d2 rises ~0 -> ~2). *)
-  let d2 alg = Core.Metrics.mean_delay (example1_metrics alg P.Ideal) ~flow:1 in
-  check_bool "flow2 cost bounded" true (d2 P.Swapa -. d2 P.Wrr < 3.)
+  let d2 name = Core.Metrics.mean_delay (example1_metrics name) ~flow:1 in
+  check_bool "flow2 cost bounded" true (d2 "SwapA-I" -. d2 "WRR-I" < 3.)
 
 let test_prediction_worse_than_oracle () =
-  let d info = Core.Metrics.mean_delay (example1_metrics P.Swapa info) ~flow:0 in
+  let d name = Core.Metrics.mean_delay (example1_metrics name) ~flow:0 in
   check_bool "one-step within 2x of oracle on bursty channel" true
-    (d P.Predicted < 2. *. d P.Ideal);
-  check_bool "oracle at least as good" true (d P.Ideal <= d P.Predicted)
+    (d "SwapA-P" < 2. *. d "SwapA-I");
+  check_bool "oracle at least as good" true (d "SwapA-I" <= d "SwapA-P")
 
 let test_bernoulli_breaks_prediction () =
   (* Table 3: with pg+pe = 1 the -P variants suffer loss; the -I variants
      do not. *)
-  let p = example1_metrics ~sum:1.0 P.Swapa P.Predicted in
-  let i = example1_metrics ~sum:1.0 P.Swapa P.Ideal in
+  let p = example1_metrics ~sum:1.0 "SwapA-P" in
+  let i = example1_metrics ~sum:1.0 "SwapA-I" in
   check_bool "P variant drops packets" true (Core.Metrics.loss p ~flow:0 > 0.01);
   check_bool "I variant lossless" true (Core.Metrics.loss i ~flow:0 < 1e-9)
 
 let test_burstier_channel_hurts_more () =
-  let d sum = Core.Metrics.mean_delay (example1_metrics ~sum P.Swapa P.Predicted) ~flow:0 in
+  let d sum = Core.Metrics.mean_delay (example1_metrics ~sum "SwapA-P") ~flow:0 in
   check_bool "bursty worse than memoryless for delay" true (d 0.1 > d 1.0)
 
 let test_example3_swapa_trades_delay () =
   (* Table 6: SwapA-P cuts the severely errored source's delay vs WRR-P at
      slight cost to the others. *)
   let setups () = P.example3 ~seed () in
-  let wrr = run ~setups:(setups ()) P.Wrr P.Predicted in
-  let swapa = run ~setups:(setups ()) P.Swapa P.Predicted in
+  let wrr = run ~setups:(setups ()) "WRR-P" in
+  let swapa = run ~setups:(setups ()) "SwapA-P" in
   check_bool "source 1 improves" true
     (Core.Metrics.mean_delay swapa ~flow:0 < Core.Metrics.mean_delay wrr ~flow:0);
   check_bool "source 2 not wrecked" true
@@ -80,8 +85,8 @@ let test_example4_swapa_beats_wrr_for_mmpp () =
   (* Table 8: the MMPP sources' delays improve under SwapA-P vs WRR-P,
      most dramatically for source 5 (worst channel). *)
   let setups () = P.example4 ~seed () in
-  let wrr = run ~setups:(setups ()) P.Wrr P.Predicted in
-  let swapa = run ~setups:(setups ()) P.Swapa P.Predicted in
+  let wrr = run ~setups:(setups ()) "WRR-P" in
+  let swapa = run ~setups:(setups ()) "SwapA-P" in
   check_bool "source 5 improves substantially" true
     (Core.Metrics.mean_delay swapa ~flow:4
     < 0.9 *. Core.Metrics.mean_delay wrr ~flow:4);
@@ -92,8 +97,8 @@ let test_example4_swapa_beats_wrr_for_mmpp () =
 let test_example5_stable_system_equalizes () =
   (* Table 9: in a stable system WRR-P and SwapA-P are nearly identical. *)
   let setups () = P.example5 ~seed () in
-  let wrr = run ~setups:(setups ()) P.Wrr P.Predicted in
-  let swapa = run ~setups:(setups ()) P.Swapa P.Predicted in
+  let wrr = run ~setups:(setups ()) "WRR-P" in
+  let swapa = run ~setups:(setups ()) "SwapA-P" in
   for flow = 0 to 4 do
     let a = Core.Metrics.mean_delay wrr ~flow
     and b = Core.Metrics.mean_delay swapa ~flow in
@@ -108,17 +113,9 @@ let test_example6_credit_sweep () =
      source's loss vs WRR-P, controllably via (D, C). *)
   let loss_f4 m = Core.Metrics.loss m ~flow:4 in
   let setups () = P.example6 ~seed () in
-  let wrr = run ~setups:(setups ()) P.Wrr P.Predicted in
+  let wrr = run ~setups:(setups ()) "WRR-P" in
   let swapa_full =
-    let setups = setups () in
-    let flows = P.flows_of setups in
-    let sched =
-      P.scheduler ~limits:(P.example6_limits ~d:4 ~c:4) P.Swapa flows
-    in
-    let cfg =
-      Core.Simulator.config ~predictor:Wfs_channel.Predictor.One_step ~horizon setups
-    in
-    Core.Simulator.run cfg sched
+    run ~limits:(P.example6_limits ~d:4 ~c:4) ~setups:(setups ()) "SwapA-P"
   in
   check_bool "swapa improves worst flow's loss" true
     (loss_f4 swapa_full < loss_f4 wrr +. 0.01)
@@ -126,8 +123,8 @@ let test_example6_credit_sweep () =
 let test_iwfq_close_to_swapa_average_case () =
   (* Section 8's closing observation: WPS approximates IWFQ's average-case
      behaviour. *)
-  let swapa = example1_metrics P.Swapa P.Ideal in
-  let iwfq = example1_metrics P.Iwfq_alg P.Ideal in
+  let swapa = example1_metrics "SwapA-I" in
+  let iwfq = example1_metrics "IWFQ-I" in
   let d m = Core.Metrics.mean_delay m ~flow:0 in
   check_bool "same order of magnitude" true
     (d iwfq < 2.5 *. d swapa && d swapa < 6. *. d iwfq)
@@ -135,12 +132,12 @@ let test_iwfq_close_to_swapa_average_case () =
 let test_throughputs_match_offered_load () =
   (* In the stable Example 1, every algorithm delivers the offered load. *)
   List.iter
-    (fun (alg, info) ->
-      let m = example1_metrics alg info in
+    (fun name ->
+      let m = example1_metrics name in
       let thpt f = Core.Metrics.throughput m ~flow:f ~slots:horizon in
       check_bool "flow1 near 0.2" true (abs_float (thpt 0 -. 0.2) < 0.05);
       check_bool "flow2 near 0.5" true (abs_float (thpt 1 -. 0.5) < 0.01))
-    [ (P.Wrr, P.Ideal); (P.Swapa, P.Predicted); (P.Iwfq_alg, P.Predicted) ]
+    [ "WRR-I"; "SwapA-P"; "IWFQ-P" ]
 
 let test_mac_cell_end_to_end () =
   (* A small mixed cell through the MAC: uplink flows with error channels
@@ -278,10 +275,10 @@ let test_iwfq_error_free_matches_wireline_wfq () =
 
 let test_metrics_histograms () =
   let setups = P.example1 ~seed ~sum:0.1 () in
-  let flows = P.flows_of setups in
-  let sched = P.scheduler P.Swapa flows in
+  let entry = Core.Registry.get "WPS" in
+  let sched = entry.Core.Registry.make (P.flows_of setups) in
   let cfg =
-    Core.Simulator.config ~predictor:Wfs_channel.Predictor.One_step
+    Core.Simulator.config ~predictor:entry.Core.Registry.predictor
       ~histograms:true ~horizon:20_000 setups
   in
   let m = Core.Simulator.run cfg sched in

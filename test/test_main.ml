@@ -14,5 +14,6 @@ let () =
       ("bounds", Test_bounds.suite);
       ("extensions", Test_extensions.suite);
       ("scenario", Test_scenario.suite);
+      ("runner", Test_runner.suite);
       ("integration", Test_integration.suite);
     ]

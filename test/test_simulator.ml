@@ -246,7 +246,10 @@ let test_presets_flow_shapes () =
   check_int "example3 has 3 flows" 3 (Array.length (Core.Presets.example3 ~seed:1 ()));
   check_int "example4 has 5 flows" 5 (Array.length (Core.Presets.example4 ~seed:1 ()));
   check_int "example6 has 5 flows" 5 (Array.length (Core.Presets.example6 ~seed:1 ()));
-  check_int "nine table-1 rows" 9 (List.length Core.Presets.table1_algorithms)
+  check_int "nine table-1 rows" 9 (List.length Core.Presets.table1_algorithms);
+  check_int "registry mirrors table 1" 9 (List.length (Core.Registry.table1 ()));
+  check_int "registry extended grid" 11
+    (List.length (Core.Registry.table1_extended ()))
 
 let test_presets_common_random_numbers () =
   (* Two constructions from the same seed produce identical arrivals. *)

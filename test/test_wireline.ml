@@ -220,17 +220,9 @@ let test_wf2q_lemma1_bound () =
         w)
     [ 0; 1; 2 ]
 
-let all_instances flows =
-  [
-    Wfs_wireline.Wfq.instance ~capacity:1. flows;
-    Wfs_wireline.Wf2q.instance ~capacity:1. flows;
-    Wfs_wireline.Wf2q_plus.instance ~capacity:1. flows;
-    Wfs_wireline.Scfq.instance ~capacity:1. flows;
-    Wfs_wireline.Stfq.instance ~capacity:1. flows;
-    Wfs_wireline.Virtual_clock.instance ~capacity:1. flows;
-    Wfs_wireline.Wrr.instance ~capacity:1. flows;
-    Wfs_wireline.Drr.instance ~capacity:1. flows;
-  ]
+(* The registry enumerates the whole wireline family; adding a scheduler
+   there picks it up in these comparative tests automatically. *)
+let all_instances flows = Wfs_wireline.Registry.instances ~capacity:1. flows
 
 let test_all_schedulers_complete_everything () =
   let flows = Flow.of_weights [| 1.; 2. |] in
