@@ -6,24 +6,33 @@
    then run the Bechamel micro-benchmarks.
 
    Arguments:
-     --quick          shorter horizon (20k slots)
-     --horizon N      explicit horizon in slots (default 200000)
-     --seed N         base PRNG seed (default 42)
-     --seeds K        replications per run, seeds N..N+K-1 (default 1);
-                      K > 1 renders mean±95% CI cells
-     --jobs N         worker domains (default: all cores; 1 = sequential)
-     --json PATH      artifact path (default BENCH_<timestamp>.json)
-     --no-json        skip the artifact
-     --tables-only    skip micro-benchmarks
-     --perf-only      only micro-benchmarks
+     --quick             shorter horizon (20k slots)
+     --horizon N         explicit horizon in slots (default 200000)
+     --seed N            base PRNG seed (default 42)
+     --seeds K           replications per run, seeds N..N+K-1 (default 1);
+                         K > 1 renders mean±95% CI cells
+     --jobs N            worker domains (default: all cores; 1 = sequential)
+     --json PATH         artifact path (default BENCH_<timestamp>.json)
+     --no-json           skip the artifact
+     --tables-only       skip micro-benchmarks
+     --perf-only         only micro-benchmarks
+     --resume PATH       checkpoint journal: created if absent, and jobs
+                         whose results it already holds are not re-run
+     --retries N         extra attempts per failed job (same RNG stream)
+     --max-slots N       refuse jobs whose declared slot count exceeds N
+     --check-invariants  run the paper-property monitors in every job
 
    Table output is byte-identical for every --jobs value: each run draws
    from RNG streams split from its own spec seed, and results merge by
-   input position, not completion order. *)
+   input position, not completion order.  Failed jobs never abort the
+   sweep: their sections are skipped, a failure table is printed, and the
+   exit status is 3. *)
 
 let usage =
   "usage: main.exe [--quick] [--horizon N] [--seed N] [--seeds K] [--jobs N]\n\
-  \                [--json PATH | --no-json] [--tables-only | --perf-only]"
+  \                [--json PATH | --no-json] [--tables-only | --perf-only]\n\
+  \                [--resume PATH] [--retries N] [--max-slots N]\n\
+  \                [--check-invariants]"
 
 let die fmt =
   Printf.ksprintf
@@ -42,6 +51,10 @@ let () =
   let write_json = ref true in
   let tables = ref true in
   let perf = ref true in
+  let resume = ref None in
+  let retries = ref 0 in
+  let max_slots = ref None in
+  let invariants = ref false in
   let int_arg flag value =
     match int_of_string_opt value with
     | Some n -> n
@@ -82,7 +95,24 @@ let () =
     | "--perf-only" :: rest ->
         tables := false;
         parse rest
-    | [ ("--horizon" | "--seed" | "--seeds" | "--jobs" | "--json") as flag ] ->
+    | "--resume" :: path :: rest ->
+        resume := Some path;
+        parse rest
+    | ("--retries" as flag) :: value :: rest ->
+        let n = int_arg flag value in
+        if n < 0 then die "%s must be >= 0, got %d" flag n;
+        retries := n;
+        parse rest
+    | ("--max-slots" as flag) :: value :: rest ->
+        let n = int_arg flag value in
+        if n <= 0 then die "%s must be positive, got %d" flag n;
+        max_slots := Some n;
+        parse rest
+    | "--check-invariants" :: rest ->
+        invariants := true;
+        parse rest
+    | [ ("--horizon" | "--seed" | "--seeds" | "--jobs" | "--json" | "--resume"
+        | "--retries" | "--max-slots") as flag ] ->
         die "%s expects a value" flag
     | arg :: _ -> die "unknown argument %s" arg
   in
@@ -96,35 +126,67 @@ let () =
     match !jobs with Some n -> n | None -> Wfs_runner.Pool.default_jobs ()
   in
   let opts = { Tables.horizon; seed = !seed; seeds = !seeds; jobs } in
+  let run_opts =
+    {
+      Runs.jobs;
+      retries = !retries;
+      max_slots = !max_slots;
+      invariants = !invariants;
+      resume = !resume;
+      params =
+        [
+          ("horizon", Wfs_util.Json.Int horizon);
+          ("seed", Wfs_util.Json.Int !seed);
+          ("seeds", Wfs_util.Json.Int !seeds);
+        ];
+    }
+  in
   Printf.printf
     "Wireless fair scheduling benchmarks (horizon=%d slots, seed=%d, seeds=%d, jobs=%d)\n"
     horizon !seed !seeds jobs;
+  let failed = ref false in
   if !tables then begin
     let t0 = Unix.gettimeofday () in
-    let artifact_tables, stats = Tables.all ~opts in
-    let wall_clock_s = Unix.gettimeofday () -. t0 in
-    let artifact =
-      Wfs_runner.Artifact.v ~horizon ~seed:!seed ~seeds:!seeds ~jobs
-        ~runs:stats.Runs.runs ~slots:stats.Runs.slots ~wall_clock_s
-        ~tables:artifact_tables
-    in
-    Printf.printf "\n%d runs, %d slots in %.2f s (%.0f slots/s, %d domain(s))\n"
-      artifact.runs artifact.slots artifact.wall_clock_s artifact.slots_per_sec
-      jobs;
-    if !write_json then begin
-      let path =
-        match !json_path with
-        | Some p -> p
-        | None ->
-            let tm = Unix.gmtime (Unix.gettimeofday ()) in
-            Printf.sprintf "BENCH_%04d%02d%02dT%02d%02d%02dZ.json"
-              (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
-              tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
-      in
-      Wfs_runner.Artifact.write ~path artifact;
-      Printf.printf "wrote %s\n" path
-    end
+    match Tables.all ~run_opts ~opts () with
+    | exception Wfs_util.Error.Error e ->
+        Printf.eprintf "error: %s\n" (Wfs_util.Error.to_string e);
+        exit 2
+    | artifact_tables, stats, failures ->
+        let wall_clock_s = Unix.gettimeofday () -. t0 in
+        let artifact =
+          Wfs_runner.Artifact.v ~horizon ~seed:!seed ~seeds:!seeds ~jobs
+            ~runs:stats.Runs.runs ~slots:stats.Runs.slots ~wall_clock_s
+            ~tables:artifact_tables
+        in
+        Printf.printf
+          "\n%d runs, %d slots in %.2f s (%.0f slots/s, %d domain(s))\n"
+          artifact.runs artifact.slots artifact.wall_clock_s
+          artifact.slots_per_sec jobs;
+        if !write_json then begin
+          let path =
+            match !json_path with
+            | Some p -> p
+            | None ->
+                let tm = Unix.gmtime (Unix.gettimeofday ()) in
+                Printf.sprintf "BENCH_%04d%02d%02dT%02d%02d%02dZ.json"
+                  (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+                  tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+          in
+          Wfs_runner.Artifact.write ~path artifact;
+          Printf.printf "wrote %s\n" path
+        end;
+        match failures with
+        | [] -> ()
+        | failures ->
+            failed := true;
+            Printf.printf "\n=== Failed jobs (%d) ===\n" (List.length failures);
+            List.iter
+              (fun { Runs.key; error } ->
+                Printf.printf "  %s\n    %s\n" key
+                  (Wfs_util.Error.to_string error))
+              failures
   end;
+  if !failed then exit 3;
   if !perf then begin
     Printf.printf "\n=== Micro-benchmarks ===\n\n";
     Perf.run ()

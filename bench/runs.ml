@@ -4,9 +4,19 @@
    run a single time), and looked up by key during the sequential render
    phase.  Thunks must not print and must derive all randomness from their
    captured seed, so results are independent of worker count and completion
-   order. *)
+   order.
+
+   Execution is crash-isolated: a job that raises loses only itself — its
+   typed error lands in the failure list, its key stays absent from the
+   lookup table, and {!Missing} lets the render phase skip just the
+   sections that needed it.  With [resume] set, every completed result is
+   also journaled as it finishes ({!Wfs_runner.Journal}), and a restarted
+   sweep replays the journal instead of re-running those keys. *)
 
 module Core = Wfs_core
+module Json = Wfs_util.Json
+module Error = Wfs_util.Error
+module Journal = Wfs_runner.Journal
 
 type result =
   | Metrics of Core.Metrics.t
@@ -20,21 +30,139 @@ type job = {
   run : unit -> result;
 }
 
-type stats = { runs : int; slots : int }
+type opts = {
+  jobs : int;
+  retries : int;
+  max_slots : int option;
+  invariants : bool;
+  resume : string option;
+  params : (string * Json.t) list;
+      (* sweep settings stamped into the journal header; a resumed journal
+         must carry the same ones, or its keys could silently alias runs
+         made with different settings *)
+}
+
+let default_opts ~jobs =
+  {
+    jobs;
+    retries = 0;
+    max_slots = None;
+    invariants = false;
+    resume = None;
+    params = [];
+  }
+
+type failure = { key : string; error : Error.t }
+type stats = { runs : int; slots : int; cached : int; failed : int }
+
+exception Missing of string
+
+(* Invariant checking is a per-sweep switch read by the job thunks at run
+   time (they are built before [exec] knows the options). *)
+let invariants_flag = ref false
+let invariants_enabled () = !invariants_flag
 
 let spec_job spec =
   {
     key = Wfs_runner.Spec.to_string spec;
     slots = spec.Wfs_runner.Spec.horizon;
-    run = (fun () -> Metrics (Wfs_runner.Exec.run spec));
+    run =
+      (fun () ->
+        Metrics (Wfs_runner.Exec.run ~invariants:(invariants_enabled ()) spec));
   }
 
-let exec ~jobs job_list =
+(* --- journal payloads --- *)
+
+let result_to_json = function
+  | Metrics m ->
+      Json.Obj [ ("kind", Json.Str "metrics"); ("data", Core.Metrics.to_json m) ]
+  | Mac r ->
+      Json.Obj
+        [ ("kind", Json.Str "mac"); ("data", Wfs_mac.Mac_sim.result_to_json r) ]
+  | Bounds r ->
+      Json.Obj
+        [
+          ("kind", Json.Str "bounds");
+          ("data", Wfs_bounds.Verify.report_to_json r);
+        ]
+  | Fairness { windows; jain; gap } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "fairness");
+          ("windows", Json.Int windows);
+          ("jain", Json.of_float_ext jain);
+          ("gap", Json.of_float_ext gap);
+        ]
+
+let result_of_json j =
+  let ( let* ) = Option.bind in
+  let* kind = Option.bind (Json.member "kind" j) Json.to_str in
+  match kind with
+  | "metrics" ->
+      let* data = Json.member "data" j in
+      Option.map (fun m -> Metrics m) (Core.Metrics.of_json data)
+  | "mac" ->
+      let* data = Json.member "data" j in
+      Option.map (fun r -> Mac r) (Wfs_mac.Mac_sim.result_of_json data)
+  | "bounds" ->
+      let* data = Json.member "data" j in
+      Option.map (fun r -> Bounds r) (Wfs_bounds.Verify.report_of_json data)
+  | "fairness" ->
+      let* windows = Option.bind (Json.member "windows" j) Json.to_int in
+      let* jain = Option.bind (Json.member "jain" j) Json.to_float_ext in
+      let* gap = Option.bind (Json.member "gap" j) Json.to_float_ext in
+      Some (Fairness { windows; jain; gap })
+  | _ -> None
+
+(* --- resume --- *)
+
+let params_equal a b =
+  let norm l =
+    List.sort (fun (k, _) (k', _) -> String.compare k k') l
+    |> List.map (fun (k, v) -> (k, Json.to_string ~pretty:false v))
+  in
+  List.equal (fun (k, v) (k', v') -> String.equal k k' && String.equal v v')
+    (norm a) (norm b)
+
+(* Load a journal into [cached] and return an append-mode writer; create a
+   fresh journal when the file does not exist yet.  An unusable journal
+   (corrupt, wrong schema, different sweep settings) raises the typed
+   error — resuming over it could resurrect results from another sweep. *)
+let open_journal ~params ~cached path =
+  if Sys.file_exists path then begin
+    match Journal.load ~path with
+    | Error e -> Error.raise_ e
+    | Ok { params = found; entries } ->
+        if not (params_equal found params) then
+          Error.bad_spec ~who:"Runs.exec"
+            "journal was written for different sweep settings"
+            ~context:
+              [
+                ("path", path);
+                ( "journal",
+                  Json.to_string ~pretty:false (Json.Obj found) );
+                ( "sweep",
+                  Json.to_string ~pretty:false (Json.Obj params) );
+              ];
+        List.iter
+          (fun (key, v) ->
+            match result_of_json v with
+            | Some r -> Hashtbl.replace cached key r
+            | None ->
+                Error.bad_spec ~who:"Runs.exec" "unreadable journal entry"
+                  ~context:[ ("path", path); ("key", key) ])
+          entries;
+        Journal.reopen ~path
+  end
+  else Journal.create ~path ~params
+
+let exec ~opts job_list =
+  invariants_flag := opts.invariants;
   (* Dedup by key, keeping first occurrence order. *)
   let seen = Hashtbl.create 256 in
   let distinct =
     List.filter
-      (fun j ->
+      (fun (j : job) ->
         if Hashtbl.mem seen j.key then false
         else begin
           Hashtbl.add seen j.key ();
@@ -42,36 +170,88 @@ let exec ~jobs job_list =
         end)
       job_list
   in
-  let arr = Array.of_list distinct in
-  Printf.printf "running %d simulations on %d domain(s)...\n%!"
-    (Array.length arr) (max 1 jobs);
-  let results = Wfs_runner.Pool.map ~jobs (fun j -> j.run ()) arr in
+  let cached = Hashtbl.create 256 in
+  let writer =
+    Option.map (open_journal ~params:opts.params ~cached) opts.resume
+  in
+  let pending : job array =
+    Array.of_list
+      (List.filter (fun (j : job) -> not (Hashtbl.mem cached j.key)) distinct)
+  in
+  if Hashtbl.length cached = 0 then
+    Printf.printf "running %d simulations on %d domain(s)...\n%!"
+      (Array.length pending) (max 1 opts.jobs)
+  else
+    Printf.printf
+      "running %d simulations on %d domain(s) (%d resumed from journal)...\n%!"
+      (Array.length pending) (max 1 opts.jobs) (Hashtbl.length cached);
+  let notify =
+    Option.map
+      (fun w i outcome ->
+        match outcome with
+        | Ok r -> Journal.append w ~key:pending.(i).key ~value:(result_to_json r)
+        | Error _ -> ())
+      writer
+  in
+  let outcomes =
+    Wfs_runner.Pool.map_outcomes ~jobs:opts.jobs ~retries:opts.retries ?notify
+      (fun (j : job) ->
+        match opts.max_slots with
+        | Some cap when j.slots > cap ->
+            (* Deterministic watchdog: the slot loop is horizon-bounded, so
+               a job's cost is declared up front and over-budget jobs are
+               refused before they run. *)
+            Error
+              (Error.v Error.Sim_fault ~who:"Runs.exec" "slot budget exceeded"
+                 ~context:
+                   [
+                     ("key", j.key);
+                     ("slots", string_of_int j.slots);
+                     ("max_slots", string_of_int cap);
+                   ])
+        | _ -> Ok (j.run ()))
+      pending
+  in
+  Option.iter Journal.close writer;
   let table = Hashtbl.create 256 in
-  Array.iteri (fun i j -> Hashtbl.replace table j.key results.(i)) arr;
+  Hashtbl.iter (fun k r -> Hashtbl.replace table k r) cached;
+  let failures = ref [] in
+  Array.iteri
+    (fun i (j : job) ->
+      match outcomes.(i) with
+      | Ok r -> Hashtbl.replace table j.key r
+      | Error error -> failures := { key = j.key; error } :: !failures)
+    pending;
+  let failures = List.rev !failures in
   let stats =
     {
-      runs = Array.length arr;
-      slots = Array.fold_left (fun acc (j : job) -> acc + j.slots) 0 arr;
+      runs = Array.length pending;
+      slots = Array.fold_left (fun acc (j : job) -> acc + j.slots) 0 pending;
+      cached = Hashtbl.length cached;
+      failed = List.length failures;
     }
   in
   let get key =
     match Hashtbl.find_opt table key with
     | Some r -> r
-    | None -> invalid_arg (Printf.sprintf "Runs.exec: no job with key %S" key)
+    | None ->
+        if Hashtbl.mem seen key then raise (Missing key)
+        else Error.invalidf "Runs.exec" "no job with key %S" key
   in
-  (stats, get)
+  (stats, get, failures)
 
 let metrics get key =
   match get key with
   | Metrics m -> m
-  | _ -> invalid_arg (Printf.sprintf "job %S did not produce metrics" key)
+  | _ -> Error.invalidf "Runs.metrics" "job %S did not produce metrics" key
 
 let mac get key =
   match get key with
   | Mac r -> r
-  | _ -> invalid_arg (Printf.sprintf "job %S did not produce a MAC result" key)
+  | _ -> Error.invalidf "Runs.mac" "job %S did not produce a MAC result" key
 
 let bounds get key =
   match get key with
   | Bounds r -> r
-  | _ -> invalid_arg (Printf.sprintf "job %S did not produce a bounds report" key)
+  | _ ->
+      Error.invalidf "Runs.bounds" "job %S did not produce a bounds report" key

@@ -2,7 +2,14 @@
     execute the distinct ones on the domain pool, look results up by key
     while rendering sequentially.  Keys double as the dedup unit — two
     sections that need the same run (same {!Wfs_runner.Spec.t}) pay for it
-    once. *)
+    once.
+
+    Execution is crash-isolated ({!Wfs_runner.Pool.map_outcomes}): a job
+    that raises loses only itself, and its typed error is returned in the
+    failure list.  With [resume] set, completed results are checkpointed
+    line-by-line to a {!Wfs_runner.Journal} and a rerun over the same
+    journal skips the completed keys — final tables are byte-identical to
+    an uninterrupted sweep. *)
 
 type result =
   | Metrics of Wfs_core.Metrics.t
@@ -16,17 +23,56 @@ type job = {
   run : unit -> result;  (** must not print; seeds only from captured data *)
 }
 
-type stats = { runs : int; slots : int }
+type opts = {
+  jobs : int;  (** worker domains *)
+  retries : int;  (** extra attempts per failed job (same RNG stream) *)
+  max_slots : int option;
+      (** deterministic watchdog: refuse any job declaring more slots *)
+  invariants : bool;  (** run {!Wfs_core.Invariant} monitors in every job *)
+  resume : string option;
+      (** journal path: created when absent, resumed when present *)
+  params : (string * Wfs_util.Json.t) list;
+      (** sweep settings stamped into the journal header; a resumed journal
+          must carry identical ones *)
+}
+
+val default_opts : jobs:int -> opts
+(** No retries, no watchdog, no invariants, no journal. *)
+
+type failure = { key : string; error : Wfs_util.Error.t }
+type stats = { runs : int; slots : int; cached : int; failed : int }
+
+exception Missing of string
+(** Raised by the lookup function for a key that was submitted but whose
+    job failed — the render phase catches it to skip just that section. *)
+
+val invariants_enabled : unit -> bool
+(** The sweep-wide invariant switch ({!opts.invariants}), as set by the
+    current {!exec}.  Job thunks built before [exec] read it at run time;
+    custom jobs driving {!Wfs_core.Simulator} directly should forward it
+    to [Simulator.config ~invariants]. *)
 
 val spec_job : Wfs_runner.Spec.t -> job
 (** Job keyed by [Spec.to_string] that runs the spec through
-    {!Wfs_runner.Exec.run}. *)
+    {!Wfs_runner.Exec.run} (with invariant monitors when enabled). *)
 
-val exec : jobs:int -> job list -> stats * (string -> result)
-(** Dedup by key (first occurrence wins), run the distinct jobs on up to
-    [jobs] domains, and return run/slot counts plus a lookup function.
-    The lookup raises [Invalid_argument] for a key that was never
-    submitted. *)
+val result_to_json : result -> Wfs_util.Json.t
+
+val result_of_json : Wfs_util.Json.t -> result option
+(** Bit-exact round-trip: [result_of_json (result_to_json r)] rebuilds a
+    result whose rendered cells are byte-identical — the property journal
+    resumption relies on. *)
+
+val exec : opts:opts -> job list -> stats * (string -> result) * failure list
+(** Dedup by key (first occurrence wins), subtract keys already in the
+    resume journal, run the remaining jobs crash-isolated on the pool
+    (journaling each completion), and return counts, a lookup function,
+    and the per-job failures in submission order.  The lookup raises
+    {!Missing} for a failed key and [Invalid_argument] for a key that was
+    never submitted.
+    @raise Wfs_util.Error.Error (kind [Bad_spec]) when the resume journal
+    is corrupt, has the wrong schema, or was written for different sweep
+    settings. *)
 
 val metrics : (string -> result) -> string -> Wfs_core.Metrics.t
 val mac : (string -> result) -> string -> Wfs_mac.Mac_sim.result

@@ -80,7 +80,10 @@ let agg ?decimals ms f =
         (cell ?decimals (Summary.ci95 s))
 
 let run_direct ?observer ~horizon ~predictor setups sched =
-  let cfg = Core.Simulator.config ~predictor ?observer ~horizon setups in
+  let cfg =
+    Core.Simulator.config ~predictor ?observer
+      ~invariants:(Runs.invariants_enabled ()) ~horizon setups
+  in
   Core.Simulator.run cfg sched
 
 (* The 9-algorithm, 2-flow grid of Tables 1-4 (plus IWFQ rows, which the
@@ -291,6 +294,7 @@ let table11 ~opts =
           custom_jobs ~opts ~key:(sweep_key (d, c)) (fun ~seed ->
               Wfs_runner.Exec.run
                 ~limits:(P.example6_limits ~d ~c)
+                ~invariants:(Runs.invariants_enabled ())
                 (Spec.with_seed seed swapa_spec)))
         sweep
   in
@@ -1014,16 +1018,26 @@ let to_artifact t =
     rows = T.rows t;
   }
 
-let all ~opts =
+let all ?run_opts ~opts () =
   let secs = sections ~opts in
-  let stats, get =
-    Runs.exec ~jobs:opts.jobs (List.concat_map (fun s -> s.jobs) secs)
+  let run_opts =
+    match run_opts with
+    | Some r -> r
+    | None -> Runs.default_opts ~jobs:opts.jobs
+  in
+  let stats, get, failures =
+    Runs.exec ~opts:run_opts (List.concat_map (fun s -> s.jobs) secs)
   in
   let tables =
     List.concat_map
       (fun s ->
         Printf.printf "\n=== %s ===\n\n" s.name;
-        s.render get)
+        match s.render get with
+        | ts -> ts
+        | exception Runs.Missing key ->
+            Printf.printf "(section skipped: job %S failed; see failure table)\n"
+              key;
+            [])
       secs
   in
-  (List.map to_artifact tables, stats)
+  (List.map to_artifact tables, stats, failures)

@@ -57,7 +57,7 @@ type run_result = {
 
 (* One self-contained run: registry lookup, fresh seeded setups, optional
    fairness monitor.  Safe to execute on any domain. *)
-let run_one ~credit ~debit ~fairness (spec : Spec.t) =
+let run_one ~credit ~debit ~fairness ~invariants (spec : Spec.t) =
   let entry = Registry.get spec.sched in
   let setups = Wfs_runner.Exec.setups_of spec in
   let flows = Wfs_core.Presets.flows_of setups in
@@ -73,7 +73,7 @@ let run_one ~credit ~debit ~fairness (spec : Spec.t) =
   let cfg =
     Wfs_core.Simulator.config ~predictor:entry.Registry.predictor
       ?observer:(Option.map Wfs_core.Fairness.Monitor.observer monitor)
-      ~horizon:spec.horizon setups
+      ~invariants ~horizon:spec.horizon setups
   in
   let metrics = Wfs_core.Simulator.run cfg sched in
   {
@@ -98,10 +98,13 @@ let agg ?decimals results f =
         (T.cell_of_float ?decimals (Summary.mean s))
         (T.cell_of_float ?decimals (Summary.ci95 s))
 
-(* Run every (label, spec) with [seeds] replicas on the domain pool and
-   print one row per flow per label. *)
+(* Run every (label, spec) with [seeds] replicas crash-isolated on the
+   domain pool and print one row per flow per label.  A replica that fails
+   (raise, or slot budget refusal) loses only its own label: that label's
+   rows are skipped, the typed errors are listed in a failure table, and
+   the process exits 3 instead of aborting mid-sweep. *)
 let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
-    ~flow_base labeled_specs =
+    ~retries ~max_slots ~invariants ~flow_base labeled_specs =
   let units =
     Array.of_list
       (List.concat_map
@@ -109,8 +112,25 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
            List.init seeds (fun k -> Spec.with_seed (sp.Spec.seed + k) sp))
          labeled_specs)
   in
-  let results =
-    Wfs_runner.Pool.map ~jobs (run_one ~credit ~debit ~fairness) units
+  let outcomes =
+    Wfs_runner.Pool.map_outcomes ~jobs ~retries
+      (fun (sp : Spec.t) ->
+        match max_slots with
+        | Some cap when sp.Spec.horizon > cap ->
+            (* Deterministic watchdog: the slot loop is horizon-bounded, so
+               a run's cost is declared up front and over-budget runs are
+               refused before they start. *)
+            Error
+              (Wfs_util.Error.v Wfs_util.Error.Sim_fault ~who:"wfs_sim"
+                 "slot budget exceeded"
+                 ~context:
+                   [
+                     ("spec", Spec.to_string sp);
+                     ("horizon", string_of_int sp.Spec.horizon);
+                     ("max_slots", string_of_int cap);
+                   ])
+        | _ -> Ok (run_one ~credit ~debit ~fairness ~invariants sp))
+      units
   in
   let columns =
     [ "algorithm"; "flow"; "mean_delay"; "loss"; "max_delay"; "stddev"; "thpt" ]
@@ -118,6 +138,7 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
   in
   let table = T.create ~title ~columns in
   let csv_rows = ref [] in
+  let failures = ref [] in
   let emit cells =
     match output with
     | Table -> T.add_row table cells
@@ -125,37 +146,67 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
   in
   List.iteri
     (fun li (label, (sp : Spec.t)) ->
-      let reps = Array.sub results (li * seeds) seeds in
-      let n_flows = M.n_flows reps.(0).metrics in
-      for i = 0 to n_flows - 1 do
-        let base =
-          [
-            label;
-            string_of_int (i + flow_base);
-            agg reps (fun r -> M.mean_delay r.metrics ~flow:i);
-            agg ~decimals:4 reps (fun r -> M.loss r.metrics ~flow:i);
-            agg reps (fun r -> M.max_delay r.metrics ~flow:i);
-            agg reps (fun r -> M.stddev_delay r.metrics ~flow:i);
-            agg ~decimals:4 reps (fun r ->
-                M.throughput r.metrics ~flow:i ~slots:sp.Spec.horizon);
-          ]
+      let reps_out = Array.sub outcomes (li * seeds) seeds in
+      let failed =
+        Array.exists (function Error _ -> true | Ok _ -> false) reps_out
+      in
+      if failed then
+        Array.iteri
+          (fun k out ->
+            match out with
+            | Error e ->
+                failures :=
+                  (Spec.to_string (Spec.with_seed (sp.Spec.seed + k) sp), e)
+                  :: !failures
+            | Ok _ -> ())
+          reps_out
+      else begin
+        let reps =
+          Array.map
+            (function Ok r -> r | Error _ -> assert false)
+            reps_out
         in
-        let extra =
-          if fairness then
+        let n_flows = M.n_flows reps.(0).metrics in
+        for i = 0 to n_flows - 1 do
+          let base =
             [
-              agg ~decimals:4 reps (fun r -> fst (Option.get r.jain_gap));
-              agg reps (fun r -> snd (Option.get r.jain_gap));
+              label;
+              string_of_int (i + flow_base);
+              agg reps (fun r -> M.mean_delay r.metrics ~flow:i);
+              agg ~decimals:4 reps (fun r -> M.loss r.metrics ~flow:i);
+              agg reps (fun r -> M.max_delay r.metrics ~flow:i);
+              agg reps (fun r -> M.stddev_delay r.metrics ~flow:i);
+              agg ~decimals:4 reps (fun r ->
+                  M.throughput r.metrics ~flow:i ~slots:sp.Spec.horizon);
             ]
-          else []
-        in
-        emit (base @ extra)
-      done)
+          in
+          let extra =
+            if fairness then
+              [
+                agg ~decimals:4 reps (fun r -> fst (Option.get r.jain_gap));
+                agg reps (fun r -> snd (Option.get r.jain_gap));
+              ]
+            else []
+          in
+          emit (base @ extra)
+        done
+      end)
     labeled_specs;
-  match output with
+  (match output with
   | Table -> T.print table
   | Csv ->
       print_endline (String.concat "," columns);
-      List.iter print_endline (List.rev !csv_rows)
+      List.iter print_endline (List.rev !csv_rows));
+  match List.rev !failures with
+  | [] -> ()
+  | failures ->
+      (* stderr, so piped --csv output stays parseable *)
+      Printf.eprintf "\n=== Failed runs (%d) ===\n" (List.length failures);
+      List.iter
+        (fun (key, e) ->
+          Printf.eprintf "  %s\n    %s\n" key (Wfs_util.Error.to_string e))
+        failures;
+      exit 3
 
 let title_info ~seeds ~seed ~horizon =
   if seeds > 1 then
@@ -173,20 +224,31 @@ let list_schedulers () =
   T.print t
 
 let main_checked example seed horizon sum credit debit csv fairness algo info
-    scenario specs seeds jobs list =
+    scenario specs seeds jobs list retries max_slots invariants =
   let output = if csv then Csv else Table in
   if seeds < 1 then (
     Printf.eprintf "wfs_sim: --seeds must be >= 1, got %d\n" seeds;
+    exit 2);
+  if retries < 0 then (
+    Printf.eprintf "wfs_sim: --retries must be >= 0, got %d\n" retries;
     exit 2);
   (match jobs with
   | Some n when n < 1 ->
       Printf.eprintf "wfs_sim: --jobs must be >= 1, got %d\n" n;
       exit 2
   | _ -> ());
+  (match max_slots with
+  | Some n when n < 1 ->
+      Printf.eprintf "wfs_sim: --max-slots must be >= 1, got %d\n" n;
+      exit 2
+  | _ -> ());
   let jobs =
     match jobs with Some n -> n | None -> Wfs_runner.Pool.default_jobs ()
   in
-  let render = run_and_render ~output ~jobs ~seeds ~credit ~debit ~fairness in
+  let render =
+    run_and_render ~output ~jobs ~seeds ~credit ~debit ~fairness ~retries
+      ~max_slots ~invariants
+  in
   if list then list_schedulers ()
   else if specs <> [] then
     (* Explicit run specs: each is its own experiment id. *)
@@ -227,15 +289,20 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
           ~flow_base:1 labeled
 
 (* Bad scheduler names, malformed specs and out-of-range examples all raise
-   Invalid_argument with a helpful message — turn them into a clean exit. *)
+   Invalid_argument (or a typed Bad_spec error) with a helpful message —
+   turn them into a clean exit. *)
 let main example seed horizon sum credit debit csv fairness algo info scenario
-    specs seeds jobs list =
+    specs seeds jobs list retries max_slots invariants =
   try
     main_checked example seed horizon sum credit debit csv fairness algo info
-      scenario specs seeds jobs list
-  with Invalid_argument msg ->
-    Printf.eprintf "wfs_sim: %s\n" msg;
-    exit 2
+      scenario specs seeds jobs list retries max_slots invariants
+  with
+  | Invalid_argument msg ->
+      Printf.eprintf "wfs_sim: %s\n" msg;
+      exit 2
+  | Wfs_util.Error.Error e ->
+      Printf.eprintf "wfs_sim: %s\n" (Wfs_util.Error.to_string e);
+      exit 2
 
 open Cmdliner
 
@@ -324,6 +391,32 @@ let list_arg =
     value & flag
     & info [ "list" ] ~doc:"List registered schedulers and aliases, then exit.")
 
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ]
+        ~doc:
+          "Extra attempts per failed run (same RNG stream, so a retry that \
+           succeeds is byte-identical to a first-attempt success).")
+
+let max_slots_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-slots" ]
+        ~doc:
+          "Deterministic slot-budget watchdog: refuse any run whose horizon \
+           exceeds N slots instead of executing it.")
+
+let invariants_arg =
+  Arg.(
+    value & flag
+    & info [ "check-invariants" ]
+        ~doc:
+          "Run the paper-property monitors (virtual-time monotonicity, \
+           finish-tag sanity, credit bounds, lag conservation, work \
+           conservation) on every slot; a violation fails that run.")
+
 let cmd =
   let doc = "Wireless fair scheduling simulator (Lu/Bharghavan/Srikant 1997)" in
   Cmd.v
@@ -331,6 +424,7 @@ let cmd =
     Term.(
       const main $ example_arg $ seed_arg $ horizon_arg $ sum_arg $ credit_arg
       $ debit_arg $ csv_arg $ fairness_arg $ algo_arg $ info_arg $ scenario_arg
-      $ spec_arg $ seeds_arg $ jobs_arg $ list_arg)
+      $ spec_arg $ seeds_arg $ jobs_arg $ list_arg $ retries_arg
+      $ max_slots_arg $ invariants_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -6,11 +6,11 @@ type system = {
 
 let make ~weights ~lag_total ~lead =
   if Array.length weights <> Array.length lead then
-    invalid_arg "Theorems.make: weights/lead length mismatch";
+    Wfs_util.Error.invalid "Theorems.make" "weights/lead length mismatch";
   Array.iter
-    (fun w -> if w <= 0. then invalid_arg "Theorems.make: weights must be > 0")
+    (fun w -> if w <= 0. then Wfs_util.Error.invalid "Theorems.make" "weights must be > 0")
     weights;
-  if lag_total < 0. then invalid_arg "Theorems.make: negative lag bound";
+  if lag_total < 0. then Wfs_util.Error.invalid "Theorems.make" "negative lag bound";
   { weights = Array.copy weights; lag_total; lead = Array.copy lead }
 
 let total_weight s = Array.fold_left ( +. ) 0. s.weights
@@ -30,7 +30,7 @@ let new_queue_delay s ~flow =
 
 let short_term_backlog_clearance s ~flow ~lags ~lead_now =
   if Array.length lags <> Array.length s.weights then
-    invalid_arg "Theorems.short_term_backlog_clearance: lags length mismatch";
+    Wfs_util.Error.invalid "Theorems.short_term_backlog_clearance" "lags length mismatch";
   let other_lags = ref 0. in
   Array.iteri (fun j b -> if j <> flow then other_lags := !other_lags +. b) lags;
   !other_lags +. (lead_now *. other_weight s ~flow /. s.weights.(flow))
@@ -45,7 +45,7 @@ let error_prone_extra_delay s ~flow ~good_slot_time =
 
 let throughput_short_term s ~flow ~good_slots ~lags ~lead_now =
   if Array.length lags <> Array.length s.weights then
-    invalid_arg "Theorems.throughput_short_term: lags length mismatch";
+    Wfs_util.Error.invalid "Theorems.throughput_short_term" "lags length mismatch";
   let other_lags = ref 0. in
   Array.iteri (fun j b -> if j <> flow then other_lags := !other_lags +. b) lags;
   let n_t =

@@ -60,7 +60,7 @@ let error_free_setups setups =
 
 let check_long_term_throughput ?params ~horizon ~shift ~make_setups ~predictor
     ~flow () =
-  if shift < 0 then invalid_arg "Verify.check_long_term_throughput: negative shift";
+  if shift < 0 then Wfs_util.Error.invalid "Verify.check_long_term_throughput" "negative shift";
   let errored =
     delivered_curve ?params ~horizon ~predictor (make_setups ()) ~flow
   in
@@ -134,7 +134,7 @@ let check_new_queue_delay ?params ~horizon ~make_setups ~predictor ~flow () =
 let check_short_term_throughput ?params ~horizon ~window ~make_setups ~predictor
     ~flow () =
   if window <= 0 then
-    invalid_arg "Verify.check_short_term_throughput: window must be > 0";
+    Wfs_util.Error.invalid "Verify.check_short_term_throughput" "window must be > 0";
   let setups = make_setups () in
   let iwfq, sched, flows = iwfq_of ?params setups in
   let n = Array.length flows in
@@ -207,3 +207,22 @@ let check_error_free_delay ?params ~horizon ~make_setups ~predictor ~flow () =
                observe !report ~measured:(float_of_int (t_err - t_ref)) ~bound
          | None -> ());
   !report
+
+module Json = Wfs_util.Json
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("samples", Json.Int r.samples);
+      ("violations", Json.Int r.violations);
+      ("worst_slack", Json.of_float_ext r.worst_slack);
+    ]
+
+let report_of_json v =
+  let ( let* ) = Option.bind in
+  let* samples = Option.bind (Json.member "samples" v) Json.to_int in
+  let* violations = Option.bind (Json.member "violations" v) Json.to_int in
+  let* worst_slack =
+    Option.bind (Json.member "worst_slack" v) Json.to_float_ext
+  in
+  Some { samples; violations; worst_slack }

@@ -82,3 +82,8 @@ val check_short_term_throughput :
     [(N_G − N(t))·r_e/Σr − 1], where [N_G] counts the window's good slots
     on [flow]'s true channel and [N(t)] is computed from the measured lags
     and lead at the window start ({!Theorems.throughput_short_term}). *)
+
+val report_to_json : report -> Wfs_util.Json.t
+val report_of_json : Wfs_util.Json.t -> report option
+(** Bit-exact round-trip for the sweep checkpoint journal ([worst_slack]
+    may be non-finite on an empty report). *)

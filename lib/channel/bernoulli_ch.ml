@@ -1,6 +1,6 @@
 let create ~rng ~good_prob =
   if good_prob < 0. || good_prob > 1. then
-    invalid_arg "Bernoulli_ch.create: good_prob must lie in [0,1]";
+    Wfs_util.Error.invalid "Bernoulli_ch.create" "good_prob must lie in [0,1]";
   let step _slot =
     if Wfs_util.Rng.bernoulli rng good_prob then Channel.Good else Channel.Bad
   in

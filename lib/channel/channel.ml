@@ -19,8 +19,8 @@ let make ~label ?(initial = Good) step =
 
 let advance t ~slot =
   if slot <= t.last_slot then
-    invalid_arg
-      (Printf.sprintf "Channel.advance: slot %d not after %d" slot t.last_slot);
+    Wfs_util.Error.invalidf "Channel.advance" "slot %d not after %d" slot
+      t.last_slot;
   (match t.current with Some s -> t.previous <- s | None -> ());
   let s = t.step slot in
   t.current <- Some s;
@@ -30,7 +30,7 @@ let advance t ~slot =
 let state t =
   match t.current with
   | Some s -> s
-  | None -> invalid_arg "Channel.state: not advanced yet"
+  | None -> Wfs_util.Error.invalid "Channel.state" "not advanced yet"
 
 let previous_state t = t.previous
 let label t = t.label

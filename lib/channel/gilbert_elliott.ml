@@ -2,8 +2,8 @@ let steady_state_good ~pg ~pe = pg /. (pg +. pe)
 
 let create ~rng ~pg ~pe ?start_good () =
   if pg < 0. || pg > 1. || pe < 0. || pe > 1. then
-    invalid_arg "Gilbert_elliott.create: pg, pe must lie in [0,1]";
-  if pg +. pe <= 0. then invalid_arg "Gilbert_elliott.create: pg + pe must be > 0";
+    Wfs_util.Error.invalid "Gilbert_elliott.create" "pg, pe must lie in [0,1]";
+  if pg +. pe <= 0. then Wfs_util.Error.invalid "Gilbert_elliott.create" "pg + pe must be > 0";
   let p_good = steady_state_good ~pg ~pe in
   let good =
     ref
@@ -21,8 +21,8 @@ let create ~rng ~pg ~pe ?start_good () =
 
 let of_burstiness ~rng ~good_prob ~sum () =
   if not (good_prob > 0. && good_prob < 1.) then
-    invalid_arg "Gilbert_elliott.of_burstiness: good_prob must be in (0,1)";
+    Wfs_util.Error.invalid "Gilbert_elliott.of_burstiness" "good_prob must be in (0,1)";
   let pg = good_prob *. sum and pe = (1. -. good_prob) *. sum in
   if sum <= 0. || pg > 1. || pe > 1. then
-    invalid_arg "Gilbert_elliott.of_burstiness: sum out of range";
+    Wfs_util.Error.invalid "Gilbert_elliott.of_burstiness" "sum out of range";
   create ~rng ~pg ~pe ()

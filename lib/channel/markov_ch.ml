@@ -2,25 +2,25 @@ type spec = { transition : float array array; good_prob : float array }
 
 let validate { transition; good_prob } =
   let n = Array.length transition in
-  if n = 0 then invalid_arg "Markov_ch: empty chain";
+  if n = 0 then Wfs_util.Error.invalid "Markov_ch" "empty chain";
   if Array.length good_prob <> n then
-    invalid_arg "Markov_ch: good_prob length mismatch";
+    Wfs_util.Error.invalid "Markov_ch" "good_prob length mismatch";
   Array.iter
     (fun row ->
-      if Array.length row <> n then invalid_arg "Markov_ch: matrix not square";
+      if Array.length row <> n then Wfs_util.Error.invalid "Markov_ch" "matrix not square";
       let sum = Array.fold_left ( +. ) 0. row in
       Array.iter
         (fun p ->
           if p < 0. || p > 1. then
-            invalid_arg "Markov_ch: transition probabilities must be in [0,1]")
+            Wfs_util.Error.invalid "Markov_ch" "transition probabilities must be in [0,1]")
         row;
       if abs_float (sum -. 1.) > 1e-9 then
-        invalid_arg "Markov_ch: rows must sum to 1")
+        Wfs_util.Error.invalid "Markov_ch" "rows must sum to 1")
     transition;
   Array.iter
     (fun p ->
       if p < 0. || p > 1. then
-        invalid_arg "Markov_ch: good_prob must be in [0,1]")
+        Wfs_util.Error.invalid "Markov_ch" "good_prob must be in [0,1]")
     good_prob
 
 let step_state rng row =
@@ -36,7 +36,7 @@ let step_state rng row =
 let create ~rng ?(start = 0) spec =
   validate spec;
   let n = Array.length spec.transition in
-  if start < 0 || start >= n then invalid_arg "Markov_ch.create: bad start state";
+  if start < 0 || start >= n then Wfs_util.Error.invalid "Markov_ch.create" "bad start state";
   let state = ref start in
   let step _slot =
     state := step_state rng spec.transition.(!state);

@@ -1,18 +1,18 @@
 let create ~pattern =
   let n = Array.length pattern in
-  if n = 0 then invalid_arg "Periodic_ch.create: empty pattern";
+  if n = 0 then Wfs_util.Error.invalid "Periodic_ch.create" "empty pattern";
   Channel.make ~label:(Printf.sprintf "periodic(%d)" n) (fun slot ->
       pattern.(slot mod n))
 
 let bad_every ~period ~offset =
-  if period <= 0 then invalid_arg "Periodic_ch.bad_every: period must be > 0";
+  if period <= 0 then Wfs_util.Error.invalid "Periodic_ch.bad_every" "period must be > 0";
   let offset = ((offset mod period) + period) mod period in
   Channel.make
     ~label:(Printf.sprintf "bad-every(%d@%d)" period offset)
     (fun slot -> if slot mod period = offset then Channel.Bad else Channel.Good)
 
 let bad_burst ~start ~length =
-  if length < 0 then invalid_arg "Periodic_ch.bad_burst: negative length";
+  if length < 0 then Wfs_util.Error.invalid "Periodic_ch.bad_burst" "negative length";
   Channel.make
     ~label:(Printf.sprintf "burst(%d+%d)" start length)
     (fun slot ->

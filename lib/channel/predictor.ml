@@ -9,7 +9,7 @@ type t = {
 let create kind =
   (match kind with
   | Periodic_snoop k when k <= 0 ->
-      invalid_arg "Predictor.create: snoop period must be > 0"
+      Wfs_util.Error.invalid "Predictor.create" "snoop period must be > 0"
   | Perfect | One_step | Blind | Periodic_snoop _ -> ());
   { kind; last_observed = Channel.Good; last_snoop = min_int }
 
@@ -26,6 +26,13 @@ let predict t ch ~slot =
         t.last_snoop <- slot
       end;
       t.last_observed
+
+let peek t ch ~slot =
+  let observed = t.last_observed and snoop = t.last_snoop in
+  let state = predict t ch ~slot in
+  t.last_observed <- observed;
+  t.last_snoop <- snoop;
+  state
 
 let label = function
   | Perfect -> "I"

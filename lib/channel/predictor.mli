@@ -30,5 +30,12 @@ val predict : t -> Channel.t -> slot:int -> Channel.state
     before transmission ([Channel.previous_state], or the true state for
     [Perfect]). *)
 
+val peek : t -> Channel.t -> slot:int -> Channel.state
+(** Exactly {!predict}'s answer for [slot], but with any internal state
+    change rolled back — for [Periodic_snoop], the snoop clock is left
+    untouched.  Lets an observer (the {!Wfs_core.Invariant} monitor) ask
+    "what would the scheduler have been told?" without perturbing the
+    predictor's future behavior. *)
+
 val label : kind -> string
 (** Short suffix used in algorithm names: "I", "P", "blind", "snoopK". *)

@@ -13,10 +13,10 @@ type t = { alpha : float; flows : flow_state array }
 
 let create ?(alpha = 0.9) flows =
   if not (alpha >= 0. && alpha <= 1.) then
-    invalid_arg "Cifq.create: alpha must be in [0,1]";
+    Wfs_util.Error.invalid "Cifq.create" "alpha must be in [0,1]";
   Array.iteri
     (fun i (f : Params.flow) ->
-      if f.id <> i then invalid_arg "Cifq.create: flow ids must be 0..n-1")
+      if f.id <> i then Wfs_util.Error.invalid_flow_ids "Cifq.create")
     flows;
   {
     alpha;
@@ -119,7 +119,7 @@ let head t flow = Queue.peek_opt t.flows.(flow).packets
 
 let complete t ~flow =
   match Queue.pop t.flows.(flow).packets with
-  | exception Queue.Empty -> invalid_arg "Cifq.complete: empty queue"
+  | exception Queue.Empty -> Wfs_util.Error.empty_queue "Cifq.complete"
   | _ -> ()
 
 (* A failed transmission: the real service did not happen after all, so the
@@ -128,7 +128,7 @@ let fail t ~flow = t.flows.(flow).lag <- t.flows.(flow).lag + 1
 
 let drop_head t ~flow =
   match Queue.pop t.flows.(flow).packets with
-  | exception Queue.Empty -> invalid_arg "Cifq.drop_head: empty queue"
+  | exception Queue.Empty -> Wfs_util.Error.empty_queue "Cifq.drop_head"
   | _ -> ()
 
 let drop_expired t ~flow ~now ~bound =
@@ -158,6 +158,16 @@ let instance t =
     drop_expired = (fun ~flow ~now ~bound -> drop_expired t ~flow ~now ~bound);
     queue_length = queue_length t;
     on_slot_end = (fun ~slot:_ -> ());
+    probe =
+      {
+        Wireless_sched.no_probe with
+        finish_tag = Some (fun flow -> t.flows.(flow).v);
+        lag_sum =
+          Some
+            (fun () ->
+              Array.fold_left (fun acc fs -> acc + fs.lag) 0 t.flows);
+        work_conserving = true;
+      };
   }
 
 let lag t ~flow = t.flows.(flow).lag

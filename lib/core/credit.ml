@@ -10,10 +10,10 @@ type t = {
 
 let create ~credit_limit ~debit_limit ?credit_per_frame ~weight () =
   if credit_limit < 0 || debit_limit < 0 then
-    invalid_arg "Credit.create: negative limit";
-  if weight < 1 then invalid_arg "Credit.create: weight must be >= 1";
+    Wfs_util.Error.invalid "Credit.create" "negative limit";
+  if weight < 1 then Wfs_util.Error.invalid "Credit.create" "weight must be >= 1";
   (match credit_per_frame with
-  | Some k when k < 0 -> invalid_arg "Credit.create: negative per-frame cap"
+  | Some k when k < 0 -> Wfs_util.Error.invalid "Credit.create" "negative per-frame cap"
   | Some _ | None -> ());
   {
     credit_limit;
@@ -40,9 +40,11 @@ let begin_frame t =
   t.effective
 
 let end_frame t ~attempts =
-  if attempts < 0 then invalid_arg "Credit.end_frame: negative attempts";
+  if attempts < 0 then Wfs_util.Error.invalid "Credit.end_frame" "negative attempts";
   t.balance <- clamp t (t.effective - attempts + t.carry);
   t.carry <- 0;
   t.effective <- t.weight
 
 let weight t = t.weight
+let credit_limit t = t.credit_limit
+let debit_limit t = t.debit_limit

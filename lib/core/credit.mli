@@ -36,3 +36,9 @@ val end_frame : t -> attempts:int -> unit
     transmission attempts the flow actually made. *)
 
 val weight : t -> int
+
+val credit_limit : t -> int
+(** The cap the balance is clamped to from above. *)
+
+val debit_limit : t -> int
+(** The cap (negated) the balance is clamped to from below. *)

@@ -15,10 +15,10 @@ let int_weight w =
   if k < 1 then 1 else k
 
 let create ?(backoff = 10) flows =
-  if backoff <= 0 then invalid_arg "Csdps.create: backoff must be > 0";
+  if backoff <= 0 then Wfs_util.Error.invalid "Csdps.create" "backoff must be > 0";
   Array.iteri
     (fun i (f : Params.flow) ->
-      if f.id <> i then invalid_arg "Csdps.create: flow ids must be 0..n-1")
+      if f.id <> i then Wfs_util.Error.invalid_flow_ids "Csdps.create")
     flows;
   let n = Array.length flows in
   {
@@ -68,7 +68,7 @@ let head t flow = Queue.peek_opt t.queues.(flow)
 
 let complete t ~flow =
   match Queue.pop t.queues.(flow) with
-  | exception Queue.Empty -> invalid_arg "Csdps.complete: empty queue"
+  | exception Queue.Empty -> Wfs_util.Error.empty_queue "Csdps.complete"
   | _ -> ()
 
 (* The distinguishing CSDPS move: a failed transmission (missing ack) marks
@@ -77,7 +77,7 @@ let fail t ~flow = t.marked_until.(flow) <- t.now + 1 + t.backoff
 
 let drop_head t ~flow =
   match Queue.pop t.queues.(flow) with
-  | exception Queue.Empty -> invalid_arg "Csdps.drop_head: empty queue"
+  | exception Queue.Empty -> Wfs_util.Error.empty_queue "Csdps.drop_head"
   | _ -> ()
 
 let drop_expired t ~flow ~now ~bound =
@@ -107,4 +107,6 @@ let instance t =
     drop_expired = (fun ~flow ~now ~bound -> drop_expired t ~flow ~now ~bound);
     queue_length = queue_length t;
     on_slot_end = (fun ~slot:_ -> ());
+    (* Backoff marking can idle a slot on purpose; nothing else to expose. *)
+    probe = Wireless_sched.no_probe;
   }

@@ -10,7 +10,7 @@ let jain xs =
 let max_normalized_gap ~weights ~service =
   let n = Array.length weights in
   if n = 0 || Array.length service <> n then
-    invalid_arg "Fairness.max_normalized_gap: length mismatch";
+    Wfs_util.Error.invalid "Fairness.max_normalized_gap" "length mismatch";
   let normalized = Array.mapi (fun i s -> s /. weights.(i)) service in
   let lo = Array.fold_left Float.min infinity normalized in
   let hi = Array.fold_left Float.max neg_infinity normalized in
@@ -30,7 +30,7 @@ module Monitor = struct
   }
 
   let create ~weights ~window ~sched =
-    if window <= 0 then invalid_arg "Fairness.Monitor.create: window must be > 0";
+    if window <= 0 then Wfs_util.Error.invalid "Fairness.Monitor.create" "window must be > 0";
     {
       weights = Array.copy weights;
       window;

@@ -10,9 +10,9 @@ type t = {
 let eps = 1e-12
 
 let create ?(capacity = 1.0) ~weights () =
-  if capacity <= 0. then invalid_arg "Fluid_ref.create: capacity must be > 0";
+  if capacity <= 0. then Wfs_util.Error.invalid "Fluid_ref.create" "capacity must be > 0";
   Array.iter
-    (fun w -> if w <= 0. then invalid_arg "Fluid_ref.create: weights must be > 0")
+    (fun w -> if w <= 0. then Wfs_util.Error.invalid "Fluid_ref.create" "weights must be > 0")
     weights;
   let n = Array.length weights in
   {
@@ -27,7 +27,7 @@ let create ?(capacity = 1.0) ~weights () =
 let n_flows t = Array.length t.weights
 
 let add_arrivals t ~flow ~count =
-  if count < 0 then invalid_arg "Fluid_ref.add_arrivals: negative count";
+  if count < 0 then Wfs_util.Error.invalid "Fluid_ref.add_arrivals" "negative count";
   t.queue.(flow) <- t.queue.(flow) +. float_of_int count
 
 let virtual_time t = t.v

@@ -17,13 +17,13 @@ let create ?params flows =
   let n = Array.length flows in
   Array.iteri
     (fun i (f : Params.flow) ->
-      if f.id <> i then invalid_arg "Iwfq.create: flow ids must be 0..n-1")
+      if f.id <> i then Wfs_util.Error.invalid_flow_ids "Iwfq.create")
     flows;
   let params =
     match params with Some p -> p | None -> Params.iwfq_defaults ~n_flows:n
   in
   if Array.length params.lead <> n then
-    invalid_arg "Iwfq.create: lead bounds must match flow count";
+    Wfs_util.Error.invalid "Iwfq.create" "lead bounds must match flow count";
   let weights = Array.map (fun (f : Params.flow) -> f.weight) flows in
   {
     flows =
@@ -132,9 +132,9 @@ let complete t ~flow =
   let fs = t.flows.(flow) in
   (match Slot_queue.pop_front fs.slots with
   | Some _ -> ()
-  | None -> invalid_arg "Iwfq.complete: empty queue");
+  | None -> Wfs_util.Error.empty_queue "Iwfq.complete");
   match Queue.pop fs.packets with
-  | exception Queue.Empty -> invalid_arg "Iwfq.complete: empty queue"
+  | exception Queue.Empty -> Wfs_util.Error.empty_queue "Iwfq.complete"
   | _pkt -> ()
 
 let fail _t ~flow:_ = ()
@@ -146,7 +146,7 @@ let fail _t ~flow:_ = ()
 let drop_head t ~flow =
   let fs = t.flows.(flow) in
   (match Queue.pop fs.packets with
-  | exception Queue.Empty -> invalid_arg "Iwfq.drop_head: empty queue"
+  | exception Queue.Empty -> Wfs_util.Error.empty_queue "Iwfq.drop_head"
   | _ -> ());
   ignore (Slot_queue.pop_back fs.slots)
 
@@ -179,4 +179,11 @@ let instance t =
     drop_expired = (fun ~flow ~now ~bound -> drop_expired t ~flow ~now ~bound);
     queue_length = queue_length t;
     on_slot_end = (fun ~slot -> on_slot_end t ~slot);
+    probe =
+      {
+        Wireless_sched.no_probe with
+        virtual_time = Some (fun () -> virtual_time t);
+        finish_tag = Some (fun flow -> service_tag t ~flow);
+        work_conserving = true;
+      };
   }

@@ -1,5 +1,6 @@
 module Summary = Wfs_util.Stats.Summary
 module Histogram = Wfs_util.Stats.Histogram
+module Json = Wfs_util.Json
 
 type flow_acc = {
   delays : Summary.t;
@@ -60,7 +61,7 @@ let stddev_delay t ~flow = Summary.stddev (acc t flow).delays
 let delay_percentile t ~flow ~p =
   match (acc t flow).histogram with
   | Some h -> Histogram.percentile h p
-  | None -> invalid_arg "Metrics.delay_percentile: created without histograms"
+  | None -> Wfs_util.Error.invalid "Metrics.delay_percentile" "created without histograms"
 
 let loss t ~flow =
   let a = acc t flow in
@@ -81,3 +82,58 @@ let busy_slots t = t.busy
 let backlog_remaining t ~flow =
   let a = acc t flow in
   a.arrivals - a.delivered - a.dropped
+
+(* Checkpoint/resume serialization: every float goes through the
+   shortest-exact encoder, so a journaled run renders byte-identically to
+   a live one. *)
+
+let flow_to_json a =
+  Json.Obj
+    (("delays", Summary.to_json a.delays)
+    :: (match a.histogram with
+       | None -> []
+       | Some h -> [ ("histogram", Histogram.to_json h) ])
+    @ [
+        ("arrivals", Json.Int a.arrivals);
+        ("delivered", Json.Int a.delivered);
+        ("dropped", Json.Int a.dropped);
+        ("failed", Json.Int a.failed);
+      ])
+
+let flow_of_json v =
+  let ( let* ) = Option.bind in
+  let* delays = Option.bind (Json.member "delays" v) Summary.of_json in
+  let* histogram =
+    match Json.member "histogram" v with
+    | None -> Some None
+    | Some h -> Option.map Option.some (Histogram.of_json h)
+  in
+  let* arrivals = Option.bind (Json.member "arrivals" v) Json.to_int in
+  let* delivered = Option.bind (Json.member "delivered" v) Json.to_int in
+  let* dropped = Option.bind (Json.member "dropped" v) Json.to_int in
+  let* failed = Option.bind (Json.member "failed" v) Json.to_int in
+  Some { delays; histogram; arrivals; delivered; dropped; failed }
+
+let to_json t =
+  Json.Obj
+    [
+      ("flows", Json.Arr (Array.to_list (Array.map flow_to_json t.flows)));
+      ("idle", Json.Int t.idle);
+      ("busy", Json.Int t.busy);
+    ]
+
+let of_json v =
+  let ( let* ) = Option.bind in
+  let* flows = Option.bind (Json.member "flows" v) Json.to_list in
+  let* flows =
+    List.fold_left
+      (fun acc f ->
+        match (acc, flow_of_json f) with
+        | Some acc, Some f -> Some (f :: acc)
+        | _ -> None)
+      (Some []) flows
+    |> Option.map (fun l -> Array.of_list (List.rev l))
+  in
+  let* idle = Option.bind (Json.member "idle" v) Json.to_int in
+  let* busy = Option.bind (Json.member "busy" v) Json.to_int in
+  Some { flows; idle; busy }

@@ -56,3 +56,9 @@ val busy_slots : t -> int
 val backlog_remaining : t -> flow:int -> int
 (** arrivals − delivered − dropped: packets still queued at the end of the
     run (neither counted as delivered nor lost). *)
+
+val to_json : t -> Wfs_util.Json.t
+val of_json : Wfs_util.Json.t -> t option
+(** Bit-exact round-trip used by the sweep checkpoint journal: a table
+    rendered from [of_json (to_json m)] is byte-identical to one rendered
+    from [m]. *)

@@ -7,18 +7,18 @@ type drop_policy =
 let validate_drop_policy = function
   | No_drop -> ()
   | Retx_limit k ->
-      if k < 0 then invalid_arg "Params: negative retransmission limit"
-  | Delay_bound d -> if d < 0 then invalid_arg "Params: negative delay bound"
+      if k < 0 then Wfs_util.Error.invalid "Params" "negative retransmission limit"
+  | Delay_bound d -> if d < 0 then Wfs_util.Error.invalid "Params" "negative delay bound"
   | Retx_or_delay (k, d) ->
-      if k < 0 || d < 0 then invalid_arg "Params: negative drop limits"
+      if k < 0 || d < 0 then Wfs_util.Error.invalid "Params" "negative drop limits"
 
 type flow = { id : int; weight : float; drop : drop_policy; buffer : int option }
 
 let flow ?(drop = No_drop) ?buffer ~id ~weight () =
-  if weight <= 0. then invalid_arg "Params.flow: weight must be > 0";
+  if weight <= 0. then Wfs_util.Error.invalid "Params.flow" "weight must be > 0";
   validate_drop_policy drop;
   (match buffer with
-  | Some b when b <= 0 -> invalid_arg "Params.flow: buffer must be > 0"
+  | Some b when b <= 0 -> Wfs_util.Error.invalid "Params.flow" "buffer must be > 0"
   | Some _ | None -> ());
   { id; weight; drop; buffer }
 
@@ -51,16 +51,16 @@ type wps = {
 }
 
 let validate_wps t =
-  if t.credit_limit < 0 then invalid_arg "Params: negative credit limit";
+  if t.credit_limit < 0 then Wfs_util.Error.invalid "Params" "negative credit limit";
   (match t.swap_window with
-  | Some w when w < 1 -> invalid_arg "Params: swap window must be >= 1"
+  | Some w when w < 1 -> Wfs_util.Error.invalid "Params" "swap window must be >= 1"
   | Some _ | None -> ());
-  if t.debit_limit < 0 then invalid_arg "Params: negative debit limit";
+  if t.debit_limit < 0 then Wfs_util.Error.invalid "Params" "negative debit limit";
   (match t.credit_per_frame with
-  | Some k when k < 0 -> invalid_arg "Params: negative per-frame credit cap"
+  | Some k when k < 0 -> Wfs_util.Error.invalid "Params" "negative per-frame credit cap"
   | Some _ | None -> ());
   if t.swap_inter && not t.credits then
-    invalid_arg "Params: inter-frame swapping requires credit accounting"
+    Wfs_util.Error.invalid "Params" "inter-frame swapping requires credit accounting"
 
 let blind_wrr =
   {

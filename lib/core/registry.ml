@@ -30,8 +30,8 @@ let register e =
     (fun key ->
       if List.exists (fun e' -> List.exists (String.equal key) (keys_of e')) !entries
       then
-        invalid_arg
-          (Printf.sprintf "Registry.register: %S is already registered" key))
+        Wfs_util.Error.invalidf "Registry.register" "%S is already registered"
+          key)
     (keys_of e);
   entries := !entries @ [ e ]
 
@@ -39,9 +39,9 @@ let get name =
   match find name with
   | Some e -> e
   | None ->
-      invalid_arg
-        (Printf.sprintf "unknown scheduler %S (known: %s)" name
-           (String.concat ", " (names ())))
+      Wfs_util.Error.invalidf "Registry.get" "unknown scheduler %S (known: %s)"
+        name
+        (String.concat ", " (names ()))
 
 (* --- built-ins, from the Presets variants --- *)
 

@@ -17,18 +17,19 @@ type config = {
   trace : Tracelog.t option;
   observer : (int -> Metrics.t -> unit) option;
   histograms : bool;
+  invariants : bool;
 }
 
 let config ?(predictor = Predictor.One_step) ?trace ?observer
-    ?(histograms = false) ~horizon flows =
-  if horizon < 0 then invalid_arg "Simulator.config: negative horizon";
-  if Array.length flows = 0 then invalid_arg "Simulator.config: no flows";
+    ?(histograms = false) ?(invariants = false) ~horizon flows =
+  if horizon < 0 then Wfs_util.Error.invalid "Simulator.config" "negative horizon";
+  if Array.length flows = 0 then Wfs_util.Error.invalid "Simulator.config" "no flows";
   Array.iteri
     (fun i fs ->
       if fs.flow.Params.id <> i then
-        invalid_arg "Simulator.config: flow ids must be 0..n-1")
+        Wfs_util.Error.invalid_flow_ids "Simulator.config")
     flows;
-  { flows; predictor; horizon; trace; observer; histograms }
+  { flows; predictor; horizon; trace; observer; histograms; invariants }
 
 let delay_bound_of (p : Params.drop_policy) =
   match p with
@@ -48,6 +49,7 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
   let record ~slot ev =
     match cfg.trace with None -> () | Some tr -> Tracelog.record tr ~slot ev
   in
+  let monitor = if cfg.invariants then Some (Invariant.create ()) else None in
   for slot = 0 to cfg.horizon - 1 do
     (* 1. Arrivals. *)
     Array.iteri
@@ -87,7 +89,8 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
               dropped)
       cfg.flows;
     (* 5–6. Selection and transmission outcome. *)
-    (match sched.select ~slot ~predicted_good with
+    let selected = sched.select ~slot ~predicted_good in
+    (match selected with
     | None ->
         Metrics.on_idle_slot metrics;
         record ~slot Tracelog.Slot_idle
@@ -95,9 +98,8 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
         Metrics.on_busy_slot metrics;
         match sched.head f with
         | None ->
-            invalid_arg
-              (Printf.sprintf
-                 "Simulator.run: scheduler selected flow %d with empty queue" f)
+            Wfs_util.Error.invalidf "Simulator.run"
+              "scheduler selected flow %d with empty queue" f
         | Some pkt ->
             if Channel.state_is_good states.(f) then begin
               sched.complete ~flow:f;
@@ -123,6 +125,18 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
             end));
     (* 7. End-of-slot hooks. *)
     sched.on_slot_end ~slot;
+    (match monitor with
+    | None -> ()
+    | Some m ->
+        (* The monitor's view of "what would the scheduler have been told"
+           goes through Predictor.peek: same answer [select] saw this slot
+           (channels only advance in phase 2), zero predictor mutation —
+           so checked runs stay byte-identical, Periodic_snoop included. *)
+        let predicted_good i =
+          Channel.state_is_good
+            (Predictor.peek predictors.(i) cfg.flows.(i).channel ~slot)
+        in
+        Invariant.check m ~slot ~sched ~n_flows:n ~predicted_good ~selected);
     (match cfg.observer with None -> () | Some f -> f slot metrics)
   done;
   metrics
@@ -138,11 +152,11 @@ let run cfg sched =
 
 let run_with_channels cfg sched ~channel_states =
   if Array.length channel_states <> Array.length cfg.flows then
-    invalid_arg "Simulator.run_with_channels: one state row per flow required";
+    Wfs_util.Error.invalid "Simulator.run_with_channels" "one state row per flow required";
   Array.iter
     (fun row ->
       if Array.length row < cfg.horizon then
-        invalid_arg "Simulator.run_with_channels: row shorter than horizon")
+        Wfs_util.Error.invalid "Simulator.run_with_channels" "row shorter than horizon")
     channel_states;
   (* Feed the recorded states through trace channels so predictors see the
      same view as in a live run. *)

@@ -29,6 +29,13 @@ type config = {
   histograms : bool;
       (** keep per-flow delay histograms so [Metrics.delay_percentile]
           works on the result *)
+  invariants : bool;
+      (** run an {!Invariant} monitor every slot; a violated paper
+          property raises [Wfs_util.Error.Error] (kind
+          [Invariant_violation]).  Off by default.  The monitor only reads
+          scheduler probes and non-mutating {!Wfs_channel.Predictor.peek}
+          views, so checked runs are byte-identical to unchecked ones for
+          every predictor, [Periodic_snoop] included. *)
 }
 
 val config :
@@ -36,6 +43,7 @@ val config :
   ?trace:Wfs_sim.Tracelog.t ->
   ?observer:(int -> Metrics.t -> unit) ->
   ?histograms:bool ->
+  ?invariants:bool ->
   horizon:int ->
   flow_setup array ->
   config

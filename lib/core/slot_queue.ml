@@ -12,7 +12,7 @@ type t = {
 }
 
 let create ~weight =
-  if weight <= 0. then invalid_arg "Slot_queue.create: weight must be > 0";
+  if weight <= 0. then Wfs_util.Error.invalid "Slot_queue.create" "weight must be > 0";
   { weight; front = []; back = []; len = 0; last_finish = 0. }
 
 let length t = t.len
@@ -84,7 +84,7 @@ let lagging_count t ~v =
       end
 
 let trim_lagging t ~v ~max_lagging =
-  if max_lagging < 0 then invalid_arg "Slot_queue.trim_lagging: negative bound";
+  if max_lagging < 0 then Wfs_util.Error.invalid "Slot_queue.trim_lagging" "negative bound";
   let lagging = lagging_count t ~v in
   if lagging <= max_lagging then 0
   else begin

@@ -1,3 +1,20 @@
+type probe = {
+  virtual_time : (unit -> float) option;
+  finish_tag : (int -> float) option;
+  credit : (int -> int * int * int) option;
+  lag_sum : (unit -> int) option;
+  work_conserving : bool;
+}
+
+let no_probe =
+  {
+    virtual_time = None;
+    finish_tag = None;
+    credit = None;
+    lag_sum = None;
+    work_conserving = false;
+  }
+
 type instance = {
   name : string;
   enqueue : slot:int -> Wfs_traffic.Packet.t -> unit;
@@ -9,4 +26,5 @@ type instance = {
   drop_expired : flow:int -> now:int -> bound:int -> Wfs_traffic.Packet.t list;
   queue_length : int -> int;
   on_slot_end : slot:int -> unit;
+  probe : probe;
 }

@@ -17,6 +17,37 @@
     {!Wfs_wireline.Sched_intf}, whose [dequeue] returns [None] instead of
     raising, because there an empty queue is a normal idle condition. *)
 
+(** Read-only introspection hooks for the runtime {!Invariant} monitor.
+    Every field is optional — a scheduler exposes exactly the quantities
+    whose paper-stated safety properties apply to it — and reading a
+    probe must not mutate scheduler state. *)
+type probe = {
+  virtual_time : (unit -> float) option;
+      (** Global virtual time (IWFQ's fluid reference, Section 4.1):
+          checked finite and monotonically non-decreasing. *)
+  finish_tag : (int -> float) option;
+      (** Per-flow service/finish tag: checked never-NaN, and finite for
+          every backlogged flow (Section 4.1's slot tagging; CIF-Q's
+          per-flow reference virtual time). *)
+  credit : (int -> int * int * int) option;
+      (** Per-flow [(balance, credit_limit, debit_limit)]: balance checked
+          within [[-debit_limit, credit_limit]] (Section 7's bounded
+          credit/debit accounting). *)
+  lag_sum : (unit -> int) option;
+      (** Sum of per-flow lags (CIF-Q): its per-slot change is checked in
+          {m \{0, +1\}} — selection conserves total lag (+1 to the
+          reference pick, −1 to the transmitter) and only a failed
+          transmission returns (+1) the transmitter's debit. *)
+  work_conserving : bool;
+      (** When true, an idle slot while some backlogged flow is predicted
+          good is a violation (the paper's work-conservation property for
+          IWFQ/CIF-Q; false for WRR/WPS frame membership and CSDPS
+          backoff, which idle by design). *)
+}
+
+val no_probe : probe
+(** All fields [None]/[false] — the default for hand-built instances. *)
+
 type instance = {
   name : string;
   enqueue : slot:int -> Wfs_traffic.Packet.t -> unit;
@@ -40,4 +71,7 @@ type instance = {
   on_slot_end : slot:int -> unit;
       (** End-of-slot housekeeping (e.g. advancing IWFQ's fluid
           reference). *)
+  probe : probe;
+      (** Introspection for the runtime invariant monitor; {!no_probe}
+          when the scheduler exposes nothing. *)
 }

@@ -34,11 +34,11 @@ let create ?params ?limits ?trace flows =
   Params.validate_wps params;
   Array.iteri
     (fun i (f : Params.flow) ->
-      if f.id <> i then invalid_arg "Wps.create: flow ids must be 0..n-1")
+      if f.id <> i then Wfs_util.Error.invalid_flow_ids "Wps.create")
     flows;
   (match limits with
   | Some l when Array.length l <> Array.length flows ->
-      invalid_arg "Wps.create: limits must match flow count"
+      Wfs_util.Error.invalid "Wps.create" "limits must match flow count"
   | Some _ | None -> ());
   {
     params;
@@ -264,14 +264,14 @@ let head t flow =
 
 let complete t ~flow =
   match Queue.pop t.flows.(flow).packets with
-  | exception Queue.Empty -> invalid_arg "Wps.complete: empty queue"
+  | exception Queue.Empty -> Wfs_util.Error.empty_queue "Wps.complete"
   | _pkt -> ()
 
 let fail _t ~flow:_ = ()
 
 let drop_head t ~flow =
   match Queue.pop t.flows.(flow).packets with
-  | exception Queue.Empty -> invalid_arg "Wps.drop_head: empty queue"
+  | exception Queue.Empty -> Wfs_util.Error.empty_queue "Wps.drop_head"
   | _ -> ()
 
 let drop_expired t ~flow ~now ~bound =
@@ -309,6 +309,18 @@ let instance t =
     drop_expired = (fun ~flow ~now ~bound -> drop_expired t ~flow ~now ~bound);
     queue_length = queue_length t;
     on_slot_end = (fun ~slot -> on_slot_end t ~slot);
+    probe =
+      {
+        Wireless_sched.no_probe with
+        credit =
+          Some
+            (fun flow ->
+              let c = t.flows.(flow).credit in
+              (Credit.balance c, Credit.credit_limit c, Credit.debit_limit c));
+        (* Frame membership means a backlogged clean flow outside the
+           current frame legitimately idles the slot (Section 7(c)). *)
+        work_conserving = false;
+      };
   }
 
 let credit t ~flow = Credit.balance t.flows.(flow).credit

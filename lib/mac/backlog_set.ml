@@ -6,7 +6,7 @@ let known t ~flow = t.believed.(flow) > 0
 let believed_queue t ~flow = t.believed.(flow)
 
 let report t ~flow ~queue =
-  if queue < 0 then invalid_arg "Backlog_set.report: negative queue";
+  if queue < 0 then Wfs_util.Error.invalid "Backlog_set.report" "negative queue";
   t.believed.(flow) <- queue
 
 let notify t ~flow ~queue = t.believed.(flow) <- Int.max 1 queue

@@ -11,15 +11,15 @@ let resolve picks =
       (List.map fst winners, List.map fst collided)
 
 let contend ~rng ~minislots ~contenders =
-  if minislots <= 0 then invalid_arg "Contention.contend: minislots must be > 0";
+  if minislots <= 0 then Wfs_util.Error.invalid "Contention.contend" "minislots must be > 0";
   let picks = List.map (fun c -> (c, Wfs_util.Rng.int rng minislots)) contenders in
   let winners, collided = resolve picks in
   { winners; collided; deferred = [] }
 
 let contend_aloha ~rng ~minislots ~persistence ~contenders =
-  if minislots <= 0 then invalid_arg "Contention.contend_aloha: minislots must be > 0";
+  if minislots <= 0 then Wfs_util.Error.invalid "Contention.contend_aloha" "minislots must be > 0";
   if not (persistence > 0. && persistence <= 1.) then
-    invalid_arg "Contention.contend_aloha: persistence must be in (0,1]";
+    Wfs_util.Error.invalid "Contention.contend_aloha" "persistence must be in (0,1]";
   let transmitters, deferred =
     List.partition (fun _ -> Wfs_util.Rng.bernoulli rng persistence) contenders
   in

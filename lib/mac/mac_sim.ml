@@ -25,20 +25,20 @@ type config = {
 
 let config ?(control_weight = 1.) ?wps ?(contention = Single_shot) ?trace ~rng
     ~horizon flows =
-  if horizon < 0 then invalid_arg "Mac_sim.config: negative horizon";
+  if horizon < 0 then Wfs_util.Error.invalid "Mac_sim.config" "negative horizon";
   let wps = match wps with Some p -> p | None -> Core.Params.swapa () in
   let seen = Hashtbl.create 16 in
   Array.iter
     (fun fs ->
       if Frame.is_control fs.addr then
-        invalid_arg "Mac_sim.config: the control address is reserved";
+        Wfs_util.Error.invalid "Mac_sim.config" "the control address is reserved";
       if Hashtbl.mem seen fs.addr then
-        invalid_arg "Mac_sim.config: duplicate flow address";
+        Wfs_util.Error.invalid "Mac_sim.config" "duplicate flow address";
       Hashtbl.replace seen fs.addr ())
     flows;
   (match contention with
   | Aloha p when not (p > 0. && p <= 1.) ->
-      invalid_arg "Mac_sim.config: ALOHA persistence must be in (0,1]"
+      Wfs_util.Error.invalid "Mac_sim.config" "ALOHA persistence must be in (0,1]"
   | Aloha _ | Single_shot -> ());
   { flows; control_weight; wps; contention; horizon; rng; trace }
 
@@ -229,7 +229,7 @@ let run cfg =
         incr data_slots;
         Core.Metrics.on_busy_slot metrics;
         match sched.head f with
-        | None -> invalid_arg "Mac_sim.run: selected flow has empty queue"
+        | None -> Wfs_util.Error.invalid "Mac_sim.run" "selected flow has empty queue"
         | Some pkt ->
             if Channel.state_is_good states.(f) then begin
               sched.complete ~flow:f;
@@ -263,3 +263,43 @@ let run cfg =
     piggyback_reveals = !piggyback_reveals;
     mean_reveal_delay = Wfs_util.Stats.Summary.mean reveal_delay;
   }
+
+module Json = Wfs_util.Json
+
+let result_to_json r =
+  Json.Obj
+    [
+      ("metrics", Core.Metrics.to_json r.metrics);
+      ("control_slots", Json.Int r.control_slots);
+      ("data_slots", Json.Int r.data_slots);
+      ("idle_slots", Json.Int r.idle_slots);
+      ("notifications_won", Json.Int r.notifications_won);
+      ("notification_collisions", Json.Int r.notification_collisions);
+      ("piggyback_reveals", Json.Int r.piggyback_reveals);
+      ("mean_reveal_delay", Json.of_float_ext r.mean_reveal_delay);
+    ]
+
+let result_of_json v =
+  let ( let* ) = Option.bind in
+  let int k = Option.bind (Json.member k v) Json.to_int in
+  let* metrics = Option.bind (Json.member "metrics" v) Core.Metrics.of_json in
+  let* control_slots = int "control_slots" in
+  let* data_slots = int "data_slots" in
+  let* idle_slots = int "idle_slots" in
+  let* notifications_won = int "notifications_won" in
+  let* notification_collisions = int "notification_collisions" in
+  let* piggyback_reveals = int "piggyback_reveals" in
+  let* mean_reveal_delay =
+    Option.bind (Json.member "mean_reveal_delay" v) Json.to_float_ext
+  in
+  Some
+    {
+      metrics;
+      control_slots;
+      data_slots;
+      idle_slots;
+      notifications_won;
+      notification_collisions;
+      piggyback_reveals;
+      mean_reveal_delay;
+    }

@@ -71,3 +71,7 @@ type result = {
 }
 
 val run : config -> result
+
+val result_to_json : result -> Wfs_util.Json.t
+val result_of_json : Wfs_util.Json.t -> result option
+(** Bit-exact round-trip for the sweep checkpoint journal. *)

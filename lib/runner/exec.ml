@@ -14,29 +14,65 @@ let setups_of (spec : Spec.t) =
       | n ->
           (* Spec.example validates 1-6; an out-of-range n here means the
              record was built by hand. *)
-          invalid_arg (Printf.sprintf "Exec.run: unknown example %d" n)
+          Wfs_util.Error.invalidf "Exec.run" "unknown example %d" n
     end
   | Spec.File path ->
       let sc = Core.Scenario.load ~seed:spec.seed ~horizon:spec.horizon path in
       sc.Core.Scenario.setups
 
-let run ?credit_limit ?debit_limit ?limits ?observer ?histograms (spec : Spec.t) =
+let run ?credit_limit ?debit_limit ?limits ?observer ?histograms ?invariants
+    (spec : Spec.t) =
   let entry = Core.Registry.get spec.sched in
   let setups = setups_of spec in
   let flows = Core.Presets.flows_of setups in
   let sched = entry.Core.Registry.make ?credit_limit ?debit_limit ?limits flows in
   let cfg =
     Core.Simulator.config ~predictor:entry.Core.Registry.predictor ?observer
-      ?histograms ~horizon:spec.horizon setups
+      ?histograms ?invariants ~horizon:spec.horizon setups
   in
   Core.Simulator.run cfg sched
+
+let run_outcome ?credit_limit ?debit_limit ?limits ?observer ?histograms
+    ?invariants ?max_slots (spec : Spec.t) =
+  let module Error = Wfs_util.Error in
+  let spec_context = [ ("spec", Spec.to_string spec) ] in
+  match max_slots with
+  | Some cap when spec.horizon > cap ->
+      (* The slot loop is horizon-bounded, so runaway cost is declared up
+         front: refuse jobs whose slot budget exceeds the cap instead of
+         pretending to watch a loop that cannot diverge. *)
+      Error
+        (Error.v Error.Sim_fault ~who:"Exec.run_outcome"
+           "slot budget exceeded"
+           ~context:
+             (spec_context
+             @ [
+                 ("horizon", string_of_int spec.horizon);
+                 ("max_slots", string_of_int cap);
+               ]))
+  | _ -> (
+      match
+        run ?credit_limit ?debit_limit ?limits ?observer ?histograms
+          ?invariants spec
+      with
+      | metrics -> Ok metrics
+      | exception Core.Scenario.Parse_error { line; message } ->
+          Error
+            (Error.v Error.Bad_spec ~who:"Exec.run_outcome" message
+               ~context:(spec_context @ [ ("line", string_of_int line) ]))
+      | exception exn ->
+          let backtrace = Printexc.get_raw_backtrace () in
+          Error
+            (Error.add_context spec_context
+               (Error.of_exn ~who:"Exec.run_outcome" ~backtrace exn)))
 
 let run_all ~jobs ?credit_limit ?debit_limit ?limits specs =
   Pool.map ~jobs (fun spec -> run ?credit_limit ?debit_limit ?limits spec) specs
 
 let replicate ~jobs ~seeds (spec : Spec.t) =
   if seeds < 1 then
-    invalid_arg (Printf.sprintf "Exec.replicate: seeds must be >= 1, got %d" seeds);
+    Wfs_util.Error.invalidf "Exec.replicate" "seeds must be >= 1, got %d"
+      seeds;
   run_all ~jobs
     (Array.init seeds (fun k -> Spec.with_seed (spec.seed + k) spec))
 

@@ -21,16 +21,42 @@ val run :
   ?limits:(int * int) array ->
   ?observer:(int -> Wfs_core.Metrics.t -> unit) ->
   ?histograms:bool ->
+  ?invariants:bool ->
   Spec.t ->
   Wfs_core.Metrics.t
 (** Run one spec to completion in the calling domain.  The optional
-    scheduler knobs are forwarded to the registry constructor; [observer]
-    and [histograms] to {!Wfs_core.Simulator.config}.  For a [File]
-    scenario the spec's seed/horizon override the file's directives, and
-    the scheduler entry's predictor overrides the file's [predictor] line
-    (the registry name states the channel knowledge, e.g. "-I" vs "-P").
+    scheduler knobs are forwarded to the registry constructor; [observer],
+    [histograms] and [invariants] to {!Wfs_core.Simulator.config}.  For a
+    [File] scenario the spec's seed/horizon override the file's
+    directives, and the scheduler entry's predictor overrides the file's
+    [predictor] line (the registry name states the channel knowledge,
+    e.g. "-I" vs "-P").
     @raise Invalid_argument on an unknown scheduler name
-    @raise Wfs_core.Scenario.Parse_error / [Sys_error] on a bad file *)
+    @raise Wfs_core.Scenario.Parse_error / [Sys_error] on a bad file
+    @raise Wfs_util.Error.Error (kind [Invariant_violation]) when
+    [invariants] is on and a monitor fires *)
+
+val run_outcome :
+  ?credit_limit:int ->
+  ?debit_limit:int ->
+  ?limits:(int * int) array ->
+  ?observer:(int -> Wfs_core.Metrics.t -> unit) ->
+  ?histograms:bool ->
+  ?invariants:bool ->
+  ?max_slots:int ->
+  Spec.t ->
+  (Wfs_core.Metrics.t, Wfs_util.Error.t) result
+(** Crash-isolated {!run}: never raises, every failure is a typed error
+    carrying the spec string in its context.  Classification: scenario
+    parse failures and unreadable files are [Bad_spec]; out-of-range
+    parameters and unknown schedulers ([Invalid_argument]) are
+    [Bad_config]; monitor hits are [Invariant_violation]; anything else —
+    including the [max_slots] budget refusal — is [Sim_fault].
+
+    [max_slots] is the deterministic watchdog: a spec whose [horizon]
+    exceeds it is refused {e before} running.  The slot loop is strictly
+    horizon-bounded, so the budget is knowable up front — no wall-clock
+    timers, identical verdicts on any machine. *)
 
 val run_all :
   jobs:int ->

@@ -1,0 +1,49 @@
+(** Incremental checkpoint journal for sweeps — the [wfs-bench/1] schema's
+    crash-recovery extension.
+
+    A journal is a line-oriented file: one compact-JSON header line
+    [{"schema":"wfs-bench/1-journal", ...params}] followed by one compact
+    JSON object ([{"key":...,"value":...}]) per completed job, appended
+    and flushed as each job finishes.  Keys are the sweep's dedup job keys
+    (see {!Wfs_runner.Spec.to_string} and the bench's custom keys), so a
+    killed sweep restarted with [--resume] skips exactly the jobs whose
+    results survived.
+
+    Reading tolerates the one failure mode an interrupted append can
+    cause: a truncated (unparsable) final line is discarded and every
+    entry before it is kept.  Corruption {e before} the last line is a
+    typed [Bad_spec] error — that file was not produced by an interrupted
+    writer and silently dropping its tail could resurrect stale results.
+
+    Appends are mutex-serialized and flushed per line, so the writer can
+    be shared by every worker domain of a {!Pool}. *)
+
+val schema : string
+(** ["wfs-bench/1-journal"]. *)
+
+type writer
+
+val create : path:string -> params:(string * Wfs_util.Json.t) list -> writer
+(** Truncate/create [path] and write the header line: the [schema] field
+    plus [params] (the sweep settings the journal is only valid for —
+    horizon, seed, ...). *)
+
+val reopen : path:string -> writer
+(** Open an existing journal for appending (header already present). *)
+
+val append : writer -> key:string -> value:Wfs_util.Json.t -> unit
+(** Append one completed-job line and flush it. *)
+
+val close : writer -> unit
+
+type contents = {
+  params : (string * Wfs_util.Json.t) list;  (** header minus [schema] *)
+  entries : (string * Wfs_util.Json.t) list;
+      (** completed jobs, file order, duplicates kept (last one wins for
+          resumption — rerunning a job after a resume overwrites it) *)
+}
+
+val load : path:string -> (contents, Wfs_util.Error.t) result
+(** Read a journal back.  [Error] (kind [Bad_spec]) on a missing file, a
+    bad header, or corruption before the final line; a truncated final
+    line alone is silently dropped. *)

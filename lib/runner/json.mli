@@ -1,39 +1,7 @@
-(** Minimal JSON tree, writer and reader.
+(** Alias of {!Wfs_util.Json} (the tree moved to lib/util so statistics
+    and metrics serializers can use it); kept so existing
+    [Wfs_runner.Json] users keep compiling. *)
 
-    Just enough JSON for the bench artifact ([BENCH_*.json]): objects,
-    arrays, strings (with escapes), ints, floats, bools, null.  The writer
-    and reader round-trip each other exactly — floats are printed with the
-    shortest decimal form that restores the same bits.  No external
-    dependency (the image has no yojson). *)
-
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
-
-val float_to_string : float -> string
-(** Shortest decimal representation that parses back to the same float. *)
-
-val to_string : ?pretty:bool -> t -> string
-(** [pretty] (default true) adds newlines and two-space indentation. *)
-
-val of_string : string -> (t, string) result
-(** Parse a JSON document; [Error] carries a message with a character
-    offset.  Accepts exactly the subset {!to_string} emits (plus arbitrary
-    whitespace). *)
-
-(** {1 Accessors} *)
-
-val member : string -> t -> t option
-(** Object field lookup; [None] on missing field or non-object. *)
-
-val to_int : t -> int option
-val to_float : t -> float option
-(** Accepts [Int] too (JSON does not distinguish 3 from 3.0). *)
-
-val to_str : t -> string option
-val to_list : t -> t list option
+include module type of struct
+  include Wfs_util.Json
+end

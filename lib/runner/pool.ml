@@ -2,6 +2,8 @@ let default_jobs () = Domain.recommended_domain_count ()
 
 exception Worker_error of exn * Printexc.raw_backtrace
 
+type 'a outcome = ('a, Wfs_util.Error.t) result
+
 let map ~jobs f items =
   let n = Array.length items in
   if n = 0 then [||]
@@ -40,3 +42,52 @@ let map ~jobs f items =
         results
     end
   end
+
+let map_outcomes ~jobs ?(retries = 0) ?notify f items =
+  if retries < 0 then
+    Wfs_util.Error.invalidf "Pool.map_outcomes" "retries must be >= 0, got %d"
+      retries;
+  (* The notify callback (incremental journaling) runs on whichever worker
+     domain finished the job; serialize the calls so callers need no
+     locking of their own. *)
+  let notify_mutex = Mutex.create () in
+  let notified i outcome =
+    (match notify with
+    | None -> ()
+    | Some cb ->
+        Mutex.lock notify_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock notify_mutex)
+          (fun () -> cb i outcome));
+    outcome
+  in
+  let one (i, item) =
+    (* Work items are self-contained (they re-derive every RNG stream from
+       their own captured seed), so a retry replays the exact same
+       computation: useful against spurious environmental failures, and —
+       deliberately — a no-op amplifier for deterministic bugs, which is
+       what makes retried sweeps reproducible. *)
+    let attempt () =
+      match f item with
+      | outcome -> outcome
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Error (Wfs_util.Error.of_exn ~backtrace:bt e)
+    in
+    let rec go k =
+      match attempt () with
+      | Ok _ as ok -> notified i ok
+      | Error e ->
+          if k < retries then go (k + 1)
+          else
+            notified i
+              (Error
+                 (if retries = 0 then e
+                  else
+                    Wfs_util.Error.add_context
+                      [ ("attempts", string_of_int (k + 1)) ]
+                      e))
+    in
+    go 0
+  in
+  map ~jobs one (Array.mapi (fun i item -> (i, item)) items)

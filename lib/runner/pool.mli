@@ -18,3 +18,30 @@ val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
     state across items.  If any application raises, the first error (in
     completion order) is re-raised in the caller after all workers have
     stopped; remaining items are skipped. *)
+
+type 'a outcome = ('a, Wfs_util.Error.t) result
+
+val map_outcomes :
+  jobs:int ->
+  ?retries:int ->
+  ?notify:(int -> 'b outcome -> unit) ->
+  ('a -> 'b outcome) ->
+  'a array ->
+  'b outcome array
+(** Crash-isolated {!map}: every item yields an outcome, never an escaped
+    exception.  [f] may return [Error] itself (typed failures) or raise —
+    raised exceptions are captured per job with their backtrace and
+    classified through {!Wfs_util.Error.of_exn}, so one crashing job
+    loses only that job.
+
+    [retries] (default 0) re-runs a failed item up to that many extra
+    times before accepting the failure; items re-derive all randomness
+    from their own captured seed, so a retry replays the identical RNG
+    stream and the merged output stays deterministic.  Accepted failures
+    gain an ["attempts"] context entry when retries were configured.
+
+    [notify i outcome] is invoked once per item as it completes (on the
+    finishing worker's domain, but serialized under an internal mutex) —
+    the hook incremental checkpointing is built on.  Completion order is
+    racy; result array order is not.
+    @raise Invalid_argument when [retries < 0]. *)

@@ -14,18 +14,17 @@ let default_horizon = 200_000
 
 let example ?sum n =
   if n < 1 || n > 6 then
-    invalid_arg (Printf.sprintf "Spec.example: unknown example %d (use 1-6)" n);
+    Wfs_util.Error.invalidf "Spec.example" "unknown example %d (use 1-6)" n;
   if n > 2 && Option.is_some sum then
-    invalid_arg
-      (Printf.sprintf
-         "Spec.example: sum (pg+pe) is only a knob of examples 1-2, not %d" n);
+    Wfs_util.Error.invalidf "Spec.example"
+      "sum (pg+pe) is only a knob of examples 1-2, not %d" n;
   Example { n; sum }
 
 let file path = File path
 
 let make ?(seed = default_seed) ?(horizon = default_horizon) ~sched scenario =
   if horizon <= 0 then
-    invalid_arg (Printf.sprintf "Spec.make: non-positive horizon %d" horizon);
+    Wfs_util.Error.invalidf "Spec.make" "non-positive horizon %d" horizon;
   { scenario; sched; seed; horizon }
 
 let with_seed seed t = { t with seed }
@@ -142,7 +141,15 @@ let of_string s =
 let of_string_exn s =
   match of_string s with
   | Ok t -> t
-  | Error msg -> invalid_arg ("Spec.of_string: " ^ msg)
+  | Error msg -> Wfs_util.Error.invalid "Spec.of_string" msg
+
+let parse s =
+  match of_string s with
+  | Ok _ as ok -> ok
+  | Error msg ->
+      Error
+        (Wfs_util.Error.v Wfs_util.Error.Bad_spec ~who:"Spec.parse" msg
+           ~context:[ ("spec", s) ])
 
 let scenario_equal a b =
   match (a, b) with

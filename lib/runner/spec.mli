@@ -70,4 +70,9 @@ val of_string : string -> (t, string) result
 val of_string_exn : string -> t
 (** @raise Invalid_argument with the parse message. *)
 
+val parse : string -> (t, Wfs_util.Error.t) result
+(** {!of_string} with a typed error: parse failures become kind
+    [Bad_spec] with the offending spec string in the context.  Never
+    raises. *)
+
 val equal : t -> t -> bool

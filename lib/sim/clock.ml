@@ -5,8 +5,8 @@ let now t = t.now
 
 let advance_to t target =
   if target < t.now then
-    invalid_arg
-      (Printf.sprintf "Clock.advance_to: %g precedes current time %g" target t.now);
+    Wfs_util.Error.invalidf "Clock.advance_to" "%g precedes current time %g"
+      target t.now;
   t.now <- target
 
 let reset t = t.now <- 0.

@@ -4,7 +4,7 @@ let create () =
   Wfs_util.Heap.create ~leq:(fun (ta, _) (tb, _) -> ta <= tb) ()
 
 let schedule q ~at ev =
-  if Float.is_nan at then invalid_arg "Event_queue.schedule: NaN time";
+  if Float.is_nan at then Wfs_util.Error.invalid "Event_queue.schedule" "NaN time";
   Wfs_util.Heap.push q (at, ev)
 
 let next_time q =

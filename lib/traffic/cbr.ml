@@ -1,5 +1,5 @@
 let create ?(phase = 0.) ~interarrival () =
-  if interarrival <= 0. then invalid_arg "Cbr.create: interarrival must be > 0";
+  if interarrival <= 0. then Wfs_util.Error.invalid "Cbr.create" "interarrival must be > 0";
   let next = ref phase in
   let step slot =
     let slot_end = float_of_int (slot + 1) in

@@ -21,9 +21,9 @@ let arrivals_in_segment st dt =
 
 let create ~rng ?(on_to_off = 9.) ?(off_to_on = 1.) ?(time_scale = 1.) ~on_rate () =
   if on_to_off <= 0. || off_to_on <= 0. then
-    invalid_arg "Mmpp.create: modulating rates must be > 0";
-  if time_scale <= 0. then invalid_arg "Mmpp.create: time_scale must be > 0";
-  if on_rate < 0. then invalid_arg "Mmpp.create: negative on_rate";
+    Wfs_util.Error.invalid "Mmpp.create" "modulating rates must be > 0";
+  if time_scale <= 0. then Wfs_util.Error.invalid "Mmpp.create" "time_scale must be > 0";
+  if on_rate < 0. then Wfs_util.Error.invalid "Mmpp.create" "negative on_rate";
   let on_to_off = on_to_off /. time_scale and off_to_on = off_to_on /. time_scale in
   let st =
     { rng; on_to_off; off_to_on; on_rate; mode = Off; next_switch = 0. }
@@ -48,5 +48,5 @@ let create ~rng ?(on_to_off = 9.) ?(off_to_on = 1.) ?(time_scale = 1.) ~on_rate 
     ~mean_rate:(on_rate *. p_on) step
 
 let paper_source ?(time_scale = 20.) ~rng ~mean_rate () =
-  if mean_rate < 0. then invalid_arg "Mmpp.paper_source: negative mean_rate";
+  if mean_rate < 0. then Wfs_util.Error.invalid "Mmpp.paper_source" "negative mean_rate";
   create ~rng ~on_to_off:9. ~off_to_on:1. ~time_scale ~on_rate:(10. *. mean_rate) ()

@@ -1,12 +1,12 @@
 let create ~rng ?(packets_per_on_slot = 1) ~p_on_to_off ~p_off_to_on () =
   let check name p =
     if not (p > 0. && p <= 1.) then
-      invalid_arg (Printf.sprintf "Onoff.create: %s must be in (0,1]" name)
+      Wfs_util.Error.invalidf "Onoff.create" "%s must be in (0,1]" name
   in
   check "p_on_to_off" p_on_to_off;
   check "p_off_to_on" p_off_to_on;
   if packets_per_on_slot <= 0 then
-    invalid_arg "Onoff.create: packets_per_on_slot must be > 0";
+    Wfs_util.Error.invalid "Onoff.create" "packets_per_on_slot must be > 0";
   let on = ref false in
   let step _slot =
     (* Switch decision at the slot boundary, then emit according to the new

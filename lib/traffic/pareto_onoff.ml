@@ -8,11 +8,11 @@ let pareto ~rng ~shape ~scale =
 let scale_for ~shape ~mean = mean *. (shape -. 1.) /. shape
 
 let create ~rng ?(packets_per_on_slot = 1) ?(shape = 1.5) ~mean_on ~mean_off () =
-  if shape <= 1. then invalid_arg "Pareto_onoff.create: shape must be > 1";
+  if shape <= 1. then Wfs_util.Error.invalid "Pareto_onoff.create" "shape must be > 1";
   if mean_on < 1. || mean_off < 1. then
-    invalid_arg "Pareto_onoff.create: means must be >= 1";
+    Wfs_util.Error.invalid "Pareto_onoff.create" "means must be >= 1";
   if packets_per_on_slot <= 0 then
-    invalid_arg "Pareto_onoff.create: packets_per_on_slot must be > 0";
+    Wfs_util.Error.invalid "Pareto_onoff.create" "packets_per_on_slot must be > 0";
   let on_scale = scale_for ~shape ~mean:mean_on in
   let off_scale = scale_for ~shape ~mean:mean_off in
   let on = ref false in

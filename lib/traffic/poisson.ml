@@ -1,4 +1,4 @@
 let create ~rng ~rate =
-  if rate < 0. then invalid_arg "Poisson.create: negative rate";
+  if rate < 0. then Wfs_util.Error.invalid "Poisson.create" "negative rate";
   let step _slot = Wfs_util.Rng.poisson rng ~mean:rate in
   Arrival.make ~label:(Printf.sprintf "poisson(%g)" rate) ~mean_rate:rate step

@@ -5,7 +5,7 @@ let create arrivals =
   List.iter
     (fun (slot, count) ->
       if slot < 0 || count < 0 then
-        invalid_arg "Trace_source.create: negative slot or count";
+        Wfs_util.Error.invalid "Trace_source.create" "negative slot or count";
       total := !total + count;
       if slot + 1 > !horizon then horizon := slot + 1;
       Hashtbl.replace tbl slot

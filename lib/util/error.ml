@@ -1,0 +1,75 @@
+type kind = Bad_spec | Bad_config | Sim_fault | Invariant_violation
+
+type t = {
+  kind : kind;
+  who : string;
+  what : string;
+  context : (string * string) list;
+}
+
+exception Error of t
+
+let kind_to_string = function
+  | Bad_spec -> "bad-spec"
+  | Bad_config -> "bad-config"
+  | Sim_fault -> "sim-fault"
+  | Invariant_violation -> "invariant-violation"
+
+let v ?(context = []) kind ~who what = { kind; who; what; context }
+let raise_ t = raise (Error t)
+let bad_spec ?context ~who what = raise_ (v ?context Bad_spec ~who what)
+let bad_config ?context ~who what = raise_ (v ?context Bad_config ~who what)
+let sim_fault ?context ~who what = raise_ (v ?context Sim_fault ~who what)
+
+let invariant_violation ?context ~who what =
+  raise_ (v ?context Invariant_violation ~who what)
+
+let add_context extra t = { t with context = t.context @ extra }
+
+let to_string t =
+  let ctx =
+    match t.context with
+    | [] -> ""
+    | kvs ->
+        Printf.sprintf " (%s)"
+          (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))
+  in
+  Printf.sprintf "[%s] %s: %s%s" (kind_to_string t.kind) t.who t.what ctx
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* "Who: message" split of the legacy Invalid_argument convention; falls
+   back to attributing the whole text to [who] when no separator exists. *)
+let split_legacy ~who msg =
+  match String.index_opt msg ':' with
+  | Some i when i > 0 && i + 2 <= String.length msg ->
+      let head = String.sub msg 0 i in
+      let rest = String.sub msg (i + 1) (String.length msg - i - 1) in
+      (head, String.trim rest)
+  | Some _ | None -> (who, msg)
+
+let of_exn ?(who = "worker") ?backtrace exn =
+  let bt_context =
+    match backtrace with
+    | None -> []
+    | Some bt -> (
+        match Printexc.raw_backtrace_to_string bt with
+        | "" -> []
+        | s -> [ ("backtrace", String.trim s) ])
+  in
+  match exn with
+  | Error t -> add_context bt_context t
+  | Invalid_argument msg ->
+      let head, what = split_legacy ~who msg in
+      v ~context:bt_context Bad_config ~who:head what
+  | Sys_error msg -> v ~context:bt_context Bad_spec ~who msg
+  | exn ->
+      v
+        ~context:(bt_context @ [ ("exception", Printexc.to_string exn) ])
+        Sim_fault ~who (Printexc.to_string exn)
+
+let invalid who msg = raise (Invalid_argument (who ^ ": " ^ msg))
+let invalidf who fmt = Printf.ksprintf (invalid who) fmt
+let invalid_flow_ids who = invalid who "flow ids must be 0..n-1"
+let unknown_flow who = invalid who "unknown flow"
+let empty_queue who = invalid who "empty queue"

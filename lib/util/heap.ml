@@ -31,7 +31,10 @@ let grow t =
     (* Dummy from an existing element or lazily via Obj-free trick: we only
        grow when size >= cap, and when cap = 0 we can't have a template, so
        we delay allocation to the first push. *)
-    let template = if t.size > 0 then t.data.(0) else invalid_arg "Heap.grow" in
+    let template =
+      if t.size > 0 then t.data.(0)
+      else Error.invalid "Heap.grow" "cannot grow an empty heap"
+    in
     let ndata = Array.make ncap template in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
@@ -92,7 +95,7 @@ let pop t =
 let pop_exn t =
   match pop t with
   | Some v -> v
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+  | None -> Error.invalid "Heap.pop_exn" "empty heap"
 
 let clear t =
   t.size <- 0;

@@ -72,6 +72,31 @@ module Summary = struct
         total = a.total +. b.total;
       }
     end
+
+  (* Serialization must round-trip bit-exactly (checkpoint/resume renders
+     byte-identical tables from journaled summaries), so every float goes
+     through Json.float_to_string's shortest-exact form; min/max are nan
+     on an empty summary, hence of_float_ext. *)
+  let to_json t =
+    Json.Obj
+      [
+        ("n", Json.Int t.n);
+        ("mean", Json.Float t.mean);
+        ("m2", Json.Float t.m2);
+        ("min", Json.of_float_ext t.minv);
+        ("max", Json.of_float_ext t.maxv);
+        ("total", Json.Float t.total);
+      ]
+
+  let of_json v =
+    let ( let* ) = Option.bind in
+    let* n = Option.bind (Json.member "n" v) Json.to_int in
+    let* mean = Option.bind (Json.member "mean" v) Json.to_float_ext in
+    let* m2 = Option.bind (Json.member "m2" v) Json.to_float_ext in
+    let* minv = Option.bind (Json.member "min" v) Json.to_float_ext in
+    let* maxv = Option.bind (Json.member "max" v) Json.to_float_ext in
+    let* total = Option.bind (Json.member "total" v) Json.to_float_ext in
+    Some { n; mean; m2; minv; maxv; total }
 end
 
 module Histogram = struct
@@ -123,6 +148,46 @@ module Histogram = struct
 
   let mean t = Summary.mean t.summary
   let max_value t = Summary.max t.summary
+
+  let to_json t =
+    (* Trailing zero bins are dropped: capacity growth is an allocation
+       detail that must not leak into the serialized form. *)
+    let last = ref (-1) in
+    Array.iteri (fun i c -> if c > 0 then last := i) t.bins;
+    Json.Obj
+      [
+        ("bin_width", Json.Float t.bin_width);
+        ("n", Json.Int t.n);
+        ( "bins",
+          Json.Arr
+            (List.init (!last + 1) (fun i -> Json.Int t.bins.(i))) );
+        ("summary", Summary.to_json t.summary);
+      ]
+
+  let of_json v =
+    let ( let* ) = Option.bind in
+    let* bin_width = Option.bind (Json.member "bin_width" v) Json.to_float in
+    let* n = Option.bind (Json.member "n" v) Json.to_int in
+    let* bins = Option.bind (Json.member "bins" v) Json.to_list in
+    let* bins =
+      List.fold_left
+        (fun acc c ->
+          match (acc, Json.to_int c) with
+          | Some acc, Some c -> Some (c :: acc)
+          | _ -> None)
+        (Some []) bins
+      |> Option.map (fun l -> Array.of_list (List.rev l))
+    in
+    let* summary = Option.bind (Json.member "summary" v) Summary.of_json in
+    if bin_width <= 0. then None
+    else
+      Some
+        {
+          bin_width;
+          bins = (if Array.length bins = 0 then Array.make 64 0 else bins);
+          n;
+          summary;
+        }
 end
 
 module Counter = struct

@@ -34,6 +34,12 @@ module Summary : sig
 
   val merge : t -> t -> t
   (** Combine two summaries as if all samples were added to one. *)
+
+  val to_json : t -> Json.t
+  val of_json : Json.t -> t option
+  (** Bit-exact round-trip (floats use the shortest decimal that restores
+      the same bits), so tables rendered from a resumed checkpoint are
+      byte-identical to an uninterrupted run. *)
 end
 
 module Histogram : sig
@@ -51,6 +57,10 @@ module Histogram : sig
 
   val mean : t -> float
   val max_value : t -> float
+
+  val to_json : t -> Json.t
+  val of_json : Json.t -> t option
+  (** Bit-exact round-trip, like {!Summary.to_json}. *)
 end
 
 module Counter : sig

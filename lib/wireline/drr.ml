@@ -10,10 +10,10 @@ type t = {
 
 let create ?(quantum = 1.0) ~capacity flows =
   ignore capacity;
-  if quantum <= 0. then invalid_arg "Drr.create: quantum must be > 0";
+  if quantum <= 0. then Wfs_util.Error.invalid "Drr.create" "quantum must be > 0";
   Array.iteri
     (fun i (f : Flow.t) ->
-      if f.id <> i then invalid_arg "Drr.create: flow ids must be 0..n-1")
+      if f.id <> i then Wfs_util.Error.invalid_flow_ids "Drr.create")
     flows;
   let n = Array.length flows in
   {
@@ -28,7 +28,7 @@ let create ?(quantum = 1.0) ~capacity flows =
 
 let enqueue t (job : Job.t) =
   if job.flow < 0 || job.flow >= Array.length t.queues then
-    invalid_arg "Drr.enqueue: unknown flow";
+    Wfs_util.Error.unknown_flow "Drr.enqueue";
   Queue.push job t.queues.(job.flow);
   t.total_queued <- t.total_queued + 1;
   if not t.in_active.(job.flow) then begin

@@ -1,7 +1,7 @@
 type t = { id : int; weight : float }
 
 let make ~id ~weight =
-  if weight <= 0. then invalid_arg "Flow.make: weight must be > 0";
+  if weight <= 0. then Wfs_util.Error.invalid "Flow.make" "weight must be > 0";
   { id; weight }
 
 let equal_weights n = Array.init n (fun id -> make ~id ~weight:1.)

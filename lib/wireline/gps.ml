@@ -31,11 +31,11 @@ type t = {
 let eps = 1e-9
 
 let create ~capacity flows =
-  if capacity <= 0. then invalid_arg "Gps.create: capacity must be > 0";
+  if capacity <= 0. then Wfs_util.Error.invalid "Gps.create" "capacity must be > 0";
   let n = Array.length flows in
   Array.iteri
     (fun i (f : Flow.t) ->
-      if f.id <> i then invalid_arg "Gps.create: flow ids must be 0..n-1 in order")
+      if f.id <> i then Wfs_util.Error.invalid_flow_ids "Gps.create")
     flows;
   {
     capacity;
@@ -84,8 +84,8 @@ let settle_crossings t =
 
 let advance_to t time =
   if time < t.t_last -. eps then
-    invalid_arg
-      (Printf.sprintf "Gps.advance_to: time %g precedes %g" time t.t_last);
+    Wfs_util.Error.invalidf "Gps.advance_to" "time %g precedes %g" time
+      t.t_last;
   let rec step () =
     if t.t_last < time -. eps then
       if t.sum_active <= 0. then t.t_last <- time
@@ -116,9 +116,9 @@ let advance_to t time =
   if time > t.t_last then t.t_last <- time
 
 let arrive t ~time ~flow ~size =
-  if size <= 0. then invalid_arg "Gps.arrive: size must be > 0";
+  if size <= 0. then Wfs_util.Error.invalid "Gps.arrive" "size must be > 0";
   if flow < 0 || flow >= Array.length t.weights then
-    invalid_arg "Gps.arrive: unknown flow";
+    Wfs_util.Error.unknown_flow "Gps.arrive";
   advance_to t time;
   let start_tag = Float.max t.v t.last_finish.(flow) in
   let finish_tag = start_tag +. (size /. t.weights.(flow)) in

@@ -11,7 +11,7 @@ let create ~capacity flows =
   ignore capacity;
   Array.iteri
     (fun i (f : Flow.t) ->
-      if f.id <> i then invalid_arg "Scfq.create: flow ids must be 0..n-1")
+      if f.id <> i then Wfs_util.Error.invalid_flow_ids "Scfq.create")
     flows;
   {
     weights = Array.map (fun (f : Flow.t) -> f.weight) flows;
@@ -22,7 +22,7 @@ let create ~capacity flows =
 
 let enqueue t (job : Job.t) =
   if job.flow < 0 || job.flow >= Array.length t.weights then
-    invalid_arg "Scfq.enqueue: unknown flow";
+    Wfs_util.Error.unknown_flow "Scfq.enqueue";
   let start = Float.max t.v t.last_finish.(job.flow) in
   let finish = start +. (job.size /. t.weights.(job.flow)) in
   t.last_finish.(job.flow) <- finish;

@@ -1,7 +1,7 @@
 type completion = { job : Job.t; start : float; finish : float }
 
 let run ~capacity (sched : Sched_intf.instance) jobs =
-  if capacity <= 0. then invalid_arg "Server.run: capacity must be > 0";
+  if capacity <= 0. then Wfs_util.Error.invalid "Server.run" "capacity must be > 0";
   let arrivals =
     List.stable_sort
       (fun (a : Job.t) (b : Job.t) -> Float.compare a.arrival b.arrival)

@@ -13,7 +13,7 @@ let create ~capacity flows =
   ignore capacity;
   Array.iteri
     (fun i (f : Flow.t) ->
-      if f.id <> i then invalid_arg "Stfq.create: flow ids must be 0..n-1")
+      if f.id <> i then Wfs_util.Error.invalid_flow_ids "Stfq.create")
     flows;
   {
     weights = Array.map (fun (f : Flow.t) -> f.weight) flows;
@@ -24,7 +24,7 @@ let create ~capacity flows =
 
 let enqueue t (job : Job.t) =
   if job.flow < 0 || job.flow >= Array.length t.weights then
-    invalid_arg "Stfq.enqueue: unknown flow";
+    Wfs_util.Error.unknown_flow "Stfq.enqueue";
   let start = Float.max t.v t.last_finish.(job.flow) in
   let finish = start +. (job.size /. t.weights.(job.flow)) in
   t.last_finish.(job.flow) <- finish;

@@ -10,7 +10,7 @@ let create ~capacity flows =
   ignore capacity;
   Array.iteri
     (fun i (f : Flow.t) ->
-      if f.id <> i then invalid_arg "Virtual_clock.create: flow ids must be 0..n-1")
+      if f.id <> i then Wfs_util.Error.invalid_flow_ids "Virtual_clock.create")
     flows;
   {
     weights = Array.map (fun (f : Flow.t) -> f.weight) flows;
@@ -20,7 +20,7 @@ let create ~capacity flows =
 
 let enqueue t (job : Job.t) =
   if job.flow < 0 || job.flow >= Array.length t.weights then
-    invalid_arg "Virtual_clock.enqueue: unknown flow";
+    Wfs_util.Error.unknown_flow "Virtual_clock.enqueue";
   (* auxVC = max(now, auxVC) + size/r; the max is what denies credit for
      idle periods yet lets a flow bank capacity it never used — the
      behaviour the wireless model rejects for error periods. *)

@@ -14,7 +14,7 @@ let create ~capacity flows =
   ignore capacity;
   Array.iteri
     (fun i (f : Flow.t) ->
-      if f.id <> i then invalid_arg "Wf2q_plus.create: flow ids must be 0..n-1")
+      if f.id <> i then Wfs_util.Error.invalid_flow_ids "Wf2q_plus.create")
     flows;
   let n = Array.length flows in
   {
@@ -34,7 +34,7 @@ let set_hol_tags t flow ~start_at (job : Job.t) =
 let enqueue t (job : Job.t) =
   let flow = job.Job.flow in
   if flow < 0 || flow >= Array.length t.weights then
-    invalid_arg "Wf2q_plus.enqueue: unknown flow";
+    Wfs_util.Error.unknown_flow "Wf2q_plus.enqueue";
   let was_empty = Queue.is_empty t.queues.(flow) in
   Queue.push job t.queues.(flow);
   if was_empty then

@@ -14,7 +14,7 @@ let create ~capacity flows =
   ignore capacity;
   Array.iteri
     (fun i (f : Flow.t) ->
-      if f.id <> i then invalid_arg "Wrr.create: flow ids must be 0..n-1")
+      if f.id <> i then Wfs_util.Error.invalid_flow_ids "Wrr.create")
     flows;
   let n = Array.length flows in
   {
@@ -27,7 +27,7 @@ let create ~capacity flows =
 
 let enqueue t (job : Job.t) =
   if job.flow < 0 || job.flow >= Array.length t.queues then
-    invalid_arg "Wrr.enqueue: unknown flow";
+    Wfs_util.Error.unknown_flow "Wrr.enqueue";
   Queue.push job t.queues.(job.flow);
   t.total_queued <- t.total_queued + 1
 

@@ -1,0 +1,10 @@
+(* R6: untyped error raising — every exit below must go through
+   Wfs_util.Error instead. *)
+
+let check_positive x = if x < 0 then failwith "negative" else x
+let check_small x = if x > 10 then invalid_arg "Fixture.check_small: too big" else x
+
+let check_nonzero x =
+  if x = 0 then raise (Invalid_argument "Fixture.check_nonzero: zero") else x
+
+let check_odd x = if x mod 2 = 0 then raise (Failure "even") else x

@@ -1,0 +1,440 @@
+(* Fault-injection suite for the wfs_guard robustness layer: crash
+   isolation in the pool, typed spec errors, journal checkpoint/resume
+   (including deliberate truncation and corruption), the deterministic
+   slot-budget watchdog, and the runtime invariant monitors catching a
+   scheduler that breaks the paper's own safety properties. *)
+
+module Core = Wfs_core
+module Error = Wfs_util.Error
+module Json = Wfs_util.Json
+module Spec = Wfs_runner.Spec
+module Exec = Wfs_runner.Exec
+module Pool = Wfs_runner.Pool
+module Journal = Wfs_runner.Journal
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let with_temp_file ?(suffix = ".journal") f =
+  let path = Filename.temp_file "wfs_guard" suffix in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* --- crash isolation --- *)
+
+exception Sabotage of int
+
+let test_crash_loses_only_that_job () =
+  (* One worker raises; every other item must still produce its result, and
+     the crashed item must carry a typed Sim_fault, not abort the sweep. *)
+  let f i = if i = 5 then raise (Sabotage i) else Ok (i * i) in
+  List.iter
+    (fun jobs ->
+      let outcomes = Pool.map_outcomes ~jobs f (Array.init 12 (fun i -> i)) in
+      Array.iteri
+        (fun i out ->
+          match out with
+          | Ok v when i <> 5 -> check_int "surviving job result" (i * i) v
+          | Error e when i = 5 ->
+              check_bool "crash classified as sim-fault" true
+                (e.Error.kind = Error.Sim_fault)
+          | Ok _ -> Alcotest.failf "job %d should have failed" i
+          | Error e ->
+              Alcotest.failf "job %d unexpectedly failed: %s" i
+                (Error.to_string e))
+        outcomes)
+    [ 1; 4 ]
+
+let test_typed_errors_pass_through () =
+  let err = Error.v Error.Bad_config ~who:"test" "synthetic" in
+  let f i = if i = 1 then Error err else Ok i in
+  let outcomes = Pool.map_outcomes ~jobs:2 f [| 0; 1; 2 |] in
+  match outcomes.(1) with
+  | Error e ->
+      check_bool "returned error untouched" true (e.Error.kind = Error.Bad_config);
+      check_str "who preserved" "test" e.Error.who
+  | Ok _ -> Alcotest.fail "Error outcome must pass through"
+
+let test_retries_rerun_failed_jobs () =
+  (* First attempt of item 3 fails, second succeeds: with one retry the
+     sweep recovers; without retries the failure is accepted and stamped
+     with the attempt count. *)
+  let attempts = Atomic.make 0 in
+  let flaky i =
+    if i = 3 && Atomic.fetch_and_add attempts 1 = 0 then failwith "transient"
+    else Ok i
+  in
+  let recovered =
+    Pool.map_outcomes ~jobs:1 ~retries:1 flaky (Array.init 5 (fun i -> i))
+  in
+  check_bool "retry recovered the job" true (recovered.(3) = Ok 3);
+  let permanent i = if i = 0 then failwith "always" else Ok i in
+  let out = Pool.map_outcomes ~jobs:1 ~retries:2 permanent [| 0; 1 |] in
+  (match out.(0) with
+  | Error e ->
+      check_str "attempts recorded" "3" (List.assoc "attempts" e.Error.context)
+  | Ok _ -> Alcotest.fail "permanent failure must remain an error");
+  match (Pool.map_outcomes ~jobs:1 permanent [| 0 |]).(0) with
+  | Error e ->
+      check_bool "no attempts context without retries" true
+        (not (List.mem_assoc "attempts" e.Error.context))
+  | Ok _ -> Alcotest.fail "permanent failure must remain an error"
+
+let test_notify_fires_once_per_item () =
+  let seen = Array.make 6 0 in
+  let mutex = Mutex.create () in
+  let notify i _out =
+    Mutex.lock mutex;
+    seen.(i) <- seen.(i) + 1;
+    Mutex.unlock mutex
+  in
+  let f i = if i = 2 then failwith "boom" else Ok i in
+  ignore (Pool.map_outcomes ~jobs:3 ~notify f (Array.init 6 (fun i -> i)));
+  Array.iteri (fun i n -> check_int (Printf.sprintf "item %d notified" i) 1 n) seen
+
+(* --- typed spec errors --- *)
+
+let test_spec_parse_typed () =
+  (match Spec.parse "example:1 | WPS | seed=1 | horizon=100" with
+  | Ok sp -> check_int "parsed horizon" 100 sp.Spec.horizon
+  | Error e -> Alcotest.failf "valid spec rejected: %s" (Error.to_string e));
+  match Spec.parse "exa mple:9 ||| nonsense" with
+  | Ok _ -> Alcotest.fail "malformed spec accepted"
+  | Error e ->
+      check_bool "malformed spec is bad-spec" true (e.Error.kind = Error.Bad_spec);
+      check_str "spec echoed in context" "exa mple:9 ||| nonsense"
+        (List.assoc "spec" e.Error.context)
+
+let test_run_outcome_classifies () =
+  let spec = Spec.make ~seed:5 ~horizon:500 ~sched:"SwapA-P" (Spec.example 1) in
+  (* Healthy run: Ok, identical to the raising API. *)
+  (match Exec.run_outcome spec with
+  | Ok m ->
+      check_bool "outcome metrics match Exec.run" true
+        (Core.Metrics.to_json m = Core.Metrics.to_json (Exec.run spec))
+  | Error e -> Alcotest.failf "healthy run failed: %s" (Error.to_string e));
+  (* Deterministic watchdog: refused before running, typed Sim_fault. *)
+  (match Exec.run_outcome ~max_slots:100 spec with
+  | Ok _ -> Alcotest.fail "watchdog must refuse a 500-slot job capped at 100"
+  | Error e ->
+      check_bool "watchdog is sim-fault" true (e.Error.kind = Error.Sim_fault);
+      check_str "cap recorded" "100" (List.assoc "max_slots" e.Error.context));
+  (* Malformed scenario file: parse errors classify as Bad_spec. *)
+  with_temp_file ~suffix:".scenario" (fun path ->
+      let oc = open_out path in
+      output_string oc "horizon 100\nflow nonsense=1\n";
+      close_out oc;
+      let bad = Spec.make ~sched:"SwapA-P" (Spec.file path) in
+      match Exec.run_outcome bad with
+      | Ok _ -> Alcotest.fail "malformed scenario accepted"
+      | Error e ->
+          check_bool "parse error is bad-spec" true
+            (e.Error.kind = Error.Bad_spec))
+
+(* --- journal checkpoint/resume --- *)
+
+let params = [ ("horizon", Json.Int 1000); ("seed", Json.Int 7) ]
+
+let test_journal_roundtrip () =
+  with_temp_file (fun path ->
+      let w = Journal.create ~path ~params in
+      Journal.append w ~key:"a" ~value:(Json.Int 1);
+      Journal.append w ~key:"b" ~value:(Json.Str "two");
+      Journal.close w;
+      let w = Journal.reopen ~path in
+      Journal.append w ~key:"c" ~value:(Json.Arr [ Json.Bool true ]);
+      Journal.close w;
+      match Journal.load ~path with
+      | Error e -> Alcotest.failf "load failed: %s" (Error.to_string e)
+      | Ok { params = p; entries } ->
+          check_bool "params survive" true (p = params);
+          check_int "three entries" 3 (List.length entries);
+          check_bool "entries in file order" true
+            (List.map fst entries = [ "a"; "b"; "c" ]))
+
+let test_journal_truncated_tail_dropped () =
+  with_temp_file (fun path ->
+      let w = Journal.create ~path ~params in
+      Journal.append w ~key:"a" ~value:(Json.Int 1);
+      Journal.append w ~key:"b" ~value:(Json.Int 2);
+      Journal.close w;
+      (* Simulate a crash mid-append: an unterminated, unparsable last line. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"key\":\"c\",\"val";
+      close_out oc;
+      match Journal.load ~path with
+      | Error e -> Alcotest.failf "truncated tail must load: %s" (Error.to_string e)
+      | Ok { entries; _ } ->
+          check_bool "only the torn line is lost" true
+            (List.map fst entries = [ "a"; "b" ]))
+
+let test_journal_mid_file_corruption_rejected () =
+  with_temp_file (fun path ->
+      let w = Journal.create ~path ~params in
+      Journal.append w ~key:"a" ~value:(Json.Int 1);
+      Journal.close w;
+      (* Corruption before the final line is not an interrupted append —
+         refusing beats resurrecting stale results. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "garbage line\n{\"key\":\"b\",\"value\":2}\n";
+      close_out oc;
+      match Journal.load ~path with
+      | Ok _ -> Alcotest.fail "mid-file corruption accepted"
+      | Error e ->
+          check_bool "corruption is bad-spec" true (e.Error.kind = Error.Bad_spec))
+
+let guard_specs () =
+  List.map
+    (fun sched -> Spec.make ~seed:11 ~horizon:2_000 ~sched (Spec.example 1))
+    [ "WRR-P"; "SwapA-P"; "IWFQ-P"; "CIF-Q-P" ]
+
+let render_results specs results =
+  (* Stand-in for the bench's table cells: the serialized metrics, which
+     byte-identical resumption must reproduce exactly. *)
+  List.map2
+    (fun sp m ->
+      Spec.to_string sp ^ " => " ^ Json.to_string ~pretty:false (Core.Metrics.to_json m))
+    specs results
+
+let test_resume_is_byte_identical () =
+  (* Uninterrupted sweep vs: run two jobs, journal them, "crash", then
+     resume — replaying journaled results and running only the rest.  The
+     rendered output must match byte for byte. *)
+  let specs = guard_specs () in
+  let run sp = Exec.run sp in
+  let full = render_results specs (List.map run specs) in
+  with_temp_file (fun path ->
+      let w = Journal.create ~path ~params in
+      List.iteri
+        (fun i sp ->
+          if i < 2 then
+            Journal.append w ~key:(Spec.to_string sp)
+              ~value:(Core.Metrics.to_json (run sp)))
+        specs;
+      Journal.close w;
+      (* resume *)
+      match Journal.load ~path with
+      | Error e -> Alcotest.failf "resume load failed: %s" (Error.to_string e)
+      | Ok { entries; _ } ->
+          let cached = Hashtbl.create 8 in
+          List.iter (fun (k, v) -> Hashtbl.replace cached k v) entries;
+          check_int "two jobs resumed" 2 (Hashtbl.length cached);
+          let resumed =
+            List.map
+              (fun sp ->
+                match Hashtbl.find_opt cached (Spec.to_string sp) with
+                | Some v -> Option.get (Core.Metrics.of_json v)
+                | None -> run sp)
+              specs
+          in
+          List.iter2 (check_str "resumed cell identical") full
+            (render_results specs resumed))
+
+(* --- invariant monitors --- *)
+
+(* A hand-built scheduler instance whose probe reports whatever the test
+   wants — the monitor must catch it lying about the paper's properties. *)
+let fake_sched ?(queue_length = fun _ -> 0) probe =
+  {
+    Core.Wireless_sched.name = "Evil";
+    enqueue = (fun ~slot:_ _ -> ());
+    select = (fun ~slot:_ ~predicted_good:_ -> None);
+    head = (fun _ -> None);
+    complete = (fun ~flow:_ -> ());
+    fail = (fun ~flow:_ -> ());
+    drop_head = (fun ~flow:_ -> ());
+    drop_expired = (fun ~flow:_ ~now:_ ~bound:_ -> []);
+    queue_length;
+    on_slot_end = (fun ~slot:_ -> ());
+    probe;
+  }
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let expect_violation ~substring f =
+  match f () with
+  | () -> Alcotest.failf "expected an invariant violation (%s)" substring
+  | exception Error.Error e ->
+      check_bool "kind is invariant-violation" true
+        (e.Error.kind = Error.Invariant_violation);
+      check_bool
+        (Printf.sprintf "paper section recorded (%s)" substring)
+        true
+        (match List.assoc_opt "paper" e.Error.context with
+        | Some s -> contains ~sub:substring s
+        | None -> false)
+
+let check_one ~sched ?(n_flows = 1) ?(selected = None) mon =
+  Core.Invariant.check mon ~slot:0 ~sched ~n_flows
+    ~predicted_good:(fun _ -> true)
+    ~selected
+
+let test_invariant_credit_bounds () =
+  (* Poisoned credit: balance 9 against limits [−4, 4] — the Section 7
+     bounded credit/debit accounting the WPS variants must respect. *)
+  let probe =
+    { Core.Wireless_sched.no_probe with credit = Some (fun _ -> (9, 4, 4)) }
+  in
+  expect_violation ~substring:"Section 7" (fun () ->
+      check_one ~sched:(fake_sched probe) (Core.Invariant.create ()))
+
+let test_invariant_virtual_time () =
+  let vt = ref 5.0 in
+  let probe =
+    { Core.Wireless_sched.no_probe with virtual_time = Some (fun () -> !vt) }
+  in
+  let sched = fake_sched probe in
+  let mon = Core.Invariant.create () in
+  check_one ~sched mon;
+  vt := 3.0;  (* regression *)
+  expect_violation ~substring:"Section 4.1" (fun () -> check_one ~sched mon);
+  let poisoned =
+    { Core.Wireless_sched.no_probe with virtual_time = Some (fun () -> Float.nan) }
+  in
+  expect_violation ~substring:"Section 4.1" (fun () ->
+      check_one ~sched:(fake_sched poisoned) (Core.Invariant.create ()))
+
+let test_invariant_finish_tags () =
+  let probe =
+    { Core.Wireless_sched.no_probe with finish_tag = Some (fun _ -> Float.nan) }
+  in
+  expect_violation ~substring:"Section 4.1" (fun () ->
+      check_one ~sched:(fake_sched probe) (Core.Invariant.create ()));
+  (* infinity is fine for an idle flow but not for a backlogged one *)
+  let inf = { Core.Wireless_sched.no_probe with finish_tag = Some (fun _ -> infinity) } in
+  check_one ~sched:(fake_sched inf) (Core.Invariant.create ());
+  expect_violation ~substring:"Section 4.1" (fun () ->
+      check_one
+        ~sched:(fake_sched ~queue_length:(fun _ -> 3) inf)
+        (Core.Invariant.create ()))
+
+let test_invariant_lag_sum () =
+  let sum = ref 0 in
+  let probe =
+    { Core.Wireless_sched.no_probe with lag_sum = Some (fun () -> !sum) }
+  in
+  let sched = fake_sched probe in
+  let mon = Core.Invariant.create () in
+  check_one ~sched mon;
+  sum := 1;  (* +1: a failed transmission returned the debit — legal *)
+  check_one ~sched mon;
+  sum := 4;  (* +3 in one slot: conservation broken *)
+  expect_violation ~substring:"Section 5" (fun () -> check_one ~sched mon)
+
+let test_invariant_work_conservation () =
+  let probe = { Core.Wireless_sched.no_probe with work_conserving = true } in
+  let idle_with_backlog = fake_sched ~queue_length:(fun _ -> 2) probe in
+  expect_violation ~substring:"Sections 4-5" (fun () ->
+      check_one ~sched:idle_with_backlog (Core.Invariant.create ()));
+  (* Idling with nothing serviceable, or while transmitting, is fine. *)
+  check_one ~sched:(fake_sched probe) (Core.Invariant.create ());
+  check_one ~sched:idle_with_backlog ~selected:(Some 0) (Core.Invariant.create ())
+
+let test_invariants_clean_on_real_schedulers () =
+  (* The real schedulers must pass their own monitors, and metrics with
+     checks on must be byte-identical to checks off. *)
+  List.iter
+    (fun sp ->
+      let off = Core.Metrics.to_json (Exec.run sp) in
+      let on = Core.Metrics.to_json (Exec.run ~invariants:true sp) in
+      check_str
+        (Printf.sprintf "%s identical under monitors" sp.Spec.sched)
+        (Json.to_string ~pretty:false off)
+        (Json.to_string ~pretty:false on))
+    (guard_specs ())
+
+let test_invariants_do_not_perturb_snoop () =
+  (* The stateful Periodic_snoop predictor is the one place an extra
+     prediction query could shift behavior; the monitor goes through
+     Predictor.peek precisely so it cannot.  Checked and unchecked runs
+     must stay byte-identical. *)
+  let run invariants =
+    let setups = Core.Presets.example1 ~sum:0.1 ~seed:17 () in
+    let sched =
+      Core.Presets.(scheduler Swapa (flows_of setups))
+    in
+    let cfg =
+      Core.Simulator.config
+        ~predictor:(Wfs_channel.Predictor.Periodic_snoop 4)
+        ~invariants ~horizon:3_000 setups
+    in
+    Json.to_string ~pretty:false
+      (Core.Metrics.to_json (Core.Simulator.run cfg sched))
+  in
+  check_str "Periodic_snoop identical under monitors" (run false) (run true)
+
+(* --- parser fuzzing: typed errors, never an escaped exception --- *)
+
+let fuzz_spec_never_raises =
+  QCheck.Test.make ~count:500 ~name:"Spec.of_string never raises"
+    QCheck.(string_of_size Gen.(0 -- 80))
+    (fun s ->
+      match Spec.of_string s with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let fuzz_spec_parse_never_raises =
+  QCheck.Test.make ~count:500 ~name:"Spec.parse never raises"
+    QCheck.(string_of_size Gen.(0 -- 80))
+    (fun s ->
+      match Spec.parse s with Ok _ | Error _ -> true | exception _ -> false)
+
+let fuzz_json_never_raises =
+  QCheck.Test.make ~count:500 ~name:"Json.of_string never raises"
+    QCheck.(string_of_size Gen.(0 -- 120))
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let fuzz_json_mutated_documents =
+  (* Start from a well-formed document and flip one byte: parsing must
+     still return a result, never raise. *)
+  QCheck.Test.make ~count:300 ~name:"Json.of_string survives mutation"
+    QCheck.(pair (int_bound 200) (int_bound 255))
+    (fun (pos, byte) ->
+      let doc =
+        Json.to_string ~pretty:false
+          (Json.Obj
+             [
+               ("key", Json.Str "value");
+               ("xs", Json.Arr [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+             ])
+      in
+      let b = Bytes.of_string doc in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      match Json.of_string (Bytes.to_string b) with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let suite =
+  [
+    ("crash loses only that job", `Quick, test_crash_loses_only_that_job);
+    ("typed errors pass through", `Quick, test_typed_errors_pass_through);
+    ("retries rerun failed jobs", `Quick, test_retries_rerun_failed_jobs);
+    ("notify fires once per item", `Quick, test_notify_fires_once_per_item);
+    ("spec parse is typed", `Quick, test_spec_parse_typed);
+    ("run_outcome classifies failures", `Quick, test_run_outcome_classifies);
+    ("journal round-trip", `Quick, test_journal_roundtrip);
+    ("journal truncated tail dropped", `Quick, test_journal_truncated_tail_dropped);
+    ("journal mid-file corruption rejected", `Quick,
+     test_journal_mid_file_corruption_rejected);
+    ("resume is byte-identical", `Slow, test_resume_is_byte_identical);
+    ("invariant: credit bounds", `Quick, test_invariant_credit_bounds);
+    ("invariant: virtual time", `Quick, test_invariant_virtual_time);
+    ("invariant: finish tags", `Quick, test_invariant_finish_tags);
+    ("invariant: lag conservation", `Quick, test_invariant_lag_sum);
+    ("invariant: work conservation", `Quick, test_invariant_work_conservation);
+    ("invariants clean on real schedulers", `Slow,
+     test_invariants_clean_on_real_schedulers);
+    ("invariants do not perturb snooping", `Quick,
+     test_invariants_do_not_perturb_snoop);
+    QCheck_alcotest.to_alcotest fuzz_spec_never_raises;
+    QCheck_alcotest.to_alcotest fuzz_spec_parse_never_raises;
+    QCheck_alcotest.to_alcotest fuzz_json_never_raises;
+    QCheck_alcotest.to_alcotest fuzz_json_mutated_documents;
+  ]

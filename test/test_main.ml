@@ -15,5 +15,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("scenario", Test_scenario.suite);
       ("runner", Test_runner.suite);
+      ("guard", Test_guard.suite);
       ("integration", Test_integration.suite);
     ]

@@ -100,6 +100,72 @@ let test_exec_replicate () =
   let s = Exec.summarize (fun m -> Core.Metrics.mean_delay m ~flow:0) reps in
   check_int "summary over 3" 3 (Wfs_util.Stats.Summary.count s)
 
+(* --- checkpoint/resume --- *)
+
+let test_journal_truncate_resume () =
+  (* Full sweep journaling every result; truncate the journal after N
+     entries (a killed run); resume from it.  The merged, rendered output
+     must be byte-identical to the uninterrupted sweep. *)
+  let specs =
+    List.map
+      (fun sched -> Spec.make ~seed:13 ~horizon:2_000 ~sched (Spec.example 1))
+      [ "WRR-P"; "SwapA-P"; "IWFQ-P"; "CIF-Q-P"; "CSDPS" ]
+  in
+  let render sp m =
+    Spec.to_string sp ^ " => "
+    ^ Wfs_util.Json.to_string ~pretty:false (Core.Metrics.to_json m)
+  in
+  let uninterrupted = List.map (fun sp -> render sp (Exec.run sp)) specs in
+  let path = Filename.temp_file "wfs_resume" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let params = [ ("horizon", Wfs_util.Json.Int 2_000) ] in
+      let w = Wfs_runner.Journal.create ~path ~params in
+      List.iter
+        (fun sp ->
+          Wfs_runner.Journal.append w ~key:(Spec.to_string sp)
+            ~value:(Core.Metrics.to_json (Exec.run sp)))
+        specs;
+      Wfs_runner.Journal.close w;
+      (* Kill the sweep after N = 3 completed entries: keep the header line
+         plus the first three entry lines. *)
+      let lines =
+        let ic = open_in path in
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file ->
+              close_in ic;
+              List.rev acc
+        in
+        go []
+      in
+      let keep = List.filteri (fun i _ -> i < 4) lines in
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) keep;
+      close_out oc;
+      match Wfs_runner.Journal.load ~path with
+      | Error e ->
+          Alcotest.failf "truncated journal must load: %s"
+            (Wfs_util.Error.to_string e)
+      | Ok { entries; _ } ->
+          check_int "three entries survive the kill" 3 (List.length entries);
+          let cached = Hashtbl.create 8 in
+          List.iter (fun (k, v) -> Hashtbl.replace cached k v) entries;
+          let resumed =
+            List.map
+              (fun sp ->
+                match Hashtbl.find_opt cached (Spec.to_string sp) with
+                | Some v ->
+                    render sp (Option.get (Core.Metrics.of_json v))
+                | None -> render sp (Exec.run sp))
+              specs
+          in
+          List.iter2
+            (check_str "resumed output byte-identical")
+            uninterrupted resumed)
+
 (* --- Spec round-trip --- *)
 
 let roundtrip sp =
@@ -307,6 +373,7 @@ let suite =
     ("exec invariant under jobs", `Slow, test_exec_jobs_invariant);
     ("exec invariant under order", `Slow, test_exec_order_invariant);
     ("exec replicate", `Slow, test_exec_replicate);
+    ("journal truncate and resume", `Slow, test_journal_truncate_resume);
     ("spec round-trip", `Quick, test_spec_roundtrip);
     ("spec defaults and builder", `Quick, test_spec_defaults_and_builder);
     ("spec from scenario file", `Quick, test_spec_of_scenario_file);

@@ -1,7 +1,7 @@
 (* Diagnostics for wfs_lint: location, rule id, message, and a sink that
    deduplicates and sorts for stable output. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | Supp
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | Supp
 
 let rule_id = function
   | R1 -> "R1"
@@ -9,6 +9,7 @@ let rule_id = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
   | Supp -> "SUPP"
 
 let rule_of_id = function
@@ -17,6 +18,7 @@ let rule_of_id = function
   | "R3" | "r3" -> Some R3
   | "R4" | "r4" -> Some R4
   | "R5" | "r5" -> Some R5
+  | "R6" | "r6" -> Some R6
   | "SUPP" | "supp" -> Some Supp
   | _ -> None
 
@@ -26,6 +28,7 @@ let rule_title = function
   | R3 -> "exact float equality"
   | R4 -> "physical equality"
   | R5 -> "bare exception escape"
+  | R6 -> "untyped error raising"
   | Supp -> "suppression hygiene"
 
 type t = {

@@ -148,6 +148,16 @@ let is_floaty e =
       || (head_module n = "Float" && not (List.mem n float_module_nonfloat))
   | _ -> false
 
+(* --- R6: untyped error raising --- *)
+
+let r6_message what =
+  Printf.sprintf
+    "%s bypasses the typed error taxonomy; raise through Wfs_util.Error \
+     (Error.invalid / Error.invalidf for the Invalid_argument convention, \
+     bad_spec / bad_config / sim_fault for typed kinds) so sweep drivers \
+     can classify and report the failure"
+    what
+
 (* --- R5: bare exception escapes --- *)
 
 (* function -> (exception it raises, total replacement) *)
@@ -184,7 +194,8 @@ let exn_matches ~handled exn =
 
 (* --- the walk --- *)
 
-let check_file ~file_class ~sink ~suppress structure_or_sig =
+let check_file ~file_class ?(r6_exempt = false) ~sink ~suppress
+    structure_or_sig =
   (* Stack of handled-exception sets: one frame per enclosing [try] body or
      [match] scrutinee currently being visited. *)
   let ctx : string list list ref = ref [] in
@@ -201,6 +212,8 @@ let check_file ~file_class ~sink ~suppress structure_or_sig =
       if r1_match n then report ~loc ~rule:Lint_diag.R1 (r1_message n);
       if List.mem n r2_poly_funs || n = "List.mem" then
         report ~loc ~rule:Lint_diag.R2 (r2_fun_message n);
+      if (n = "failwith" || n = "invalid_arg") && not r6_exempt then
+        report ~loc ~rule:Lint_diag.R6 (r6_message ("bare " ^ n));
       match List.assoc_opt n r5_table with
       | Some (exn, replacement) ->
           if not (exn_handled exn) then
@@ -234,6 +247,18 @@ let check_file ~file_class ~sink ~suppress structure_or_sig =
                   credits accumulate rounding, so exact equality is \
                   load-bearing luck; compare against a tolerance, an \
                   inequality, or document the sentinel" n)
+        | "raise", [ arg ]
+          when file_class = Lib && not r6_exempt -> (
+            match (strip arg).pexp_desc with
+            | Pexp_construct ({ txt; _ }, _)
+              when List.mem
+                     (drop_stdlib (name_of_lid txt))
+                     [ "Invalid_argument"; "Failure" ] ->
+                report ~loc:e.pexp_loc ~rule:Lint_diag.R6
+                  (r6_message
+                     ("raise "
+                     ^ drop_stdlib (name_of_lid txt)))
+            | _ -> ())
         | op, a :: b :: _ when file_class = Lib && List.mem op comparison_ops
           -> (
             match

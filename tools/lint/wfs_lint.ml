@@ -33,6 +33,10 @@ let rules_help =
       "no Queue.pop/peek/take/top, Hashtbl.find, List.assoc/find in lib/ \
        outside a local handler for Queue.Empty / Not_found; use the _opt \
        variants" );
+    ( "R6",
+      "no bare failwith/invalid_arg (or raise Invalid_argument/Failure) \
+       in lib/ outside Wfs_util.Error itself; raise through the typed \
+       error module so sweep drivers can classify failures" );
     ( "SUPP",
       "suppression hygiene: '(* lint: allow R<n> <justification> *)' \
        needs a real justification and must actually silence something" );
@@ -87,7 +91,15 @@ let check_file ~file_class path =
   let source = read_file path in
   let suppress = Lint_suppress.scan ~file:path source in
   let sink = Lint_diag.sink () in
-  Lint_rules.check_file ~file_class ~sink ~suppress (parse ~path source);
+  (* The error module is where the Invalid_argument convention lives; its
+     own raise sites are the sanctioned ones. *)
+  let r6_exempt =
+    match Filename.basename path with
+    | "error.ml" | "error.mli" -> true
+    | _ -> false
+  in
+  Lint_rules.check_file ~file_class ~r6_exempt ~sink ~suppress
+    (parse ~path source);
   List.iter (Lint_diag.report sink) (Lint_suppress.leftovers ~file:path suppress);
   Lint_diag.contents sink
 
@@ -215,7 +227,7 @@ let run_fixtures dir =
       if not (List.mem id !seen_rules) then
         fail dir "no passing bad_%s fixture: rule %s is unproven"
           (String.lowercase_ascii id) id)
-    [ "R1"; "R2"; "R3"; "R4"; "R5"; "SUPP" ];
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "SUPP" ];
   if not !seen_clean then fail dir "no passing ok_* fixture";
   if !failures > 0 then begin
     Printf.printf "wfs_lint --fixtures: %d failure(s)\n" !failures;
