@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build lint test check bench clean
+.PHONY: all build lint test check bench perf golden-check clean
 
 all: build
 
@@ -20,6 +20,23 @@ check:
 
 bench:
 	dune exec bench/main.exe -- --quick
+
+# End-to-end macro-benchmark only (slots/s per registry scheduler); see
+# docs/PERF.md for baselines and methodology.
+perf:
+	dune exec bench/main.exe -- --macro-only --seed 42
+
+# Regenerate the golden CSVs in a scratch dir and require byte-identity
+# with the committed ones (the perf work must never change output).
+golden-check:
+	@tmp=$$(mktemp -d); \
+	for e in 1 2 3 4 5 6; do \
+	  dune exec bin/wfs_sim.exe -- -e $$e -a all -n 20000 -s 42 --csv \
+	    > "$$tmp/example$$e.csv" || exit 1; \
+	  cmp "$$tmp/example$$e.csv" "test/golden/example$$e.csv" || exit 1; \
+	done; \
+	rm -rf "$$tmp"; \
+	cd test/golden && sha256sum -c SHA256SUMS
 
 clean:
 	dune clean

@@ -14,8 +14,11 @@
      --jobs N            worker domains (default: all cores; 1 = sequential)
      --json PATH         artifact path (default BENCH_<timestamp>.json)
      --no-json           skip the artifact
-     --tables-only       skip micro-benchmarks
+     --tables-only       skip macro- and micro-benchmarks
      --perf-only         only micro-benchmarks
+     --macro-only        only the end-to-end macro-benchmark (slots/s)
+     --macro-horizon N   slots per macro-benchmark run
+                         (default 20000; 5000 with --quick)
      --resume PATH       checkpoint journal: created if absent, and jobs
                          whose results it already holds are not re-run
      --retries N         extra attempts per failed job (same RNG stream)
@@ -30,9 +33,10 @@
 
 let usage =
   "usage: main.exe [--quick] [--horizon N] [--seed N] [--seeds K] [--jobs N]\n\
-  \                [--json PATH | --no-json] [--tables-only | --perf-only]\n\
-  \                [--resume PATH] [--retries N] [--max-slots N]\n\
-  \                [--check-invariants]"
+  \                [--json PATH | --no-json]\n\
+  \                [--tables-only | --perf-only | --macro-only]\n\
+  \                [--macro-horizon N] [--resume PATH] [--retries N]\n\
+  \                [--max-slots N] [--check-invariants]"
 
 let die fmt =
   Printf.ksprintf
@@ -51,6 +55,8 @@ let () =
   let write_json = ref true in
   let tables = ref true in
   let perf = ref true in
+  let macro_only = ref false in
+  let macro_horizon = ref None in
   let resume = ref None in
   let retries = ref 0 in
   let max_slots = ref None in
@@ -95,6 +101,14 @@ let () =
     | "--perf-only" :: rest ->
         tables := false;
         parse rest
+    | "--macro-only" :: rest ->
+        macro_only := true;
+        parse rest
+    | ("--macro-horizon" as flag) :: value :: rest ->
+        let n = int_arg flag value in
+        if n <= 0 then die "%s must be positive, got %d" flag n;
+        macro_horizon := Some n;
+        parse rest
     | "--resume" :: path :: rest ->
         resume := Some path;
         parse rest
@@ -112,7 +126,7 @@ let () =
         invariants := true;
         parse rest
     | [ ("--horizon" | "--seed" | "--seeds" | "--jobs" | "--json" | "--resume"
-        | "--retries" | "--max-slots") as flag ] ->
+        | "--retries" | "--max-slots" | "--macro-horizon") as flag ] ->
         die "%s expects a value" flag
     | arg :: _ -> die "unknown argument %s" arg
   in
@@ -125,6 +139,14 @@ let () =
   let jobs =
     match !jobs with Some n -> n | None -> Wfs_runner.Pool.default_jobs ()
   in
+  let macro_horizon =
+    match !macro_horizon with
+    | Some n -> n
+    | None -> if !quick then 5_000 else 20_000
+  in
+  let do_tables = !tables && not !macro_only in
+  let do_micro = !perf && not !macro_only in
+  let do_macro = !macro_only || (!tables && !perf) in
   let opts = { Tables.horizon; seed = !seed; seeds = !seeds; jobs } in
   let run_opts =
     {
@@ -145,36 +167,30 @@ let () =
     "Wireless fair scheduling benchmarks (horizon=%d slots, seed=%d, seeds=%d, jobs=%d)\n"
     horizon !seed !seeds jobs;
   let failed = ref false in
-  if !tables then begin
+  let acc_tables = ref [] in
+  let acc_runs = ref 0 in
+  let acc_slots = ref 0 in
+  let acc_wall = ref 0. in
+  let ran_any = ref false in
+  if do_tables then begin
     let t0 = Unix.gettimeofday () in
     match Tables.all ~run_opts ~opts () with
     | exception Wfs_util.Error.Error e ->
         Printf.eprintf "error: %s\n" (Wfs_util.Error.to_string e);
         exit 2
-    | artifact_tables, stats, failures ->
+    | artifact_tables, stats, failures -> (
         let wall_clock_s = Unix.gettimeofday () -. t0 in
-        let artifact =
-          Wfs_runner.Artifact.v ~horizon ~seed:!seed ~seeds:!seeds ~jobs
-            ~runs:stats.Runs.runs ~slots:stats.Runs.slots ~wall_clock_s
-            ~tables:artifact_tables
-        in
+        acc_tables := artifact_tables;
+        acc_runs := stats.Runs.runs;
+        acc_slots := stats.Runs.slots;
+        acc_wall := wall_clock_s;
+        ran_any := true;
         Printf.printf
           "\n%d runs, %d slots in %.2f s (%.0f slots/s, %d domain(s))\n"
-          artifact.runs artifact.slots artifact.wall_clock_s
-          artifact.slots_per_sec jobs;
-        if !write_json then begin
-          let path =
-            match !json_path with
-            | Some p -> p
-            | None ->
-                let tm = Unix.gmtime (Unix.gettimeofday ()) in
-                Printf.sprintf "BENCH_%04d%02d%02dT%02d%02d%02dZ.json"
-                  (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
-                  tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
-          in
-          Wfs_runner.Artifact.write ~path artifact;
-          Printf.printf "wrote %s\n" path
-        end;
+          stats.Runs.runs stats.Runs.slots wall_clock_s
+          (if wall_clock_s > 0. then float_of_int stats.Runs.slots /. wall_clock_s
+           else 0.)
+          jobs;
         match failures with
         | [] -> ()
         | failures ->
@@ -184,10 +200,42 @@ let () =
               (fun { Runs.key; error } ->
                 Printf.printf "  %s\n    %s\n" key
                   (Wfs_util.Error.to_string error))
-              failures
+              failures)
+  end;
+  if do_macro then begin
+    Printf.printf "\n=== Macro-benchmark (horizon=%d slots, seed=%d) ===\n\n"
+      macro_horizon !seed;
+    let t0 = Unix.gettimeofday () in
+    let table, runs, slots = Perf.macro_table ~horizon:macro_horizon ~seed:!seed () in
+    let wall = Unix.gettimeofday () -. t0 in
+    acc_tables := !acc_tables @ [ table ];
+    acc_runs := !acc_runs + runs;
+    acc_slots := !acc_slots + slots;
+    acc_wall := !acc_wall +. wall;
+    ran_any := true;
+    Printf.printf "\n%d macro runs, %d slots in %.2f s\n" runs slots wall
+  end;
+  if !write_json && !ran_any then begin
+    let artifact =
+      Wfs_runner.Artifact.v
+        ~horizon:(if do_tables then horizon else macro_horizon)
+        ~seed:!seed ~seeds:!seeds ~jobs ~runs:!acc_runs ~slots:!acc_slots
+        ~wall_clock_s:!acc_wall ~tables:!acc_tables
+    in
+    let path =
+      match !json_path with
+      | Some p -> p
+      | None ->
+          let tm = Unix.gmtime (Unix.gettimeofday ()) in
+          Printf.sprintf "BENCH_%04d%02d%02dT%02d%02d%02dZ.json"
+            (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+            tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+    in
+    Wfs_runner.Artifact.write ~path artifact;
+    Printf.printf "wrote %s\n" path
   end;
   if !failed then exit 3;
-  if !perf then begin
+  if do_micro then begin
     Printf.printf "\n=== Micro-benchmarks ===\n\n";
     Perf.run ()
   end

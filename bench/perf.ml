@@ -110,6 +110,106 @@ let all_tests () =
     channel_test ();
   ]
 
+(* --- End-to-end macro-benchmark ------------------------------------------
+
+   Full [Simulator.run] per registry scheduler at 2/16/64/256 total flows
+   with at most [macro_active_cap] of them active.  The inactive flows are
+   provisioned but silent ([Arrival.never] sources on error-free channels):
+   the shape the backlog-indexed selection paths are built for, and the
+   regime where naive O(n_flows)-per-slot scans hurt most.  Active flows
+   carry Poisson traffic at 0.9 aggregate load over independent bursty
+   Gilbert-Elliott channels, all seeded from the base seed only, so every
+   scheduler faces the same arrival and error sample paths (common random
+   numbers) and the delivered-packet column is a determinism witness.
+   Wall-clock is measured here, in the bench binary (lint rule R1 keeps
+   clocks out of lib/). *)
+
+let macro_sizes = [ 2; 16; 64; 256 ]
+let macro_active_cap = 8
+
+let macro_setup ~n_flows ~seed : Core.Simulator.flow_setup array =
+  let active = min n_flows macro_active_cap in
+  let rate = 0.9 /. float_of_int active in
+  Array.init n_flows (fun id ->
+      let flow =
+        Core.Params.flow ~id ~weight:1. ~drop:(Core.Params.Retx_limit 3) ()
+      in
+      if id < active then
+        let src_rng = Wfs_util.Rng.create (seed + (1000 * id) + 1) in
+        let ch_rng = Wfs_util.Rng.create (seed + (1000 * id) + 2) in
+        {
+          Core.Simulator.flow;
+          source = Wfs_traffic.Poisson.create ~rng:src_rng ~rate;
+          channel =
+            Wfs_channel.Gilbert_elliott.of_burstiness ~rng:ch_rng
+              ~good_prob:0.9 ~sum:0.1 ();
+        }
+      else
+        {
+          Core.Simulator.flow;
+          source = Wfs_traffic.Arrival.never ();
+          channel = Wfs_channel.Error_free.create ();
+        })
+
+(* One timed run; returns (delivered packets, wall seconds). *)
+let macro_run ~horizon ~seed (entry : Core.Registry.entry) ~n_flows =
+  let setups = macro_setup ~n_flows ~seed in
+  let params = Array.map (fun fs -> fs.Core.Simulator.flow) setups in
+  let sched = entry.Core.Registry.make params in
+  let cfg =
+    Core.Simulator.config ~predictor:entry.Core.Registry.predictor ~horizon
+      setups
+  in
+  let t0 = Unix.gettimeofday () in
+  let metrics = Core.Simulator.run cfg sched in
+  let dt = Unix.gettimeofday () -. t0 in
+  let delivered = ref 0 in
+  for f = 0 to n_flows - 1 do
+    delivered := !delivered + Core.Metrics.delivered metrics ~flow:f
+  done;
+  (!delivered, dt)
+
+let macro_columns =
+  [ "scheduler"; "flows"; "active"; "slots"; "delivered"; "wall_s"; "slots/s" ]
+
+(* Runs the macro-benchmark over every registry scheduler, prints the table
+   and returns it as an artifact table plus (runs, slots) totals for the
+   BENCH_*.json accounting. *)
+let macro_table ~horizon ~seed () =
+  let title = "Macro-benchmark (end-to-end slots/s, <=8 active flows)" in
+  let table = Wfs_util.Tablefmt.create ~title ~columns:macro_columns in
+  let rows = ref [] in
+  let runs = ref 0 in
+  let slots = ref 0 in
+  List.iter
+    (fun name ->
+      let entry = Core.Registry.get name in
+      List.iter
+        (fun n_flows ->
+          let delivered, dt = macro_run ~horizon ~seed entry ~n_flows in
+          incr runs;
+          slots := !slots + horizon;
+          let row =
+            [
+              name;
+              string_of_int n_flows;
+              string_of_int (min n_flows macro_active_cap);
+              string_of_int horizon;
+              string_of_int delivered;
+              Printf.sprintf "%.3f" dt;
+              Printf.sprintf "%.0f" (float_of_int horizon /. dt);
+            ]
+          in
+          rows := row :: !rows;
+          Wfs_util.Tablefmt.add_row table row)
+        macro_sizes)
+    (Core.Registry.names ());
+  Wfs_util.Tablefmt.print table;
+  let artifact_table =
+    { Wfs_runner.Artifact.title; columns = macro_columns; rows = List.rev !rows }
+  in
+  (artifact_table, !runs, !slots)
+
 let run () =
   let tests = all_tests () in
   let ols =

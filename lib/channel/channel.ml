@@ -9,13 +9,26 @@ let state_is_good = function Good -> true | Bad -> false
 type t = {
   label : string;
   step : int -> state;
+  static : bool;
   mutable current : state option;
   mutable previous : state;
   mutable last_slot : int;
 }
 
 let make ~label ?(initial = Good) step =
-  { label; step; current = None; previous = initial; last_slot = -1 }
+  { label; step; static = false; current = None; previous = initial; last_slot = -1 }
+
+let make_const ~label st =
+  {
+    label;
+    step = (fun _ -> st);
+    static = true;
+    current = None;
+    previous = st;
+    last_slot = -1;
+  }
+
+let is_static t = t.static
 
 let advance t ~slot =
   if slot <= t.last_slot then

@@ -22,6 +22,16 @@ val make : label:string -> ?initial:state -> (int -> state) -> t
     index to produce that slot's state.  [initial] (default [Good]) seeds
     {!previous_state} for slot 0's prediction. *)
 
+val make_const : label:string -> state -> t
+(** [make_const ~label st] is a channel that is statically known to stay in
+    state [st] forever (its seed {!previous_state} is also [st]).  Such a
+    channel reports {!is_static} [true]: once advanced at least once, every
+    later {!advance} is a no-op observationally, so a simulator may advance
+    it a single time and skip the per-slot call afterwards. *)
+
+val is_static : t -> bool
+(** [true] only for channels built with {!make_const}. *)
+
 val advance : t -> slot:int -> state
 (** Draw the state for [slot].  Must be called with strictly increasing
     slot indices, exactly once per slot. *)

@@ -1,4 +1,6 @@
 module Packet = Wfs_traffic.Packet
+module Flow_heap = Wfs_util.Flow_heap
+module Flow_set = Wfs_util.Flow_set
 
 type flow_state = {
   cfg : Params.flow;
@@ -9,30 +11,62 @@ type flow_state = {
   mutable relinquished : int;  (* of those, times it gave the slot away *)
 }
 
-type t = { alpha : float; flows : flow_state array }
+(* [heap] keys the backlogged (= active) flows by their reference virtual
+   time, lowest flow id on ties — the flow the naive ascending-id scan
+   picks.  [naive = true] (differential testing) selects with the original
+   O(n_flows) scans instead; both paths perform identical mutations. *)
+type t = {
+  alpha : float;
+  flows : flow_state array;
+  backlog : Flow_set.t;
+  heap : Flow_heap.t;
+  naive : bool;
+  mutable pred : int -> bool;  (* current slot's predicate, during select *)
+  mutable skip : int;  (* reference pick to exclude from redistribution *)
+  mutable accept_taker : int -> bool;  (* preallocated closures *)
+  mutable accept_other : int -> bool;
+}
 
-let create ?(alpha = 0.9) flows =
+let no_pred (_ : int) = false
+
+let create ?(alpha = 0.9) ?(naive = false) flows =
   if not (alpha >= 0. && alpha <= 1.) then
     Wfs_util.Error.invalid "Cifq.create" "alpha must be in [0,1]";
   Array.iteri
     (fun i (f : Params.flow) ->
       if f.id <> i then Wfs_util.Error.invalid_flow_ids "Cifq.create")
     flows;
-  {
-    alpha;
-    flows =
-      Array.map
-        (fun cfg ->
-          {
-            cfg;
-            packets = Queue.create ();
-            v = 0.;
-            lag = 0;
-            selected_leading = 0;
-            relinquished = 0;
-          })
-        flows;
-  }
+  let n = Array.length flows in
+  let t =
+    {
+      alpha;
+      flows =
+        Array.map
+          (fun cfg ->
+            {
+              cfg;
+              packets = Queue.create ();
+              v = 0.;
+              lag = 0;
+              selected_leading = 0;
+              relinquished = 0;
+            })
+          flows;
+      backlog = Flow_set.create ~n;
+      heap = Flow_heap.create ~n;
+      naive;
+      pred = no_pred;
+      skip = -1;
+      accept_taker = no_pred;
+      accept_other = no_pred;
+    }
+  in
+  (* Heap membership already implies backlogged, so [can_transmit] reduces
+     to the predicted-channel test inside these accepts. *)
+  t.accept_taker <-
+    (fun j -> j <> t.skip && t.flows.(j).lag > 0 && t.pred j);
+  t.accept_other <- (fun j -> j <> t.skip && t.pred j);
+  t
 
 let backlogged fs = not (Queue.is_empty fs.packets)
 
@@ -60,89 +94,149 @@ let min_v_flow t ~pred =
    α fraction of its leading selections retained. *)
 let must_relinquish t fs =
   float_of_int (fs.selected_leading - fs.relinquished - 1)
-  >= (t.alpha *. float_of_int fs.selected_leading) -. 1e-9
+  >= (t.alpha *. float_of_int fs.selected_leading) -. Params.eps_tag
 
-let select t ~slot:_ ~predicted_good =
-  (* 1. Reference selection and charge. *)
+(* Reference charge for the picked flow.  The heap tag must follow the new
+   virtual time immediately: the taker/redistribution scans below compare
+   against the charged value. *)
+let charge t i fi =
+  fi.v <- fi.v +. (1. /. fi.cfg.Params.weight);
+  fi.lag <- fi.lag + 1;
+  if backlogged fi then Flow_heap.set t.heap ~flow:i ~tag:fi.v
+
+(* Steps 2-4 of the per-slot rule, shared by the naive and indexed paths;
+   [taker] and [other] find the redistribution candidates (excluding [i])
+   among backlogged flows with a (predicted) good channel — lagging flows
+   first, then anyone. *)
+let finish_select t i ~can_transmit_i ~taker ~other =
+  let fi = t.flows.(i) in
+  let keeps =
+    if not can_transmit_i then false
+    else if fi.lag - 1 < 0 then begin
+      (* Leading (lag was negative before the charge).  The α account only
+         counts selections where relinquishing was possible — a lagging
+         flow stood ready to take the slot — so uncontested slots never
+         build up a give-away debt. *)
+      let taker_exists = Option.is_some (taker ()) in
+      if taker_exists then begin
+        fi.selected_leading <- fi.selected_leading + 1;
+        if must_relinquish t fi then begin
+          fi.relinquished <- fi.relinquished + 1;
+          false
+        end
+        else true
+      end
+      else true
+    end
+    else true
+  in
+  let transmitter =
+    if keeps then Some i
+    else
+      match taker () with
+      | Some j -> Some j
+      | None -> (
+          match other () with
+          | Some j -> Some j
+          | None -> if can_transmit_i then Some i else None)
+  in
+  (match transmitter with
+  | Some k -> t.flows.(k).lag <- t.flows.(k).lag - 1
+  | None -> ());
+  transmitter
+
+(* Reference path: the original O(n_flows) scans, kept as the executable
+   specification the heap path is pinned to by the differential tests. *)
+let select_naive t ~predicted_good =
   match min_v_flow t ~pred:(fun _ fs -> active fs) with
   | None -> None
   | Some i ->
       let fi = t.flows.(i) in
-      fi.v <- fi.v +. (1. /. fi.cfg.Params.weight);
-      fi.lag <- fi.lag + 1;
+      charge t i fi;
       let can_transmit j = backlogged t.flows.(j) && predicted_good j in
-      (* 2. Does i keep the slot? *)
-      let keeps =
-        if not (can_transmit i) then false
-        else if fi.lag - 1 < 0 then begin
-          (* Leading (lag was negative before the charge).  The α account
-             only counts selections where relinquishing was possible — a
-             lagging flow stood ready to take the slot — so uncontested
-             slots never build up a give-away debt. *)
-          let taker_exists =
-            Option.is_some
-              (min_v_flow t ~pred:(fun j fs ->
-                   j <> i && fs.lag > 0 && can_transmit j))
-          in
-          if taker_exists then begin
-            fi.selected_leading <- fi.selected_leading + 1;
-            if must_relinquish t fi then begin
-              fi.relinquished <- fi.relinquished + 1;
-              false
-            end
-            else true
-          end
-          else true
-        end
-        else true
-      in
-      let transmitter =
-        if keeps then Some i
-        else
-          (* 3. Redistribute: lagging flows first (min v), then anyone. *)
-          match
-            min_v_flow t ~pred:(fun j fs -> j <> i && fs.lag > 0 && can_transmit j)
-          with
-          | Some j -> Some j
-          | None -> (
-              match min_v_flow t ~pred:(fun j _ -> j <> i && can_transmit j) with
-              | Some j -> Some j
-              | None -> if can_transmit i then Some i else None)
-      in
-      (match transmitter with
-      | Some k -> t.flows.(k).lag <- t.flows.(k).lag - 1
-      | None -> ());
-      transmitter
+      finish_select t i ~can_transmit_i:(can_transmit i)
+        ~taker:(fun () ->
+          min_v_flow t ~pred:(fun j fs -> j <> i && fs.lag > 0 && can_transmit j))
+        ~other:(fun () ->
+          min_v_flow t ~pred:(fun j _ -> j <> i && can_transmit j))
 
-let enqueue t ~slot:_ (pkt : Packet.t) = Queue.push pkt t.flows.(pkt.flow).packets
+let opt_taker t () =
+  let j = Flow_heap.min_accept t.heap ~accept:t.accept_taker in
+  if j < 0 then None else Some j
+
+let opt_other t () =
+  let j = Flow_heap.min_accept t.heap ~accept:t.accept_other in
+  if j < 0 then None else Some j
+
+let[@hot] select t ~slot:_ ~predicted_good =
+  if t.naive then select_naive t ~predicted_good
+  else begin
+    let i = Flow_heap.min t.heap in
+    if i < 0 then None
+    else begin
+      let fi = t.flows.(i) in
+      charge t i fi;
+      t.pred <- predicted_good;
+      t.skip <- i;
+      let can_transmit_i = backlogged fi && predicted_good i in
+      let transmitter =
+        finish_select t i ~can_transmit_i ~taker:(opt_taker t)
+          ~other:(opt_other t)
+      in
+      t.pred <- no_pred;
+      t.skip <- -1;
+      transmitter
+    end
+  end
+
+(* Keep the backlog index and heap in step with queue emptiness; a flow's
+   virtual time is frozen while it is absent and re-indexed on return. *)
+let index_if_became_backlogged t flow =
+  let fs = t.flows.(flow) in
+  if Queue.length fs.packets = 1 then begin
+    Flow_set.add t.backlog flow;
+    Flow_heap.set t.heap ~flow ~tag:fs.v
+  end
+
+let deindex_if_empty t flow =
+  if not (backlogged t.flows.(flow)) then begin
+    Flow_set.remove t.backlog flow;
+    Flow_heap.remove t.heap ~flow
+  end
+
+let enqueue t ~slot:_ (pkt : Packet.t) =
+  Queue.push pkt t.flows.(pkt.flow).packets;
+  index_if_became_backlogged t pkt.flow
+
 let head t flow = Queue.peek_opt t.flows.(flow).packets
 
 let complete t ~flow =
-  match Queue.pop t.flows.(flow).packets with
+  (match Queue.pop t.flows.(flow).packets with
   | exception Queue.Empty -> Wfs_util.Error.empty_queue "Cifq.complete"
-  | _ -> ()
+  | _ -> ());
+  deindex_if_empty t flow
 
 (* A failed transmission: the real service did not happen after all, so the
    credit taken in [select] is returned. *)
 let fail t ~flow = t.flows.(flow).lag <- t.flows.(flow).lag + 1
 
 let drop_head t ~flow =
-  match Queue.pop t.flows.(flow).packets with
+  (match Queue.pop t.flows.(flow).packets with
   | exception Queue.Empty -> Wfs_util.Error.empty_queue "Cifq.drop_head"
-  | _ -> ()
+  | _ -> ());
+  deindex_if_empty t flow
+
+let rec drop_expired_loop q ~now ~bound acc =
+  match Queue.peek_opt q with
+  | Some pkt when Packet.age pkt ~now > bound ->
+      ignore (Queue.take_opt q);
+      drop_expired_loop q ~now ~bound (pkt :: acc)
+  | Some _ | None -> List.rev acc
 
 let drop_expired t ~flow ~now ~bound =
-  let q = t.flows.(flow).packets in
-  let dropped = ref [] in
-  let continue = ref true in
-  while !continue do
-    match Queue.peek_opt q with
-    | Some pkt when Packet.age pkt ~now > bound ->
-        ignore (Queue.take_opt q);
-        dropped := pkt :: !dropped
-    | Some _ | None -> continue := false
-  done;
-  List.rev !dropped
+  let dropped = drop_expired_loop t.flows.(flow).packets ~now ~bound [] in
+  deindex_if_empty t flow;
+  dropped
 
 let queue_length t flow = Queue.length t.flows.(flow).packets
 

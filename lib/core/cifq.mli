@@ -29,8 +29,12 @@
 
 type t
 
-val create : ?alpha:float -> Params.flow array -> t
+val create : ?alpha:float -> ?naive:bool -> Params.flow array -> t
 (** [alpha] in [\[0,1\]], default 0.9 (the CIF-Q paper's recommendation).
+    [naive] (default [false], for differential testing only) selects with
+    the reference O(n_flows) scans instead of the backlog-indexed heap;
+    both modes are byte-identical by construction and pinned to each other
+    by the qcheck suite.
     @raise Invalid_argument on out-of-range alpha or bad flow ids. *)
 
 val instance : t -> Wireless_sched.instance

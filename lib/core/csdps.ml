@@ -1,10 +1,18 @@
 module Packet = Wfs_traffic.Packet
+module Flow_set = Wfs_util.Flow_set
 
+(* [backlog] indexes the non-empty queues so [select] visits only candidate
+   flows (cyclically from [current]) instead of walking every empty queue in
+   the round-robin.  [naive = true] (differential testing) scans with the
+   original one-flow-at-a-time loop instead; both paths perform identical
+   state transitions by construction. *)
 type t = {
   backoff : int;
   weights : int array;
   queues : Packet.t Queue.t array;
   marked_until : int array;  (* flow skipped while now < marked_until *)
+  backlog : Flow_set.t;
+  naive : bool;
   mutable current : int;  (* round-robin position *)
   mutable remaining : int;  (* grants left for the current flow *)
   mutable now : int;  (* last slot seen by select *)
@@ -14,7 +22,7 @@ let int_weight w =
   let k = int_of_float (Float.round w) in
   if k < 1 then 1 else k
 
-let create ?(backoff = 10) flows =
+let create ?(backoff = 10) ?(naive = false) flows =
   if backoff <= 0 then Wfs_util.Error.invalid "Csdps.create" "backoff must be > 0";
   Array.iteri
     (fun i (f : Params.flow) ->
@@ -26,6 +34,8 @@ let create ?(backoff = 10) flows =
     weights = Array.map (fun (f : Params.flow) -> int_weight f.weight) flows;
     queues = Array.init n (fun _ -> Queue.create ());
     marked_until = Array.make n 0;
+    backlog = Flow_set.create ~n;
+    naive;
     current = 0;
     remaining = (if n = 0 then 0 else 1);
     now = 0;
@@ -33,7 +43,10 @@ let create ?(backoff = 10) flows =
 
 let is_marked t ~flow ~now = now < t.marked_until.(flow)
 
-let enqueue t ~slot:_ (pkt : Packet.t) = Queue.push pkt t.queues.(pkt.flow)
+let enqueue t ~slot:_ (pkt : Packet.t) =
+  let q = t.queues.(pkt.flow) in
+  Queue.push pkt q;
+  if Queue.length q = 1 then Flow_set.add t.backlog pkt.flow
 
 let n_flows t = Array.length t.weights
 
@@ -41,57 +54,101 @@ let advance t =
   t.current <- (t.current + 1) mod n_flows t;
   t.remaining <- t.weights.(t.current)
 
+(* Reference path: walk the round-robin one flow at a time, skipping empty
+   queues and marked flows; at most one full cycle per slot.  [tried] runs
+   to [n] inclusive, so on total failure [advance] fires n+1 times — net
+   effect: [current] one past where it started, with a fresh grant. *)
+let rec scan_naive t ~slot ~n tried =
+  if tried > n then None
+  else begin
+    let f = t.current in
+    if (not (Queue.is_empty t.queues.(f))) && not (is_marked t ~flow:f ~now:slot)
+    then begin
+      t.remaining <- t.remaining - 1;
+      Some f
+    end
+    else begin
+      advance t;
+      scan_naive t ~slot ~n (tried + 1)
+    end
+  end
+
+(* Indexed path: the first eligible flow in cyclic order from [current] is
+   the first unmarked member of [backlog] starting at position
+   [find_from backlog current] (eligibility cannot change mid-scan).  Only
+   the last [advance] of the naive walk is observable, so the intermediate
+   ones are skipped:
+
+   - found at distance 0: only [remaining] decrements;
+   - found farther on: [current] jumps there with a fresh grant, minus the
+     slot just consumed;
+   - nobody eligible: [current] ends one past its start with a fresh grant
+     (n+1 naive advances ≡ 1 step mod n). *)
+let[@hot] select_indexed t ~slot =
+  let c = t.current in
+  let m = Flow_set.cardinal t.backlog in
+  let pos = Flow_set.find_from t.backlog c in
+  let found = ref (-1) in
+  let k = ref 0 in
+  while !found < 0 && !k < m do
+    let idx = pos + !k in
+    let f = Flow_set.get t.backlog (if idx >= m then idx - m else idx) in
+    if not (is_marked t ~flow:f ~now:slot) then found := f;
+    incr k
+  done;
+  if !found < 0 then begin
+    t.current <- (c + 1) mod n_flows t;
+    t.remaining <- t.weights.(t.current);
+    None
+  end
+  else begin
+    let f = !found in
+    if f = c then t.remaining <- t.remaining - 1
+    else begin
+      t.current <- f;
+      t.remaining <- t.weights.(f) - 1
+    end;
+    Some f
+  end
+
 let select t ~slot ~predicted_good:_ =
   t.now <- slot;
-  (* Serve the round-robin order, skipping empty queues and marked flows;
-     at most one full cycle per slot. *)
-  let n = n_flows t in
   if t.remaining <= 0 then advance t;
-  let rec scan tried =
-    if tried > n then None
-    else begin
-      let f = t.current in
-      if (not (Queue.is_empty t.queues.(f))) && not (is_marked t ~flow:f ~now:slot)
-      then begin
-        t.remaining <- t.remaining - 1;
-        Some f
-      end
-      else begin
-        advance t;
-        scan (tried + 1)
-      end
-    end
-  in
-  scan 0
+  if t.naive then scan_naive t ~slot ~n:(n_flows t) 0
+  else select_indexed t ~slot
 
 let head t flow = Queue.peek_opt t.queues.(flow)
 
+let deindex_if_empty t flow =
+  if Queue.is_empty t.queues.(flow) then Flow_set.remove t.backlog flow
+
 let complete t ~flow =
-  match Queue.pop t.queues.(flow) with
+  (match Queue.pop t.queues.(flow) with
   | exception Queue.Empty -> Wfs_util.Error.empty_queue "Csdps.complete"
-  | _ -> ()
+  | _ -> ());
+  deindex_if_empty t flow
 
 (* The distinguishing CSDPS move: a failed transmission (missing ack) marks
    the link bad for [backoff] slots. *)
 let fail t ~flow = t.marked_until.(flow) <- t.now + 1 + t.backoff
 
 let drop_head t ~flow =
-  match Queue.pop t.queues.(flow) with
+  (match Queue.pop t.queues.(flow) with
   | exception Queue.Empty -> Wfs_util.Error.empty_queue "Csdps.drop_head"
-  | _ -> ()
+  | _ -> ());
+  deindex_if_empty t flow
+
+let rec drop_expired_loop q ~now ~bound acc =
+  match Queue.peek_opt q with
+  | Some pkt when Packet.age pkt ~now > bound ->
+      ignore (Queue.take_opt q);
+      drop_expired_loop q ~now ~bound (pkt :: acc)
+  | Some _ | None -> List.rev acc
 
 let drop_expired t ~flow ~now ~bound =
-  let q = t.queues.(flow) in
-  let dropped = ref [] in
-  let continue = ref true in
-  while !continue do
-    match Queue.peek_opt q with
-    | Some pkt when Packet.age pkt ~now > bound ->
-        ignore (Queue.take_opt q);
-        dropped := pkt :: !dropped
-    | Some _ | None -> continue := false
-  done;
-  List.rev !dropped
+  let dropped = drop_expired_loop t.queues.(flow) ~now ~bound [] in
+  deindex_if_empty t flow;
+  dropped
 
 let queue_length t flow = Queue.length t.queues.(flow)
 

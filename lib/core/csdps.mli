@@ -15,10 +15,13 @@
 
 type t
 
-val create : ?backoff:int -> Params.flow array -> t
+val create : ?backoff:int -> ?naive:bool -> Params.flow array -> t
 (** [backoff] (default 10 slots) is how long a flow stays marked after a
     failed transmission.  Weights are honoured as in WRR (rounded to
-    integers ≥ 1).
+    integers ≥ 1).  [naive] (default [false], for differential testing
+    only) selects with the original one-flow-at-a-time round-robin scan
+    instead of the backlogged-flow index; both modes are byte-identical by
+    construction and pinned to each other by the qcheck suite.
     @raise Invalid_argument on non-positive backoff or bad flow ids. *)
 
 val instance : t -> Wireless_sched.instance

@@ -1,19 +1,37 @@
 module Packet = Wfs_traffic.Packet
+module Deque = Wfs_util.Deque
+module Flow_heap = Wfs_util.Flow_heap
+module Flow_set = Wfs_util.Flow_set
 
 type flow_state = {
   cfg : Params.flow;
-  packets : Packet.t Queue.t;
+  packets : Packet.t Deque.t;
   slots : Slot_queue.t;
 }
 
+(* Selection is backlog-indexed: [backlog] holds exactly the flows with a
+   non-empty queue (|slots| = |packets|, so one index covers both) and
+   [heap] keys them by head-slot finish tag, lowest flow id on ties — the
+   same flow the naive ascending-id full scan picks.  [naive = true]
+   switches [readjust]/[select] back to those O(n_flows) scans; the
+   differential qcheck suite drives both modes through identical operation
+   sequences and requires identical selections. *)
 type t = {
   flows : flow_state array;
   fluid : Fluid_ref.t;
   params : Params.iwfq;
-  lag_caps : int array;  (* B_i in packets *)
+  lag_caps : int array;  (* B_i in packets; always >= 1 (Params.per_flow_lag) *)
+  backlog : Flow_set.t;
+  heap : Flow_heap.t;
+  naive : bool;
+  mutable pred : int -> bool;  (* current slot's predicate, during select *)
+  mutable cur_v : float;  (* virtual time, for the eligibility accept *)
+  mutable accept_eligible : int -> bool;  (* preallocated closure *)
 }
 
-let create ?params flows =
+let no_pred (_ : int) = false
+
+let create ?params ?(naive = false) flows =
   let n = Array.length flows in
   Array.iteri
     (fun i (f : Params.flow) ->
@@ -25,26 +43,43 @@ let create ?params flows =
   if Array.length params.lead <> n then
     Wfs_util.Error.invalid "Iwfq.create" "lead bounds must match flow count";
   let weights = Array.map (fun (f : Params.flow) -> f.weight) flows in
-  {
-    flows =
-      Array.map
-        (fun (cfg : Params.flow) ->
-          {
-            cfg;
-            packets = Queue.create ();
-            slots = Slot_queue.create ~weight:cfg.weight;
-          })
-        flows;
-    fluid = Fluid_ref.create ~weights ();
-    params;
-    lag_caps = Params.per_flow_lag params ~flows;
-  }
+  let dummy = Packet.make ~flow:0 ~seq:0 ~arrival:0 () in
+  let t =
+    {
+      flows =
+        Array.map
+          (fun (cfg : Params.flow) ->
+            {
+              cfg;
+              packets = Deque.create ~dummy ();
+              slots = Slot_queue.create ~weight:cfg.weight;
+            })
+          flows;
+      fluid = Fluid_ref.create ~weights ();
+      params;
+      lag_caps = Params.per_flow_lag params ~flows;
+      backlog = Flow_set.create ~n;
+      heap = Flow_heap.create ~n;
+      naive;
+      pred = no_pred;
+      cur_v = 0.;
+      accept_eligible = no_pred;
+    }
+  in
+  t.accept_eligible <-
+    (fun i ->
+      t.pred i
+      &&
+      match Slot_queue.head t.flows.(i).slots with
+      | Some s -> s.Slot_queue.start <= t.cur_v +. Params.eps_tag
+      | None -> false);
+  t
 
 let virtual_time t = Fluid_ref.virtual_time t.fluid
 
 let service_tag t ~flow =
   let fs = t.flows.(flow) in
-  if Queue.is_empty fs.packets then infinity
+  if Deque.is_empty fs.packets then infinity
   else
     match Slot_queue.head fs.slots with
     | Some s -> s.Slot_queue.finish
@@ -52,56 +87,79 @@ let service_tag t ~flow =
 
 let lag t ~flow =
   let fs = t.flows.(flow) in
-  float_of_int (Queue.length fs.packets) -. Fluid_ref.queue t.fluid ~flow
+  float_of_int (Deque.length fs.packets) -. Fluid_ref.queue t.fluid ~flow
 
 let slot_queue_length t ~flow = Slot_queue.length t.flows.(flow).slots
 let fluid t = t.fluid
+
+(* Re-index a flow whose head slot (or emptiness) may have changed. *)
+let refresh_flow t i =
+  let fs = t.flows.(i) in
+  match Slot_queue.head fs.slots with
+  | Some s ->
+      Flow_set.add t.backlog i;
+      Flow_heap.set t.heap ~flow:i ~tag:s.Slot_queue.finish
+  | None ->
+      Flow_set.remove t.backlog i;
+      Flow_heap.remove t.heap ~flow:i
+
+(* A drop from the queue tail leaves the head tag alone; only emptiness can
+   change the index. *)
+let deindex_if_empty t i =
+  if Slot_queue.is_empty t.flows.(i).slots then begin
+    Flow_set.remove t.backlog i;
+    Flow_heap.remove t.heap ~flow:i
+  end
 
 let enqueue t ~slot:_ (pkt : Packet.t) =
   let fs = t.flows.(pkt.flow) in
   Fluid_ref.add_arrivals t.fluid ~flow:pkt.flow ~count:1;
   ignore (Slot_queue.add fs.slots ~v:(Fluid_ref.virtual_time t.fluid));
-  Queue.push pkt fs.packets
+  Deque.push_back fs.packets pkt;
+  (* The head slot only changes when the queue was empty. *)
+  if Deque.length fs.packets = 1 then refresh_flow t pkt.flow
 
 (* Drop the newest packet so the flow keeps its earliest (lowest-tag)
-   slots; used when the lag bound deletes slots. *)
-let drop_newest_packet fs =
-  let n = Queue.length fs.packets in
-  if n > 0 then begin
-    (* Queue has no remove-from-tail; rotate n-1 elements. *)
-    let keep = Queue.create () in
-    for _ = 1 to n - 1 do
-      match Queue.take_opt fs.packets with
-      | Some pkt -> Queue.push pkt keep
-      | None -> ()
-    done;
-    ignore (Queue.take_opt fs.packets);
-    Queue.transfer keep fs.packets
-  end
+   slots; used when the lag bound deletes slots.  O(1) on the deque — the
+   former [Queue] rotation was O(queue) per deleted slot. *)
+let drop_newest_packet fs = ignore (Deque.pop_back fs.packets)
+
+(* Lag and lead bounds for one flow (Section 4.1, steps 4a-4b).  The lag
+   caps are >= 1, so a trim never deletes the head slot and never empties
+   the flow; only a lead clamp moves the head tags. *)
+let readjust_flow t i fs ~v =
+  let deleted =
+    Slot_queue.trim_lagging fs.slots ~v ~max_lagging:t.lag_caps.(i)
+  in
+  for _ = 1 to deleted do
+    drop_newest_packet fs
+  done;
+  if Slot_queue.clamp_lead fs.slots ~v ~max_lead:t.params.lead.(i)
+       ~weight:fs.cfg.weight
+     && not t.naive
+  then refresh_flow t i
 
 let readjust t =
   let v = Fluid_ref.virtual_time t.fluid in
-  Array.iteri
-    (fun i fs ->
-      (* Lag bound: retain at most B_i lagging slots (Section 4.1, 4a). *)
-      let deleted =
-        Slot_queue.trim_lagging fs.slots ~v ~max_lagging:t.lag_caps.(i)
-      in
-      for _ = 1 to deleted do
-        drop_newest_packet fs
-      done;
-      (* Lead bound: clamp the head tags (Section 4.1, 4b). *)
-      ignore
-        (Slot_queue.clamp_lead fs.slots ~v ~max_lead:t.params.lead.(i)
-           ~weight:fs.cfg.weight))
-    t.flows
+  if t.naive then
+    (* Reference path: visit every flow, as the pre-index code did.  The
+       extra visits are no-ops (empty slot queues trim and clamp to
+       nothing), which is exactly why the indexed path below is
+       byte-identical. *)
+    Array.iteri (fun i fs -> readjust_flow t i fs ~v) t.flows
+  else
+    for k = 0 to Flow_set.cardinal t.backlog - 1 do
+      let i = Flow_set.get t.backlog k in
+      readjust_flow t i t.flows.(i) ~v
+    done
 
-let select t ~slot:_ ~predicted_good =
-  readjust t;
-  let v = Fluid_ref.virtual_time t.fluid in
+(* Reference selection: the naive ascending-id scan keeping the first
+   strictly smaller tag (= lowest id on ties).  Kept as the executable
+   specification the heap path is pinned to by the differential tests. *)
+let select_naive t ~predicted_good ~v =
   let eligible_start fs =
     match Slot_queue.head fs.slots with
-    | Some s -> s.Slot_queue.start <= v +. 1e-9
+    | Some s -> s.Slot_queue.start <= v +. Params.eps_tag
     | None -> false
   in
   let best restrict_eligible =
@@ -109,7 +167,7 @@ let select t ~slot:_ ~predicted_good =
     Array.iteri
       (fun i fs ->
         if
-          (not (Queue.is_empty fs.packets))
+          (not (Deque.is_empty fs.packets))
           && (not (Slot_queue.is_empty fs.slots))
           && predicted_good i
           && ((not restrict_eligible) || eligible_start fs)
@@ -126,16 +184,35 @@ let select t ~slot:_ ~predicted_good =
     match best true with Some f -> Some f | None -> best false
   else best false
 
-let head t flow = Queue.peek_opt t.flows.(flow).packets
+let[@hot] select t ~slot:_ ~predicted_good =
+  readjust t;
+  let v = Fluid_ref.virtual_time t.fluid in
+  if t.naive then select_naive t ~predicted_good ~v
+  else begin
+    t.pred <- predicted_good;
+    t.cur_v <- v;
+    let f =
+      if t.params.wf2q_selection then begin
+        let f = Flow_heap.min_accept t.heap ~accept:t.accept_eligible in
+        if f >= 0 then f else Flow_heap.min_accept t.heap ~accept:predicted_good
+      end
+      else Flow_heap.min_accept t.heap ~accept:predicted_good
+    in
+    t.pred <- no_pred;
+    if f < 0 then None else Some f
+  end
+
+let head t flow = Deque.peek_front t.flows.(flow).packets
 
 let complete t ~flow =
   let fs = t.flows.(flow) in
   (match Slot_queue.pop_front fs.slots with
   | Some _ -> ()
   | None -> Wfs_util.Error.empty_queue "Iwfq.complete");
-  match Queue.pop fs.packets with
-  | exception Queue.Empty -> Wfs_util.Error.empty_queue "Iwfq.complete"
-  | _pkt -> ()
+  (match Deque.pop_front fs.packets with
+  | Some _ -> ()
+  | None -> Wfs_util.Error.empty_queue "Iwfq.complete");
+  refresh_flow t flow
 
 let fail _t ~flow:_ = ()
 
@@ -145,26 +222,27 @@ let fail _t ~flow:_ = ()
    mapping). *)
 let drop_head t ~flow =
   let fs = t.flows.(flow) in
-  (match Queue.pop fs.packets with
-  | exception Queue.Empty -> Wfs_util.Error.empty_queue "Iwfq.drop_head"
-  | _ -> ());
-  ignore (Slot_queue.pop_back fs.slots)
+  (match Deque.pop_front fs.packets with
+  | Some _ -> ()
+  | None -> Wfs_util.Error.empty_queue "Iwfq.drop_head");
+  ignore (Slot_queue.pop_back fs.slots);
+  deindex_if_empty t flow
+
+let rec drop_expired_loop fs ~now ~bound acc =
+  match Deque.peek_front fs.packets with
+  | Some pkt when Packet.age pkt ~now > bound ->
+      ignore (Deque.pop_front fs.packets);
+      ignore (Slot_queue.pop_back fs.slots);
+      drop_expired_loop fs ~now ~bound (pkt :: acc)
+  | Some _ | None -> List.rev acc
 
 let drop_expired t ~flow ~now ~bound =
   let fs = t.flows.(flow) in
-  let dropped = ref [] in
-  let continue = ref true in
-  while !continue do
-    match Queue.peek_opt fs.packets with
-    | Some pkt when Packet.age pkt ~now > bound ->
-        ignore (Queue.take_opt fs.packets);
-        ignore (Slot_queue.pop_back fs.slots);
-        dropped := pkt :: !dropped
-    | Some _ | None -> continue := false
-  done;
-  List.rev !dropped
+  let dropped = drop_expired_loop fs ~now ~bound [] in
+  deindex_if_empty t flow;
+  dropped
 
-let queue_length t flow = Queue.length t.flows.(flow).packets
+let queue_length t flow = Deque.length t.flows.(flow).packets
 let on_slot_end t ~slot:_ = Fluid_ref.step t.fluid
 
 let instance t =

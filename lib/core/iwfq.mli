@@ -21,9 +21,12 @@
 
 type t
 
-val create : ?params:Params.iwfq -> Params.flow array -> t
+val create : ?params:Params.iwfq -> ?naive:bool -> Params.flow array -> t
 (** Flow ids must be [0..n-1] in order.  Default parameters:
-    {!Params.iwfq_defaults}. *)
+    {!Params.iwfq_defaults}.  [naive] (default [false], for differential
+    testing only) selects with the reference O(n_flows) scans instead of
+    the backlog-indexed heap; both modes are byte-identical by
+    construction and pinned to each other by the qcheck suite. *)
 
 val instance : t -> Wireless_sched.instance
 

@@ -1,3 +1,7 @@
+(* Shared tolerance for comparisons between accumulated float tags; see the
+   .mli for the §4.1 eligibility rationale. *)
+let eps_tag = 1e-9
+
 type drop_policy =
   | No_drop
   | Retx_limit of int

@@ -6,6 +6,16 @@
     ([L_P = 1] slot each), so bit bounds translate 1:1 into packet/slot
     counts here. *)
 
+val eps_tag : float
+(** Tolerance ([1e-9]) for comparisons between accumulated virtual-time
+    tags.  The §4.1 eligibility test admits a slot when its start tag [S]
+    satisfies [S <= v(t)]; both sides are sums of [1/r_i] terms computed in
+    different orders, so an exact float comparison would make eligibility
+    depend on rounding noise.  Every start-tag eligibility test (IWFQ's
+    WF²Q-style selection, the WRR spreading frame) — and the other
+    accumulated-tag tolerance in the core schedulers (CIF-Q's α-accounting)
+    — compares through this single constant instead. *)
+
 type drop_policy =
   | No_drop  (** keep retrying forever *)
   | Retx_limit of int

@@ -46,54 +46,109 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
   let metrics = Metrics.create ~histograms:cfg.histograms ~n_flows:n () in
   let seqs = Array.make n 0 in
   let predictors = Array.map (fun _ -> Predictor.create cfg.predictor) cfg.flows in
+  let tracing = match cfg.trace with None -> false | Some _ -> true in
   let record ~slot ev =
     match cfg.trace with None -> () | Some tr -> Tracelog.record tr ~slot ev
   in
   let monitor = if cfg.invariants then Some (Invariant.create ()) else None in
-  for slot = 0 to cfg.horizon - 1 do
+  (* Hot-loop scratch, allocated once: the per-slot closures read
+     [cur_slot] instead of capturing the loop variable, and [states] is
+     overwritten in place each slot (see docs/PERF.md). *)
+  let states = Array.make n Channel.Good in
+  let cur_slot = ref 0 in
+  let predicted_good i =
+    Channel.state_is_good
+      (Predictor.predict predictors.(i) cfg.flows.(i).channel ~slot:!cur_slot)
+  in
+  (* The monitor's view of "what would the scheduler have been told" goes
+     through Predictor.peek: same answer [select] saw this slot (channels
+     only advance in phase 2), zero predictor mutation — so checked runs
+     stay byte-identical, Periodic_snoop included. *)
+  let peek_good i =
+    Channel.state_is_good
+      (Predictor.peek predictors.(i) cfg.flows.(i).channel ~slot:!cur_slot)
+  in
+  (* Flow classification, fixed for the whole run: null sources never
+     produce an arrival, so their per-slot query is skipped outright, and a
+     static channel keeps its state after the first advance, so phase 2
+     re-reads [states.(i)] instead of advancing it again (both contracts
+     documented in the respective .mlis). *)
+  let live_sources =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if not (Arrival.is_never cfg.flows.(i).source) then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let static_channel =
+    Array.map (fun fs -> Channel.is_static fs.channel) cfg.flows
+  in
+  let delay_bounds =
+    Array.map
+      (fun fs ->
+        match delay_bound_of fs.flow.Params.drop with None -> -1 | Some d -> d)
+      cfg.flows
+  in
+  let delay_flows =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if delay_bounds.(i) >= 0 then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let buffers =
+    Array.map
+      (fun fs ->
+        match fs.flow.Params.buffer with None -> max_int | Some b -> b)
+      cfg.flows
+  in
+  (for slot = 0 to cfg.horizon - 1 do
+    cur_slot := slot;
     (* 1. Arrivals. *)
-    Array.iteri
-      (fun i fs ->
-        let count = Arrival.arrivals fs.source ~slot in
-        for _ = 1 to count do
-          let pkt = Packet.make ~flow:i ~seq:seqs.(i) ~arrival:slot () in
-          seqs.(i) <- seqs.(i) + 1;
-          Metrics.on_arrival metrics ~flow:i;
+    for li = 0 to Array.length live_sources - 1 do
+      let i = live_sources.(li) in
+      let count = Arrival.arrivals cfg.flows.(i).source ~slot in
+      for _ = 1 to count do
+        let pkt = Packet.make ~flow:i ~seq:seqs.(i) ~arrival:slot () in
+        seqs.(i) <- seqs.(i) + 1;
+        Metrics.on_arrival metrics ~flow:i;
+        if tracing then
           record ~slot (Tracelog.Arrival { flow = i; seq = pkt.Packet.seq });
-          match fs.flow.Params.buffer with
-          | Some limit when sched.queue_length i >= limit ->
-              (* Buffer overflow: the packet never enters the system. *)
-              Metrics.on_drop metrics ~flow:i;
-              record ~slot
-                (Tracelog.Drop { flow = i; seq = pkt.Packet.seq; reason = "buffer" })
-          | Some _ | None -> sched.enqueue ~slot pkt
-        done)
-      cfg.flows;
+        if sched.queue_length i >= buffers.(i) then begin
+          (* Buffer overflow: the packet never enters the system. *)
+          Metrics.on_drop metrics ~flow:i;
+          if tracing then
+            record ~slot
+              (Tracelog.Drop { flow = i; seq = pkt.Packet.seq; reason = "buffer" })
+        end
+        else sched.enqueue ~slot pkt
+      done
+    done;
     (* 2–3. Channel states and predictions. *)
-    let states = Array.mapi (fun i _ -> channel_state ~flow:i ~slot) cfg.flows in
-    let predicted_good i =
-      Channel.state_is_good (Predictor.predict predictors.(i) cfg.flows.(i).channel ~slot)
-    in
+    for i = 0 to n - 1 do
+      if (not static_channel.(i)) || slot = 0 then
+        states.(i) <- channel_state ~flow:i ~slot
+    done;
     (* 4. Delay-bound drops (may discard packets anywhere in the queue). *)
-    Array.iteri
-      (fun i fs ->
-        match delay_bound_of fs.flow.Params.drop with
-        | None -> ()
-        | Some bound ->
-            let dropped = sched.drop_expired ~flow:i ~now:slot ~bound in
-            List.iter
-              (fun (pkt : Packet.t) ->
-                Metrics.on_drop metrics ~flow:i;
+    for di = 0 to Array.length delay_flows - 1 do
+      let i = delay_flows.(di) in
+      match sched.drop_expired ~flow:i ~now:slot ~bound:delay_bounds.(i) with
+      | [] -> ()
+      | dropped ->
+          (* lint: allow R7 rare path: allocates only on slots where delay drops fired *)
+          List.iter (fun (pkt : Packet.t) ->
+              Metrics.on_drop metrics ~flow:i;
+              if tracing then
                 record ~slot
                   (Tracelog.Drop { flow = i; seq = pkt.seq; reason = "delay" }))
-              dropped)
-      cfg.flows;
+            dropped
+    done;
     (* 5–6. Selection and transmission outcome. *)
     let selected = sched.select ~slot ~predicted_good in
     (match selected with
     | None ->
         Metrics.on_idle_slot metrics;
-        record ~slot Tracelog.Slot_idle
+        if tracing then record ~slot Tracelog.Slot_idle
     | Some f -> (
         Metrics.on_busy_slot metrics;
         match sched.head f with
@@ -105,22 +160,26 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
               sched.complete ~flow:f;
               let delay = slot - pkt.Packet.arrival in
               Metrics.on_deliver metrics ~flow:f ~delay;
-              record ~slot
-                (Tracelog.Transmit_ok { flow = f; seq = pkt.Packet.seq; delay })
+              if tracing then
+                record ~slot
+                  (Tracelog.Transmit_ok { flow = f; seq = pkt.Packet.seq; delay })
             end
             else begin
               pkt.Packet.attempts <- pkt.Packet.attempts + 1;
               Metrics.on_failed_attempt metrics ~flow:f;
               sched.fail ~flow:f;
-              record ~slot
-                (Tracelog.Transmit_fail
-                   { flow = f; seq = pkt.Packet.seq; attempt = pkt.Packet.attempts });
+              if tracing then
+                record ~slot
+                  (Tracelog.Transmit_fail
+                     { flow = f; seq = pkt.Packet.seq; attempt = pkt.Packet.attempts });
               match retx_limit_of cfg.flows.(f).flow.Params.drop with
               | Some limit when pkt.Packet.attempts > limit ->
                   sched.drop_head ~flow:f;
                   Metrics.on_drop metrics ~flow:f;
-                  record ~slot
-                    (Tracelog.Drop { flow = f; seq = pkt.Packet.seq; reason = "retx" })
+                  if tracing then
+                    record ~slot
+                      (Tracelog.Drop
+                         { flow = f; seq = pkt.Packet.seq; reason = "retx" })
               | Some _ | None -> ()
             end));
     (* 7. End-of-slot hooks. *)
@@ -128,17 +187,11 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
     (match monitor with
     | None -> ()
     | Some m ->
-        (* The monitor's view of "what would the scheduler have been told"
-           goes through Predictor.peek: same answer [select] saw this slot
-           (channels only advance in phase 2), zero predictor mutation —
-           so checked runs stay byte-identical, Periodic_snoop included. *)
-        let predicted_good i =
-          Channel.state_is_good
-            (Predictor.peek predictors.(i) cfg.flows.(i).channel ~slot)
-        in
-        Invariant.check m ~slot ~sched ~n_flows:n ~predicted_good ~selected);
+        Invariant.check m ~slot ~sched ~n_flows:n ~predicted_good:peek_good
+          ~selected);
     (match cfg.observer with None -> () | Some f -> f slot metrics)
-  done;
+  done)
+  [@hot];
   metrics
 
 let run cfg sched =

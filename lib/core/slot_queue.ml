@@ -1,106 +1,57 @@
 type slot = { mutable start : float; mutable finish : float }
 
-(* Two-list queue with O(1) amortised front/back access; the middle-range
-   deletion in [trim_lagging] normalises to one list first (queues are small
-   in practice — bounded by the lag cap plus in-flight backlog). *)
+module Deque = Wfs_util.Deque
+
+(* Ring-buffer deque backing: O(1) head/pop at both ends and an
+   O(kept prefix + deleted) middle-range deletion for [trim_lagging] —
+   the two-list representation this replaces paid a full normalisation
+   (list append + reverse) on back access and on every trim. *)
 type t = {
   weight : float;
-  mutable front : slot list;
-  mutable back : slot list;  (* reversed *)
-  mutable len : int;
+  dq : slot Deque.t;
   mutable last_finish : float;
 }
 
+(* Never returned; fills vacated ring cells so popped slots don't linger. *)
+let dummy = { start = 0.; finish = 0. }
+
 let create ~weight =
   if weight <= 0. then Wfs_util.Error.invalid "Slot_queue.create" "weight must be > 0";
-  { weight; front = []; back = []; len = 0; last_finish = 0. }
+  { weight; dq = Deque.create ~dummy (); last_finish = 0. }
 
-let length t = t.len
-let is_empty t = t.len = 0
-
-let normalize t =
-  if not (List.is_empty t.back) then begin
-    t.front <- t.front @ List.rev t.back;
-    t.back <- []
-  end
+let length t = Deque.length t.dq
+let is_empty t = Deque.is_empty t.dq
 
 let add t ~v =
   let start = Float.max v t.last_finish in
   let finish = start +. (1. /. t.weight) in
   let slot = { start; finish } in
   t.last_finish <- finish;
-  t.back <- slot :: t.back;
-  t.len <- t.len + 1;
+  Deque.push_back t.dq slot;
   slot
 
-let head t =
-  match t.front with
-  | s :: _ -> Some s
-  | [] -> (
-      normalize t;
-      match t.front with s :: _ -> Some s | [] -> None)
+let head t = Deque.peek_front t.dq
+let pop_front t = Deque.pop_front t.dq
+let pop_back t = Deque.pop_back t.dq
 
-let pop_front t =
-  normalize t;
-  match t.front with
-  | [] -> None
-  | s :: rest ->
-      t.front <- rest;
-      t.len <- t.len - 1;
-      Some s
-
-let pop_back t =
-  match t.back with
-  | s :: rest ->
-      t.back <- rest;
-      t.len <- t.len - 1;
-      Some s
-  | [] -> (
-      (* Move the front into back-order to access the last element. *)
-      match List.rev t.front with
-      | [] -> None
-      | s :: rest ->
-          t.back <- rest;
-          t.front <- [];
-          t.len <- t.len - 1;
-          Some s)
-
-(* Tags are non-decreasing, so the lagging slots form a prefix.  Scan the
-   front list and only pay for a normalisation when the entire front is
-   lagging (i.e. the prefix may continue into the back list) — keeping the
-   per-slot readjustment O(lagging prefix) rather than O(queue). *)
+(* Tags are non-decreasing, so the lagging slots form a prefix. *)
 let lagging_count t ~v =
-  let rec count acc = function
-    | s :: rest -> if s.finish < v then count (acc + 1) rest else Some acc
-    | [] -> None
-  in
-  match count 0 t.front with
-  | Some n -> n
-  | None ->
-      if List.is_empty t.back then List.length t.front
-      else begin
-        normalize t;
-        match count 0 t.front with Some n -> n | None -> t.len
-      end
+  let n = Deque.length t.dq in
+  let i = ref 0 in
+  while !i < n && (Deque.get t.dq !i).finish < v do
+    incr i
+  done;
+  !i
 
 let trim_lagging t ~v ~max_lagging =
   if max_lagging < 0 then Wfs_util.Error.invalid "Slot_queue.trim_lagging" "negative bound";
   let lagging = lagging_count t ~v in
   if lagging <= max_lagging then 0
   else begin
-    normalize t;
+    (* Keep the first [max_lagging] lagging slots, drop the rest of the
+       lagging prefix (Section 4.1 step 4a). *)
     let deleted = lagging - max_lagging in
-    (* Keep the first [max_lagging] slots, drop the next [deleted], keep
-       the rest. *)
-    let rec rebuild i acc = function
-      | [] -> List.rev acc
-      | s :: tl ->
-          if i < max_lagging then rebuild (i + 1) (s :: acc) tl
-          else if i < lagging then rebuild (i + 1) acc tl
-          else List.rev_append acc (s :: tl)
-    in
-    t.front <- rebuild 0 [] t.front;
-    t.len <- t.len - deleted;
+    Deque.remove_range t.dq ~pos:max_lagging ~len:deleted;
     deleted
   end
 
@@ -114,11 +65,9 @@ let clamp_lead t ~v ~max_lead ~weight =
         s.finish <- limit +. (1. /. weight);
         (* If this is also the most recent slot, future tags chain from the
            clamped finish. *)
-        if t.len = 1 then t.last_finish <- s.finish;
+        if length t = 1 then t.last_finish <- s.finish;
         true
       end
       else false
 
-let to_list t =
-  normalize t;
-  t.front
+let to_list t = Deque.to_list t.dq

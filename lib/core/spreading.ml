@@ -1,42 +1,93 @@
-let frame ~weights =
-  let n = Array.length weights in
-  let eff = Array.map (fun w -> if w < 0 then 0 else w) weights in
+(* Core WF²Q spreader over a compact member list: [ids.(k)] are flow ids in
+   ascending order, [eff.(k) > 0] their effective weights.  Scanning members
+   in ascending-id order with a strict "smaller finish wins" update keeps the
+   output identical to a dense scan over the full flow array in which
+   non-members have weight 0 (they are never considered there either). *)
+let spread ~ids ~eff =
+  let m = Array.length ids in
   let total = Array.fold_left ( + ) 0 eff in
   if total = 0 then [||]
   else begin
-    let sent = Array.make n 0 in
+    let sent = Array.make m 0 in
     let out = Array.make total (-1) in
-    let eps = 1e-9 in
+    let eps = Params.eps_tag in
     for pos = 0 to total - 1 do
       let v = float_of_int pos /. float_of_int total in
       (* Smallest finish tag among eligible slots; fall back to smallest
          finish overall (always non-empty: some flow has slots left). *)
       let consider restrict =
-        let best = ref None in
-        for i = 0 to n - 1 do
-          if sent.(i) < eff.(i) then begin
-            let w = float_of_int eff.(i) in
-            let start = float_of_int sent.(i) /. w in
-            let finish = float_of_int (sent.(i) + 1) /. w in
-            if (not restrict) || start <= v +. eps then
-              match !best with
-              | Some (_, bf) when bf <= finish -> ()
-              | Some _ | None -> best := Some (i, finish)
+        let best = ref (-1) in
+        let best_finish = ref 0. in
+        for k = 0 to m - 1 do
+          if sent.(k) < eff.(k) then begin
+            let w = float_of_int eff.(k) in
+            let start = float_of_int sent.(k) /. w in
+            let finish = float_of_int (sent.(k) + 1) /. w in
+            if
+              ((not restrict) || start <= v +. eps)
+              && (!best < 0 || finish < !best_finish)
+            then begin
+              best := k;
+              best_finish := finish
+            end
           end
         done;
         !best
       in
-      let choice =
-        match consider true with Some c -> Some c | None -> consider false
+      let k =
+        match consider true with -1 -> consider false | k -> k
       in
-      match choice with
-      | Some (i, _) ->
-          out.(pos) <- i;
-          sent.(i) <- sent.(i) + 1
-      | None -> assert false
+      if k < 0 then assert false;
+      out.(pos) <- ids.(k);
+      sent.(k) <- sent.(k) + 1
     done;
     out
   end
+
+let frame_sparse ~flows ~weights =
+  let m = Array.length flows in
+  if Array.length weights <> m then
+    Wfs_util.Error.invalid "Spreading.frame_sparse"
+      "flows and weights must have the same length";
+  let members = ref 0 in
+  for k = 0 to m - 1 do
+    if weights.(k) > 0 then incr members;
+    if k > 0 && flows.(k) <= flows.(k - 1) then
+      Wfs_util.Error.invalid "Spreading.frame_sparse"
+        "flow ids must be strictly ascending"
+  done;
+  if !members = m then spread ~ids:flows ~eff:weights
+  else begin
+    let ids = Array.make !members (-1) in
+    let eff = Array.make !members 0 in
+    let j = ref 0 in
+    for k = 0 to m - 1 do
+      if weights.(k) > 0 then begin
+        ids.(!j) <- flows.(k);
+        eff.(!j) <- weights.(k);
+        incr j
+      end
+    done;
+    spread ~ids ~eff
+  end
+
+let frame ~weights =
+  let n = Array.length weights in
+  let members = ref 0 in
+  for i = 0 to n - 1 do
+    if weights.(i) > 0 then incr members
+  done;
+  let ids = Array.make !members (-1) in
+  let eff = Array.make !members 0 in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if weights.(i) > 0 then begin
+      ids.(!j) <- i;
+      eff.(!j) <- weights.(i);
+      incr j
+    end
+  done;
+  spread ~ids ~eff
 
 let is_spread_of ~weights seq =
   let n = Array.length weights in

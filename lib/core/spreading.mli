@@ -16,6 +16,15 @@ val frame : weights:int array -> int array
     "ignore flows with effective weight < 0").
     Deterministic: ties break toward the lower flow id. *)
 
+val frame_sparse : flows:int array -> weights:int array -> int array
+(** [frame_sparse ~flows ~weights] is [frame] over a compact member list:
+    [flows] holds strictly ascending flow ids, [weights.(k)] the effective
+    weight of [flows.(k)].  The result is identical (including tie-breaks)
+    to [frame] on the dense weight array in which every absent flow has
+    weight 0, but costs O(length·members) instead of O(length·n_flows) —
+    the backlogged-flow fast path for WPS frame builds.
+    @raise Wfs_util.Error.Error on mismatched lengths or unsorted ids. *)
+
 val is_spread_of : weights:int array -> int array -> bool
 (** Check that a sequence contains exactly [w_i] slots of each flow [i] —
     used by tests and the MAC layer to validate externally supplied

@@ -1,5 +1,6 @@
 module Packet = Wfs_traffic.Packet
 module Ring = Wfs_util.Ring
+module Flow_set = Wfs_util.Flow_set
 module Tracelog = Wfs_sim.Tracelog
 
 type flow_state = {
@@ -15,13 +16,24 @@ type flow_state = {
          it refills — Section 7 requirement (c)) *)
 }
 
+(* [backlog] indexes the flows with a non-empty queue so frame builds and
+   accounting touch only members instead of the whole flow array; the
+   per-frame fields above are non-default only for flows in [frame_flows]
+   (the members of the current frame, ascending), which is what lets
+   [new_frame] close accounts by walking that list alone.  [naive = true]
+   (differential testing) rebuilds frames with the original dense
+   whole-array scans instead; selection logic is shared, so both modes are
+   byte-identical. *)
 type t = {
   params : Params.wps;
   flows : flow_state array;
+  backlog : Flow_set.t;
   mutable frame : int array;  (* flow id per slot; -1 = deleted *)
   mutable pos : int;
+  mutable frame_flows : int list;  (* current frame's members, ascending *)
   ring : int Ring.t;  (* cross-frame swap ring, marker persists *)
   mutable ring_members : int list;  (* backlogged set the ring was built from *)
+  naive : bool;
   trace : Tracelog.t option;
 }
 
@@ -29,7 +41,7 @@ let int_weight w =
   let k = int_of_float (Float.round w) in
   if k < 1 then 1 else k
 
-let create ?params ?limits ?trace flows =
+let create ?params ?limits ?(naive = false) ?trace flows =
   let params = match params with Some p -> p | None -> Params.swapa () in
   Params.validate_wps params;
   Array.iteri
@@ -63,10 +75,13 @@ let create ?params ?limits ?trace flows =
             contending = false;
           })
         flows;
+    backlog = Flow_set.create ~n:(Array.length flows);
     frame = [||];
     pos = 0;
+    frame_flows = [];
     ring = Ring.create [||];
     ring_members = [];
+    naive;
     trace;
   }
 
@@ -75,36 +90,61 @@ let record t ~slot ev =
 
 let backlogged fs = not (Queue.is_empty fs.packets)
 
+(* Compact (flow, weight) arrays for a sparse frame build. *)
+let member_weights t members weight_of =
+  let m = List.length members in
+  let ids = Array.make m (-1) in
+  let eff = Array.make m 0 in
+  List.iteri
+    (fun k i ->
+      ids.(k) <- i;
+      eff.(k) <- weight_of t.flows.(i))
+    members;
+  (ids, eff)
+
 (* Rebuild the cross-frame swap ring when the known-backlogged set changes
    (the paper's "new queue phase"), spread by default weights. *)
 let refresh_ring t members =
   if not (List.equal Int.equal members t.ring_members) then begin
-    let weights =
-      Array.mapi
-        (fun i fs -> if List.memq i members then fs.weight_int else 0)
-        t.flows
+    let seq =
+      if t.naive then
+        let weights =
+          Array.mapi
+            (fun i fs -> if List.memq i members then fs.weight_int else 0)
+            t.flows
+        in
+        Spreading.frame ~weights
+      else
+        let ids, eff = member_weights t members (fun fs -> fs.weight_int) in
+        Spreading.frame_sparse ~flows:ids ~weights:eff
     in
-    Ring.rebuild t.ring (Spreading.frame ~weights);
+    Ring.rebuild t.ring seq;
     t.ring_members <- members
   end
+
+let close_frame_accounts t fs =
+  if fs.in_frame && t.params.credits then
+    Credit.end_frame fs.credit ~attempts:fs.attempts;
+  fs.attempts <- 0;
+  fs.in_frame <- false;
+  fs.contending <- false;
+  fs.eff <- 0
 
 (* Close the previous frame's accounts and open a new frame over the flows
    known backlogged now. *)
 let new_frame t ~slot =
-  Array.iter
-    (fun fs ->
-      if fs.in_frame && t.params.credits then
-        Credit.end_frame fs.credit ~attempts:fs.attempts;
-      fs.attempts <- 0;
-      fs.in_frame <- false;
-      fs.contending <- false;
-      fs.eff <- 0)
-    t.flows;
-  let members = ref [] in
-  Array.iteri
-    (fun i fs -> if backlogged fs then members := i :: !members)
-    t.flows;
-  let members = List.rev !members in
+  if t.naive then Array.iter (close_frame_accounts t) t.flows
+  else List.iter (fun i -> close_frame_accounts t t.flows.(i)) t.frame_flows;
+  let members =
+    if t.naive then begin
+      let members = ref [] in
+      Array.iteri
+        (fun i fs -> if backlogged fs then members := i :: !members)
+        t.flows;
+      List.rev !members
+    end
+    else Flow_set.elements t.backlog
+  in
   List.iter
     (fun i ->
       let fs = t.flows.(i) in
@@ -113,9 +153,17 @@ let new_frame t ~slot =
       fs.eff <-
         (if t.params.credits then Credit.begin_frame fs.credit else fs.weight_int))
     members;
-  let weights = Array.map (fun fs -> if fs.in_frame then fs.eff else 0) t.flows in
-  t.frame <- Spreading.frame ~weights;
+  (t.frame <-
+     (if t.naive then
+        let weights =
+          Array.map (fun fs -> if fs.in_frame then fs.eff else 0) t.flows
+        in
+        Spreading.frame ~weights
+      else
+        let ids, eff = member_weights t members (fun fs -> fs.eff) in
+        Spreading.frame_sparse ~flows:ids ~weights:eff));
   t.pos <- 0;
+  t.frame_flows <- members;
   refresh_ring t members;
   if Array.length t.frame > 0 then
     record t ~slot (Tracelog.Frame_start { length = Array.length t.frame })
@@ -135,16 +183,38 @@ let drop_from_frame t f =
    channel error: if some contending flow's channel is good, the blocked
    flow's miss is attributable to its own channel error and stays
    compensable even when the good-channel peers happen to have empty
-   queues (the fluid model compensates error, never idleness). *)
+   queues (the fluid model compensates error, never idleness).  Contending
+   flows are a subset of the current frame's members, so only those need
+   scanning (order is irrelevant: pure existence). *)
 let exists_good_channel t ~predicted_good =
-  let found = ref false in
-  Array.iteri
-    (fun i fs -> if (not !found) && fs.contending && predicted_good i then found := true)
-    t.flows;
-  !found
+  if t.naive then begin
+    let found = ref false in
+    Array.iteri
+      (fun i fs ->
+        if (not !found) && fs.contending && predicted_good i then found := true)
+      t.flows;
+    !found
+  end
+  else
+    List.exists
+      (fun i -> t.flows.(i).contending && predicted_good i)
+      t.frame_flows
 
 (* Intra-frame swap: find a later slot in the frame held by a flow that is
    backlogged and predicted good, and exchange it with position [pos]. *)
+let rec swap_scan t ~predicted_good ~slot f limit j =
+  if j >= limit then false
+  else begin
+    let g = t.frame.(j) in
+    if g >= 0 && g <> f && backlogged t.flows.(g) && predicted_good g then begin
+      t.frame.(j) <- f;
+      t.frame.(t.pos) <- g;
+      record t ~slot (Tracelog.Swap { from_flow = f; to_flow = g });
+      true
+    end
+    else swap_scan t ~predicted_good ~slot f limit (j + 1)
+  end
+
 let try_swap_intra t ~predicted_good ~slot =
   let f = t.frame.(t.pos) in
   let limit =
@@ -152,20 +222,7 @@ let try_swap_intra t ~predicted_good ~slot =
     | None -> Array.length t.frame
     | Some w -> Int.min (Array.length t.frame) (t.pos + w)
   in
-  let rec scan j =
-    if j >= limit then false
-    else begin
-      let g = t.frame.(j) in
-      if g >= 0 && g <> f && backlogged t.flows.(g) && predicted_good g then begin
-        t.frame.(j) <- f;
-        t.frame.(t.pos) <- g;
-        record t ~slot (Tracelog.Swap { from_flow = f; to_flow = g });
-        true
-      end
-      else scan (j + 1)
-    end
-  in
-  scan (t.pos + 1)
+  swap_scan t ~predicted_good ~slot f limit (t.pos + 1)
 
 (* Cross-frame reallocation: hand the slot to the next good backlogged flow
    on the marker ring; accounts settle implicitly through attempts. *)
@@ -180,82 +237,88 @@ let try_swap_inter t ~predicted_good ~slot =
       Some g
   | None -> None
 
-let select t ~slot ~predicted_good =
-  (* Bounded by frame rebuilds: each pass either consumes a frame position
-     or rebuilds an exhausted frame, and an empty rebuild idles. *)
-  let rec pick ~rebuilt =
-    if t.pos >= Array.length t.frame then
-      if rebuilt then None
-      else begin
-        new_frame t ~slot;
-        if Array.length t.frame = 0 then None else pick ~rebuilt:true
-      end
+(* Bounded by frame rebuilds: each pass either consumes a frame position
+   or rebuilds an exhausted frame, and an empty rebuild idles. *)
+let[@hot] rec pick t ~slot ~predicted_good ~rebuilt =
+  if t.pos >= Array.length t.frame then
+    if rebuilt then None
     else begin
-      let f = t.frame.(t.pos) in
-      if f < 0 then begin
-        t.pos <- t.pos + 1;
-        pick ~rebuilt
+      new_frame t ~slot;
+      if Array.length t.frame = 0 then None
+      else pick t ~slot ~predicted_good ~rebuilt:true
+    end
+  else begin
+    let f = t.frame.(t.pos) in
+    if f < 0 then begin
+      t.pos <- t.pos + 1;
+      pick t ~slot ~predicted_good ~rebuilt
+    end
+    else begin
+      let fs = t.flows.(f) in
+      if not (backlogged fs) then begin
+        (* Case 1: the flow has no queue. *)
+        drop_from_frame t f;
+        pick t ~slot ~predicted_good ~rebuilt
       end
-      else begin
-        let fs = t.flows.(f) in
-        if not (backlogged fs) then begin
-          (* Case 1: the flow has no queue. *)
-          drop_from_frame t f;
-          pick ~rebuilt
-        end
-        else if predicted_good f || not t.params.skip_on_predicted_error then begin
-          (* Case 4 (or Blind WRR transmitting into the error). *)
-          t.pos <- t.pos + 1;
-          fs.attempts <- fs.attempts + 1;
-          Some f
-        end
-        else if t.params.swap_intra && try_swap_intra t ~predicted_good ~slot
-        then
-          (* Case 3a: the swapped-in flow now owns position [pos]. *)
-          pick ~rebuilt
-        else if t.params.swap_inter then begin
-          if not (exists_good_channel t ~predicted_good) then begin
-            (* Case 2: universal channel error; no credit for the missed
-               slot. *)
-            fs.attempts <- fs.attempts + 1;
-            t.pos <- t.pos + 1;
-            None
-          end
-          else
-            (* Case 3b: cross-frame swap via the marker ring; if every
-               good-channel peer is idle the slot is skipped with the
-               credit kept (attempts untouched). *)
-            match try_swap_inter t ~predicted_good ~slot with
-            | Some g ->
-                t.pos <- t.pos + 1;
-                t.flows.(g).attempts <- t.flows.(g).attempts + 1;
-                Some g
-            | None ->
-                t.pos <- t.pos + 1;
-                pick ~rebuilt
-        end
-        else if not t.params.credits then begin
-          (* Plain WRR "skips the slot": the physical slot is wasted and
-             nothing is owed to anyone (Section 8's WRR-I/P). *)
+      else if predicted_good f || not t.params.skip_on_predicted_error then begin
+        (* Case 4 (or Blind WRR transmitting into the error). *)
+        t.pos <- t.pos + 1;
+        fs.attempts <- fs.attempts + 1;
+        Some f
+      end
+      else if t.params.swap_intra && try_swap_intra t ~predicted_good ~slot
+      then
+        (* Case 3a: the swapped-in flow now owns position [pos]. *)
+        pick t ~slot ~predicted_good ~rebuilt
+      else if t.params.swap_inter then begin
+        if not (exists_good_channel t ~predicted_good) then begin
+          (* Case 2: universal channel error; no credit for the missed
+             slot. *)
           fs.attempts <- fs.attempts + 1;
           t.pos <- t.pos + 1;
           None
         end
-        else begin
-          (* NoSwap / SwapW with no (or failed) intra-frame swap: give the
-             flow credit and "skip to the next slot" of the frame within
-             the same physical slot — the frame compresses, as in the
-             paper's get_next_slot scan.  The unincremented attempt count
-             becomes credit at frame end. *)
-          t.pos <- t.pos + 1;
-          pick ~rebuilt
-        end
+        else
+          (* Case 3b: cross-frame swap via the marker ring; if every
+             good-channel peer is idle the slot is skipped with the
+             credit kept (attempts untouched). *)
+          match try_swap_inter t ~predicted_good ~slot with
+          | Some g ->
+              t.pos <- t.pos + 1;
+              t.flows.(g).attempts <- t.flows.(g).attempts + 1;
+              Some g
+          | None ->
+              t.pos <- t.pos + 1;
+              pick t ~slot ~predicted_good ~rebuilt
+      end
+      else if not t.params.credits then begin
+        (* Plain WRR "skips the slot": the physical slot is wasted and
+           nothing is owed to anyone (Section 8's WRR-I/P). *)
+        fs.attempts <- fs.attempts + 1;
+        t.pos <- t.pos + 1;
+        None
+      end
+      else begin
+        (* NoSwap / SwapW with no (or failed) intra-frame swap: give the
+           flow credit and "skip to the next slot" of the frame within
+           the same physical slot — the frame compresses, as in the
+           paper's get_next_slot scan.  The unincremented attempt count
+           becomes credit at frame end. *)
+        t.pos <- t.pos + 1;
+        pick t ~slot ~predicted_good ~rebuilt
       end
     end
-  in
-  pick ~rebuilt:false
+  end
 
-let enqueue t ~slot:_ (pkt : Packet.t) = Queue.push pkt t.flows.(pkt.flow).packets
+let select t ~slot ~predicted_good = pick t ~slot ~predicted_good ~rebuilt:false
+
+let enqueue t ~slot:_ (pkt : Packet.t) =
+  let fs = t.flows.(pkt.flow).packets in
+  Queue.push pkt fs;
+  if Queue.length fs = 1 then Flow_set.add t.backlog pkt.flow
+
+let deindex_if_empty t flow =
+  if Queue.is_empty t.flows.(flow).packets then Flow_set.remove t.backlog flow
 
 let head t flow =
   match Queue.peek_opt t.flows.(flow).packets with
@@ -263,29 +326,30 @@ let head t flow =
   | None -> None
 
 let complete t ~flow =
-  match Queue.pop t.flows.(flow).packets with
+  (match Queue.pop t.flows.(flow).packets with
   | exception Queue.Empty -> Wfs_util.Error.empty_queue "Wps.complete"
-  | _pkt -> ()
+  | _pkt -> ());
+  deindex_if_empty t flow
 
 let fail _t ~flow:_ = ()
 
 let drop_head t ~flow =
-  match Queue.pop t.flows.(flow).packets with
+  (match Queue.pop t.flows.(flow).packets with
   | exception Queue.Empty -> Wfs_util.Error.empty_queue "Wps.drop_head"
-  | _ -> ()
+  | _ -> ());
+  deindex_if_empty t flow
+
+let rec drop_expired_loop q ~now ~bound acc =
+  match Queue.peek_opt q with
+  | Some pkt when Packet.age pkt ~now > bound ->
+      ignore (Queue.take_opt q);
+      drop_expired_loop q ~now ~bound (pkt :: acc)
+  | Some _ | None -> List.rev acc
 
 let drop_expired t ~flow ~now ~bound =
-  let fs = t.flows.(flow) in
-  let dropped = ref [] in
-  let continue = ref true in
-  while !continue do
-    match Queue.peek_opt fs.packets with
-    | Some pkt when Packet.age pkt ~now > bound ->
-        ignore (Queue.take_opt fs.packets);
-        dropped := pkt :: !dropped
-    | Some _ | None -> continue := false
-  done;
-  List.rev !dropped
+  let dropped = drop_expired_loop t.flows.(flow).packets ~now ~bound [] in
+  deindex_if_empty t flow;
+  dropped
 
 let queue_length t flow = Queue.length t.flows.(flow).packets
 let on_slot_end _t ~slot:_ = ()

@@ -26,13 +26,18 @@ type t
 val create :
   ?params:Params.wps ->
   ?limits:(int * int) array ->
+  ?naive:bool ->
   ?trace:Wfs_sim.Tracelog.t ->
   Params.flow array ->
   t
 (** Flow ids must be [0..n-1]; weights are rounded to integers ≥ 1 for
     frame allocation.  Default params: {!Params.swapa}[ ()].
     [limits] overrides the global (credit, debit) caps per flow — the knob
-    Example 6 sweeps to trade one flow's loss against the others'. *)
+    Example 6 sweeps to trade one flow's loss against the others'.
+    [naive] (default [false], for differential testing only) rebuilds
+    frames with the original dense whole-flow-array scans instead of the
+    backlogged-flow index; both modes are byte-identical by construction
+    and pinned to each other by the qcheck suite. *)
 
 val instance : t -> Wireless_sched.instance
 

@@ -1,6 +1,8 @@
-type t = { label : string; mean_rate : float; step : int -> int }
+type t = { label : string; mean_rate : float; null : bool; step : int -> int }
 
-let make ~label ~mean_rate step = { label; mean_rate; step }
+let make ~label ~mean_rate step = { label; mean_rate; null = false; step }
+let never ?(label = "never") () = { label; mean_rate = 0.; null = true; step = (fun _ -> 0) }
+let is_never t = t.null
 let arrivals t ~slot = t.step slot
 let label t = t.label
 let mean_rate t = t.mean_rate

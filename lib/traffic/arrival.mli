@@ -13,6 +13,17 @@ val make : label:string -> mean_rate:float -> (int -> int) -> t
     long-run packets-per-slot average, used for load accounting and display
     only. *)
 
+val never : ?label:string -> unit -> t
+(** A source that is statically known to emit nothing, ever.  Equivalent to
+    [make ~mean_rate:0. (fun _ -> 0)] except that {!is_never} returns [true],
+    which lets a simulator skip the per-slot arrival query for the flow
+    entirely.  Use it for provisioned-but-silent flows in large-fan-in
+    scenarios. *)
+
+val is_never : t -> bool
+(** [true] only for sources built with {!never}; such a source never emits a
+    packet, so callers may elide {!arrivals} calls for it. *)
+
 val arrivals : t -> slot:int -> int
 (** Number of packets arriving in [slot].  Must be called with strictly
     increasing slot indices; processes may keep internal state. *)

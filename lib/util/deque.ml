@@ -1,0 +1,132 @@
+(* Ring-buffer double-ended queue.
+
+   A growable circular buffer with O(1) push/pop at both ends and O(1)
+   random access — the backing store for packet queues and slot-tag queues
+   on the per-slot hot path, where the previous list- and Queue-based
+   representations cost O(n) per drop.  Capacity is kept a power of two so
+   logical-to-physical index mapping is a mask, not a division.  Vacated
+   cells are overwritten with [dummy] so popped elements do not linger
+   reachable from the buffer. *)
+
+type 'a t = {
+  dummy : 'a;
+  mutable data : 'a array;
+  mutable head : int;  (* physical index of the front element *)
+  mutable len : int;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(capacity = 8) ~dummy () =
+  if capacity < 1 then Error.invalid "Deque.create" "capacity must be >= 1";
+  let cap = pow2_at_least capacity 4 in
+  { dummy; data = Array.make cap dummy; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+(* Physical index of logical position [i] (0 = front). *)
+let phys t i = (t.head + i) land (Array.length t.data - 1)
+
+let grow t =
+  let cap = Array.length t.data in
+  let ndata = Array.make (cap * 2) t.dummy in
+  for i = 0 to t.len - 1 do
+    ndata.(i) <- t.data.(phys t i)
+  done;
+  t.data <- ndata;
+  t.head <- 0
+
+let push_back t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.(phys t t.len) <- x;
+  t.len <- t.len + 1
+
+let push_front t x =
+  if t.len = Array.length t.data then grow t;
+  let mask = Array.length t.data - 1 in
+  t.head <- (t.head - 1) land mask;
+  t.data.(t.head) <- x;
+  t.len <- t.len + 1
+
+let pop_front t =
+  if t.len = 0 then None
+  else begin
+    let x = t.data.(t.head) in
+    t.data.(t.head) <- t.dummy;
+    t.head <- (t.head + 1) land (Array.length t.data - 1);
+    t.len <- t.len - 1;
+    Some x
+  end
+
+let pop_back t =
+  if t.len = 0 then None
+  else begin
+    let i = phys t (t.len - 1) in
+    let x = t.data.(i) in
+    t.data.(i) <- t.dummy;
+    t.len <- t.len - 1;
+    Some x
+  end
+
+let peek_front t = if t.len = 0 then None else Some t.data.(t.head)
+let peek_back t = if t.len = 0 then None else Some t.data.(phys t (t.len - 1))
+
+let get t i =
+  if i < 0 || i >= t.len then
+    Error.invalidf "Deque.get" "index %d out of bounds (length %d)" i t.len;
+  t.data.(phys t i)
+
+let remove_range t ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > t.len then
+    Error.invalidf "Deque.remove_range" "range [%d,%d) out of bounds (length %d)"
+      pos (pos + len) t.len;
+  if len > 0 then begin
+    let left = pos and right = t.len - pos - len in
+    if left <= right then begin
+      (* Shift the prefix right over the hole, then retire the old front. *)
+      for i = pos - 1 downto 0 do
+        t.data.(phys t (i + len)) <- t.data.(phys t i)
+      done;
+      for i = 0 to len - 1 do
+        t.data.(phys t i) <- t.dummy
+      done;
+      t.head <- phys t len;
+      t.len <- t.len - len
+    end
+    else begin
+      (* Shift the suffix left over the hole, then retire the old back. *)
+      for i = pos + len to t.len - 1 do
+        t.data.(phys t (i - len)) <- t.data.(phys t i)
+      done;
+      for i = t.len - len to t.len - 1 do
+        t.data.(phys t i) <- t.dummy
+      done;
+      t.len <- t.len - len
+    end
+  end
+
+let clear t =
+  for i = 0 to t.len - 1 do
+    t.data.(phys t i) <- t.dummy
+  done;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(phys t i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(phys t i)
+  done;
+  !acc
+
+let to_list t =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (t.data.(phys t i) :: acc)
+  in
+  build (t.len - 1) []

@@ -1,0 +1,41 @@
+(** Ring-buffer double-ended queue.
+
+    O(1) amortized push/pop at both ends, O(1) random access, and an
+    O(min(prefix, suffix) + deleted) middle-range removal.  Used for the
+    per-flow packet and slot-tag queues on the scheduler hot path, where
+    list- or [Queue]-backed representations cost O(n) per tail drop.
+
+    The structure needs a [dummy] element to fill vacated cells (so popped
+    values are not kept alive by the buffer) — any value of the element
+    type will do; it is never returned. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [capacity] (default 8) is rounded up to a power of two. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+val push_front : 'a t -> 'a -> unit
+
+val pop_front : 'a t -> 'a option
+val pop_back : 'a t -> 'a option
+
+val peek_front : 'a t -> 'a option
+val peek_back : 'a t -> 'a option
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the element at logical position [i], front = 0.
+    @raise Wfs_util.Error.Error if [i] is out of bounds. *)
+
+val remove_range : 'a t -> pos:int -> len:int -> unit
+(** Remove the [len] elements at logical positions [pos..pos+len-1],
+    shifting whichever side of the hole is shorter.
+    @raise Wfs_util.Error.Error if the range exceeds the deque. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list

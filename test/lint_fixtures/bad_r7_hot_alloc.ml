@@ -1,0 +1,14 @@
+(* R7: allocation in hot scope — [@hot] marks per-slot code, where
+   fresh-container combinators and closure literals allocate on every
+   call.  Each binding below must preallocate scratch or hoist the
+   closure instead. *)
+
+let[@hot] bump xs = Array.map (fun x -> x + 1) xs
+
+let[@hot] live_ids ids = List.filter (fun i -> i >= 0) ids
+
+let sum arr =
+  (let total = ref 0 in
+   Array.iter (fun x -> total := !total + x) arr;
+   !total)
+  [@hot]

@@ -16,5 +16,6 @@ let () =
       ("scenario", Test_scenario.suite);
       ("runner", Test_runner.suite);
       ("guard", Test_guard.suite);
+      ("perf_opt", Test_perf_opt.suite);
       ("integration", Test_integration.suite);
     ]

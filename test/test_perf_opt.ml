@@ -1,0 +1,382 @@
+(* Tests for the perf-optimization layer: the Deque / Flow_heap / Flow_set
+   containers against simple reference models, and differential lockstep
+   drives pinning each backlog-indexed scheduler to its naive O(n)
+   reference implementation (the [?naive:true] mode). *)
+
+module Rng = Wfs_util.Rng
+module Deque = Wfs_util.Deque
+module Flow_heap = Wfs_util.Flow_heap
+module Flow_set = Wfs_util.Flow_set
+module Packet = Wfs_traffic.Packet
+module Core = Wfs_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Deque vs list model --- *)
+
+(* Ops: 0 push_back, 1 push_front, 2 pop_front, 3 pop_back. *)
+let apply_deque_op dq model (op, x) =
+  match op mod 4 with
+  | 0 ->
+      Deque.push_back dq x;
+      model @ [ x ]
+  | 1 ->
+      Deque.push_front dq x;
+      x :: model
+  | 2 -> (
+      let popped = Deque.pop_front dq in
+      match model with
+      | [] ->
+          assert (popped = None);
+          []
+      | h :: tl ->
+          assert (popped = Some h);
+          tl)
+  | _ -> (
+      let popped = Deque.pop_back dq in
+      match List.rev model with
+      | [] ->
+          assert (popped = None);
+          []
+      | h :: tl ->
+          assert (popped = Some h);
+          List.rev tl)
+
+let prop_deque_model =
+  QCheck.Test.make ~name:"deque matches list model under mixed ops" ~count:300
+    QCheck.(list (pair small_int small_int))
+    (fun ops ->
+      let dq = Deque.create ~capacity:1 ~dummy:(-1) () in
+      let final =
+        List.fold_left (fun model op -> apply_deque_op dq model op) [] ops
+      in
+      Deque.to_list dq = final && Deque.length dq = List.length final)
+
+let prop_deque_remove_range =
+  QCheck.Test.make ~name:"deque remove_range matches list splice" ~count:300
+    QCheck.(triple (list small_int) small_int small_int)
+    (fun (xs, pos, len) ->
+      let dq = Deque.create ~dummy:(-1) () in
+      (* Mix of front/back pushes so the ring wraps in interesting ways. *)
+      List.iteri
+        (fun i x -> if i mod 3 = 0 then Deque.push_front dq x else Deque.push_back dq x)
+        xs;
+      let model = Deque.to_list dq in
+      let n = List.length model in
+      let pos = if n = 0 then 0 else pos mod n in
+      let len = if n - pos = 0 then 0 else len mod (n - pos) in
+      Deque.remove_range dq ~pos ~len;
+      let expect =
+        List.filteri (fun i _ -> i < pos || i >= pos + len) model
+      in
+      Deque.to_list dq = expect)
+
+let test_deque_get_and_peeks () =
+  let dq = Deque.create ~capacity:2 ~dummy:0 () in
+  for i = 1 to 10 do
+    Deque.push_back dq i
+  done;
+  check_int "front" 1 (Option.get (Deque.peek_front dq));
+  check_int "back" 10 (Option.get (Deque.peek_back dq));
+  for i = 0 to 9 do
+    check_int "get" (i + 1) (Deque.get dq i)
+  done;
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Deque.get: index 10 out of bounds (length 10)")
+    (fun () -> ignore (Deque.get dq 10));
+  Deque.clear dq;
+  check_bool "cleared" true (Deque.is_empty dq)
+
+(* --- Flow_heap vs naive model --- *)
+
+(* Model: tag array with nan = absent; the reference minimum is the naive
+   ascending-id scan keeping the first strictly smaller tag. *)
+let model_min tags accept =
+  let best = ref (-1) in
+  Array.iteri
+    (fun i tag ->
+      if (not (Float.is_nan tag)) && accept i then
+        match !best with
+        | -1 -> best := i
+        | b -> if Float.compare tag tags.(b) < 0 then best := i)
+    tags;
+  !best
+
+let prop_flow_heap_model =
+  QCheck.Test.make ~name:"flow_heap min/min_accept match naive scan" ~count:300
+    QCheck.(pair small_int (list (triple small_int small_int bool)))
+    (fun (seed, ops) ->
+      let n = 16 in
+      let h = Flow_heap.create ~n in
+      let tags = Array.make n Float.nan in
+      let rng = Rng.create seed in
+      List.for_all
+        (fun (flow, tag_raw, remove) ->
+          let flow = flow mod n in
+          if remove then begin
+            Flow_heap.remove h ~flow;
+            tags.(flow) <- Float.nan
+          end
+          else begin
+            (* Small tag universe to force plenty of ties. *)
+            let tag = float_of_int (tag_raw mod 8) /. 4. in
+            Flow_heap.set h ~flow ~tag;
+            tags.(flow) <- tag
+          end;
+          let mask = Array.init n (fun _ -> Rng.float rng < 0.5) in
+          let accept i = mask.(i) in
+          Flow_heap.min h = model_min tags (fun _ -> true)
+          && Flow_heap.min_accept h ~accept = model_min tags accept
+          (* min_accept must not disturb the heap. *)
+          && Flow_heap.min h = model_min tags (fun _ -> true)
+          && Flow_heap.cardinal h
+             = Array.fold_left
+                 (fun acc t -> if Float.is_nan t then acc else acc + 1)
+                 0 tags)
+        ops)
+
+let test_flow_heap_basics () =
+  let h = Flow_heap.create ~n:4 in
+  check_int "empty min" (-1) (Flow_heap.min h);
+  Flow_heap.set h ~flow:2 ~tag:1.0;
+  Flow_heap.set h ~flow:1 ~tag:1.0;
+  (* Equal tags: lowest flow id wins. *)
+  check_int "tie to lower id" 1 (Flow_heap.min h);
+  Flow_heap.set h ~flow:1 ~tag:2.0;
+  check_int "retag reorders" 2 (Flow_heap.min h);
+  Flow_heap.remove h ~flow:2;
+  check_int "after remove" 1 (Flow_heap.min h);
+  check_bool "mem" true (Flow_heap.mem h ~flow:1);
+  check_bool "not mem" false (Flow_heap.mem h ~flow:2);
+  check_int "reject all" (-1) (Flow_heap.min_accept h ~accept:(fun _ -> false))
+
+(* --- Flow_set vs sorted-list model --- *)
+
+let prop_flow_set_model =
+  QCheck.Test.make ~name:"flow_set matches sorted-set model" ~count:300
+    QCheck.(list (pair small_int bool))
+    (fun ops ->
+      let n = 24 in
+      let s = Flow_set.create ~n in
+      let model = ref [] in
+      List.for_all
+        (fun (x, add) ->
+          let x = x mod n in
+          if add then begin
+            Flow_set.add s x;
+            if not (List.mem x !model) then
+              model := List.sort compare (x :: !model)
+          end
+          else begin
+            Flow_set.remove s x;
+            model := List.filter (fun y -> y <> x) !model
+          end;
+          Flow_set.elements s = !model
+          && Flow_set.cardinal s = List.length !model
+          && List.for_all (fun y -> Flow_set.mem s y) !model
+          (* find_from: position of the first member >= x, cardinal if none. *)
+          &&
+          let pos = Flow_set.find_from s x in
+          let expect =
+            let rec count i = function
+              | [] -> i
+              | y :: tl -> if y >= x then i else count (i + 1) tl
+            in
+            count 0 !model
+          in
+          pos = expect)
+        ops)
+
+(* --- Differential scheduler drives: naive vs indexed --- *)
+
+(* Lockstep driver: both instances receive byte-identical arrival,
+   channel-prediction, transmission-outcome, and drop sequences; every
+   selection, head packet, dropped-packet list, and queue length must agree
+   at every slot.  The prediction table is pure, so differing predicate
+   call orders between the two select implementations are unobservable. *)
+let drive_pair ?(horizon = 300) ~n_flows ~seed make =
+  let rng = Rng.create seed in
+  let a : Core.Wireless_sched.instance = make () in
+  let b : Core.Wireless_sched.instance = make () in
+  let seqs = Array.make n_flows 0 in
+  let retx_limit = 2 in
+  let fail_ctx fmt = Printf.ksprintf (fun m -> Alcotest.fail (a.name ^ ": " ^ m)) fmt in
+  for slot = 0 to horizon - 1 do
+    for f = 0 to n_flows - 1 do
+      if Rng.float rng < 0.35 then begin
+        let mk () = Packet.make ~flow:f ~seq:seqs.(f) ~arrival:slot () in
+        a.enqueue ~slot (mk ());
+        b.enqueue ~slot (mk ());
+        seqs.(f) <- seqs.(f) + 1
+      end
+    done;
+    if Rng.float rng < 0.08 then begin
+      let bound = 3 + Rng.int rng 20 in
+      for f = 0 to n_flows - 1 do
+        let da = a.drop_expired ~flow:f ~now:slot ~bound in
+        let db = b.drop_expired ~flow:f ~now:slot ~bound in
+        let seq_of (p : Packet.t) = p.seq in
+        if List.map seq_of da <> List.map seq_of db then
+          fail_ctx "slot %d: drop_expired diverged on flow %d" slot f
+      done
+    end;
+    let good = Array.init n_flows (fun _ -> Rng.float rng < 0.7) in
+    let actual_good = Rng.float rng < 0.75 in
+    let predicted_good i = good.(i) in
+    let sa = a.select ~slot ~predicted_good in
+    let sb = b.select ~slot ~predicted_good in
+    if sa <> sb then
+      fail_ctx "slot %d: selected %s vs %s" slot
+        (match sa with None -> "-" | Some f -> string_of_int f)
+        (match sb with None -> "-" | Some f -> string_of_int f);
+    (match sa with
+    | None -> ()
+    | Some f -> (
+        match (a.head f, b.head f) with
+        | Some pa, Some pb ->
+            if pa.Packet.seq <> pb.Packet.seq then
+              fail_ctx "slot %d: head seq diverged on flow %d" slot f;
+            if actual_good then begin
+              a.complete ~flow:f;
+              b.complete ~flow:f
+            end
+            else begin
+              pa.Packet.attempts <- pa.Packet.attempts + 1;
+              pb.Packet.attempts <- pb.Packet.attempts + 1;
+              a.fail ~flow:f;
+              b.fail ~flow:f;
+              if pa.Packet.attempts > retx_limit then begin
+                a.drop_head ~flow:f;
+                b.drop_head ~flow:f
+              end
+            end
+        | _ -> fail_ctx "slot %d: selected flow %d with empty queue" slot f));
+    a.on_slot_end ~slot;
+    b.on_slot_end ~slot;
+    for f = 0 to n_flows - 1 do
+      if a.queue_length f <> b.queue_length f then
+        fail_ctx "slot %d: queue length diverged on flow %d" slot f
+    done
+  done;
+  true
+
+let gen_flows rng n =
+  Array.init n (fun id ->
+      Core.Params.flow ~id ~weight:(0.5 +. float_of_int (Rng.int rng 4)) ())
+
+let scheduler_pair_prop name make_pair =
+  QCheck.Test.make ~name ~count:40
+    QCheck.(pair small_int (2 -- 10))
+    (fun (seed, n_flows) ->
+      let rng = Rng.create (seed + (1000 * n_flows)) in
+      let flows = gen_flows rng n_flows in
+      drive_pair ~n_flows ~seed:(Rng.int rng 1_000_000) (make_pair rng flows))
+
+(* Each make_pair returns a thunk producing alternately the naive and the
+   indexed instance; drive_pair calls it exactly twice. *)
+let alternating make_naive make_fast =
+  let first = ref true in
+  fun () ->
+    if !first then begin
+      first := false;
+      make_naive ()
+    end
+    else make_fast ()
+
+let prop_iwfq_differential =
+  scheduler_pair_prop "IWFQ: naive scan == heap selection" (fun rng flows ->
+      let wf2q = Rng.float rng < 0.5 in
+      let params =
+        { (Core.Params.iwfq_defaults ~n_flows:(Array.length flows)) with
+          Core.Params.wf2q_selection = wf2q
+        }
+      in
+      alternating
+        (fun () -> Core.Iwfq.instance (Core.Iwfq.create ~params ~naive:true flows))
+        (fun () -> Core.Iwfq.instance (Core.Iwfq.create ~params flows)))
+
+let prop_cifq_differential =
+  scheduler_pair_prop "CIF-Q: naive scan == heap selection" (fun rng flows ->
+      let alpha = 0.25 *. float_of_int (Rng.int rng 5) in
+      alternating
+        (fun () -> Core.Cifq.instance (Core.Cifq.create ~alpha ~naive:true flows))
+        (fun () -> Core.Cifq.instance (Core.Cifq.create ~alpha flows)))
+
+let prop_wps_differential =
+  scheduler_pair_prop "WPS: dense frame build == sparse frame build"
+    (fun rng flows ->
+      let params =
+        match Rng.int rng 5 with
+        | 0 -> Core.Params.blind_wrr
+        | 1 -> Core.Params.wrr
+        | 2 -> Core.Params.noswap ()
+        | 3 -> Core.Params.swapw ()
+        | _ -> Core.Params.swapa ()
+      in
+      alternating
+        (fun () -> Core.Wps.instance (Core.Wps.create ~params ~naive:true flows))
+        (fun () -> Core.Wps.instance (Core.Wps.create ~params flows)))
+
+let prop_csdps_differential =
+  scheduler_pair_prop "CSDPS: naive round-robin == indexed round-robin"
+    (fun rng flows ->
+      let backoff = 1 + Rng.int rng 15 in
+      alternating
+        (fun () -> Core.Csdps.instance (Core.Csdps.create ~backoff ~naive:true flows))
+        (fun () -> Core.Csdps.instance (Core.Csdps.create ~backoff flows)))
+
+(* --- Sparse spreading == dense spreading --- *)
+
+let prop_frame_sparse_matches_dense =
+  QCheck.Test.make ~name:"frame_sparse equals dense frame" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 12) (int_bound 5))
+    (fun weights ->
+      let dense = Array.of_list weights in
+      let n = Array.length dense in
+      let members = ref [] in
+      for i = n - 1 downto 0 do
+        if dense.(i) > 0 then members := i :: !members
+      done;
+      let flows = Array.of_list !members in
+      let sparse_w = Array.map (fun i -> dense.(i)) flows in
+      Core.Spreading.frame ~weights:dense
+      = Core.Spreading.frame_sparse ~flows ~weights:sparse_w)
+
+(* --- Null sources and static channels (simulator skip contracts) --- *)
+
+let test_never_source () =
+  let src = Wfs_traffic.Arrival.never () in
+  check_bool "is_never" true (Wfs_traffic.Arrival.is_never src);
+  for slot = 0 to 99 do
+    check_int "no arrivals" 0 (Wfs_traffic.Arrival.arrivals src ~slot)
+  done;
+  check_bool "poisson not never" false
+    (Wfs_traffic.Arrival.is_never
+       (Wfs_traffic.Poisson.create ~rng:(Rng.create 1) ~rate:0.5))
+
+let test_static_channel () =
+  let ch = Wfs_channel.Channel.make_const ~label:"t" Wfs_channel.Channel.Good in
+  check_bool "is_static" true (Wfs_channel.Channel.is_static ch);
+  ignore (Wfs_channel.Channel.advance ch ~slot:0);
+  check_bool "stays good" true
+    (Wfs_channel.Channel.state_is_good (Wfs_channel.Channel.state ch));
+  let ef = Wfs_channel.Error_free.create () in
+  check_bool "error-free is static" true (Wfs_channel.Channel.is_static ef)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_deque_model;
+    QCheck_alcotest.to_alcotest prop_deque_remove_range;
+    Alcotest.test_case "deque get/peek/clear" `Quick test_deque_get_and_peeks;
+    QCheck_alcotest.to_alcotest prop_flow_heap_model;
+    Alcotest.test_case "flow_heap basics" `Quick test_flow_heap_basics;
+    QCheck_alcotest.to_alcotest prop_flow_set_model;
+    QCheck_alcotest.to_alcotest prop_iwfq_differential;
+    QCheck_alcotest.to_alcotest prop_cifq_differential;
+    QCheck_alcotest.to_alcotest prop_wps_differential;
+    QCheck_alcotest.to_alcotest prop_csdps_differential;
+    QCheck_alcotest.to_alcotest prop_frame_sparse_matches_dense;
+    Alcotest.test_case "never source" `Quick test_never_source;
+    Alcotest.test_case "static channel" `Quick test_static_channel;
+  ]

@@ -1,7 +1,7 @@
 (* Diagnostics for wfs_lint: location, rule id, message, and a sink that
    deduplicates and sorts for stable output. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | Supp
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | Supp
 
 let rule_id = function
   | R1 -> "R1"
@@ -10,6 +10,7 @@ let rule_id = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
   | Supp -> "SUPP"
 
 let rule_of_id = function
@@ -19,6 +20,7 @@ let rule_of_id = function
   | "R4" | "r4" -> Some R4
   | "R5" | "r5" -> Some R5
   | "R6" | "r6" -> Some R6
+  | "R7" | "r7" -> Some R7
   | "SUPP" | "supp" -> Some Supp
   | _ -> None
 
@@ -29,6 +31,7 @@ let rule_title = function
   | R4 -> "physical equality"
   | R5 -> "bare exception escape"
   | R6 -> "untyped error raising"
+  | R7 -> "allocation in hot scope"
   | Supp -> "suppression hygiene"
 
 type t = {

@@ -148,6 +148,41 @@ let is_floaty e =
       || (head_module n = "Float" && not (List.mem n float_module_nonfloat))
   | _ -> false
 
+(* --- R7: allocation in hot scopes --- *)
+
+(* Scope marker: a [@hot] attribute on a let-binding (the usual form) or on
+   an expression marks its body as a per-slot hot path.  Inside, closure
+   literals and the fresh-container combinators below are flagged: each
+   allocates on every execution, which is exactly what the preallocated
+   scratch / hoisted-closure discipline of the optimized schedulers exists
+   to avoid.  Purely syntactic, like everything here: partial applications
+   (which also allocate) and allocations hidden in callees are known blind
+   spots, reviewed by hand. *)
+
+let has_hot_attr attrs =
+  List.exists (fun (a : attribute) -> a.attr_name.txt = "hot") attrs
+
+let r7_banned_calls =
+  [
+    "Array.map"; "Array.mapi"; "Array.init"; "Array.make";
+    "Array.create_float"; "Array.make_matrix"; "Array.copy"; "Array.append";
+    "Array.concat"; "Array.sub"; "Array.to_list"; "Array.of_list";
+    "List.map"; "List.mapi"; "List.init"; "List.append"; "List.concat";
+    "List.concat_map"; "List.filter"; "List.filter_map"; "List.rev_map";
+    "List.rev"; "List.sort"; "List.stable_sort"; "List.sort_uniq";
+  ]
+
+let r7_call_message n =
+  Printf.sprintf
+    "%s allocates a fresh container on every pass through a [@hot] scope; \
+     preallocate scratch outside the loop and fill it in place, or hoist \
+     the computation out of the hot path" n
+
+let r7_closure_message =
+  "closure literal inside a [@hot] scope allocates on every pass; hoist it \
+   to a toplevel function or a field preallocated at construction time \
+   (see Iwfq.accept_eligible for the stash-field pattern)"
+
 (* --- R6: untyped error raising --- *)
 
 let r6_message what =
@@ -199,6 +234,8 @@ let check_file ~file_class ?(r6_exempt = false) ~sink ~suppress
   (* Stack of handled-exception sets: one frame per enclosing [try] body or
      [match] scrutinee currently being visited. *)
   let ctx : string list list ref = ref [] in
+  (* Nesting depth of [@hot] scopes currently being visited (R7). *)
+  let hot = ref 0 in
   let exn_handled exn =
     List.exists (List.exists (fun h -> exn_matches ~handled:h exn)) !ctx
   in
@@ -210,6 +247,8 @@ let check_file ~file_class ?(r6_exempt = false) ~sink ~suppress
     let n = drop_stdlib (name_of_lid txt) in
     if file_class = Lib then begin
       if r1_match n then report ~loc ~rule:Lint_diag.R1 (r1_message n);
+      if !hot > 0 && List.mem n r7_banned_calls then
+        report ~loc ~rule:Lint_diag.R7 (r7_call_message n);
       if List.mem n r2_poly_funs || n = "List.mem" then
         report ~loc ~rule:Lint_diag.R2 (r2_fun_message n);
       if (n = "failwith" || n = "invalid_arg") && not r6_exempt then
@@ -274,27 +313,60 @@ let check_file ~file_class ?(r6_exempt = false) ~sink ~suppress
         | _ -> ())
     | _ -> ()
   in
-  let expr self e =
+  (* Skip over an annotated binding's own parameter list: the leading
+     lambda chain IS the hot function, not a closure allocated inside it.
+     Parameter patterns and optional-argument defaults are visited normally
+     on the way down. *)
+  let rec hot_strip self e =
     match e.pexp_desc with
-    | Pexp_try (body, cases) ->
-        let handled = List.concat_map (fun c -> exn_names_of_pattern c.pc_lhs) cases in
-        ctx := handled :: !ctx;
-        self.Ast_iterator.expr self body;
-        ctx := List.tl !ctx;
-        List.iter (self.Ast_iterator.case self) cases
-    | Pexp_match (scrut, cases) ->
-        let handled = List.concat_map (fun c -> exn_cases_of_pattern c.pc_lhs) cases in
-        ctx := handled :: !ctx;
-        self.Ast_iterator.expr self scrut;
-        ctx := List.tl !ctx;
-        List.iter (self.Ast_iterator.case self) cases
-    | Pexp_ident { txt; loc } -> check_ident txt loc
-    | Pexp_apply (fn, args) ->
-        check_apply e fn args;
-        Ast_iterator.default_iterator.expr self e
-    | _ -> Ast_iterator.default_iterator.expr self e
+    | Pexp_fun (_, default, pat, body) ->
+        Option.iter (self.Ast_iterator.expr self) default;
+        self.Ast_iterator.pat self pat;
+        hot_strip self body
+    | Pexp_newtype (_, body) -> hot_strip self body
+    | _ -> e
   in
-  let iterator = { Ast_iterator.default_iterator with expr } in
+  let expr self e =
+    let dispatch e =
+      match e.pexp_desc with
+      | Pexp_try (body, cases) ->
+          let handled = List.concat_map (fun c -> exn_names_of_pattern c.pc_lhs) cases in
+          ctx := handled :: !ctx;
+          self.Ast_iterator.expr self body;
+          ctx := List.tl !ctx;
+          List.iter (self.Ast_iterator.case self) cases
+      | Pexp_match (scrut, cases) ->
+          let handled = List.concat_map (fun c -> exn_cases_of_pattern c.pc_lhs) cases in
+          ctx := handled :: !ctx;
+          self.Ast_iterator.expr self scrut;
+          ctx := List.tl !ctx;
+          List.iter (self.Ast_iterator.case self) cases
+      | Pexp_ident { txt; loc } -> check_ident txt loc
+      | Pexp_apply (fn, args) ->
+          check_apply e fn args;
+          Ast_iterator.default_iterator.expr self e
+      | (Pexp_fun _ | Pexp_function _) when file_class = Lib && !hot > 0 ->
+          report ~loc:e.pexp_loc ~rule:Lint_diag.R7 r7_closure_message;
+          Ast_iterator.default_iterator.expr self e
+      | _ -> Ast_iterator.default_iterator.expr self e
+    in
+    if has_hot_attr e.pexp_attributes then begin
+      incr hot;
+      dispatch (hot_strip self e);
+      decr hot
+    end
+    else dispatch e
+  in
+  let value_binding self vb =
+    if has_hot_attr vb.pvb_attributes then begin
+      self.Ast_iterator.pat self vb.pvb_pat;
+      incr hot;
+      self.Ast_iterator.expr self (hot_strip self vb.pvb_expr);
+      decr hot
+    end
+    else Ast_iterator.default_iterator.value_binding self vb
+  in
+  let iterator = { Ast_iterator.default_iterator with expr; value_binding } in
   match structure_or_sig with
   | `Impl structure -> iterator.structure iterator structure
   | `Intf signature -> iterator.signature iterator signature

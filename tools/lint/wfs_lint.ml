@@ -37,6 +37,11 @@ let rules_help =
       "no bare failwith/invalid_arg (or raise Invalid_argument/Failure) \
        in lib/ outside Wfs_util.Error itself; raise through the typed \
        error module so sweep drivers can classify failures" );
+    ( "R7",
+      "no fresh-container combinators (Array.map/mapi/init/make, List.map/\
+       filter/sort, ...) or closure literals inside a [@hot]-annotated \
+       binding or expression in lib/; preallocate scratch and hoist \
+       closures, or justify with an allow-comment" );
     ( "SUPP",
       "suppression hygiene: '(* lint: allow R<n> <justification> *)' \
        needs a real justification and must actually silence something" );
@@ -227,7 +232,7 @@ let run_fixtures dir =
       if not (List.mem id !seen_rules) then
         fail dir "no passing bad_%s fixture: rule %s is unproven"
           (String.lowercase_ascii id) id)
-    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "SUPP" ];
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "SUPP" ];
   if not !seen_clean then fail dir "no passing ok_* fixture";
   if !failures > 0 then begin
     Printf.printf "wfs_lint --fixtures: %d failure(s)\n" !failures;
