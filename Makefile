@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build lint test check bench perf golden-check clean
+.PHONY: all build lint test check bench perf golden-check obs-demo clean
 
 all: build
 
@@ -37,6 +37,19 @@ golden-check:
 	done; \
 	rm -rf "$$tmp"; \
 	cd test/golden && sha256sum -c SHA256SUMS
+
+# Observability demo: a short Example-1 run streaming a wfs-trace/1
+# time series (JSONL + CSV) and an instrument artifact into obs-demo/,
+# with a phase-timing profile on stderr, then validate both outputs
+# (see docs/OBSERVABILITY.md).
+obs-demo:
+	@mkdir -p obs-demo
+	dune exec bin/wfs_sim.exe -- -e 1 -a SwapA-P -n 5000 -s 42 \
+	  --trace-out obs-demo/example1.jsonl --trace-csv obs-demo/example1.csv \
+	  --trace-stride 10 --metrics-out obs-demo/example1-metrics.json --profile
+	dune exec bin/wfs_sim.exe -- --check-trace obs-demo/example1.jsonl
+	dune exec bin/wfs_sim.exe -- --check-metrics obs-demo/example1-metrics.json
+	@echo "obs-demo/: $$(ls obs-demo)"
 
 clean:
 	dune clean

@@ -24,6 +24,11 @@
      --retries N         extra attempts per failed job (same RNG stream)
      --max-slots N       refuse jobs whose declared slot count exceeds N
      --check-invariants  run the paper-property monitors in every job
+     --flight-recorder N keep the last N trace events per job; a failed
+                         job's error context reports them
+     --profile           self-profiling dashboard: one instrumented run
+                         (Example 2, SwapA-P) with per-phase timings,
+                         ns/slot, stage spans and probe instruments
 
    Table output is byte-identical for every --jobs value: each run draws
    from RNG streams split from its own spec seed, and results merge by
@@ -36,7 +41,8 @@ let usage =
   \                [--json PATH | --no-json]\n\
   \                [--tables-only | --perf-only | --macro-only]\n\
   \                [--macro-horizon N] [--resume PATH] [--retries N]\n\
-  \                [--max-slots N] [--check-invariants]"
+  \                [--max-slots N] [--check-invariants] [--flight-recorder N]\n\
+  \                [--profile]"
 
 let die fmt =
   Printf.ksprintf
@@ -44,6 +50,36 @@ let die fmt =
       Printf.eprintf "error: %s\n%s\n" msg usage;
       exit 2)
     fmt
+
+(* The --profile dashboard: one fully instrumented run (Example 2,
+   SwapA-P — the paper's main workload with the richest scheduler state)
+   showing where slot time goes, how the stages nest, and what the
+   standard probe instruments saw.  The run is separate from the measured
+   sweeps, so profiling never perturbs reported numbers. *)
+let profile_dashboard ~horizon ~seed =
+  let prof = Wfs_obs.Profiler.create () in
+  let reg = Wfs_obs.Instruments.create () in
+  let spec =
+    Wfs_runner.Spec.make ~seed ~horizon ~sched:"SwapA-P"
+      (Wfs_runner.Spec.example 2)
+  in
+  let n_flows = Array.length (Wfs_runner.Exec.setups_of spec) in
+  Wfs_obs.Profiler.span prof "dashboard" (fun () ->
+      let _metrics =
+        Wfs_obs.Profiler.span prof "run:SwapA-P" (fun () ->
+            Wfs_runner.Exec.run
+              ~probe:(fun sched ->
+                Wfs_obs.Probe.create ~instruments:reg ~n_flows sched)
+              ~profiler:(Wfs_obs.Profiler.hooks prof) spec)
+      in
+      Wfs_obs.Profiler.span prof "render" (fun () ->
+          Wfs_util.Tablefmt.print
+            (Wfs_obs.Profiler.phase_table ~slots:horizon prof);
+          print_newline ();
+          Wfs_util.Tablefmt.print
+            (Wfs_obs.Instruments.to_table ~title:"probe instruments" reg)));
+  print_newline ();
+  Wfs_util.Tablefmt.print (Wfs_obs.Profiler.span_table prof)
 
 let () =
   let quick = ref false in
@@ -61,6 +97,8 @@ let () =
   let retries = ref 0 in
   let max_slots = ref None in
   let invariants = ref false in
+  let flight_recorder = ref None in
+  let profile = ref false in
   let int_arg flag value =
     match int_of_string_opt value with
     | Some n -> n
@@ -125,8 +163,17 @@ let () =
     | "--check-invariants" :: rest ->
         invariants := true;
         parse rest
+    | ("--flight-recorder" as flag) :: value :: rest ->
+        let n = int_arg flag value in
+        if n < 1 then die "%s must be >= 1, got %d" flag n;
+        flight_recorder := Some n;
+        parse rest
+    | "--profile" :: rest ->
+        profile := true;
+        parse rest
     | [ ("--horizon" | "--seed" | "--seeds" | "--jobs" | "--json" | "--resume"
-        | "--retries" | "--max-slots" | "--macro-horizon") as flag ] ->
+        | "--retries" | "--max-slots" | "--macro-horizon"
+        | "--flight-recorder") as flag ] ->
         die "%s expects a value" flag
     | arg :: _ -> die "unknown argument %s" arg
   in
@@ -154,6 +201,7 @@ let () =
       retries = !retries;
       max_slots = !max_slots;
       invariants = !invariants;
+      flight_recorder = !flight_recorder;
       resume = !resume;
       params =
         [
@@ -233,6 +281,12 @@ let () =
     in
     Wfs_runner.Artifact.write ~path artifact;
     Printf.printf "wrote %s\n" path
+  end;
+  if !profile then begin
+    Printf.printf
+      "\n=== Profile dashboard (Example 2, SwapA-P, horizon=%d slots) ===\n\n"
+      macro_horizon;
+    profile_dashboard ~horizon:macro_horizon ~seed:!seed
   end;
   if !failed then exit 3;
   if do_micro then begin

@@ -35,6 +35,7 @@ type opts = {
   retries : int;
   max_slots : int option;
   invariants : bool;
+  flight_recorder : int option;
   resume : string option;
   params : (string * Json.t) list;
       (* sweep settings stamped into the journal header; a resumed journal
@@ -48,6 +49,7 @@ let default_opts ~jobs =
     retries = 0;
     max_slots = None;
     invariants = false;
+    flight_recorder = None;
     resume = None;
     params = [];
   }
@@ -57,10 +59,13 @@ type stats = { runs : int; slots : int; cached : int; failed : int }
 
 exception Missing of string
 
-(* Invariant checking is a per-sweep switch read by the job thunks at run
-   time (they are built before [exec] knows the options). *)
+(* Invariant checking and the flight recorder are per-sweep switches read
+   by the job thunks at run time (they are built before [exec] knows the
+   options). *)
 let invariants_flag = ref false
 let invariants_enabled () = !invariants_flag
+let flight_recorder_flag = ref None
+let flight_recorder_capacity () = !flight_recorder_flag
 
 let spec_job spec =
   {
@@ -68,7 +73,15 @@ let spec_job spec =
     slots = spec.Wfs_runner.Spec.horizon;
     run =
       (fun () ->
-        Metrics (Wfs_runner.Exec.run ~invariants:(invariants_enabled ()) spec));
+        (* run_outcome rather than run, so a dying job's error context
+           carries the flight recorder's last events; re-raising keeps the
+           pool's crash-isolation contract unchanged. *)
+        match
+          Wfs_runner.Exec.run_outcome ~invariants:(invariants_enabled ())
+            ?flight_recorder:(flight_recorder_capacity ()) spec
+        with
+        | Ok m -> Metrics m
+        | Error e -> Error.raise_ e);
   }
 
 (* --- journal payloads --- *)
@@ -158,6 +171,7 @@ let open_journal ~params ~cached path =
 
 let exec ~opts job_list =
   invariants_flag := opts.invariants;
+  flight_recorder_flag := opts.flight_recorder;
   (* Dedup by key, keeping first occurrence order. *)
   let seen = Hashtbl.create 256 in
   let distinct =

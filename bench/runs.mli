@@ -29,6 +29,10 @@ type opts = {
   max_slots : int option;
       (** deterministic watchdog: refuse any job declaring more slots *)
   invariants : bool;  (** run {!Wfs_core.Invariant} monitors in every job *)
+  flight_recorder : int option;
+      (** ring capacity: spec-backed jobs run with an N-event flight
+          recorder whose last events ride along in a failed job's error
+          context (see {!Wfs_runner.Exec.run_outcome}) *)
   resume : string option;
       (** journal path: created when absent, resumed when present *)
   params : (string * Wfs_util.Json.t) list;
@@ -52,9 +56,15 @@ val invariants_enabled : unit -> bool
     custom jobs driving {!Wfs_core.Simulator} directly should forward it
     to [Simulator.config ~invariants]. *)
 
+val flight_recorder_capacity : unit -> int option
+(** The sweep-wide flight-recorder capacity ({!opts.flight_recorder}), as
+    set by the current {!exec} — same contract as {!invariants_enabled}. *)
+
 val spec_job : Wfs_runner.Spec.t -> job
 (** Job keyed by [Spec.to_string] that runs the spec through
-    {!Wfs_runner.Exec.run} (with invariant monitors when enabled). *)
+    {!Wfs_runner.Exec.run_outcome} (with invariant monitors and the flight
+    recorder when enabled); a typed failure is re-raised so the pool's
+    crash isolation reports it. *)
 
 val result_to_json : result -> Wfs_util.Json.t
 

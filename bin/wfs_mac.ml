@@ -9,7 +9,8 @@
 module Mac = Wfs_mac
 module Core = Wfs_core
 
-let run ~path ~contention ~control_weight =
+let run ~path ~contention ~control_weight ~metrics_out ~trace_out ~trace_csv
+    ~trace_stride ~profile ~flight_recorder =
   let scenario = Core.Scenario.load path in
   let flows =
     Array.mapi
@@ -32,13 +33,81 @@ let run ~path ~contention ~control_weight =
         })
       scenario.Core.Scenario.setups
   in
+  let n_flows = Array.length flows in
+  let horizon = scenario.Core.Scenario.horizon in
+  let sinks =
+    if trace_out = None && trace_csv = None then []
+    else
+      let hdr =
+        Wfs_obs.Trace.header ~stride:trace_stride
+          ~params:
+            [
+              ("scenario", Wfs_util.Json.Str path);
+              ("seed", Wfs_util.Json.Int scenario.Core.Scenario.seed);
+              ("horizon", Wfs_util.Json.Int horizon);
+            ]
+          ~n_flows ()
+      in
+      List.filter_map Fun.id
+        [
+          Option.map (fun p -> Wfs_obs.Sink.jsonl ~path:p hdr) trace_out;
+          Option.map (fun p -> Wfs_obs.Sink.csv ~path:p hdr) trace_csv;
+        ]
+  in
+  let registry =
+    if metrics_out <> None then Some (Wfs_obs.Instruments.create ()) else None
+  in
+  let slot_probe =
+    if registry <> None || sinks <> [] then
+      Some (Wfs_obs.Probe.create ~stride:trace_stride ~sinks ?instruments:registry ~n_flows)
+    else None
+  in
+  let profiler = if profile then Some (Wfs_obs.Profiler.create ()) else None in
+  (* The flight recorder rides the config's trace slot: Mac_sim feeds its
+     WPS trace through it, so the ring holds the most recent swap/drop
+     events when a run dies. *)
+  let recorder =
+    Option.map (fun cap -> Core.Simulator.Tracelog.create ~capacity:cap ()) flight_recorder
+  in
   let cfg =
     Mac.Mac_sim.config
       ~rng:(Wfs_util.Rng.create scenario.Core.Scenario.seed)
-      ~control_weight ~contention
-      ~horizon:scenario.Core.Scenario.horizon flows
+      ~control_weight ~contention ?trace:recorder ?slot_probe
+      ?profiler:(Option.map Wfs_obs.Profiler.hooks profiler)
+      ~horizon flows
   in
-  let r = Mac.Mac_sim.run cfg in
+  let r =
+    match Mac.Mac_sim.run cfg with
+    | r ->
+        List.iter Wfs_obs.Sink.close sinks;
+        r
+    | exception exn -> (
+        List.iter Wfs_obs.Sink.close sinks;
+        match recorder with
+        | None -> raise exn
+        | Some tr ->
+            let backtrace = Printexc.get_raw_backtrace () in
+            let e = Wfs_util.Error.of_exn ~who:"wfs_mac" ~backtrace exn in
+            Wfs_util.Error.raise_
+              (Wfs_util.Error.add_context (Wfs_runner.Exec.flight_context tr) e))
+  in
+  (match (metrics_out, registry) with
+  | Some out_path, Some reg ->
+      let t = Wfs_obs.Instruments.to_table ~title:"probe instruments" reg in
+      let art =
+        Wfs_runner.Artifact.v ~horizon ~seed:scenario.Core.Scenario.seed
+          ~seeds:1 ~jobs:1 ~runs:1 ~slots:horizon ~wall_clock_s:0.
+          ~tables:
+            [
+              {
+                Wfs_runner.Artifact.title = Wfs_util.Tablefmt.title t;
+                columns = Wfs_util.Tablefmt.columns t;
+                rows = Wfs_util.Tablefmt.rows t;
+              };
+            ]
+      in
+      Wfs_runner.Artifact.write ~path:out_path art
+  | _ -> ());
   let m = r.Mac.Mac_sim.metrics in
   let table =
     Wfs_util.Tablefmt.create
@@ -65,7 +134,12 @@ let run ~path ~contention ~control_weight =
     "\ncontrol slots %d | data slots %d | idle %d | notifications %d (collisions %d) | piggyback reveals %d | mean reveal delay %.2f\n"
     r.Mac.Mac_sim.control_slots r.Mac.Mac_sim.data_slots r.Mac.Mac_sim.idle_slots
     r.Mac.Mac_sim.notifications_won r.Mac.Mac_sim.notification_collisions
-    r.Mac.Mac_sim.piggyback_reveals r.Mac.Mac_sim.mean_reveal_delay
+    r.Mac.Mac_sim.piggyback_reveals r.Mac.Mac_sim.mean_reveal_delay;
+  match profiler with
+  | None -> ()
+  | Some prof ->
+      print_newline ();
+      Wfs_util.Tablefmt.print (Wfs_obs.Profiler.phase_table ~slots:horizon prof)
 
 open Cmdliner
 
@@ -87,17 +161,85 @@ let control_weight_arg =
     value & opt float 1.
     & info [ "control-weight" ] ~doc:"Scheduling weight of the control flow.")
 
-let main path aloha control_weight =
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write probe instruments as a wfs-bench/1 JSON artifact.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream a per-slot wfs-trace/1 JSONL time series to FILE \
+           (selected may be the control-flow index n on a control slot).")
+
+let trace_csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-csv" ] ~docv:"FILE"
+        ~doc:"Like $(b,--trace-out) but a CSV sink; both may be given.")
+
+let trace_stride_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-stride" ] ~docv:"N"
+        ~doc:"Sample every N-th slot (default 1: every slot).")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Time each slot-loop phase with a monotonic clock and print a \
+           phase table (control-slot contention counts under transmit).")
+
+let flight_recorder_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "flight-recorder" ] ~docv:"N"
+        ~doc:
+          "Keep the last N WPS trace events in a ring; on a crash they are \
+           reported in the error context.")
+
+let main path aloha control_weight metrics_out trace_out trace_csv trace_stride
+    profile flight_recorder =
+  if trace_stride < 1 then begin
+    Printf.eprintf "wfs_mac: --trace-stride must be >= 1, got %d\n" trace_stride;
+    exit 2
+  end;
+  (match flight_recorder with
+  | Some n when n < 1 ->
+      Printf.eprintf "wfs_mac: --flight-recorder must be >= 1, got %d\n" n;
+      exit 2
+  | _ -> ());
   let contention =
     match aloha with
     | None -> Mac.Mac_sim.Single_shot
     | Some p -> Mac.Mac_sim.Aloha p
   in
-  run ~path ~contention ~control_weight
+  try
+    run ~path ~contention ~control_weight ~metrics_out ~trace_out ~trace_csv
+      ~trace_stride ~profile ~flight_recorder
+  with
+  | Invalid_argument msg ->
+      Printf.eprintf "wfs_mac: %s\n" msg;
+      exit 2
+  | Wfs_util.Error.Error e ->
+      Printf.eprintf "wfs_mac: %s\n" (Wfs_util.Error.to_string e);
+      exit 2
 
 let cmd =
   let doc = "Wireless cell simulator with the Section-6 MAC protocol" in
   Cmd.v (Cmd.info "wfs_mac" ~doc)
-    Term.(const main $ scenario_arg $ aloha_arg $ control_weight_arg)
+    Term.(
+      const main $ scenario_arg $ aloha_arg $ control_weight_arg
+      $ metrics_out_arg $ trace_out_arg $ trace_csv_arg $ trace_stride_arg
+      $ profile_arg $ flight_recorder_arg)
 
 let () = exit (Cmd.eval cmd)

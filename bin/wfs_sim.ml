@@ -53,11 +53,25 @@ let resolve_algorithms algo info =
 type run_result = {
   metrics : M.t;
   jain_gap : (float * float) option;  (* windowed fairness, when requested *)
+  instruments : Wfs_obs.Instruments.t option;  (* for --metrics-out *)
+}
+
+(* Observability options threaded into every run.  Sinks and the profiler
+   are shared mutable objects, so the driver forces --jobs 1 whenever they
+   are present; instrument registries are per-run and merge afterwards in
+   unit order, so they work at any job count. *)
+type obs = {
+  want_instruments : bool;
+  sinks : Wfs_obs.Sink.t list;
+  stride : int;
+  profiler : Wfs_obs.Profiler.t option;
+  flight : int option;  (* flight-recorder capacity *)
 }
 
 (* One self-contained run: registry lookup, fresh seeded setups, optional
-   fairness monitor.  Safe to execute on any domain. *)
-let run_one ~credit ~debit ~fairness ~invariants (spec : Spec.t) =
+   fairness monitor and telemetry.  Safe to execute on any domain (with
+   the sink/profiler caveat above). *)
+let run_one ~credit ~debit ~fairness ~invariants ~obs (spec : Spec.t) =
   let entry = Registry.get spec.sched in
   let setups = Wfs_runner.Exec.setups_of spec in
   let flows = Wfs_core.Presets.flows_of setups in
@@ -70,21 +84,51 @@ let run_one ~credit ~debit ~fairness ~invariants (spec : Spec.t) =
            ~window:100 ~sched)
     else None
   in
+  let registry =
+    if obs.want_instruments then Some (Wfs_obs.Instruments.create ()) else None
+  in
+  let slot_probe =
+    if obs.want_instruments || obs.sinks <> [] then
+      Some
+        (Wfs_obs.Probe.create ~stride:obs.stride ~sinks:obs.sinks
+           ?instruments:registry ~n_flows:(Array.length setups) sched)
+    else None
+  in
+  let trace =
+    Option.map
+      (fun cap -> Wfs_core.Simulator.Tracelog.create ~capacity:cap ())
+      obs.flight
+  in
   let cfg =
     Wfs_core.Simulator.config ~predictor:entry.Registry.predictor
       ?observer:(Option.map Wfs_core.Fairness.Monitor.observer monitor)
+      ?trace ?slot_probe
+      ?profiler:(Option.map Wfs_obs.Profiler.hooks obs.profiler)
       ~invariants ~horizon:spec.horizon setups
   in
-  let metrics = Wfs_core.Simulator.run cfg sched in
-  {
-    metrics;
-    jain_gap =
-      Option.map
-        (fun mon ->
-          ( Wfs_core.Fairness.Monitor.mean_jain mon,
-            Wfs_core.Fairness.Monitor.worst_gap mon ))
-        monitor;
-  }
+  match Wfs_core.Simulator.run cfg sched with
+  | metrics ->
+      {
+        metrics;
+        jain_gap =
+          Option.map
+            (fun mon ->
+              ( Wfs_core.Fairness.Monitor.mean_jain mon,
+                Wfs_core.Fairness.Monitor.worst_gap mon ))
+            monitor;
+        instruments = registry;
+      }
+  | exception exn -> (
+      (* With a flight recorder on, a dying run takes its last N events
+         along: re-raise as a typed error whose context carries them, so
+         the failure table shows what the scheduler was doing. *)
+      match trace with
+      | None -> raise exn
+      | Some tr ->
+          let backtrace = Printexc.get_raw_backtrace () in
+          let e = Wfs_util.Error.of_exn ~who:"wfs_sim" ~backtrace exn in
+          Wfs_util.Error.raise_
+            (Wfs_util.Error.add_context (Wfs_runner.Exec.flight_context tr) e))
 
 (* One rendered cell: plain value for a single replica, mean±95% CI across
    several. *)
@@ -104,13 +148,54 @@ let agg ?decimals results f =
    rows are skipped, the typed errors are listed in a failure table, and
    the process exits 3 instead of aborting mid-sweep. *)
 let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
-    ~retries ~max_slots ~invariants ~flow_base labeled_specs =
+    ~retries ~max_slots ~invariants ~flow_base ~metrics_out ~trace_out
+    ~trace_csv ~trace_stride ~profile ~flight_recorder labeled_specs =
   let units =
     Array.of_list
       (List.concat_map
          (fun (_, sp) ->
            List.init seeds (fun k -> Spec.with_seed (sp.Spec.seed + k) sp))
          labeled_specs)
+  in
+  let tracing = trace_out <> None || trace_csv <> None in
+  if tracing && Array.length units <> 1 then begin
+    Printf.eprintf
+      "wfs_sim: --trace-out/--trace-csv need exactly one run (one algorithm, \
+       --seeds 1); got %d runs\n"
+      (Array.length units);
+    exit 2
+  end;
+  let sinks =
+    if not tracing then []
+    else begin
+      let sp = units.(0) in
+      let n_flows = Array.length (Wfs_runner.Exec.setups_of sp) in
+      let hdr =
+        Wfs_obs.Trace.header ~stride:trace_stride
+          ~params:
+            [
+              ("sched", Wfs_util.Json.Str sp.Spec.sched);
+              ("seed", Wfs_util.Json.Int sp.Spec.seed);
+              ("horizon", Wfs_util.Json.Int sp.Spec.horizon);
+            ]
+          ~n_flows ()
+      in
+      List.filter_map Fun.id
+        [
+          Option.map (fun p -> Wfs_obs.Sink.jsonl ~path:p hdr) trace_out;
+          Option.map (fun p -> Wfs_obs.Sink.csv ~path:p hdr) trace_csv;
+        ]
+    end
+  in
+  let profiler = if profile then Some (Wfs_obs.Profiler.create ()) else None in
+  let obs =
+    {
+      want_instruments = metrics_out <> None;
+      sinks;
+      stride = trace_stride;
+      profiler;
+      flight = flight_recorder;
+    }
   in
   let outcomes =
     Wfs_runner.Pool.map_outcomes ~jobs ~retries
@@ -129,9 +214,10 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
                      ("horizon", string_of_int sp.Spec.horizon);
                      ("max_slots", string_of_int cap);
                    ])
-        | _ -> Ok (run_one ~credit ~debit ~fairness ~invariants sp))
+        | _ -> Ok (run_one ~credit ~debit ~fairness ~invariants ~obs sp))
       units
   in
+  List.iter Wfs_obs.Sink.close sinks;
   let columns =
     [ "algorithm"; "flow"; "mean_delay"; "loss"; "max_delay"; "stddev"; "thpt" ]
     @ (if fairness then [ "jain"; "worst_gap" ] else [])
@@ -197,6 +283,53 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
   | Csv ->
       print_endline (String.concat "," columns);
       List.iter print_endline (List.rev !csv_rows));
+  (match metrics_out with
+  | None -> ()
+  | Some path -> (
+      let registries =
+        Array.to_list outcomes
+        |> List.filter_map (function
+             | Ok { instruments = Some r; _ } -> Some r
+             | Ok _ | Error _ -> None)
+      in
+      match registries with
+      | [] -> ()  (* every run failed; the failure table tells the story *)
+      | registries ->
+          let merged = Wfs_obs.Instruments.merge_all registries in
+          let t = Wfs_obs.Instruments.to_table ~title:"probe instruments" merged in
+          let art_table =
+            {
+              Wfs_runner.Artifact.title = T.title t;
+              columns = T.columns t;
+              rows = T.rows t;
+            }
+          in
+          let sp0 = units.(0) in
+          let slots =
+            Array.fold_left
+              (fun acc (sp : Spec.t) -> acc + sp.Spec.horizon)
+              0 units
+          in
+          (* jobs and wall_clock_s are normalised (1 / 0.) so the artifact
+             is byte-identical for every --jobs value — registries merge in
+             unit order regardless of which domain ran what. *)
+          let art =
+            Wfs_runner.Artifact.v ~horizon:sp0.Spec.horizon ~seed:sp0.Spec.seed
+              ~seeds ~jobs:1 ~runs:(Array.length units) ~slots
+              ~wall_clock_s:0. ~tables:[ art_table ]
+          in
+          Wfs_runner.Artifact.write ~path art));
+  (match obs.profiler with
+  | None -> ()
+  | Some prof ->
+      let slots =
+        Array.fold_left (fun acc (sp : Spec.t) -> acc + sp.Spec.horizon) 0 units
+      in
+      let phase = Wfs_obs.Profiler.phase_table ~slots prof in
+      (* stderr under --csv, so piped output stays parseable *)
+      (match output with
+      | Table -> T.print phase
+      | Csv -> output_string stderr (T.render phase)));
   match List.rev !failures with
   | [] -> ()
   | failures ->
@@ -223,8 +356,38 @@ let list_schedulers () =
     (Registry.names ());
   T.print t
 
+(* Artifact validation (--check-trace / --check-metrics): load, summarise,
+   exit.  CI runs these on the files it just produced. *)
+let check_trace path =
+  match Wfs_obs.Trace.load ~path with
+  | Ok c ->
+      Printf.printf "%s: ok (%d flow(s), stride %d, %d sample(s))\n" path
+        c.Wfs_obs.Trace.hdr.Wfs_obs.Trace.n_flows
+        c.Wfs_obs.Trace.hdr.Wfs_obs.Trace.stride
+        (List.length c.Wfs_obs.Trace.samples);
+      exit 0
+  | Error e ->
+      Printf.eprintf "wfs_sim: %s: %s\n" path (Wfs_util.Error.to_string e);
+      exit 2
+
+let check_metrics path =
+  match Wfs_runner.Artifact.read path with
+  | Ok a ->
+      Printf.printf "%s: ok (%s, %d table(s), %d run(s), %d slots)\n" path
+        a.Wfs_runner.Artifact.schema
+        (List.length a.Wfs_runner.Artifact.tables)
+        a.Wfs_runner.Artifact.runs a.Wfs_runner.Artifact.slots;
+      exit 0
+  | Error msg ->
+      Printf.eprintf "wfs_sim: %s: %s\n" path msg;
+      exit 2
+
 let main_checked example seed horizon sum credit debit csv fairness algo info
-    scenario specs seeds jobs list retries max_slots invariants =
+    scenario specs seeds jobs list retries max_slots invariants metrics_out
+    trace_out trace_csv trace_stride profile flight_recorder check_trace_path
+    check_metrics_path =
+  (match check_trace_path with Some p -> check_trace p | None -> ());
+  (match check_metrics_path with Some p -> check_metrics p | None -> ());
   let output = if csv then Csv else Table in
   if seeds < 1 then (
     Printf.eprintf "wfs_sim: --seeds must be >= 1, got %d\n" seeds;
@@ -242,12 +405,26 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
       Printf.eprintf "wfs_sim: --max-slots must be >= 1, got %d\n" n;
       exit 2
   | _ -> ());
+  if trace_stride < 1 then (
+    Printf.eprintf "wfs_sim: --trace-stride must be >= 1, got %d\n" trace_stride;
+    exit 2);
+  (match flight_recorder with
+  | Some n when n < 1 ->
+      Printf.eprintf "wfs_sim: --flight-recorder must be >= 1, got %d\n" n;
+      exit 2
+  | _ -> ());
   let jobs =
     match jobs with Some n -> n | None -> Wfs_runner.Pool.default_jobs ()
   in
+  (* Trace sinks and the profiler are shared mutable state: serialise the
+     pool so samples land in slot order and timings aren't interleaved. *)
+  let jobs =
+    if trace_out <> None || trace_csv <> None || profile then 1 else jobs
+  in
   let render =
     run_and_render ~output ~jobs ~seeds ~credit ~debit ~fairness ~retries
-      ~max_slots ~invariants
+      ~max_slots ~invariants ~metrics_out ~trace_out ~trace_csv ~trace_stride
+      ~profile ~flight_recorder
   in
   if list then list_schedulers ()
   else if specs <> [] then
@@ -292,10 +469,14 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
    Invalid_argument (or a typed Bad_spec error) with a helpful message —
    turn them into a clean exit. *)
 let main example seed horizon sum credit debit csv fairness algo info scenario
-    specs seeds jobs list retries max_slots invariants =
+    specs seeds jobs list retries max_slots invariants metrics_out trace_out
+    trace_csv trace_stride profile flight_recorder check_trace_path
+    check_metrics_path =
   try
     main_checked example seed horizon sum credit debit csv fairness algo info
-      scenario specs seeds jobs list retries max_slots invariants
+      scenario specs seeds jobs list retries max_slots invariants metrics_out
+      trace_out trace_csv trace_stride profile flight_recorder check_trace_path
+      check_metrics_path
   with
   | Invalid_argument msg ->
       Printf.eprintf "wfs_sim: %s\n" msg;
@@ -417,6 +598,77 @@ let invariants_arg =
            finish-tag sanity, credit bounds, lag conservation, work \
            conservation) on every slot; a violation fails that run.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Record probe instruments (sample/idle counters, backlog \
+           histogram, virtual-time/lag gauges) for every run and write the \
+           merged table as a wfs-bench/1 JSON artifact.  Byte-identical for \
+           every $(b,--jobs) value.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream a per-slot wfs-trace/1 JSONL time series (queue depths, \
+           channel states, scheduler tags/credits/virtual time) to FILE.  \
+           Needs exactly one run (one algorithm, $(b,--seeds) 1); forces \
+           $(b,--jobs) 1.")
+
+let trace_csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-csv" ] ~docv:"FILE"
+        ~doc:"Like $(b,--trace-out) but a CSV sink; both may be given.")
+
+let trace_stride_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-stride" ] ~docv:"N"
+        ~doc:"Sample every N-th slot (default 1: every slot).")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Time each slot-loop phase (arrivals, predict, drops, select, \
+           transmit, slot-end) with a monotonic clock and print a phase \
+           table (stderr under $(b,--csv)).  Forces $(b,--jobs) 1.")
+
+let flight_recorder_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "flight-recorder" ] ~docv:"N"
+        ~doc:
+          "Keep a ring buffer of the last N trace events per run; when a \
+           run fails, they ride along in its failure-table entry.")
+
+let check_trace_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "check-trace" ] ~docv:"FILE"
+        ~doc:
+          "Validate a wfs-trace/1 file written by $(b,--trace-out), print a \
+           summary, and exit (0 valid, 2 corrupt).")
+
+let check_metrics_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "check-metrics" ] ~docv:"FILE"
+        ~doc:
+          "Validate a metrics artifact written by $(b,--metrics-out), print \
+           a summary, and exit (0 valid, 2 corrupt).")
+
 let cmd =
   let doc = "Wireless fair scheduling simulator (Lu/Bharghavan/Srikant 1997)" in
   Cmd.v
@@ -425,6 +677,8 @@ let cmd =
       const main $ example_arg $ seed_arg $ horizon_arg $ sum_arg $ credit_arg
       $ debit_arg $ csv_arg $ fairness_arg $ algo_arg $ info_arg $ scenario_arg
       $ spec_arg $ seeds_arg $ jobs_arg $ list_arg $ retries_arg
-      $ max_slots_arg $ invariants_arg)
+      $ max_slots_arg $ invariants_arg $ metrics_out_arg $ trace_out_arg
+      $ trace_csv_arg $ trace_stride_arg $ profile_arg $ flight_recorder_arg
+      $ check_trace_arg $ check_metrics_arg)
 
 let () = exit (Cmd.eval cmd)

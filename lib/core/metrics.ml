@@ -58,10 +58,17 @@ let max_delay t ~flow =
 
 let stddev_delay t ~flow = Summary.stddev (acc t flow).delays
 
+(* Two distinct "no data" situations, two conventions: a histogram with no
+   samples is an empty {e measurement} and yields [nan] (the caller asked a
+   statistical question with no answer); metrics created without
+   [~histograms] are a {e configuration} mistake and raise through the
+   typed taxonomy so runner failure tables classify it as Bad_config. *)
 let delay_percentile t ~flow ~p =
   match (acc t flow).histogram with
   | Some h -> Histogram.percentile h p
-  | None -> Wfs_util.Error.invalid "Metrics.delay_percentile" "created without histograms"
+  | None ->
+      Wfs_util.Error.bad_config ~who:"Metrics.delay_percentile"
+        "metrics were created without ~histograms:true"
 
 let loss t ~flow =
   let a = acc t flow in

@@ -34,9 +34,18 @@ val max_delay : t -> flow:int -> float
 val stddev_delay : t -> flow:int -> float
 
 val delay_percentile : t -> flow:int -> p:float -> float
-(** [p] in [0,100]; [nan] when no packets were delivered.
-    @raise Invalid_argument unless the metrics were created with
-    [~histograms:true]. *)
+(** [p] in [0,100].  Two empty-data conventions, deliberately distinct:
+
+    - {b no samples}: the histogram exists but no packet was delivered —
+      a statistical question with no answer, so the result is [nan]
+      (matching {!Wfs_util.Stats.Summary.min} on an empty summary);
+    - {b no histogram}: the metrics were created without
+      [~histograms:true] — a configuration mistake, so this raises
+      [Wfs_util.Error.Error] with kind [Bad_config] (rendered as such in
+      runner failure tables).
+
+    @raise Wfs_util.Error.Error (kind [Bad_config]) unless the metrics
+    were created with [~histograms:true]. *)
 
 val loss : t -> flow:int -> float
 (** dropped / arrivals; 0 when no arrivals. *)

@@ -10,18 +10,47 @@ type flow_setup = {
   channel : Channel.t;
 }
 
+(* Self-profiling phase ids: one per section of the slot loop.  Kept as
+   plain ints so the hot-loop hook calls are branch + call, nothing more. *)
+let phase_arrivals = 0
+let phase_predict = 1
+let phase_drops = 2
+let phase_select = 3
+let phase_transmit = 4
+let phase_slot_end = 5
+let n_phases = 6
+
+let phase_name = function
+  | 0 -> "arrivals"
+  | 1 -> "predict"
+  | 2 -> "drops"
+  | 3 -> "select"
+  | 4 -> "transmit"
+  | 5 -> "slot-end"
+  | p -> Wfs_util.Error.invalidf "Simulator.phase_name" "unknown phase %d" p
+
+type profiler_hooks = {
+  phase_begin : int -> unit;
+  phase_end : int -> unit;
+}
+
+type slot_probe =
+  slot:int -> selected:int option -> states:Channel.state array -> unit
+
 type config = {
   flows : flow_setup array;
   predictor : Predictor.kind;
   horizon : int;
   trace : Tracelog.t option;
   observer : (int -> Metrics.t -> unit) option;
+  slot_probe : slot_probe option;
+  profiler : profiler_hooks option;
   histograms : bool;
   invariants : bool;
 }
 
-let config ?(predictor = Predictor.One_step) ?trace ?observer
-    ?(histograms = false) ?(invariants = false) ~horizon flows =
+let config ?(predictor = Predictor.One_step) ?trace ?observer ?slot_probe
+    ?profiler ?(histograms = false) ?(invariants = false) ~horizon flows =
   if horizon < 0 then Wfs_util.Error.invalid "Simulator.config" "negative horizon";
   if Array.length flows = 0 then Wfs_util.Error.invalid "Simulator.config" "no flows";
   Array.iteri
@@ -29,7 +58,17 @@ let config ?(predictor = Predictor.One_step) ?trace ?observer
       if fs.flow.Params.id <> i then
         Wfs_util.Error.invalid_flow_ids "Simulator.config")
     flows;
-  { flows; predictor; horizon; trace; observer; histograms; invariants }
+  {
+    flows;
+    predictor;
+    horizon;
+    trace;
+    observer;
+    slot_probe;
+    profiler;
+    histograms;
+    invariants;
+  }
 
 let delay_bound_of (p : Params.drop_policy) =
   match p with
@@ -46,11 +85,23 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
   let metrics = Metrics.create ~histograms:cfg.histograms ~n_flows:n () in
   let seqs = Array.make n 0 in
   let predictors = Array.map (fun _ -> Predictor.create cfg.predictor) cfg.flows in
-  let tracing = match cfg.trace with None -> false | Some _ -> true in
+  let tracing =
+    match cfg.trace with None -> false | Some tr -> Tracelog.enabled tr
+  in
   let record ~slot ev =
     match cfg.trace with None -> () | Some tr -> Tracelog.record tr ~slot ev
   in
   let monitor = if cfg.invariants then Some (Invariant.create ()) else None in
+  (* Observability hooks: [profiling] is hoisted so the disabled path costs
+     one branch on a register-resident bool per phase boundary — the hook
+     closures are only entered when a profiler is actually attached. *)
+  let profiling = Option.is_some cfg.profiler in
+  let phase_begin p =
+    match cfg.profiler with None -> () | Some h -> h.phase_begin p
+  in
+  let phase_end p =
+    match cfg.profiler with None -> () | Some h -> h.phase_end p
+  in
   (* Hot-loop scratch, allocated once: the per-slot closures read
      [cur_slot] instead of capturing the loop variable, and [states] is
      overwritten in place each slot (see docs/PERF.md). *)
@@ -105,6 +156,7 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
   (for slot = 0 to cfg.horizon - 1 do
     cur_slot := slot;
     (* 1. Arrivals. *)
+    if profiling then phase_begin phase_arrivals;
     for li = 0 to Array.length live_sources - 1 do
       let i = live_sources.(li) in
       let count = Arrival.arrivals cfg.flows.(i).source ~slot in
@@ -124,12 +176,16 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
         else sched.enqueue ~slot pkt
       done
     done;
+    if profiling then phase_end phase_arrivals;
     (* 2–3. Channel states and predictions. *)
+    if profiling then phase_begin phase_predict;
     for i = 0 to n - 1 do
       if (not static_channel.(i)) || slot = 0 then
         states.(i) <- channel_state ~flow:i ~slot
     done;
+    if profiling then phase_end phase_predict;
     (* 4. Delay-bound drops (may discard packets anywhere in the queue). *)
+    if profiling then phase_begin phase_drops;
     for di = 0 to Array.length delay_flows - 1 do
       let i = delay_flows.(di) in
       match sched.drop_expired ~flow:i ~now:slot ~bound:delay_bounds.(i) with
@@ -143,8 +199,12 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
                   (Tracelog.Drop { flow = i; seq = pkt.seq; reason = "delay" }))
             dropped
     done;
+    if profiling then phase_end phase_drops;
     (* 5–6. Selection and transmission outcome. *)
+    if profiling then phase_begin phase_select;
     let selected = sched.select ~slot ~predicted_good in
+    if profiling then phase_end phase_select;
+    if profiling then phase_begin phase_transmit;
     (match selected with
     | None ->
         Metrics.on_idle_slot metrics;
@@ -182,14 +242,20 @@ let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
                          { flow = f; seq = pkt.Packet.seq; reason = "retx" })
               | Some _ | None -> ()
             end));
+    if profiling then phase_end phase_transmit;
     (* 7. End-of-slot hooks. *)
+    if profiling then phase_begin phase_slot_end;
     sched.on_slot_end ~slot;
     (match monitor with
     | None -> ()
     | Some m ->
         Invariant.check m ~slot ~sched ~n_flows:n ~predicted_good:peek_good
           ~selected);
-    (match cfg.observer with None -> () | Some f -> f slot metrics)
+    (match cfg.slot_probe with
+    | None -> ()
+    | Some probe -> probe ~slot ~selected ~states);
+    (match cfg.observer with None -> () | Some f -> f slot metrics);
+    if profiling then phase_end phase_slot_end
   done)
   [@hot];
   metrics

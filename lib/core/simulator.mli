@@ -11,11 +11,56 @@
     All randomness lives in the sources and channels; given the same
     scheduler and the same seeded components, runs are reproducible. *)
 
+module Tracelog : module type of struct
+  include Wfs_sim.Tracelog
+end
+(** Re-export of {!Wfs_sim.Tracelog}, so binaries whose main module is
+    named [wfs_sim] (the CLI) can still build capacity-bounded flight
+    recorders without linking the [wfs_sim] library under its clashing
+    top-level name. *)
+
 type flow_setup = {
   flow : Params.flow;
   source : Wfs_traffic.Arrival.t;
   channel : Wfs_channel.Channel.t;
 }
+
+(** {1 Observability hooks}
+
+    Phase ids passed to {!profiler_hooks}: one per numbered section of the
+    slot loop above.  Contiguous in [0, n_phases); a profiler can index a
+    preallocated accumulator array with them. *)
+
+val phase_arrivals : int
+val phase_predict : int
+val phase_drops : int
+val phase_select : int
+val phase_transmit : int
+val phase_slot_end : int
+val n_phases : int
+
+val phase_name : int -> string
+(** Human-readable label for a phase id.
+    @raise Invalid_argument on an id outside [0, n_phases). *)
+
+type profiler_hooks = {
+  phase_begin : int -> unit;
+  phase_end : int -> unit;
+}
+(** Called at the start/end of every phase of every slot with the phase id.
+    Hooks must not raise and must not touch the scheduler; they are meant
+    to read a monotonic clock and accumulate (see [Wfs_obs.Profiler]). *)
+
+type slot_probe =
+  slot:int -> selected:int option -> states:Wfs_channel.Channel.state array -> unit
+(** Called once per slot, after transmission and [on_slot_end] but before
+    the observer: [selected] is the flow the scheduler picked (or [None]
+    for an idle slot) and [states] is the true per-flow channel-state
+    scratch array for this slot — {b borrowed}, valid only during the
+    call; copy what you keep.  Per-flow scheduler internals (tags, credits,
+    virtual time, lag) are available through the scheduler's own
+    {!Wireless_sched.probe}, which a probe closure can capture at
+    construction time (see [Wfs_obs.Probe]). *)
 
 type config = {
   flows : flow_setup array;
@@ -26,6 +71,10 @@ type config = {
       (** called at the end of every slot with the slot index and the live
           metrics — used by the bounds verifier and tests to sample
           cumulative service/lag trajectories *)
+  slot_probe : slot_probe option;
+      (** per-slot telemetry hook; [None] costs one branch per slot *)
+  profiler : profiler_hooks option;
+      (** per-phase timing hooks; [None] costs one branch per phase *)
   histograms : bool;
       (** keep per-flow delay histograms so [Metrics.delay_percentile]
           works on the result *)
@@ -42,6 +91,8 @@ val config :
   ?predictor:Wfs_channel.Predictor.kind ->
   ?trace:Wfs_sim.Tracelog.t ->
   ?observer:(int -> Metrics.t -> unit) ->
+  ?slot_probe:slot_probe ->
+  ?profiler:profiler_hooks ->
   ?histograms:bool ->
   ?invariants:bool ->
   horizon:int ->

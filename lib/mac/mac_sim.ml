@@ -21,10 +21,13 @@ type config = {
   horizon : int;
   rng : Wfs_util.Rng.t;
   trace : Wfs_sim.Tracelog.t option;
+  slot_probe :
+    (Core.Wireless_sched.instance -> Core.Simulator.slot_probe) option;
+  profiler : Core.Simulator.profiler_hooks option;
 }
 
-let config ?(control_weight = 1.) ?wps ?(contention = Single_shot) ?trace ~rng
-    ~horizon flows =
+let config ?(control_weight = 1.) ?wps ?(contention = Single_shot) ?trace
+    ?slot_probe ?profiler ~rng ~horizon flows =
   if horizon < 0 then Wfs_util.Error.invalid "Mac_sim.config" "negative horizon";
   let wps = match wps with Some p -> p | None -> Core.Params.swapa () in
   let seen = Hashtbl.create 16 in
@@ -40,7 +43,7 @@ let config ?(control_weight = 1.) ?wps ?(contention = Single_shot) ?trace ~rng
   | Aloha p when not (p > 0. && p <= 1.) ->
       Wfs_util.Error.invalid "Mac_sim.config" "ALOHA persistence must be in (0,1]"
   | Aloha _ | Single_shot -> ());
-  { flows; control_weight; wps; contention; horizon; rng; trace }
+  { flows; control_weight; wps; contention; horizon; rng; trace; slot_probe; profiler }
 
 type result = {
   metrics : Core.Metrics.t;
@@ -77,6 +80,10 @@ let run cfg =
   in
   let wps = Core.Wps.create ~params:cfg.wps ?trace:cfg.trace params_flows in
   let sched = Core.Wps.instance wps in
+  (* As in Exec.run, the probe arrives as a builder: the WPS instance is
+     internal, so the caller says how to probe and this function applies it
+     once the scheduler exists. *)
+  let slot_probe = Option.map (fun build -> build sched) cfg.slot_probe in
   let mac =
     Array.map
       (fun spec ->
@@ -144,10 +151,19 @@ let run cfg =
     | Core.Params.Retx_limit k | Core.Params.Retx_or_delay (k, _) -> Some k
     | Core.Params.No_drop | Core.Params.Delay_bound _ -> None
   in
+  (* Observability hooks (same contract as {!Core.Simulator}): one branch
+     each when disabled. *)
+  let phase_begin p =
+    match cfg.profiler with None -> () | Some h -> h.Core.Simulator.phase_begin p
+  in
+  let phase_end p =
+    match cfg.profiler with None -> () | Some h -> h.Core.Simulator.phase_end p
+  in
   for slot = 0 to cfg.horizon - 1 do
     feed_control ~slot;
     (* 1. Arrivals: downlink packets are immediately known; uplink packets
        start invisible. *)
+    phase_begin Core.Simulator.phase_arrivals;
     Array.iteri
       (fun i mf ->
         let count = Wfs_traffic.Arrival.arrivals mf.spec.source ~slot in
@@ -159,8 +175,10 @@ let run cfg =
           else sched.enqueue ~slot pkt
         done)
       mac;
+    phase_end Core.Simulator.phase_arrivals;
     (* 2–3. Channels and one-step predictions (the control flow is always
        good). *)
+    phase_begin Core.Simulator.phase_predict;
     let states =
       Array.map (fun mf -> Channel.advance mf.spec.channel ~slot) mac
     in
@@ -169,8 +187,10 @@ let run cfg =
       || Channel.state_is_good
            (Predictor.predict mac.(i).predictor mac.(i).spec.channel ~slot)
     in
+    phase_end Core.Simulator.phase_predict;
     (* 4. Delay-bound drops apply to known and still-invisible packets
        alike (the host drops its own stale packets). *)
+    phase_begin Core.Simulator.phase_drops;
     Array.iteri
       (fun i mf ->
         match delay_bound_of mf.spec.drop with
@@ -188,8 +208,13 @@ let run cfg =
               | Some _ | None -> continue := false
             done)
       mac;
+    phase_end Core.Simulator.phase_drops;
     (* 5. Scheduling decision. *)
-    (match sched.select ~slot ~predicted_good with
+    phase_begin Core.Simulator.phase_select;
+    let selected = sched.select ~slot ~predicted_good in
+    phase_end Core.Simulator.phase_select;
+    phase_begin Core.Simulator.phase_transmit;
+    (match selected with
     | None ->
         incr idle_slots;
         Core.Metrics.on_idle_slot metrics
@@ -251,7 +276,15 @@ let run cfg =
                   Core.Metrics.on_drop metrics ~flow:f
               | Some _ | None -> ()
             end));
-    sched.on_slot_end ~slot
+    phase_end Core.Simulator.phase_transmit;
+    phase_begin Core.Simulator.phase_slot_end;
+    sched.on_slot_end ~slot;
+    (* The probe sees the data flows' true channel states; [selected] may be
+       [Some n] (the control-flow index) on a control slot. *)
+    (match slot_probe with
+    | None -> ()
+    | Some probe -> probe ~slot ~selected ~states);
+    phase_end Core.Simulator.phase_slot_end
   done;
   {
     metrics;

@@ -41,6 +41,17 @@ type config = {
   horizon : int;
   rng : Wfs_util.Rng.t;  (** drives notification contention *)
   trace : Wfs_sim.Tracelog.t option;
+  slot_probe :
+    (Wfs_core.Wireless_sched.instance -> Wfs_core.Simulator.slot_probe) option;
+      (** per-slot telemetry hook, as in {!Wfs_core.Simulator}, but passed
+          as a {e builder} (the WPS instance is internal to {!run}, exactly
+          like [Wfs_runner.Exec.run]'s [probe]); the probe's [states] array
+          covers the [n] data flows and [selected] may be [Some n] — the
+          control-flow index — on a control slot *)
+  profiler : Wfs_core.Simulator.profiler_hooks option;
+      (** per-phase timing hooks, sharing {!Wfs_core.Simulator}'s phase ids
+          (the contention resolution of a control slot is counted under the
+          transmit phase) *)
 }
 
 val config :
@@ -48,6 +59,9 @@ val config :
   ?wps:Wfs_core.Params.wps ->
   ?contention:contention_policy ->
   ?trace:Wfs_sim.Tracelog.t ->
+  ?slot_probe:
+    (Wfs_core.Wireless_sched.instance -> Wfs_core.Simulator.slot_probe) ->
+  ?profiler:Wfs_core.Simulator.profiler_hooks ->
   rng:Wfs_util.Rng.t ->
   horizon:int ->
   flow_spec array ->

@@ -1,0 +1,231 @@
+module Stats = Wfs_util.Stats
+module Json = Wfs_util.Json
+module Error = Wfs_util.Error
+module Tablefmt = Wfs_util.Tablefmt
+
+type gauge_policy = Sum | Max | Min | Last
+
+let policy_to_string = function
+  | Sum -> "sum"
+  | Max -> "max"
+  | Min -> "min"
+  | Last -> "last"
+
+let policy_of_string = function
+  | "sum" -> Some Sum
+  | "max" -> Some Max
+  | "min" -> Some Min
+  | "last" -> Some Last
+  | _ -> None
+
+let policy_equal a b =
+  match (a, b) with
+  | Sum, Sum | Max, Max | Min, Min | Last, Last -> true
+  | (Sum | Max | Min | Last), _ -> false
+
+type counter = { mutable count : int }
+type gauge = { policy : gauge_policy; mutable gvalue : float; mutable gset : bool }
+type histogram = Stats.Histogram.t
+
+type body = C of counter | G of gauge | H of histogram
+type instrument = { iname : string; body : body }
+
+(* Instruments in creation order.  Creation order is the merge key: two
+   registries merge positionally, so every worker must register the same
+   instruments in the same order — which holds by construction, since
+   workers run identical code.  A name lookup would also work but would
+   invite merging registries of different provenance. *)
+type t = { mutable items : instrument list (* newest first *) }
+
+let create () = { items = [] }
+
+let register t iname body =
+  if List.exists (fun i -> String.equal i.iname iname) t.items then
+    Error.bad_config ~who:"Instruments.register"
+      ("duplicate instrument name: " ^ iname);
+  t.items <- { iname; body } :: t.items
+
+let counter t name =
+  let c = { count = 0 } in
+  register t name (C c);
+  c
+
+let gauge ?(policy = Max) t name =
+  let g = { policy; gvalue = 0.; gset = false } in
+  register t name (G g);
+  g
+
+let histogram ?bin_width t name =
+  let h = Stats.Histogram.create ?bin_width () in
+  register t name (H h);
+  h
+
+let incr c = c.count <- c.count + 1
+let add c k = c.count <- c.count + k
+let count c = c.count
+
+let set g v =
+  if g.gset then
+    g.gvalue <-
+      (match g.policy with
+      | Sum -> g.gvalue +. v
+      | Max -> Float.max g.gvalue v
+      | Min -> Float.min g.gvalue v
+      | Last -> v)
+  else g.gvalue <- v;
+  g.gset <- true
+
+let value g = if g.gset then Some g.gvalue else None
+let observe h v = Stats.Histogram.add h v
+
+let size t = List.length t.items
+let names t = List.rev_map (fun i -> i.iname) t.items
+
+(* --- deterministic positional merge --- *)
+
+let mismatch ~who i what =
+  Error.bad_config ~who
+    (Printf.sprintf "registries disagree at position %d: %s" i what)
+
+let merge_body ~who i a b =
+  match (a, b) with
+  | C x, C y -> C { count = x.count + y.count }
+  | G x, G y ->
+      if not (policy_equal x.policy y.policy) then
+        mismatch ~who i "gauge policies differ";
+      if not x.gset then G { y with policy = y.policy }
+      else if not y.gset then G { x with policy = x.policy }
+      else
+        let v =
+          match x.policy with
+          | Sum -> x.gvalue +. y.gvalue
+          | Max -> Float.max x.gvalue y.gvalue
+          | Min -> Float.min x.gvalue y.gvalue
+          | Last -> y.gvalue
+        in
+        G { policy = x.policy; gvalue = v; gset = true }
+  | H x, H y -> H (Stats.Histogram.merge x y)
+  | (C _ | G _ | H _), _ -> mismatch ~who i "instrument kinds differ"
+
+let merge a b =
+  let who = "Instruments.merge" in
+  let xa = List.rev a.items and xb = List.rev b.items in
+  if List.length xa <> List.length xb then
+    Error.bad_config ~who "registries have different sizes";
+  let items =
+    List.mapi
+      (fun i (ia, ib) ->
+        if not (String.equal ia.iname ib.iname) then
+          mismatch ~who i
+            (Printf.sprintf "names differ (%s vs %s)" ia.iname ib.iname);
+        { iname = ia.iname; body = merge_body ~who i ia.body ib.body })
+      (List.combine xa xb)
+  in
+  { items = List.rev items }
+
+let merge_all = function
+  | [] -> Error.bad_config ~who:"Instruments.merge_all" "no registries"
+  | first :: rest -> List.fold_left merge first rest
+
+(* --- rendering --- *)
+
+let dash = "-"
+let cell v = Tablefmt.cell_of_float v
+let icell v = string_of_int v
+
+let to_table ?(title = "instruments") t =
+  let table =
+    Tablefmt.create ~title
+      ~columns:[ "instrument"; "kind"; "value"; "n"; "mean"; "p95"; "max" ]
+  in
+  List.iter
+    (fun { iname; body } ->
+      let row =
+        match body with
+        | C c -> [ iname; "counter"; icell c.count; dash; dash; dash; dash ]
+        | G g ->
+            [
+              iname;
+              "gauge/" ^ policy_to_string g.policy;
+              (if g.gset then cell g.gvalue else dash);
+              dash; dash; dash; dash;
+            ]
+        | H h ->
+            [
+              iname;
+              "histogram";
+              dash;
+              icell (Stats.Histogram.count h);
+              cell (Stats.Histogram.mean h);
+              cell (Stats.Histogram.percentile h 95.);
+              cell (Stats.Histogram.max_value h);
+            ]
+      in
+      Tablefmt.add_row table row)
+    (List.rev t.items);
+  table
+
+(* --- bit-exact serialization (wfs-bench/1 idiom: schema field + shortest
+   exact floats), so sharded registries journal and round-trip. --- *)
+
+let schema = "wfs-instruments/1"
+
+let body_to_json = function
+  | C c -> [ ("kind", Json.Str "counter"); ("count", Json.Int c.count) ]
+  | G g ->
+      [
+        ("kind", Json.Str "gauge");
+        ("policy", Json.Str (policy_to_string g.policy));
+        ("set", Json.Int (if g.gset then 1 else 0));
+        ("value", Json.of_float_ext g.gvalue);
+      ]
+  | H h -> [ ("kind", Json.Str "histogram"); ("hist", Stats.Histogram.to_json h) ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ( "instruments",
+        Json.Arr
+          (List.rev_map
+             (fun i -> Json.Obj (("name", Json.Str i.iname) :: body_to_json i.body))
+             t.items) );
+    ]
+
+let body_of_json v =
+  let ( let* ) = Option.bind in
+  let* kind = Option.bind (Json.member "kind" v) Json.to_str in
+  match kind with
+  | "counter" ->
+      let* count = Option.bind (Json.member "count" v) Json.to_int in
+      Some (C { count })
+  | "gauge" ->
+      let* p = Option.bind (Json.member "policy" v) Json.to_str in
+      let* policy = policy_of_string p in
+      let* set = Option.bind (Json.member "set" v) Json.to_int in
+      let* gvalue = Option.bind (Json.member "value" v) Json.to_float_ext in
+      Some (G { policy; gvalue; gset = set <> 0 })
+  | "histogram" ->
+      let* h = Option.bind (Json.member "hist" v) Stats.Histogram.of_json in
+      Some (H h)
+  | _ -> None
+
+let of_json v =
+  let ( let* ) = Option.bind in
+  let* s = Option.bind (Json.member "schema" v) Json.to_str in
+  if not (String.equal s schema) then None
+  else
+    let* items = Option.bind (Json.member "instruments" v) Json.to_list in
+    let* items =
+      List.fold_left
+        (fun acc v ->
+          match acc with
+          | None -> None
+          | Some acc ->
+              let* iname = Option.bind (Json.member "name" v) Json.to_str in
+              let* body = body_of_json v in
+              Some ({ iname; body } :: acc))
+        (Some []) items
+    in
+    (* [items] is already newest-first from the fold. *)
+    Some { items }

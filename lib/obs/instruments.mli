@@ -1,0 +1,78 @@
+(** Allocation-conscious instrument registry: counters, gauges and
+    histograms with a deterministic merge.
+
+    A registry is created per simulation run.  {!Wfs_runner.Pool} workers
+    each fill their own registry; after the pool returns (results in input
+    order, regardless of which domain ran what), the per-run registries are
+    combined with {!merge_all} — a {e positional} merge, instrument [i] of
+    one registry with instrument [i] of the other.  Because every worker
+    runs the same registration code, positions line up by construction, and
+    because the merged order is the input order, the rendered table is
+    byte-identical for any [--jobs] value.
+
+    Recording is cheap — a counter bump is one store; a gauge set is a
+    compare and a store — but not free: instruments are meant to be fed
+    from a {!Probe} (itself behind one branch per slot), never from a
+    [\[@hot\]] scope directly. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+type gauge_policy =
+  | Sum  (** merged gauges add *)
+  | Max  (** merged gauges keep the maximum (default) *)
+  | Min
+  | Last  (** merged gauges keep the right operand's value *)
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+val gauge : ?policy:gauge_policy -> t -> string -> gauge
+val histogram : ?bin_width:float -> t -> string -> histogram
+(** Register an instrument.  Registration order is significant (it is the
+    merge key and the table row order).
+    @raise Wfs_util.Error.Error (kind [Bad_config]) on a duplicate name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val set : gauge -> float -> unit
+(** Repeated sets combine under the gauge's own policy ([Max] keeps the
+    running maximum, [Sum] accumulates, ...). *)
+
+val value : gauge -> float option
+(** [None] when never set. *)
+
+val observe : histogram -> float -> unit
+
+val size : t -> int
+val names : t -> string list
+(** In registration order. *)
+
+val merge : t -> t -> t
+(** Positional merge: counters add, gauges combine under their policy,
+    histograms add binwise ({!Wfs_util.Stats.Histogram.merge}).  Inputs are
+    not mutated.
+    @raise Wfs_util.Error.Error (kind [Bad_config]) when sizes, names,
+    kinds or gauge policies disagree at any position. *)
+
+val merge_all : t list -> t
+(** Left fold of {!merge}; the list order is the (deterministic) merge
+    order.
+    @raise Wfs_util.Error.Error (kind [Bad_config]) on an empty list. *)
+
+val to_table : ?title:string -> t -> Wfs_util.Tablefmt.t
+(** One row per instrument in registration order; unset cells render as
+    [-].  Histograms show count, mean, p95 and max. *)
+
+val schema : string
+(** ["wfs-instruments/1"] *)
+
+val to_json : t -> Wfs_util.Json.t
+val of_json : Wfs_util.Json.t -> t option
+(** Bit-exact round-trip (floats use the shortest decimal restoring the
+    same bits), like {!Wfs_util.Stats.Summary.to_json}. *)

@@ -1,0 +1,233 @@
+module Json = Wfs_util.Json
+module Error = Wfs_util.Error
+
+let schema = "wfs-trace/1"
+
+type flow_sample = {
+  queue : int;
+  good : bool;
+  tag : float option;
+  credit : int option;
+}
+
+type sample = {
+  slot : int;
+  selected : int option;
+  virtual_time : float option;
+  lag_sum : int option;
+  flows : flow_sample array;
+}
+
+type header = {
+  n_flows : int;
+  stride : int;
+  params : (string * Json.t) list;
+}
+
+let header ?(stride = 1) ?(params = []) ~n_flows () =
+  if n_flows < 1 then
+    Error.bad_config ~who:"Trace.header" "n_flows must be >= 1";
+  if stride < 1 then Error.bad_config ~who:"Trace.header" "stride must be >= 1";
+  List.iter
+    (fun (k, _) ->
+      if
+        List.exists (String.equal k) [ "schema"; "n_flows"; "stride" ]
+      then
+        Error.bad_config ~who:"Trace.header" ("reserved param name: " ^ k))
+    params;
+  { n_flows; stride; params }
+
+(* --- JSON codecs.  Optional quantities are encoded by field presence, so
+   a scheduler with no virtual time produces no "vt" key at all — parsers
+   must not read absence as zero. --- *)
+
+let header_to_json h =
+  Json.Obj
+    (("schema", Json.Str schema)
+    :: ("n_flows", Json.Int h.n_flows)
+    :: ("stride", Json.Int h.stride)
+    :: h.params)
+
+let header_of_json v =
+  let ( let* ) = Option.bind in
+  let* s = Option.bind (Json.member "schema" v) Json.to_str in
+  if not (String.equal s schema) then None
+  else
+    let* n_flows = Option.bind (Json.member "n_flows" v) Json.to_int in
+    let* stride = Option.bind (Json.member "stride" v) Json.to_int in
+    if n_flows < 1 || stride < 1 then None
+    else
+      let params =
+        match v with
+        | Json.Obj fields ->
+            List.filter
+              (fun (k, _) ->
+                not
+                  (List.exists (String.equal k) [ "schema"; "n_flows"; "stride" ]))
+              fields
+        | _ -> []
+      in
+      Some { n_flows; stride; params }
+
+let flow_to_json f =
+  let base = [ ("q", Json.Int f.queue); ("g", Json.Int (if f.good then 1 else 0)) ] in
+  let base =
+    match f.tag with None -> base | Some t -> base @ [ ("tag", Json.of_float_ext t) ]
+  in
+  match f.credit with None -> base | Some c -> base @ [ ("cr", Json.Int c) ]
+
+let flow_of_json v =
+  let ( let* ) = Option.bind in
+  let* queue = Option.bind (Json.member "q" v) Json.to_int in
+  let* good = Option.bind (Json.member "g" v) Json.to_int in
+  let tag = Option.bind (Json.member "tag" v) Json.to_float_ext in
+  let credit = Option.bind (Json.member "cr" v) Json.to_int in
+  Some { queue; good = good <> 0; tag; credit }
+
+let sample_to_json s =
+  let fields = [ ("slot", Json.Int s.slot) ] in
+  let fields =
+    match s.selected with
+    | None -> fields
+    | Some f -> fields @ [ ("sel", Json.Int f) ]
+  in
+  let fields =
+    match s.virtual_time with
+    | None -> fields
+    | Some v -> fields @ [ ("vt", Json.of_float_ext v) ]
+  in
+  let fields =
+    match s.lag_sum with
+    | None -> fields
+    | Some l -> fields @ [ ("lag", Json.Int l) ]
+  in
+  Json.Obj
+    (fields
+    @ [
+        ( "flows",
+          Json.Arr (Array.to_list (Array.map (fun f -> Json.Obj (flow_to_json f)) s.flows))
+        );
+      ])
+
+let sample_of_json v =
+  let ( let* ) = Option.bind in
+  let* slot = Option.bind (Json.member "slot" v) Json.to_int in
+  let selected = Option.bind (Json.member "sel" v) Json.to_int in
+  let virtual_time = Option.bind (Json.member "vt" v) Json.to_float_ext in
+  let lag_sum = Option.bind (Json.member "lag" v) Json.to_int in
+  let* flows = Option.bind (Json.member "flows" v) Json.to_list in
+  let* flows =
+    List.fold_left
+      (fun acc fv ->
+        match acc with
+        | None -> None
+        | Some acc -> Option.map (fun f -> f :: acc) (flow_of_json fv))
+      (Some []) flows
+  in
+  Some
+    {
+      slot;
+      selected;
+      virtual_time;
+      lag_sum;
+      flows = Array.of_list (List.rev flows);
+    }
+
+let sample_to_string s = Json.to_string ~pretty:false (sample_to_json s)
+
+let sample_of_string line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok v -> sample_of_json v
+
+let header_to_string h = Json.to_string ~pretty:false (header_to_json h)
+
+(* --- equality, for round-trip tests.  Floats compare by total order so a
+   nan that survives of_float_ext round-trips as equal. --- *)
+
+let float_opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Float.compare x y = 0
+  | (None | Some _), _ -> false
+
+let int_opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x = y
+  | (None | Some _), _ -> false
+
+let flow_equal a b =
+  a.queue = b.queue && a.good = b.good && float_opt_equal a.tag b.tag
+  && int_opt_equal a.credit b.credit
+
+let sample_equal a b =
+  a.slot = b.slot
+  && int_opt_equal a.selected b.selected
+  && float_opt_equal a.virtual_time b.virtual_time
+  && int_opt_equal a.lag_sum b.lag_sum
+  && Array.length a.flows = Array.length b.flows
+  && Array.for_all2 flow_equal a.flows b.flows
+
+let header_equal a b =
+  a.n_flows = b.n_flows && a.stride = b.stride
+  && List.length a.params = List.length b.params
+  && List.for_all2
+       (fun (ka, va) (kb, vb) ->
+         String.equal ka kb
+         && String.equal
+              (Json.to_string ~pretty:false va)
+              (Json.to_string ~pretty:false vb))
+       a.params b.params
+
+(* --- loading (the Journal convention: a torn final line — an interrupted
+   append or a kill mid-flush — is dropped; a bad line with valid lines
+   after it is corruption and refuses to load). --- *)
+
+type contents = { hdr : header; samples : sample list }
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let load ~path =
+  let fail what context =
+    Error
+      (Error.v Error.Bad_spec ~who:"Trace.load" what
+         ~context:(("path", path) :: context))
+  in
+  match read_lines path with
+  | exception Sys_error msg -> fail msg []
+  | [] -> fail "empty trace (no header)" []
+  | hline :: rest -> (
+      match Json.of_string hline with
+      | Error msg -> fail "unreadable header" [ ("detail", msg) ]
+      | Ok hv -> (
+          match header_of_json hv with
+          | None -> fail "header is not a wfs-trace/1 header" []
+          | Some hdr ->
+              let n = List.length rest in
+              let rec go acc i = function
+                | [] -> Ok { hdr; samples = List.rev acc }
+                | line :: tl -> (
+                    match sample_of_string line with
+                    | Some s ->
+                        if Array.length s.flows <> hdr.n_flows then
+                          fail "sample width disagrees with header"
+                            [ ("line", string_of_int (i + 2)) ]
+                        else go (s :: acc) (i + 1) tl
+                    | None ->
+                        if i = n - 1 then Ok { hdr; samples = List.rev acc }
+                        else
+                          fail "corrupt sample before end of trace"
+                            [ ("line", string_of_int (i + 2)) ])
+              in
+              go [] 0 rest))

@@ -20,24 +20,59 @@ let setups_of (spec : Spec.t) =
       let sc = Core.Scenario.load ~seed:spec.seed ~horizon:spec.horizon path in
       sc.Core.Scenario.setups
 
-let run ?credit_limit ?debit_limit ?limits ?observer ?histograms ?invariants
-    (spec : Spec.t) =
+let run ?credit_limit ?debit_limit ?limits ?observer ?trace ?probe ?profiler
+    ?histograms ?invariants (spec : Spec.t) =
   let entry = Core.Registry.get spec.sched in
   let setups = setups_of spec in
   let flows = Core.Presets.flows_of setups in
   let sched = entry.Core.Registry.make ?credit_limit ?debit_limit ?limits flows in
+  (* The scheduler instance exists only here, so telemetry probes arrive as
+     builders: the caller says how to probe, this function says what. *)
+  let slot_probe = Option.map (fun build -> build sched) probe in
   let cfg =
     Core.Simulator.config ~predictor:entry.Core.Registry.predictor ?observer
-      ?histograms ?invariants ~horizon:spec.horizon setups
+      ?trace ?slot_probe ?profiler ?histograms ?invariants
+      ~horizon:spec.horizon setups
   in
   Core.Simulator.run cfg sched
 
-let run_outcome ?credit_limit ?debit_limit ?limits ?observer ?histograms
-    ?invariants ?max_slots (spec : Spec.t) =
+(* The flight recorder is a capacity-bounded Tracelog: cheap enough to
+   leave on for whole sweeps, and when a run dies its last [capacity]
+   events ride along in the error context, so the runner's failure table
+   shows what the scheduler was doing right before the fault. *)
+let flight_context tr =
+  let events = Wfs_sim.Tracelog.events tr in
+  [
+    ( "flight-recorder-events",
+      string_of_int (Wfs_sim.Tracelog.length tr) );
+    ( "flight-recorder",
+      String.concat " | " (List.map Wfs_sim.Tracelog.entry_to_string events) );
+  ]
+
+let run_outcome ?credit_limit ?debit_limit ?limits ?observer ?trace ?probe
+    ?profiler ?flight_recorder ?histograms ?invariants ?max_slots
+    (spec : Spec.t) =
   let module Error = Wfs_util.Error in
   let spec_context = [ ("spec", Spec.to_string spec) ] in
-  match max_slots with
-  | Some cap when spec.horizon > cap ->
+  let recorder =
+    match (flight_recorder, trace) with
+    | None, _ -> Ok None
+    | Some _, Some _ ->
+        Error
+          (Error.v Error.Bad_config ~who:"Exec.run_outcome"
+             "flight_recorder and trace are mutually exclusive"
+             ~context:spec_context)
+    | Some cap, None -> (
+        match Wfs_sim.Tracelog.create ~capacity:cap () with
+        | tr -> Ok (Some tr)
+        | exception Invalid_argument msg ->
+            Error
+              (Error.v Error.Bad_config ~who:"Exec.run_outcome" msg
+                 ~context:spec_context))
+  in
+  match (recorder, max_slots) with
+  | Error e, _ -> Error e
+  | Ok _, Some cap when spec.horizon > cap ->
       (* The slot loop is horizon-bounded, so runaway cost is declared up
          front: refuse jobs whose slot budget exceeds the cap instead of
          pretending to watch a loop that cannot diverge. *)
@@ -50,10 +85,16 @@ let run_outcome ?credit_limit ?debit_limit ?limits ?observer ?histograms
                  ("horizon", string_of_int spec.horizon);
                  ("max_slots", string_of_int cap);
                ]))
-  | _ -> (
+  | Ok recorder, _ -> (
+      let trace =
+        match recorder with Some tr -> Some tr | None -> trace
+      in
+      let recorder_context () =
+        match recorder with None -> [] | Some tr -> flight_context tr
+      in
       match
-        run ?credit_limit ?debit_limit ?limits ?observer ?histograms
-          ?invariants spec
+        run ?credit_limit ?debit_limit ?limits ?observer ?trace ?probe
+          ?profiler ?histograms ?invariants spec
       with
       | metrics -> Ok metrics
       | exception Core.Scenario.Parse_error { line; message } ->
@@ -63,7 +104,8 @@ let run_outcome ?credit_limit ?debit_limit ?limits ?observer ?histograms
       | exception exn ->
           let backtrace = Printexc.get_raw_backtrace () in
           Error
-            (Error.add_context spec_context
+            (Error.add_context
+               (spec_context @ recorder_context ())
                (Error.of_exn ~who:"Exec.run_outcome" ~backtrace exn)))
 
 let run_all ~jobs ?credit_limit ?debit_limit ?limits specs =

@@ -20,13 +20,20 @@ val run :
   ?debit_limit:int ->
   ?limits:(int * int) array ->
   ?observer:(int -> Wfs_core.Metrics.t -> unit) ->
+  ?trace:Wfs_sim.Tracelog.t ->
+  ?probe:(Wfs_core.Wireless_sched.instance -> Wfs_core.Simulator.slot_probe) ->
+  ?profiler:Wfs_core.Simulator.profiler_hooks ->
   ?histograms:bool ->
   ?invariants:bool ->
   Spec.t ->
   Wfs_core.Metrics.t
 (** Run one spec to completion in the calling domain.  The optional
     scheduler knobs are forwarded to the registry constructor; [observer],
-    [histograms] and [invariants] to {!Wfs_core.Simulator.config}.  For a
+    [histograms] and [invariants] to {!Wfs_core.Simulator.config}.
+    [probe] is a {e builder}: the scheduler instance only exists inside
+    this call, so the caller passes a function from instance to slot probe
+    (e.g. [Wfs_obs.Probe.create ~n_flows]) and it is invoked once, after
+    scheduler construction.  For a
     [File] scenario the spec's seed/horizon override the file's
     directives, and the scheduler entry's predictor overrides the file's
     [predictor] line (the registry name states the channel knowledge,
@@ -41,6 +48,10 @@ val run_outcome :
   ?debit_limit:int ->
   ?limits:(int * int) array ->
   ?observer:(int -> Wfs_core.Metrics.t -> unit) ->
+  ?trace:Wfs_sim.Tracelog.t ->
+  ?probe:(Wfs_core.Wireless_sched.instance -> Wfs_core.Simulator.slot_probe) ->
+  ?profiler:Wfs_core.Simulator.profiler_hooks ->
+  ?flight_recorder:int ->
   ?histograms:bool ->
   ?invariants:bool ->
   ?max_slots:int ->
@@ -56,7 +67,23 @@ val run_outcome :
     [max_slots] is the deterministic watchdog: a spec whose [horizon]
     exceeds it is refused {e before} running.  The slot loop is strictly
     horizon-bounded, so the budget is knowable up front — no wall-clock
-    timers, identical verdicts on any machine. *)
+    timers, identical verdicts on any machine.
+
+    [flight_recorder n] runs the spec with a capacity-[n] ring trace
+    ({!Wfs_sim.Tracelog.create}[ ~capacity]).  On {e any} failure the
+    error context gains [flight-recorder-events] (count retained) and
+    [flight-recorder] (the last [n] events, rendered ["s<slot> <event>"]
+    and ["|"]-separated) — so a [Sim_fault]/[Invariant_violation] row in
+    the failure table shows what the scheduler did right before dying.
+    Mutually exclusive with [trace] ([Bad_config] if both are given;
+    [Bad_config] too when [n < 1]). *)
+
+val flight_context : Wfs_sim.Tracelog.t -> (string * string) list
+(** The context fields a flight recorder contributes to an error:
+    [flight-recorder-events] (entries retained) and [flight-recorder] (the
+    entries rendered ["s<slot> <event>"], ["|"]-separated).  Exposed for
+    drivers that manage their own recorder (e.g. the CLI's fairness path,
+    which builds its scheduler outside {!run}). *)
 
 val run_all :
   jobs:int ->

@@ -10,21 +10,50 @@ type event =
 
 type entry = { slot : int; event : event }
 
-type t = { enabled : bool; mutable entries : entry list (* reversed *) }
+(* Both the unbounded log and the flight-recorder mode share one
+   representation: a ring-buffer deque.  Without [capacity] the deque grows
+   by doubling; with [capacity] the oldest entry is evicted from the front
+   as each new one is pushed, so memory stays O(capacity) over any
+   horizon. *)
+type t = {
+  enabled : bool;
+  capacity : int option;
+  entries : entry Wfs_util.Deque.t;
+}
 
-let create ?(enabled = true) () = { enabled; entries = [] }
+let dummy = { slot = 0; event = Slot_idle }
+
+let create ?(enabled = true) ?capacity () =
+  (match capacity with
+  | Some c when c < 1 ->
+      Wfs_util.Error.invalidf "Tracelog.create" "capacity must be >= 1, got %d" c
+  | Some _ | None -> ());
+  let initial = match capacity with Some c -> c | None -> 8 in
+  { enabled; capacity; entries = Wfs_util.Deque.create ~capacity:initial ~dummy () }
+
 let enabled t = t.enabled
+let capacity t = t.capacity
 
 let record t ~slot event =
-  if t.enabled then t.entries <- { slot; event } :: t.entries
+  if t.enabled then begin
+    Wfs_util.Deque.push_back t.entries { slot; event };
+    match t.capacity with
+    | Some c when Wfs_util.Deque.length t.entries > c ->
+        ignore (Wfs_util.Deque.pop_front t.entries)
+    | Some _ | None -> ()
+  end
 
-let events t = List.rev t.entries
-let filter t p = List.rev (List.filter p t.entries)
+let length t = Wfs_util.Deque.length t.entries
+let events t = Wfs_util.Deque.to_list t.entries
+
+let filter t p =
+  List.rev
+    (Wfs_util.Deque.fold (fun acc e -> if p e then e :: acc else acc) [] t.entries)
 
 let count t p =
-  List.fold_left (fun acc e -> if p e then acc + 1 else acc) 0 t.entries
+  Wfs_util.Deque.fold (fun acc e -> if p e then acc + 1 else acc) 0 t.entries
 
-let clear t = t.entries <- []
+let clear t = Wfs_util.Deque.clear t.entries
 
 let pp_event ppf = function
   | Arrival { flow; seq } -> Format.fprintf ppf "arrival f%d#%d" flow seq
@@ -37,3 +66,6 @@ let pp_event ppf = function
   | Swap { from_flow; to_flow } -> Format.fprintf ppf "swap f%d->f%d" from_flow to_flow
   | Credit { flow; delta } -> Format.fprintf ppf "credit f%d %+d" flow delta
   | Frame_start { length } -> Format.fprintf ppf "frame len=%d" length
+
+let pp_entry ppf e = Format.fprintf ppf "s%d %a" e.slot pp_event e.event
+let entry_to_string e = Format.asprintf "%a" pp_entry e

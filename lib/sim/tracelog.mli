@@ -2,7 +2,9 @@
 
     Optional recording of per-slot scheduler activity.  The bounds verifier
     (lib/bounds) replays traces to check the theorems of Section 5 against
-    measured behaviour, and tests use traces to assert scheduling order. *)
+    measured behaviour, tests use traces to assert scheduling order, and a
+    capacity-bounded trace doubles as the {e flight recorder} the runner
+    dumps next to a fault report (see [Wfs_runner.Exec]). *)
 
 type event =
   | Arrival of { flow : int; seq : int }
@@ -18,15 +20,39 @@ type entry = { slot : int; event : event }
 
 type t
 
-val create : ?enabled:bool -> unit -> t
-(** A disabled trace records nothing and costs nothing; default enabled. *)
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** A disabled trace records nothing and costs nothing (default enabled).
+    Note that the cost of {e constructing} events is the caller's: the
+    {!Wfs_core.Simulator} skips event construction entirely unless its
+    config carries a trace that is both present and enabled, so passing a
+    disabled trace is equivalent to passing none at all.
+
+    With [capacity] the trace is a fixed-size ring: only the most recent
+    [capacity] entries are retained, the oldest being evicted as new ones
+    arrive — flight-recorder mode, safe on unbounded horizons.  Without it
+    the trace grows with the run and is only suitable for short horizons.
+    @raise Invalid_argument when [capacity < 1]. *)
 
 val enabled : t -> bool
+
+val capacity : t -> int option
+(** The ring bound, or [None] for an unbounded trace. *)
+
 val record : t -> slot:int -> event -> unit
+(** Append an entry (evicting the oldest first at capacity). *)
+
+val length : t -> int
+(** Entries currently retained. *)
+
 val events : t -> entry list
-(** In chronological order. *)
+(** Retained entries in chronological order (at capacity: the last
+    [capacity] recorded). *)
 
 val filter : t -> (entry -> bool) -> entry list
 val count : t -> (entry -> bool) -> int
 val clear : t -> unit
 val pp_event : Format.formatter -> event -> unit
+val pp_entry : Format.formatter -> entry -> unit
+
+val entry_to_string : entry -> string
+(** ["s<slot> <event>"] — the rendering used in flight-recorder dumps. *)

@@ -149,6 +149,20 @@ module Histogram = struct
   let mean t = Summary.mean t.summary
   let max_value t = Summary.max t.summary
 
+  let merge a b =
+    if a.bin_width <> b.bin_width then
+      Error.invalid "Histogram.merge" "bin widths differ";
+    let len = Int.max (Array.length a.bins) (Array.length b.bins) in
+    let bins = Array.make (Int.max 64 len) 0 in
+    Array.iteri (fun i c -> bins.(i) <- c) a.bins;
+    Array.iteri (fun i c -> bins.(i) <- bins.(i) + c) b.bins;
+    {
+      bin_width = a.bin_width;
+      bins;
+      n = a.n + b.n;
+      summary = Summary.merge a.summary b.summary;
+    }
+
   let to_json t =
     (* Trailing zero bins are dropped: capacity growth is an allocation
        detail that must not leak into the serialized form. *)

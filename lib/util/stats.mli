@@ -58,6 +58,10 @@ module Histogram : sig
   val mean : t -> float
   val max_value : t -> float
 
+  val merge : t -> t -> t
+  (** Combine two histograms binwise, as if every sample were added to one.
+      @raise Invalid_argument when the bin widths differ. *)
+
   val to_json : t -> Json.t
   val of_json : Json.t -> t option
   (** Bit-exact round-trip, like {!Summary.to_json}. *)

@@ -1,0 +1,9 @@
+(* R8: direct printing in library code — every line below writes to the
+   process's standard channels, which belong to the binaries. *)
+
+let announce name = print_string name
+let announce_line name = print_endline name
+let shout n = Printf.printf "n = %d\n" n
+let complain msg = prerr_endline msg
+let complainf msg = Printf.eprintf "warning: %s\n" msg
+let pretty n = Format.printf "%d@." n

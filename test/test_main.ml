@@ -18,4 +18,5 @@ let () =
       ("guard", Test_guard.suite);
       ("perf_opt", Test_perf_opt.suite);
       ("integration", Test_integration.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -224,9 +224,18 @@ let test_metrics_drop_share () =
 
 let test_metrics_percentile_requires_histograms () =
   let m = Core.Metrics.create ~n_flows:1 () in
-  Alcotest.check_raises "explicit error"
-    (Invalid_argument "Metrics.delay_percentile: created without histograms")
-    (fun () -> ignore (Core.Metrics.delay_percentile m ~flow:0 ~p:50.))
+  (* Missing histograms is a configuration mistake and goes through the
+     typed taxonomy; an empty histogram is an empty measurement → nan. *)
+  (match Core.Metrics.delay_percentile m ~flow:0 ~p:50. with
+  | _ -> Alcotest.fail "expected Bad_config"
+  | exception Wfs_util.Error.Error e ->
+      Alcotest.(check string)
+        "kind" "bad-config"
+        (Wfs_util.Error.kind_to_string e.Wfs_util.Error.kind));
+  let mh = Core.Metrics.create ~histograms:true ~n_flows:1 () in
+  Alcotest.(check bool)
+    "empty histogram is nan" true
+    (Float.is_nan (Core.Metrics.delay_percentile mh ~flow:0 ~p:50.))
 
 let test_scheduler_misuse_raises () =
   (* complete/drop_head on an empty queue is a contract violation and must

@@ -1,7 +1,7 @@
 (* Diagnostics for wfs_lint: location, rule id, message, and a sink that
    deduplicates and sorts for stable output. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | Supp
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | Supp
 
 let rule_id = function
   | R1 -> "R1"
@@ -11,6 +11,7 @@ let rule_id = function
   | R5 -> "R5"
   | R6 -> "R6"
   | R7 -> "R7"
+  | R8 -> "R8"
   | Supp -> "SUPP"
 
 let rule_of_id = function
@@ -21,6 +22,7 @@ let rule_of_id = function
   | "R5" | "r5" -> Some R5
   | "R6" | "r6" -> Some R6
   | "R7" | "r7" -> Some R7
+  | "R8" | "r8" -> Some R8
   | "SUPP" | "supp" -> Some Supp
   | _ -> None
 
@@ -32,6 +34,7 @@ let rule_title = function
   | R5 -> "bare exception escape"
   | R6 -> "untyped error raising"
   | R7 -> "allocation in hot scope"
+  | R8 -> "direct printing in library code"
   | Supp -> "suppression hygiene"
 
 type t = {

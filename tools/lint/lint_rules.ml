@@ -183,6 +183,32 @@ let r7_closure_message =
    to a toplevel function or a field preallocated at construction time \
    (see Iwfq.accept_eligible for the stash-field pattern)"
 
+(* --- R8: direct printing in library code --- *)
+
+(* Library code must stay silent: simulators and schedulers are driven by
+   CLIs, the bench, and tests, all of which own stdout/stderr (the bench
+   parses its own output; --csv pipes must stay clean).  Rendering belongs
+   in returned values (strings, Tablefmt.t) and printing in bin/ and
+   bench/.  The matcher is syntactic, so [Printf.sprintf] (which only
+   builds a string) is untouched. *)
+
+let r8_banned =
+  [
+    "print_string"; "print_endline"; "print_char"; "print_newline";
+    "print_int"; "print_float"; "print_bytes";
+    "prerr_string"; "prerr_endline"; "prerr_char"; "prerr_newline";
+    "prerr_int"; "prerr_float"; "prerr_bytes";
+    "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "Format.print_string"; "Format.print_newline";
+  ]
+
+let r8_message n =
+  Printf.sprintf
+    "%s writes to the process's standard channels from library code; \
+     return a string or a Wfs_util.Tablefmt.t and let the binary decide \
+     where output goes (bench --csv pipes and the runner's progress lines \
+     must stay clean)" n
+
 (* --- R6: untyped error raising --- *)
 
 let r6_message what =
@@ -251,6 +277,8 @@ let check_file ~file_class ?(r6_exempt = false) ~sink ~suppress
         report ~loc ~rule:Lint_diag.R7 (r7_call_message n);
       if List.mem n r2_poly_funs || n = "List.mem" then
         report ~loc ~rule:Lint_diag.R2 (r2_fun_message n);
+      if List.mem n r8_banned then
+        report ~loc ~rule:Lint_diag.R8 (r8_message n);
       if (n = "failwith" || n = "invalid_arg") && not r6_exempt then
         report ~loc ~rule:Lint_diag.R6 (r6_message ("bare " ^ n));
       match List.assoc_opt n r5_table with

@@ -42,6 +42,10 @@ let rules_help =
        filter/sort, ...) or closure literals inside a [@hot]-annotated \
        binding or expression in lib/; preallocate scratch and hoist \
        closures, or justify with an allow-comment" );
+    ( "R8",
+      "no direct printing in lib/: print_*/prerr_*, Printf.printf/eprintf \
+       and Format.printf/eprintf are banned; return strings or \
+       Wfs_util.Tablefmt values and let binaries own stdout/stderr" );
     ( "SUPP",
       "suppression hygiene: '(* lint: allow R<n> <justification> *)' \
        needs a real justification and must actually silence something" );
@@ -232,7 +236,7 @@ let run_fixtures dir =
       if not (List.mem id !seen_rules) then
         fail dir "no passing bad_%s fixture: rule %s is unproven"
           (String.lowercase_ascii id) id)
-    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "SUPP" ];
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "SUPP" ];
   if not !seen_clean then fail dir "no passing ok_* fixture";
   if !failures > 0 then begin
     Printf.printf "wfs_lint --fixtures: %d failure(s)\n" !failures;
