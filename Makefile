@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build lint test check bench perf golden-check obs-demo clean
+.PHONY: all build lint analyze sarif test check bench perf golden-check obs-demo clean
 
 all: build
 
@@ -9,6 +9,20 @@ build:
 
 lint:
 	dune build @lint
+
+# Typedtree cross-module analysis (determinism taint, domain-safety,
+# coverage audits, suppression hygiene) plus its fixture self-test; see
+# docs/ANALYSIS.md.
+analyze:
+	dune build @analyze
+
+# Same analysis, but also emit a SARIF 2.1.0 log for code-scanning UIs.
+sarif:
+	dune build
+	cd _build/default && ./tools/analyze/wfs_analyze.exe --runs 2 \
+	  --lib lib --test test --sarif ../../wfs_analyze.sarif; \
+	  status=$$?; [ $$status -eq 0 ] || [ $$status -eq 1 ] || exit $$status
+	@echo "wrote wfs_analyze.sarif"
 
 test:
 	dune runtest

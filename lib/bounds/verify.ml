@@ -198,7 +198,7 @@ let check_error_free_delay ?params ~horizon ~make_setups ~predictor ~flow () =
   in
   let report = ref empty_report in
   (* lint: allow R1 -- bindings are sorted by seq immediately below, so hash order never reaches the report *)
-  Hashtbl.fold (fun seq t_ref acc -> (seq, t_ref) :: acc) reference []
+  Hashtbl.fold (fun seq t_ref acc -> (seq, t_ref) :: acc) reference [] (* analyze: allow A1 -- hash order is erased by the Int.compare sort on the next line *)
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.iter (fun (seq, t_ref) ->
          match Hashtbl.find_opt errored seq with

@@ -164,6 +164,19 @@ let instance t =
     drop_expired = (fun ~flow ~now ~bound -> drop_expired t ~flow ~now ~bound);
     queue_length = queue_length t;
     on_slot_end = (fun ~slot:_ -> ());
-    (* Backoff marking can idle a slot on purpose; nothing else to expose. *)
-    probe = Wireless_sched.no_probe;
+    probe =
+      {
+        Wireless_sched.no_probe with
+        (* Grant balance: remaining grants while the round-robin sits on
+           the flow, alongside its per-round allowance and the slot until
+           which backoff marking skips it.  Backoff can idle a slot on
+           purpose, so CSDPS is not work-conserving. *)
+        credit =
+          (let credit flow =
+             ( (if flow = t.current then t.remaining else 0),
+               t.weights.(flow),
+               t.marked_until.(flow) )
+           in
+           Some credit);
+      };
   }

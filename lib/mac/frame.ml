@@ -4,7 +4,10 @@ type flow_addr = { host : int; direction : direction; index : int }
 
 let control_addr = { host = 0; direction = Downlink; index = 0 }
 
-let is_control a = a = control_addr
+let addr_equal a b =
+  a.host = b.host && a.direction = b.direction && a.index = b.index
+
+let is_control a = addr_equal a control_addr
 
 let pp_addr ppf a =
   Format.fprintf ppf "<%d,%s,%d>" a.host

@@ -21,6 +21,9 @@ type flow_addr = {
 val control_addr : flow_addr
 (** The distinguished control flow <0, downlink, 0>. *)
 
+val addr_equal : flow_addr -> flow_addr -> bool
+(** Field-wise equality on addresses (typed; no runtime structural compare). *)
+
 val is_control : flow_addr -> bool
 val pp_addr : Format.formatter -> flow_addr -> unit
 

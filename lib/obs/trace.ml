@@ -151,7 +151,7 @@ let float_opt_equal a b =
   | Some x, Some y -> Float.compare x y = 0
   | (None | Some _), _ -> false
 
-let int_opt_equal a b =
+let int_opt_equal (a : int option) (b : int option) =
   match (a, b) with
   | None, None -> true
   | Some x, Some y -> x = y

@@ -20,7 +20,9 @@ let map ~jobs f items =
       let rec work () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n && Option.is_none (Atomic.get error) then begin
+          (* analyze: allow A2 -- items is frozen before spawn: workers only read it *)
           (match f items.(i) with
+          (* analyze: allow A2 -- slot i belongs to the worker that won the fetch_and_add; writes are disjoint and joined before any read *)
           | v -> results.(i) <- Some v
           | exception e ->
               let bt = Printexc.get_raw_backtrace () in

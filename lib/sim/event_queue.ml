@@ -1,7 +1,7 @@
 type 'a t = (float * 'a) Wfs_util.Heap.t
 
 let create () =
-  Wfs_util.Heap.create ~leq:(fun (ta, _) (tb, _) -> ta <= tb) ()
+  Wfs_util.Heap.create ~leq:(fun ((ta : float), _) (tb, _) -> ta <= tb) ()
 
 let schedule q ~at ev =
   if Float.is_nan at then Wfs_util.Error.invalid "Event_queue.schedule" "NaN time";

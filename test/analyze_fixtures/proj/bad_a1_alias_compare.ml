@@ -1,0 +1,7 @@
+(* A let-bound Stdlib.compare slips past the syntactic R2 rule (no bare
+   `compare` token ever reaches a call site); the typed check flags the
+   binding itself, where the comparator escapes at a polymorphic type. *)
+
+let cmp = compare
+
+let sort_pairs (ps : (int * string) list) = List.sort cmp ps

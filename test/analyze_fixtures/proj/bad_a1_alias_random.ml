@@ -1,0 +1,10 @@
+(* An aliased Random defeats the syntactic R1 scan, which matches the
+   module name textually; the typedtree resolves the alias back to
+   Stdlib.Random, so A1 still sees the source — and carries the taint to
+   the caller that never names it. *)
+
+module R = Random
+
+let jitter n = R.int n
+
+let jittered_backoff base = base + jitter base

@@ -1,0 +1,10 @@
+(* A spawned thunk closing over a locally allocated array: two domains
+   race on [cells] with no mutex, atomic, or ownership discipline. *)
+
+let race () =
+  let cells = Array.make 8 0 in
+  let worker () = cells.(0) <- cells.(0) + 1 in
+  let d = Domain.spawn worker in
+  worker ();
+  Domain.join d;
+  cells.(0)

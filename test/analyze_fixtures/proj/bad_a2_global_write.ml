@@ -1,0 +1,12 @@
+(* The thunk is a module-level function whose body writes module-global
+   state; only the call graph connects the spawn site to the write. *)
+
+let hits = ref 0
+
+let bump () = hits := !hits + 1
+
+let fan_out () =
+  let d = Domain.spawn bump in
+  bump ();
+  Domain.join d;
+  !hits

@@ -1,0 +1,7 @@
+(* Suppression hygiene: a well-formed allow-comment that silences nothing
+   is stale, and an unknown rule token is malformed; both must fail. *)
+
+(* analyze: allow A1 -- deliberately stale: the next line is pure arithmetic *)
+let pure_add a b = a + b
+
+let bogus = 0 (* analyze: allow A9 unknown rule token on purpose *)

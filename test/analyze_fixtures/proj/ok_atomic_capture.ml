@@ -1,0 +1,11 @@
+(* Domain-safe sharing: the spawned thunk only touches an Atomic.t, which
+   A2 exempts — the point of the negative fixture is that the capture
+   check keys on the captured value's type, not on spawning per se. *)
+
+let count_par () =
+  let hits = Atomic.make 0 in
+  let worker () = Atomic.incr hits in
+  let d = Domain.spawn worker in
+  worker ();
+  Domain.join d;
+  Atomic.get hits

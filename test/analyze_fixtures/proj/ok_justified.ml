@@ -1,0 +1,6 @@
+(* A justified suppression: the hash-order fold is genuinely harmless
+   because integer addition commutes, the comment says so, and the entry
+   is consumed — so neither A1 nor the stale-suppression audit fires. *)
+
+let sum_counts (tbl : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun _key v acc -> acc + v) tbl 0 (* analyze: allow A1 -- integer sum commutes; hash order cannot change the result *)

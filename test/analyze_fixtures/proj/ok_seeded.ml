@@ -1,0 +1,12 @@
+(* The sanctioned determinism boundary: draws through the seeded
+   Wfs_util.Rng stream are reproducible, so nothing here is tainted even
+   though randomness flows through every definition. *)
+
+let draw st = Wfs_util.Rng.float st
+
+let pick st xs = List.nth xs (Wfs_util.Rng.int st (List.length xs))
+
+let averaged ~seed n =
+  let st = Wfs_util.Rng.create seed in
+  let rec go acc k = if k = 0 then acc else go (acc +. draw st) (k - 1) in
+  go 0.0 n /. float_of_int n

@@ -1,0 +1,242 @@
+(* The analysis kit shared by wfs_lint and wfs_analyze: diagnostic sink
+   ordering (the byte-identical report contract), the suppression
+   parser's targeting/hygiene rules, and the SARIF emitter.  The sink
+   property is the one satellite guarantee everything else leans on —
+   the published diagnostic stream must not depend on traversal order. *)
+
+module Diag = Analysis_kit.Diag
+module Suppress = Analysis_kit.Suppress
+module Sarif = Analysis_kit.Sarif
+
+let r1 = { Diag.id = "R1"; title = "rule one" }
+let r2 = { Diag.id = "R2"; title = "rule two" }
+let hygiene = { Diag.id = "R9"; title = "suppression hygiene" }
+
+let rule_of_id = function
+  | "R1" -> Some r1
+  | "R2" -> Some r2
+  | "R9" -> Some hygiene
+  | _ -> None
+
+let render diags = String.concat "\n" (List.map Diag.to_string diags)
+
+let contents_of reports =
+  let sink = Diag.sink () in
+  List.iter (Diag.report sink) reports;
+  Diag.contents sink
+
+(* --- sink ordering ------------------------------------------------- *)
+
+let diag_gen =
+  QCheck.Gen.(
+    let* file = oneofl [ "a.ml"; "b.ml"; "lib/c.ml" ] in
+    let* line = 1 -- 20 in
+    let* col = 0 -- 10 in
+    let* rule = oneofl [ r1; r2 ] in
+    let* message = oneofl [ "first message"; "second message" ] in
+    return (Diag.make ~file ~line ~col ~rule message))
+
+let arb_diags =
+  QCheck.make
+    ~print:(fun ds -> render ds)
+    QCheck.Gen.(list_size (0 -- 25) diag_gen)
+
+let prop_order_invariant =
+  QCheck.Test.make ~name:"sink output is independent of report order"
+    ~count:300 arb_diags (fun diags ->
+      let baseline = render (contents_of diags) in
+      let reversed = render (contents_of (List.rev diags)) in
+      let rotated =
+        match diags with
+        | [] -> []
+        | d :: rest -> rest @ [ d ]
+      in
+      String.equal baseline reversed
+      && String.equal baseline (render (contents_of rotated)))
+
+let prop_sorted_and_site_deduped =
+  QCheck.Test.make ~name:"sink output is sorted and site-deduplicated"
+    ~count:300 arb_diags (fun diags ->
+      let out = contents_of diags in
+      let rec pairwise = function
+        | a :: (b :: _ as rest) ->
+            Diag.compare_diag a b <= 0
+            && Diag.compare_site a b <> 0
+            && pairwise rest
+        | _ -> true
+      in
+      pairwise out)
+
+let test_dedup_same_site () =
+  let d msg = Diag.make ~file:"x.ml" ~line:3 ~col:1 ~rule:r1 msg in
+  let out = contents_of [ d "alpha"; d "beta"; d "alpha" ] in
+  Alcotest.(check int) "one survivor per site" 1 (List.length out);
+  let other = Diag.make ~file:"x.ml" ~line:3 ~col:1 ~rule:r2 "gamma" in
+  let out2 = contents_of [ d "alpha"; other ] in
+  Alcotest.(check int) "distinct rules at a site both survive" 2
+    (List.length out2)
+
+let test_files_sorted_uniq () =
+  let d file = Diag.make ~file ~line:1 ~col:0 ~rule:r1 "m" in
+  Alcotest.(check (list string))
+    "files are sorted and unique" [ "a.ml"; "b.ml" ]
+    (Diag.files [ d "b.ml"; d "a.ml"; d "b.ml" ])
+
+(* --- suppressions -------------------------------------------------- *)
+
+let marker = "lint: allow"
+
+let scan source =
+  Suppress.scan ~marker ~hygiene ~rule_of_id ~file:"f.ml" source
+
+let diag_at ?(rule = r1) line =
+  Diag.make ~file:"f.ml" ~line ~col:4 ~rule "whatever"
+
+let test_trailing_covers_own_line () =
+  let t = scan "let x = f () (* lint: allow R1 -- sentinel compare *)" in
+  Alcotest.(check bool) "covers its own line" true (Suppress.covers t (diag_at 1));
+  Alcotest.(check int) "no leftovers once used" 0
+    (List.length (Suppress.leftovers ~file:"f.ml" t))
+
+let test_standalone_covers_next_line () =
+  let t = scan "(* lint: allow R1 -- sentinel compare *)\nlet x = f ()" in
+  Alcotest.(check bool) "does not cover the comment line" false
+    (Suppress.covers t (diag_at 1));
+  Alcotest.(check bool) "covers the next line" true
+    (Suppress.covers t (diag_at 2))
+
+let test_rule_must_match () =
+  let t = scan "let x = f () (* lint: allow R1 -- sentinel compare *)" in
+  Alcotest.(check bool) "R2 diagnostic is not silenced by an R1 entry" false
+    (Suppress.covers t (diag_at ~rule:r2 1))
+
+let test_markers_do_not_cross_match () =
+  (* Assembled at runtime: a literal analyze-marker here would itself be
+     picked up by wfs_analyze's textual scan of this very file. *)
+  let foreign = "analyze" ^ ": allow" in
+  let t = scan ("let x = f () (* " ^ foreign ^ " A1 -- other tool's marker *)") in
+  Alcotest.(check int) "foreign marker parses to nothing" 0
+    (List.length (Suppress.leftovers ~file:"f.ml" t));
+  Alcotest.(check bool) "and covers nothing" false (Suppress.covers t (diag_at 1))
+
+let leftover_messages t =
+  List.map (fun d -> d.Diag.message) (Suppress.leftovers ~file:"f.ml" t)
+
+let test_malformed_rule_token () =
+  let t = scan "let x = f () (* lint: allow R7 -- unknown rule token *)" in
+  match leftover_messages t with
+  | [ m ] ->
+      Alcotest.(check bool) "reported as malformed" true
+        (String.length m >= 9 && String.sub m 0 9 = "malformed")
+  | ms -> Alcotest.failf "expected one malformed leftover, got %d" (List.length ms)
+
+let test_short_justification () =
+  let t = scan "let x = f () (* lint: allow R1 -- why *)" in
+  Alcotest.(check bool) "short justification never covers" false
+    (Suppress.covers t (diag_at 1));
+  Alcotest.(check int) "and is itself a diagnostic" 1
+    (List.length (Suppress.leftovers ~file:"f.ml" t))
+
+let test_hygiene_not_suppressible () =
+  let t = scan "let x = f () (* lint: allow R9 -- silencing the auditor *)" in
+  Alcotest.(check bool) "hygiene rule cannot be suppressed" false
+    (Suppress.covers t (diag_at ~rule:hygiene 1));
+  Alcotest.(check int) "the attempt is flagged" 1
+    (List.length (Suppress.leftovers ~file:"f.ml" t))
+
+let test_stale_entry () =
+  let t = scan "let x = f () (* lint: allow R1 -- nothing fires here *)" in
+  match Suppress.leftovers ~file:"f.ml" t with
+  | [ d ] ->
+      Alcotest.(check string) "stale report lands on the comment line" "f.ml"
+        d.Diag.file;
+      Alcotest.(check int) "at its line" 1 d.Diag.line;
+      Alcotest.(check string) "under the hygiene rule" "R9" d.Diag.rule.Diag.id
+  | ds -> Alcotest.failf "expected one stale leftover, got %d" (List.length ds)
+
+(* --- SARIF --------------------------------------------------------- *)
+
+let sarif_of diags =
+  Sarif.to_string ~tool:"kit_test" ~version:"0.0.1" ~info_uri:"docs/ANALYSIS.md"
+    ~rules:[ r1; r2 ] diags
+
+let json_get path json =
+  List.fold_left
+    (fun acc key ->
+      match acc with
+      | Some j -> (
+          match int_of_string_opt key with
+          | Some i -> (
+              match Wfs_util.Json.to_list j with
+              | Some l -> List.nth_opt l i
+              | None -> None)
+          | None -> Wfs_util.Json.member key j)
+      | None -> None)
+    (Some json) path
+
+let test_sarif_parses () =
+  let tricky = "needs \"escaping\"\nand\ttabs" in
+  let diags =
+    [
+      Diag.make ~file:"lib/u.ml" ~line:7 ~col:2 ~rule:r1 tricky;
+      Diag.make ~file:"lib/v.ml" ~line:1 ~col:0 ~rule:r2 "plain";
+    ]
+  in
+  match Wfs_util.Json.of_string (sarif_of diags) with
+  | Error e -> Alcotest.failf "SARIF does not parse: %s" e
+  | Ok json ->
+      let str path =
+        match json_get path json with
+        | Some j -> Option.value ~default:"<not a string>" (Wfs_util.Json.to_str j)
+        | None -> "<missing>"
+      in
+      Alcotest.(check string) "version" "2.1.0" (str [ "version" ]);
+      Alcotest.(check string) "tool name" "kit_test"
+        (str [ "runs"; "0"; "tool"; "driver"; "name" ]);
+      Alcotest.(check string) "rule id" "R1"
+        (str [ "runs"; "0"; "tool"; "driver"; "rules"; "0"; "id" ]);
+      Alcotest.(check string) "message text round-trips escapes" tricky
+        (str [ "runs"; "0"; "results"; "0"; "message"; "text" ]);
+      Alcotest.(check string) "result rule id" "R1"
+        (str [ "runs"; "0"; "results"; "0"; "ruleId" ]);
+      let col =
+        match
+          json_get
+            [
+              "runs"; "0"; "results"; "0"; "locations"; "0"; "physicalLocation";
+              "region"; "startColumn";
+            ]
+            json
+        with
+        | Some j -> Option.value ~default:(-1) (Wfs_util.Json.to_int j)
+        | None -> -1
+      in
+      Alcotest.(check int) "SARIF columns are 1-based" 3 col
+
+let prop_sarif_always_parses =
+  QCheck.Test.make ~name:"SARIF output parses for arbitrary diagnostics"
+    ~count:100 arb_diags (fun diags ->
+      match Wfs_util.Json.of_string (sarif_of (contents_of diags)) with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_order_invariant;
+    QCheck_alcotest.to_alcotest prop_sorted_and_site_deduped;
+    Alcotest.test_case "same-site dedup" `Quick test_dedup_same_site;
+    Alcotest.test_case "files helper" `Quick test_files_sorted_uniq;
+    Alcotest.test_case "trailing suppression" `Quick test_trailing_covers_own_line;
+    Alcotest.test_case "standalone suppression" `Quick
+      test_standalone_covers_next_line;
+    Alcotest.test_case "rule match required" `Quick test_rule_must_match;
+    Alcotest.test_case "markers are disjoint" `Quick
+      test_markers_do_not_cross_match;
+    Alcotest.test_case "malformed rule token" `Quick test_malformed_rule_token;
+    Alcotest.test_case "short justification" `Quick test_short_justification;
+    Alcotest.test_case "hygiene unsuppressible" `Quick
+      test_hygiene_not_suppressible;
+    Alcotest.test_case "stale suppression" `Quick test_stale_entry;
+    Alcotest.test_case "SARIF structure" `Quick test_sarif_parses;
+    QCheck_alcotest.to_alcotest prop_sarif_always_parses;
+  ]

@@ -19,4 +19,5 @@ let () =
       ("perf_opt", Test_perf_opt.suite);
       ("integration", Test_integration.suite);
       ("obs", Test_obs.suite);
+      ("analysis_kit", Test_analysis_kit.suite);
     ]

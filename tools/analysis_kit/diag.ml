@@ -1,0 +1,77 @@
+(* Diagnostics shared by wfs_lint (parsetree) and wfs_analyze (typedtree).
+
+   A rule is identified by a short id ("R3", "A1") plus a human title; the
+   two tools each own their rule tables and hand the kit plain values, so
+   the kit stays agnostic of what is being checked.  The sink collects
+   diagnostics across every file of a run and renders them once, globally
+   sorted by (file, line, col, rule id, message) and deduplicated by site —
+   the report is byte-identical no matter in which order the tree was
+   traversed. *)
+
+type rule = { id : string; title : string }
+
+let rule_equal a b = String.equal a.id b.id
+
+type t = {
+  file : string;
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, matches compiler convention *)
+  rule : rule;
+  message : string;
+}
+
+let make ~file ~line ~col ~rule message = { file; line; col; rule; message }
+
+let of_location ~rule ~message (loc : Location.t) =
+  let pos = loc.loc_start in
+  {
+    file = pos.pos_fname;
+    line = pos.pos_lnum;
+    col = pos.pos_cnum - pos.pos_bol;
+    rule;
+    message;
+  }
+
+(* Site order: the published output order and the dedup key. *)
+let compare_site a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule.id b.rule.id
+
+let compare_diag a b =
+  let c = compare_site a b in
+  if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule.id
+    d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+(* A sink collects diagnostics across files. *)
+
+type sink = { mutable diags : t list }
+
+let sink () = { diags = [] }
+let report sink d = sink.diags <- d :: sink.diags
+
+let sorted diags =
+  let sorted = List.sort compare_diag diags in
+  (* Drop duplicates at the same site (same file/line/col/rule): two
+     detectors tripping over one expression tell the reader nothing new. *)
+  let rec dedup = function
+    | a :: b :: rest when compare_site a b = 0 -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+let contents sink = sorted sink.diags
+
+let files diags =
+  List.sort_uniq String.compare (List.map (fun d -> d.file) diags)

@@ -1,0 +1,118 @@
+(* SARIF 2.1.0 rendering for diagnostic lists.
+
+   Static Analysis Results Interchange Format, the schema CI artifact
+   viewers and code-scanning UIs ingest.  One run per report: the tool
+   driver carries the rule table (id + short description), each diagnostic
+   becomes a [result] with a physical location.  SARIF regions are 1-based
+   in both line and column, so the kit's 0-based columns are shifted by
+   one on the way out.
+
+   The emitter is a purpose-built serializer rather than a dependency on
+   the simulator's Wfs_util.Json: the analysis tools deliberately depend
+   on compiler-libs only, so they build before (and independently of) the
+   library tree they check. *)
+
+let buf_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let str s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  buf_escape b s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let obj fields = "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let rule_json (r : Diag.rule) =
+  obj
+    [
+      ("id", str r.Diag.id);
+      ("name", str r.Diag.id);
+      ("shortDescription", obj [ ("text", str r.Diag.title) ]);
+      ("defaultConfiguration", obj [ ("level", str "error") ]);
+    ]
+
+let result_json (d : Diag.t) =
+  obj
+    [
+      ("ruleId", str d.Diag.rule.Diag.id);
+      ("level", str "error");
+      ("message", obj [ ("text", str d.Diag.message) ]);
+      ( "locations",
+        arr
+          [
+            obj
+              [
+                ( "physicalLocation",
+                  obj
+                    [
+                      ( "artifactLocation",
+                        obj
+                          [
+                            ("uri", str d.Diag.file);
+                            ("uriBaseId", str "SRCROOT");
+                          ] );
+                      ( "region",
+                        obj
+                          [
+                            ("startLine", string_of_int d.Diag.line);
+                            ("startColumn", string_of_int (d.Diag.col + 1));
+                          ] );
+                    ] );
+              ];
+          ] );
+    ]
+
+let to_string ~tool ~version ~info_uri ~rules diags =
+  obj
+    [
+      ("version", str "2.1.0");
+      ( "$schema",
+        str
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+      );
+      ( "runs",
+        arr
+          [
+            obj
+              [
+                ( "tool",
+                  obj
+                    [
+                      ( "driver",
+                        obj
+                          [
+                            ("name", str tool);
+                            ("version", str version);
+                            ("informationUri", str info_uri);
+                            ("rules", arr (List.map rule_json rules));
+                          ] );
+                    ] );
+                ( "originalUriBaseIds",
+                  obj [ ("SRCROOT", obj [ ("uri", str "file:///") ]) ] );
+                ("columnKind", str "utf16CodeUnits");
+                ("results", arr (List.map result_json diags));
+              ];
+          ] );
+    ]
+
+let write ~path ~tool ~version ~info_uri ~rules diags =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string ~tool ~version ~info_uri ~rules diags);
+      output_char oc '\n')

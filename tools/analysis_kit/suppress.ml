@@ -1,0 +1,154 @@
+(* Per-line suppressions, shared by wfs_lint and wfs_analyze.
+
+   A violation may be silenced with a single-line comment of the form
+
+     (* <marker> R3 -- exact sentinel comparison, value is never computed *)
+
+   where <marker> is "lint: allow" for wfs_lint and "analyze: allow" for
+   wfs_analyze — distinct markers, so each tool sees only its own
+   suppressions and a stale comment cannot hide behind the other tool's
+   scan.  The justification text after the rule id is mandatory (>= 8
+   characters once trimmed).  A suppression written on the same line as
+   the flagged expression covers that line; a suppression on a line of its
+   own covers the next line.  Unused and malformed suppressions are
+   themselves diagnostics (the tool's hygiene rule, passed as [hygiene]),
+   so stale allow-comments cannot accumulate. *)
+
+type entry = {
+  rule : Diag.rule;
+  comment_line : int;  (* where the comment sits, 1-based *)
+  target_line : int;  (* the line of code it silences *)
+  mutable used : bool;
+}
+
+type t = {
+  marker : string;
+  hygiene : Diag.rule;
+  entries : entry list;
+  mutable malformed : Diag.t list;
+}
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* The comment opener before the marker, used to decide whether the line is
+   a standalone comment (suppression targets the next line) or trails code
+   (targets its own line). *)
+let is_standalone_comment line marker_pos =
+  match find_sub line "(*" with
+  | Some open_pos when open_pos < marker_pos ->
+      String.trim (String.sub line 0 open_pos) = ""
+  | _ -> false
+
+let strip_comment_close s =
+  match find_sub s "*)" with Some i -> String.sub s 0 i | None -> s
+
+let parse_line ~marker ~hygiene ~rule_of_id ~file ~lineno line =
+  match find_sub line marker with
+  | None -> Ok None
+  | Some pos ->
+      let rest =
+        String.sub line
+          (pos + String.length marker)
+          (String.length line - pos - String.length marker)
+      in
+      let rest = String.trim rest in
+      let rule_tok, justification =
+        match String.index_opt rest ' ' with
+        | None -> (rest, "")
+        | Some i ->
+            ( String.sub rest 0 i,
+              String.sub rest (i + 1) (String.length rest - i - 1) )
+      in
+      let justification = String.trim (strip_comment_close justification) in
+      let justification =
+        (* Tolerate a leading dash/em-dash separator before the prose. *)
+        let is_sep c =
+          c = '-' || c = ':' || c = '\xe2' || c = '\x80' || c = '\x94'
+        in
+        let n = String.length justification in
+        let rec skip i =
+          if i < n && is_sep justification.[i] then skip (i + 1) else i
+        in
+        let i = skip 0 in
+        String.trim (String.sub justification i (n - i))
+      in
+      (match (rule_of_id rule_tok : Diag.rule option) with
+      | None ->
+          Error
+            (Diag.make ~file ~line:lineno ~col:pos ~rule:hygiene
+               (Printf.sprintf
+                  "malformed suppression: expected '(* %s <rule> \
+                   <justification> *)', got rule token %S"
+                  marker rule_tok))
+      | Some rule when Diag.rule_equal rule hygiene ->
+          Error
+            (Diag.make ~file ~line:lineno ~col:pos ~rule:hygiene
+               (Printf.sprintf "%s diagnostics cannot be suppressed"
+                  hygiene.Diag.id))
+      | Some rule ->
+          if String.length justification < 8 then
+            Error
+              (Diag.make ~file ~line:lineno ~col:pos ~rule:hygiene
+                 (Printf.sprintf
+                    "suppression of %s lacks a justification (state why the \
+                     %s is intended here)"
+                    rule.Diag.id rule.Diag.title))
+          else
+            let target_line =
+              if is_standalone_comment line pos then lineno + 1 else lineno
+            in
+            Ok (Some { rule; comment_line = lineno; target_line; used = false }))
+
+let scan ~marker ~hygiene ~rule_of_id ~file source =
+  let lines = String.split_on_char '\n' source in
+  let entries = ref [] and malformed = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_line ~marker ~hygiene ~rule_of_id ~file ~lineno:(i + 1) line with
+      | Ok (Some e) -> entries := e :: !entries
+      | Ok None -> ()
+      | Error d -> malformed := d :: !malformed)
+    lines;
+  {
+    marker;
+    hygiene;
+    entries = List.rev !entries;
+    malformed = List.rev !malformed;
+  }
+
+(* Consult the table: a diagnostic is suppressed if an entry for its rule
+   targets its line. *)
+let covers t (d : Diag.t) =
+  match
+    List.find_opt
+      (fun e -> Diag.rule_equal e.rule d.Diag.rule && e.target_line = d.Diag.line)
+      t.entries
+  with
+  | Some e ->
+      e.used <- true;
+      true
+  | None -> false
+
+(* After a file is fully checked: malformed plus unused entries.  An unused
+   entry is a stale justification — the diagnostic it once silenced is
+   gone, so the comment now asserts an invariant nobody checks. *)
+let leftovers ~file t =
+  t.malformed
+  @ List.filter_map
+      (fun e ->
+        if e.used then None
+        else
+          Some
+            (Diag.make ~file ~line:e.comment_line ~col:0 ~rule:t.hygiene
+               (Printf.sprintf
+                  "stale suppression for %s: no %s diagnostic on line %d \
+                   (delete the comment or restate what it silences)"
+                  e.rule.Diag.id e.rule.Diag.title e.target_line)))
+      t.entries

@@ -1,0 +1,397 @@
+(* wfs_analyze — typedtree-driven cross-module analysis for the wfs tree.
+
+   Usage:
+     wfs_analyze [--sarif PATH] [--source-root DIR] [--runs N]
+                 [--lib DIR]... [--test DIR]...
+     wfs_analyze --fixtures PROJ_DIR TESTS_DIR
+     wfs_analyze --list-rules
+     wfs_analyze --dump [--lib DIR]... [--test DIR]...
+
+   The roots are scanned recursively for .cmt files (dune leaves them in
+   .objs/byte under each library directory), so the intended invocation
+   runs from _build/default where compiled artifacts and copied sources
+   live side by side.  --lib roots get the full lib-discipline analyses;
+   --test roots contribute call-graph facts and satisfy the A3
+   tested-coverage audit but are not themselves held to lib rules.
+
+   This is tier two of the pipeline: where wfs_lint sees one parsetree at
+   a time, wfs_analyze sees resolved names and instantiated types across
+   the whole build, which is what defeats aliasing, opens and functor
+   indirection.  Exit status: 0 clean, 1 findings, 2 usage/load failure. *)
+
+module Diag = Analysis_kit.Diag
+module Suppress = Analysis_kit.Suppress
+
+let usage =
+  "usage: wfs_analyze [--sarif PATH] [--source-root DIR] [--runs N] \
+   [--lib DIR]... [--test DIR]...\n\
+  \       wfs_analyze --fixtures PROJ_DIR TESTS_DIR\n\
+  \       wfs_analyze --list-rules"
+
+(* --- cmt collection --- *)
+
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures"; "analyze_fixtures" ]
+
+let rec collect_cmts acc path =
+  if not (Sys.file_exists path) then acc
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if List.mem entry skip_dirs then acc
+           else collect_cmts acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+(* Fixture roots ARE analyze_fixtures directories, so the skip list must
+   not apply to the root itself — collect_cmts only skips entries found
+   while descending. *)
+
+let load_model roots =
+  let inputs =
+    List.concat_map
+      (fun (root, role) ->
+        collect_cmts [] root |> List.sort String.compare
+        |> List.map (fun p -> (p, role)))
+      roots
+  in
+  if inputs = [] then begin
+    Printf.eprintf "wfs_analyze: no .cmt files under the given roots\n";
+    Printf.eprintf
+      "(run from _build/default after a build, or pass --lib/--test \
+       pointing at built library directories)\n";
+    exit 2
+  end;
+  Analyze_model.load inputs
+
+(* --- analysis pipeline (checks + A4 suppression pass) --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let resolve_source ~source_root file =
+  if Filename.is_relative file then Filename.concat source_root file
+  else file
+
+(* Returns the final diagnostic list (post-suppression, sorted) plus
+   (units, defs) counts.  Suppressions are scanned up front and consulted
+   by the checks themselves — a justified A1 seed must stop tainting its
+   callers, not merely hide its own report — and every unconsulted entry
+   comes back as a stale-suppression A4 finding. *)
+let analyze ~source_root roots =
+  let m = load_model roots in
+  let files =
+    List.sort_uniq String.compare
+      (List.map (fun u -> u.Analyze_model.u_file) m.Analyze_model.units)
+  in
+  let scans =
+    List.filter_map
+      (fun file ->
+        let path = resolve_source ~source_root file in
+        if Sys.file_exists path then
+          Some
+            ( file,
+              Suppress.scan ~marker:Analyze_rules.marker
+                ~hygiene:Analyze_rules.a4 ~rule_of_id:Analyze_rules.rule_of_id
+                ~file (read_file path) )
+        else None)
+      files
+  in
+  let allow (d : Diag.t) =
+    match List.assoc_opt d.Diag.file scans with
+    | Some t -> Suppress.covers t d
+    | None -> false
+  in
+  let sink = Diag.sink () in
+  Analyze_checks.run m ~allow ~sink;
+  List.iter
+    (fun (file, t) ->
+      List.iter (Diag.report sink) (Suppress.leftovers ~file t))
+    scans;
+  let defs =
+    List.fold_left
+      (fun acc u -> acc + List.length u.Analyze_model.u_defs)
+      0 m.Analyze_model.units
+  in
+  (Diag.contents sink, List.length m.Analyze_model.units, defs)
+
+let render (diags, units, defs) =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun d -> Buffer.add_string b (Diag.to_string d ^ "\n"))
+    diags;
+  (match diags with
+  | [] ->
+      Buffer.add_string b
+        (Printf.sprintf "wfs_analyze: clean (%d units, %d definitions)\n"
+           units defs)
+  | _ ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "wfs_analyze: %d finding(s) in %d file(s) (%d units, %d \
+            definitions)\n"
+           (List.length diags)
+           (List.length (Diag.files diags))
+           units defs));
+  Buffer.contents b
+
+(* --- main analysis mode --- *)
+
+let run_analysis ~sarif ~source_root ~runs roots =
+  List.iter
+    (fun (root, _) ->
+      if not (Sys.file_exists root) then begin
+        Printf.eprintf "wfs_analyze: no such path: %s\n" root;
+        exit 2
+      end)
+    roots;
+  let result = analyze ~source_root roots in
+  let out = render result in
+  (* Determinism self-check: re-run the full pipeline and demand
+     byte-identical output.  Model extraction, the taint fixpoint and the
+     sink ordering are all supposed to be traversal-order independent;
+     this gate makes that an enforced property instead of an intention. *)
+  for run = 2 to runs do
+    let out' = render (analyze ~source_root roots) in
+    if not (String.equal out out') then begin
+      Printf.eprintf
+        "wfs_analyze: NONDETERMINISTIC OUTPUT (run %d differs)\n" run;
+      Printf.eprintf "--- run 1 ---\n%s--- run %d ---\n%s" out run out';
+      exit 2
+    end
+  done;
+  let diags, _, _ = result in
+  Option.iter
+    (fun path ->
+      Analysis_kit.Sarif.write ~path ~tool:"wfs_analyze" ~version:"1.0.0"
+        ~info_uri:"docs/ANALYSIS.md" ~rules:Analyze_rules.all_rules diags)
+    sarif;
+  print_string out;
+  if diags <> [] then exit 1
+
+(* --- fixture self-test mode --- *)
+
+(* Fixture expectations are carried by source basenames, like the lint
+   fixtures: bad_a1_foo.ml must yield at least one A1 and nothing but A1;
+   ok_bar.ml must yield nothing.  The whole fixture project is analyzed
+   as one model so cross-file facts (registration reachability, test
+   references) behave exactly as on the real tree. *)
+
+let run_fixtures proj tests =
+  List.iter
+    (fun d ->
+      if not (Sys.file_exists d && Sys.is_directory d) then begin
+        Printf.eprintf "wfs_analyze: fixture dir not found: %s\n" d;
+        exit 2
+      end)
+    [ proj; tests ];
+  let diags, _, _ =
+    analyze ~source_root:"."
+      [ (proj, Analyze_model.Lib); (tests, Analyze_model.Test) ]
+  in
+  let by_base = Hashtbl.create 32 in
+  List.iter
+    (fun d ->
+      let base = Filename.basename d.Diag.file in
+      let prev = Option.value (Hashtbl.find_opt by_base base) ~default:[] in
+      Hashtbl.replace by_base base (prev @ [ d ]))
+    diags;
+  let fixture_files =
+    Sys.readdir proj |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".ml"
+           && (String.length f >= 4 && String.sub f 0 4 = "bad_")
+              || (String.length f >= 3 && String.sub f 0 3 = "ok_"))
+  in
+  let failures = ref 0 in
+  let fail name fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr failures;
+        Printf.printf "FAIL %s: %s\n" name msg)
+      fmt
+  in
+  let seen_rules = ref [] in
+  let seen_clean = ref false in
+  List.iter
+    (fun base ->
+      let found = Option.value (Hashtbl.find_opt by_base base) ~default:[] in
+      if String.length base >= 3 && String.sub base 0 3 = "ok_" then
+        if found = [] then begin
+          seen_clean := true;
+          Printf.printf "PASS %s: clean as expected\n" base
+        end
+        else begin
+          fail base "expected clean, got %d finding(s):" (List.length found);
+          List.iter (fun d -> Printf.printf "  %s\n" (Diag.to_string d)) found
+        end
+      else
+        let tok =
+          let rest = String.sub base 4 (String.length base - 4) in
+          match String.index_opt rest '_' with
+          | Some i -> String.sub rest 0 i
+          | None -> Filename.remove_extension rest
+        in
+        match Analyze_rules.rule_of_id tok with
+        | None -> fail base "unrecognized fixture name (want bad_a<n>_*.ml)"
+        | Some rule ->
+            let id = rule.Diag.id in
+            let matching, stray =
+              List.partition
+                (fun d -> Diag.rule_equal d.Diag.rule rule)
+                found
+            in
+            if matching = [] then
+              fail base "expected at least one %s finding, got none" id
+            else if stray <> [] then begin
+              fail base "expected only %s findings, also got:" id;
+              List.iter
+                (fun d -> Printf.printf "  %s\n" (Diag.to_string d))
+                stray
+            end
+            else begin
+              if not (List.mem id !seen_rules) then
+                seen_rules := id :: !seen_rules;
+              Printf.printf "PASS %s: %d %s finding(s)\n" base
+                (List.length matching) id
+            end)
+    fixture_files;
+  (* Findings that landed outside any recognized fixture file are noise
+     worth failing on: something is leaking between fixtures. *)
+  Hashtbl.iter
+    (fun base ds ->
+      if not (List.mem base fixture_files) then begin
+        fail base "finding(s) outside a bad_*/ok_* fixture:";
+        List.iter (fun d -> Printf.printf "  %s\n" (Diag.to_string d)) ds
+      end)
+    by_base;
+  List.iter
+    (fun id ->
+      if not (List.mem id !seen_rules) then
+        fail proj "no passing bad_%s fixture: analysis %s is unproven"
+          (String.lowercase_ascii id) id)
+    [ "A1"; "A2"; "A3"; "A4" ];
+  if not !seen_clean then fail proj "no passing ok_* fixture";
+  if !failures > 0 then begin
+    Printf.printf "wfs_analyze --fixtures: %d failure(s)\n" !failures;
+    exit 1
+  end
+  else
+    Printf.printf "wfs_analyze --fixtures: all %d fixture(s) pass\n"
+      (List.length fixture_files)
+
+(* --- debug dump --- *)
+
+let run_dump roots =
+  let m = load_model roots in
+  List.iter
+    (fun u ->
+      Printf.printf "unit %s (%s) file=%s\n" u.Analyze_model.u_name
+        (match u.Analyze_model.u_role with
+        | Analyze_model.Lib -> "lib"
+        | Analyze_model.Test -> "test")
+        u.Analyze_model.u_file;
+      List.iter
+        (fun d ->
+          Printf.printf "  def %s\n" d.Analyze_model.def_name;
+          List.iter
+            (fun (n, _) -> Printf.printf "    ref %s\n" n)
+            d.Analyze_model.refs;
+          List.iter
+            (fun (n, loc) ->
+              Printf.printf "    source %s @ %s:%d\n" n
+                loc.Location.loc_start.pos_fname
+                loc.Location.loc_start.pos_lnum)
+            d.Analyze_model.source_refs;
+          List.iter
+            (fun (n, reason, _) ->
+              Printf.printf "    polycmp %s (%s)\n" n reason)
+            d.Analyze_model.poly_cmps;
+          List.iter
+            (fun (g, _) -> Printf.printf "    gwrite %s\n" g)
+            d.Analyze_model.global_writes;
+          (match d.Analyze_model.makes_instance with
+          | Some _ ->
+              Printf.printf "    instance%s\n"
+                (if d.Analyze_model.wires_probe then " +probe" else "")
+          | None ->
+              if d.Analyze_model.wires_probe then
+                Printf.printf "    probe-wiring\n");
+          List.iter
+            (fun s ->
+              Printf.printf "    spawn %s resolved=%b captures=[%s]\n"
+                s.Analyze_model.spawn_entry s.Analyze_model.resolved
+                (String.concat "; "
+                   (List.map
+                      (fun (v, k, _) -> v ^ ":" ^ k)
+                      s.Analyze_model.captures)))
+            d.Analyze_model.spawns)
+        u.Analyze_model.u_defs)
+    m.Analyze_model.units
+
+(* --- CLI --- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--list-rules" ] ->
+      List.iter
+        (fun (id, text) -> Printf.printf "%-4s %s\n" id text)
+        Analyze_rules.help
+  | [ "--fixtures"; proj; tests ] -> run_fixtures proj tests
+  | _ ->
+      let sarif = ref None in
+      let source_root = ref "." in
+      let runs = ref 1 in
+      let roots = ref [] in
+      let dump = ref false in
+      let rec parse = function
+        | [] -> ()
+        | "--sarif" :: path :: rest ->
+            sarif := Some path;
+            parse rest
+        | "--source-root" :: dir :: rest ->
+            source_root := dir;
+            parse rest
+        | "--runs" :: n :: rest -> (
+            match int_of_string_opt n with
+            | Some n when n >= 1 ->
+                runs := n;
+                parse rest
+            | _ ->
+                prerr_endline usage;
+                exit 2)
+        | "--lib" :: dir :: rest ->
+            roots := !roots @ [ (dir, Analyze_model.Lib) ];
+            parse rest
+        | "--test" :: dir :: rest ->
+            roots := !roots @ [ (dir, Analyze_model.Test) ];
+            parse rest
+        | "--dump" :: rest ->
+            dump := true;
+            parse rest
+        | _ ->
+            prerr_endline usage;
+            exit 2
+      in
+      parse args;
+      if !roots = [] then begin
+        prerr_endline usage;
+        exit 2
+      end;
+      match
+        if !dump then `Dump
+        else `Run
+      with
+      | `Dump -> run_dump !roots
+      | `Run -> (
+          try
+            run_analysis ~sarif:!sarif ~source_root:!source_root ~runs:!runs
+              !roots
+          with Analyze_model.Fail msg ->
+            Printf.eprintf "wfs_analyze: %s\n" msg;
+            exit 2)

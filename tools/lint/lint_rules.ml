@@ -15,8 +15,26 @@
    known blind spots are documented per rule in docs/LINT.md. *)
 
 open Parsetree
+module Diag = Analysis_kit.Diag
 
 type file_class = Lib | Other
+
+(* --- the rule table --- *)
+
+let r1 = { Diag.id = "R1"; title = "ambient nondeterminism" }
+let r2 = { Diag.id = "R2"; title = "polymorphic comparison" }
+let r3 = { Diag.id = "R3"; title = "exact float equality" }
+let r4 = { Diag.id = "R4"; title = "physical equality" }
+let r5 = { Diag.id = "R5"; title = "bare exception escape" }
+let r6 = { Diag.id = "R6"; title = "untyped error raising" }
+let r7 = { Diag.id = "R7"; title = "allocation in hot scope" }
+let r8 = { Diag.id = "R8"; title = "direct printing in library code" }
+let supp = { Diag.id = "SUPP"; title = "suppression hygiene" }
+let all_rules = [ r1; r2; r3; r4; r5; r6; r7; r8; supp ]
+
+let rule_of_id tok =
+  let tok = String.uppercase_ascii tok in
+  List.find_opt (fun r -> String.equal r.Diag.id tok) all_rules
 
 (* --- longident helpers --- *)
 
@@ -266,25 +284,25 @@ let check_file ~file_class ?(r6_exempt = false) ~sink ~suppress
     List.exists (List.exists (fun h -> exn_matches ~handled:h exn)) !ctx
   in
   let report ~loc ~rule msg =
-    let d = Lint_diag.of_location ~rule ~message:msg loc in
-    if not (Lint_suppress.covers suppress d) then Lint_diag.report sink d
+    let d = Diag.of_location ~rule ~message:msg loc in
+    if not (Analysis_kit.Suppress.covers suppress d) then Diag.report sink d
   in
   let check_ident txt loc =
     let n = drop_stdlib (name_of_lid txt) in
     if file_class = Lib then begin
-      if r1_match n then report ~loc ~rule:Lint_diag.R1 (r1_message n);
+      if r1_match n then report ~loc ~rule:r1 (r1_message n);
       if !hot > 0 && List.mem n r7_banned_calls then
-        report ~loc ~rule:Lint_diag.R7 (r7_call_message n);
+        report ~loc ~rule:r7 (r7_call_message n);
       if List.mem n r2_poly_funs || n = "List.mem" then
-        report ~loc ~rule:Lint_diag.R2 (r2_fun_message n);
+        report ~loc ~rule:r2 (r2_fun_message n);
       if List.mem n r8_banned then
-        report ~loc ~rule:Lint_diag.R8 (r8_message n);
+        report ~loc ~rule:r8 (r8_message n);
       if (n = "failwith" || n = "invalid_arg") && not r6_exempt then
-        report ~loc ~rule:Lint_diag.R6 (r6_message ("bare " ^ n));
+        report ~loc ~rule:r6 (r6_message ("bare " ^ n));
       match List.assoc_opt n r5_table with
       | Some (exn, replacement) ->
           if not (exn_handled exn) then
-            report ~loc ~rule:Lint_diag.R5
+            report ~loc ~rule:r5
               (Printf.sprintf
                  "%s may raise %s across the hot path; use %s or handle %s \
                   locally (try / match-exception around this call)"
@@ -299,7 +317,7 @@ let check_file ~file_class ?(r6_exempt = false) ~sink ~suppress
         let operands = List.map snd args in
         match (n, operands) with
         | ("==" | "!="), _ ->
-            report ~loc:e.pexp_loc ~rule:Lint_diag.R4
+            report ~loc:e.pexp_loc ~rule:r4
               (Printf.sprintf
                  "physical equality %s: use structural (=) on immutable data, \
                   or state the mutable-identity invariant in a lint \
@@ -308,7 +326,7 @@ let check_file ~file_class ?(r6_exempt = false) ~sink ~suppress
           when file_class = Lib
                && (is_floaty a || is_floaty b)
                && not (is_float_const a && is_float_const b) ->
-            report ~loc:e.pexp_loc ~rule:Lint_diag.R3
+            report ~loc:e.pexp_loc ~rule:r3
               (Printf.sprintf
                  "exact float %s on a computed value: virtual times and \
                   credits accumulate rounding, so exact equality is \
@@ -321,7 +339,7 @@ let check_file ~file_class ?(r6_exempt = false) ~sink ~suppress
               when List.mem
                      (drop_stdlib (name_of_lid txt))
                      [ "Invalid_argument"; "Failure" ] ->
-                report ~loc:e.pexp_loc ~rule:Lint_diag.R6
+                report ~loc:e.pexp_loc ~rule:r6
                   (r6_message
                      ("raise "
                      ^ drop_stdlib (name_of_lid txt)))
@@ -334,7 +352,7 @@ let check_file ~file_class ?(r6_exempt = false) ~sink ~suppress
               | None -> structural_kind b
             with
             | Some kind ->
-                report ~loc:e.pexp_loc ~rule:Lint_diag.R2
+                report ~loc:e.pexp_loc ~rule:r2
                   (Printf.sprintf
                      "polymorphic %s on a non-immediate value (%s)" op kind)
             | None -> ())
@@ -374,7 +392,7 @@ let check_file ~file_class ?(r6_exempt = false) ~sink ~suppress
           check_apply e fn args;
           Ast_iterator.default_iterator.expr self e
       | (Pexp_fun _ | Pexp_function _) when file_class = Lib && !hot > 0 ->
-          report ~loc:e.pexp_loc ~rule:Lint_diag.R7 r7_closure_message;
+          report ~loc:e.pexp_loc ~rule:r7 r7_closure_message;
           Ast_iterator.default_iterator.expr self e
       | _ -> Ast_iterator.default_iterator.expr self e
     in

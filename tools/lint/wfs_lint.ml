@@ -1,17 +1,28 @@
 (* wfs_lint — determinism & correctness static analysis for the wfs tree.
 
    Usage:
-     wfs_lint DIR...            lint every .ml/.mli under the given roots
-     wfs_lint --fixtures DIR    self-test mode over known-bad snippets
-     wfs_lint --list-rules      print the rule set
+     wfs_lint [--sarif PATH] DIR...   lint every .ml/.mli under the roots
+     wfs_lint --fixtures DIR          self-test mode over known-bad snippets
+     wfs_lint --list-rules            print the rule set
 
    Exit status: 0 clean, 1 violations found, 2 usage/parse failure.
 
    Files under a path component named [lib] get the full rule set; other
    roots (bin/, bench/, examples/) are held to R4 only.  See docs/LINT.md
-   for the rationale of each rule. *)
+   for the rationale of each rule.
 
-let usage = "usage: wfs_lint [--fixtures DIR | --list-rules | DIR...]"
+   This is tier one of the two-tier pipeline: a parsetree walk that needs
+   no build artifacts and runs on anything that parses.  Its typedtree
+   complement, wfs_analyze, picks up what syntax cannot see (aliases,
+   opens, cross-module flows); see docs/ANALYSIS.md.  Both share the
+   diagnostic, suppression and SARIF machinery in tools/analysis_kit, so
+   reports are globally sorted by (file, line, col, rule) and byte-stable
+   regardless of traversal order. *)
+
+module Diag = Analysis_kit.Diag
+
+let usage =
+  "usage: wfs_lint [--sarif PATH] DIR... | --fixtures DIR | --list-rules"
 
 let rules_help =
   [
@@ -51,9 +62,11 @@ let rules_help =
        needs a real justification and must actually silence something" );
   ]
 
+let marker = "lint: allow"
+
 (* --- file collection --- *)
 
-let skip_dirs = [ "_build"; ".git"; "lint_fixtures"; "node_modules" ]
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures"; "analyze_fixtures"; "node_modules" ]
 
 let rec collect_files acc path =
   if Sys.is_directory path then
@@ -96,10 +109,13 @@ let parse ~path source =
     in
     raise (Parse_failure (Printf.sprintf "%s: parse failure (%s)" path detail))
 
-let check_file ~file_class path =
+(* Reports into [sink]; the caller renders once, globally sorted. *)
+let check_file ~file_class ~sink path =
   let source = read_file path in
-  let suppress = Lint_suppress.scan ~file:path source in
-  let sink = Lint_diag.sink () in
+  let suppress =
+    Analysis_kit.Suppress.scan ~marker ~hygiene:Lint_rules.supp
+      ~rule_of_id:Lint_rules.rule_of_id ~file:path source
+  in
   (* The error module is where the Invalid_argument convention lives; its
      own raise sites are the sanctioned ones. *)
   let r6_exempt =
@@ -109,12 +125,16 @@ let check_file ~file_class path =
   in
   Lint_rules.check_file ~file_class ~r6_exempt ~sink ~suppress
     (parse ~path source);
-  List.iter (Lint_diag.report sink) (Lint_suppress.leftovers ~file:path suppress);
-  Lint_diag.contents sink
+  List.iter (Diag.report sink)
+    (Analysis_kit.Suppress.leftovers ~file:path suppress)
 
 (* --- main lint mode --- *)
 
-let run_lint roots =
+let write_sarif ~path diags =
+  Analysis_kit.Sarif.write ~path ~tool:"wfs_lint" ~version:"1.0.0"
+    ~info_uri:"docs/LINT.md" ~rules:Lint_rules.all_rules diags
+
+let run_lint ?sarif roots =
   List.iter
     (fun root ->
       if not (Sys.file_exists root) then begin
@@ -123,29 +143,30 @@ let run_lint roots =
       end)
     roots;
   let files = List.fold_left collect_files [] roots |> List.sort String.compare in
-  let total = ref 0 and dirty_files = ref 0 in
+  let sink = Diag.sink () in
   List.iter
     (fun path ->
-      match check_file ~file_class:(classify path) path with
-      | [] -> ()
-      | diags ->
-          incr dirty_files;
-          total := !total + List.length diags;
-          List.iter (fun d -> Format.printf "%a@." Lint_diag.pp d) diags
+      match check_file ~file_class:(classify path) ~sink path with
+      | () -> ()
       | exception Parse_failure msg ->
           Printf.eprintf "wfs_lint: %s\n" msg;
           exit 2)
     files;
-  if !total > 0 then begin
-    Printf.printf "wfs_lint: %d violation(s) in %d file(s) (%d checked)\n"
-      !total !dirty_files (List.length files);
-    exit 1
-  end
-  else Printf.printf "wfs_lint: clean (%d files checked)\n" (List.length files)
+  let diags = Diag.contents sink in
+  Option.iter (fun path -> write_sarif ~path diags) sarif;
+  List.iter (fun d -> Format.printf "%a@." Diag.pp d) diags;
+  match diags with
+  | [] -> Printf.printf "wfs_lint: clean (%d files checked)\n" (List.length files)
+  | _ ->
+      Printf.printf "wfs_lint: %d violation(s) in %d file(s) (%d checked)\n"
+        (List.length diags)
+        (List.length (Diag.files diags))
+        (List.length files);
+      exit 1
 
 (* --- fixture self-test mode --- *)
 
-type expectation = Expect_rule of Lint_diag.rule | Expect_clean
+type expectation = Expect_rule of Diag.rule | Expect_clean
 
 let expectation_of_filename base =
   let strip_prefix p s =
@@ -161,7 +182,7 @@ let expectation_of_filename base =
         | Some i -> String.sub rest 0 i
         | None -> Filename.remove_extension rest
       in
-      Option.map (fun r -> Expect_rule r) (Lint_diag.rule_of_id tok)
+      Option.map (fun r -> Expect_rule r) (Lint_rules.rule_of_id tok)
   | None -> (
       match strip_prefix "ok_" base with
       | Some _ -> Some Expect_clean
@@ -194,9 +215,11 @@ let run_fixtures dir =
             "unrecognized fixture name (want bad_<rule>_*.ml or ok_*.ml)"
       | Some expect -> (
           (* Fixtures model lib/ code, so the full rule set applies. *)
-          match check_file ~file_class:Lint_rules.Lib path with
+          let sink = Diag.sink () in
+          match check_file ~file_class:Lint_rules.Lib ~sink path with
           | exception Parse_failure msg -> fail path "%s" msg
-          | diags -> (
+          | () -> (
+              let diags = Diag.contents sink in
               match expect with
               | Expect_clean ->
                   if diags = [] then begin
@@ -207,13 +230,15 @@ let run_fixtures dir =
                     fail path "expected clean, got %d diagnostic(s):"
                       (List.length diags);
                     List.iter
-                      (fun d -> Format.printf "  %a@." Lint_diag.pp d)
+                      (fun d -> Format.printf "  %a@." Diag.pp d)
                       diags
                   end
               | Expect_rule rule ->
-                  let id = Lint_diag.rule_id rule in
+                  let id = rule.Diag.id in
                   let matching, stray =
-                    List.partition (fun d -> d.Lint_diag.rule = rule) diags
+                    List.partition
+                      (fun d -> Diag.rule_equal d.Diag.rule rule)
+                      diags
                   in
                   if matching = [] then
                     fail path "expected at least one %s diagnostic, got none"
@@ -221,7 +246,7 @@ let run_fixtures dir =
                   else if stray <> [] then begin
                     fail path "expected only %s diagnostics, also got:" id;
                     List.iter
-                      (fun d -> Format.printf "  %a@." Lint_diag.pp d)
+                      (fun d -> Format.printf "  %a@." Diag.pp d)
                       stray
                   end
                   else begin
@@ -250,7 +275,11 @@ let () =
   | _ :: "--list-rules" :: _ ->
       List.iter (fun (id, text) -> Printf.printf "%-4s %s\n" id text) rules_help
   | _ :: "--fixtures" :: [ dir ] -> run_fixtures dir
-  | _ :: (_ :: _ as roots) when not (String.length (List.hd roots) > 0 && (List.hd roots).[0] = '-') ->
+  | _ :: "--sarif" :: path :: (_ :: _ as roots)
+    when not (String.length (List.hd roots) > 0 && (List.hd roots).[0] = '-') ->
+      run_lint ~sarif:path roots
+  | _ :: (_ :: _ as roots)
+    when not (String.length (List.hd roots) > 0 && (List.hd roots).[0] = '-') ->
       run_lint roots
   | _ ->
       prerr_endline usage;
