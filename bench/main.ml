@@ -17,6 +17,9 @@
      --tables-only       skip macro- and micro-benchmarks
      --perf-only         only micro-benchmarks
      --macro-only        only the end-to-end macro-benchmark (slots/s)
+     --topo              only the multi-cell topology macro-benchmark
+                         (64 cells x 256 flows sharded over --jobs domains,
+                         handoffs at epoch barriers; uses --macro-horizon)
      --macro-horizon N   slots per macro-benchmark run
                          (default 20000; 5000 with --quick)
      --resume PATH       checkpoint journal: created if absent, and jobs
@@ -39,7 +42,7 @@
 let usage =
   "usage: main.exe [--quick] [--horizon N] [--seed N] [--seeds K] [--jobs N]\n\
   \                [--json PATH | --no-json]\n\
-  \                [--tables-only | --perf-only | --macro-only]\n\
+  \                [--tables-only | --perf-only | --macro-only | --topo]\n\
   \                [--macro-horizon N] [--resume PATH] [--retries N]\n\
   \                [--max-slots N] [--check-invariants] [--flight-recorder N]\n\
   \                [--profile]"
@@ -92,6 +95,7 @@ let () =
   let tables = ref true in
   let perf = ref true in
   let macro_only = ref false in
+  let topo_only = ref false in
   let macro_horizon = ref None in
   let resume = ref None in
   let retries = ref 0 in
@@ -142,6 +146,9 @@ let () =
     | "--macro-only" :: rest ->
         macro_only := true;
         parse rest
+    | "--topo" :: rest ->
+        topo_only := true;
+        parse rest
     | ("--macro-horizon" as flag) :: value :: rest ->
         let n = int_arg flag value in
         if n <= 0 then die "%s must be positive, got %d" flag n;
@@ -191,9 +198,10 @@ let () =
     | Some n -> n
     | None -> if !quick then 5_000 else 20_000
   in
-  let do_tables = !tables && not !macro_only in
-  let do_micro = !perf && not !macro_only in
-  let do_macro = !macro_only || (!tables && !perf) in
+  let do_tables = !tables && not !macro_only && not !topo_only in
+  let do_micro = !perf && not !macro_only && not !topo_only in
+  let do_macro = (!macro_only || (!tables && !perf)) && not !topo_only in
+  let do_topo = !topo_only in
   let opts = { Tables.horizon; seed = !seed; seeds = !seeds; jobs } in
   let run_opts =
     {
@@ -262,6 +270,24 @@ let () =
     acc_wall := !acc_wall +. wall;
     ran_any := true;
     Printf.printf "\n%d macro runs, %d slots in %.2f s\n" runs slots wall
+  end;
+  if do_topo then begin
+    Printf.printf
+      "\n=== Topology macro-benchmark (horizon=%d slots, seed=%d, jobs=%d) \
+       ===\n\n"
+      macro_horizon !seed jobs;
+    let t0 = Unix.gettimeofday () in
+    let table, runs, slots =
+      Perf.topo_table ~jobs ~horizon:macro_horizon ~seed:!seed ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    acc_tables := !acc_tables @ [ table ];
+    acc_runs := !acc_runs + runs;
+    acc_slots := !acc_slots + slots;
+    acc_wall := !acc_wall +. wall;
+    ran_any := true;
+    Printf.printf "\n%d topology runs, %d cell-slots in %.2f s\n" runs slots
+      wall
   end;
   if !write_json && !ran_any then begin
     let artifact =

@@ -210,6 +210,81 @@ let macro_table ~horizon ~seed () =
   in
   (artifact_table, !runs, !slots)
 
+(* --- Topology macro-benchmark --------------------------------------------
+
+   Full Wfs_topo.Topology run: [topo_cells] cells each instantiating the
+   4-flow bench scenario (256 flows at 64 cells), advancing in lockstep
+   epochs sharded over [jobs] domains, with handoffs at every barrier.
+   Exercises the whole dissolve/rebuild path end to end; the
+   delivered/handoffs columns are determinism witnesses (jobs-invariant),
+   wall-clock is the sharding measure.  Only the carry-capable schedulers
+   run — that is the path being benchmarked. *)
+
+let topo_cells = 64
+let topo_scenario = "bench/topo_cell.scenario"
+let topo_mobility = 0.02
+let topo_schedulers = [ "SwapA-P"; "CIF-Q-P" ]
+
+let topo_columns =
+  [
+    "scheduler"; "cells"; "flows"; "epoch"; "mobility"; "slots"; "delivered";
+    "handoffs"; "wall_s"; "slots/s";
+  ]
+
+let topo_table ~jobs ~horizon ~seed () =
+  let title =
+    Printf.sprintf "Topology macro-benchmark (%d cells, lockstep epochs)"
+      topo_cells
+  in
+  let table = Wfs_util.Tablefmt.create ~title ~columns:topo_columns in
+  let epoch = max 1 (horizon / 20) in
+  let rows = ref [] in
+  let runs = ref 0 in
+  let slots = ref 0 in
+  List.iter
+    (fun sched ->
+      let spec =
+        Wfs_runner.Spec.make ~seed ~horizon ~sched
+          ~topo:
+            (Wfs_runner.Spec.topo ~cells:topo_cells ~mobility:topo_mobility
+               ~epoch)
+          (Wfs_runner.Spec.file topo_scenario)
+      in
+      let t = Wfs_topo.Topology.of_spec spec in
+      let t0 = Unix.gettimeofday () in
+      Wfs_topo.Topology.run ~jobs t;
+      let dt = Unix.gettimeofday () -. t0 in
+      let m = Wfs_topo.Topology.metrics t in
+      let delivered = ref 0 in
+      for f = 0 to Wfs_topo.Topology.n_flows t - 1 do
+        delivered := !delivered + Core.Metrics.delivered m ~flow:f
+      done;
+      let cell_slots = horizon * topo_cells in
+      incr runs;
+      slots := !slots + cell_slots;
+      let row =
+        [
+          sched;
+          string_of_int topo_cells;
+          string_of_int (Wfs_topo.Topology.n_flows t);
+          string_of_int epoch;
+          Printf.sprintf "%.3f" topo_mobility;
+          string_of_int cell_slots;
+          string_of_int !delivered;
+          string_of_int (Wfs_topo.Topology.handoffs t);
+          Printf.sprintf "%.3f" dt;
+          Printf.sprintf "%.0f" (float_of_int cell_slots /. dt);
+        ]
+      in
+      rows := row :: !rows;
+      Wfs_util.Tablefmt.add_row table row)
+    topo_schedulers;
+  Wfs_util.Tablefmt.print table;
+  let artifact_table =
+    { Wfs_runner.Artifact.title; columns = topo_columns; rows = List.rev !rows }
+  in
+  (artifact_table, !runs, !slots)
+
 let run () =
   let tests = all_tests () in
   let ols =

@@ -341,6 +341,86 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
         failures;
       exit 3
 
+(* Multi-cell runs go through Wfs_topo.Topology instead of the replica
+   pool: cells shard over the domain pool inside one run, handoffs apply
+   at epoch barriers, and the rendered table is global-flow-id indexed
+   with a home-cell column.  Byte-identical for every --jobs value. *)
+let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~metrics_out
+    labeled_specs =
+  let columns =
+    [
+      "algorithm"; "flow"; "cell"; "mean_delay"; "loss"; "max_delay"; "stddev";
+      "thpt";
+    ]
+  in
+  let table = T.create ~title ~columns in
+  let csv_rows = ref [] in
+  let emit cells =
+    match output with
+    | Table -> T.add_row table cells
+    | Csv -> csv_rows := String.concat "," cells :: !csv_rows
+  in
+  let registries = ref [] in
+  let total_slots = ref 0 in
+  List.iter
+    (fun (label, (sp : Spec.t)) ->
+      (* Spec labels may carry the topology clause's commas: quote them so
+         the CSV stays parseable. *)
+      let label =
+        if output = Csv && String.contains label ',' then "\"" ^ label ^ "\""
+        else label
+      in
+      let t =
+        Wfs_topo.Topology.of_spec ~credit_limit:credit ~debit_limit:debit
+          ~invariants sp
+      in
+      Wfs_topo.Topology.run ~jobs t;
+      let m = Wfs_topo.Topology.metrics t in
+      let homes = Wfs_topo.Topology.homes t in
+      total_slots := !total_slots + (sp.Spec.horizon * Wfs_topo.Topology.n_cells t);
+      registries := Wfs_topo.Topology.instruments t :: !registries;
+      for gid = 0 to Wfs_topo.Topology.n_flows t - 1 do
+        emit
+          [
+            label;
+            string_of_int gid;
+            string_of_int homes.(gid);
+            T.cell_of_float (M.mean_delay m ~flow:gid);
+            T.cell_of_float ~decimals:4 (M.loss m ~flow:gid);
+            T.cell_of_float (M.max_delay m ~flow:gid);
+            T.cell_of_float (M.stddev_delay m ~flow:gid);
+            T.cell_of_float ~decimals:4
+              (M.throughput m ~flow:gid ~slots:sp.Spec.horizon);
+          ]
+      done)
+    labeled_specs;
+  (match output with
+  | Table -> T.print table
+  | Csv ->
+      print_endline (String.concat "," columns);
+      List.iter print_endline (List.rev !csv_rows));
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+      let merged = Wfs_obs.Instruments.merge_all (List.rev !registries) in
+      let t = Wfs_obs.Instruments.to_table ~title:"topology instruments" merged in
+      let art_table =
+        {
+          Wfs_runner.Artifact.title = T.title t;
+          columns = T.columns t;
+          rows = T.rows t;
+        }
+      in
+      let sp0 = snd (List.hd labeled_specs) in
+      (* jobs normalised to 1 so the artifact is byte-identical for every
+         --jobs value, same convention as the replica-pool path. *)
+      let art =
+        Wfs_runner.Artifact.v ~horizon:sp0.Spec.horizon ~seed:sp0.Spec.seed
+          ~seeds:1 ~jobs:1 ~runs:(List.length labeled_specs) ~slots:!total_slots
+          ~wall_clock_s:0. ~tables:[ art_table ]
+      in
+      Wfs_runner.Artifact.write ~path art
+
 let title_info ~seeds ~seed ~horizon =
   if seeds > 1 then
     Printf.sprintf "seeds=%d..%d, horizon=%d slots" seed (seed + seeds - 1)
@@ -384,8 +464,8 @@ let check_metrics path =
 
 let main_checked example seed horizon sum credit debit csv fairness algo info
     scenario specs seeds jobs list retries max_slots invariants metrics_out
-    trace_out trace_csv trace_stride profile flight_recorder check_trace_path
-    check_metrics_path =
+    trace_out trace_csv trace_stride profile flight_recorder cells mobility
+    epoch check_trace_path check_metrics_path =
   (match check_trace_path with Some p -> check_trace p | None -> ());
   (match check_metrics_path with Some p -> check_metrics p | None -> ());
   let output = if csv then Csv else Table in
@@ -427,56 +507,106 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
       ~profile ~flight_recorder
   in
   if list then list_schedulers ()
-  else if specs <> [] then
-    (* Explicit run specs: each is its own experiment id. *)
-    let labeled =
-      List.map (fun s -> (Spec.to_string s, s)) (List.map Spec.of_string_exn specs)
+  else begin
+    (* Spec.topo validates cells/mobility/epoch; Invalid_argument is
+       turned into a clean exit by [main]. *)
+    let topo_clause =
+      if cells > 1 then Some (Spec.topo ~cells ~mobility ~epoch) else None
     in
-    render ~title:(Printf.sprintf "%d run spec(s)" (List.length labeled))
-      ~flow_base:1 labeled
-  else
-    let algorithms = resolve_algorithms algo info in
-    match scenario with
-    | Some path ->
-        (* Seed and horizon come from the file's directives, as before. *)
+    let title, flow_base, labeled =
+      if specs <> [] then
+        (* Explicit run specs: each is its own experiment id. *)
         let labeled =
           List.map
-            (fun name -> (name, Spec.of_scenario_file ~sched:name path))
-            algorithms
+            (fun s -> (Spec.to_string s, s))
+            (List.map Spec.of_string_exn specs)
         in
-        let sp = snd (List.hd labeled) in
-        render
-          ~title:
-            (Printf.sprintf "%s (%s)" path
-               (title_info ~seeds ~seed:sp.Spec.seed ~horizon:sp.Spec.horizon))
-          ~flow_base:0 labeled
-    | None ->
-        let scn =
-          Spec.example ?sum:(if example <= 2 then Some sum else None) example
-        in
-        let labeled =
-          List.map
-            (fun name -> (name, Spec.make ~seed ~horizon ~sched:name scn))
-            algorithms
-        in
-        render
-          ~title:
-            (Printf.sprintf "Example %d (%s)" example
-               (title_info ~seeds ~seed ~horizon))
-          ~flow_base:1 labeled
+        (Printf.sprintf "%d run spec(s)" (List.length labeled), 1, labeled)
+      else
+        let algorithms = resolve_algorithms algo info in
+        match scenario with
+        | Some path ->
+            (* Seed and horizon come from the file's directives, as before. *)
+            let labeled =
+              List.map
+                (fun name -> (name, Spec.of_scenario_file ~sched:name path))
+                algorithms
+            in
+            let sp = snd (List.hd labeled) in
+            ( Printf.sprintf "%s (%s)" path
+                (title_info ~seeds ~seed:sp.Spec.seed ~horizon:sp.Spec.horizon),
+              0,
+              labeled )
+        | None ->
+            let scn =
+              Spec.example ?sum:(if example <= 2 then Some sum else None) example
+            in
+            let labeled =
+              List.map
+                (fun name -> (name, Spec.make ~seed ~horizon ~sched:name scn))
+                algorithms
+            in
+            ( Printf.sprintf "Example %d (%s)" example
+                (title_info ~seeds ~seed ~horizon),
+              1,
+              labeled )
+    in
+    let labeled =
+      match topo_clause with
+      | None -> labeled
+      | Some tp when specs = [] ->
+          List.map (fun (l, sp) -> (l, Spec.with_topo tp sp)) labeled
+      | Some _ ->
+          Printf.eprintf
+            "wfs_sim: --cells applies to -e/--scenario runs; give --spec its \
+             own topology clause (cells=K,mobility=R,epoch=E)\n";
+          exit 2
+    in
+    let topo_runs, plain =
+      List.partition (fun (_, sp) -> sp.Spec.topo <> None) labeled
+    in
+    match topo_runs with
+    | [] -> render ~title ~flow_base plain
+    | _ ->
+        if plain <> [] then begin
+          Printf.eprintf
+            "wfs_sim: cannot mix topology and single-cell runs in one \
+             invocation\n";
+          exit 2
+        end;
+        if seeds <> 1 then begin
+          Printf.eprintf "wfs_sim: topology runs support --seeds 1 only\n";
+          exit 2
+        end;
+        if
+          fairness || profile
+          || trace_out <> None
+          || trace_csv <> None
+          || flight_recorder <> None
+          || max_slots <> None
+        then begin
+          Printf.eprintf
+            "wfs_sim: --fairness/--profile/--trace-out/--trace-csv/\
+             --flight-recorder/--max-slots are not supported for topology \
+             runs\n";
+          exit 2
+        end;
+        render_topo ~title ~output ~jobs ~credit ~debit ~invariants
+          ~metrics_out topo_runs
+  end
 
 (* Bad scheduler names, malformed specs and out-of-range examples all raise
    Invalid_argument (or a typed Bad_spec error) with a helpful message —
    turn them into a clean exit. *)
 let main example seed horizon sum credit debit csv fairness algo info scenario
     specs seeds jobs list retries max_slots invariants metrics_out trace_out
-    trace_csv trace_stride profile flight_recorder check_trace_path
-    check_metrics_path =
+    trace_csv trace_stride profile flight_recorder cells mobility epoch
+    check_trace_path check_metrics_path =
   try
     main_checked example seed horizon sum credit debit csv fairness algo info
       scenario specs seeds jobs list retries max_slots invariants metrics_out
-      trace_out trace_csv trace_stride profile flight_recorder check_trace_path
-      check_metrics_path
+      trace_out trace_csv trace_stride profile flight_recorder cells mobility
+      epoch check_trace_path check_metrics_path
   with
   | Invalid_argument msg ->
       Printf.eprintf "wfs_sim: %s\n" msg;
@@ -651,6 +781,32 @@ let flight_recorder_arg =
           "Keep a ring buffer of the last N trace events per run; when a \
            run fails, they ride along in its failure-table entry.")
 
+let cells_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "cells" ] ~docv:"K"
+        ~doc:
+          "Multi-cell topology: with K > 1 the scenario is instantiated once \
+           per cell (statistically independent seeds) and the cells run in \
+           lockstep epochs, sharded over the $(b,--jobs) domain pool, with \
+           Section 5/7 handoff state carried at epoch barriers.  Output is \
+           jobs-invariant.")
+
+let mobility_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "mobility" ] ~docv:"R"
+        ~doc:
+          "Per-flow handoff probability at each epoch barrier (multi-cell \
+           runs; default 0: no handoffs).")
+
+let epoch_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "epoch" ] ~docv:"N"
+        ~doc:"Slots per lockstep epoch between handoff barriers (multi-cell \
+              runs).")
+
 let check_trace_arg =
   Arg.(
     value
@@ -679,6 +835,7 @@ let cmd =
       $ spec_arg $ seeds_arg $ jobs_arg $ list_arg $ retries_arg
       $ max_slots_arg $ invariants_arg $ metrics_out_arg $ trace_out_arg
       $ trace_csv_arg $ trace_stride_arg $ profile_arg $ flight_recorder_arg
-      $ check_trace_arg $ check_metrics_arg)
+      $ cells_arg $ mobility_arg $ epoch_arg $ check_trace_arg
+      $ check_metrics_arg)
 
 let () = exit (Cmd.eval cmd)

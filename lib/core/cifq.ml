@@ -262,6 +262,23 @@ let instance t =
               Array.fold_left (fun acc fs -> acc + fs.lag) 0 t.flows);
         work_conserving = true;
       };
+    handoff =
+      (* §5 lag is the flow-attached compensation state; virtual times and
+         the α-account are cell-local.  CIF-Q lags are integral packets, so
+         importing truncates any fractional carry (visible to the caller
+         through the returned accepted value). *)
+      Some
+        {
+          Wireless_sched.export =
+            (fun ~flow ->
+              { Wireless_sched.lag = float_of_int t.flows.(flow).lag; credit = 0 });
+          import =
+            (fun ~flow carry ->
+              let lag = int_of_float (Float.round carry.Wireless_sched.lag) in
+              let fs = t.flows.(flow) in
+              fs.lag <- fs.lag + lag;
+              { Wireless_sched.lag = float_of_int lag; credit = 0 });
+        };
   }
 
 let lag t ~flow = t.flows.(flow).lag

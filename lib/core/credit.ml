@@ -45,6 +45,10 @@ let end_frame t ~attempts =
   t.carry <- 0;
   t.effective <- t.weight
 
+let admit t v =
+  t.balance <- clamp t v;
+  t.balance
+
 let weight t = t.weight
 let credit_limit t = t.credit_limit
 let debit_limit t = t.debit_limit

@@ -35,6 +35,14 @@ val end_frame : t -> attempts:int -> unit
 (** Close the frame opened by {!begin_frame} given the number of
     transmission attempts the flow actually made. *)
 
+val admit : t -> int -> int
+(** [admit t v] sets the balance to [v] clamped to
+    [[-debit_limit, credit_limit]] and returns the clamped value — the §7
+    half of the handoff state carry: a flow arriving from another cell is
+    re-admitted with its carried credit, bounded by {e this} cell's caps.
+    Call only between frames (the balance is re-read at the next
+    {!begin_frame}). *)
+
 val weight : t -> int
 
 val credit_limit : t -> int

@@ -179,4 +179,7 @@ let instance t =
            in
            Some credit);
       };
+    (* CSDPS grants are positional (whose turn in the round-robin), not a
+       flow-attached account — nothing survives a cell change. *)
+    handoff = None;
   }

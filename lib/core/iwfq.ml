@@ -264,4 +264,8 @@ let instance t =
         finish_tag = Some (fun flow -> service_tag t ~flow);
         work_conserving = true;
       };
+    (* IWFQ's lag is derived (real queue vs. fluid-reference queue), not a
+       flow-attached account: there is nothing to serialize that survives
+       leaving this cell's fluid reference behind. *)
+    handoff = None;
   }

@@ -90,6 +90,33 @@ let backlog_remaining t ~flow =
   let a = acc t flow in
   a.arrivals - a.delivered - a.dropped
 
+(* Merging through Summary.merge/Histogram.merge keeps the "absorb into
+   empty = exact copy" property the multi-cell zero-mobility byte-identity
+   gate relies on: both merges copy the non-empty side's floats verbatim
+   when the other side has no samples. *)
+let absorb t ~src ~map =
+  Array.iteri
+    (fun i (s : flow_acc) ->
+      let j = map i in
+      let d = t.flows.(j) in
+      t.flows.(j) <-
+        {
+          delays = Summary.merge d.delays s.delays;
+          histogram =
+            (match (d.histogram, s.histogram) with
+            | Some a, Some b -> Some (Histogram.merge a b)
+            | (Some _ as a), None -> a
+            | None, (Some _ as b) -> b
+            | None, None -> None);
+          arrivals = d.arrivals + s.arrivals;
+          delivered = d.delivered + s.delivered;
+          dropped = d.dropped + s.dropped;
+          failed = d.failed + s.failed;
+        })
+    src.flows;
+  t.idle <- t.idle + src.idle;
+  t.busy <- t.busy + src.busy
+
 (* Checkpoint/resume serialization: every float goes through the
    shortest-exact encoder, so a journaled run renders byte-identically to
    a live one. *)

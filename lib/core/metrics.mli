@@ -66,6 +66,17 @@ val backlog_remaining : t -> flow:int -> int
 (** arrivals − delivered − dropped: packets still queued at the end of the
     run (neither counted as delivered nor lost). *)
 
+val absorb : t -> src:t -> map:(int -> int) -> unit
+(** [absorb t ~src ~map] folds every per-flow accumulator of [src] into
+    [t] — flow [i] of [src] lands on flow [map i] of [t] — and adds the
+    idle/busy slot counters; [src] is not modified.  This is how
+    {!Wfs_topo} banks a retired cell session's metrics into a
+    topology-wide accumulator indexed by global flow id: local ids are
+    remapped through [map], and absorbing into an untouched target flow
+    copies the source accumulator exactly (so zero-mobility multi-cell
+    runs render byte-identically to independent single-cell runs).
+    [map] must be injective into [[0, n_flows t)]. *)
+
 val to_json : t -> Wfs_util.Json.t
 val of_json : Wfs_util.Json.t -> t option
 (** Bit-exact round-trip used by the sweep checkpoint journal: a table

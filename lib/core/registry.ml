@@ -10,38 +10,15 @@ type entry = {
     Wireless_sched.instance;
 }
 
-let keys_of e = List.map String.lowercase_ascii (e.name :: e.aliases)
+include (
+  Wfs_util.Registry_intf.Make (struct
+    type t = entry
 
-(* Registration order is the presentation order (paper tables first), so a
-   plain list, scanned linearly, is the right structure — it also keeps
-   iteration deterministic, which a Hashtbl would not. *)
-let entries : entry list ref = ref []
-
-let find name =
-  let key = String.lowercase_ascii name in
-  List.find_opt (fun e -> List.exists (String.equal key) (keys_of e)) !entries
-
-let mem name = Option.is_some (find name)
-
-let names () = List.map (fun e -> e.name) !entries
-
-let register e =
-  List.iter
-    (fun key ->
-      if List.exists (fun e' -> List.exists (String.equal key) (keys_of e')) !entries
-      then
-        Wfs_util.Error.invalidf "Registry.register" "%S is already registered"
-          key)
-    (keys_of e);
-  entries := !entries @ [ e ]
-
-let get name =
-  match find name with
-  | Some e -> e
-  | None ->
-      Wfs_util.Error.invalidf "Registry.get" "unknown scheduler %S (known: %s)"
-        name
-        (String.concat ", " (names ()))
+    let name e = e.name
+    let aliases e = e.aliases
+    let kind = "scheduler"
+  end) :
+    Wfs_util.Registry_intf.S with type entry := entry)
 
 (* --- built-ins, from the Presets variants --- *)
 

@@ -1,0 +1,33 @@
+(* A builder value is the validated config record itself: every [with_]
+   step is a functional update, so [to_config] is free and the legacy
+   [Simulator.config] constructor trivially produces the same values. *)
+type t = Simulator.config
+
+let v ~horizon flows = Simulator.config ~horizon flows
+
+let with_predictor predictor (t : t) = { t with Simulator.predictor }
+
+let with_flows flows (t : t) =
+  (* Re-run the constructor so the new roster is validated like the old. *)
+  Simulator.config ~predictor:t.Simulator.predictor ?trace:t.Simulator.trace
+    ?observer:t.Simulator.observer ?slot_probe:t.Simulator.slot_probe
+    ?profiler:t.Simulator.profiler ~histograms:t.Simulator.histograms
+    ~invariants:t.Simulator.invariants ~horizon:t.Simulator.horizon flows
+
+let with_horizon horizon (t : t) =
+  if horizon < 0 then
+    Wfs_util.Error.invalid "Sim_config.with_horizon" "negative horizon";
+  { t with Simulator.horizon }
+
+let with_trace trace (t : t) = { t with Simulator.trace = Some trace }
+let with_observer f (t : t) = { t with Simulator.observer = Some f }
+let with_probe probe (t : t) = { t with Simulator.slot_probe = Some probe }
+let with_profiler h (t : t) = { t with Simulator.profiler = Some h }
+let with_histograms (t : t) = { t with Simulator.histograms = true }
+let with_invariants (t : t) = { t with Simulator.invariants = true }
+
+let to_config (t : t) = t
+let run sched (t : t) = Simulator.run t sched
+
+let start ?metrics ?first_slot sched (t : t) =
+  Simulator.Session.create ?metrics ?first_slot t sched

@@ -80,194 +80,295 @@ let retx_limit_of (p : Params.drop_policy) =
   | Params.Retx_limit k | Params.Retx_or_delay (k, _) -> Some k
   | Params.No_drop | Params.Delay_bound _ -> None
 
-let run_generic cfg (sched : Wireless_sched.instance) ~channel_state =
-  let n = Array.length cfg.flows in
-  let metrics = Metrics.create ~histograms:cfg.histograms ~n_flows:n () in
-  let seqs = Array.make n 0 in
-  let predictors = Array.map (fun _ -> Predictor.create cfg.predictor) cfg.flows in
-  let tracing =
-    match cfg.trace with None -> false | Some tr -> Tracelog.enabled tr
-  in
-  let record ~slot ev =
-    match cfg.trace with None -> () | Some tr -> Tracelog.record tr ~slot ev
-  in
-  let monitor = if cfg.invariants then Some (Invariant.create ()) else None in
-  (* Observability hooks: [profiling] is hoisted so the disabled path costs
-     one branch on a register-resident bool per phase boundary — the hook
-     closures are only entered when a profiler is actually attached. *)
-  let profiling = Option.is_some cfg.profiler in
-  let phase_begin p =
-    match cfg.profiler with None -> () | Some h -> h.phase_begin p
-  in
-  let phase_end p =
-    match cfg.profiler with None -> () | Some h -> h.phase_end p
-  in
-  (* Hot-loop scratch, allocated once: the per-slot closures read
-     [cur_slot] instead of capturing the loop variable, and [states] is
-     overwritten in place each slot (see docs/PERF.md). *)
-  let states = Array.make n Channel.Good in
-  let cur_slot = ref 0 in
-  let predicted_good i =
-    Channel.state_is_good
-      (Predictor.predict predictors.(i) cfg.flows.(i).channel ~slot:!cur_slot)
-  in
-  (* The monitor's view of "what would the scheduler have been told" goes
-     through Predictor.peek: same answer [select] saw this slot (channels
-     only advance in phase 2), zero predictor mutation — so checked runs
-     stay byte-identical, Periodic_snoop included. *)
-  let peek_good i =
-    Channel.state_is_good
-      (Predictor.peek predictors.(i) cfg.flows.(i).channel ~slot:!cur_slot)
-  in
-  (* Flow classification, fixed for the whole run: null sources never
-     produce an arrival, so their per-slot query is skipped outright, and a
-     static channel keeps its state after the first advance, so phase 2
-     re-reads [states.(i)] instead of advancing it again (both contracts
-     documented in the respective .mlis). *)
-  let live_sources =
-    let acc = ref [] in
-    for i = n - 1 downto 0 do
-      if not (Arrival.is_never cfg.flows.(i).source) then acc := i :: !acc
-    done;
-    Array.of_list !acc
-  in
-  let static_channel =
-    Array.map (fun fs -> Channel.is_static fs.channel) cfg.flows
-  in
-  let delay_bounds =
-    Array.map
-      (fun fs ->
-        match delay_bound_of fs.flow.Params.drop with None -> -1 | Some d -> d)
-      cfg.flows
-  in
-  let delay_flows =
-    let acc = ref [] in
-    for i = n - 1 downto 0 do
-      if delay_bounds.(i) >= 0 then acc := i :: !acc
-    done;
-    Array.of_list !acc
-  in
-  let buffers =
-    Array.map
-      (fun fs ->
-        match fs.flow.Params.buffer with None -> max_int | Some b -> b)
-      cfg.flows
-  in
-  (for slot = 0 to cfg.horizon - 1 do
-    cur_slot := slot;
-    (* 1. Arrivals. *)
-    if profiling then phase_begin phase_arrivals;
-    for li = 0 to Array.length live_sources - 1 do
-      let i = live_sources.(li) in
-      let count = Arrival.arrivals cfg.flows.(i).source ~slot in
-      for _ = 1 to count do
-        let pkt = Packet.make ~flow:i ~seq:seqs.(i) ~arrival:slot () in
-        seqs.(i) <- seqs.(i) + 1;
-        Metrics.on_arrival metrics ~flow:i;
-        if tracing then
-          record ~slot (Tracelog.Arrival { flow = i; seq = pkt.Packet.seq });
-        if sched.queue_length i >= buffers.(i) then begin
-          (* Buffer overflow: the packet never enters the system. *)
-          Metrics.on_drop metrics ~flow:i;
-          if tracing then
-            record ~slot
-              (Tracelog.Drop { flow = i; seq = pkt.Packet.seq; reason = "buffer" })
-        end
-        else sched.enqueue ~slot pkt
-      done
-    done;
-    if profiling then phase_end phase_arrivals;
-    (* 2–3. Channel states and predictions. *)
-    if profiling then phase_begin phase_predict;
-    for i = 0 to n - 1 do
-      if (not static_channel.(i)) || slot = 0 then
-        states.(i) <- channel_state ~flow:i ~slot
-    done;
-    if profiling then phase_end phase_predict;
-    (* 4. Delay-bound drops (may discard packets anywhere in the queue). *)
-    if profiling then phase_begin phase_drops;
-    for di = 0 to Array.length delay_flows - 1 do
-      let i = delay_flows.(di) in
-      match sched.drop_expired ~flow:i ~now:slot ~bound:delay_bounds.(i) with
-      | [] -> ()
-      | dropped ->
-          (* lint: allow R7 rare path: allocates only on slots where delay drops fired *)
-          List.iter (fun (pkt : Packet.t) ->
-              Metrics.on_drop metrics ~flow:i;
-              if tracing then
-                record ~slot
-                  (Tracelog.Drop { flow = i; seq = pkt.seq; reason = "delay" }))
-            dropped
-    done;
-    if profiling then phase_end phase_drops;
-    (* 5–6. Selection and transmission outcome. *)
-    if profiling then phase_begin phase_select;
-    let selected = sched.select ~slot ~predicted_good in
-    if profiling then phase_end phase_select;
-    if profiling then phase_begin phase_transmit;
-    (match selected with
-    | None ->
-        Metrics.on_idle_slot metrics;
-        if tracing then record ~slot Tracelog.Slot_idle
-    | Some f -> (
-        Metrics.on_busy_slot metrics;
-        match sched.head f with
-        | None ->
-            Wfs_util.Error.invalidf "Simulator.run"
-              "scheduler selected flow %d with empty queue" f
-        | Some pkt ->
-            if Channel.state_is_good states.(f) then begin
-              sched.complete ~flow:f;
-              let delay = slot - pkt.Packet.arrival in
-              Metrics.on_deliver metrics ~flow:f ~delay;
-              if tracing then
-                record ~slot
-                  (Tracelog.Transmit_ok { flow = f; seq = pkt.Packet.seq; delay })
-            end
-            else begin
-              pkt.Packet.attempts <- pkt.Packet.attempts + 1;
-              Metrics.on_failed_attempt metrics ~flow:f;
-              sched.fail ~flow:f;
-              if tracing then
-                record ~slot
-                  (Tracelog.Transmit_fail
-                     { flow = f; seq = pkt.Packet.seq; attempt = pkt.Packet.attempts });
-              match retx_limit_of cfg.flows.(f).flow.Params.drop with
-              | Some limit when pkt.Packet.attempts > limit ->
-                  sched.drop_head ~flow:f;
-                  Metrics.on_drop metrics ~flow:f;
-                  if tracing then
-                    record ~slot
-                      (Tracelog.Drop
-                         { flow = f; seq = pkt.Packet.seq; reason = "retx" })
-              | Some _ | None -> ()
-            end));
-    if profiling then phase_end phase_transmit;
-    (* 7. End-of-slot hooks. *)
-    if profiling then phase_begin phase_slot_end;
-    sched.on_slot_end ~slot;
-    (match monitor with
-    | None -> ()
-    | Some m ->
-        Invariant.check m ~slot ~sched ~n_flows:n ~predicted_good:peek_good
-          ~selected);
-    (match cfg.slot_probe with
-    | None -> ()
-    | Some probe -> probe ~slot ~selected ~states);
-    (match cfg.observer with None -> () | Some f -> f slot metrics);
-    if profiling then phase_end phase_slot_end
-  done)
-  [@hot];
-  metrics
+module Session = struct
+  type t = {
+    cfg : config;
+    sched : Wireless_sched.instance;
+    channel_state : flow:int -> slot:int -> Channel.state;
+    metrics : Metrics.t;
+    seqs : int array;
+    tracing : bool;
+    record : slot:int -> Tracelog.event -> unit;
+    monitor : Invariant.t option;
+    profiling : bool;
+    phase_begin : int -> unit;
+    phase_end : int -> unit;
+    (* Hot-loop scratch, allocated once per session: the per-slot closures
+       read [cur_slot] instead of capturing the loop variable, and [states]
+       is overwritten in place each slot (see docs/PERF.md). *)
+    states : Channel.state array;
+    cur_slot : int ref;
+    predicted_good : int -> bool;
+    peek_good : int -> bool;
+    live_sources : int array;
+    static_channel : bool array;
+    delay_bounds : int array;
+    delay_flows : int array;
+    buffers : int array;
+    first_slot : int;
+    mutable next : int;
+  }
 
-let run cfg sched =
-  let channel_state ~flow ~slot =
-    Channel.advance cfg.flows.(flow).channel ~slot
-  in
-  (* Channels must advance exactly once per slot, before predictions read
-     them; run_generic calls [channel_state] once per flow per slot in
-     phase 2. *)
-  run_generic cfg sched ~channel_state
+  let create_generic ?metrics ?(first_slot = 0) cfg
+      (sched : Wireless_sched.instance) ~channel_state =
+    let n = Array.length cfg.flows in
+    if first_slot < 0 || first_slot > cfg.horizon then
+      Wfs_util.Error.invalidf "Simulator.Session.create"
+        "first_slot %d outside [0, horizon %d]" first_slot cfg.horizon;
+    let metrics =
+      match metrics with
+      | Some m ->
+          if Metrics.n_flows m <> n then
+            Wfs_util.Error.invalid "Simulator.Session.create"
+              "metrics flow count does not match config";
+          m
+      | None -> Metrics.create ~histograms:cfg.histograms ~n_flows:n ()
+    in
+    let seqs = Array.make n 0 in
+    let predictors =
+      Array.map (fun _ -> Predictor.create cfg.predictor) cfg.flows
+    in
+    let tracing =
+      match cfg.trace with None -> false | Some tr -> Tracelog.enabled tr
+    in
+    let record ~slot ev =
+      match cfg.trace with None -> () | Some tr -> Tracelog.record tr ~slot ev
+    in
+    let monitor = if cfg.invariants then Some (Invariant.create ()) else None in
+    (* Observability hooks: [profiling] is hoisted so the disabled path costs
+       one branch on a register-resident bool per phase boundary — the hook
+       closures are only entered when a profiler is actually attached. *)
+    let profiling = Option.is_some cfg.profiler in
+    let phase_begin p =
+      match cfg.profiler with None -> () | Some h -> h.phase_begin p
+    in
+    let phase_end p =
+      match cfg.profiler with None -> () | Some h -> h.phase_end p
+    in
+    let states = Array.make n Channel.Good in
+    let cur_slot = ref first_slot in
+    let predicted_good i =
+      Channel.state_is_good
+        (Predictor.predict predictors.(i) cfg.flows.(i).channel ~slot:!cur_slot)
+    in
+    (* The monitor's view of "what would the scheduler have been told" goes
+       through Predictor.peek: same answer [select] saw this slot (channels
+       only advance in phase 2), zero predictor mutation — so checked runs
+       stay byte-identical, Periodic_snoop included. *)
+    let peek_good i =
+      Channel.state_is_good
+        (Predictor.peek predictors.(i) cfg.flows.(i).channel ~slot:!cur_slot)
+    in
+    (* Flow classification, fixed for the whole session: null sources never
+       produce an arrival, so their per-slot query is skipped outright, and a
+       static channel keeps its state after the first advance, so phase 2
+       re-reads [states.(i)] instead of advancing it again (both contracts
+       documented in the respective .mlis). *)
+    let live_sources =
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        if not (Arrival.is_never cfg.flows.(i).source) then acc := i :: !acc
+      done;
+      Array.of_list !acc
+    in
+    let static_channel =
+      Array.map (fun fs -> Channel.is_static fs.channel) cfg.flows
+    in
+    let delay_bounds =
+      Array.map
+        (fun fs ->
+          match delay_bound_of fs.flow.Params.drop with None -> -1 | Some d -> d)
+        cfg.flows
+    in
+    let delay_flows =
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        if delay_bounds.(i) >= 0 then acc := i :: !acc
+      done;
+      Array.of_list !acc
+    in
+    let buffers =
+      Array.map
+        (fun fs ->
+          match fs.flow.Params.buffer with None -> max_int | Some b -> b)
+        cfg.flows
+    in
+    {
+      cfg;
+      sched;
+      channel_state;
+      metrics;
+      seqs;
+      tracing;
+      record;
+      monitor;
+      profiling;
+      phase_begin;
+      phase_end;
+      states;
+      cur_slot;
+      predicted_good;
+      peek_good;
+      live_sources;
+      static_channel;
+      delay_bounds;
+      delay_flows;
+      buffers;
+      first_slot;
+      next = first_slot;
+    }
+
+  let create ?metrics ?first_slot cfg sched =
+    let channel_state ~flow ~slot =
+      Channel.advance cfg.flows.(flow).channel ~slot
+    in
+    (* Channels must advance exactly once per slot, before predictions read
+       them; [advance] calls [channel_state] once per flow per slot in
+       phase 2. *)
+    create_generic ?metrics ?first_slot cfg sched ~channel_state
+
+  let next_slot t = t.next
+  let metrics t = t.metrics
+
+  let advance t ~until =
+    if until < t.next || until > t.cfg.horizon then
+      Wfs_util.Error.invalidf "Simulator.Session.advance"
+        "until %d outside [next %d, horizon %d]" until t.next t.cfg.horizon;
+    let cfg = t.cfg in
+    let sched = t.sched in
+    let n = Array.length cfg.flows in
+    let metrics = t.metrics in
+    let seqs = t.seqs in
+    let tracing = t.tracing in
+    let record = t.record in
+    let monitor = t.monitor in
+    let profiling = t.profiling in
+    let phase_begin = t.phase_begin in
+    let phase_end = t.phase_end in
+    let states = t.states in
+    let cur_slot = t.cur_slot in
+    let channel_state = t.channel_state in
+    let predicted_good = t.predicted_good in
+    let peek_good = t.peek_good in
+    let live_sources = t.live_sources in
+    let static_channel = t.static_channel in
+    let delay_bounds = t.delay_bounds in
+    let delay_flows = t.delay_flows in
+    let buffers = t.buffers in
+    let first_slot = t.first_slot in
+    (for slot = t.next to until - 1 do
+      cur_slot := slot;
+      (* 1. Arrivals. *)
+      if profiling then phase_begin phase_arrivals;
+      for li = 0 to Array.length live_sources - 1 do
+        let i = live_sources.(li) in
+        let count = Arrival.arrivals cfg.flows.(i).source ~slot in
+        for _ = 1 to count do
+          let pkt = Packet.make ~flow:i ~seq:seqs.(i) ~arrival:slot () in
+          seqs.(i) <- seqs.(i) + 1;
+          Metrics.on_arrival metrics ~flow:i;
+          if tracing then
+            record ~slot (Tracelog.Arrival { flow = i; seq = pkt.Packet.seq });
+          if sched.queue_length i >= buffers.(i) then begin
+            (* Buffer overflow: the packet never enters the system. *)
+            Metrics.on_drop metrics ~flow:i;
+            if tracing then
+              record ~slot
+                (Tracelog.Drop { flow = i; seq = pkt.Packet.seq; reason = "buffer" })
+          end
+          else sched.enqueue ~slot pkt
+        done
+      done;
+      if profiling then phase_end phase_arrivals;
+      (* 2–3. Channel states and predictions. *)
+      if profiling then phase_begin phase_predict;
+      for i = 0 to n - 1 do
+        if (not static_channel.(i)) || slot = first_slot then
+          states.(i) <- channel_state ~flow:i ~slot
+      done;
+      if profiling then phase_end phase_predict;
+      (* 4. Delay-bound drops (may discard packets anywhere in the queue). *)
+      if profiling then phase_begin phase_drops;
+      for di = 0 to Array.length delay_flows - 1 do
+        let i = delay_flows.(di) in
+        match sched.drop_expired ~flow:i ~now:slot ~bound:delay_bounds.(i) with
+        | [] -> ()
+        | dropped ->
+            (* lint: allow R7 rare path: allocates only on slots where delay drops fired *)
+            List.iter (fun (pkt : Packet.t) ->
+                Metrics.on_drop metrics ~flow:i;
+                if tracing then
+                  record ~slot
+                    (Tracelog.Drop { flow = i; seq = pkt.seq; reason = "delay" }))
+              dropped
+      done;
+      if profiling then phase_end phase_drops;
+      (* 5–6. Selection and transmission outcome. *)
+      if profiling then phase_begin phase_select;
+      let selected = sched.select ~slot ~predicted_good in
+      if profiling then phase_end phase_select;
+      if profiling then phase_begin phase_transmit;
+      (match selected with
+      | None ->
+          Metrics.on_idle_slot metrics;
+          if tracing then record ~slot Tracelog.Slot_idle
+      | Some f -> (
+          Metrics.on_busy_slot metrics;
+          match sched.head f with
+          | None ->
+              Wfs_util.Error.invalidf "Simulator.run"
+                "scheduler selected flow %d with empty queue" f
+          | Some pkt ->
+              if Channel.state_is_good states.(f) then begin
+                sched.complete ~flow:f;
+                let delay = slot - pkt.Packet.arrival in
+                Metrics.on_deliver metrics ~flow:f ~delay;
+                if tracing then
+                  record ~slot
+                    (Tracelog.Transmit_ok { flow = f; seq = pkt.Packet.seq; delay })
+              end
+              else begin
+                pkt.Packet.attempts <- pkt.Packet.attempts + 1;
+                Metrics.on_failed_attempt metrics ~flow:f;
+                sched.fail ~flow:f;
+                if tracing then
+                  record ~slot
+                    (Tracelog.Transmit_fail
+                       { flow = f; seq = pkt.Packet.seq; attempt = pkt.Packet.attempts });
+                match retx_limit_of cfg.flows.(f).flow.Params.drop with
+                | Some limit when pkt.Packet.attempts > limit ->
+                    sched.drop_head ~flow:f;
+                    Metrics.on_drop metrics ~flow:f;
+                    if tracing then
+                      record ~slot
+                        (Tracelog.Drop
+                           { flow = f; seq = pkt.Packet.seq; reason = "retx" })
+                | Some _ | None -> ()
+              end));
+      if profiling then phase_end phase_transmit;
+      (* 7. End-of-slot hooks. *)
+      if profiling then phase_begin phase_slot_end;
+      sched.on_slot_end ~slot;
+      (match monitor with
+      | None -> ()
+      | Some m ->
+          Invariant.check m ~slot ~sched ~n_flows:n ~predicted_good:peek_good
+            ~selected);
+      (match cfg.slot_probe with
+      | None -> ()
+      | Some probe -> probe ~slot ~selected ~states);
+      (match cfg.observer with None -> () | Some f -> f slot metrics);
+      if profiling then phase_end phase_slot_end
+    done)
+    [@hot];
+    t.next <- until
+
+  let finish t =
+    advance t ~until:t.cfg.horizon;
+    t.metrics
+end
+
+let run cfg sched = Session.finish (Session.create cfg sched)
 
 let run_with_channels cfg sched ~channel_states =
   if Array.length channel_states <> Array.length cfg.flows then
@@ -294,4 +395,4 @@ let run_with_channels cfg sched ~channel_states =
     }
   in
   let channel_state ~flow ~slot = Channel.advance replay.(flow) ~slot in
-  run_generic cfg sched ~channel_state
+  Session.finish (Session.create_generic cfg sched ~channel_state)

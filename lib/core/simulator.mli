@@ -98,12 +98,55 @@ val config :
   horizon:int ->
   flow_setup array ->
   config
-(** Default predictor: [One_step].
+(** Default predictor: [One_step].  {b Legacy surface}: new code should
+    build configurations through the typed {!Sim_config} builder, which
+    produces the same record — this optional-argument constructor is kept
+    so existing call sites (and golden CSVs) stay byte-identical.
     @raise Invalid_argument on a negative horizon, flow ids out of order,
     or an empty flow array. *)
 
+(** Epoch-resumable simulation: a session owns all per-run scratch (the
+    metrics accumulator, packet sequence counters, predictors, channel
+    scratch, the invariant monitor) and advances the slot loop in
+    increments.  [Session.finish (Session.create cfg sched)] is exactly
+    {!run}; a multi-cell {!Wfs_topo.Topology} instead advances each
+    cell's session one epoch at a time and applies handoffs at the
+    barrier.  A session started at [first_slot = 0] and advanced in any
+    sequence of increments produces byte-identical metrics to a single
+    {!run} — the loop body is shared and the scratch persists across
+    [advance] calls. *)
+module Session : sig
+  type t
+
+  val create :
+    ?metrics:Metrics.t -> ?first_slot:int -> config -> Wireless_sched.instance -> t
+  (** [metrics] lets the caller supply (and keep) the accumulator —
+      [Wfs_topo] banks a retired session's metrics and threads fresh ones
+      in; default is a fresh accumulator per session.  [first_slot]
+      (default 0) is where the slot loop resumes: sources and channels
+      are queried with absolute slot numbers, so a session rebuilt at an
+      epoch barrier continues the same sample paths.
+      @raise Invalid_argument when [first_slot] is outside
+      [[0, horizon]] or [metrics] has the wrong flow count. *)
+
+  val advance : t -> until:int -> unit
+  (** Run slots [[next_slot t, until)].
+      @raise Invalid_argument when [until] is behind [next_slot] or past
+      the horizon. *)
+
+  val next_slot : t -> int
+  (** The first slot the next {!advance} will simulate. *)
+
+  val metrics : t -> Metrics.t
+  (** The live accumulator (the one passed to {!create}, if any). *)
+
+  val finish : t -> Metrics.t
+  (** {!advance} to the horizon and return {!metrics}. *)
+end
+
 val run : config -> Wireless_sched.instance -> Metrics.t
-(** Simulate [horizon] slots and return the collected metrics. *)
+(** Simulate [horizon] slots and return the collected metrics.
+    Equivalent to a single-increment {!Session}. *)
 
 val run_with_channels :
   config ->

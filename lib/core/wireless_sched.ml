@@ -15,6 +15,15 @@ let no_probe =
     work_conserving = false;
   }
 
+type carry = { lag : float; credit : int }
+
+let carry_zero = { lag = 0.; credit = 0 }
+
+type handoff = {
+  export : flow:int -> carry;
+  import : flow:int -> carry -> carry;
+}
+
 type instance = {
   name : string;
   enqueue : slot:int -> Wfs_traffic.Packet.t -> unit;
@@ -27,4 +36,5 @@ type instance = {
   queue_length : int -> int;
   on_slot_end : slot:int -> unit;
   probe : probe;
+  handoff : handoff option;
 }

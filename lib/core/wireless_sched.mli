@@ -48,6 +48,41 @@ type probe = {
 val no_probe : probe
 (** All fields [None]/[false] — the default for hand-built instances. *)
 
+(** {1 Handoff state carry (Section 5 / Section 7)}
+
+    When a flow hands off between cells ({!Wfs_topo}), the compensation
+    state the paper attaches to the {e flow} — its §5 lag/lead (service
+    error accrued against the error-free reference) and its §7 credit
+    balance — must move with it, or fairness resets at every cell
+    boundary.  Everything else a scheduler keeps is {e cell-local}
+    (virtual times, frame position, α-accounting, predictor history) and
+    is deliberately {b not} carried: a flow arrives at the new base
+    station with its debt, not with the old cell's clock. *)
+
+type carry = {
+  lag : float;
+      (** §5 lag/lead in packets: positive = the flow is owed service
+          (lagging), negative = leading.  Float because IWFQ-family lags
+          are virtual-time-denominated; integral schedulers round. *)
+  credit : int;  (** §7 credit balance: positive = credit, negative = debt. *)
+}
+
+val carry_zero : carry
+(** Zero lag, zero credit — what a freshly admitted flow carries. *)
+
+type handoff = {
+  export : flow:int -> carry;
+      (** Serialize the flow's compensation state out of this scheduler.
+          Read-only: exporting must not mutate scheduler state (the same
+          contract as {!probe}). *)
+  import : flow:int -> carry -> carry;
+      (** Fold a carried state into this scheduler's own accounting,
+          clamped to its §5/§7 bounds, and return the {e accepted} carry
+          — so a topology ledger can account for what clamping truncated
+          ([carried = accepted + truncated]).  Must only be called before
+          the flow's first slot in this scheduler. *)
+}
+
 type instance = {
   name : string;
   enqueue : slot:int -> Wfs_traffic.Packet.t -> unit;
@@ -74,4 +109,9 @@ type instance = {
   probe : probe;
       (** Introspection for the runtime invariant monitor; {!no_probe}
           when the scheduler exposes nothing. *)
+  handoff : handoff option;
+      (** Handoff state carry, for schedulers whose compensation state is
+          flow-attachable ({!Wps} credits, {!Cifq} lag).  [None] when the
+          scheduler has no carryable per-flow state (IWFQ derives lag
+          from its fluid reference; CSDPS grants are positional). *)
 }

@@ -385,6 +385,24 @@ let instance t =
            current frame legitimately idles the slot (Section 7(c)). *)
         work_conserving = false;
       };
+    handoff =
+      (* §7 credit is the flow-attached compensation state; the frame and
+         marker ring are cell-local and rebuilt at the new base station. *)
+      Some
+        {
+          Wireless_sched.export =
+            (fun ~flow ->
+              {
+                Wireless_sched.lag = 0.;
+                credit = Credit.balance t.flows.(flow).credit;
+              });
+          import =
+            (fun ~flow carry ->
+              {
+                Wireless_sched.lag = 0.;
+                credit = Credit.admit t.flows.(flow).credit carry.Wireless_sched.credit;
+              });
+        };
   }
 
 let credit t ~flow = Credit.balance t.flows.(flow).credit

@@ -20,8 +20,20 @@ let setups_of (spec : Spec.t) =
       let sc = Core.Scenario.load ~seed:spec.seed ~horizon:spec.horizon path in
       sc.Core.Scenario.setups
 
+(* Optional-to-builder adapter: apply the step only when the caller passed
+   the knob, so the built config is field-for-field what the legacy
+   optional-argument constructor produced. *)
+let maybe step opt t = match opt with None -> t | Some v -> step v t
+
 let run ?credit_limit ?debit_limit ?limits ?observer ?trace ?probe ?profiler
     ?histograms ?invariants (spec : Spec.t) =
+  (match spec.topo with
+  | Some _ ->
+      (* Exec drives exactly one cell; the multi-cell driver lives a layer
+         up (Wfs_topo depends on this library, not the reverse). *)
+      Wfs_util.Error.invalid "Exec.run"
+        "spec has a topology clause; run it through Wfs_topo.Topology"
+  | None -> ());
   let entry = Core.Registry.get spec.sched in
   let setups = setups_of spec in
   let flows = Core.Presets.flows_of setups in
@@ -29,12 +41,15 @@ let run ?credit_limit ?debit_limit ?limits ?observer ?trace ?probe ?profiler
   (* The scheduler instance exists only here, so telemetry probes arrive as
      builders: the caller says how to probe, this function says what. *)
   let slot_probe = Option.map (fun build -> build sched) probe in
-  let cfg =
-    Core.Simulator.config ~predictor:entry.Core.Registry.predictor ?observer
-      ?trace ?slot_probe ?profiler ?histograms ?invariants
-      ~horizon:spec.horizon setups
-  in
-  Core.Simulator.run cfg sched
+  Core.Sim_config.v ~horizon:spec.horizon setups
+  |> Core.Sim_config.with_predictor entry.Core.Registry.predictor
+  |> maybe Core.Sim_config.with_observer observer
+  |> maybe Core.Sim_config.with_trace trace
+  |> maybe Core.Sim_config.with_probe slot_probe
+  |> maybe Core.Sim_config.with_profiler profiler
+  |> maybe (fun on t -> if on then Core.Sim_config.with_histograms t else t) histograms
+  |> maybe (fun on t -> if on then Core.Sim_config.with_invariants t else t) invariants
+  |> Core.Sim_config.run sched
 
 (* The flight recorder is a capacity-bounded Tracelog: cheap enough to
    leave on for whole sweeps, and when a run dies its last [capacity]

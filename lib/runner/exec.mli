@@ -38,7 +38,10 @@ val run :
     directives, and the scheduler entry's predictor overrides the file's
     [predictor] line (the registry name states the channel knowledge,
     e.g. "-I" vs "-P").
-    @raise Invalid_argument on an unknown scheduler name
+    @raise Invalid_argument on an unknown scheduler name, or when the
+    spec carries a topology clause — a multi-cell spec describes a
+    [Wfs_topo.Topology] run, not a single-scheduler one; route it
+    through [Wfs_topo.Topology.of_spec]
     @raise Wfs_core.Scenario.Parse_error / [Sys_error] on a bad file
     @raise Wfs_util.Error.Error (kind [Invariant_violation]) when
     [invariants] is on and a monitor fires *)

@@ -2,11 +2,14 @@ type scenario =
   | Example of { n : int; sum : float option }
   | File of string
 
+type topo = { cells : int; mobility : float; epoch : int }
+
 type t = {
   scenario : scenario;
   sched : string;
   seed : int;
   horizon : int;
+  topo : topo option;
 }
 
 let default_seed = 42
@@ -22,14 +25,29 @@ let example ?sum n =
 
 let file path = File path
 
-let make ?(seed = default_seed) ?(horizon = default_horizon) ~sched scenario =
+let topo ~cells ~mobility ~epoch =
+  if cells < 1 then
+    Wfs_util.Error.invalidf "Spec.topo" "cells must be >= 1, got %d" cells;
+  if epoch < 1 then
+    Wfs_util.Error.invalidf "Spec.topo" "epoch must be >= 1, got %d" epoch;
+  if not (mobility >= 0. && mobility <= 1.) then
+    Wfs_util.Error.invalidf "Spec.topo" "mobility must be in [0,1], got %g"
+      mobility;
+  { cells; mobility; epoch }
+
+let make ?(seed = default_seed) ?(horizon = default_horizon) ?topo ~sched
+    scenario =
   if horizon <= 0 then
     Wfs_util.Error.invalidf "Spec.make" "non-positive horizon %d" horizon;
-  { scenario; sched; seed; horizon }
+  { scenario; sched; seed; horizon; topo }
 
 let with_seed seed t = { t with seed }
-let with_horizon horizon t = make ~seed:t.seed ~horizon ~sched:t.sched t.scenario
+
+let with_horizon horizon t =
+  make ~seed:t.seed ~horizon ?topo:t.topo ~sched:t.sched t.scenario
+
 let with_sched sched t = { t with sched }
+let with_topo topo t = { t with topo = Some topo }
 
 let of_scenario_file ?(sched = "WPS") path =
   let sc = Wfs_core.Scenario.load path in
@@ -38,6 +56,7 @@ let of_scenario_file ?(sched = "WPS") path =
     sched;
     seed = sc.Wfs_core.Scenario.seed;
     horizon = sc.Wfs_core.Scenario.horizon;
+    topo = None;
   }
 
 let scenario_to_string s =
@@ -47,10 +66,20 @@ let scenario_to_string s =
       Printf.sprintf "example:%d?sum=%s" n (Json.float_to_string sum)
   | File path -> "file:" ^ path
 
+let topo_to_string tp =
+  Printf.sprintf "cells=%d,mobility=%s,epoch=%d" tp.cells
+    (Json.float_to_string tp.mobility)
+    tp.epoch
+
 let to_string t =
-  Printf.sprintf "%s | %s | seed=%d | horizon=%d"
-    (scenario_to_string t.scenario)
-    t.sched t.seed t.horizon
+  let base =
+    Printf.sprintf "%s | %s | seed=%d | horizon=%d"
+      (scenario_to_string t.scenario)
+      t.sched t.seed t.horizon
+  in
+  match t.topo with
+  | None -> base
+  | Some tp -> base ^ " | " ^ topo_to_string tp
 
 let scenario_of_string s =
   match String.index_opt s ':' with
@@ -110,32 +139,71 @@ let int_field ~key s =
     end
   | _ -> Error (Printf.sprintf "expected %s=N, got %S" key s)
 
-let of_string s =
-  let fields = List.map String.trim (String.split_on_char '|' s) in
-  match fields with
-  | [ scenario; sched; seed; horizon ] -> begin
-      match scenario_of_string scenario with
+(* The topology clause is the optional 5th field:
+   [cells=K,mobility=R,epoch=E] — comma-separated, all three keys
+   required, in that order (one canonical spelling keeps
+   to_string/of_string a bijection). *)
+let topo_of_string s =
+  match String.split_on_char ',' s with
+  | [ cells; mobility; epoch ] -> begin
+      match int_field ~key:"cells" cells with
       | Error _ as e -> e
-      | Ok scenario -> begin
-          if String.length sched = 0 then Error "empty scheduler name"
-          else
-            match int_field ~key:"seed" seed with
-            | Error _ as e -> e
-            | Ok seed -> begin
-                match int_field ~key:"horizon" horizon with
-                | Error _ as e -> e
-                | Ok horizon ->
-                    if horizon <= 0 then
-                      Error (Printf.sprintf "non-positive horizon %d" horizon)
-                    else Ok { scenario; sched; seed; horizon }
-              end
+      | Ok cells -> begin
+          match String.split_on_char '=' mobility with
+          | [ "mobility"; v ] -> begin
+              match float_of_string_opt v with
+              | None ->
+                  Error (Printf.sprintf "mobility value %S is not a number" v)
+              | Some mobility -> begin
+                  match int_field ~key:"epoch" epoch with
+                  | Error _ as e -> e
+                  | Ok epoch -> begin
+                      match topo ~cells ~mobility ~epoch with
+                      | tp -> Ok tp
+                      | exception Invalid_argument msg -> Error msg
+                    end
+                end
+            end
+          | _ -> Error (Printf.sprintf "expected mobility=R, got %S" mobility)
         end
     end
   | _ ->
       Error
         (Printf.sprintf
+           "topology %S: expected cells=K,mobility=R,epoch=E" s)
+
+let of_string s =
+  let fields = List.map String.trim (String.split_on_char '|' s) in
+  let of_base scenario sched seed horizon topo =
+    match scenario_of_string scenario with
+    | Error _ as e -> e
+    | Ok scenario -> begin
+        if String.length sched = 0 then Error "empty scheduler name"
+        else
+          match int_field ~key:"seed" seed with
+          | Error _ as e -> e
+          | Ok seed -> begin
+              match int_field ~key:"horizon" horizon with
+              | Error _ as e -> e
+              | Ok horizon ->
+                  if horizon <= 0 then
+                    Error (Printf.sprintf "non-positive horizon %d" horizon)
+                  else Ok { scenario; sched; seed; horizon; topo }
+            end
+      end
+  in
+  match fields with
+  | [ scenario; sched; seed; horizon ] -> of_base scenario sched seed horizon None
+  | [ scenario; sched; seed; horizon; topo ] -> begin
+      match topo_of_string topo with
+      | Error _ as e -> e
+      | Ok tp -> of_base scenario sched seed horizon (Some tp)
+    end
+  | _ ->
+      Error
+        (Printf.sprintf
            "spec %S: expected 4 |-separated fields (scenario | sched | seed=N \
-            | horizon=N)"
+            | horizon=N), optionally followed by | cells=K,mobility=R,epoch=E"
            s)
 
 let of_string_exn s =
@@ -158,8 +226,14 @@ let scenario_equal a b =
   | File a, File b -> String.equal a b
   | Example _, File _ | File _, Example _ -> false
 
+let topo_equal a b =
+  Int.equal a.cells b.cells
+  && Float.equal a.mobility b.mobility
+  && Int.equal a.epoch b.epoch
+
 let equal a b =
   scenario_equal a.scenario b.scenario
   && String.equal a.sched b.sched
   && Int.equal a.seed b.seed
   && Int.equal a.horizon b.horizon
+  && Option.equal topo_equal a.topo b.topo

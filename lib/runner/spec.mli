@@ -10,11 +10,14 @@
     accepts it via [--spec]).
 
     String form (fields separated by [|], whitespace around fields is
-    ignored):
+    ignored).  The optional 5th field is the multi-cell topology clause —
+    a spec without it means the classic single-cell run, so every
+    pre-topology spec string keeps parsing unchanged:
 
     {v
     example:1?sum=0.5 | SwapA-P | seed=42 | horizon=200000
     file:examples/cell.scenario | WPS | seed=7 | horizon=50000
+    example:1 | WPS | seed=42 | horizon=20000 | cells=4,mobility=0.01,epoch=500
     v} *)
 
 type scenario =
@@ -23,11 +26,21 @@ type scenario =
           Examples 1–2 *)
   | File of string  (** a scenario file, {!Wfs_core.Scenario} format *)
 
+type topo = {
+  cells : int;  (** number of cells; the scenario is instantiated per cell *)
+  mobility : float;
+      (** per-flow probability of handing off at each epoch barrier *)
+  epoch : int;  (** slots per lockstep epoch (the handoff granularity) *)
+}
+
 type t = {
   scenario : scenario;
   sched : string;  (** scheduler registry name, e.g. ["SwapA-P"] *)
   seed : int;
   horizon : int;
+  topo : topo option;
+      (** [None] = the classic single-cell run; [Some _] = a
+          {!Wfs_topo.Topology} run *)
 }
 
 val default_seed : int
@@ -44,13 +57,18 @@ val example : ?sum:float -> int -> scenario
 
 val file : string -> scenario
 
-val make : ?seed:int -> ?horizon:int -> sched:string -> scenario -> t
-(** Defaults: {!default_seed}, {!default_horizon}.
+val topo : cells:int -> mobility:float -> epoch:int -> topo
+(** @raise Invalid_argument on [cells < 1], [epoch < 1], or a mobility
+    outside [[0, 1]]. *)
+
+val make : ?seed:int -> ?horizon:int -> ?topo:topo -> sched:string -> scenario -> t
+(** Defaults: {!default_seed}, {!default_horizon}, no topology.
     @raise Invalid_argument on a non-positive horizon. *)
 
 val with_seed : int -> t -> t
 val with_horizon : int -> t -> t
 val with_sched : string -> t -> t
+val with_topo : topo -> t -> t
 
 val of_scenario_file : ?sched:string -> string -> t
 (** [of_scenario_file path] parses the scenario file and lifts it into a

@@ -1,0 +1,271 @@
+module Sched = Wfs_core.Wireless_sched
+module Sim = Wfs_core.Simulator
+module Params = Wfs_core.Params
+module Registry = Wfs_core.Registry
+module Metrics = Wfs_core.Metrics
+module Sim_config = Wfs_core.Sim_config
+module Instruments = Wfs_obs.Instruments
+module Packet = Wfs_traffic.Packet
+module Error = Wfs_util.Error
+
+type member = { gid : int; setup : Sim.flow_setup }
+
+type parcel = {
+  member : member;
+  carry : Sched.carry;
+  backlog : Packet.t list;
+  moved : bool;
+}
+
+type t = {
+  cell_id : int;
+  entry : Registry.entry;
+  credit_limit : int option;
+  debit_limit : int option;
+  horizon : int;
+  histograms : bool;
+  invariants : bool;
+  totals : Metrics.t;  (* indexed by global flow id *)
+  ins : Instruments.t;
+  epochs : Instruments.counter;
+  handoffs_in : Instruments.counter;
+  handoffs_out : Instruments.counter;
+  rebuilds : Instruments.counter;
+  carried_lag : Instruments.gauge;
+  carried_credit : Instruments.gauge;
+  truncated_lag : Instruments.gauge;
+  truncated_credit : Instruments.gauge;
+  mutable members : member array;
+  mutable sched : Sched.instance option;
+  mutable session : Sim.Session.t option;
+}
+
+let id t = t.cell_id
+let n_members t = Array.length t.members
+let gids t = Array.to_list (Array.map (fun m -> m.gid) t.members)
+let instruments t = t.ins
+let note_departure t = Instruments.incr t.handoffs_out
+let note_arrival t = Instruments.incr t.handoffs_in
+
+(* The carry ledger: carried = accepted + truncated, where import may only
+   shrink the magnitude (clamp toward zero), never grow it or flip its
+   sign.  An import outside that envelope is a scheduler handoff-hook bug,
+   caught here rather than surfacing as silently unfair service.  Half a
+   packet of slack covers integral schedulers rounding a virtual-time
+   denominated lag. *)
+let check_ledger t ~gid ~(carried : Sched.carry) ~(accepted : Sched.carry) =
+  let lag_ok =
+    (* the sign product is >= 0 when either side is zero, so this single
+       inequality covers both "same sign" and "declined entirely" *)
+    accepted.lag *. carried.lag >= 0.
+    && Float.abs accepted.lag <= Float.abs carried.lag +. 0.5
+  in
+  let credit_ok =
+    accepted.credit * carried.credit >= 0
+    && abs accepted.credit <= abs carried.credit
+  in
+  if not (lag_ok && credit_ok) then
+    Error.invariant_violation ~who:"Wfs_topo.Cell.rebuild"
+      "handoff import exceeds carried state"
+      ~context:
+        [
+          ("paper", "Section 5 / Section 7");
+          ("cell", string_of_int t.cell_id);
+          ("flow", string_of_int gid);
+          ("carried-lag", string_of_float carried.lag);
+          ("accepted-lag", string_of_float accepted.lag);
+          ("carried-credit", string_of_int carried.credit);
+          ("accepted-credit", string_of_int accepted.credit);
+        ]
+
+let account_carry t ~accepted ~truncated =
+  Instruments.set t.carried_lag (Float.abs accepted.Sched.lag);
+  Instruments.set t.carried_credit (float_of_int (abs accepted.Sched.credit));
+  Instruments.set t.truncated_lag (Float.abs truncated.Sched.lag);
+  Instruments.set t.truncated_credit
+    (float_of_int (abs truncated.Sched.credit))
+
+(* (Re)construct the scheduler and session over a parcel list: re-number
+   flows to dense local ids in ascending global id, import carries,
+   re-enqueue backlogs, resume at [slot]. *)
+let install t ~slot parcels =
+  let parcels =
+    List.sort (fun a b -> Int.compare a.member.gid b.member.gid) parcels
+  in
+  let members = Array.of_list (List.map (fun p -> p.member) parcels) in
+  t.members <- members;
+  if Array.length members = 0 then begin
+    t.sched <- None;
+    t.session <- None
+  end
+  else begin
+    let setups =
+      Array.mapi
+        (fun lid m ->
+          { m.setup with Sim.flow = { m.setup.Sim.flow with Params.id = lid } })
+        members
+    in
+    let flows = Wfs_core.Presets.flows_of setups in
+    let sched =
+      t.entry.Registry.make ?credit_limit:t.credit_limit
+        ?debit_limit:t.debit_limit flows
+    in
+    List.iteri
+      (fun lid p ->
+        if p.carry.Sched.credit <> 0 || Float.abs p.carry.Sched.lag > 0. then begin
+          let accepted =
+            match sched.Sched.handoff with
+            | Some h -> h.Sched.import ~flow:lid p.carry
+            | None -> Sched.carry_zero
+          in
+          check_ledger t ~gid:p.member.gid ~carried:p.carry ~accepted;
+          if p.moved then
+            account_carry t ~accepted
+              ~truncated:
+                {
+                  Sched.lag = p.carry.Sched.lag -. accepted.Sched.lag;
+                  credit = p.carry.Sched.credit - accepted.Sched.credit;
+                }
+        end
+        else if p.moved then
+          account_carry t ~accepted:Sched.carry_zero
+            ~truncated:Sched.carry_zero)
+      parcels;
+    List.iteri
+      (fun lid p ->
+        List.iter
+          (fun pkt -> sched.Sched.enqueue ~slot { pkt with Packet.flow = lid })
+          p.backlog)
+      parcels;
+    let cfg =
+      Sim_config.v ~horizon:t.horizon setups
+      |> Sim_config.with_predictor t.entry.Registry.predictor
+      |> (if t.histograms then Sim_config.with_histograms else Fun.id)
+      |> if t.invariants then Sim_config.with_invariants else Fun.id
+    in
+    t.sched <- Some sched;
+    t.session <- Some (Sim_config.start ~first_slot:slot sched cfg)
+  end
+
+let create ?credit_limit ?debit_limit ?(histograms = false)
+    ?(invariants = false) ~id ~sched ~horizon ~n_total members =
+  if n_total < 1 then
+    Error.invalidf "Cell.create" "n_total must be >= 1, got %d" n_total;
+  let ins = Instruments.create () in
+  (* Registration order is the positional merge key across cells: every
+     cell runs exactly this sequence. *)
+  let epochs = Instruments.counter ins "topo.epochs" in
+  let handoffs_in = Instruments.counter ins "topo.handoffs.in" in
+  let handoffs_out = Instruments.counter ins "topo.handoffs.out" in
+  let rebuilds = Instruments.counter ins "topo.rebuilds" in
+  let carried_lag =
+    Instruments.gauge ~policy:Instruments.Sum ins "topo.carry.lag"
+  in
+  let carried_credit =
+    Instruments.gauge ~policy:Instruments.Sum ins "topo.carry.credit"
+  in
+  let truncated_lag =
+    Instruments.gauge ~policy:Instruments.Sum ins "topo.carry.lag.truncated"
+  in
+  let truncated_credit =
+    Instruments.gauge ~policy:Instruments.Sum ins "topo.carry.credit.truncated"
+  in
+  let t =
+    {
+      cell_id = id;
+      entry = sched;
+      credit_limit;
+      debit_limit;
+      horizon;
+      histograms;
+      invariants;
+      totals = Metrics.create ~histograms ~n_flows:n_total ();
+      ins;
+      epochs;
+      handoffs_in;
+      handoffs_out;
+      rebuilds;
+      carried_lag;
+      carried_credit;
+      truncated_lag;
+      truncated_credit;
+      members = [||];
+      sched = None;
+      session = None;
+    }
+  in
+  install t ~slot:0
+    (List.map
+       (fun m ->
+         { member = m; carry = Sched.carry_zero; backlog = []; moved = false })
+       members);
+  t
+
+let advance t ~until =
+  (match t.session with
+  | Some s -> Sim.Session.advance s ~until
+  | None -> ());
+  Instruments.incr t.epochs
+
+let bank t session =
+  Metrics.absorb t.totals ~src:(Sim.Session.metrics session)
+    ~map:(fun lid -> t.members.(lid).gid)
+
+let dissolve t =
+  match (t.session, t.sched) with
+  | Some session, Some sched ->
+      bank t session;
+      (* Export every carry before draining any queue: exports are
+         read-only by contract, drains are not, and a scheduler may keep
+         cross-flow accounting. *)
+      let carries =
+        Array.mapi
+          (fun lid _ ->
+            match sched.Sched.handoff with
+            | Some h -> h.Sched.export ~flow:lid
+            | None -> Sched.carry_zero)
+          t.members
+      in
+      let parcels =
+        Array.to_list
+          (Array.mapi
+             (fun lid m ->
+               let rec drain acc =
+                 match sched.Sched.head lid with
+                 | Some pkt ->
+                     sched.Sched.drop_head ~flow:lid;
+                     drain (pkt :: acc)
+                 | None -> List.rev acc
+               in
+               {
+                 member = m;
+                 carry = carries.(lid);
+                 backlog = drain [];
+                 moved = false;
+               })
+             t.members)
+      in
+      t.session <- None;
+      t.sched <- None;
+      t.members <- [||];
+      parcels
+  | _ ->
+      t.session <- None;
+      t.sched <- None;
+      t.members <- [||];
+      []
+
+let rebuild t ~slot parcels =
+  Instruments.incr t.rebuilds;
+  install t ~slot parcels;
+  t
+
+let finish t =
+  (match t.session with
+  | Some s ->
+      Sim.Session.advance s ~until:t.horizon;
+      bank t s
+  | None -> ());
+  t.session <- None;
+  t.sched <- None;
+  t.totals

@@ -1,0 +1,21 @@
+module Rng = Wfs_util.Rng
+
+type t = { rng : Rng.t; cells : int; rate : float }
+
+let create ~seed ~cells ~rate =
+  if cells < 1 then
+    Wfs_util.Error.invalidf "Mobility.create" "cells must be >= 1, got %d" cells;
+  if not (rate >= 0. && rate <= 1.) then
+    Wfs_util.Error.invalidf "Mobility.create" "rate must be in [0,1], got %g"
+      rate;
+  { rng = Rng.create seed; cells; rate }
+
+let draw t ~home =
+  if Rng.bernoulli t.rng t.rate && t.cells > 1 then begin
+    (* Uniform over the other cells: draw from [0, cells-1) and skip
+       [home].  Bernoulli is drawn first (and unconditionally) so the
+       stream advances identically whether or not a target exists. *)
+    let k = Rng.int t.rng (t.cells - 1) in
+    Some (if k >= home then k + 1 else k)
+  end
+  else None

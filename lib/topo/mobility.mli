@@ -1,0 +1,23 @@
+(** Deterministic flow mobility: the per-spec RNG stream handoffs are
+    drawn from.
+
+    One stream per topology, consumed only at epoch barriers by the
+    {!Topology} driver, in ascending global-flow-id order — never inside
+    the parallel per-cell phase — so the drawn moves are a pure function
+    of (seed, cells, rate, barrier index, flow order) and the whole run
+    stays byte-identical for any [--jobs] value. *)
+
+type t
+
+val create : seed:int -> cells:int -> rate:float -> t
+(** [rate] is the per-flow, per-epoch handoff probability.
+    @raise Invalid_argument when [rate] is outside [[0, 1]] or
+    [cells < 1]. *)
+
+val draw : t -> home:int -> int option
+(** One per-flow draw: [Some target] when the flow hands off this epoch
+    (a cell other than [home], uniform), [None] when it stays.  Always
+    consumes exactly one Bernoulli draw (plus one integer draw when
+    moving), so the stream position depends only on how many flows were
+    asked and which moved — not on who asks.  With a single cell there is
+    nowhere to go: always [None], still consuming the Bernoulli draw. *)

@@ -1,0 +1,164 @@
+module Spec = Wfs_runner.Spec
+module Exec = Wfs_runner.Exec
+module Pool = Wfs_runner.Pool
+module Metrics = Wfs_core.Metrics
+module Instruments = Wfs_obs.Instruments
+module Error = Wfs_util.Error
+
+type t = {
+  cells : Cell.t array;
+  n_flows : int;
+  epoch : int;
+  horizon : int;
+  histograms : bool;
+  mobility : Mobility.t;
+  homes : int array;  (* global flow id -> current cell *)
+  mutable moves : int;
+  mutable result : Metrics.t option;
+}
+
+(* A large odd stride keeps per-cell seed sequences disjoint from the
+   consecutive-seed convention of Exec.replicate. *)
+let cell_seed ~seed ~cell = seed + (cell * 1_000_003)
+
+let of_spec ?credit_limit ?debit_limit ?histograms ?invariants
+    (spec : Spec.t) =
+  let topo =
+    match spec.topo with
+    | Some tp -> tp
+    | None ->
+        Error.invalid "Topology.of_spec" "spec has no topology clause"
+  in
+  let entry = Wfs_core.Registry.get spec.sched in
+  let rosters =
+    Array.init topo.Spec.cells (fun c ->
+        Exec.setups_of (Spec.with_seed (cell_seed ~seed:spec.seed ~cell:c) spec))
+  in
+  let n_flows = Array.fold_left (fun n r -> n + Array.length r) 0 rosters in
+  let offsets = Array.make topo.Spec.cells 0 in
+  for c = 1 to topo.Spec.cells - 1 do
+    offsets.(c) <- offsets.(c - 1) + Array.length rosters.(c - 1)
+  done;
+  let cells =
+    Array.mapi
+      (fun c roster ->
+        let members =
+          Array.to_list
+            (Array.mapi
+               (fun i setup -> { Cell.gid = offsets.(c) + i; setup })
+               roster)
+        in
+        Cell.create ?credit_limit ?debit_limit ?histograms ?invariants ~id:c
+          ~sched:entry ~horizon:spec.horizon ~n_total:n_flows members)
+      rosters
+  in
+  let homes = Array.make n_flows 0 in
+  Array.iteri
+    (fun c roster ->
+      for i = 0 to Array.length roster - 1 do
+        homes.(offsets.(c) + i) <- c
+      done)
+    rosters;
+  {
+    cells;
+    n_flows;
+    epoch = topo.Spec.epoch;
+    horizon = spec.horizon;
+    histograms = Option.value histograms ~default:false;
+    mobility =
+      (* the next derived seed after the last cell's: same namespace,
+         never colliding with a cell's scenario streams *)
+      Mobility.create
+        ~seed:(cell_seed ~seed:spec.seed ~cell:topo.Spec.cells)
+        ~cells:topo.Spec.cells ~rate:topo.Spec.mobility;
+    homes;
+    moves = 0;
+    result = None;
+  }
+
+let n_cells t = Array.length t.cells
+let n_flows t = t.n_flows
+let homes t = Array.copy t.homes
+let handoffs t = t.moves
+
+(* One barrier: draw mobility for every flow in ascending global id (the
+   stream discipline {!Mobility} documents), then dissolve the affected
+   cells, re-home the movers, and rebuild.  Strictly sequential — this is
+   what keeps multi-cell runs byte-identical across [--jobs]. *)
+let apply_handoffs t ~slot =
+  let moves = ref [] in
+  Array.iteri
+    (fun gid home ->
+      match Mobility.draw t.mobility ~home with
+      | Some dst -> moves := (gid, home, dst) :: !moves
+      | None -> ())
+    t.homes;
+  match List.rev !moves with
+  | [] -> ()
+  | moves ->
+      let affected = Array.make (Array.length t.cells) false in
+      List.iter
+        (fun (_, src, dst) ->
+          affected.(src) <- true;
+          affected.(dst) <- true)
+        moves;
+      let parcel_of = Array.make t.n_flows None in
+      Array.iteri
+        (fun c cell ->
+          if affected.(c) then
+            List.iter
+              (fun p -> parcel_of.(p.Cell.member.Cell.gid) <- Some p)
+              (Cell.dissolve cell))
+        t.cells;
+      List.iter
+        (fun (gid, src, dst) ->
+          t.homes.(gid) <- dst;
+          t.moves <- t.moves + 1;
+          parcel_of.(gid) <-
+            Option.map (fun p -> { p with Cell.moved = true }) parcel_of.(gid);
+          Cell.note_departure t.cells.(src);
+          Cell.note_arrival t.cells.(dst))
+        moves;
+      Array.iteri
+        (fun c cell ->
+          if affected.(c) then begin
+            let parcels = ref [] in
+            for gid = t.n_flows - 1 downto 0 do
+              if t.homes.(gid) = c then
+                match parcel_of.(gid) with
+                | Some p -> parcels := p :: !parcels
+                | None -> ()
+            done;
+            ignore (Cell.rebuild cell ~slot !parcels)
+          end)
+        t.cells
+
+let run ?(jobs = 1) t =
+  if jobs < 1 then Error.invalidf "Topology.run" "jobs must be >= 1, got %d" jobs;
+  if Option.is_some t.result then
+    Error.invalid "Topology.run" "topology already run";
+  let rec loop barrier =
+    if barrier < t.horizon then begin
+      let until = Int.min (barrier + t.epoch) t.horizon in
+      ignore (Pool.map ~jobs (fun cell -> Cell.advance cell ~until) t.cells);
+      if until < t.horizon then apply_handoffs t ~slot:until;
+      loop until
+    end
+  in
+  loop 0;
+  let merged = Metrics.create ~histograms:t.histograms ~n_flows:t.n_flows () in
+  Array.iter
+    (fun cell -> Metrics.absorb merged ~src:(Cell.finish cell) ~map:Fun.id)
+    t.cells;
+  t.result <- Some merged
+
+let metrics t =
+  match t.result with
+  | Some m -> m
+  | None -> Error.invalid "Topology.metrics" "run the topology first"
+
+let cell_instruments t ~cell = Cell.instruments t.cells.(cell)
+
+let instruments t =
+  Instruments.merge_all
+    (Array.to_list (Array.map Cell.instruments t.cells))

@@ -1,0 +1,69 @@
+(** Multi-cell lockstep driver: many {!Cell}s sharing one horizon, with
+    deterministic §5/§7 handoff state carry at epoch barriers.
+
+    The run alternates two phases.  In the {e parallel} phase every cell
+    advances its own session by one epoch — cells are independent work
+    items fanned out over {!Wfs_runner.Pool} domains, and the pool's
+    positional result ordering plus the cells' disjoint mutable state make
+    the phase byte-identical for any [--jobs] value.  At the {e barrier},
+    a single sequential pass draws mobility for every flow in ascending
+    global id from the topology's one {!Mobility} stream, then executes
+    the drawn handoffs: each affected cell is dissolved (metrics banked,
+    carries exported, backlogs drained), departing flows change homes, and
+    the affected cells are rebuilt with their new rosters, sessions
+    resuming at the barrier slot.  Unaffected cells are never touched, so
+    a zero-mobility topology runs each cell exactly as an independent
+    single-cell simulation — the byte-identity anchor the tests pin.
+
+    Cell [c] instantiates the spec's scenario with seed
+    [cell_seed ~seed ~cell:c], so cells are statistically independent
+    replicas of the same workload; the mobility stream takes the next
+    seed in the sequence. *)
+
+type t
+
+val cell_seed : seed:int -> cell:int -> int
+(** [seed + cell * 1_000_003] — the derived seed cell [cell] instantiates
+    its scenario with.  Exposed so tests can run the matching independent
+    single-cell spec. *)
+
+val of_spec :
+  ?credit_limit:int ->
+  ?debit_limit:int ->
+  ?histograms:bool ->
+  ?invariants:bool ->
+  Wfs_runner.Spec.t ->
+  t
+(** Build a topology from a spec carrying a topology clause.  The
+    scheduler is resolved through {!Wfs_core.Registry.get}; every cell
+    starts with its own instantiation of the spec's scenario ([cells × k]
+    flows total, global ids assigned cell-major).
+    @raise Invalid_argument when the spec has no topology clause, or on
+    an unknown scheduler / example. *)
+
+val n_cells : t -> int
+val n_flows : t -> int
+(** Topology-wide flow count (global ids are [0 .. n_flows - 1]). *)
+
+val run : ?jobs:int -> t -> unit
+(** Execute the whole horizon ([jobs] defaults to 1).  Single-shot:
+    running twice raises.  After [run] returns, {!metrics},
+    {!instruments}, {!homes} and {!handoffs} are valid.
+    @raise Invalid_argument on a second call or [jobs < 1]. *)
+
+val metrics : t -> Wfs_core.Metrics.t
+(** Global accumulator, one row per global flow id, merged across cells
+    in cell order; idle/busy slot counters are summed over cells.
+    @raise Invalid_argument before {!run}. *)
+
+val cell_instruments : t -> cell:int -> Wfs_obs.Instruments.t
+val instruments : t -> Wfs_obs.Instruments.t
+(** Per-cell registries merged positionally in cell order
+    ({!Wfs_obs.Instruments.merge_all}) — identical for any [jobs]. *)
+
+val homes : t -> int array
+(** Current home cell of every flow, indexed by global id (the initial
+    assignment before {!run}, the final one after). *)
+
+val handoffs : t -> int
+(** Total number of executed handoffs so far. *)

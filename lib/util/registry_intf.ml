@@ -1,0 +1,65 @@
+module type ENTRY = sig
+  type t
+
+  val name : t -> string
+  val aliases : t -> string list
+  val kind : string
+end
+
+module type S = sig
+  type entry
+
+  val register : entry -> unit
+  val find : string -> entry option
+  val lookup : string -> (entry, Error.t) result
+  val get : string -> entry
+  val mem : string -> bool
+  val names : unit -> string list
+  val entries : unit -> entry list
+end
+
+module Make (E : ENTRY) : S with type entry = E.t = struct
+  type entry = E.t
+
+  let keys_of e = List.map String.lowercase_ascii (E.name e :: E.aliases e)
+
+  (* Registration order is the presentation order (paper tables first), so
+     a plain list, scanned linearly, is the right structure — it also keeps
+     iteration deterministic, which a Hashtbl would not. *)
+  let store : entry list ref = ref []
+
+  let find name =
+    let key = String.lowercase_ascii name in
+    List.find_opt (fun e -> List.exists (String.equal key) (keys_of e)) !store
+
+  let mem name = Option.is_some (find name)
+  let names () = List.map E.name !store
+  let entries () = !store
+
+  let register e =
+    List.iter
+      (fun key ->
+        if
+          List.exists
+            (fun e' -> List.exists (String.equal key) (keys_of e'))
+            !store
+        then Error.invalidf "Registry.register" "%S is already registered" key)
+      (keys_of e);
+    store := !store @ [ e ]
+
+  let get name =
+    match find name with
+    | Some e -> e
+    | None ->
+        Error.invalidf "Registry.get" "unknown %s %S (known: %s)" E.kind name
+          (String.concat ", " (names ()))
+
+  let lookup name =
+    match find name with
+    | Some e -> Ok e
+    | None ->
+        Stdlib.Error
+          (Error.v Error.Bad_config ~who:"Registry.lookup"
+             (Printf.sprintf "unknown %s %S" E.kind name)
+             ~context:[ ("known", String.concat ", " (names ())) ])
+end

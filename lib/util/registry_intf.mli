@@ -1,0 +1,58 @@
+(** Functor-generated registry stores: one alias/lookup/error contract.
+
+    {!Wfs_core.Registry} (wireless schedulers) and {!Wfs_wireline.Registry}
+    (packetized reference schedulers) grew as near-identical linear-list
+    stores with independently worded errors.  Both are now instantiations
+    of {!Make}: entries keep registration order (which is the presentation
+    and enumeration order, so a [Hashtbl] would be wrong), lookups are
+    case-insensitive over canonical names and aliases, and the error
+    surface is shared — [register] collisions and [get] misses raise the
+    historical [Invalid_argument] wordings, while {!S.lookup} returns the
+    typed {!Error.t} the runner's failure tables classify. *)
+
+(** What {!Make} needs to know about an entry: its canonical name, its
+    aliases, and the noun used in error messages (["scheduler"],
+    ["wireline scheduler"], ...). *)
+module type ENTRY = sig
+  type t
+
+  val name : t -> string
+  val aliases : t -> string list
+
+  val kind : string
+  (** Error-message noun: [get]/[lookup] misses read
+      ["unknown <kind> %S ..."]. *)
+end
+
+(** The generated store.  One mutable entry list per functor application —
+    apply {!Make} once per registry, at module level. *)
+module type S = sig
+  type entry
+
+  val register : entry -> unit
+  (** Append to the store.
+      @raise Invalid_argument when the name or an alias
+      (case-insensitively) collides with an existing registration. *)
+
+  val find : string -> entry option
+  (** Resolve a canonical name or alias, case-insensitively. *)
+
+  val lookup : string -> (entry, Error.t) result
+  (** {!find} with a typed miss: unknown names become kind [Bad_config]
+      with the known names in the context.  Never raises. *)
+
+  val get : string -> entry
+  (** Like {!find}.
+      @raise Invalid_argument on an unknown name, listing the known
+      ones (the historical wording both registries' tests assert). *)
+
+  val mem : string -> bool
+
+  val names : unit -> string list
+  (** Canonical names in registration order. *)
+
+  val entries : unit -> entry list
+  (** All entries in registration order. *)
+end
+
+module Make (E : ENTRY) : S with type entry = E.t

@@ -4,38 +4,18 @@ type entry = {
   make : capacity:float -> Flow.t array -> Sched_intf.instance;
 }
 
-let keys_of e = List.map String.lowercase_ascii (e.name :: e.aliases)
+include (
+  Wfs_util.Registry_intf.Make (struct
+    type t = entry
 
-(* A linear list keeps registration order (and therefore enumeration order
-   in tests/benches) deterministic. *)
-let entries : entry list ref = ref []
-
-let find name =
-  let key = String.lowercase_ascii name in
-  List.find_opt (fun e -> List.exists (String.equal key) (keys_of e)) !entries
-
-let names () = List.map (fun e -> e.name) !entries
-
-let register e =
-  List.iter
-    (fun key ->
-      if List.exists (fun e' -> List.exists (String.equal key) (keys_of e')) !entries
-      then
-        Wfs_util.Error.invalidf "Registry.register" "%S is already registered"
-          key)
-    (keys_of e);
-  entries := !entries @ [ e ]
-
-let get name =
-  match find name with
-  | Some e -> e
-  | None ->
-      Wfs_util.Error.invalidf "Registry.get"
-        "unknown wireline scheduler %S (known: %s)" name
-        (String.concat ", " (names ()))
+    let name e = e.name
+    let aliases e = e.aliases
+    let kind = "wireline scheduler"
+  end) :
+    Wfs_util.Registry_intf.S with type entry := entry)
 
 let instances ~capacity flows =
-  List.map (fun e -> e.make ~capacity flows) !entries
+  List.map (fun e -> e.make ~capacity flows) (entries ())
 
 let () =
   List.iter register

@@ -27,6 +27,7 @@ let instance t =
     queue_length = (fun _ -> Queue.length t.q);
     on_slot_end = (fun ~slot:_ -> ());
     probe = Sched.no_probe;
+    handoff = None;
   }
 
 let register () =

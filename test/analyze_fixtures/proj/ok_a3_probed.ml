@@ -33,6 +33,7 @@ let instance t =
         lag_sum = Some (fun () -> t.served);
         work_conserving = true;
       };
+    handoff = None;
   }
 
 let register () =

@@ -248,6 +248,7 @@ let fake_sched ?(queue_length = fun _ -> 0) probe =
     queue_length;
     on_slot_end = (fun ~slot:_ -> ());
     probe;
+    handoff = None;
   }
 
 let contains ~sub s =

@@ -16,6 +16,7 @@ let () =
       ("scenario", Test_scenario.suite);
       ("runner", Test_runner.suite);
       ("guard", Test_guard.suite);
+      ("topo", Test_topo.suite);
       ("perf_opt", Test_perf_opt.suite);
       ("integration", Test_integration.suite);
       ("obs", Test_obs.suite);

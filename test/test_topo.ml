@@ -1,0 +1,305 @@
+(* Multi-cell topology: spec grammar round-trip (old and new forms),
+   zero-mobility byte-identity against independent single-cell runs,
+   handoff carry preservation within the Section 5 / Section 7 bounds, and
+   jobs-invariance of the sharded lockstep loop. *)
+
+module Spec = Wfs_runner.Spec
+module Exec = Wfs_runner.Exec
+module Topology = Wfs_topo.Topology
+module Cell = Wfs_topo.Cell
+module M = Wfs_core.Metrics
+module Sched = Wfs_core.Wireless_sched
+module Registry = Wfs_core.Registry
+
+(* --- Spec grammar: qcheck round-trip over old and new forms --- *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          map2
+            (fun n sum -> Spec.example ?sum n)
+            (1 -- 2)
+            (opt (float_range 0.1 1.0)) );
+        (3, map (fun n -> Spec.example n) (3 -- 6));
+        ( 1,
+          map
+            (fun p -> Spec.file p)
+            (oneofl
+               [ "examples/cell.scenario"; "a/b.scenario"; "deep/nested path.scn" ])
+        );
+      ])
+
+let topo_gen =
+  QCheck.Gen.(
+    map3
+      (fun cells mobility epoch -> Spec.topo ~cells ~mobility ~epoch)
+      (1 -- 64) (float_range 0. 1.) (1 -- 10_000))
+
+let spec_gen =
+  QCheck.Gen.(
+    map
+      (fun ((scenario, sched), ((seed, horizon), topo)) ->
+        { Spec.scenario; sched; seed; horizon; topo })
+      (pair
+         (pair scenario_gen
+            (oneofl [ "WPS"; "SwapA-P"; "IWFQ-I"; "CIF-Q"; "CSDPS" ]))
+         (pair (pair (0 -- 1_000_000) (1 -- 1_000_000)) (opt topo_gen))))
+
+let prop_spec_roundtrip =
+  QCheck.Test.make
+    ~name:"spec string form round-trips, with and without a topology clause"
+    ~count:500 (QCheck.make spec_gen) (fun sp ->
+      match Spec.of_string (Spec.to_string sp) with
+      | Ok sp' -> Spec.equal sp sp'
+      | Error _ -> false)
+
+let test_old_grammar_unchanged () =
+  (* A pre-topology spec string parses to topo = None and re-serializes
+     without a 5th field. *)
+  let s = "example:1?sum=0.5 | WPS | seed=7 | horizon=50000" in
+  match Spec.of_string s with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok sp ->
+      Alcotest.(check bool) "no topo" true (sp.Spec.topo = None);
+      Alcotest.(check string) "round-trip" s (Spec.to_string sp)
+
+let test_topo_clause_parses () =
+  let s = "example:1 | WPS | seed=42 | horizon=20000 | cells=4,mobility=0.01,epoch=500" in
+  match Spec.of_string s with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok sp -> (
+      match sp.Spec.topo with
+      | None -> Alcotest.fail "expected a topology clause"
+      | Some tp ->
+          Alcotest.(check int) "cells" 4 tp.Spec.cells;
+          Alcotest.(check (float 0.)) "mobility" 0.01 tp.Spec.mobility;
+          Alcotest.(check int) "epoch" 500 tp.Spec.epoch;
+          Alcotest.(check string) "round-trip" s (Spec.to_string sp))
+
+let test_topo_clause_rejects () =
+  let bad =
+    [
+      "example:1 | WPS | seed=1 | horizon=10 | cells=0,mobility=0,epoch=5";
+      "example:1 | WPS | seed=1 | horizon=10 | cells=2,mobility=1.5,epoch=5";
+      "example:1 | WPS | seed=1 | horizon=10 | cells=2,epoch=5,mobility=0";
+      "example:1 | WPS | seed=1 | horizon=10 | bogus";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Spec.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed clause: %s" s
+      | Error _ -> ())
+    bad
+
+(* --- Zero-mobility byte-identity: the lockstep anchor --- *)
+
+let check_flow_equal ~msg solo ~flow m ~gid =
+  let pairs =
+    [
+      ("arrivals", float_of_int (M.arrivals solo ~flow), float_of_int (M.arrivals m ~flow:gid));
+      ("delivered", float_of_int (M.delivered solo ~flow), float_of_int (M.delivered m ~flow:gid));
+      ("dropped", float_of_int (M.dropped solo ~flow), float_of_int (M.dropped m ~flow:gid));
+      ("mean", M.mean_delay solo ~flow, M.mean_delay m ~flow:gid);
+      ("max", M.max_delay solo ~flow, M.max_delay m ~flow:gid);
+      ("stddev", M.stddev_delay solo ~flow, M.stddev_delay m ~flow:gid);
+    ]
+  in
+  List.for_all
+    (fun (what, a, b) ->
+      let ok = a = b in
+      if not ok then
+        Printf.eprintf "%s: flow %d gid %d %s: %g <> %g\n" msg flow gid what a b;
+      ok)
+    pairs
+
+let prop_zero_mobility_identity =
+  QCheck.Test.make
+    ~name:
+      "zero-mobility 2-cell topology is identical to two independent \
+       single-cell runs"
+    ~count:6
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (oneofl [ "SwapA-P"; "CIF-Q-P"; "WRR-I" ])
+           (pair (0 -- 1000) (50 -- 400))))
+    (fun (sched, (seed, epoch)) ->
+      let horizon = 2_000 in
+      let spec =
+        Spec.make ~seed ~horizon
+          ~topo:(Spec.topo ~cells:2 ~mobility:0. ~epoch)
+          ~sched (Spec.example 1)
+      in
+      let t = Topology.of_spec spec in
+      Topology.run ~jobs:2 t;
+      let m = Topology.metrics t in
+      let base = { spec with Spec.topo = None } in
+      List.for_all
+        (fun cell ->
+          let solo =
+            Exec.run (Spec.with_seed (Topology.cell_seed ~seed ~cell) base)
+          in
+          let k = M.n_flows solo in
+          List.for_all
+            (fun f ->
+              check_flow_equal ~msg:"zero-mobility" solo ~flow:f m
+                ~gid:((cell * k) + f))
+            (List.init k Fun.id))
+        [ 0; 1 ])
+
+(* --- Forced handoffs: carry survives within the paper's bounds --- *)
+
+let test_full_mobility_completes () =
+  (* mobility 1.0 with 2 cells: every flow hands off at every barrier.
+     The ledger check in Cell.rebuild validates each import; after an odd
+     number of barriers every flow sits in the opposite cell. *)
+  let spec =
+    Spec.make ~seed:3 ~horizon:2_000
+      ~topo:(Spec.topo ~cells:2 ~mobility:1.0 ~epoch:100)
+      ~sched:"SwapA-P" (Spec.example 1)
+  in
+  let t = Topology.of_spec spec in
+  Topology.run t;
+  let barriers = 19 in
+  Alcotest.(check int) "handoffs" (4 * barriers) (Topology.handoffs t);
+  Alcotest.(check (array int)) "all flows swapped cells" [| 1; 1; 0; 0 |]
+    (Topology.homes t)
+
+let test_wps_credit_carry () =
+  (* Export out of a live WPS cell: Section 7 bounds the carried credit to
+     the paper's default [-4, 4]; re-admitting into another cell with the
+     same caps must accept it verbatim (carried = accepted, nothing
+     truncated), and a re-export returns the same balance. *)
+  let entry = Registry.get "SwapA-P" in
+  let setups = Wfs_core.Presets.example1 ~seed:5 () in
+  let members =
+    Array.to_list (Array.mapi (fun i s -> { Cell.gid = i; setup = s }) setups)
+  in
+  let c0 = Cell.create ~id:0 ~sched:entry ~horizon:4_000 ~n_total:2 members in
+  Cell.advance c0 ~until:1_500;
+  let parcels = Cell.dissolve c0 in
+  List.iter
+    (fun p ->
+      let c = p.Cell.carry.Sched.credit in
+      Alcotest.(check bool) "credit within Section 7 caps" true
+        (c >= -4 && c <= 4);
+      Alcotest.(check (float 0.)) "wps carries no lag" 0. p.Cell.carry.Sched.lag)
+    parcels;
+  let c1 = Cell.create ~id:1 ~sched:entry ~horizon:4_000 ~n_total:2 [] in
+  let moved = List.map (fun p -> { p with Cell.moved = true }) parcels in
+  ignore (Cell.rebuild c1 ~slot:1_500 moved);
+  let parcels' = Cell.dissolve c1 in
+  List.iter2
+    (fun p p' ->
+      Alcotest.(check int) "credit survives the handoff"
+        p.Cell.carry.Sched.credit p'.Cell.carry.Sched.credit)
+    parcels parcels'
+
+let test_wps_import_clamps () =
+  (* An over-cap carry is clamped, and the accepted value is what import
+     reports (carried = accepted + truncated). *)
+  let flows =
+    Array.init 2 (fun id -> Wfs_core.Params.flow ~id ~weight:1. ())
+  in
+  let entry = Registry.get "SwapA-P" in
+  let sched =
+    entry.Registry.make ~credit_limit:4 ~debit_limit:4 flows
+  in
+  let h = Option.get sched.Sched.handoff in
+  let acc = h.Sched.import ~flow:0 { Sched.lag = 0.; credit = 9 } in
+  Alcotest.(check int) "credit clamped to +cap" 4 acc.Sched.credit;
+  let acc' = h.Sched.import ~flow:1 { Sched.lag = 0.; credit = -9 } in
+  Alcotest.(check int) "debit clamped to -cap" (-4) acc'.Sched.credit;
+  Alcotest.(check int) "export returns the accepted balance" 4
+    (h.Sched.export ~flow:0).Sched.credit
+
+let test_cifq_lag_carry () =
+  (* CIF-Q rounds the virtual-time-denominated lag to its integral
+     accounting; export then returns exactly what was accepted. *)
+  let flows =
+    Array.init 2 (fun id -> Wfs_core.Params.flow ~id ~weight:1. ())
+  in
+  let entry = Registry.get "CIF-Q-P" in
+  let sched = entry.Registry.make flows in
+  let h = Option.get sched.Sched.handoff in
+  let acc = h.Sched.import ~flow:0 { Sched.lag = 2.4; credit = 0 } in
+  Alcotest.(check (float 0.)) "lag rounds to integral" 2. acc.Sched.lag;
+  Alcotest.(check (float 0.)) "re-export returns the accepted lag" 2.
+    (h.Sched.export ~flow:0).Sched.lag;
+  Alcotest.(check int) "cifq carries no credit" 0 acc.Sched.credit
+
+(* --- Sharding: jobs-invariance of a mobile multi-cell run --- *)
+
+let test_jobs_invariance () =
+  let spec =
+    Spec.of_string_exn
+      "example:2 | WPS | seed=11 | horizon=6000 | cells=4,mobility=0.05,epoch=200"
+  in
+  let run jobs =
+    let t = Topology.of_spec spec in
+    Topology.run ~jobs t;
+    ( Wfs_util.Json.to_string (M.to_json (Topology.metrics t)),
+      Topology.homes t,
+      Topology.handoffs t,
+      Wfs_util.Json.to_string
+        (Wfs_obs.Instruments.to_json (Topology.instruments t)) )
+  in
+  let m1, h1, n1, i1 = run 1 in
+  let m2, h2, n2, i2 = run 2 in
+  let m4, h4, n4, i4 = run 4 in
+  Alcotest.(check string) "metrics jobs 1=2" m1 m2;
+  Alcotest.(check string) "metrics jobs 2=4" m2 m4;
+  Alcotest.(check (array int)) "homes jobs 1=2" h1 h2;
+  Alcotest.(check (array int)) "homes jobs 2=4" h2 h4;
+  Alcotest.(check int) "handoffs jobs 1=2" n1 n2;
+  Alcotest.(check int) "handoffs jobs 2=4" n2 n4;
+  Alcotest.(check string) "instruments jobs 1=2" i1 i2;
+  Alcotest.(check string) "instruments jobs 2=4" i2 i4
+
+(* --- Dispatch guards --- *)
+
+let test_exec_rejects_topo () =
+  let spec =
+    Spec.make ~seed:1 ~horizon:100
+      ~topo:(Spec.topo ~cells:2 ~mobility:0. ~epoch:10)
+      ~sched:"WPS" (Spec.example 1)
+  in
+  Alcotest.check_raises "Exec.run refuses topology specs"
+    (Invalid_argument
+       "Exec.run: spec has a topology clause; run it through \
+        Wfs_topo.Topology") (fun () -> ignore (Exec.run spec))
+
+let test_of_spec_requires_topo () =
+  let spec = Spec.make ~seed:1 ~horizon:100 ~sched:"WPS" (Spec.example 1) in
+  Alcotest.check_raises "Topology.of_spec needs a topology clause"
+    (Invalid_argument "Topology.of_spec: spec has no topology clause")
+    (fun () -> ignore (Topology.of_spec spec))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_spec_roundtrip;
+    Alcotest.test_case "old spec grammar parses unchanged" `Quick
+      test_old_grammar_unchanged;
+    Alcotest.test_case "topology clause parses and round-trips" `Quick
+      test_topo_clause_parses;
+    Alcotest.test_case "malformed topology clauses are rejected" `Quick
+      test_topo_clause_rejects;
+    QCheck_alcotest.to_alcotest prop_zero_mobility_identity;
+    Alcotest.test_case "full-mobility run completes with exact handoff count"
+      `Quick test_full_mobility_completes;
+    Alcotest.test_case "wps credit survives a forced handoff" `Quick
+      test_wps_credit_carry;
+    Alcotest.test_case "wps import clamps to the Section 7 caps" `Quick
+      test_wps_import_clamps;
+    Alcotest.test_case "cifq lag carry rounds and re-exports" `Quick
+      test_cifq_lag_carry;
+    Alcotest.test_case "mobile multi-cell run is jobs-invariant" `Quick
+      test_jobs_invariance;
+    Alcotest.test_case "exec rejects topology specs" `Quick
+      test_exec_rejects_topo;
+    Alcotest.test_case "of_spec requires a topology clause" `Quick
+      test_of_spec_requires_topo;
+  ]

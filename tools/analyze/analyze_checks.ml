@@ -284,13 +284,27 @@ let check_a3 m ~allow ~sink =
                 })
       m.units
   in
-  (* Closure of everything reachable from a Registry.register call site. *)
+  (* Closure of everything reachable from a registry site: a register call,
+     or a lookup (get/lookup/find) — the path cell-constructed scheduler
+     instances take (Wfs_topo resolves an entry and calls entry.make), so
+     they count as registry-reachable too. *)
   let register_name = "Wfs_core.Registry.register" in
+  let seed_names =
+    [
+      register_name;
+      "Wfs_core.Registry.get";
+      "Wfs_core.Registry.lookup";
+      "Wfs_core.Registry.find";
+    ]
+  in
   let reachable = Hashtbl.create 128 in
   let queue = Queue.create () in
   List.iter
     (fun d ->
-      if List.exists (fun (n, _) -> String.equal n register_name) d.refs
+      if
+        List.exists
+          (fun (n, _) -> List.exists (String.equal n) seed_names)
+          d.refs
       then Queue.push d queue)
     defs;
   while not (Queue.is_empty queue) do

@@ -604,6 +604,18 @@ let rec walk_structure ctx u ~mpath str =
                     (name_of_segs (mpath @ [ Ident.name id ])))
                 vb.vb_pat)
             vbs
+      | Tstr_include incl ->
+          (* Values bound by [include] (e.g. a registry functor's
+             [register]) are toplevel values of this unit; qualify them so
+             in-unit Pident references resolve to the unit path. *)
+          List.iter
+            (fun (si : Types.signature_item) ->
+              match si with
+              | Types.Sig_value (id, _, _) ->
+                  Hashtbl.replace ctx.toplevel (Ident.unique_name id)
+                    (name_of_segs (mpath @ [ Ident.name id ]))
+              | _ -> ())
+            incl.incl_type
       | Tstr_module mb | Tstr_recmodule [ mb ] -> (
           match mb.mb_name.txt with
           | Some n -> (
