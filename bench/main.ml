@@ -20,6 +20,10 @@
      --topo              only the multi-cell topology macro-benchmark
                          (64 cells x 256 flows sharded over --jobs domains,
                          handoffs at epoch barriers; uses --macro-horizon)
+     --topo-faults PLAN  chaos fault plan for the topology benchmark
+                         (crash:R;recover:R;lose:R;corrupt:R;blackout:RxN;
+                         exn:R;persist:R;budget:N); adds crashes/rehomed
+                         degradation columns
      --macro-horizon N   slots per macro-benchmark run
                          (default 20000; 5000 with --quick)
      --resume PATH       checkpoint journal: created if absent, and jobs
@@ -43,6 +47,7 @@ let usage =
   "usage: main.exe [--quick] [--horizon N] [--seed N] [--seeds K] [--jobs N]\n\
   \                [--json PATH | --no-json]\n\
   \                [--tables-only | --perf-only | --macro-only | --topo]\n\
+  \                [--topo-faults PLAN]\n\
   \                [--macro-horizon N] [--resume PATH] [--retries N]\n\
   \                [--max-slots N] [--check-invariants] [--flight-recorder N]\n\
   \                [--profile]"
@@ -96,6 +101,7 @@ let () =
   let perf = ref true in
   let macro_only = ref false in
   let topo_only = ref false in
+  let topo_faults = ref None in
   let macro_horizon = ref None in
   let resume = ref None in
   let retries = ref 0 in
@@ -149,6 +155,11 @@ let () =
     | "--topo" :: rest ->
         topo_only := true;
         parse rest
+    | ("--topo-faults" as flag) :: value :: rest ->
+        (match Wfs_runner.Spec.faults_of_string value with
+        | Ok plan -> topo_faults := Some plan
+        | Error e -> die "%s: %s" flag e);
+        parse rest
     | ("--macro-horizon" as flag) :: value :: rest ->
         let n = int_arg flag value in
         if n <= 0 then die "%s must be positive, got %d" flag n;
@@ -179,8 +190,8 @@ let () =
         profile := true;
         parse rest
     | [ ("--horizon" | "--seed" | "--seeds" | "--jobs" | "--json" | "--resume"
-        | "--retries" | "--max-slots" | "--macro-horizon"
-        | "--flight-recorder") as flag ] ->
+        | "--retries" | "--max-slots" | "--macro-horizon" | "--flight-recorder"
+        | "--topo-faults") as flag ] ->
         die "%s expects a value" flag
     | arg :: _ -> die "unknown argument %s" arg
   in
@@ -278,7 +289,14 @@ let () =
       macro_horizon !seed jobs;
     let t0 = Unix.gettimeofday () in
     let table, runs, slots =
-      Perf.topo_table ~jobs ~horizon:macro_horizon ~seed:!seed ()
+      match
+        Perf.topo_table ~jobs ~horizon:macro_horizon ~seed:!seed
+          ?faults:!topo_faults ()
+      with
+      | r -> r
+      | exception Wfs_util.Error.Error e ->
+          Printf.eprintf "error: %s\n" (Wfs_util.Error.to_string e);
+          exit 2
     in
     let wall = Unix.gettimeofday () -. t0 in
     acc_tables := !acc_tables @ [ table ];

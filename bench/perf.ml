@@ -231,23 +231,41 @@ let topo_columns =
     "handoffs"; "wall_s"; "slots/s";
   ]
 
-let topo_table ~jobs ~horizon ~seed () =
-  let title =
-    Printf.sprintf "Topology macro-benchmark (%d cells, lockstep epochs)"
-      topo_cells
+let topo_table ~jobs ~horizon ~seed ?faults () =
+  let faulted =
+    match faults with
+    | Some plan -> Wfs_runner.Spec.faults_active plan
+    | None -> false
   in
-  let table = Wfs_util.Tablefmt.create ~title ~columns:topo_columns in
+  let title =
+    if faulted then
+      Printf.sprintf
+        "Topology macro-benchmark (%d cells, lockstep epochs, fault plan)"
+        topo_cells
+    else
+      Printf.sprintf "Topology macro-benchmark (%d cells, lockstep epochs)"
+        topo_cells
+  in
+  let columns =
+    if faulted then topo_columns @ [ "crashes"; "rehomed" ] else topo_columns
+  in
+  let table = Wfs_util.Tablefmt.create ~title ~columns in
   let epoch = max 1 (horizon / 20) in
   let rows = ref [] in
   let runs = ref 0 in
   let slots = ref 0 in
   List.iter
     (fun sched ->
+      let topo_clause =
+        Wfs_runner.Spec.topo ~cells:topo_cells ~mobility:topo_mobility ~epoch
+      in
+      let topo_clause =
+        if faulted then
+          Wfs_runner.Spec.with_faults (Option.get faults) topo_clause
+        else topo_clause
+      in
       let spec =
-        Wfs_runner.Spec.make ~seed ~horizon ~sched
-          ~topo:
-            (Wfs_runner.Spec.topo ~cells:topo_cells ~mobility:topo_mobility
-               ~epoch)
+        Wfs_runner.Spec.make ~seed ~horizon ~sched ~topo:topo_clause
           (Wfs_runner.Spec.file topo_scenario)
       in
       let t = Wfs_topo.Topology.of_spec spec in
@@ -276,12 +294,43 @@ let topo_table ~jobs ~horizon ~seed () =
           Printf.sprintf "%.0f" (float_of_int cell_slots /. dt);
         ]
       in
+      let row =
+        match Wfs_topo.Topology.chaos_instruments t with
+        | Some reg ->
+            (* Read-only lookup through the registry's JSON view —
+               [Instruments.counter] registers and refuses duplicates. *)
+            let counts =
+              match Wfs_obs.Instruments.to_json reg with
+              | Wfs_util.Json.Obj fields -> (
+                  match List.assoc_opt "instruments" fields with
+                  | Some (Wfs_util.Json.Arr items) ->
+                      List.filter_map
+                        (function
+                          | Wfs_util.Json.Obj f -> (
+                              match
+                                ( List.assoc_opt "name" f,
+                                  List.assoc_opt "count" f )
+                              with
+                              | Some (Wfs_util.Json.Str n), Some (Wfs_util.Json.Int c)
+                                -> Some (n, c)
+                              | _ -> None)
+                          | _ -> None)
+                        items
+                  | _ -> [])
+              | _ -> []
+            in
+            let count name =
+              string_of_int (Option.value ~default:0 (List.assoc_opt name counts))
+            in
+            row @ [ count "chaos.crashes"; count "chaos.rehomed" ]
+        | None -> row
+      in
       rows := row :: !rows;
       Wfs_util.Tablefmt.add_row table row)
     topo_schedulers;
   Wfs_util.Tablefmt.print table;
   let artifact_table =
-    { Wfs_runner.Artifact.title; columns = topo_columns; rows = List.rev !rows }
+    { Wfs_runner.Artifact.title; columns; rows = List.rev !rows }
   in
   (artifact_table, !runs, !slots)
 

@@ -143,7 +143,7 @@ let params_equal a b =
    error — resuming over it could resurrect results from another sweep. *)
 let open_journal ~params ~cached path =
   if Sys.file_exists path then begin
-    match Journal.load ~path with
+    match Journal.load ~path () with
     | Error e -> Error.raise_ e
     | Ok { params = found; entries } ->
         if not (params_equal found params) then
@@ -167,7 +167,7 @@ let open_journal ~params ~cached path =
           entries;
         Journal.reopen ~path
   end
-  else Journal.create ~path ~params
+  else Journal.create ~path ~params ()
 
 let exec ~opts job_list =
   invariants_flag := opts.invariants;

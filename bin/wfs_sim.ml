@@ -341,12 +341,110 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
         failures;
       exit 3
 
+(* Everything one finished topology run contributes to the rendered
+   output — also the payload a Topo_journal result line carries, so a
+   resumed driver can replay a completed spec without re-running it. *)
+type topo_run = {
+  t_metrics : M.t;
+  t_homes : int array;
+  t_n_cells : int;
+  t_handoffs : int;
+  t_instruments : Wfs_obs.Instruments.t;
+  t_chaos : Wfs_obs.Instruments.t option;
+  t_timeline : Wfs_chaos.Chaos.event list;
+}
+
+let topo_run_to_json r =
+  let module J = Wfs_util.Json in
+  J.Obj
+    ([
+       ("metrics", M.to_json r.t_metrics);
+       ( "homes",
+         J.Arr (Array.to_list (Array.map (fun c -> J.Int c) r.t_homes)) );
+       ("n_cells", J.Int r.t_n_cells);
+       ("handoffs", J.Int r.t_handoffs);
+       ("instruments", Wfs_obs.Instruments.to_json r.t_instruments);
+     ]
+    @ (match r.t_chaos with
+      | Some ins -> [ ("chaos", Wfs_obs.Instruments.to_json ins) ]
+      | None -> [])
+    @
+    match r.t_timeline with
+    | [] -> []
+    | tl ->
+        [ ("timeline", J.Arr (List.map Wfs_chaos.Chaos.event_to_json tl)) ])
+
+let topo_run_of_json j =
+  let module J = Wfs_util.Json in
+  let ( let* ) = Option.bind in
+  let* metrics = Option.bind (J.member "metrics" j) M.of_json in
+  let* homes = Option.bind (J.member "homes" j) J.to_list in
+  let* homes =
+    List.fold_right
+      (fun v acc ->
+        match (J.to_int v, acc) with
+        | Some c, Some tl -> Some (c :: tl)
+        | _ -> None)
+      homes (Some [])
+  in
+  let* n_cells = Option.bind (J.member "n_cells" j) J.to_int in
+  let* handoffs = Option.bind (J.member "handoffs" j) J.to_int in
+  let* instruments =
+    Option.bind (J.member "instruments" j) Wfs_obs.Instruments.of_json
+  in
+  let* chaos =
+    match J.member "chaos" j with
+    | None -> Some None
+    | Some c -> Option.map Option.some (Wfs_obs.Instruments.of_json c)
+  in
+  let* timeline =
+    match J.member "timeline" j with
+    | None -> Some []
+    | Some tl ->
+        Option.bind (J.to_list tl) (fun events ->
+            List.fold_right
+              (fun e acc ->
+                match (Wfs_chaos.Chaos.event_of_json e, acc) with
+                | Some ev, Some tl -> Some (ev :: tl)
+                | _ -> None)
+              events (Some []))
+  in
+  Some
+    {
+      t_metrics = metrics;
+      t_homes = Array.of_list homes;
+      t_n_cells = n_cells;
+      t_handoffs = handoffs;
+      t_instruments = instruments;
+      t_chaos = chaos;
+      t_timeline = timeline;
+    }
+
+let topo_params_equal a b =
+  let module J = Wfs_util.Json in
+  let norm l =
+    List.sort (fun (k, _) (k', _) -> String.compare k k') l
+    |> List.map (fun (k, v) -> (k, J.to_string ~pretty:false v))
+  in
+  List.equal
+    (fun (k, v) (k', v') -> String.equal k k' && String.equal v v')
+    (norm a) (norm b)
+
 (* Multi-cell runs go through Wfs_topo.Topology instead of the replica
    pool: cells shard over the domain pool inside one run, handoffs apply
    at epoch barriers, and the rendered table is global-flow-id indexed
-   with a home-cell column.  Byte-identical for every --jobs value. *)
+   with a home-cell column.  Byte-identical for every --jobs value.
+
+   Specs are crash-isolated like the replica pool's runs: a spec that
+   fails (worker-fault budget exceeded, invariant violation) loses only
+   its own rows — the typed errors land in a stderr failure table and the
+   process exits 3.  With --resume, completed specs replay from the topo
+   journal and an interrupted spec is re-run with every already-journaled
+   barrier snapshot verified against the replay. *)
 let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~metrics_out
-    labeled_specs =
+    ~resume ~fault_timeline labeled_specs =
+  let module J = Wfs_util.Json in
+  let module TJ = Wfs_topo.Topo_journal in
   let columns =
     [
       "algorithm"; "flow"; "cell"; "mean_delay"; "loss"; "max_delay"; "stddev";
@@ -360,31 +458,123 @@ let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~metrics_out
     | Table -> T.add_row table cells
     | Csv -> csv_rows := String.concat "," cells :: !csv_rows
   in
-  let registries = ref [] in
-  let total_slots = ref 0 in
+  let params =
+    [
+      ("credit", J.Int credit);
+      ("debit", J.Int debit);
+      ("invariants", J.Bool invariants);
+    ]
+  in
+  let journal =
+    match resume with
+    | None -> None
+    | Some path ->
+        if Sys.file_exists path then (
+          match TJ.load ~path with
+          | Error e -> Wfs_util.Error.raise_ e
+          | Ok contents ->
+              if not (topo_params_equal contents.TJ.params params) then
+                Wfs_util.Error.bad_spec ~who:"wfs_sim"
+                  "topo journal was written for different settings"
+                  ~context:
+                    [
+                      ("path", path);
+                      ( "journal",
+                        J.to_string ~pretty:false (J.Obj contents.TJ.params) );
+                      ("run", J.to_string ~pretty:false (J.Obj params));
+                    ];
+              Some (contents, TJ.reopen ~path))
+        else
+          Some
+            ( { TJ.params; snapshots = []; results = [] },
+              TJ.create ~path ~params )
+  in
+  let failures = ref [] in
+  let runs = ref [] in
   List.iter
     (fun (label, (sp : Spec.t)) ->
+      let key = Spec.to_string sp in
+      let replayed =
+        Option.bind journal (fun (c, _) -> TJ.find_result c ~spec:key)
+      in
+      match replayed with
+      | Some payload -> (
+          match topo_run_of_json payload with
+          | Some r -> runs := (label, sp, r) :: !runs
+          | None ->
+              Wfs_util.Error.bad_spec ~who:"wfs_sim"
+                "unreadable topo-journal result" ~context:[ ("spec", key) ])
+      | None -> (
+          match
+            let t =
+              Wfs_topo.Topology.of_spec ~credit_limit:credit
+                ~debit_limit:debit ~invariants sp
+            in
+            let on_barrier =
+              Option.map
+                (fun (contents, w) ~slot ->
+                  let snap = Wfs_topo.Topology.snapshot t ~slot in
+                  match TJ.find_snapshot contents ~spec:key ~slot with
+                  | Some recorded ->
+                      if
+                        not
+                          (String.equal
+                             (J.to_string ~pretty:false snap)
+                             (J.to_string ~pretty:false recorded))
+                      then
+                        Wfs_util.Error.bad_spec ~who:"wfs_sim"
+                          "topo journal diverges from replay"
+                          ~context:
+                            [
+                              ("spec", key);
+                              ("slot", string_of_int slot);
+                              ("journal", J.to_string ~pretty:false recorded);
+                              ("replay", J.to_string ~pretty:false snap);
+                            ]
+                  | None -> TJ.append_snapshot w ~spec:key ~slot snap)
+                journal
+            in
+            Wfs_topo.Topology.run ~jobs ?on_barrier t;
+            let r =
+              {
+                t_metrics = Wfs_topo.Topology.metrics t;
+                t_homes = Wfs_topo.Topology.homes t;
+                t_n_cells = Wfs_topo.Topology.n_cells t;
+                t_handoffs = Wfs_topo.Topology.handoffs t;
+                t_instruments = Wfs_topo.Topology.instruments t;
+                t_chaos = Wfs_topo.Topology.chaos_instruments t;
+                t_timeline = Wfs_topo.Topology.fault_timeline t;
+              }
+            in
+            Option.iter
+              (fun (_, w) ->
+                TJ.append_result w ~spec:key (topo_run_to_json r))
+              journal;
+            r
+          with
+          | r -> runs := (label, sp, r) :: !runs
+          | exception Wfs_util.Error.Error e -> failures := (key, e) :: !failures
+          ))
+    labeled_specs;
+  Option.iter (fun (_, w) -> TJ.close w) journal;
+  let runs = List.rev !runs in
+  let total_slots = ref 0 in
+  List.iter
+    (fun (label, (sp : Spec.t), r) ->
       (* Spec labels may carry the topology clause's commas: quote them so
          the CSV stays parseable. *)
       let label =
         if output = Csv && String.contains label ',' then "\"" ^ label ^ "\""
         else label
       in
-      let t =
-        Wfs_topo.Topology.of_spec ~credit_limit:credit ~debit_limit:debit
-          ~invariants sp
-      in
-      Wfs_topo.Topology.run ~jobs t;
-      let m = Wfs_topo.Topology.metrics t in
-      let homes = Wfs_topo.Topology.homes t in
-      total_slots := !total_slots + (sp.Spec.horizon * Wfs_topo.Topology.n_cells t);
-      registries := Wfs_topo.Topology.instruments t :: !registries;
-      for gid = 0 to Wfs_topo.Topology.n_flows t - 1 do
+      let m = r.t_metrics in
+      total_slots := !total_slots + (sp.Spec.horizon * r.t_n_cells);
+      for gid = 0 to M.n_flows m - 1 do
         emit
           [
             label;
             string_of_int gid;
-            string_of_int homes.(gid);
+            string_of_int r.t_homes.(gid);
             T.cell_of_float (M.mean_delay m ~flow:gid);
             T.cell_of_float ~decimals:4 (M.loss m ~flow:gid);
             T.cell_of_float (M.max_delay m ~flow:gid);
@@ -393,33 +583,107 @@ let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~metrics_out
               (M.throughput m ~flow:gid ~slots:sp.Spec.horizon);
           ]
       done)
-    labeled_specs;
+    runs;
   (match output with
   | Table -> T.print table
   | Csv ->
       print_endline (String.concat "," columns);
       List.iter print_endline (List.rev !csv_rows));
-  match metrics_out with
+  (match fault_timeline with
   | None -> ()
   | Some path ->
-      let merged = Wfs_obs.Instruments.merge_all (List.rev !registries) in
-      let t = Wfs_obs.Instruments.to_table ~title:"topology instruments" merged in
-      let art_table =
-        {
-          Wfs_runner.Artifact.title = T.title t;
-          columns = T.columns t;
-          rows = T.rows t;
-        }
-      in
-      let sp0 = snd (List.hd labeled_specs) in
-      (* jobs normalised to 1 so the artifact is byte-identical for every
-         --jobs value, same convention as the replica-pool path. *)
-      let art =
-        Wfs_runner.Artifact.v ~horizon:sp0.Spec.horizon ~seed:sp0.Spec.seed
-          ~seeds:1 ~jobs:1 ~runs:(List.length labeled_specs) ~slots:!total_slots
-          ~wall_clock_s:0. ~tables:[ art_table ]
-      in
-      Wfs_runner.Artifact.write ~path art
+      (* wfs-chaos/1-timeline: a header line, then one event per line
+         stamped with its spec — the artifact CI uploads from fault
+         sweeps. *)
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (J.to_string ~pretty:false
+               (J.Obj [ ("schema", J.Str "wfs-chaos/1-timeline") ]));
+          output_char oc '\n';
+          List.iter
+            (fun (_, (sp : Spec.t), r) ->
+              List.iter
+                (fun ev ->
+                  output_string oc
+                    (J.to_string ~pretty:false
+                       (J.Obj
+                          [
+                            ("spec", J.Str (Spec.to_string sp));
+                            ( "event",
+                              Wfs_chaos.Chaos.event_to_json ev );
+                          ]));
+                  output_char oc '\n')
+                r.t_timeline)
+            runs));
+  (match metrics_out with
+  | None -> ()
+  | Some path -> (
+      match runs with
+      | [] -> ()  (* every spec failed; the failure table tells the story *)
+      | runs ->
+          let merged =
+            Wfs_obs.Instruments.merge_all
+              (List.map (fun (_, _, r) -> r.t_instruments) runs)
+          in
+          let t =
+            Wfs_obs.Instruments.to_table ~title:"topology instruments" merged
+          in
+          let tables =
+            ref
+              [
+                {
+                  Wfs_runner.Artifact.title = T.title t;
+                  columns = T.columns t;
+                  rows = T.rows t;
+                };
+              ]
+          in
+          (* Chaos telemetry rides along as a second table — only when
+             some spec actually ran with an active fault plan, so
+             zero-fault artifacts stay byte-identical to pre-chaos
+             ones. *)
+          (match List.filter_map (fun (_, _, r) -> r.t_chaos) runs with
+          | [] -> ()
+          | chaos_regs ->
+              let ct =
+                Wfs_obs.Instruments.to_table ~title:"chaos instruments"
+                  (Wfs_obs.Instruments.merge_all chaos_regs)
+              in
+              tables :=
+                !tables
+                @ [
+                    {
+                      Wfs_runner.Artifact.title = T.title ct;
+                      columns = T.columns ct;
+                      rows = T.rows ct;
+                    };
+                  ]);
+          let sp0 =
+            match runs with (_, sp, _) :: _ -> sp | [] -> assert false
+          in
+          (* jobs normalised to 1 so the artifact is byte-identical for
+             every --jobs value, same convention as the replica-pool
+             path. *)
+          let art =
+            Wfs_runner.Artifact.v ~horizon:sp0.Spec.horizon
+              ~seed:sp0.Spec.seed ~seeds:1 ~jobs:1 ~runs:(List.length runs)
+              ~slots:!total_slots ~wall_clock_s:0. ~tables:!tables
+          in
+          Wfs_runner.Artifact.write ~path art));
+  match List.rev !failures with
+  | [] -> ()
+  | failures ->
+      (* stderr, so piped --csv output stays parseable *)
+      Printf.eprintf "\n=== Failed topology runs (%d) ===\n"
+        (List.length failures);
+      List.iter
+        (fun (key, e) ->
+          Printf.eprintf "  %s\n    %s\n" key (Wfs_util.Error.to_string e))
+        failures;
+      exit 3
 
 let title_info ~seeds ~seed ~horizon =
   if seeds > 1 then
@@ -465,7 +729,7 @@ let check_metrics path =
 let main_checked example seed horizon sum credit debit csv fairness algo info
     scenario specs seeds jobs list retries max_slots invariants metrics_out
     trace_out trace_csv trace_stride profile flight_recorder cells mobility
-    epoch check_trace_path check_metrics_path =
+    epoch faults resume fault_timeline check_trace_path check_metrics_path =
   (match check_trace_path with Some p -> check_trace p | None -> ());
   (match check_metrics_path with Some p -> check_metrics p | None -> ());
   let output = if csv then Csv else Table in
@@ -508,10 +772,35 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
   in
   if list then list_schedulers ()
   else begin
-    (* Spec.topo validates cells/mobility/epoch; Invalid_argument is
+    (* Spec.topo/Spec.faults validate their fields; Invalid_argument is
        turned into a clean exit by [main]. *)
+    let fault_plan =
+      match faults with
+      | None -> None
+      | Some s -> (
+          match Spec.faults_of_string s with
+          | Ok p -> Some p
+          | Error msg ->
+              Printf.eprintf "wfs_sim: --faults: %s\n" msg;
+              exit 2)
+    in
     let topo_clause =
-      if cells > 1 then Some (Spec.topo ~cells ~mobility ~epoch) else None
+      if cells > 1 then
+        let tp = Spec.topo ~cells ~mobility ~epoch in
+        Some
+          (match fault_plan with
+          | Some p -> Spec.with_faults p tp
+          | None -> tp)
+      else begin
+        (match fault_plan with
+        | Some _ ->
+            Printf.eprintf
+              "wfs_sim: --faults needs a multi-cell run (--cells > 1); give \
+               --spec its own faults=... field instead\n";
+            exit 2
+        | None -> ());
+        None
+      end
     in
     let title, flow_base, labeled =
       if specs <> [] then
@@ -566,7 +855,14 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
       List.partition (fun (_, sp) -> sp.Spec.topo <> None) labeled
     in
     match topo_runs with
-    | [] -> render ~title ~flow_base plain
+    | [] ->
+        if resume <> None || fault_timeline <> None then begin
+          Printf.eprintf
+            "wfs_sim: --resume/--fault-timeline apply to topology runs only \
+             (--cells > 1 or a spec with a topology clause)\n";
+          exit 2
+        end;
+        render ~title ~flow_base plain
     | _ ->
         if plain <> [] then begin
           Printf.eprintf
@@ -592,7 +888,7 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
           exit 2
         end;
         render_topo ~title ~output ~jobs ~credit ~debit ~invariants
-          ~metrics_out topo_runs
+          ~metrics_out ~resume ~fault_timeline topo_runs
   end
 
 (* Bad scheduler names, malformed specs and out-of-range examples all raise
@@ -600,13 +896,13 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
    turn them into a clean exit. *)
 let main example seed horizon sum credit debit csv fairness algo info scenario
     specs seeds jobs list retries max_slots invariants metrics_out trace_out
-    trace_csv trace_stride profile flight_recorder cells mobility epoch
-    check_trace_path check_metrics_path =
+    trace_csv trace_stride profile flight_recorder cells mobility epoch faults
+    resume fault_timeline check_trace_path check_metrics_path =
   try
     main_checked example seed horizon sum credit debit csv fairness algo info
       scenario specs seeds jobs list retries max_slots invariants metrics_out
       trace_out trace_csv trace_stride profile flight_recorder cells mobility
-      epoch check_trace_path check_metrics_path
+      epoch faults resume fault_timeline check_trace_path check_metrics_path
   with
   | Invalid_argument msg ->
       Printf.eprintf "wfs_sim: %s\n" msg;
@@ -807,6 +1103,41 @@ let epoch_arg =
         ~doc:"Slots per lockstep epoch between handoff barriers (multi-cell \
               runs).")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Deterministic fault plan for a multi-cell run ($(b,--cells) > 1): \
+           'crash:R;recover:R;lose:R;corrupt:R;blackout:RxN;exn:R;persist:R;\
+           budget:N'.  All draws happen at epoch barriers from the plan's \
+           own seeded stream, so faulted runs stay byte-identical for every \
+           $(b,--jobs) value.  Crashed cells degrade gracefully: their flows \
+           re-home to surviving cells under the Section 5/7 carry ledger.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Epoch-checkpoint journal for topology runs \
+           (wfs-bench/1-topo-journal).  A fresh run writes one snapshot per \
+           epoch barrier; a killed run re-invoked with the same FILE replays \
+           completed specs from the journal and re-runs the interrupted one, \
+           verifying every already-journaled barrier against the replay.")
+
+let fault_timeline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-timeline" ] ~docv:"FILE"
+        ~doc:
+          "Write the chronological fault timeline of a topology run \
+           (wfs-chaos/1-timeline JSONL: crashes, recoveries, lost/corrupt/\
+           blocked handoffs, blackouts, worker faults) to FILE.")
+
 let check_trace_arg =
   Arg.(
     value
@@ -835,7 +1166,7 @@ let cmd =
       $ spec_arg $ seeds_arg $ jobs_arg $ list_arg $ retries_arg
       $ max_slots_arg $ invariants_arg $ metrics_out_arg $ trace_out_arg
       $ trace_csv_arg $ trace_stride_arg $ profile_arg $ flight_recorder_arg
-      $ cells_arg $ mobility_arg $ epoch_arg $ check_trace_arg
-      $ check_metrics_arg)
+      $ cells_arg $ mobility_arg $ epoch_arg $ faults_arg $ resume_arg
+      $ fault_timeline_arg $ check_trace_arg $ check_metrics_arg)
 
 let () = exit (Cmd.eval cmd)

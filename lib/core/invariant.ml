@@ -92,6 +92,34 @@ let check_work_conserving ~slot ~sched ~n_flows ~predicted_good =
         [ ("flow", string_of_int flow) ]
   | None -> ()
 
+(* Stateless, unlike the per-run monitors above: every handoff import is
+   judged against only the carry it was offered. *)
+let check_carry ~who ~context ~(carried : Wireless_sched.carry)
+    ~(accepted : Wireless_sched.carry) =
+  let lag_ok =
+    (* the sign product is >= 0 when either side is zero, so this single
+       inequality covers both "same sign" and "declined entirely"; the
+       +0.5 slack is the half-transmission of rounding the §5 import
+       hook is allowed *)
+    accepted.lag *. carried.lag >= 0.
+    && Float.abs accepted.lag <= Float.abs carried.lag +. 0.5
+  in
+  let credit_ok =
+    (* §7 credits are integral — no rounding, so no slack *)
+    accepted.credit * carried.credit >= 0
+    && abs accepted.credit <= abs carried.credit
+  in
+  if not (lag_ok && credit_ok) then
+    Error.invariant_violation ~who "handoff import exceeds carried state"
+      ~context:
+        ((("paper", "Section 5 / Section 7") :: context)
+        @ [
+            ("carried-lag", fg carried.lag);
+            ("accepted-lag", fg accepted.lag);
+            ("carried-credit", string_of_int carried.credit);
+            ("accepted-credit", string_of_int accepted.credit);
+          ])
+
 let check t ~slot ~sched ~n_flows ~predicted_good ~selected =
   let probe = sched.Wireless_sched.probe in
   Option.iter (check_virtual_time t ~slot ~sched) probe.virtual_time;

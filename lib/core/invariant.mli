@@ -44,3 +44,19 @@ val check :
     function and selection actually used for that slot.
     @raise Wfs_util.Error.Error (kind [Invariant_violation]) on the first
     violated property. *)
+
+val check_carry :
+  who:string ->
+  context:(string * string) list ->
+  carried:Wireless_sched.carry ->
+  accepted:Wireless_sched.carry ->
+  unit
+(** {b Carry conservation} (Section 5 / Section 7): when a handoff —
+    including a chaos-layer re-home after a cell crash — imports
+    compensation state, the accepted carry may only clamp the carried one
+    toward zero: the signs must agree (or a side be zero), [|lag|] may
+    not grow beyond a half-transmission of import rounding, and [|credit|]
+    may not grow at all.  Stateless, so it also covers flows re-homed
+    from a crashed cell whose importing scheduler never saw the exporter.
+    [context] is prepended to the violation's context (cell, flow, ...).
+    @raise Wfs_util.Error.Error (kind [Invariant_violation]). *)

@@ -4,7 +4,7 @@ let schema = "wfs-bench/1-journal"
 
 type writer = { oc : out_channel; mutex : Mutex.t }
 
-let create ~path ~params =
+let create ?(schema = schema) ~path ~params () =
   let oc = open_out_bin path in
   output_string oc
     (Json.to_string ~pretty:false (Json.Obj (("schema", Json.Str schema) :: params)));
@@ -50,7 +50,7 @@ let read_lines path =
       in
       go [])
 
-let load ~path =
+let load ?(schema = schema) ~path () =
   match read_lines path with
   | exception Sys_error msg ->
       Error

@@ -19,14 +19,23 @@
     be shared by every worker domain of a {!Pool}. *)
 
 val schema : string
-(** ["wfs-bench/1-journal"]. *)
+(** ["wfs-bench/1-journal"] — the default schema.  Derived journal formats
+    (e.g. {!Wfs_topo.Topo_journal}'s ["wfs-bench/1-topo-journal"] epoch
+    snapshots) reuse this module's framing, atomic-append and
+    corruption-handling machinery under their own schema string; a file is
+    only ever readable under the schema it was written with. *)
 
 type writer
 
-val create : path:string -> params:(string * Wfs_util.Json.t) list -> writer
+val create :
+  ?schema:string ->
+  path:string ->
+  params:(string * Wfs_util.Json.t) list ->
+  unit ->
+  writer
 (** Truncate/create [path] and write the header line: the [schema] field
-    plus [params] (the sweep settings the journal is only valid for —
-    horizon, seed, ...). *)
+    (default {!schema}) plus [params] (the sweep settings the journal is
+    only valid for — horizon, seed, ...). *)
 
 val reopen : path:string -> writer
 (** Open an existing journal for appending (header already present). *)
@@ -43,7 +52,9 @@ type contents = {
           resumption — rerunning a job after a resume overwrites it) *)
 }
 
-val load : path:string -> (contents, Wfs_util.Error.t) result
-(** Read a journal back.  [Error] (kind [Bad_spec]) on a missing file, a
-    bad header, or corruption before the final line; a truncated final
-    line alone is silently dropped. *)
+val load :
+  ?schema:string -> path:string -> unit -> (contents, Wfs_util.Error.t) result
+(** Read a journal back, requiring its header schema to equal [schema]
+    (default {!schema}).  [Error] (kind [Bad_spec]) on a missing file, a
+    bad header, a schema mismatch, or corruption before the final line; a
+    truncated final line alone is silently dropped. *)

@@ -45,7 +45,8 @@ let map ~jobs f items =
     end
   end
 
-let map_outcomes ~jobs ?(retries = 0) ?notify f items =
+let map_outcomes ~jobs ?(retries = 0) ?(retry_if = fun _ -> true) ?notify f
+    items =
   if retries < 0 then
     Wfs_util.Error.invalidf "Pool.map_outcomes" "retries must be >= 0, got %d"
       retries;
@@ -80,7 +81,11 @@ let map_outcomes ~jobs ?(retries = 0) ?notify f items =
       match attempt () with
       | Ok _ as ok -> notified i ok
       | Error e ->
-          if k < retries then go (k + 1)
+          (* retry_if is a pure classifier over the typed error (e.g. the
+             chaos layer retries transient injected faults but not
+             persistent ones), so whether a retry happens is itself
+             deterministic. *)
+          if k < retries && retry_if e then go (k + 1)
           else
             notified i
               (Error

@@ -24,6 +24,7 @@ type 'a outcome = ('a, Wfs_util.Error.t) result
 val map_outcomes :
   jobs:int ->
   ?retries:int ->
+  ?retry_if:(Wfs_util.Error.t -> bool) ->
   ?notify:(int -> 'b outcome -> unit) ->
   ('a -> 'b outcome) ->
   'a array ->
@@ -37,7 +38,11 @@ val map_outcomes :
     [retries] (default 0) re-runs a failed item up to that many extra
     times before accepting the failure; items re-derive all randomness
     from their own captured seed, so a retry replays the identical RNG
-    stream and the merged output stays deterministic.  Accepted failures
+    stream and the merged output stays deterministic.  [retry_if]
+    (default [fun _ -> true]) classifies which typed errors are worth
+    retrying — a pure predicate, so retry decisions are as reproducible
+    as the failures themselves (the chaos layer retries transient
+    injected faults and refuses persistent ones).  Accepted failures
     gain an ["attempts"] context entry when retries were configured.
 
     [notify i outcome] is invoked once per item as it completes (on the

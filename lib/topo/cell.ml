@@ -54,29 +54,10 @@ let note_arrival t = Instruments.incr t.handoffs_in
    packet of slack covers integral schedulers rounding a virtual-time
    denominated lag. *)
 let check_ledger t ~gid ~(carried : Sched.carry) ~(accepted : Sched.carry) =
-  let lag_ok =
-    (* the sign product is >= 0 when either side is zero, so this single
-       inequality covers both "same sign" and "declined entirely" *)
-    accepted.lag *. carried.lag >= 0.
-    && Float.abs accepted.lag <= Float.abs carried.lag +. 0.5
-  in
-  let credit_ok =
-    accepted.credit * carried.credit >= 0
-    && abs accepted.credit <= abs carried.credit
-  in
-  if not (lag_ok && credit_ok) then
-    Error.invariant_violation ~who:"Wfs_topo.Cell.rebuild"
-      "handoff import exceeds carried state"
-      ~context:
-        [
-          ("paper", "Section 5 / Section 7");
-          ("cell", string_of_int t.cell_id);
-          ("flow", string_of_int gid);
-          ("carried-lag", string_of_float carried.lag);
-          ("accepted-lag", string_of_float accepted.lag);
-          ("carried-credit", string_of_int carried.credit);
-          ("accepted-credit", string_of_int accepted.credit);
-        ]
+  Wfs_core.Invariant.check_carry ~who:"Wfs_topo.Cell.rebuild"
+    ~context:
+      [ ("cell", string_of_int t.cell_id); ("flow", string_of_int gid) ]
+    ~carried ~accepted
 
 let account_carry t ~accepted ~truncated =
   Instruments.set t.carried_lag (Float.abs accepted.Sched.lag);

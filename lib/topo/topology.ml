@@ -4,6 +4,11 @@ module Pool = Wfs_runner.Pool
 module Metrics = Wfs_core.Metrics
 module Instruments = Wfs_obs.Instruments
 module Error = Wfs_util.Error
+module Json = Wfs_util.Json
+module Sim = Wfs_core.Simulator
+module Channel = Wfs_channel.Channel
+module Sched = Wfs_core.Wireless_sched
+module Chaos = Wfs_chaos.Chaos
 
 type t = {
   cells : Cell.t array;
@@ -12,7 +17,11 @@ type t = {
   horizon : int;
   histograms : bool;
   mobility : Mobility.t;
+  chaos : Chaos.t option;
   homes : int array;  (* global flow id -> current cell *)
+  orphans : (Cell.parcel * int) option array;
+      (* gid -> (parcel, orphaned-at slot) for flows whose home cell
+         crashed; [homes] keeps pointing at the dead cell until re-home *)
   mutable moves : int;
   mutable result : Metrics.t option;
 }
@@ -39,6 +48,54 @@ let of_spec ?credit_limit ?debit_limit ?histograms ?invariants
   for c = 1 to topo.Spec.cells - 1 do
     offsets.(c) <- offsets.(c - 1) + Array.length rosters.(c - 1)
   done;
+  let homes = Array.make n_flows 0 in
+  Array.iteri
+    (fun c roster ->
+      for i = 0 to Array.length roster - 1 do
+        homes.(offsets.(c) + i) <- c
+      done)
+    rosters;
+  let chaos =
+    match topo.Spec.faults with
+    | Some plan when Spec.faults_active plan ->
+        (* the chaos stream sits one derived seed past mobility's, in the
+           same per-cell namespace *)
+        Some
+          (Chaos.create
+             ~seed:(cell_seed ~seed:spec.seed ~cell:(topo.Spec.cells + 1))
+             ~cells:topo.Spec.cells plan)
+    | Some _ | None -> None
+  in
+  (* Blackout overlay: only a plan with a positive blackout rate wraps the
+     member channels (the wrapper costs every channel its [is_static] fast
+     path, and an inert overlay must not).  The wrapper advances the
+     underlying channel every slot — its stream stays aligned with the
+     fault-free run — then overrides the observed state to Bad while the
+     flow's current cell is blacked out.  [homes] and the blackout table
+     are written only at sequential barriers, so worker-domain reads here
+     are race-free. *)
+  (match chaos with
+  | Some ch when (Chaos.plan ch).Spec.blackout > 0. ->
+      Array.iteri
+        (fun c roster ->
+          Array.iteri
+            (fun i (setup : Sim.flow_setup) ->
+              let gid = offsets.(c) + i in
+              let underlying = setup.channel in
+              let wrapped =
+                Channel.make
+                  ~label:(Channel.label underlying ^ "+blackout")
+                  ~initial:(Channel.previous_state underlying)
+                  (fun slot ->
+                    let st = Channel.advance underlying ~slot in
+                    if Chaos.blacked_out ch ~cell:homes.(gid) ~slot then
+                      Channel.Bad
+                    else st)
+              in
+              roster.(i) <- { setup with Sim.channel = wrapped })
+            roster)
+        rosters
+  | Some _ | None -> ());
   let cells =
     Array.mapi
       (fun c roster ->
@@ -52,13 +109,6 @@ let of_spec ?credit_limit ?debit_limit ?histograms ?invariants
           ~sched:entry ~horizon:spec.horizon ~n_total:n_flows members)
       rosters
   in
-  let homes = Array.make n_flows 0 in
-  Array.iteri
-    (fun c roster ->
-      for i = 0 to Array.length roster - 1 do
-        homes.(offsets.(c) + i) <- c
-      done)
-    rosters;
   {
     cells;
     n_flows;
@@ -71,7 +121,9 @@ let of_spec ?credit_limit ?debit_limit ?histograms ?invariants
       Mobility.create
         ~seed:(cell_seed ~seed:spec.seed ~cell:topo.Spec.cells)
         ~cells:topo.Spec.cells ~rate:topo.Spec.mobility;
+    chaos;
     homes;
+    orphans = Array.make n_flows None;
     moves = 0;
     result = None;
   }
@@ -80,28 +132,98 @@ let n_cells t = Array.length t.cells
 let n_flows t = t.n_flows
 let homes t = Array.copy t.homes
 let handoffs t = t.moves
+let chaos_active t = Option.is_some t.chaos
+let chaos_instruments t = Option.map Chaos.instruments t.chaos
+
+let fault_timeline t =
+  match t.chaos with Some chaos -> Chaos.timeline chaos | None -> []
+
+let orphaned t =
+  let gids = ref [] in
+  for gid = t.n_flows - 1 downto 0 do
+    match t.orphans.(gid) with
+    | Some _ -> gids := gid :: !gids
+    | None -> ()
+  done;
+  !gids
+
+let orphan_count t =
+  Array.fold_left
+    (fun n o -> match o with Some _ -> n + 1 | None -> n)
+    0 t.orphans
+
+(* Crash a live cell: bank its session's metrics, serialize every member
+   out, and park the parcels as orphans.  Their carries travel with them —
+   a crash displaces compensation state, it does not destroy it. *)
+let crash_cell t ~slot c =
+  List.iter
+    (fun p -> t.orphans.(p.Cell.member.Cell.gid) <- Some (p, slot))
+    (Cell.dissolve t.cells.(c))
 
 (* One barrier: draw mobility for every flow in ascending global id (the
    stream discipline {!Mobility} documents), then dissolve the affected
    cells, re-home the movers, and rebuild.  Strictly sequential — this is
-   what keeps multi-cell runs byte-identical across [--jobs]. *)
+   what keeps multi-cell runs byte-identical across [--jobs].
+
+   With a chaos engine, the same pass also applies transit verdicts to
+   the drawn moves and re-homes eligible crash orphans.  Orphaned flows
+   still consume their mobility draw (the stream must stay aligned with
+   the liveness history, which is itself deterministic) but cannot move. *)
 let apply_handoffs t ~slot =
-  let moves = ref [] in
+  let drawn = ref [] in
   Array.iteri
     (fun gid home ->
       match Mobility.draw t.mobility ~home with
-      | Some dst -> moves := (gid, home, dst) :: !moves
+      | Some dst -> (
+          match t.orphans.(gid) with
+          | Some _ -> ()
+          | None -> drawn := (gid, home, dst) :: !drawn)
       | None -> ())
     t.homes;
-  match List.rev !moves with
-  | [] -> ()
-  | moves ->
+  let moves, verdicts =
+    match t.chaos with
+    | None -> (List.rev !drawn, [])
+    | Some chaos ->
+        let kept = ref [] and verdicts = ref [] in
+        List.iter
+          (fun (gid, src, dst) ->
+            match Chaos.handoff_verdict chaos ~slot ~flow:gid ~src ~dst with
+            | Chaos.Blocked -> ()
+            | Chaos.Deliver -> kept := (gid, src, dst) :: !kept
+            | (Chaos.Lost | Chaos.Corrupt) as v ->
+                kept := (gid, src, dst) :: !kept;
+                verdicts := (gid, v) :: !verdicts)
+          (List.rev !drawn);
+        (List.rev !kept, List.rev !verdicts)
+  in
+  let rehomes = ref [] in
+  (match t.chaos with
+  | None -> ()
+  | Some chaos ->
+      (* Orphans from a barrier strictly before this one are eligible; a
+         cell that died this very slot keeps its flows parked for at
+         least one full epoch.  No draw is consumed when every cell is
+         down — liveness is already deterministic. *)
+      Array.iteri
+        (fun gid o ->
+          match o with
+          | Some (parcel, since) when since < slot -> (
+              match Chaos.rehome_target chaos with
+              | Some dst -> rehomes := (gid, parcel, dst) :: !rehomes
+              | None -> ())
+          | Some _ | None -> ())
+        t.orphans);
+  let rehomes = List.rev !rehomes in
+  (match (moves, rehomes) with
+  | [], [] -> ()
+  | _ ->
       let affected = Array.make (Array.length t.cells) false in
       List.iter
         (fun (_, src, dst) ->
           affected.(src) <- true;
           affected.(dst) <- true)
         moves;
+      List.iter (fun (_, _, dst) -> affected.(dst) <- true) rehomes;
       let parcel_of = Array.make t.n_flows None in
       Array.iteri
         (fun c cell ->
@@ -119,6 +241,54 @@ let apply_handoffs t ~slot =
           Cell.note_departure t.cells.(src);
           Cell.note_arrival t.cells.(dst))
         moves;
+      (* Transit faults rewrite the parcels of lost/corrupted moves.  A
+         lost parcel arrives as a fresh flow (zero carry, empty backlog);
+         a corrupted one arrives mangled, the receiver detects the digest
+         mismatch and falls back to a zero carry, keeping the backlog —
+         packets are re-sent end-to-end, scheduler state is not. *)
+      (match t.chaos with
+      | Some chaos ->
+          List.iter
+            (fun (gid, v) ->
+              parcel_of.(gid) <-
+                Option.map
+                  (fun p ->
+                    match v with
+                    | Chaos.Lost ->
+                        Chaos.note_lost_carry chaos
+                          ~lag:p.Cell.carry.Sched.lag
+                          ~credit:p.Cell.carry.Sched.credit
+                          ~packets:(List.length p.Cell.backlog);
+                        { p with Cell.carry = Sched.carry_zero; backlog = [] }
+                    | Chaos.Corrupt ->
+                        let sent = Chaos.carry_digest p.Cell.carry in
+                        let received = Chaos.mangle_carry p.Cell.carry in
+                        let carry =
+                          if Int.equal (Chaos.carry_digest received) sent then
+                            received
+                          else begin
+                            Chaos.note_lost_carry chaos
+                              ~lag:p.Cell.carry.Sched.lag
+                              ~credit:p.Cell.carry.Sched.credit ~packets:0;
+                            Sched.carry_zero
+                          end
+                        in
+                        { p with Cell.carry = carry }
+                    | Chaos.Deliver | Chaos.Blocked -> p)
+                  parcel_of.(gid))
+            verdicts
+      | None -> ());
+      List.iter
+        (fun (gid, parcel, dst) ->
+          t.homes.(gid) <- dst;
+          t.orphans.(gid) <- None;
+          t.moves <- t.moves + 1;
+          parcel_of.(gid) <- Some { parcel with Cell.moved = true };
+          (match t.chaos with
+          | Some chaos -> Chaos.note_rehomed chaos
+          | None -> ());
+          Cell.note_arrival t.cells.(dst))
+        rehomes;
       Array.iteri
         (fun c cell ->
           if affected.(c) then begin
@@ -131,17 +301,93 @@ let apply_handoffs t ~slot =
             done;
             ignore (Cell.rebuild cell ~slot !parcels)
           end)
-        t.cells
+        t.cells)
 
-let run ?(jobs = 1) t =
+let barrier t ~slot =
+  (match t.chaos with
+  | Some chaos ->
+      (* Fixed draw order — recoveries, crashes, blackouts, armed faults —
+         then the handoff pass below consumes its own verdict/re-home
+         draws.  All sequential, all from the chaos stream. *)
+      ignore (Chaos.draw_recoveries chaos ~slot);
+      List.iter (fun c -> crash_cell t ~slot c) (Chaos.draw_crashes chaos ~slot);
+      Chaos.draw_blackouts chaos ~slot;
+      Chaos.arm_worker_faults chaos ~slot
+  | None -> ());
+  apply_handoffs t ~slot;
+  match t.chaos with
+  | Some chaos -> Chaos.note_gauges chaos ~orphaned:(orphan_count t)
+  | None -> ()
+
+(* Parallel phase.  Without chaos this is the plain fan-out.  With chaos,
+   down cells sit the epoch out, every live cell's thunk first consumes
+   its armed-fault flag ({!Chaos.inject} — before any session mutation, so
+   a retry replays clean state), transient faults are retried once, and
+   persistent ones are accepted as typed failures, graded against the
+   plan's per-epoch budget after the join. *)
+let advance_cells t ~jobs ~until =
+  match t.chaos with
+  | None ->
+      ignore (Pool.map ~jobs (fun cell -> Cell.advance cell ~until) t.cells)
+  | Some chaos ->
+      let live = ref [] in
+      for c = Array.length t.cells - 1 downto 0 do
+        if not (Chaos.is_down chaos ~cell:c) then live := c :: !live
+      done;
+      let live = Array.of_list !live in
+      let outcomes =
+        Pool.map_outcomes ~jobs ~retries:1 ~retry_if:Chaos.retryable
+          (fun c ->
+            (* analyze: allow A2 -- inject only touches the armed-flag Atomic.t array; the mutable plan state is drawn at sequential barriers only *)
+            Chaos.inject chaos ~cell:c;
+            (* analyze: allow A2 -- cell c is owned by exactly one worker per epoch (live has no duplicates); writes are disjoint and joined at the barrier *)
+            Cell.advance t.cells.(c) ~until;
+            Ok ())
+          live
+      in
+      let failed = ref [] in
+      Array.iteri
+        (fun i outcome ->
+          match outcome with
+          | Ok () -> ()
+          | Error e ->
+              if Chaos.injected_fault e then failed := live.(i) :: !failed
+              else
+                (* a real worker error — attach the fault history and
+                   propagate; degradation is for injected faults only *)
+                Error.raise_
+                  (Error.add_context (Chaos.timeline_context chaos) e))
+        outcomes;
+      let failed = List.rev !failed in
+      let budget = (Chaos.plan chaos).Spec.budget in
+      if List.length failed > budget then
+        Error.sim_fault ~who:"Wfs_topo.Topology"
+          "injected worker faults exceeded the epoch budget"
+          ~context:
+            (("slot", string_of_int until)
+            :: ( "failed-cells",
+                 String.concat "," (List.map string_of_int failed) )
+            :: ("budget", string_of_int budget)
+            :: Chaos.timeline_context chaos)
+      else
+        List.iter
+          (fun c ->
+            Chaos.note_worker_fault chaos ~slot:until ~cell:c;
+            crash_cell t ~slot:until c)
+          failed
+
+let run ?(jobs = 1) ?on_barrier t =
   if jobs < 1 then Error.invalidf "Topology.run" "jobs must be >= 1, got %d" jobs;
   if Option.is_some t.result then
     Error.invalid "Topology.run" "topology already run";
-  let rec loop barrier =
-    if barrier < t.horizon then begin
-      let until = Int.min (barrier + t.epoch) t.horizon in
-      ignore (Pool.map ~jobs (fun cell -> Cell.advance cell ~until) t.cells);
-      if until < t.horizon then apply_handoffs t ~slot:until;
+  let rec loop from =
+    if from < t.horizon then begin
+      let until = Int.min (from + t.epoch) t.horizon in
+      advance_cells t ~jobs ~until;
+      if until < t.horizon then begin
+        barrier t ~slot:until;
+        match on_barrier with Some f -> f ~slot:until | None -> ()
+      end;
       loop until
     end
   in
@@ -162,3 +408,26 @@ let cell_instruments t ~cell = Cell.instruments t.cells.(cell)
 let instruments t =
   Instruments.merge_all
     (Array.to_list (Array.map Cell.instruments t.cells))
+
+let snapshot t ~slot =
+  let base =
+    [
+      ("slot", Json.Int slot);
+      ( "homes",
+        Json.Arr (Array.to_list (Array.map (fun c -> Json.Int c) t.homes)) );
+      ("moves", Json.Int t.moves);
+    ]
+  in
+  match t.chaos with
+  | None -> Json.Obj base
+  | Some chaos ->
+      Json.Obj
+        (base
+        @ [
+            ( "down",
+              Json.Arr
+                (List.init (n_cells t) (fun c ->
+                     Json.Bool (Chaos.is_down chaos ~cell:c))) );
+            ("orphans", Json.Arr (List.map (fun g -> Json.Int g) (orphaned t)));
+            ("faults", Json.Int (List.length (Chaos.timeline chaos)));
+          ])

@@ -18,7 +18,25 @@
     Cell [c] instantiates the spec's scenario with seed
     [cell_seed ~seed ~cell:c], so cells are statistically independent
     replicas of the same workload; the mobility stream takes the next
-    seed in the sequence. *)
+    seed in the sequence, and the chaos stream the one after that.
+
+    {2 Graceful degradation under a fault plan}
+
+    A spec whose topology clause carries an {e active}
+    {!Wfs_runner.Spec.faults} plan gets a {!Wfs_chaos.Chaos} engine: all
+    fault draws happen at the sequential barrier from the engine's own
+    stream, so faulted runs stay byte-identical across [--jobs].  A
+    crashed cell (random crash or an over-retry injected worker fault
+    within budget) is dissolved — metrics banked, members parked as
+    {e orphans} with their carries intact — and sits out whole epochs;
+    its flows re-home to surviving cells at the {e next} barrier, passing
+    through the same clamp-toward-zero carry ledger
+    ({!Wfs_core.Invariant.check_carry}) as voluntary handoffs.  Handoffs
+    can be blocked (destination down), lost (zero carry, empty backlog)
+    or corrupted (digest mismatch detected, carry zeroed) in transit;
+    blackout bursts force a cell's channels Bad without touching their
+    underlying sample paths.  An inert plan engages no hook at all: the
+    run is byte-identical to the same spec without a plan. *)
 
 type t
 
@@ -45,11 +63,18 @@ val n_cells : t -> int
 val n_flows : t -> int
 (** Topology-wide flow count (global ids are [0 .. n_flows - 1]). *)
 
-val run : ?jobs:int -> t -> unit
+val run : ?jobs:int -> ?on_barrier:(slot:int -> unit) -> t -> unit
 (** Execute the whole horizon ([jobs] defaults to 1).  Single-shot:
-    running twice raises.  After [run] returns, {!metrics},
-    {!instruments}, {!homes} and {!handoffs} are valid.
-    @raise Invalid_argument on a second call or [jobs < 1]. *)
+    running twice raises.  [on_barrier] fires after each completed
+    barrier (handoffs and fault processing done) with the barrier slot —
+    the hook {!Topo_journal} epoch checkpoints are written from.  After
+    [run] returns, {!metrics}, {!instruments}, {!homes} and {!handoffs}
+    are valid.
+    @raise Invalid_argument on a second call or [jobs < 1].
+    @raise Wfs_util.Error.Error (kind [Sim_fault]) when injected worker
+    faults exceed the plan's per-epoch budget, with the fault timeline
+    attached to the error context; (kind [Invariant_violation]) on a
+    carry-ledger breach. *)
 
 val metrics : t -> Wfs_core.Metrics.t
 (** Global accumulator, one row per global flow id, merged across cells
@@ -63,7 +88,34 @@ val instruments : t -> Wfs_obs.Instruments.t
 
 val homes : t -> int array
 (** Current home cell of every flow, indexed by global id (the initial
-    assignment before {!run}, the final one after). *)
+    assignment before {!run}, the final one after).  An orphaned flow
+    still reports the crashed cell it last lived in. *)
 
 val handoffs : t -> int
-(** Total number of executed handoffs so far. *)
+(** Total number of executed handoffs so far — voluntary moves plus
+    chaos re-homes; blocked moves are not counted. *)
+
+(** {1 Chaos} *)
+
+val chaos_active : t -> bool
+(** True when the spec carried an active fault plan. *)
+
+val chaos_instruments : t -> Wfs_obs.Instruments.t option
+(** The chaos engine's registry ([chaos.crashes], [chaos.rehomed],
+    degradation gauges, ...) — global and barrier-side, deliberately
+    separate from the positionally-merged per-cell registries.  [None]
+    without an active plan. *)
+
+val fault_timeline : t -> Wfs_chaos.Chaos.event list
+(** Chronological fault events so far; [[]] without an active plan. *)
+
+val orphaned : t -> int list
+(** Global ids currently parked as crash orphans, ascending. *)
+
+val snapshot : t -> slot:int -> Wfs_util.Json.t
+(** The epoch checkpoint {!Topo_journal} records at each barrier: the
+    slot, every flow's home, the handoff count and — under an active
+    plan — the down mask, orphan set and fault count.  Two runs of the
+    same spec agree on every snapshot iff they agree on the whole
+    deterministic barrier history, which is what resume verification
+    checks. *)

@@ -31,6 +31,15 @@ let create ~rng ?(on_to_off = 9.) ?(off_to_on = 1.) ?(time_scale = 1.) ~on_rate 
   st.next_switch <- sojourn st;
   let step slot =
     let slot_start = float_of_int slot and slot_end = float_of_int (slot + 1) in
+    (* A contiguous run keeps [next_switch >= slot_start] invariantly, but
+       a flow can skip slots entirely (a topology orphan sitting out
+       epochs in a crashed cell).  Catch the modulating chain up across
+       the gap without emitting arrivals — traffic offered while the flow
+       was unhosted is gone, not deferred. *)
+    while st.next_switch < slot_start do
+      st.mode <- (match st.mode with On -> Off | Off -> On);
+      st.next_switch <- st.next_switch +. sojourn st
+    done;
     let count = ref 0 in
     let cursor = ref slot_start in
     while st.next_switch < slot_end do

@@ -1,0 +1,19 @@
+(* A chaos fault taxonomy whose kinds no test ever constructs or matches:
+   the lib-side [describe] consumer covers every constructor, but A3's
+   dead-kind audit keys on *test-role* references — a fault kind only a
+   lib printer touches has no injection coverage, so every constructor
+   below must be flagged.  The type must be named [fault] and live under
+   a [Chaos] module path to enter the audited taxonomy. *)
+
+module Chaos = struct
+  type fault =
+    | Fixture_crash of { cell : int }
+    | Fixture_lost of { flow : int }
+    | Fixture_blackout of { cell : int; until : int }
+end
+
+let describe = function
+  | Chaos.Fixture_crash { cell } -> Printf.sprintf "crash cell=%d" cell
+  | Chaos.Fixture_lost { flow } -> Printf.sprintf "lost flow=%d" flow
+  | Chaos.Fixture_blackout { cell; until } ->
+      Printf.sprintf "blackout cell=%d until=%d" cell until

@@ -138,14 +138,14 @@ let params = [ ("horizon", Json.Int 1000); ("seed", Json.Int 7) ]
 
 let test_journal_roundtrip () =
   with_temp_file (fun path ->
-      let w = Journal.create ~path ~params in
+      let w = Journal.create ~path ~params () in
       Journal.append w ~key:"a" ~value:(Json.Int 1);
       Journal.append w ~key:"b" ~value:(Json.Str "two");
       Journal.close w;
       let w = Journal.reopen ~path in
       Journal.append w ~key:"c" ~value:(Json.Arr [ Json.Bool true ]);
       Journal.close w;
-      match Journal.load ~path with
+      match Journal.load ~path () with
       | Error e -> Alcotest.failf "load failed: %s" (Error.to_string e)
       | Ok { params = p; entries } ->
           check_bool "params survive" true (p = params);
@@ -155,7 +155,7 @@ let test_journal_roundtrip () =
 
 let test_journal_truncated_tail_dropped () =
   with_temp_file (fun path ->
-      let w = Journal.create ~path ~params in
+      let w = Journal.create ~path ~params () in
       Journal.append w ~key:"a" ~value:(Json.Int 1);
       Journal.append w ~key:"b" ~value:(Json.Int 2);
       Journal.close w;
@@ -163,7 +163,7 @@ let test_journal_truncated_tail_dropped () =
       let oc = open_out_gen [ Open_append ] 0o644 path in
       output_string oc "{\"key\":\"c\",\"val";
       close_out oc;
-      match Journal.load ~path with
+      match Journal.load ~path () with
       | Error e -> Alcotest.failf "truncated tail must load: %s" (Error.to_string e)
       | Ok { entries; _ } ->
           check_bool "only the torn line is lost" true
@@ -171,7 +171,7 @@ let test_journal_truncated_tail_dropped () =
 
 let test_journal_mid_file_corruption_rejected () =
   with_temp_file (fun path ->
-      let w = Journal.create ~path ~params in
+      let w = Journal.create ~path ~params () in
       Journal.append w ~key:"a" ~value:(Json.Int 1);
       Journal.close w;
       (* Corruption before the final line is not an interrupted append —
@@ -179,7 +179,7 @@ let test_journal_mid_file_corruption_rejected () =
       let oc = open_out_gen [ Open_append ] 0o644 path in
       output_string oc "garbage line\n{\"key\":\"b\",\"value\":2}\n";
       close_out oc;
-      match Journal.load ~path with
+      match Journal.load ~path () with
       | Ok _ -> Alcotest.fail "mid-file corruption accepted"
       | Error e ->
           check_bool "corruption is bad-spec" true (e.Error.kind = Error.Bad_spec))
@@ -205,7 +205,7 @@ let test_resume_is_byte_identical () =
   let run sp = Exec.run sp in
   let full = render_results specs (List.map run specs) in
   with_temp_file (fun path ->
-      let w = Journal.create ~path ~params in
+      let w = Journal.create ~path ~params () in
       List.iteri
         (fun i sp ->
           if i < 2 then
@@ -214,7 +214,7 @@ let test_resume_is_byte_identical () =
         specs;
       Journal.close w;
       (* resume *)
-      match Journal.load ~path with
+      match Journal.load ~path () with
       | Error e -> Alcotest.failf "resume load failed: %s" (Error.to_string e)
       | Ok { entries; _ } ->
           let cached = Hashtbl.create 8 in
@@ -368,6 +368,144 @@ let test_invariants_do_not_perturb_snoop () =
   in
   check_str "Periodic_snoop identical under monitors" (run false) (run true)
 
+(* --- chaos fault injection: taxonomy, classification, retry --- *)
+
+module Chaos = Wfs_chaos.Chaos
+
+let all_fault_kinds =
+  [
+    Chaos.Cell_crash { cell = 3 };
+    Chaos.Cell_recover { cell = 3 };
+    Chaos.Handoff_lost { flow = 7; src = 1; dst = 2 };
+    Chaos.Handoff_corrupt { flow = 7; src = 1; dst = 2 };
+    Chaos.Handoff_blocked { flow = 7; src = 1; dst = 2 };
+    Chaos.Blackout { cell = 0; until = 450 };
+    Chaos.Worker_fault { cell = 2; persistent = true };
+    Chaos.Worker_fault { cell = 2; persistent = false };
+  ]
+
+let test_chaos_event_roundtrip () =
+  (* Every fault kind survives the JSON round-trip the --fault-timeline
+     artifact and the flight-recorder attachments depend on. *)
+  List.iteri
+    (fun i fault ->
+      let ev = { Chaos.slot = 100 * (i + 1); fault } in
+      match Chaos.event_of_json (Chaos.event_to_json ev) with
+      | None ->
+          Alcotest.failf "event %S did not parse back"
+            (Chaos.fault_to_string fault)
+      | Some ev' ->
+          check_bool (Chaos.fault_to_string fault) true
+            (Chaos.event_equal ev ev'))
+    all_fault_kinds;
+  check_bool "kinds are distinguishable" true
+    (not
+       (Chaos.event_equal
+          { Chaos.slot = 1; fault = Chaos.Cell_crash { cell = 0 } }
+          { Chaos.slot = 1; fault = Chaos.Cell_recover { cell = 0 } }))
+
+let test_chaos_inject_semantics () =
+  (* Transient: armed once, consumed by the raise — the retry of the same
+     clean-state thunk runs clear. *)
+  let eng =
+    Chaos.create ~seed:7 ~cells:2 (Spec.faults ~exn:1.0 ~persist:0. ())
+  in
+  Chaos.arm_worker_faults eng ~slot:100;
+  (match Chaos.inject eng ~cell:0 with
+  | () -> Alcotest.fail "armed transient fault must raise"
+  | exception Error.Error e ->
+      check_bool "typed sim-fault" true (e.Error.kind = Error.Sim_fault);
+      check_bool "classified as injected" true (Chaos.injected_fault e);
+      check_bool "transient is retryable" true (Chaos.retryable e));
+  Chaos.inject eng ~cell:0;
+  (* Persistent: stays armed, fails every retry, not retryable. *)
+  let eng =
+    Chaos.create ~seed:7 ~cells:2 (Spec.faults ~exn:1.0 ~persist:1.0 ())
+  in
+  Chaos.arm_worker_faults eng ~slot:100;
+  (match Chaos.inject eng ~cell:1 with
+  | () -> Alcotest.fail "armed persistent fault must raise"
+  | exception Error.Error e ->
+      check_bool "persistent is injected" true (Chaos.injected_fault e);
+      check_bool "persistent is not retryable" true (not (Chaos.retryable e)));
+  (match Chaos.inject eng ~cell:1 with
+  | () -> Alcotest.fail "persistent fault must stay armed"
+  | exception Error.Error _ -> ());
+  (* A real worker error is neither retried nor budget-accountable. *)
+  let real = Error.v Error.Sim_fault ~who:"worker" "oops" in
+  check_bool "real errors are not injected faults" true
+    (not (Chaos.injected_fault real));
+  check_bool "real errors are not retryable" true (not (Chaos.retryable real))
+
+let test_chaos_pool_retry () =
+  (* End to end through the pool: transient faults recover under
+     retry_if; persistent ones come back as classified failures. *)
+  let arm persist =
+    let eng =
+      Chaos.create ~seed:3 ~cells:4 (Spec.faults ~exn:1.0 ~persist ())
+    in
+    Chaos.arm_worker_faults eng ~slot:100;
+    eng
+  in
+  let eng = arm 0. in
+  let out =
+    Pool.map_outcomes ~jobs:2 ~retries:1 ~retry_if:Chaos.retryable
+      (fun c ->
+        Chaos.inject eng ~cell:c;
+        Ok c)
+      [| 0; 1; 2; 3 |]
+  in
+  Array.iteri
+    (fun i o ->
+      check_bool (Printf.sprintf "cell %d recovered" i) true (o = Ok i))
+    out;
+  let eng = arm 1.0 in
+  let out =
+    Pool.map_outcomes ~jobs:2 ~retries:1 ~retry_if:Chaos.retryable
+      (fun c ->
+        Chaos.inject eng ~cell:c;
+        Ok c)
+      [| 0; 1; 2; 3 |]
+  in
+  Array.iter
+    (function
+      | Error e ->
+          check_bool "persistent failure classified" true
+            (Chaos.injected_fault e)
+      | Ok _ -> Alcotest.fail "persistent fault must fail its retries")
+    out
+
+let test_chaos_verdicts () =
+  (* Certain-rate plans force each transit outcome deterministically. *)
+  let eng = Chaos.create ~seed:1 ~cells:3 (Spec.faults ~lose:1.0 ()) in
+  check_bool "certain loss" true
+    (Chaos.handoff_verdict eng ~slot:100 ~flow:0 ~src:0 ~dst:1 = Chaos.Lost);
+  let eng = Chaos.create ~seed:1 ~cells:3 (Spec.faults ~corrupt:1.0 ()) in
+  check_bool "certain corruption" true
+    (Chaos.handoff_verdict eng ~slot:100 ~flow:0 ~src:0 ~dst:1 = Chaos.Corrupt);
+  let eng = Chaos.create ~seed:1 ~cells:3 (Spec.faults ()) in
+  check_bool "inert plan delivers" true
+    (Chaos.handoff_verdict eng ~slot:100 ~flow:0 ~src:0 ~dst:1 = Chaos.Deliver);
+  (* Crash every cell: handoffs block, no re-home target remains. *)
+  let eng = Chaos.create ~seed:1 ~cells:2 (Spec.faults ~crash:1.0 ()) in
+  check_bool "both cells crash" true
+    (Chaos.draw_crashes eng ~slot:100 = [ 0; 1 ]);
+  check_int "down count" 2 (Chaos.down_count eng);
+  check_bool "down destination blocks" true
+    (Chaos.handoff_verdict eng ~slot:100 ~flow:0 ~src:0 ~dst:1 = Chaos.Blocked);
+  check_bool "no re-home target when all cells are down" true
+    (Chaos.rehome_target eng = None);
+  check_int "timeline recorded the faults" 3
+    (List.length (Chaos.timeline eng))
+
+let test_chaos_mangle_digest () =
+  let open Wfs_core.Wireless_sched in
+  List.iter
+    (fun c ->
+      check_bool "mangling changes the digest" true
+        (Chaos.carry_digest (Chaos.mangle_carry c) <> Chaos.carry_digest c))
+    [ carry_zero; { lag = 2.5; credit = -3 }; { lag = -7.25; credit = 4 } ]
+
 (* --- parser fuzzing: typed errors, never an escaped exception --- *)
 
 let fuzz_spec_never_raises =
@@ -434,6 +572,15 @@ let suite =
      test_invariants_clean_on_real_schedulers);
     ("invariants do not perturb snooping", `Quick,
      test_invariants_do_not_perturb_snoop);
+    ("chaos events round-trip through JSON", `Quick,
+     test_chaos_event_roundtrip);
+    ("chaos inject: transient vs persistent", `Quick,
+     test_chaos_inject_semantics);
+    ("chaos faults through the pool retry path", `Quick,
+     test_chaos_pool_retry);
+    ("chaos handoff verdicts", `Quick, test_chaos_verdicts);
+    ("chaos carry mangling changes the digest", `Quick,
+     test_chaos_mangle_digest);
     QCheck_alcotest.to_alcotest fuzz_spec_never_raises;
     QCheck_alcotest.to_alcotest fuzz_spec_parse_never_raises;
     QCheck_alcotest.to_alcotest fuzz_json_never_raises;

@@ -121,7 +121,7 @@ let test_journal_truncate_resume () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       let params = [ ("horizon", Wfs_util.Json.Int 2_000) ] in
-      let w = Wfs_runner.Journal.create ~path ~params in
+      let w = Wfs_runner.Journal.create ~path ~params () in
       List.iter
         (fun sp ->
           Wfs_runner.Journal.append w ~key:(Spec.to_string sp)
@@ -145,7 +145,7 @@ let test_journal_truncate_resume () =
       let oc = open_out path in
       List.iter (fun l -> output_string oc (l ^ "\n")) keep;
       close_out oc;
-      match Wfs_runner.Journal.load ~path with
+      match Wfs_runner.Journal.load ~path () with
       | Error e ->
           Alcotest.failf "truncated journal must load: %s"
             (Wfs_util.Error.to_string e)

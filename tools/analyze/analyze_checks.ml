@@ -374,7 +374,29 @@ let check_a3 m ~allow ~sink =
                    differential/lockstep tests cannot be exercising it"
                   name)
              s.su_instance_loc))
-    sched_units
+    sched_units;
+  (* Dead fault kinds: every constructor of a Chaos fault taxonomy must be
+     built or matched somewhere in the test suite, else the fault-injection
+     tests cannot be exercising that failure path. *)
+  let exercised = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      if d.def_role = Test then
+        List.iter (fun c -> Hashtbl.replace exercised c ()) d.constructs)
+    defs;
+  List.iter
+    (fun (ty, cstr, loc) ->
+      if not (Hashtbl.mem exercised (ty ^ "." ^ cstr)) then
+        emit ~allow ~sink
+          (Diag.of_location ~rule:Analyze_rules.a3
+             ~message:
+               (Printf.sprintf
+                  "fault kind %s of %s is never constructed or matched by \
+                   any test-role definition; the fault-injection suite \
+                   cannot be exercising this failure path"
+                  cstr ty)
+             loc))
+    m.fault_kinds
 
 let run m ~allow ~sink =
   check_a1 m ~allow ~sink;

@@ -51,6 +51,9 @@ type def = {
   mutable makes_instance : Location.t option;
   mutable wires_probe : bool;
   mutable spawns : spawn list;
+  mutable constructs : string list;
+      (* normalized "<type path>.<constructor>" for every variant
+         constructor this def builds or pattern-matches (A3 dead-fault) *)
 }
 
 type decl_kind =
@@ -69,6 +72,10 @@ type unit_info = {
 type model = {
   units : unit_info list;  (* in load order (sorted by the caller) *)
   decls : (string, decl_kind) Hashtbl.t;
+  fault_kinds : (string * string * Location.t) list;
+      (* (type full name, constructor, decl location) for every variant
+         type named [fault] declared under a Chaos module — the fault
+         taxonomy A3's dead-kind audit covers, in declaration order *)
 }
 
 exception Fail of string
@@ -295,33 +302,46 @@ let decl_kind_of (td : Types.type_declaration) =
   | _ -> (
       match td.type_manifest with Some t -> Some (Alias t) | None -> None)
 
-let rec collect_decls ~decls ~mpath str =
+let rec collect_decls ~decls ~faults ~mpath str =
   List.iter
     (fun item ->
       match item.str_desc with
       | Tstr_type (_, tds) ->
           List.iter
             (fun td ->
-              match decl_kind_of td.typ_type with
+              (match decl_kind_of td.typ_type with
               | Some k ->
                   Hashtbl.replace decls
                     (name_of_segs (mpath @ [ Ident.name td.typ_id ]))
                     k
-              | None -> ())
+              | None -> ());
+              match td.typ_type.Types.type_kind with
+              | Type_variant (cstrs, _)
+                when String.equal (Ident.name td.typ_id) "fault"
+                     && List.exists (String.equal "Chaos") mpath ->
+                  let ty = name_of_segs (mpath @ [ Ident.name td.typ_id ]) in
+                  List.iter
+                    (fun c ->
+                      faults :=
+                        (ty, Ident.name c.Types.cd_id, c.Types.cd_loc)
+                        :: !faults)
+                    cstrs
+              | _ -> ())
             tds
-      | Tstr_module mb -> collect_decls_module ~decls ~mpath mb
+      | Tstr_module mb -> collect_decls_module ~decls ~faults ~mpath mb
       | Tstr_recmodule mbs ->
-          List.iter (collect_decls_module ~decls ~mpath) mbs
+          List.iter (collect_decls_module ~decls ~faults ~mpath) mbs
       | _ -> ())
     str.str_items
 
-and collect_decls_module ~decls ~mpath mb =
+and collect_decls_module ~decls ~faults ~mpath mb =
   let name =
     match mb.mb_name.txt with Some n -> n | None -> "_"
   in
   let rec go me =
     match me.mod_desc with
-    | Tmod_structure s -> collect_decls ~decls ~mpath:(mpath @ [ name ]) s
+    | Tmod_structure s ->
+        collect_decls ~decls ~faults ~mpath:(mpath @ [ name ]) s
     | Tmod_constraint (me, _, _, _) -> go me
     | _ -> ()
   in
@@ -421,6 +441,16 @@ let walk_def ctx (def : def) expr0 =
     List.find_map
       (function Asttypes.Nolabel, Some e -> Some e | _ -> None)
       args
+  in
+  let record_construct (cstr : Types.constructor_description) =
+    (* Name the constructor by its result type's normalized path, the same
+       key collect_decls uses for the fault taxonomy. *)
+    match head_constr ctx.decls 20 cstr.Types.cstr_res with
+    | Some (p, _) ->
+        def.constructs <-
+          (normalize_type ctx p ^ "." ^ cstr.Types.cstr_name)
+          :: def.constructs
+    | None -> ()
   in
   let record_poly_cmp name e =
     (* [name] is a Stdlib comparator; classify its instantiation via the
@@ -561,6 +591,7 @@ let walk_def ctx (def : def) expr0 =
                       then def.wires_probe <- true
                   | _ -> ())
               | None -> ())
+          | Texp_construct (_, cstr, _) -> record_construct cstr
           | Texp_setfield (tgt, _, _, _) -> (
               match global_target tgt with
               | Some g -> def.global_writes <- (g, e.exp_loc) :: def.global_writes
@@ -572,6 +603,12 @@ let walk_def ctx (def : def) expr0 =
               | _ -> ())
           | _ -> ());
           Tast_iterator.default_iterator.expr it e);
+      pat =
+        (fun (type k) it (q : k general_pattern) ->
+          (match q.pat_desc with
+          | Tpat_construct (_, cstr, _, _) -> record_construct cstr
+          | _ -> ());
+          Tast_iterator.default_iterator.pat it q);
       value_binding =
         (fun it vb ->
           (match vb.vb_pat.pat_desc with
@@ -586,7 +623,8 @@ let walk_def ctx (def : def) expr0 =
   def.source_refs <- List.rev def.source_refs;
   def.poly_cmps <- List.rev def.poly_cmps;
   def.global_writes <- List.rev def.global_writes;
-  def.spawns <- List.rev def.spawns
+  def.spawns <- List.rev def.spawns;
+  def.constructs <- List.rev def.constructs
 
 (* Structure walk: register aliases/local modules/toplevel names first (so
    in-unit references resolve), then extract one def per value binding. *)
@@ -663,6 +701,7 @@ let rec walk_structure ctx u ~mpath str =
                   makes_instance = None;
                   wires_probe = false;
                   spawns = [];
+                  constructs = [];
                 }
               in
               walk_def ctx def vb.vb_expr;
@@ -685,6 +724,7 @@ let rec walk_structure ctx u ~mpath str =
               makes_instance = None;
               wires_probe = false;
               spawns = [];
+              constructs = [];
             }
           in
           walk_def ctx def e;
@@ -741,9 +781,10 @@ let load inputs =
   in
   (* Pass 1: declarations from every unit, so cross-module type references
      classify correctly during extraction. *)
+  let faults = ref [] in
   List.iter
     (fun (modname, _, str, _) ->
-      collect_decls ~decls ~mpath:(split_mangled modname) str)
+      collect_decls ~decls ~faults ~mpath:(split_mangled modname) str)
     read;
   (* Pass 2: definitions. *)
   let units =
@@ -772,4 +813,4 @@ let load inputs =
         u)
       read
   in
-  { units; decls }
+  { units; decls; fault_kinds = List.rev !faults }
