@@ -16,7 +16,16 @@
      --no-json           skip the artifact
      --tables-only       skip macro- and micro-benchmarks
      --perf-only         only micro-benchmarks
-     --macro-only        only the end-to-end macro-benchmark (slots/s)
+     --micro             only the fast-path primitives micro-benchmarks
+                         (Flow_heap min_accept, Flow_set find_from,
+                         Event_cal push/pop)
+     --macro-only        only the end-to-end macro-benchmark (slots/s);
+                         wall-clock covers the run loop only, never
+                         table/JSON serialization
+     --eventcomp         only the event-compression macro-benchmark:
+                         paper schedulers x {2,16,64,256} flows x
+                         {0.9,0.05} load, fast path off and on, with
+                         delivered-packet identity checked per pair
      --topo              only the multi-cell topology macro-benchmark
                          (64 cells x 256 flows sharded over --jobs domains,
                          handoffs at epoch barriers; uses --macro-horizon)
@@ -46,7 +55,8 @@
 let usage =
   "usage: main.exe [--quick] [--horizon N] [--seed N] [--seeds K] [--jobs N]\n\
   \                [--json PATH | --no-json]\n\
-  \                [--tables-only | --perf-only | --macro-only | --topo]\n\
+  \                [--tables-only | --perf-only | --micro | --macro-only |\n\
+  \                 --eventcomp | --topo]\n\
   \                [--topo-faults PLAN]\n\
   \                [--macro-horizon N] [--resume PATH] [--retries N]\n\
   \                [--max-slots N] [--check-invariants] [--flight-recorder N]\n\
@@ -100,6 +110,8 @@ let () =
   let tables = ref true in
   let perf = ref true in
   let macro_only = ref false in
+  let eventcomp_only = ref false in
+  let micro_only = ref false in
   let topo_only = ref false in
   let topo_faults = ref None in
   let macro_horizon = ref None in
@@ -151,6 +163,12 @@ let () =
         parse rest
     | "--macro-only" :: rest ->
         macro_only := true;
+        parse rest
+    | "--eventcomp" :: rest ->
+        eventcomp_only := true;
+        parse rest
+    | "--micro" :: rest ->
+        micro_only := true;
         parse rest
     | "--topo" :: rest ->
         topo_only := true;
@@ -209,9 +227,17 @@ let () =
     | Some n -> n
     | None -> if !quick then 5_000 else 20_000
   in
-  let do_tables = !tables && not !macro_only && not !topo_only in
-  let do_micro = !perf && not !macro_only && not !topo_only in
-  let do_macro = (!macro_only || (!tables && !perf)) && not !topo_only in
+  let exclusive =
+    !macro_only || !eventcomp_only || !micro_only || !topo_only
+  in
+  let do_tables = !tables && not exclusive in
+  let do_micro = !perf && not exclusive in
+  let do_macro =
+    (!macro_only || (!tables && !perf))
+    && not (!eventcomp_only || !micro_only || !topo_only)
+  in
+  let do_eventcomp = !eventcomp_only in
+  let do_primitives = !micro_only in
   let do_topo = !topo_only in
   let opts = { Tables.horizon; seed = !seed; seeds = !seeds; jobs } in
   let run_opts =
@@ -272,23 +298,49 @@ let () =
   if do_macro then begin
     Printf.printf "\n=== Macro-benchmark (horizon=%d slots, seed=%d) ===\n\n"
       macro_horizon !seed;
-    let t0 = Unix.gettimeofday () in
-    let table, runs, slots = Perf.macro_table ~horizon:macro_horizon ~seed:!seed () in
-    let wall = Unix.gettimeofday () -. t0 in
+    (* [wall] is summed inside Perf over the timed Simulator.run calls
+       only, so the reported slots/s excludes table/JSON serialization. *)
+    let table, runs, slots, wall =
+      Perf.macro_table ~horizon:macro_horizon ~seed:!seed ()
+    in
     acc_tables := !acc_tables @ [ table ];
     acc_runs := !acc_runs + runs;
     acc_slots := !acc_slots + slots;
     acc_wall := !acc_wall +. wall;
     ran_any := true;
-    Printf.printf "\n%d macro runs, %d slots in %.2f s\n" runs slots wall
+    Printf.printf
+      "\n%d macro runs, %d slots in %.2f s run-loop (%.0f slots/s, \
+       serialization excluded)\n"
+      runs slots wall
+      (if wall > 0. then float_of_int slots /. wall else 0.)
+  end;
+  if do_eventcomp then begin
+    Printf.printf
+      "\n=== Event-compression macro-benchmark (horizon=%d slots, seed=%d) \
+       ===\n\n"
+      macro_horizon !seed;
+    match Perf.eventcomp_table ~horizon:macro_horizon ~seed:!seed () with
+    | exception Wfs_util.Error.Error e ->
+        Printf.eprintf "error: %s\n" (Wfs_util.Error.to_string e);
+        exit 2
+    | table, runs, slots, wall ->
+        acc_tables := !acc_tables @ [ table ];
+        acc_runs := !acc_runs + runs;
+        acc_slots := !acc_slots + slots;
+        acc_wall := !acc_wall +. wall;
+        ran_any := true;
+        Printf.printf
+          "\n%d eventcomp runs, %d slots in %.2f s run-loop (%.0f slots/s, \
+           serialization excluded)\n"
+          runs slots wall
+          (if wall > 0. then float_of_int slots /. wall else 0.)
   end;
   if do_topo then begin
     Printf.printf
       "\n=== Topology macro-benchmark (horizon=%d slots, seed=%d, jobs=%d) \
        ===\n\n"
       macro_horizon !seed jobs;
-    let t0 = Unix.gettimeofday () in
-    let table, runs, slots =
+    let table, runs, slots, wall =
       match
         Perf.topo_table ~jobs ~horizon:macro_horizon ~seed:!seed
           ?faults:!topo_faults ()
@@ -298,14 +350,13 @@ let () =
           Printf.eprintf "error: %s\n" (Wfs_util.Error.to_string e);
           exit 2
     in
-    let wall = Unix.gettimeofday () -. t0 in
     acc_tables := !acc_tables @ [ table ];
     acc_runs := !acc_runs + runs;
     acc_slots := !acc_slots + slots;
     acc_wall := !acc_wall +. wall;
     ran_any := true;
-    Printf.printf "\n%d topology runs, %d cell-slots in %.2f s\n" runs slots
-      wall
+    Printf.printf "\n%d topology runs, %d cell-slots in %.2f s run-loop\n"
+      runs slots wall
   end;
   if !write_json && !ran_any then begin
     let artifact =
@@ -333,6 +384,10 @@ let () =
     profile_dashboard ~horizon:macro_horizon ~seed:!seed
   end;
   if !failed then exit 3;
+  if do_primitives then begin
+    Printf.printf "\n=== Fast-path primitives micro-benchmarks ===\n\n";
+    Perf.run_primitives ()
+  end;
   if do_micro then begin
     Printf.printf "\n=== Micro-benchmarks ===\n\n";
     Perf.run ()

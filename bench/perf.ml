@@ -93,6 +93,67 @@ let channel_test () =
          ignore (Wfs_channel.Channel.advance ch ~slot:!slot);
          incr slot))
 
+(* --- Fast-path primitives (bench --micro) ---------------------------------
+
+   The three data-structure operations the event-compressed engine leans
+   on: tag-ordered selection (Flow_heap.min_accept), cyclic round-robin
+   restart (Flow_set.find_from), and the arrival calendar's push/pop.  A
+   macro regression with these numbers flat points at the skip logic; a
+   regression here localizes below the macro number. *)
+
+let flow_heap_min_accept_test ~n =
+  let h = Wfs_util.Flow_heap.create ~n in
+  for f = 0 to n - 1 do
+    Wfs_util.Flow_heap.set h ~flow:f ~tag:(float_of_int ((f * 37) mod n))
+  done;
+  let turn = ref 0 in
+  Test.make ~name:(Printf.sprintf "flow-heap-min-accept@%d" n)
+    (Staged.stage (fun () ->
+         let c = !turn in
+         incr turn;
+         (* Reject a rotating ~1/7 of flows so the scan does real work. *)
+         ignore
+           (Wfs_util.Flow_heap.min_accept h ~accept:(fun f ->
+                (f + c) mod 7 <> 0))))
+
+let flow_set_find_from_test ~n =
+  let s = Wfs_util.Flow_set.create ~n in
+  let f = ref 0 in
+  (* Sparse membership (every third id): the few-active-among-many shape
+     the index targets. *)
+  while !f < n do
+    Wfs_util.Flow_set.add s !f;
+    f := !f + 3
+  done;
+  let from = ref 0 in
+  Test.make ~name:(Printf.sprintf "flow-set-find-from@%d" n)
+    (Staged.stage (fun () ->
+         let c = !from in
+         from := (c + 7) mod n;
+         ignore (Wfs_util.Flow_set.find_from s c)))
+
+let event_cal_test ~n =
+  let cal = Wfs_util.Event_cal.create ~n in
+  let rng = Wfs_util.Rng.create 12 in
+  let next = ref 0 in
+  for id = 0 to n - 1 do
+    Wfs_util.Event_cal.push cal ~key:(Wfs_util.Rng.int rng 10_000) ~id;
+    next := 10_000
+  done;
+  Test.make ~name:(Printf.sprintf "event-cal-push+pop@%d" n)
+    (Staged.stage (fun () ->
+         let id = Wfs_util.Event_cal.pop cal in
+         (* Re-push at a strictly later slot, as the requery loop does. *)
+         incr next;
+         Wfs_util.Event_cal.push cal ~key:!next ~id))
+
+let primitive_tests () =
+  [
+    flow_heap_min_accept_test ~n:256;
+    flow_set_find_from_test ~n:256;
+    event_cal_test ~n:256;
+  ]
+
 let all_tests () =
   [
     wps_step_test ~name:"wps-swapa-slot-2flows" ~params:(Core.Params.swapa ())
@@ -109,6 +170,7 @@ let all_tests () =
     heap_test ();
     channel_test ();
   ]
+  @ primitive_tests ()
 
 (* --- End-to-end macro-benchmark ------------------------------------------
 
@@ -126,10 +188,12 @@ let all_tests () =
 
 let macro_sizes = [ 2; 16; 64; 256 ]
 let macro_active_cap = 8
+let macro_load = 0.9
 
-let macro_setup ~n_flows ~seed : Core.Simulator.flow_setup array =
-  let active = min n_flows macro_active_cap in
-  let rate = 0.9 /. float_of_int active in
+let macro_setup ?(load = macro_load) ?(active_cap = macro_active_cap)
+    ~n_flows ~seed () : Core.Simulator.flow_setup array =
+  let active = min n_flows active_cap in
+  let rate = load /. float_of_int active in
   Array.init n_flows (fun id ->
       let flow =
         Core.Params.flow ~id ~weight:1. ~drop:(Core.Params.Retx_limit 3) ()
@@ -151,14 +215,18 @@ let macro_setup ~n_flows ~seed : Core.Simulator.flow_setup array =
           channel = Wfs_channel.Error_free.create ();
         })
 
-(* One timed run; returns (delivered packets, wall seconds). *)
-let macro_run ~horizon ~seed (entry : Core.Registry.entry) ~n_flows =
-  let setups = macro_setup ~n_flows ~seed in
+(* One timed run; returns (delivered packets, wall seconds).  Only the
+   [Simulator.run] call is inside the clock — setup, table rendering and
+   JSON serialization never contaminate the slots/s columns. *)
+let macro_run ?(load = macro_load) ?(active_cap = macro_active_cap)
+    ?(fast_path = false) ~horizon ~seed (entry : Core.Registry.entry)
+    ~n_flows () =
+  let setups = macro_setup ~load ~active_cap ~n_flows ~seed () in
   let params = Array.map (fun fs -> fs.Core.Simulator.flow) setups in
   let sched = entry.Core.Registry.make params in
   let cfg =
-    Core.Simulator.config ~predictor:entry.Core.Registry.predictor ~horizon
-      setups
+    Core.Simulator.config ~predictor:entry.Core.Registry.predictor ~fast_path
+      ~horizon setups
   in
   let t0 = Unix.gettimeofday () in
   let metrics = Core.Simulator.run cfg sched in
@@ -173,22 +241,25 @@ let macro_columns =
   [ "scheduler"; "flows"; "active"; "slots"; "delivered"; "wall_s"; "slots/s" ]
 
 (* Runs the macro-benchmark over every registry scheduler, prints the table
-   and returns it as an artifact table plus (runs, slots) totals for the
-   BENCH_*.json accounting. *)
+   and returns it as an artifact table plus (runs, slots, run-loop wall)
+   totals for the BENCH_*.json accounting — the wall total sums only the
+   timed [Simulator.run] calls, never serialization. *)
 let macro_table ~horizon ~seed () =
   let title = "Macro-benchmark (end-to-end slots/s, <=8 active flows)" in
   let table = Wfs_util.Tablefmt.create ~title ~columns:macro_columns in
   let rows = ref [] in
   let runs = ref 0 in
   let slots = ref 0 in
+  let wall = ref 0. in
   List.iter
     (fun name ->
       let entry = Core.Registry.get name in
       List.iter
         (fun n_flows ->
-          let delivered, dt = macro_run ~horizon ~seed entry ~n_flows in
+          let delivered, dt = macro_run ~horizon ~seed entry ~n_flows () in
           incr runs;
           slots := !slots + horizon;
+          wall := !wall +. dt;
           let row =
             [
               name;
@@ -208,7 +279,99 @@ let macro_table ~horizon ~seed () =
   let artifact_table =
     { Wfs_runner.Artifact.title; columns = macro_columns; rows = List.rev !rows }
   in
-  (artifact_table, !runs, !slots)
+  (artifact_table, !runs, !slots, !wall)
+
+(* --- Event-compression macro-benchmark ------------------------------------
+
+   The fast-path acceptance table: the four paper schedulers (one
+   registry representative each) at every macro size, swept over
+   activity tiers — the bursty 0.9-load/8-active macro shape, a
+   low-load 0.05/8-active tier, and a sparse 0.05/2-active tier — with
+   the event-compressed engine off and on.  Each (scheduler, flows,
+   tier) pair runs the reference loop first and the fast path second on
+   identical seeds; the delivered column must match exactly
+   (byte-identity witness — the run aborts on a mismatch) and the
+   speedup column is the wall ratio.  Low activity is where compression
+   pays: almost every slot is quiescent, so the fast path collapses
+   whole inter-arrival gaps into closed-form updates, and the per-slot
+   floor shrinks to the live RNG streams (byte-identity pins one draw
+   per dynamic channel and live source per slot). *)
+
+let eventcomp_tiers = [ (0.9, 8); (0.05, 8); (0.05, 2) ]
+let eventcomp_schedulers = [ "SwapA-P"; "IWFQ-P"; "CIF-Q-P"; "CSDPS" ]
+
+let eventcomp_columns =
+  [
+    "scheduler"; "flows"; "active"; "load"; "fast"; "slots"; "delivered";
+    "wall_s"; "slots/s"; "speedup";
+  ]
+
+let eventcomp_table ~horizon ~seed () =
+  let title =
+    "Event-compression macro-benchmark (fast path off/on, run loop only)"
+  in
+  let table = Wfs_util.Tablefmt.create ~title ~columns:eventcomp_columns in
+  let rows = ref [] in
+  let runs = ref 0 in
+  let slots = ref 0 in
+  let wall = ref 0. in
+  List.iter
+    (fun name ->
+      let entry = Core.Registry.get name in
+      List.iter
+        (fun (load, active_cap) ->
+          List.iter
+            (fun n_flows ->
+              let d_ref, dt_ref =
+                macro_run ~load ~active_cap ~fast_path:false ~horizon ~seed
+                  entry ~n_flows ()
+              in
+              let d_fast, dt_fast =
+                macro_run ~load ~active_cap ~fast_path:true ~horizon ~seed
+                  entry ~n_flows ()
+              in
+              if d_fast <> d_ref then
+                Wfs_util.Error.invalidf "Perf.eventcomp_table"
+                  "fast path diverged: %s flows=%d load=%.2f delivered %d \
+                   (reference %d)"
+                  name n_flows load d_fast d_ref;
+              runs := !runs + 2;
+              slots := !slots + (2 * horizon);
+              wall := !wall +. dt_ref +. dt_fast;
+              let row ~fast ~delivered ~dt ~speedup =
+                [
+                  name;
+                  string_of_int n_flows;
+                  string_of_int (min n_flows active_cap);
+                  Printf.sprintf "%.2f" load;
+                  (if fast then "on" else "off");
+                  string_of_int horizon;
+                  string_of_int delivered;
+                  Printf.sprintf "%.4f" dt;
+                  Printf.sprintf "%.0f" (float_of_int horizon /. dt);
+                  speedup;
+                ]
+              in
+              let r1 = row ~fast:false ~delivered:d_ref ~dt:dt_ref ~speedup:"-"
+              and r2 =
+                row ~fast:true ~delivered:d_fast ~dt:dt_fast
+                  ~speedup:(Printf.sprintf "%.2fx" (dt_ref /. dt_fast))
+              in
+              rows := r2 :: r1 :: !rows;
+              Wfs_util.Tablefmt.add_row table r1;
+              Wfs_util.Tablefmt.add_row table r2)
+            macro_sizes)
+        eventcomp_tiers)
+    eventcomp_schedulers;
+  Wfs_util.Tablefmt.print table;
+  let artifact_table =
+    {
+      Wfs_runner.Artifact.title;
+      columns = eventcomp_columns;
+      rows = List.rev !rows;
+    }
+  in
+  (artifact_table, !runs, !slots, !wall)
 
 (* --- Topology macro-benchmark --------------------------------------------
 
@@ -254,6 +417,7 @@ let topo_table ~jobs ~horizon ~seed ?faults () =
   let rows = ref [] in
   let runs = ref 0 in
   let slots = ref 0 in
+  let wall = ref 0. in
   List.iter
     (fun sched ->
       let topo_clause =
@@ -280,6 +444,7 @@ let topo_table ~jobs ~horizon ~seed ?faults () =
       let cell_slots = horizon * topo_cells in
       incr runs;
       slots := !slots + cell_slots;
+      wall := !wall +. dt;
       let row =
         [
           sched;
@@ -332,10 +497,9 @@ let topo_table ~jobs ~horizon ~seed ?faults () =
   let artifact_table =
     { Wfs_runner.Artifact.title; columns; rows = List.rev !rows }
   in
-  (artifact_table, !runs, !slots)
+  (artifact_table, !runs, !slots, !wall)
 
-let run () =
-  let tests = all_tests () in
+let run_tests ~title tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -344,8 +508,7 @@ let run () =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
   in
   let table =
-    Wfs_util.Tablefmt.create ~title:"Micro-benchmarks (per-operation cost)"
-      ~columns:[ "operation"; "ns/op" ]
+    Wfs_util.Tablefmt.create ~title ~columns:[ "operation"; "ns/op" ]
   in
   List.iter
     (fun test ->
@@ -363,3 +526,10 @@ let run () =
         analyzed)
     tests;
   Wfs_util.Tablefmt.print table
+
+let run () =
+  run_tests ~title:"Micro-benchmarks (per-operation cost)" (all_tests ())
+
+let run_primitives () =
+  run_tests ~title:"Fast-path primitives (per-operation cost)"
+    (primitive_tests ())

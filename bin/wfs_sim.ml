@@ -71,7 +71,8 @@ type obs = {
 (* One self-contained run: registry lookup, fresh seeded setups, optional
    fairness monitor and telemetry.  Safe to execute on any domain (with
    the sink/profiler caveat above). *)
-let run_one ~credit ~debit ~fairness ~invariants ~obs (spec : Spec.t) =
+let run_one ~credit ~debit ~fairness ~invariants ~fast_path ~obs
+    (spec : Spec.t) =
   let entry = Registry.get spec.sched in
   let setups = Wfs_runner.Exec.setups_of spec in
   let flows = Wfs_core.Presets.flows_of setups in
@@ -104,7 +105,7 @@ let run_one ~credit ~debit ~fairness ~invariants ~obs (spec : Spec.t) =
       ?observer:(Option.map Wfs_core.Fairness.Monitor.observer monitor)
       ?trace ?slot_probe
       ?profiler:(Option.map Wfs_obs.Profiler.hooks obs.profiler)
-      ~invariants ~horizon:spec.horizon setups
+      ~invariants ~fast_path ~horizon:spec.horizon setups
   in
   match Wfs_core.Simulator.run cfg sched with
   | metrics ->
@@ -148,8 +149,9 @@ let agg ?decimals results f =
    rows are skipped, the typed errors are listed in a failure table, and
    the process exits 3 instead of aborting mid-sweep. *)
 let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
-    ~retries ~max_slots ~invariants ~flow_base ~metrics_out ~trace_out
-    ~trace_csv ~trace_stride ~profile ~flight_recorder labeled_specs =
+    ~retries ~max_slots ~invariants ~fast_path ~flow_base ~metrics_out
+    ~trace_out ~trace_csv ~trace_stride ~profile ~flight_recorder
+    labeled_specs =
   let units =
     Array.of_list
       (List.concat_map
@@ -214,7 +216,8 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
                      ("horizon", string_of_int sp.Spec.horizon);
                      ("max_slots", string_of_int cap);
                    ])
-        | _ -> Ok (run_one ~credit ~debit ~fairness ~invariants ~obs sp))
+        | _ ->
+            Ok (run_one ~credit ~debit ~fairness ~invariants ~fast_path ~obs sp))
       units
   in
   List.iter Wfs_obs.Sink.close sinks;
@@ -441,8 +444,8 @@ let topo_params_equal a b =
    process exits 3.  With --resume, completed specs replay from the topo
    journal and an interrupted spec is re-run with every already-journaled
    barrier snapshot verified against the replay. *)
-let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~metrics_out
-    ~resume ~fault_timeline labeled_specs =
+let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~fast_path
+    ~metrics_out ~resume ~fault_timeline labeled_specs =
   let module J = Wfs_util.Json in
   let module TJ = Wfs_topo.Topo_journal in
   let columns =
@@ -463,6 +466,7 @@ let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~metrics_out
       ("credit", J.Int credit);
       ("debit", J.Int debit);
       ("invariants", J.Bool invariants);
+      ("fast_path", J.Bool fast_path);
     ]
   in
   let journal =
@@ -508,7 +512,7 @@ let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~metrics_out
           match
             let t =
               Wfs_topo.Topology.of_spec ~credit_limit:credit
-                ~debit_limit:debit ~invariants sp
+                ~debit_limit:debit ~invariants ~fast_path sp
             in
             let on_barrier =
               Option.map
@@ -727,9 +731,10 @@ let check_metrics path =
       exit 2
 
 let main_checked example seed horizon sum credit debit csv fairness algo info
-    scenario specs seeds jobs list retries max_slots invariants metrics_out
-    trace_out trace_csv trace_stride profile flight_recorder cells mobility
-    epoch faults resume fault_timeline check_trace_path check_metrics_path =
+    scenario specs seeds jobs list retries max_slots invariants fast_path
+    metrics_out trace_out trace_csv trace_stride profile flight_recorder cells
+    mobility epoch faults resume fault_timeline check_trace_path
+    check_metrics_path =
   (match check_trace_path with Some p -> check_trace p | None -> ());
   (match check_metrics_path with Some p -> check_metrics p | None -> ());
   let output = if csv then Csv else Table in
@@ -767,8 +772,8 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
   in
   let render =
     run_and_render ~output ~jobs ~seeds ~credit ~debit ~fairness ~retries
-      ~max_slots ~invariants ~metrics_out ~trace_out ~trace_csv ~trace_stride
-      ~profile ~flight_recorder
+      ~max_slots ~invariants ~fast_path ~metrics_out ~trace_out ~trace_csv
+      ~trace_stride ~profile ~flight_recorder
   in
   if list then list_schedulers ()
   else begin
@@ -888,21 +893,22 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
           exit 2
         end;
         render_topo ~title ~output ~jobs ~credit ~debit ~invariants
-          ~metrics_out ~resume ~fault_timeline topo_runs
+          ~fast_path ~metrics_out ~resume ~fault_timeline topo_runs
   end
 
 (* Bad scheduler names, malformed specs and out-of-range examples all raise
    Invalid_argument (or a typed Bad_spec error) with a helpful message —
    turn them into a clean exit. *)
 let main example seed horizon sum credit debit csv fairness algo info scenario
-    specs seeds jobs list retries max_slots invariants metrics_out trace_out
-    trace_csv trace_stride profile flight_recorder cells mobility epoch faults
-    resume fault_timeline check_trace_path check_metrics_path =
+    specs seeds jobs list retries max_slots invariants fast_path metrics_out
+    trace_out trace_csv trace_stride profile flight_recorder cells mobility
+    epoch faults resume fault_timeline check_trace_path check_metrics_path =
   try
     main_checked example seed horizon sum credit debit csv fairness algo info
-      scenario specs seeds jobs list retries max_slots invariants metrics_out
-      trace_out trace_csv trace_stride profile flight_recorder cells mobility
-      epoch faults resume fault_timeline check_trace_path check_metrics_path
+      scenario specs seeds jobs list retries max_slots invariants fast_path
+      metrics_out trace_out trace_csv trace_stride profile flight_recorder
+      cells mobility epoch faults resume fault_timeline check_trace_path
+      check_metrics_path
   with
   | Invalid_argument msg ->
       Printf.eprintf "wfs_sim: %s\n" msg;
@@ -1014,6 +1020,19 @@ let max_slots_arg =
         ~doc:
           "Deterministic slot-budget watchdog: refuse any run whose horizon \
            exceeds N slots instead of executing it.")
+
+let fast_path_arg =
+  Arg.(
+    value & flag
+    & info [ "fast-path" ]
+        ~doc:
+          "Run the event-compressed slot engine: quiescent windows (no \
+           backlog, no scheduled arrival) are advanced in closed form \
+           instead of slot by slot.  Byte-identical results by \
+           construction; automatically degenerates to the reference loop \
+           when per-slot telemetry ($(b,--trace-out), $(b,--metrics-out), \
+           $(b,--profile), $(b,--check-invariants), $(b,--fairness)) is \
+           attached.")
 
 let invariants_arg =
   Arg.(
@@ -1164,7 +1183,8 @@ let cmd =
       const main $ example_arg $ seed_arg $ horizon_arg $ sum_arg $ credit_arg
       $ debit_arg $ csv_arg $ fairness_arg $ algo_arg $ info_arg $ scenario_arg
       $ spec_arg $ seeds_arg $ jobs_arg $ list_arg $ retries_arg
-      $ max_slots_arg $ invariants_arg $ metrics_out_arg $ trace_out_arg
+      $ max_slots_arg $ invariants_arg $ fast_path_arg $ metrics_out_arg
+      $ trace_out_arg
       $ trace_csv_arg $ trace_stride_arg $ profile_arg $ flight_recorder_arg
       $ cells_arg $ mobility_arg $ epoch_arg $ faults_arg $ resume_arg
       $ fault_timeline_arg $ check_trace_arg $ check_metrics_arg)

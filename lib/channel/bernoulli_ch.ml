@@ -4,4 +4,13 @@ let create ~rng ~good_prob =
   let step _slot =
     if Wfs_util.Rng.bernoulli rng good_prob then Channel.Good else Channel.Bad
   in
-  Channel.make ~label:(Printf.sprintf "bernoulli(%g)" good_prob) step
+  let bulk lo hi =
+    let last = ref Channel.Good in
+    for _ = lo to hi do
+      last :=
+        (if Wfs_util.Rng.bernoulli rng good_prob then Channel.Good
+         else Channel.Bad)
+    done;
+    !last
+  in
+  Channel.make ~label:(Printf.sprintf "bernoulli(%g)" good_prob) ~bulk step

@@ -17,10 +17,18 @@ val state_is_good : state -> bool
 
 type t
 
-val make : label:string -> ?initial:state -> (int -> state) -> t
+val make :
+  label:string -> ?initial:state -> ?bulk:(int -> int -> state) -> (int -> state) -> t
 (** [make ~label step] wraps [step], called once per slot with the slot
     index to produce that slot's state.  [initial] (default [Good]) seeds
-    {!previous_state} for slot 0's prediction. *)
+    {!previous_state} for slot 0's prediction.
+
+    [bulk lo hi], when given, must be observationally equivalent to calling
+    [step] on every slot of [lo..hi] in order and returning the last state
+    — identical RNG draws in the identical order, just without a closure
+    call per slot.  {!advance_run} uses it to replay unobserved spans; the
+    qcheck stream-equivalence suite pins each implementation to its
+    [step]. *)
 
 val make_const : label:string -> state -> t
 (** [make_const ~label st] is a channel that is statically known to stay in
@@ -35,6 +43,16 @@ val is_static : t -> bool
 val advance : t -> slot:int -> state
 (** Draw the state for [slot].  Must be called with strictly increasing
     slot indices, exactly once per slot. *)
+
+val advance_run : t -> from:int -> slot:int -> state
+(** Catch a channel up across a span it was not observed in: equivalent to
+    calling {!advance} at [from, from+1, ..., slot] — the same draws in the
+    same order (via the [bulk] hook when the process supplies one), with
+    {!state} and {!previous_state} left as the last two slots' states.
+    The event-compressed simulator calls this at the first observation
+    after a quiescent window, and at the end of every advance window so no
+    lazily-deferred draws outlive an epoch barrier.
+    @raise Invalid_argument unless [last advanced < from <= slot]. *)
 
 val state : t -> state
 (** State of the most recently advanced slot.

@@ -16,8 +16,19 @@ let create ~rng ~pg ~pe ?start_good () =
     if Wfs_util.Rng.bernoulli rng p_flip then good := not !good;
     if !good then Channel.Good else Channel.Bad
   in
+  (* One Bernoulli per slot, slot index unused: the bulk span is the same
+     loop with the closure call and state boxing peeled off. *)
+  let bulk lo hi =
+    let g = ref !good in
+    for _ = lo to hi do
+      let p_flip = if !g then pe else pg in
+      if Wfs_util.Rng.bernoulli rng p_flip then g := not !g
+    done;
+    good := !g;
+    if !g then Channel.Good else Channel.Bad
+  in
   let initial = if !good then Channel.Good else Channel.Bad in
-  Channel.make ~label:(Printf.sprintf "ge(pg=%g,pe=%g)" pg pe) ~initial step
+  Channel.make ~label:(Printf.sprintf "ge(pg=%g,pe=%g)" pg pe) ~initial ~bulk step
 
 let of_burstiness ~rng ~good_prob ~sum () =
   if not (good_prob > 0. && good_prob < 1.) then

@@ -43,7 +43,19 @@ let create ~rng ?(start = 0) spec =
     if Wfs_util.Rng.bernoulli rng spec.good_prob.(!state) then Channel.Good
     else Channel.Bad
   in
-  Channel.make ~label:(Printf.sprintf "markov(%d states)" n) step
+  (* Two draws per slot (transition pick, then emission), slot-independent;
+     the bulk span replays them verbatim, reporting only the last slot. *)
+  let bulk lo hi =
+    let last = ref Channel.Good in
+    for _ = lo to hi do
+      state := step_state rng spec.transition.(!state);
+      last :=
+        (if Wfs_util.Rng.bernoulli rng spec.good_prob.(!state) then Channel.Good
+         else Channel.Bad)
+    done;
+    !last
+  in
+  Channel.make ~label:(Printf.sprintf "markov(%d states)" n) ~bulk step
 
 let stationary spec =
   validate spec;

@@ -279,6 +279,17 @@ let instance t =
               fs.lag <- fs.lag + lag;
               { Wireless_sched.lag = float_of_int lag; credit = 0 });
         };
+    quiescent =
+      (* With no backlog, CIF-Q's select is a pure no-op in both indexed
+         and naive modes (empty heap / no backlogged flow -> None, nothing
+         mutated) and there is no end-of-slot hook: idle slots carry zero
+         state, so the whole window is absorbed by doing nothing. *)
+      Some
+        {
+          Wireless_sched.backlog_empty =
+            (fun () -> Flow_set.cardinal t.backlog = 0);
+          advance_quiescent = (fun ~now:_ ~slots -> slots);
+        };
   }
 
 let lag t ~flow = t.flows.(flow).lag

@@ -152,6 +152,24 @@ let drop_expired t ~flow ~now ~bound =
 
 let queue_length t flow = Queue.length t.queues.(flow)
 
+(* An empty-backlog slot still turns the round-robin: select stamps [now],
+   fires the stale-grant advance if [remaining <= 0] (possible on the first
+   idle slot only — every later slot leaves a fresh grant >= 1), then ends
+   with [current] one step on and a fresh grant (the indexed miss directly;
+   the naive walk via n+1 advances netting one step mod n).  [k] such slots
+   therefore rotate [current] by [k] (+1 for the initial stale grant) and
+   leave [remaining] at the landing flow's weight — one modular addition. *)
+let[@hot] advance_quiescent t ~now ~slots =
+  let n = n_flows t in
+  if n = 0 || slots = 0 then 0
+  else begin
+    let extra = if t.remaining <= 0 then 1 else 0 in
+    t.now <- now + slots - 1;
+    t.current <- (t.current + extra + slots) mod n;
+    t.remaining <- t.weights.(t.current);
+    slots
+  end
+
 let instance t =
   {
     Wireless_sched.name = "CSDPS";
@@ -182,4 +200,12 @@ let instance t =
     (* CSDPS grants are positional (whose turn in the round-robin), not a
        flow-attached account — nothing survives a cell change. *)
     handoff = None;
+    quiescent =
+      Some
+        {
+          Wireless_sched.backlog_empty =
+            (fun () -> Flow_set.cardinal t.backlog = 0);
+          advance_quiescent =
+            (fun ~now ~slots -> advance_quiescent t ~now ~slots);
+        };
   }

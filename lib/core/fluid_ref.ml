@@ -71,6 +71,20 @@ let step t =
   done;
   t.slot <- t.slot + 1
 
+let is_busy t =
+  let n = Array.length t.weights in
+  let busy = ref false in
+  let i = ref 0 in
+  while (not !busy) && !i < n do
+    if t.queue.(!i) > eps then busy := true;
+    incr i
+  done;
+  !busy
+
+let skip_idle t ~slots =
+  if slots < 0 then Wfs_util.Error.invalid "Fluid_ref.skip_idle" "negative slots";
+  t.slot <- t.slot + slots
+
 let slot t = t.slot
 let queue t ~flow = t.queue.(flow)
 let service t ~flow = t.service.(flow)

@@ -29,6 +29,18 @@ val virtual_time : t -> float
 val step : t -> unit
 (** Advance one slot of fluid service. *)
 
+val is_busy : t -> bool
+(** [true] iff some flow has fluid backlog above the drain epsilon — the
+    exact predicate {!step}'s water-filling uses to decide whether a slot
+    does any work.  When [false] (and no arrivals intervene), a step only
+    increments the slot counter. *)
+
+val skip_idle : t -> slots:int -> unit
+(** Advance the slot counter by [slots] without serving anything.
+    Identical to calling {!step} [slots] times while {!is_busy} is [false]:
+    an idle step moves no fluid and leaves [v] unchanged, so the closed
+    form is a single addition. *)
+
 val slot : t -> int
 (** Number of slots stepped so far. *)
 

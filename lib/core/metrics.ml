@@ -42,6 +42,11 @@ let on_deliver t ~flow ~delay =
 
 let on_drop t ~flow = (acc t flow).dropped <- (acc t flow).dropped + 1
 let on_idle_slot t = t.idle <- t.idle + 1
+
+let on_idle_slots t ~count =
+  if count < 0 then Wfs_util.Error.invalid "Metrics.on_idle_slots" "negative count";
+  t.idle <- t.idle + count
+
 let on_busy_slot t = t.busy <- t.busy + 1
 let on_failed_attempt t ~flow = (acc t flow).failed <- (acc t flow).failed + 1
 

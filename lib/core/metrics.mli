@@ -16,6 +16,13 @@ val on_arrival : t -> flow:int -> unit
 val on_deliver : t -> flow:int -> delay:int -> unit
 val on_drop : t -> flow:int -> unit
 val on_idle_slot : t -> unit
+
+val on_idle_slots : t -> count:int -> unit
+(** [count] idle slots at once — what the event-compressed fast path
+    records for a skipped quiescent window; equals [count] calls to
+    {!on_idle_slot}.
+    @raise Invalid_argument on a negative count. *)
+
 val on_busy_slot : t -> unit
 val on_failed_attempt : t -> flow:int -> unit
 

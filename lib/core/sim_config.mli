@@ -44,6 +44,12 @@ val with_profiler : Simulator.profiler_hooks -> t -> t
 val with_histograms : t -> t
 val with_invariants : t -> t
 
+val with_fast_path : bool -> t -> t
+(** Opt in to (or out of) the event-compressed engine — see
+    {!Simulator.config}'s [fast_path] field for the contract and the
+    degeneration rules.  Takes the value rather than being a set-only
+    step so sweeps can toggle both engines from one code path. *)
+
 val to_config : t -> Simulator.config
 (** The underlying record — every builder value is already validated. *)
 

@@ -3,6 +3,7 @@ module Arrival = Wfs_traffic.Arrival
 module Channel = Wfs_channel.Channel
 module Predictor = Wfs_channel.Predictor
 module Tracelog = Wfs_sim.Tracelog
+module Event_cal = Wfs_util.Event_cal
 
 type flow_setup = {
   flow : Params.flow;
@@ -47,10 +48,12 @@ type config = {
   profiler : profiler_hooks option;
   histograms : bool;
   invariants : bool;
+  fast_path : bool;
 }
 
 let config ?(predictor = Predictor.One_step) ?trace ?observer ?slot_probe
-    ?profiler ?(histograms = false) ?(invariants = false) ~horizon flows =
+    ?profiler ?(histograms = false) ?(invariants = false)
+    ?(fast_path = false) ~horizon flows =
   if horizon < 0 then Wfs_util.Error.invalid "Simulator.config" "negative horizon";
   if Array.length flows = 0 then Wfs_util.Error.invalid "Simulator.config" "no flows";
   Array.iteri
@@ -68,6 +71,7 @@ let config ?(predictor = Predictor.One_step) ?trace ?observer ?slot_probe
     profiler;
     histograms;
     invariants;
+    fast_path;
   }
 
 let delay_bound_of (p : Params.drop_policy) =
@@ -107,10 +111,25 @@ module Session = struct
     buffers : int array;
     first_slot : int;
     mutable next : int;
+    (* Event-compressed fast path (see docs/PERF.md).  [fast] is decided
+       once at session creation: the config asked for it, every per-slot
+       observability hook is absent, the scheduler published a quiescent
+       hook, and channels are driven directly (so [Channel.advance_run]
+       reaches the same objects the reference's [channel_state] would).
+       [cal] holds at most one pending arrival event per source;
+       [src_scanned.(i)] is the slot the next event query for source [i]
+       resumes from; [chan_next] is the slot the next dynamic-channel
+       catch-up resumes from. *)
+    fast : bool;
+    cal : Event_cal.t;
+    src_scanned : int array;
+    dynamic_channels : int array;
+    mutable statics_done : bool;
+    mutable chan_next : int;
   }
 
-  let create_generic ?metrics ?(first_slot = 0) cfg
-      (sched : Wireless_sched.instance) ~channel_state =
+  let create_generic ?metrics ?(first_slot = 0) ?(direct_channels = false)
+      cfg (sched : Wireless_sched.instance) ~channel_state =
     let n = Array.length cfg.flows in
     if first_slot < 0 || first_slot > cfg.horizon then
       Wfs_util.Error.invalidf "Simulator.Session.create"
@@ -193,6 +212,21 @@ module Session = struct
           match fs.flow.Params.buffer with None -> max_int | Some b -> b)
         cfg.flows
     in
+    let fast =
+      cfg.fast_path && direct_channels && not tracing
+      && Option.is_none cfg.slot_probe
+      && Option.is_none cfg.observer
+      && Option.is_none cfg.profiler
+      && not cfg.invariants
+      && Option.is_some sched.Wireless_sched.quiescent
+    in
+    let dynamic_channels =
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        if not static_channel.(i) then acc := i :: !acc
+      done;
+      Array.of_list !acc
+    in
     {
       cfg;
       sched;
@@ -216,6 +250,12 @@ module Session = struct
       buffers;
       first_slot;
       next = first_slot;
+      fast;
+      cal = Event_cal.create ~n;
+      src_scanned = Array.make n first_slot;
+      dynamic_channels;
+      statics_done = false;
+      chan_next = first_slot;
     }
 
   let create ?metrics ?first_slot cfg sched =
@@ -225,15 +265,17 @@ module Session = struct
     (* Channels must advance exactly once per slot, before predictions read
        them; [advance] calls [channel_state] once per flow per slot in
        phase 2. *)
-    create_generic ?metrics ?first_slot cfg sched ~channel_state
+    create_generic ?metrics ?first_slot ~direct_channels:true cfg sched
+      ~channel_state
 
   let next_slot t = t.next
   let metrics t = t.metrics
 
-  let advance t ~until =
-    if until < t.next || until > t.cfg.horizon then
-      Wfs_util.Error.invalidf "Simulator.Session.advance"
-        "until %d outside [next %d, horizon %d]" until t.next t.cfg.horizon;
+  (* Reference engine: every slot of [next, until) runs the full 7-phase
+     loop.  This is the executable spec the fast path is checked against
+     (differential lockstep, test_perf_opt) and the path every
+     observability hook runs on. *)
+  let advance_reference t ~until =
     let cfg = t.cfg in
     let sched = t.sched in
     let n = Array.length cfg.flows in
@@ -363,6 +405,178 @@ module Session = struct
     [@hot];
     t.next <- until
 
+  (* Refill the calendar for source [i] with its next arrival inside
+     [.., until): called when its previous event was consumed (or at window
+     top-up).  A [-1] answer means the source has drawn through [until - 1]
+     and stays out of the calendar for the rest of the window. *)
+  let[@hot] requery_source t ~until i =
+    let e =
+      Arrival.next_event t.cfg.flows.(i).source ~from:t.src_scanned.(i)
+        ~upto:until
+    in
+    if e < 0 then t.src_scanned.(i) <- until
+    else begin
+      Event_cal.push t.cal ~key:e ~id:i;
+      t.src_scanned.(i) <- e + 1
+    end
+
+  (* One full slot on the fast path: the reference loop's seven phases with
+     arrivals read off the calendar instead of polled per source, and
+     channels caught up lazily from [chan_next].  Runs only for state-
+     changing slots; byte-identity with the reference slot is the
+     lockstep suite's induction step. *)
+  let[@hot] fast_slot t ~until s =
+    let cfg = t.cfg in
+    let flows = cfg.flows in
+    let sched = t.sched in
+    let metrics = t.metrics in
+    let seqs = t.seqs in
+    let states = t.states in
+    let buffers = t.buffers in
+    let cal = t.cal in
+    t.cur_slot := s;
+    (* 1. Arrivals: exactly the sources whose next event lands on [s],
+       popped in ascending flow id — the reference's scan order. *)
+    while Event_cal.min_key cal = s do
+      let i = Event_cal.pop cal in
+      let count = Arrival.pending_count flows.(i).source in
+      for _ = 1 to count do
+        let pkt = Packet.make ~flow:i ~seq:seqs.(i) ~arrival:s () in
+        seqs.(i) <- seqs.(i) + 1;
+        Metrics.on_arrival metrics ~flow:i;
+        if sched.queue_length i >= buffers.(i) then
+          Metrics.on_drop metrics ~flow:i
+        else sched.enqueue ~slot:s pkt
+      done;
+      if t.src_scanned.(i) < until then requery_source t ~until i
+    done;
+    (* 2-3. Channels: statics once per session, dynamics caught up from
+       the last observed slot in one run. *)
+    if not t.statics_done then begin
+      let static_channel = t.static_channel in
+      for i = 0 to Array.length static_channel - 1 do
+        if static_channel.(i) then
+          states.(i) <- Channel.advance flows.(i).channel ~slot:s
+      done;
+      t.statics_done <- true
+    end;
+    let dyn = t.dynamic_channels in
+    let from = t.chan_next in
+    for di = 0 to Array.length dyn - 1 do
+      let i = dyn.(di) in
+      states.(i) <- Channel.advance_run flows.(i).channel ~from ~slot:s
+    done;
+    t.chan_next <- s + 1;
+    (* 4. Delay-bound drops. *)
+    let delay_flows = t.delay_flows in
+    let delay_bounds = t.delay_bounds in
+    for di = 0 to Array.length delay_flows - 1 do
+      let i = delay_flows.(di) in
+      match sched.drop_expired ~flow:i ~now:s ~bound:delay_bounds.(i) with
+      | [] -> ()
+      | dropped ->
+          (* lint: allow R7 rare path: allocates only on slots where delay drops fired *)
+          List.iter (fun (_ : Packet.t) -> Metrics.on_drop metrics ~flow:i)
+            dropped
+    done;
+    (* 5-6. Selection and transmission outcome. *)
+    let selected = sched.select ~slot:s ~predicted_good:t.predicted_good in
+    (match selected with
+    | None -> Metrics.on_idle_slot metrics
+    | Some f -> (
+        Metrics.on_busy_slot metrics;
+        match sched.head f with
+        | None ->
+            Wfs_util.Error.invalidf "Simulator.run"
+              "scheduler selected flow %d with empty queue" f
+        | Some pkt ->
+            if Channel.state_is_good states.(f) then begin
+              sched.complete ~flow:f;
+              Metrics.on_deliver metrics ~flow:f
+                ~delay:(s - pkt.Packet.arrival)
+            end
+            else begin
+              pkt.Packet.attempts <- pkt.Packet.attempts + 1;
+              Metrics.on_failed_attempt metrics ~flow:f;
+              sched.fail ~flow:f;
+              match retx_limit_of flows.(f).flow.Params.drop with
+              | Some limit when pkt.Packet.attempts > limit ->
+                  sched.drop_head ~flow:f;
+                  Metrics.on_drop metrics ~flow:f
+              | Some _ | None -> ()
+            end));
+    (* 7. End of slot. *)
+    sched.on_slot_end ~slot:s
+
+  (* Event-compressed engine: identical observable behaviour to
+     [advance_reference], reached by running only the state-changing slots
+     and absorbing each quiescent window — no queued packet anywhere, no
+     arrival scheduled before the window's end — through the scheduler's
+     closed-form [advance_quiescent].  Channels catch up lazily
+     ([Channel.advance_run]) and are forced current at the window end so
+     no deferred draw crosses an epoch barrier (a dissolving topology
+     session leaves its channels exactly where the reference would). *)
+  let advance_fast t ~until ~(q : Wireless_sched.quiescent) =
+    let live_sources = t.live_sources in
+    let metrics = t.metrics in
+    let cal = t.cal in
+    (* Top-up: between advance calls the calendar is empty and every live
+       source was scanned through the previous window, so each needs one
+       query into the new one. *)
+    (for li = 0 to Array.length live_sources - 1 do
+      let i = live_sources.(li) in
+      if t.src_scanned.(i) < until then requery_source t ~until i
+    done;
+    let slot = ref t.next in
+    while !slot < until do
+      let s = !slot in
+      let nk = Event_cal.min_key cal in
+      if nk > s && q.backlog_empty () then begin
+        let stop = if nk < until then nk else until in
+        let absorbed = q.advance_quiescent ~now:s ~slots:(stop - s) in
+        if absorbed > 0 then begin
+          Metrics.on_idle_slots metrics ~count:absorbed;
+          slot := s + absorbed
+        end
+        else begin
+          (* The scheduler declined the window (always allowed): run one
+             reference-equivalent slot and re-ask. *)
+          fast_slot t ~until s;
+          slot := s + 1
+        end
+      end
+      else begin
+        fast_slot t ~until s;
+        slot := s + 1
+      end
+    done)
+    [@hot];
+    (* Window-end channel catch-up: every dynamic channel must have drawn
+       through [until - 1] before control returns (the next window, or a
+       successor session after a topology epoch, resumes from there). *)
+    if t.chan_next < until then begin
+      let flows = t.cfg.flows in
+      let dyn = t.dynamic_channels in
+      let from = t.chan_next in
+      for di = 0 to Array.length dyn - 1 do
+        let i = dyn.(di) in
+        t.states.(i) <-
+          Channel.advance_run flows.(i).channel ~from ~slot:(until - 1)
+      done;
+      t.chan_next <- until
+    end;
+    t.next <- until
+
+  let advance t ~until =
+    if until < t.next || until > t.cfg.horizon then
+      Wfs_util.Error.invalidf "Simulator.Session.advance"
+        "until %d outside [next %d, horizon %d]" until t.next t.cfg.horizon;
+    if t.fast then
+      match t.sched.Wireless_sched.quiescent with
+      | Some q -> advance_fast t ~until ~q
+      | None -> advance_reference t ~until
+    else advance_reference t ~until
+
   let finish t =
     advance t ~until:t.cfg.horizon;
     t.metrics
@@ -394,5 +608,8 @@ let run_with_channels cfg sched ~channel_states =
         Array.mapi (fun i fs -> { fs with channel = replay.(i) }) cfg.flows;
     }
   in
+  (* [cfg.flows] was just rewritten to hold the replay channels, so direct
+     channel access reaches the same objects [channel_state] drives. *)
   let channel_state ~flow ~slot = Channel.advance replay.(flow) ~slot in
-  Session.finish (Session.create_generic cfg sched ~channel_state)
+  Session.finish
+    (Session.create_generic ~direct_channels:true cfg sched ~channel_state)

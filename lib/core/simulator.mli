@@ -85,6 +85,20 @@ type config = {
           scheduler probes and non-mutating {!Wfs_channel.Predictor.peek}
           views, so checked runs are byte-identical to unchecked ones for
           every predictor, [Periodic_snoop] included. *)
+  fast_path : bool;
+      (** opt in to the event-compressed engine: quiescent windows — no
+          packet queued anywhere and no arrival scheduled before the
+          window's end — are absorbed in closed form through the
+          scheduler's {!Wireless_sched.quiescent} hook instead of being
+          stepped slot by slot.  Byte-identical to the reference loop by
+          construction (metrics, selections, RNG sample paths; enforced by
+          the differential lockstep suite).  Requires per-object RNG
+          streams (one [Rng.split] per source/channel, the repo-wide
+          convention) — a single stream shared across objects would be
+          re-interleaved.  Degenerates silently to the reference loop
+          whenever any per-slot hook is attached (trace, observer,
+          slot probe, profiler, invariants) or the scheduler publishes no
+          quiescent hook.  Off by default. *)
 }
 
 val config :
@@ -95,6 +109,7 @@ val config :
   ?profiler:profiler_hooks ->
   ?histograms:bool ->
   ?invariants:bool ->
+  ?fast_path:bool ->
   horizon:int ->
   flow_setup array ->
   config

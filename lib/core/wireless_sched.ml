@@ -24,6 +24,11 @@ type handoff = {
   import : flow:int -> carry -> carry;
 }
 
+type quiescent = {
+  backlog_empty : unit -> bool;
+  advance_quiescent : now:int -> slots:int -> int;
+}
+
 type instance = {
   name : string;
   enqueue : slot:int -> Wfs_traffic.Packet.t -> unit;
@@ -37,4 +42,5 @@ type instance = {
   on_slot_end : slot:int -> unit;
   probe : probe;
   handoff : handoff option;
+  quiescent : quiescent option;
 }

@@ -83,6 +83,32 @@ type handoff = {
           the flow's first slot in this scheduler. *)
 }
 
+(** {1 Quiescent-slot compression}
+
+    A slot is {e quiescent} for a scheduler when it holds no backlog: no
+    enqueue happens, [select] returns [None], and the only state that
+    moves is whatever per-slot clockwork the discipline runs while idle
+    (IWFQ's fluid reference slot counter, CSDPS's round-robin rotation).
+    The event-compressed simulator asks the scheduler to advance that
+    clockwork across a whole idle window in closed form instead of
+    calling [select]/[on_slot_end] once per slot. *)
+type quiescent = {
+  backlog_empty : unit -> bool;
+      (** [true] iff no flow has a queued packet.  Read-only.  While this
+          holds and no arrival intervenes, every slot is quiescent. *)
+  advance_quiescent : now:int -> slots:int -> int;
+      (** [advance_quiescent ~now ~slots] advances the scheduler's idle
+          clockwork as if the per-slot driver ran [slots] consecutive
+          empty slots starting at slot [now] (no enqueues, idle selects,
+          end-of-slot hooks), and returns how many slots were actually
+          absorbed, in [0..slots].  A return of [k < slots] tells the
+          driver to fall back to the per-slot path at slot [now + k];
+          returning [0] is always safe.  Must leave the scheduler
+          byte-identical (selections, tags, credits, metrics thereafter)
+          to the stepped execution — the differential lockstep suite
+          enforces this per scheduler. *)
+}
+
 type instance = {
   name : string;
   enqueue : slot:int -> Wfs_traffic.Packet.t -> unit;
@@ -114,4 +140,8 @@ type instance = {
           flow-attachable ({!Wps} credits, {!Cifq} lag).  [None] when the
           scheduler has no carryable per-flow state (IWFQ derives lag
           from its fluid reference; CSDPS grants are positional). *)
+  quiescent : quiescent option;
+      (** Closed-form idle-window advancement; [None] forces the per-slot
+          path (the simulator's fast path degenerates to the reference
+          loop for such schedulers). *)
 }

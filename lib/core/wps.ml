@@ -403,6 +403,29 @@ let instance t =
                 credit = Credit.admit t.flows.(flow).credit carry.Wireless_sched.credit;
               });
         };
+    quiescent =
+      (* The first idle select is genuine work: it tears the stale frame
+         down (dropping departed members, closing credit accounts at the
+         frame boundary) and leaves members/frame/ring empty.  Every later
+         idle select is observationally a no-op — with nothing backlogged
+         the frame stays empty and the predictor is provably never
+         consulted (all pick branches require backlog).  So one real
+         select absorbs the whole window; the constant-false predictor
+         stands in for the never-read prediction. *)
+      Some
+        {
+          Wireless_sched.backlog_empty =
+            (fun () -> Flow_set.cardinal t.backlog = 0);
+          advance_quiescent =
+            (fun ~now ~slots ->
+              if slots > 0 then
+                (match select t ~slot:now ~predicted_good:(fun _ -> false) with
+                | None -> ()
+                | Some f ->
+                    Wfs_util.Error.invalidf "Wps.advance_quiescent"
+                      "selected flow %d with empty backlog" f);
+              slots);
+        };
   }
 
 let credit t ~flow = Credit.balance t.flows.(flow).credit

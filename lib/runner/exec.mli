@@ -25,11 +25,13 @@ val run :
   ?profiler:Wfs_core.Simulator.profiler_hooks ->
   ?histograms:bool ->
   ?invariants:bool ->
+  ?fast_path:bool ->
   Spec.t ->
   Wfs_core.Metrics.t
 (** Run one spec to completion in the calling domain.  The optional
     scheduler knobs are forwarded to the registry constructor; [observer],
-    [histograms] and [invariants] to {!Wfs_core.Simulator.config}.
+    [histograms], [invariants] and [fast_path] to
+    {!Wfs_core.Simulator.config}.
     [probe] is a {e builder}: the scheduler instance only exists inside
     this call, so the caller passes a function from instance to slot probe
     (e.g. [Wfs_obs.Probe.create ~n_flows]) and it is invoked once, after
@@ -57,6 +59,7 @@ val run_outcome :
   ?flight_recorder:int ->
   ?histograms:bool ->
   ?invariants:bool ->
+  ?fast_path:bool ->
   ?max_slots:int ->
   Spec.t ->
   (Wfs_core.Metrics.t, Wfs_util.Error.t) result

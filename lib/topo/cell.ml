@@ -25,6 +25,7 @@ type t = {
   horizon : int;
   histograms : bool;
   invariants : bool;
+  fast_path : bool;
   totals : Metrics.t;  (* indexed by global flow id *)
   ins : Instruments.t;
   epochs : Instruments.counter;
@@ -122,14 +123,16 @@ let install t ~slot parcels =
       Sim_config.v ~horizon:t.horizon setups
       |> Sim_config.with_predictor t.entry.Registry.predictor
       |> (if t.histograms then Sim_config.with_histograms else Fun.id)
-      |> if t.invariants then Sim_config.with_invariants else Fun.id
+      |> (if t.invariants then Sim_config.with_invariants else Fun.id)
+      |> Sim_config.with_fast_path t.fast_path
     in
     t.sched <- Some sched;
     t.session <- Some (Sim_config.start ~first_slot:slot sched cfg)
   end
 
 let create ?credit_limit ?debit_limit ?(histograms = false)
-    ?(invariants = false) ~id ~sched ~horizon ~n_total members =
+    ?(invariants = false) ?(fast_path = false) ~id ~sched ~horizon ~n_total
+    members =
   if n_total < 1 then
     Error.invalidf "Cell.create" "n_total must be >= 1, got %d" n_total;
   let ins = Instruments.create () in
@@ -160,6 +163,7 @@ let create ?credit_limit ?debit_limit ?(histograms = false)
       horizon;
       histograms;
       invariants;
+      fast_path;
       totals = Metrics.create ~histograms ~n_flows:n_total ();
       ins;
       epochs;

@@ -47,6 +47,7 @@ val create :
   ?debit_limit:int ->
   ?histograms:bool ->
   ?invariants:bool ->
+  ?fast_path:bool ->
   id:int ->
   sched:Wfs_core.Registry.entry ->
   horizon:int ->

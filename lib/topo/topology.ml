@@ -30,7 +30,7 @@ type t = {
    consecutive-seed convention of Exec.replicate. *)
 let cell_seed ~seed ~cell = seed + (cell * 1_000_003)
 
-let of_spec ?credit_limit ?debit_limit ?histograms ?invariants
+let of_spec ?credit_limit ?debit_limit ?histograms ?invariants ?fast_path
     (spec : Spec.t) =
   let topo =
     match spec.topo with
@@ -105,7 +105,8 @@ let of_spec ?credit_limit ?debit_limit ?histograms ?invariants
                (fun i setup -> { Cell.gid = offsets.(c) + i; setup })
                roster)
         in
-        Cell.create ?credit_limit ?debit_limit ?histograms ?invariants ~id:c
+        Cell.create ?credit_limit ?debit_limit ?histograms ?invariants
+          ?fast_path ~id:c
           ~sched:entry ~horizon:spec.horizon ~n_total:n_flows members)
       rosters
   in

@@ -50,6 +50,7 @@ val of_spec :
   ?debit_limit:int ->
   ?histograms:bool ->
   ?invariants:bool ->
+  ?fast_path:bool ->
   Wfs_runner.Spec.t ->
   t
 (** Build a topology from a spec carrying a topology clause.  The

@@ -1,8 +1,52 @@
-type t = { label : string; mean_rate : float; null : bool; step : int -> int }
+type t = {
+  label : string;
+  mean_rate : float;
+  null : bool;
+  step : int -> int;
+  next_event : from:int -> upto:int -> int;
+  pending : int ref;
+}
 
-let make ~label ~mean_rate step = { label; mean_rate; null = false; step }
-let never ?(label = "never") () = { label; mean_rate = 0.; null = true; step = (fun _ -> 0) }
+(* The default event query replays [step] slot by slot, so any process is
+   event-queryable with exactly the stepwise draw sequence; processes with
+   draw-free quiescent spans (CBR, MMPP, Pareto on-off) supply a [next_event]
+   builder that jumps them in closed form.  The builder receives the pending
+   cell so the count at the returned slot comes back without allocating. *)
+let stepwise_next_event step pending ~from ~upto =
+  let found = ref (-1) in
+  let s = ref from in
+  while !found < 0 && !s < upto do
+    let c = step !s in
+    if c > 0 then begin
+      pending := c;
+      found := !s
+    end;
+    incr s
+  done;
+  !found
+
+let make ~label ~mean_rate ?next_event step =
+  let pending = ref 0 in
+  let next_event =
+    match next_event with
+    | Some build -> build pending
+    | None -> stepwise_next_event step pending
+  in
+  { label; mean_rate; null = false; step; next_event; pending }
+
+let never ?(label = "never") () =
+  {
+    label;
+    mean_rate = 0.;
+    null = true;
+    step = (fun _ -> 0);
+    next_event = (fun ~from:_ ~upto:_ -> -1);
+    pending = ref 0;
+  }
+
 let is_never t = t.null
 let arrivals t ~slot = t.step slot
+let next_event t ~from ~upto = t.next_event ~from ~upto
+let pending_count t = !(t.pending)
 let label t = t.label
 let mean_rate t = t.mean_rate

@@ -3,15 +3,38 @@
     An arrival process is queried once per slot and answers how many packets
     arrive during that slot.  Concrete processes (CBR, Poisson, MMPP, on-off,
     trace) live in sibling modules and all construct values of this type, so
-    simulators can mix heterogeneous sources freely. *)
+    simulators can mix heterogeneous sources freely.
+
+    {b Two query disciplines, one sample path.}  A slot-by-slot driver calls
+    {!arrivals} for every slot; an event-compressed driver calls
+    {!next_event} to jump to the next non-empty slot.  Both consume the
+    process's RNG draws in the same order, so switching disciplines
+    mid-stream (e.g. a topology session dissolving at an epoch barrier and
+    its successor resuming slot-by-slot) continues the identical sample
+    path.  Within one window, use one discipline: after
+    [next_event ~from ~upto] the process state is as if [arrivals] had been
+    called for every slot of [from..] up to the returned slot (or through
+    [upto - 1] on [-1]), so the next query must resume from there. *)
 
 type t
 
-val make : label:string -> mean_rate:float -> (int -> int) -> t
+val make :
+  label:string ->
+  mean_rate:float ->
+  ?next_event:(int ref -> from:int -> upto:int -> int) ->
+  (int -> int) ->
+  t
 (** [make ~label ~mean_rate step] wraps [step], which receives the slot index
     and returns the number of arrivals in that slot.  [mean_rate] is the
     long-run packets-per-slot average, used for load accounting and display
-    only. *)
+    only.
+
+    [next_event] overrides the default event query (which replays [step]
+    slot by slot) with a closed-form one; the builder receives the pending
+    cell it must set to the arrival count of any slot it returns.  The
+    override must be draw-equivalent to the stepwise replay: same RNG draws
+    in the same order, no draws consumed past the last slot it accounts
+    for. *)
 
 val never : ?label:string -> unit -> t
 (** A source that is statically known to emit nothing, ever.  Equivalent to
@@ -27,6 +50,19 @@ val is_never : t -> bool
 val arrivals : t -> slot:int -> int
 (** Number of packets arriving in [slot].  Must be called with strictly
     increasing slot indices; processes may keep internal state. *)
+
+val next_event : t -> from:int -> upto:int -> int
+(** The first slot in [[from, upto)] with at least one arrival, or [-1] when
+    that window is empty.  Consumes exactly the draws the stepwise
+    {!arrivals} replay of the covered slots consumes — and none beyond
+    [upto - 1], so no pre-drawn state outlives the window (epoch-barrier
+    safe).  The returned slot's arrival count is read with {!pending_count};
+    the subsequent query (or {!arrivals} call) must resume at the following
+    slot.  Allocation-free. *)
+
+val pending_count : t -> int
+(** Arrival count at the slot the last successful {!next_event} returned.
+    Meaningless before the first successful query. *)
 
 val label : t -> string
 

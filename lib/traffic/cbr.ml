@@ -10,6 +10,28 @@ let create ?(phase = 0.) ~interarrival () =
     done;
     !count
   in
+  (* Draw-free closed form: [step] only consults [next], so the first
+     non-empty slot of a window is where [next] lands — clamped to [from],
+     because arrivals accumulated before a window (a gap, or a phase behind
+     the resume slot) are emitted on the first slot actually queried,
+     exactly as the stepwise scan does. *)
+  let next_event pending ~from ~upto =
+    if !next >= float_of_int upto then -1
+    else begin
+      let s =
+        let at = int_of_float (floor !next) in
+        if at < from then from else at
+      in
+      let slot_end = float_of_int (s + 1) in
+      let count = ref 0 in
+      while !next < slot_end do
+        incr count;
+        next := !next +. interarrival
+      done;
+      pending := !count;
+      s
+    end
+  in
   Arrival.make
     ~label:(Printf.sprintf "cbr(1/%g)" interarrival)
-    ~mean_rate:(1. /. interarrival) step
+    ~mean_rate:(1. /. interarrival) ~next_event step

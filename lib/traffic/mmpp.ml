@@ -51,10 +51,37 @@ let create ~rng ?(on_to_off = 9.) ?(off_to_on = 1.) ?(time_scale = 1.) ~on_rate 
     count := !count + arrivals_in_segment st (slot_end -. !cursor);
     !count
   in
+  (* A slot lying entirely inside an Off sojourn is a draw-free no-op in
+     [step] (no segment boundary, Off segments emit nothing), so the event
+     query jumps a fully-Off span straight to the slot containing the next
+     mode switch; every boundary slot goes through [step] itself, keeping
+     the sojourn and Poisson draws in stepwise order. *)
+  let next_event pending ~from ~upto =
+    let found = ref (-1) in
+    let s = ref from in
+    while !found < 0 && !s < upto do
+      if
+        (match st.mode with Off -> true | On -> false)
+        && st.next_switch >= float_of_int (!s + 1)
+      then
+        s :=
+          (if st.next_switch >= float_of_int upto then upto
+           else int_of_float st.next_switch)
+      else begin
+        let c = step !s in
+        if c > 0 then begin
+          pending := c;
+          found := !s
+        end;
+        incr s
+      end
+    done;
+    !found
+  in
   let p_on = off_to_on /. (off_to_on +. on_to_off) in
   Arrival.make
     ~label:(Printf.sprintf "mmpp(on=%g,%g/%g)" on_rate on_to_off off_to_on)
-    ~mean_rate:(on_rate *. p_on) step
+    ~mean_rate:(on_rate *. p_on) ~next_event step
 
 let paper_source ?(time_scale = 20.) ~rng ~mean_rate () =
   if mean_rate < 0. then Wfs_util.Error.invalid "Mmpp.paper_source" "negative mean_rate";

@@ -15,8 +15,25 @@ let create ~rng ?(packets_per_on_slot = 1) ~p_on_to_off ~p_off_to_on () =
     if Wfs_util.Rng.bernoulli rng p then on := not !on;
     if !on then packets_per_on_slot else 0
   in
+  (* The chain draws one Bernoulli per slot whichever mode it is in, so the
+     event query is the stepwise scan with the closure call peeled off; it
+     exists to keep the draw-equivalence contract explicit and testable. *)
+  let next_event pending ~from ~upto =
+    let found = ref (-1) in
+    let s = ref from in
+    while !found < 0 && !s < upto do
+      let p = if !on then p_on_to_off else p_off_to_on in
+      if Wfs_util.Rng.bernoulli rng p then on := not !on;
+      if !on then begin
+        pending := packets_per_on_slot;
+        found := !s
+      end;
+      incr s
+    done;
+    !found
+  in
   let p_on = p_off_to_on /. (p_off_to_on +. p_on_to_off) in
   Arrival.make
     ~label:(Printf.sprintf "onoff(%d,%g/%g)" packets_per_on_slot p_on_to_off p_off_to_on)
     ~mean_rate:(float_of_int packets_per_on_slot *. p_on)
-    step
+    ~next_event step

@@ -28,10 +28,38 @@ let create ~rng ?(packets_per_on_slot = 1) ?(shape = 1.5) ~mean_on ~mean_off () 
     decr remaining;
     if !on then packets_per_on_slot else 0
   in
+  (* Mid-period off slots are draw-free counter decrements, so a whole off
+     span collapses to one subtraction; draws happen only at period
+     boundaries, exactly where [step] makes them. *)
+  let next_event pending ~from ~upto =
+    let found = ref (-1) in
+    let s = ref from in
+    while !found < 0 && !s < upto do
+      if (not !on) && !remaining > 0 then begin
+        let span = upto - !s in
+        let skip = if !remaining < span then !remaining else span in
+        remaining := !remaining - skip;
+        s := !s + skip
+      end
+      else begin
+        if !remaining <= 0 then begin
+          on := not !on;
+          remaining := draw_period (if !on then on_scale else off_scale)
+        end;
+        decr remaining;
+        if !on then begin
+          pending := packets_per_on_slot;
+          found := !s
+        end;
+        incr s
+      end
+    done;
+    !found
+  in
   let mean_rate =
     float_of_int packets_per_on_slot *. mean_on /. (mean_on +. mean_off)
   in
   Arrival.make
     ~label:
       (Printf.sprintf "pareto-onoff(%g/%g,a=%g)" mean_on mean_off shape)
-    ~mean_rate step
+    ~mean_rate ~next_event step

@@ -1,4 +1,47 @@
 let create ~rng ~rate =
   if rate < 0. then Wfs_util.Error.invalid "Poisson.create" "negative rate";
   let step _slot = Wfs_util.Rng.poisson rng ~mean:rate in
-  Arrival.make ~label:(Printf.sprintf "poisson(%g)" rate) ~mean_rate:rate step
+  let next_event pending =
+    if rate <= 0. then fun ~from:_ ~upto:_ -> -1
+    else if rate < 500. then begin
+      (* [Rng.poisson]'s Knuth inversion with [exp (-.rate)] hoisted out of
+         the per-slot query: the identical draw sequence, without a
+         transcendental per quiescent slot. *)
+      let limit = exp (-.rate) in
+      fun ~from ~upto ->
+        let found = ref (-1) in
+        let s = ref from in
+        while !found < 0 && !s < upto do
+          let k = ref 0 in
+          let p = ref 1.0 in
+          let continue = ref true in
+          while !continue do
+            p := !p *. Wfs_util.Rng.float rng;
+            if !p <= limit then continue := false else incr k
+          done;
+          if !k > 0 then begin
+            pending := !k;
+            found := !s
+          end;
+          incr s
+        done;
+        !found
+    end
+    else
+      (* Huge-mean normal approximation inside [Rng.poisson]: nothing to
+         hoist, and virtually every slot is an event anyway. *)
+      fun ~from ~upto ->
+        let found = ref (-1) in
+        let s = ref from in
+        while !found < 0 && !s < upto do
+          let k = Wfs_util.Rng.poisson rng ~mean:rate in
+          if k > 0 then begin
+            pending := k;
+            found := !s
+          end;
+          incr s
+        done;
+        !found
+  in
+  Arrival.make ~label:(Printf.sprintf "poisson(%g)" rate) ~mean_rate:rate
+    ~next_event step

@@ -1,0 +1,112 @@
+(* Next-event calendar: a min-heap over object ids keyed by an int slot.
+
+   Built for the simulator's event-compressed fast path: each traffic
+   source owns at most one pending entry ("my next arrival is at slot k"),
+   the engine pops entries in (slot, id) order — lowest id on ties, the
+   same order the slot loop's ascending-id arrival scan produces — and
+   re-pushes the source once its following event is sampled.
+
+   Unlike {!Flow_heap} there is no lazy invalidation: an id has at most
+   one entry, keys are never updated in place (pop, then push the new
+   key), so a dense position index keeps every operation O(log n) and
+   allocation-free. *)
+
+type t = {
+  n : int;
+  keys : int array;  (* heap-ordered slot keys *)
+  ids : int array;  (* heap-ordered object ids *)
+  pos : int array;  (* id -> heap index, or -1 when absent *)
+  mutable size : int;
+}
+
+let create ~n =
+  if n < 0 then Error.invalid "Event_cal.create" "negative id count";
+  let cap = Int.max n 1 in
+  {
+    n;
+    keys = Array.make cap 0;
+    ids = Array.make cap 0;
+    pos = Array.make cap (-1);
+    size = 0;
+  }
+
+let cardinal t = t.size
+let is_empty t = t.size = 0
+
+let mem t ~id =
+  if id < 0 || id >= t.n then
+    Error.invalidf "Event_cal.mem" "id %d out of range [0,%d)" id t.n;
+  t.pos.(id) >= 0
+
+(* Entry ordering: (key, id) lexicographic — lowest id wins ties. *)
+let entry_before t i j =
+  t.keys.(i) < t.keys.(j) || (t.keys.(i) = t.keys.(j) && t.ids.(i) < t.ids.(j))
+
+let swap_entries t i j =
+  let k = t.keys.(i) and d = t.ids.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.ids.(i) <- t.ids.(j);
+  t.keys.(j) <- k;
+  t.ids.(j) <- d;
+  t.pos.(t.ids.(i)) <- i;
+  t.pos.(t.ids.(j)) <- j
+
+let[@hot] sift_up t start =
+  let i = ref start in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if entry_before t !i parent then begin
+      swap_entries t !i parent;
+      i := parent
+    end
+    else continue := false
+  done
+
+let[@hot] sift_down t start =
+  let i = ref start in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && entry_before t l !smallest then smallest := l;
+    if r < t.size && entry_before t r !smallest then smallest := r;
+    if !smallest <> !i then begin
+      swap_entries t !i !smallest;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let[@hot] push t ~key ~id =
+  if id < 0 || id >= t.n then
+    Error.invalidf "Event_cal.push" "id %d out of range [0,%d)" id t.n;
+  if t.pos.(id) >= 0 then
+    Error.invalidf "Event_cal.push" "id %d already has a pending event" id;
+  let i = t.size in
+  t.keys.(i) <- key;
+  t.ids.(i) <- id;
+  t.pos.(id) <- i;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let min_key t = if t.size = 0 then max_int else t.keys.(0)
+
+let[@hot] pop t =
+  if t.size = 0 then Error.invalid "Event_cal.pop" "empty calendar";
+  let id = t.ids.(0) in
+  t.pos.(id) <- -1;
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.keys.(0) <- t.keys.(t.size);
+    t.ids.(0) <- t.ids.(t.size);
+    t.pos.(t.ids.(0)) <- 0;
+    sift_down t 0
+  end;
+  id
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    t.pos.(t.ids.(i)) <- -1
+  done;
+  t.size <- 0

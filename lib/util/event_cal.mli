@@ -1,0 +1,37 @@
+(** Next-event calendar: a min-heap over object ids keyed by an int slot.
+
+    Built for the simulator's event-compressed fast path: each traffic
+    source owns at most one pending entry ("my next arrival is at slot
+    [k]"), the engine reads {!min_key} to bound a quiescent skip, {!pop}s
+    entries in (slot, id) order — ties break toward the {e lowest id},
+    matching the slot loop's ascending-id arrival scan — and re-pushes a
+    source once its following event is sampled.
+
+    An id has at most one entry and keys are never updated in place, so a
+    dense position index keeps every operation O(log n) and
+    allocation-free. *)
+
+type t
+
+val create : n:int -> t
+(** A calendar over the id universe [0..n-1], initially empty. *)
+
+val push : t -> key:int -> id:int -> unit
+(** Insert an event for [id] at slot [key].
+    @raise Invalid_argument when [id] is out of range or already has a
+    pending event — pop it first; keys are never updated in place. *)
+
+val min_key : t -> int
+(** The earliest pending slot; [max_int] when empty — usable directly as
+    a skip bound without an emptiness branch. *)
+
+val pop : t -> int
+(** Remove and return the id with the smallest (key, id).
+    @raise Invalid_argument when empty. *)
+
+val mem : t -> id:int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop every pending event. *)

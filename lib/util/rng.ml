@@ -1,9 +1,37 @@
 (* xoshiro256** with splitmix64 seeding.  Chosen over Stdlib.Random to keep
    sample paths stable across OCaml releases and to support cheap stream
-   splitting. *)
+   splitting.
 
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+   The four 64-bit state words are stored as native-int 32-bit halves
+   rather than [int64] fields: without flambda every [int64] field store
+   boxes (seven heap allocations per draw), and the RNG is the per-slot
+   floor of the event-compressed simulator — byte-identity makes every
+   dynamic channel and live source consume exactly one draw per slot, so
+   draw cost bounds slots/s no matter how many slots the calendar skips.
+   Halved native ints keep the whole step in immediate arithmetic: zero
+   allocation, bit-exact xoshiro256** output (pinned by the golden CSVs
+   and test_util's stream tests).  Each 32-bit half lives in a 63-bit
+   native int, so products by 5/9 (< 2^36) and shifted halves never
+   overflow; [land m32] renormalizes after every op. *)
 
+type t = {
+  mutable lo0 : int;
+  mutable hi0 : int;
+  mutable lo1 : int;
+  mutable hi1 : int;
+  mutable lo2 : int;
+  mutable hi2 : int;
+  mutable lo3 : int;
+  mutable hi3 : int;
+  (* Halves of the last output: [next] leaves its result here so the hot
+     readers ([float]/[int]/[bool]) never build a tuple or an [Int64]. *)
+  mutable rlo : int;
+  mutable rhi : int;
+}
+
+let m32 = 0xFFFFFFFF
+
+(* Seeding stays in [Int64] — it runs once per stream, never per slot. *)
 let splitmix64_next state =
   let open Int64 in
   state := add !state 0x9E3779B97F4A7C15L;
@@ -12,43 +40,103 @@ let splitmix64_next state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+let lo_of z = Int64.to_int (Int64.logand z 0xFFFFFFFFL)
+let hi_of z = Int64.to_int (Int64.shift_right_logical z 32)
+
 let create seed =
   let state = ref (Int64.of_int seed) in
-  let s0 = splitmix64_next state in
-  let s1 = splitmix64_next state in
-  let s2 = splitmix64_next state in
-  let s3 = splitmix64_next state in
-  { s0; s1; s2; s3 }
+  let w0 = splitmix64_next state in
+  let w1 = splitmix64_next state in
+  let w2 = splitmix64_next state in
+  let w3 = splitmix64_next state in
+  {
+    lo0 = lo_of w0;
+    hi0 = hi_of w0;
+    lo1 = lo_of w1;
+    hi1 = hi_of w1;
+    lo2 = lo_of w2;
+    hi2 = hi_of w2;
+    lo3 = lo_of w3;
+    hi3 = hi_of w3;
+    rlo = 0;
+    rhi = 0;
+  }
 
-let rotl x k =
-  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+(* One xoshiro256** step: result = rotl(s1 * 5, 7) * 9, then the state
+   scramble.  A 64-bit op on halves: multiplies carry [l lsr 32] into the
+   high half, [rotl k] (k < 32) is
+   (lo, hi) -> ((lo lsl k) lor (hi lsr (32-k)), (hi lsl k) lor (lo lsr (32-k)))
+   and [rotl 45] is a half swap followed by [rotl 13]. *)
+let[@hot] next t =
+  let lo1 = t.lo1 and hi1 = t.hi1 in
+  (* s1 * 5 *)
+  let l = lo1 * 5 in
+  let mlo = l land m32 in
+  let mhi = ((hi1 * 5) + (l lsr 32)) land m32 in
+  (* rotl 7 *)
+  let rlo = ((mlo lsl 7) lor (mhi lsr 25)) land m32 in
+  let rhi = ((mhi lsl 7) lor (mlo lsr 25)) land m32 in
+  (* * 9 *)
+  let l = rlo * 9 in
+  t.rlo <- l land m32;
+  t.rhi <- ((rhi * 9) + (l lsr 32)) land m32;
+  (* tmp = s1 lsl 17 *)
+  let tlo = (lo1 lsl 17) land m32 in
+  let thi = ((hi1 lsl 17) lor (lo1 lsr 15)) land m32 in
+  let lo2 = t.lo2 lxor t.lo0 and hi2 = t.hi2 lxor t.hi0 in
+  let lo3 = t.lo3 lxor lo1 and hi3 = t.hi3 lxor hi1 in
+  t.lo1 <- lo1 lxor lo2;
+  t.hi1 <- hi1 lxor hi2;
+  t.lo0 <- t.lo0 lxor lo3;
+  t.hi0 <- t.hi0 lxor hi3;
+  t.lo2 <- lo2 lxor tlo;
+  t.hi2 <- hi2 lxor thi;
+  (* s3 = rotl s3 45 *)
+  t.lo3 <- ((hi3 lsl 13) lor (lo3 lsr 19)) land m32;
+  t.hi3 <- ((lo3 lsl 13) lor (hi3 lsr 19)) land m32
 
 let bits64 t =
-  let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
-  result
+  next t;
+  Int64.logor (Int64.shift_left (Int64.of_int t.rhi) 32) (Int64.of_int t.rlo)
 
 let split t =
   let state = ref (bits64 t) in
-  let s0 = splitmix64_next state in
-  let s1 = splitmix64_next state in
-  let s2 = splitmix64_next state in
-  let s3 = splitmix64_next state in
-  { s0; s1; s2; s3 }
+  let w0 = splitmix64_next state in
+  let w1 = splitmix64_next state in
+  let w2 = splitmix64_next state in
+  let w3 = splitmix64_next state in
+  {
+    lo0 = lo_of w0;
+    hi0 = hi_of w0;
+    lo1 = lo_of w1;
+    hi1 = hi_of w1;
+    lo2 = lo_of w2;
+    hi2 = hi_of w2;
+    lo3 = lo_of w3;
+    hi3 = hi_of w3;
+    rlo = 0;
+    rhi = 0;
+  }
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy t =
+  {
+    lo0 = t.lo0;
+    hi0 = t.hi0;
+    lo1 = t.lo1;
+    hi1 = t.hi1;
+    lo2 = t.lo2;
+    hi2 = t.hi2;
+    lo3 = t.lo3;
+    hi3 = t.hi3;
+    rlo = t.rlo;
+    rhi = t.rhi;
+  }
 
-let float t =
-  (* Top 53 bits scaled to [0,1). *)
-  let x = Int64.shift_right_logical (bits64 t) 11 in
-  Int64.to_float x *. 0x1.0p-53
+let[@hot] float t =
+  (* Top 53 bits scaled to [0,1): (output lsr 11) fits a native int. *)
+  next t;
+  let x = (t.rhi lsl 21) lor (t.rlo lsr 11) in
+  float_of_int x *. 0x1.0p-53
 
 let int t n =
   assert (n > 0);
@@ -60,15 +148,19 @@ let int t n =
       widen 1
     in
     let rec draw () =
-      let v = Int64.to_int (Int64.logand (bits64 t) 0x3FFFFFFFFFFFFFFFL) land mask in
+      next t;
+      (* Low 62 bits of the output, as the Int64 path masked them. *)
+      let v = (((t.rhi land 0x3FFFFFFF) lsl 32) lor t.rlo) land mask in
       if v < n then v else draw ()
     in
     draw ()
   end
 
-let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+let bool t =
+  next t;
+  t.rlo land 1 <> 0
 
-let bernoulli t p = float t < p
+let[@hot] bernoulli t p = float t < p
 
 let exponential t ~rate =
   assert (rate > 0.);

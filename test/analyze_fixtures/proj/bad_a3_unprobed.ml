@@ -28,6 +28,7 @@ let instance t =
     on_slot_end = (fun ~slot:_ -> ());
     probe = Sched.no_probe;
     handoff = None;
+    quiescent = None;
   }
 
 let register () =

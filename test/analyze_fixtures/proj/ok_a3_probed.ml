@@ -34,6 +34,7 @@ let instance t =
         work_conserving = true;
       };
     handoff = None;
+    quiescent = None;
   }
 
 let register () =

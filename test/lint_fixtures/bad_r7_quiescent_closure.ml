@@ -1,0 +1,20 @@
+(* R7: allocation in quiescent-skip code — the calendar requery and the
+   per-scheduler [advance_quiescent] closed forms run once per busy
+   window, inside the simulator's compressed slot loop.  A closure
+   literal or fresh-container combinator there allocates on every skip,
+   which is exactly the per-event cost event compression exists to
+   remove.  Each binding below must hoist the closure to a preallocated
+   field (as [Iwfq.t.accept_eligible] does) or scan in place. *)
+
+(* Calendar top-up that captures [until] in a fresh closure per call. *)
+let[@hot] requery_all sources until push =
+  Array.iteri (fun i next -> if next < until then push i next) sources
+
+(* Quiescent advance that rebuilds the live-flow list every window. *)
+let[@hot] advance_quiescent backlog slots =
+  let live = List.filter (fun q -> q > 0) backlog in
+  ignore live;
+  slots
+
+(* Skip-horizon scan allocating a fresh keys array per window. *)
+let[@hot] min_key cal = Array.map fst cal

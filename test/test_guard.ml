@@ -249,6 +249,7 @@ let fake_sched ?(queue_length = fun _ -> 0) probe =
     on_slot_end = (fun ~slot:_ -> ());
     probe;
     handoff = None;
+    quiescent = None;
   }
 
 let contains ~sub s =

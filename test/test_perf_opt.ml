@@ -364,6 +364,230 @@ let test_static_channel () =
   let ef = Wfs_channel.Error_free.create () in
   check_bool "error-free is static" true (Wfs_channel.Channel.is_static ef)
 
+(* --- RNG-stream equivalence of pre-sampling (event compression) ---
+
+   The fast path replaces per-slot queries with [Arrival.next_event] and
+   [Channel.advance_run] windows.  Byte-identity rests on both consuming
+   exactly the draws the stepwise walk would — no draw early, none late —
+   even when the walk is chopped into arbitrary windows, which is what a
+   topo epoch barrier does when it dissolves a Session mid-stream and the
+   next Session resumes the same source/channel objects.  Each property
+   drives twin objects (same seed) stepwise vs. windowed and then keeps
+   stepping both past the horizon: the tails only agree if the window pass
+   left the RNG stream in the stepwise position. *)
+
+let source_of_kind kind seed =
+  let rng = Rng.create seed in
+  match kind with
+  | 0 -> Wfs_traffic.Poisson.create ~rng ~rate:0.3
+  | 1 -> Wfs_traffic.Cbr.create ~interarrival:3.5 ()
+  | 2 -> Wfs_traffic.Onoff.create ~rng ~p_on_to_off:0.2 ~p_off_to_on:0.1 ()
+  | 3 -> Wfs_traffic.Pareto_onoff.create ~rng ~mean_on:4. ~mean_off:12. ()
+  | _ -> Wfs_traffic.Mmpp.create ~rng ~on_rate:0.6 ()
+
+let prop_arrival_next_event_equiv =
+  QCheck.Test.make ~name:"arrival next_event consumes the stepwise draws"
+    ~count:100
+    QCheck.(pair (0 -- 4) small_int)
+    (fun (kind, seed) ->
+      let horizon = 200 in
+      let a = source_of_kind kind seed in
+      let b = source_of_kind kind seed in
+      let step_counts =
+        Array.init horizon (fun slot -> Wfs_traffic.Arrival.arrivals a ~slot)
+      in
+      let ev_counts = Array.make horizon 0 in
+      let wrng = Rng.create (seed + 7919) in
+      let from = ref 0 in
+      while !from < horizon do
+        let upto = min horizon (!from + 1 + Rng.int wrng 40) in
+        let s = ref !from in
+        let continue = ref true in
+        while !continue do
+          match Wfs_traffic.Arrival.next_event b ~from:!s ~upto with
+          | -1 -> continue := false
+          | e ->
+              ev_counts.(e) <- Wfs_traffic.Arrival.pending_count b;
+              s := e + 1;
+              if !s >= upto then continue := false
+        done;
+        from := upto
+      done;
+      let tail_a =
+        Array.init 50 (fun i ->
+            Wfs_traffic.Arrival.arrivals a ~slot:(horizon + i))
+      in
+      let tail_b =
+        Array.init 50 (fun i ->
+            Wfs_traffic.Arrival.arrivals b ~slot:(horizon + i))
+      in
+      step_counts = ev_counts && tail_a = tail_b)
+
+let channel_of_kind kind seed =
+  let rng = Rng.create seed in
+  match kind with
+  | 0 -> Wfs_channel.Gilbert_elliott.create ~rng ~pg:0.1 ~pe:0.3 ()
+  | 1 -> Wfs_channel.Bernoulli_ch.create ~rng ~good_prob:0.7
+  | _ ->
+      Wfs_channel.Markov_ch.create ~rng
+        {
+          Wfs_channel.Markov_ch.transition =
+            [| [| 0.9; 0.1 |]; [| 0.4; 0.6 |] |];
+          good_prob = [| 0.95; 0.2 |];
+        }
+
+let prop_channel_advance_run_equiv =
+  QCheck.Test.make ~name:"channel advance_run matches stepwise advance"
+    ~count:100
+    QCheck.(pair (0 -- 2) small_int)
+    (fun (kind, seed) ->
+      let horizon = 200 in
+      let a = channel_of_kind kind seed in
+      let b = channel_of_kind kind seed in
+      let states =
+        Array.init horizon (fun slot -> Wfs_channel.Channel.advance a ~slot)
+      in
+      let wrng = Rng.create (seed + 104729) in
+      let ok = ref true in
+      let from = ref 0 in
+      while !from < horizon do
+        let upto = min horizon (!from + 1 + Rng.int wrng 30) in
+        let st = Wfs_channel.Channel.advance_run b ~from:!from ~slot:(upto - 1) in
+        if st <> states.(upto - 1) then ok := false;
+        if
+          upto - 1 > 0
+          && Wfs_channel.Channel.previous_state b <> states.(upto - 2)
+        then ok := false;
+        from := upto
+      done;
+      let tail_a =
+        Array.init 50 (fun i ->
+            Wfs_channel.Channel.advance a ~slot:(horizon + i))
+      in
+      let tail_b =
+        Array.init 50 (fun i ->
+            Wfs_channel.Channel.advance b ~slot:(horizon + i))
+      in
+      !ok && tail_a = tail_b)
+
+(* --- Event calendar model --- *)
+
+let prop_event_cal_model =
+  QCheck.Test.make ~name:"event_cal matches sorted-pair model" ~count:200
+    QCheck.(pair (1 -- 16) (list (pair small_int small_int)))
+    (fun (n, ops) ->
+      let cal = Wfs_util.Event_cal.create ~n in
+      let model = ref [] in
+      let ok = ref true in
+      let model_min () =
+        List.fold_left
+          (fun acc kv -> if kv < acc then kv else acc)
+          (max_int, max_int) !model
+      in
+      let pop_checked () =
+        let k, id = model_min () in
+        if Wfs_util.Event_cal.min_key cal <> k then ok := false;
+        if Wfs_util.Event_cal.pop cal <> id then ok := false;
+        model := List.filter (fun (_, i) -> i <> id) !model
+      in
+      List.iter
+        (fun (key, x) ->
+          let id = x mod n in
+          if List.exists (fun (_, i) -> i = id) !model then begin
+            (* A second pending event for the same id must be rejected. *)
+            (match Wfs_util.Event_cal.push cal ~key ~id with
+            | () -> ok := false
+            | exception Invalid_argument _ -> ());
+            pop_checked ()
+          end
+          else begin
+            Wfs_util.Event_cal.push cal ~key ~id;
+            model := (key, id) :: !model
+          end)
+        ops;
+      while !model <> [] do
+        pop_checked ()
+      done;
+      !ok
+      && Wfs_util.Event_cal.is_empty cal
+      && Wfs_util.Event_cal.min_key cal = max_int)
+
+(* --- Fast path vs. reference loop: full-run byte-identity --- *)
+
+let metrics_fingerprint m =
+  Wfs_util.Json.to_string (Core.Metrics.to_json m)
+
+let run_example ?probe ~fast ~sched ~example ~horizon ~seed () =
+  let spec =
+    Wfs_runner.Spec.make ~seed ~horizon ~sched
+      (Wfs_runner.Spec.example example)
+  in
+  metrics_fingerprint (Wfs_runner.Exec.run ?probe ~fast_path:fast spec)
+
+let test_fast_path_full_run_identity () =
+  List.iter
+    (fun sched ->
+      List.iter
+        (fun example ->
+          let r = run_example ~fast:false ~sched ~example ~horizon:1500 ~seed:11 () in
+          let f = run_example ~fast:true ~sched ~example ~horizon:1500 ~seed:11 () in
+          Alcotest.(check string)
+            (Printf.sprintf "%s example %d" sched example)
+            r f)
+        [ 1; 2 ])
+    [ "SwapA-P"; "IWFQ-P"; "CIF-Q-P"; "CSDPS" ]
+
+(* A probed run silently degenerates to the reference loop; the knob must
+   still be byte-transparent. *)
+let test_fast_path_probed_degenerates () =
+  let spec =
+    Wfs_runner.Spec.make ~seed:11 ~horizon:1000 ~sched:"SwapA-P"
+      (Wfs_runner.Spec.example 2)
+  in
+  let n_flows = Array.length (Wfs_runner.Exec.setups_of spec) in
+  let probe sched = Wfs_obs.Probe.create ~n_flows sched in
+  let r = run_example ~probe ~fast:false ~sched:"SwapA-P" ~example:2 ~horizon:1000 ~seed:11 () in
+  let f = run_example ~probe ~fast:true ~sched:"SwapA-P" ~example:2 ~horizon:1000 ~seed:11 () in
+  Alcotest.(check string) "probed run identical" r f
+
+(* Multi-cell topology with chaos faults: the fast path must stay
+   byte-identical to the reference across jobs counts — epoch barriers
+   bound the skip horizon, so handoff dissolve/rebuild sees the same
+   source/channel streams either way. *)
+let test_topo_fast_jobs_identity () =
+  let faults =
+    match
+      Wfs_runner.Spec.faults_of_string
+        "crash:0.05;recover:0.5;lose:0.05;corrupt:0.05;blackout:0.05x50;exn:0;persist:0;budget:20"
+    with
+    | Ok plan -> plan
+    | Error e -> Alcotest.fail e
+  in
+  let topo =
+    Wfs_runner.Spec.with_faults faults
+      (Wfs_runner.Spec.topo ~cells:3 ~mobility:0.3 ~epoch:100)
+  in
+  let spec =
+    Wfs_runner.Spec.make ~seed:5 ~horizon:600 ~sched:"SwapA-P" ~topo
+      (Wfs_runner.Spec.example 3)
+  in
+  let render ~fast ~jobs =
+    let t = Wfs_topo.Topology.of_spec ~fast_path:fast spec in
+    Wfs_topo.Topology.run ~jobs t;
+    Printf.sprintf "%s;handoffs=%d"
+      (metrics_fingerprint (Wfs_topo.Topology.metrics t))
+      (Wfs_topo.Topology.handoffs t)
+  in
+  let reference = render ~fast:false ~jobs:1 in
+  Alcotest.(check string) "reference jobs=4" reference (render ~fast:false ~jobs:4);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "fast jobs=%d" jobs)
+        reference
+        (render ~fast:true ~jobs))
+    [ 1; 2; 4 ]
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_deque_model;
@@ -379,4 +603,13 @@ let suite =
     QCheck_alcotest.to_alcotest prop_frame_sparse_matches_dense;
     Alcotest.test_case "never source" `Quick test_never_source;
     Alcotest.test_case "static channel" `Quick test_static_channel;
+    QCheck_alcotest.to_alcotest prop_arrival_next_event_equiv;
+    QCheck_alcotest.to_alcotest prop_channel_advance_run_equiv;
+    QCheck_alcotest.to_alcotest prop_event_cal_model;
+    Alcotest.test_case "fast path full-run identity" `Quick
+      test_fast_path_full_run_identity;
+    Alcotest.test_case "fast path probed degeneration" `Quick
+      test_fast_path_probed_degenerates;
+    Alcotest.test_case "topo+faults fast path identity" `Quick
+      test_topo_fast_jobs_identity;
   ]
