@@ -219,14 +219,14 @@ let macro_setup ?(load = macro_load) ?(active_cap = macro_active_cap)
    [Simulator.run] call is inside the clock — setup, table rendering and
    JSON serialization never contaminate the slots/s columns. *)
 let macro_run ?(load = macro_load) ?(active_cap = macro_active_cap)
-    ?(fast_path = false) ~horizon ~seed (entry : Core.Registry.entry)
-    ~n_flows () =
+    ?(fast_path = false) ?skip_stats ~horizon ~seed
+    (entry : Core.Registry.entry) ~n_flows () =
   let setups = macro_setup ~load ~active_cap ~n_flows ~seed () in
   let params = Array.map (fun fs -> fs.Core.Simulator.flow) setups in
   let sched = entry.Core.Registry.make params in
   let cfg =
     Core.Simulator.config ~predictor:entry.Core.Registry.predictor ~fast_path
-      ~horizon setups
+      ?skip_stats ~horizon setups
   in
   let t0 = Unix.gettimeofday () in
   let metrics = Core.Simulator.run cfg sched in
@@ -303,7 +303,7 @@ let eventcomp_schedulers = [ "SwapA-P"; "IWFQ-P"; "CIF-Q-P"; "CSDPS" ]
 let eventcomp_columns =
   [
     "scheduler"; "flows"; "active"; "load"; "fast"; "slots"; "delivered";
-    "wall_s"; "slots/s"; "speedup";
+    "wall_s"; "slots/s"; "speedup"; "skipped"; "quiesce";
   ]
 
 let eventcomp_table ~horizon ~seed () =
@@ -315,6 +315,13 @@ let eventcomp_table ~horizon ~seed () =
   let runs = ref 0 in
   let slots = ref 0 in
   let wall = ref 0. in
+  (* Skip-telemetry overhead accounting: the third (untimed-for-artifact)
+     fast run per pair repeats the fast run with a Skip_stats collector
+     attached, so the skipped/quiesce columns are measured, never
+     inferred.  Its wall clock is compared against the bare fast run's in
+     aggregate — the number PERF.md quotes as the collector's cost. *)
+  let wall_fast = ref 0. in
+  let wall_skip = ref 0. in
   List.iter
     (fun name ->
       let entry = Core.Registry.get name in
@@ -335,10 +342,31 @@ let eventcomp_table ~horizon ~seed () =
                   "fast path diverged: %s flows=%d load=%.2f delivered %d \
                    (reference %d)"
                   name n_flows load d_fast d_ref;
+              let skip = Core.Skip_stats.create () in
+              let d_skip, dt_skip =
+                macro_run ~load ~active_cap ~fast_path:true ~skip_stats:skip
+                  ~horizon ~seed entry ~n_flows ()
+              in
+              if d_skip <> d_fast then
+                Wfs_util.Error.invalidf "Perf.eventcomp_table"
+                  "skip telemetry perturbed the fast path: %s flows=%d \
+                   load=%.2f delivered %d (bare fast %d)"
+                  name n_flows load d_skip d_fast;
+              if not (Core.Skip_stats.compressed skip) then
+                Wfs_util.Error.invalidf "Perf.eventcomp_table"
+                  "skip telemetry degenerated the fast path: %s flows=%d \
+                   load=%.2f ran %d reference slots"
+                  name n_flows load
+                  (Core.Skip_stats.reference_slots skip);
+              (* Only the reference/fast pair counts toward the artifact's
+                 runs/slots/wall totals, keeping the timed sections
+                 comparable with earlier baselines. *)
               runs := !runs + 2;
               slots := !slots + (2 * horizon);
               wall := !wall +. dt_ref +. dt_fast;
-              let row ~fast ~delivered ~dt ~speedup =
+              wall_fast := !wall_fast +. dt_fast;
+              wall_skip := !wall_skip +. dt_skip;
+              let row ~fast ~delivered ~dt ~speedup ~skipped ~quiesce =
                 [
                   name;
                   string_of_int n_flows;
@@ -350,12 +378,20 @@ let eventcomp_table ~horizon ~seed () =
                   Printf.sprintf "%.4f" dt;
                   Printf.sprintf "%.0f" (float_of_int horizon /. dt);
                   speedup;
+                  skipped;
+                  quiesce;
                 ]
               in
-              let r1 = row ~fast:false ~delivered:d_ref ~dt:dt_ref ~speedup:"-"
+              let r1 =
+                row ~fast:false ~delivered:d_ref ~dt:dt_ref ~speedup:"-"
+                  ~skipped:"-" ~quiesce:"-"
               and r2 =
                 row ~fast:true ~delivered:d_fast ~dt:dt_fast
                   ~speedup:(Printf.sprintf "%.2fx" (dt_ref /. dt_fast))
+                  ~skipped:(string_of_int (Core.Skip_stats.absorbed_slots skip))
+                  ~quiesce:
+                    (Printf.sprintf "%.4f"
+                       (Core.Skip_stats.quiescence_ratio skip))
               in
               rows := r2 :: r1 :: !rows;
               Wfs_util.Tablefmt.add_row table r1;
@@ -364,6 +400,10 @@ let eventcomp_table ~horizon ~seed () =
         eventcomp_tiers)
     eventcomp_schedulers;
   Wfs_util.Tablefmt.print table;
+  Printf.printf
+    "skip-telemetry overhead: fast %.4fs vs fast+skip %.4fs (%+.1f%%)\n"
+    !wall_fast !wall_skip
+    (100. *. ((!wall_skip /. !wall_fast) -. 1.));
   let artifact_table =
     {
       Wfs_runner.Artifact.title;

@@ -54,6 +54,7 @@ type run_result = {
   metrics : M.t;
   jain_gap : (float * float) option;  (* windowed fairness, when requested *)
   instruments : Wfs_obs.Instruments.t option;  (* for --metrics-out *)
+  skip : Wfs_core.Skip_stats.t option;  (* fast-path skip telemetry *)
 }
 
 (* Observability options threaded into every run.  Sinks and the profiler
@@ -66,6 +67,7 @@ type obs = {
   stride : int;
   profiler : Wfs_obs.Profiler.t option;
   flight : int option;  (* flight-recorder capacity *)
+  windows : (string * int) option;  (* --windows path, --window-slots *)
 }
 
 (* One self-contained run: registry lookup, fresh seeded setups, optional
@@ -100,15 +102,49 @@ let run_one ~credit ~debit ~fairness ~invariants ~fast_path ~obs
       (fun cap -> Wfs_core.Simulator.Tracelog.create ~capacity:cap ())
       obs.flight
   in
+  (* Windowed aggregation is a per-slot observer here (it degenerates the
+     fast path, like --fairness); topology runs sample at barriers
+     instead and stay compressed. *)
+  let wcoll =
+    Option.map
+      (fun (_, window) ->
+        Wfs_xray.Windowed.create
+          ~weights:
+            (Array.map (fun (f : Wfs_core.Params.flow) -> f.weight) flows)
+          ~window)
+      obs.windows
+  in
+  let observer =
+    match
+      ( Option.map Wfs_core.Fairness.Monitor.observer monitor,
+        Option.map Wfs_xray.Windowed.observer wcoll )
+    with
+    | None, None -> None
+    | (Some _ as f), None -> f
+    | None, (Some _ as g) -> g
+    | Some f, Some g ->
+        Some
+          (fun slot m ->
+            f slot m;
+            g slot m)
+  in
+  (* Skip telemetry records at window granularity and is deliberately NOT
+     part of the fast path's degeneration condition: a --fast-path run
+     stays compressed while counting what it skipped. *)
+  let skip = if fast_path then Some (Wfs_core.Skip_stats.create ()) else None in
   let cfg =
     Wfs_core.Simulator.config ~predictor:entry.Registry.predictor
-      ?observer:(Option.map Wfs_core.Fairness.Monitor.observer monitor)
-      ?trace ?slot_probe
+      ?observer ?trace ?slot_probe
       ?profiler:(Option.map Wfs_obs.Profiler.hooks obs.profiler)
-      ~invariants ~fast_path ~horizon:spec.horizon setups
+      ?skip_stats:skip ~invariants ~fast_path ~horizon:spec.horizon setups
   in
   match Wfs_core.Simulator.run cfg sched with
   | metrics ->
+      (match (wcoll, obs.windows) with
+      | Some w, Some (path, window) ->
+          Wfs_xray.Windowed.flush w ~slot:(spec.horizon - 1) ~metrics;
+          Wfs_xray.Windowed.write ~path ~window (Wfs_xray.Windowed.windows w)
+      | _ -> ());
       {
         metrics;
         jain_gap =
@@ -118,6 +154,7 @@ let run_one ~credit ~debit ~fairness ~invariants ~fast_path ~obs
                 Wfs_core.Fairness.Monitor.worst_gap mon ))
             monitor;
         instruments = registry;
+        skip;
       }
   | exception exn -> (
       (* With a flight recorder on, a dying run takes its last N events
@@ -151,7 +188,7 @@ let agg ?decimals results f =
 let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
     ~retries ~max_slots ~invariants ~fast_path ~flow_base ~metrics_out
     ~trace_out ~trace_csv ~trace_stride ~profile ~flight_recorder
-    labeled_specs =
+    ~windows_out ~window_slots labeled_specs =
   let units =
     Array.of_list
       (List.concat_map
@@ -164,6 +201,13 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
     Printf.eprintf
       "wfs_sim: --trace-out/--trace-csv need exactly one run (one algorithm, \
        --seeds 1); got %d runs\n"
+      (Array.length units);
+    exit 2
+  end;
+  if windows_out <> None && Array.length units <> 1 then begin
+    Printf.eprintf
+      "wfs_sim: --windows needs exactly one run (one algorithm, --seeds 1); \
+       got %d runs\n"
       (Array.length units);
     exit 2
   end;
@@ -197,6 +241,7 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
       stride = trace_stride;
       profiler;
       flight = flight_recorder;
+      windows = Option.map (fun p -> (p, window_slots)) windows_out;
     }
   in
   let outcomes =
@@ -286,6 +331,22 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
   | Csv ->
       print_endline (String.concat "," columns);
       List.iter print_endline (List.rev !csv_rows));
+  (* Fast-path skip telemetry, merged across runs in unit order.  stderr
+     under --csv so the golden-gated stdout stays byte-identical. *)
+  let skip_merged =
+    Wfs_xray.Skip_telemetry.merge_all
+      (Array.to_list outcomes
+      |> List.filter_map (function
+           | Ok { skip = Some k; _ } -> Some k
+           | Ok _ | Error _ -> None))
+  in
+  (match skip_merged with
+  | None -> ()
+  | Some k ->
+      let t = Wfs_xray.Skip_telemetry.to_table k in
+      (match output with
+      | Table -> T.print t
+      | Csv -> output_string stderr (T.render t)));
   (match metrics_out with
   | None -> ()
   | Some path -> (
@@ -307,6 +368,13 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
               rows = T.rows t;
             }
           in
+          let art_tables =
+            [ art_table ]
+            @
+            match skip_merged with
+            | Some k -> [ Wfs_xray.Skip_telemetry.artifact_table k ]
+            | None -> []
+          in
           let sp0 = units.(0) in
           let slots =
             Array.fold_left
@@ -319,7 +387,7 @@ let run_and_render ~title ~output ~jobs ~seeds ~credit ~debit ~fairness
           let art =
             Wfs_runner.Artifact.v ~horizon:sp0.Spec.horizon ~seed:sp0.Spec.seed
               ~seeds ~jobs:1 ~runs:(Array.length units) ~slots
-              ~wall_clock_s:0. ~tables:[ art_table ]
+              ~wall_clock_s:0. ~tables:art_tables
           in
           Wfs_runner.Artifact.write ~path art));
   (match obs.profiler with
@@ -445,9 +513,21 @@ let topo_params_equal a b =
    journal and an interrupted spec is re-run with every already-journaled
    barrier snapshot verified against the replay. *)
 let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~fast_path
-    ~metrics_out ~resume ~fault_timeline labeled_specs =
+    ~metrics_out ~resume ~fault_timeline ~trace_out ~trace_csv ~trace_stride
+    ~causality_out ~windows_out ~window_slots labeled_specs =
   let module J = Wfs_util.Json in
   let module TJ = Wfs_topo.Topo_journal in
+  let observing =
+    trace_out <> None || trace_csv <> None || causality_out <> None
+    || windows_out <> None
+  in
+  if observing && List.length labeled_specs <> 1 then begin
+    Printf.eprintf
+      "wfs_sim: --trace-out/--trace-csv/--causality/--windows need exactly \
+       one topology run (one algorithm, one spec); got %d runs\n"
+      (List.length labeled_specs);
+    exit 2
+  end;
   let columns =
     [
       "algorithm"; "flow"; "cell"; "mean_delay"; "loss"; "max_delay"; "stddev";
@@ -509,12 +589,68 @@ let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~fast_path
               Wfs_util.Error.bad_spec ~who:"wfs_sim"
                 "unreadable topo-journal result" ~context:[ ("spec", key) ])
       | None -> (
+          (* Per-cell tracing: each cell's probe writes to that cell's own
+             part file during the parallel phase; rosters and causality
+             events are recorded only from the sequential barrier.  The
+             merge after the run is positional, so traced topology runs
+             need no --jobs restriction. *)
+          let mux =
+            if trace_out = None && trace_csv = None then None
+            else
+              let cells =
+                match sp.Spec.topo with Some tp -> tp.Spec.cells | None -> 1
+              in
+              let part_base =
+                match trace_out with
+                | Some p -> p
+                | None -> Option.get trace_csv
+              in
+              Some
+                (Wfs_xray.Mux.create ~stride:trace_stride
+                   ~params:
+                     [
+                       ("sched", J.Str sp.Spec.sched);
+                       ("seed", J.Int sp.Spec.seed);
+                       ("horizon", J.Int sp.Spec.horizon);
+                     ]
+                   ~cells ~part_base ())
+          in
+          let cause =
+            Option.map (fun _ -> Wfs_xray.Causality.create ()) causality_out
+          in
+          let tap =
+            match (mux, cause) with
+            | None, None -> None
+            | _ ->
+                Some
+                  {
+                    Wfs_topo.Cell.on_roster =
+                      (fun ~cell ~slot ~gids ->
+                        match mux with
+                        | Some m -> Wfs_xray.Mux.note_roster m ~cell ~slot ~gids
+                        | None -> ());
+                    probe =
+                      (fun ~cell ~n_flows sched ->
+                        Option.map
+                          (fun m -> Wfs_xray.Mux.probe m ~cell ~n_flows sched)
+                          mux);
+                    on_carry =
+                      (fun ~cell ~slot ~gid ~carried ~accepted ->
+                        match cause with
+                        | Some c ->
+                            Wfs_xray.Causality.record c
+                              (Wfs_xray.Causality.Carry
+                                 { slot; flow = gid; cell; carried; accepted })
+                        | None -> ());
+                  }
+          in
           match
             let t =
               Wfs_topo.Topology.of_spec ~credit_limit:credit
-                ~debit_limit:debit ~invariants ~fast_path sp
+                ~debit_limit:debit ~invariants ~fast_path ?tap
+                ?causality:cause sp
             in
-            let on_barrier =
+            let journal_cb =
               Option.map
                 (fun (contents, w) ~slot ->
                   let snap = Wfs_topo.Topology.snapshot t ~slot in
@@ -538,6 +674,30 @@ let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~fast_path
                   | None -> TJ.append_snapshot w ~spec:key ~slot snap)
                 journal
             in
+            (* Windowed aggregation samples the cumulative picture at each
+               barrier — the fast path stays compressed, and [start_slot]/
+               [end_slot] record the span the sampling actually covered. *)
+            let wcoll =
+              Option.map
+                (fun _ ->
+                  Wfs_xray.Windowed.create
+                    ~weights:(Wfs_topo.Topology.weights t)
+                    ~window:window_slots)
+                windows_out
+            in
+            let on_barrier =
+              match (journal_cb, wcoll) with
+              | None, None -> None
+              | jc, wc ->
+                  Some
+                    (fun ~slot ->
+                      (match jc with Some f -> f ~slot | None -> ());
+                      match wc with
+                      | Some w ->
+                          Wfs_xray.Windowed.observe w ~slot:(slot - 1)
+                            ~metrics:(Wfs_topo.Topology.peek_metrics t)
+                      | None -> ())
+            in
             Wfs_topo.Topology.run ~jobs ?on_barrier t;
             let r =
               {
@@ -550,6 +710,27 @@ let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~fast_path
                 t_timeline = Wfs_topo.Topology.fault_timeline t;
               }
             in
+            (match wcoll with
+            | Some w ->
+                Wfs_xray.Windowed.flush w ~slot:(sp.Spec.horizon - 1)
+                  ~metrics:r.t_metrics;
+                Wfs_xray.Windowed.write
+                  ~path:(Option.get windows_out)
+                  ~window:window_slots
+                  (Wfs_xray.Windowed.windows w)
+            | None -> ());
+            (match cause with
+            | Some c ->
+                Wfs_xray.Causality.write
+                  ~path:(Option.get causality_out)
+                  (Wfs_xray.Causality.events c)
+            | None -> ());
+            (match mux with
+            | Some m ->
+                Wfs_xray.Mux.finish m
+                  ~n_flows:(Wfs_topo.Topology.n_flows t)
+                  ?jsonl:trace_out ?csv:trace_csv ()
+            | None -> ());
             Option.iter
               (fun (_, w) ->
                 TJ.append_result w ~spec:key (topo_run_to_json r))
@@ -557,8 +738,9 @@ let render_topo ~title ~output ~jobs ~credit ~debit ~invariants ~fast_path
             r
           with
           | r -> runs := (label, sp, r) :: !runs
-          | exception Wfs_util.Error.Error e -> failures := (key, e) :: !failures
-          ))
+          | exception Wfs_util.Error.Error e ->
+              Option.iter Wfs_xray.Mux.abort mux;
+              failures := (key, e) :: !failures))
     labeled_specs;
   Option.iter (fun (_, w) -> TJ.close w) journal;
   let runs = List.rev !runs in
@@ -733,8 +915,8 @@ let check_metrics path =
 let main_checked example seed horizon sum credit debit csv fairness algo info
     scenario specs seeds jobs list retries max_slots invariants fast_path
     metrics_out trace_out trace_csv trace_stride profile flight_recorder cells
-    mobility epoch faults resume fault_timeline check_trace_path
-    check_metrics_path =
+    mobility epoch faults resume fault_timeline causality windows window_slots
+    check_trace_path check_metrics_path =
   (match check_trace_path with Some p -> check_trace p | None -> ());
   (match check_metrics_path with Some p -> check_metrics p | None -> ());
   let output = if csv then Csv else Table in
@@ -757,6 +939,9 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
   if trace_stride < 1 then (
     Printf.eprintf "wfs_sim: --trace-stride must be >= 1, got %d\n" trace_stride;
     exit 2);
+  if window_slots < 1 then (
+    Printf.eprintf "wfs_sim: --window-slots must be >= 1, got %d\n" window_slots;
+    exit 2);
   (match flight_recorder with
   | Some n when n < 1 ->
       Printf.eprintf "wfs_sim: --flight-recorder must be >= 1, got %d\n" n;
@@ -765,15 +950,21 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
   let jobs =
     match jobs with Some n -> n | None -> Wfs_runner.Pool.default_jobs ()
   in
-  (* Trace sinks and the profiler are shared mutable state: serialise the
-     pool so samples land in slot order and timings aren't interleaved. *)
-  let jobs =
-    if trace_out <> None || trace_csv <> None || profile then 1 else jobs
+  (* Trace sinks, the windowed collector and the profiler are shared
+     mutable state on the SINGLE-CELL replica pool: serialise it so samples
+     land in slot order and timings aren't interleaved.  Topology runs are
+     exempt — their tracing goes through per-cell part files merged at the
+     end, so they keep the requested job count. *)
+  let serial_jobs =
+    if trace_out <> None || trace_csv <> None || profile || windows <> None
+    then 1
+    else jobs
   in
   let render =
-    run_and_render ~output ~jobs ~seeds ~credit ~debit ~fairness ~retries
-      ~max_slots ~invariants ~fast_path ~metrics_out ~trace_out ~trace_csv
-      ~trace_stride ~profile ~flight_recorder
+    run_and_render ~output ~jobs:serial_jobs ~seeds ~credit ~debit ~fairness
+      ~retries ~max_slots ~invariants ~fast_path ~metrics_out ~trace_out
+      ~trace_csv ~trace_stride ~profile ~flight_recorder
+      ~windows_out:windows ~window_slots
   in
   if list then list_schedulers ()
   else begin
@@ -867,6 +1058,12 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
              (--cells > 1 or a spec with a topology clause)\n";
           exit 2
         end;
+        if causality <> None then begin
+          Printf.eprintf
+            "wfs_sim: --causality applies to topology runs only (--cells > 1 \
+             or a spec with a topology clause)\n";
+          exit 2
+        end;
         render ~title ~flow_base plain
     | _ ->
         if plain <> [] then begin
@@ -879,21 +1076,17 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
           Printf.eprintf "wfs_sim: topology runs support --seeds 1 only\n";
           exit 2
         end;
-        if
-          fairness || profile
-          || trace_out <> None
-          || trace_csv <> None
-          || flight_recorder <> None
-          || max_slots <> None
+        if fairness || profile || flight_recorder <> None || max_slots <> None
         then begin
           Printf.eprintf
-            "wfs_sim: --fairness/--profile/--trace-out/--trace-csv/\
-             --flight-recorder/--max-slots are not supported for topology \
-             runs\n";
+            "wfs_sim: --fairness/--profile/--flight-recorder/--max-slots are \
+             not supported for topology runs\n";
           exit 2
         end;
         render_topo ~title ~output ~jobs ~credit ~debit ~invariants
-          ~fast_path ~metrics_out ~resume ~fault_timeline topo_runs
+          ~fast_path ~metrics_out ~resume ~fault_timeline ~trace_out
+          ~trace_csv ~trace_stride ~causality_out:causality
+          ~windows_out:windows ~window_slots topo_runs
   end
 
 (* Bad scheduler names, malformed specs and out-of-range examples all raise
@@ -902,13 +1095,14 @@ let main_checked example seed horizon sum credit debit csv fairness algo info
 let main example seed horizon sum credit debit csv fairness algo info scenario
     specs seeds jobs list retries max_slots invariants fast_path metrics_out
     trace_out trace_csv trace_stride profile flight_recorder cells mobility
-    epoch faults resume fault_timeline check_trace_path check_metrics_path =
+    epoch faults resume fault_timeline causality windows window_slots
+    check_trace_path check_metrics_path =
   try
     main_checked example seed horizon sum credit debit csv fairness algo info
       scenario specs seeds jobs list retries max_slots invariants fast_path
       metrics_out trace_out trace_csv trace_stride profile flight_recorder
-      cells mobility epoch faults resume fault_timeline check_trace_path
-      check_metrics_path
+      cells mobility epoch faults resume fault_timeline causality windows
+      window_slots check_trace_path check_metrics_path
   with
   | Invalid_argument msg ->
       Printf.eprintf "wfs_sim: %s\n" msg;
@@ -1063,7 +1257,10 @@ let trace_out_arg =
           "Stream a per-slot wfs-trace/1 JSONL time series (queue depths, \
            channel states, scheduler tags/credits/virtual time) to FILE.  \
            Needs exactly one run (one algorithm, $(b,--seeds) 1); forces \
-           $(b,--jobs) 1.")
+           $(b,--jobs) 1.  A topology run ($(b,--cells) > 1) writes a \
+           merged cell-tagged wfs-xray-trace/1 timeline instead and keeps \
+           the requested job count (per-cell part files, deterministic \
+           merge).")
 
 let trace_csv_arg =
   Arg.(
@@ -1157,6 +1354,39 @@ let fault_timeline_arg =
            (wfs-chaos/1-timeline JSONL: crashes, recoveries, lost/corrupt/\
            blocked handoffs, blackouts, worker faults) to FILE.")
 
+let causality_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "causality" ] ~docv:"FILE"
+        ~doc:
+          "Write the flow-journey causality log of a topology run \
+           (wfs-causality/1 JSONL: every mobility draw with its chaos \
+           verdict, every crash re-home, and every carry import with the \
+           lag/credit actually accepted vs carried) to FILE.  Needs exactly \
+           one topology run; recorded at the sequential epoch barrier, so \
+           the log is byte-identical for every $(b,--jobs) value.")
+
+let windows_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "windows" ] ~docv:"FILE"
+        ~doc:
+          "Write a wfs-windows/1 tumbling-window aggregation stream (Jain \
+           index, eq-(1) normalized-service gap, arrival/delivery/drop/\
+           backlog/loss deltas per window) to FILE.  Single-cell runs \
+           sample every slot (needs exactly one run; forces $(b,--jobs) 1); \
+           topology runs sample at epoch barriers and keep the requested \
+           job count.")
+
+let window_slots_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "window-slots" ] ~docv:"N"
+        ~doc:"Tumbling-window length in slots for $(b,--windows) (default \
+              1000).")
+
 let check_trace_arg =
   Arg.(
     value
@@ -1187,6 +1417,7 @@ let cmd =
       $ trace_out_arg
       $ trace_csv_arg $ trace_stride_arg $ profile_arg $ flight_recorder_arg
       $ cells_arg $ mobility_arg $ epoch_arg $ faults_arg $ resume_arg
-      $ fault_timeline_arg $ check_trace_arg $ check_metrics_arg)
+      $ fault_timeline_arg $ causality_arg $ windows_arg $ window_slots_arg
+      $ check_trace_arg $ check_metrics_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -13,7 +13,7 @@ let with_flows flows (t : t) =
     ?observer:t.Simulator.observer ?slot_probe:t.Simulator.slot_probe
     ?profiler:t.Simulator.profiler ~histograms:t.Simulator.histograms
     ~invariants:t.Simulator.invariants ~fast_path:t.Simulator.fast_path
-    ~horizon:t.Simulator.horizon flows
+    ?skip_stats:t.Simulator.skip_stats ~horizon:t.Simulator.horizon flows
 
 let with_horizon horizon (t : t) =
   if horizon < 0 then
@@ -27,6 +27,7 @@ let with_profiler h (t : t) = { t with Simulator.profiler = Some h }
 let with_histograms (t : t) = { t with Simulator.histograms = true }
 let with_invariants (t : t) = { t with Simulator.invariants = true }
 let with_fast_path fast_path (t : t) = { t with Simulator.fast_path }
+let with_skip_stats k (t : t) = { t with Simulator.skip_stats = Some k }
 
 let to_config (t : t) = t
 let run sched (t : t) = Simulator.run t sched

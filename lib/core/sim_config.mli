@@ -50,6 +50,12 @@ val with_fast_path : bool -> t -> t
     degeneration rules.  Takes the value rather than being a set-only
     step so sweeps can toggle both engines from one code path. *)
 
+val with_skip_stats : Skip_stats.t -> t -> t
+(** Attach a fast-path skip-telemetry collector (see
+    {!Simulator.config}'s [skip_stats] field).  Unlike every other
+    observability hook this does NOT degenerate the fast path: updates
+    happen at quiescent-window granularity, not per slot. *)
+
 val to_config : t -> Simulator.config
 (** The underlying record — every builder value is already validated. *)
 

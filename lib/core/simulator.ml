@@ -49,11 +49,12 @@ type config = {
   histograms : bool;
   invariants : bool;
   fast_path : bool;
+  skip_stats : Skip_stats.t option;
 }
 
 let config ?(predictor = Predictor.One_step) ?trace ?observer ?slot_probe
     ?profiler ?(histograms = false) ?(invariants = false)
-    ?(fast_path = false) ~horizon flows =
+    ?(fast_path = false) ?skip_stats ~horizon flows =
   if horizon < 0 then Wfs_util.Error.invalid "Simulator.config" "negative horizon";
   if Array.length flows = 0 then Wfs_util.Error.invalid "Simulator.config" "no flows";
   Array.iteri
@@ -72,6 +73,7 @@ let config ?(predictor = Predictor.One_step) ?trace ?observer ?slot_probe
     histograms;
     invariants;
     fast_path;
+    skip_stats;
   }
 
 let delay_bound_of (p : Params.drop_policy) =
@@ -520,6 +522,10 @@ module Session = struct
     let live_sources = t.live_sources in
     let metrics = t.metrics in
     let cal = t.cal in
+    (* Skip telemetry is recorded at window granularity only — one call per
+       absorbed or declined window, never per slot — so an attached
+       collector keeps this engine on the compressed path. *)
+    let skips = t.cfg.skip_stats in
     (* Top-up: between advance calls the calendar is empty and every live
        source was scanned through the previous window, so each needs one
        query into the new one. *)
@@ -536,11 +542,17 @@ module Session = struct
         let absorbed = q.advance_quiescent ~now:s ~slots:(stop - s) in
         if absorbed > 0 then begin
           Metrics.on_idle_slots metrics ~count:absorbed;
+          (match skips with
+          | Some k -> Skip_stats.note_window k ~slots:absorbed
+          | None -> ());
           slot := s + absorbed
         end
         else begin
           (* The scheduler declined the window (always allowed): run one
              reference-equivalent slot and re-ask. *)
+          (match skips with
+          | Some k -> Skip_stats.note_declined k
+          | None -> ());
           fast_slot t ~until s;
           slot := s + 1
         end
@@ -571,11 +583,18 @@ module Session = struct
     if until < t.next || until > t.cfg.horizon then
       Wfs_util.Error.invalidf "Simulator.Session.advance"
         "until %d outside [next %d, horizon %d]" until t.next t.cfg.horizon;
-    if t.fast then
-      match t.sched.Wireless_sched.quiescent with
-      | Some q -> advance_fast t ~until ~q
-      | None -> advance_reference t ~until
-    else advance_reference t ~until
+    let engine =
+      if t.fast then t.sched.Wireless_sched.quiescent else None
+    in
+    (match t.cfg.skip_stats with
+    | Some k ->
+        let slots = until - t.next in
+        if Option.is_some engine then Skip_stats.note_engine k ~slots
+        else Skip_stats.note_reference k ~slots
+    | None -> ());
+    match engine with
+    | Some q -> advance_fast t ~until ~q
+    | None -> advance_reference t ~until
 
   let finish t =
     advance t ~until:t.cfg.horizon;

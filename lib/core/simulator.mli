@@ -99,6 +99,15 @@ type config = {
           whenever any per-slot hook is attached (trace, observer,
           slot probe, profiler, invariants) or the scheduler publishes no
           quiescent hook.  Off by default. *)
+  skip_stats : Skip_stats.t option;
+      (** fast-path skip telemetry collector.  Deliberately NOT part of the
+          fast-path degeneration condition above: the collector is updated
+          at window granularity only (one call per absorbed or declined
+          quiescent window, plus per-[advance] aggregates), so attaching it
+          keeps the engine on the compressed path and leaves the simulated
+          sample path untouched.  When the run executes on the reference
+          loop (fast path off or degenerated) the collector records those
+          slots as [reference_slots], making the degeneration visible. *)
 }
 
 val config :
@@ -110,6 +119,7 @@ val config :
   ?histograms:bool ->
   ?invariants:bool ->
   ?fast_path:bool ->
+  ?skip_stats:Skip_stats.t ->
   horizon:int ->
   flow_setup array ->
   config

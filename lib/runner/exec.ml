@@ -26,7 +26,7 @@ let setups_of (spec : Spec.t) =
 let maybe step opt t = match opt with None -> t | Some v -> step v t
 
 let run ?credit_limit ?debit_limit ?limits ?observer ?trace ?probe ?profiler
-    ?histograms ?invariants ?fast_path (spec : Spec.t) =
+    ?histograms ?invariants ?fast_path ?skip_stats (spec : Spec.t) =
   (match spec.topo with
   | Some _ ->
       (* Exec drives exactly one cell; the multi-cell driver lives a layer
@@ -50,6 +50,7 @@ let run ?credit_limit ?debit_limit ?limits ?observer ?trace ?probe ?profiler
   |> maybe (fun on t -> if on then Core.Sim_config.with_histograms t else t) histograms
   |> maybe (fun on t -> if on then Core.Sim_config.with_invariants t else t) invariants
   |> maybe Core.Sim_config.with_fast_path fast_path
+  |> maybe Core.Sim_config.with_skip_stats skip_stats
   |> Core.Sim_config.run sched
 
 (* The flight recorder is a capacity-bounded Tracelog: cheap enough to
@@ -66,8 +67,8 @@ let flight_context tr =
   ]
 
 let run_outcome ?credit_limit ?debit_limit ?limits ?observer ?trace ?probe
-    ?profiler ?flight_recorder ?histograms ?invariants ?fast_path ?max_slots
-    (spec : Spec.t) =
+    ?profiler ?flight_recorder ?histograms ?invariants ?fast_path ?skip_stats
+    ?max_slots (spec : Spec.t) =
   let module Error = Wfs_util.Error in
   let spec_context = [ ("spec", Spec.to_string spec) ] in
   let recorder =
@@ -110,7 +111,7 @@ let run_outcome ?credit_limit ?debit_limit ?limits ?observer ?trace ?probe
       in
       match
         run ?credit_limit ?debit_limit ?limits ?observer ?trace ?probe
-          ?profiler ?histograms ?invariants ?fast_path spec
+          ?profiler ?histograms ?invariants ?fast_path ?skip_stats spec
       with
       | metrics -> Ok metrics
       | exception Core.Scenario.Parse_error { line; message } ->

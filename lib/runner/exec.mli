@@ -26,12 +26,14 @@ val run :
   ?histograms:bool ->
   ?invariants:bool ->
   ?fast_path:bool ->
+  ?skip_stats:Wfs_core.Skip_stats.t ->
   Spec.t ->
   Wfs_core.Metrics.t
 (** Run one spec to completion in the calling domain.  The optional
     scheduler knobs are forwarded to the registry constructor; [observer],
-    [histograms], [invariants] and [fast_path] to
-    {!Wfs_core.Simulator.config}.
+    [histograms], [invariants], [fast_path] and [skip_stats] to
+    {!Wfs_core.Simulator.config} ([skip_stats] records fast-path skip
+    telemetry without degenerating the compressed engine).
     [probe] is a {e builder}: the scheduler instance only exists inside
     this call, so the caller passes a function from instance to slot probe
     (e.g. [Wfs_obs.Probe.create ~n_flows]) and it is invoked once, after
@@ -60,6 +62,7 @@ val run_outcome :
   ?histograms:bool ->
   ?invariants:bool ->
   ?fast_path:bool ->
+  ?skip_stats:Wfs_core.Skip_stats.t ->
   ?max_slots:int ->
   Spec.t ->
   (Wfs_core.Metrics.t, Wfs_util.Error.t) result

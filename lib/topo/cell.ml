@@ -17,6 +17,28 @@ type parcel = {
   moved : bool;
 }
 
+(* Observability tap: every callback fires from sequential code only —
+   [on_roster] and [on_carry] from install (cell creation and the epoch
+   barrier's rebuild), and the probe builder once per install.  The probe
+   it returns is the only tap artifact that runs inside the parallel
+   phase, and it writes exclusively to per-cell state (Wfs_xray.Mux part
+   files), so cross-domain ordering never exists. *)
+type tap = {
+  on_roster : cell:int -> slot:int -> gids:int array -> unit;
+  probe :
+    cell:int ->
+    n_flows:int ->
+    Sched.instance ->
+    Wfs_core.Simulator.slot_probe option;
+  on_carry :
+    cell:int ->
+    slot:int ->
+    gid:int ->
+    carried:Sched.carry ->
+    accepted:Sched.carry ->
+    unit;
+}
+
 type t = {
   cell_id : int;
   entry : Registry.entry;
@@ -36,6 +58,7 @@ type t = {
   carried_credit : Instruments.gauge;
   truncated_lag : Instruments.gauge;
   truncated_credit : Instruments.gauge;
+  tap : tap option;
   mutable members : member array;
   mutable sched : Sched.instance option;
   mutable session : Sim.Session.t option;
@@ -76,6 +99,11 @@ let install t ~slot parcels =
   in
   let members = Array.of_list (List.map (fun p -> p.member) parcels) in
   t.members <- members;
+  (match t.tap with
+  | Some tp ->
+      tp.on_roster ~cell:t.cell_id ~slot
+        ~gids:(Array.map (fun m -> m.gid) members)
+  | None -> ());
   if Array.length members = 0 then begin
     t.sched <- None;
     t.session <- None
@@ -101,17 +129,29 @@ let install t ~slot parcels =
             | None -> Sched.carry_zero
           in
           check_ledger t ~gid:p.member.gid ~carried:p.carry ~accepted;
-          if p.moved then
+          if p.moved then begin
             account_carry t ~accepted
               ~truncated:
                 {
                   Sched.lag = p.carry.Sched.lag -. accepted.Sched.lag;
                   credit = p.carry.Sched.credit - accepted.Sched.credit;
-                }
+                };
+            match t.tap with
+            | Some tp ->
+                tp.on_carry ~cell:t.cell_id ~slot ~gid:p.member.gid
+                  ~carried:p.carry ~accepted
+            | None -> ()
+          end
         end
-        else if p.moved then
+        else if p.moved then begin
           account_carry t ~accepted:Sched.carry_zero
-            ~truncated:Sched.carry_zero)
+            ~truncated:Sched.carry_zero;
+          match t.tap with
+          | Some tp ->
+              tp.on_carry ~cell:t.cell_id ~slot ~gid:p.member.gid
+                ~carried:Sched.carry_zero ~accepted:Sched.carry_zero
+          | None -> ()
+        end)
       parcels;
     List.iteri
       (fun lid p ->
@@ -125,14 +165,22 @@ let install t ~slot parcels =
       |> (if t.histograms then Sim_config.with_histograms else Fun.id)
       |> (if t.invariants then Sim_config.with_invariants else Fun.id)
       |> Sim_config.with_fast_path t.fast_path
+      |> (match t.tap with
+         | Some tp -> (
+             match
+               tp.probe ~cell:t.cell_id ~n_flows:(Array.length members) sched
+             with
+             | Some p -> Sim_config.with_probe p
+             | None -> Fun.id)
+         | None -> Fun.id)
     in
     t.sched <- Some sched;
     t.session <- Some (Sim_config.start ~first_slot:slot sched cfg)
   end
 
 let create ?credit_limit ?debit_limit ?(histograms = false)
-    ?(invariants = false) ?(fast_path = false) ~id ~sched ~horizon ~n_total
-    members =
+    ?(invariants = false) ?(fast_path = false) ?tap ~id ~sched ~horizon
+    ~n_total members =
   if n_total < 1 then
     Error.invalidf "Cell.create" "n_total must be >= 1, got %d" n_total;
   let ins = Instruments.create () in
@@ -174,6 +222,7 @@ let create ?credit_limit ?debit_limit ?(histograms = false)
       carried_credit;
       truncated_lag;
       truncated_credit;
+      tap;
       members = [||];
       sched = None;
       session = None;
@@ -244,6 +293,17 @@ let rebuild t ~slot parcels =
   Instruments.incr t.rebuilds;
   install t ~slot parcels;
   t
+
+(* Non-destructive cumulative view: banked totals plus the live session's
+   accumulator, remapped to global ids.  Feeds barrier-time windowed
+   aggregation without touching the session. *)
+let peek t ~into =
+  Metrics.absorb into ~src:t.totals ~map:Fun.id;
+  match t.session with
+  | Some s ->
+      Metrics.absorb into ~src:(Sim.Session.metrics s)
+        ~map:(fun lid -> t.members.(lid).gid)
+  | None -> ()
 
 let finish t =
   (match t.session with

@@ -40,6 +40,33 @@ type parcel = {
           carry telemetry counts genuine handoffs only *)
 }
 
+(** Observability tap, wired by the topology driver (the xray layer).
+    Every callback fires from sequential code only: [on_roster] announces
+    the cell's membership (ascending global ids, local index = array
+    position) at creation and at every barrier rebuild; [on_carry] reports
+    each {e moved} parcel's carried vs accepted lag/credit during a
+    rebuild's import pass; [probe] is invoked once per (re)build with the
+    fresh scheduler instance and may return a slot probe to attach to the
+    new session — the only tap artifact running inside the parallel phase,
+    so it must write to per-cell state only (e.g. a [Wfs_xray.Mux] part).
+    Attaching a probe degenerates that cell's fast path, exactly like a
+    single-cell probed run. *)
+type tap = {
+  on_roster : cell:int -> slot:int -> gids:int array -> unit;
+  probe :
+    cell:int ->
+    n_flows:int ->
+    Sched.instance ->
+    Wfs_core.Simulator.slot_probe option;
+  on_carry :
+    cell:int ->
+    slot:int ->
+    gid:int ->
+    carried:Sched.carry ->
+    accepted:Sched.carry ->
+    unit;
+}
+
 type t
 
 val create :
@@ -48,6 +75,7 @@ val create :
   ?histograms:bool ->
   ?invariants:bool ->
   ?fast_path:bool ->
+  ?tap:tap ->
   id:int ->
   sched:Wfs_core.Registry.entry ->
   horizon:int ->
@@ -89,6 +117,12 @@ val rebuild : t -> slot:int -> parcel list -> t
 val note_departure : t -> unit
 val note_arrival : t -> unit
 (** Handoff counters, bumped by the topology driver per move. *)
+
+val peek : t -> into:Wfs_core.Metrics.t -> unit
+(** Absorb the cell's cumulative view — banked totals plus the live
+    session's accumulator, remapped to global flow ids — into [into]
+    without disturbing the session.  Barrier-time sampling for windowed
+    aggregation. *)
 
 val finish : t -> Wfs_core.Metrics.t
 (** Advance to the horizon if needed, bank the final session, and return

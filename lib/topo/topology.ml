@@ -9,6 +9,7 @@ module Sim = Wfs_core.Simulator
 module Channel = Wfs_channel.Channel
 module Sched = Wfs_core.Wireless_sched
 module Chaos = Wfs_chaos.Chaos
+module Causality = Wfs_xray.Causality
 
 type t = {
   cells : Cell.t array;
@@ -18,6 +19,10 @@ type t = {
   histograms : bool;
   mobility : Mobility.t;
   chaos : Chaos.t option;
+  causality : Causality.t option;
+      (* flow-journey recorder; every record happens at the sequential
+         barrier, in draw order, so the log is jobs-invariant *)
+  flow_weights : float array;  (* gid -> the flow's rate weight r_i *)
   homes : int array;  (* global flow id -> current cell *)
   orphans : (Cell.parcel * int) option array;
       (* gid -> (parcel, orphaned-at slot) for flows whose home cell
@@ -26,12 +31,21 @@ type t = {
   mutable result : Metrics.t option;
 }
 
+let note_event t e =
+  match t.causality with Some c -> Causality.record c e | None -> ()
+
+let verdict_name = function
+  | Chaos.Deliver -> Causality.verdict_deliver
+  | Chaos.Blocked -> Causality.verdict_blocked
+  | Chaos.Lost -> Causality.verdict_lost
+  | Chaos.Corrupt -> Causality.verdict_corrupt
+
 (* A large odd stride keeps per-cell seed sequences disjoint from the
    consecutive-seed convention of Exec.replicate. *)
 let cell_seed ~seed ~cell = seed + (cell * 1_000_003)
 
 let of_spec ?credit_limit ?debit_limit ?histograms ?invariants ?fast_path
-    (spec : Spec.t) =
+    ?tap ?causality (spec : Spec.t) =
   let topo =
     match spec.topo with
     | Some tp -> tp
@@ -49,10 +63,13 @@ let of_spec ?credit_limit ?debit_limit ?histograms ?invariants ?fast_path
     offsets.(c) <- offsets.(c - 1) + Array.length rosters.(c - 1)
   done;
   let homes = Array.make n_flows 0 in
+  let flow_weights = Array.make n_flows 1. in
   Array.iteri
     (fun c roster ->
       for i = 0 to Array.length roster - 1 do
-        homes.(offsets.(c) + i) <- c
+        homes.(offsets.(c) + i) <- c;
+        flow_weights.(offsets.(c) + i) <-
+          roster.(i).Sim.flow.Wfs_core.Params.weight
       done)
     rosters;
   let chaos =
@@ -106,7 +123,7 @@ let of_spec ?credit_limit ?debit_limit ?histograms ?invariants ?fast_path
                roster)
         in
         Cell.create ?credit_limit ?debit_limit ?histograms ?invariants
-          ?fast_path ~id:c
+          ?fast_path ?tap ~id:c
           ~sched:entry ~horizon:spec.horizon ~n_total:n_flows members)
       rosters
   in
@@ -123,6 +140,8 @@ let of_spec ?credit_limit ?debit_limit ?histograms ?invariants ?fast_path
         ~seed:(cell_seed ~seed:spec.seed ~cell:topo.Spec.cells)
         ~cells:topo.Spec.cells ~rate:topo.Spec.mobility;
     chaos;
+    causality;
+    flow_weights;
     homes;
     orphans = Array.make n_flows None;
     moves = 0;
@@ -131,6 +150,7 @@ let of_spec ?credit_limit ?debit_limit ?histograms ?invariants ?fast_path
 
 let n_cells t = Array.length t.cells
 let n_flows t = t.n_flows
+let weights t = Array.copy t.flow_weights
 let homes t = Array.copy t.homes
 let handoffs t = t.moves
 let chaos_active t = Option.is_some t.chaos
@@ -157,9 +177,17 @@ let orphan_count t =
    out, and park the parcels as orphans.  Their carries travel with them —
    a crash displaces compensation state, it does not destroy it. *)
 let crash_cell t ~slot c =
+  let parcels = Cell.dissolve t.cells.(c) in
   List.iter
     (fun p -> t.orphans.(p.Cell.member.Cell.gid) <- Some (p, slot))
-    (Cell.dissolve t.cells.(c))
+    parcels;
+  note_event t
+    (Causality.Crash
+       {
+         slot;
+         cell = c;
+         orphaned = List.map (fun p -> p.Cell.member.Cell.gid) parcels;
+       })
 
 (* One barrier: draw mobility for every flow in ascending global id (the
    stream discipline {!Mobility} documents), then dissolve the affected
@@ -183,12 +211,32 @@ let apply_handoffs t ~slot =
     t.homes;
   let moves, verdicts =
     match t.chaos with
-    | None -> (List.rev !drawn, [])
+    | None ->
+        let moves = List.rev !drawn in
+        if Option.is_some t.causality then
+          List.iter
+            (fun (gid, src, dst) ->
+              note_event t
+                (Causality.Move
+                   {
+                     slot;
+                     flow = gid;
+                     src;
+                     dst;
+                     verdict = Causality.verdict_deliver;
+                   }))
+            moves;
+        (moves, [])
     | Some chaos ->
         let kept = ref [] and verdicts = ref [] in
         List.iter
           (fun (gid, src, dst) ->
-            match Chaos.handoff_verdict chaos ~slot ~flow:gid ~src ~dst with
+            let v = Chaos.handoff_verdict chaos ~slot ~flow:gid ~src ~dst in
+            if Option.is_some t.causality then
+              note_event t
+                (Causality.Move
+                   { slot; flow = gid; src; dst; verdict = verdict_name v });
+            match v with
             | Chaos.Blocked -> ()
             | Chaos.Deliver -> kept := (gid, src, dst) :: !kept
             | (Chaos.Lost | Chaos.Corrupt) as v ->
@@ -288,6 +336,7 @@ let apply_handoffs t ~slot =
           (match t.chaos with
           | Some chaos -> Chaos.note_rehomed chaos
           | None -> ());
+          note_event t (Causality.Rehome { slot; flow = gid; dst });
           Cell.note_arrival t.cells.(dst))
         rehomes;
       Array.iteri
@@ -403,6 +452,15 @@ let metrics t =
   match t.result with
   | Some m -> m
   | None -> Error.invalid "Topology.metrics" "run the topology first"
+
+(* Barrier-time cumulative view: banked totals of every cell plus each
+   live session's accumulator, remapped to global ids.  Orphan parcels'
+   backlogs are invisible here (their packets sit outside any session),
+   exactly as in the final merge before their re-home. *)
+let peek_metrics t =
+  let m = Metrics.create ~histograms:t.histograms ~n_flows:t.n_flows () in
+  Array.iter (fun cell -> Cell.peek cell ~into:m) t.cells;
+  m
 
 let cell_instruments t ~cell = Cell.instruments t.cells.(cell)
 

@@ -51,18 +51,33 @@ val of_spec :
   ?histograms:bool ->
   ?invariants:bool ->
   ?fast_path:bool ->
+  ?tap:Cell.tap ->
+  ?causality:Wfs_xray.Causality.t ->
   Wfs_runner.Spec.t ->
   t
 (** Build a topology from a spec carrying a topology clause.  The
     scheduler is resolved through {!Wfs_core.Registry.get}; every cell
     starts with its own instantiation of the spec's scenario ([cells × k]
     flows total, global ids assigned cell-major).
+
+    [tap] is handed to every {!Cell} (per-cell tracing — see
+    {!Cell.tap}); [causality] receives the flow-journey log: one
+    {!Wfs_xray.Causality.Move} per mobility draw (with its chaos verdict;
+    blocked moves stay put), a [Rehome] per orphan re-home, a [Crash] per
+    cell crash — all recorded at the sequential barrier in draw order, so
+    the log is byte-identical across [--jobs].  Per-flow [Carry] events
+    come through the tap's [on_carry] (the cell import pass owns that
+    information).  Both default to off at zero cost.
     @raise Invalid_argument when the spec has no topology clause, or on
     an unknown scheduler / example. *)
 
 val n_cells : t -> int
 val n_flows : t -> int
 (** Topology-wide flow count (global ids are [0 .. n_flows - 1]). *)
+
+val weights : t -> float array
+(** Every flow's rate weight [r_i], indexed by global id (a copy) — the
+    normalization denominators for windowed fairness aggregation. *)
 
 val run : ?jobs:int -> ?on_barrier:(slot:int -> unit) -> t -> unit
 (** Execute the whole horizon ([jobs] defaults to 1).  Single-shot:
@@ -81,6 +96,13 @@ val metrics : t -> Wfs_core.Metrics.t
 (** Global accumulator, one row per global flow id, merged across cells
     in cell order; idle/busy slot counters are summed over cells.
     @raise Invalid_argument before {!run}. *)
+
+val peek_metrics : t -> Wfs_core.Metrics.t
+(** A fresh cumulative accumulator valid mid-run: every cell's banked
+    totals plus its live session's counters, remapped to global ids.
+    Intended for barrier-time sampling (windowed aggregation from an
+    [on_barrier] hook); orphan parcels' drained backlogs are invisible
+    until their re-home, exactly as in the final merge. *)
 
 val cell_instruments : t -> cell:int -> Wfs_obs.Instruments.t
 val instruments : t -> Wfs_obs.Instruments.t

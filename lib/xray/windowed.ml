@@ -1,0 +1,264 @@
+module Json = Wfs_util.Json
+module Error = Wfs_util.Error
+module Metrics = Wfs_core.Metrics
+module Fairness = Wfs_core.Fairness
+
+let schema = "wfs-windows/1"
+
+type window = {
+  index : int;
+  start_slot : int;
+  end_slot : int;
+  jain : float;
+  gap : float;
+  arrivals : int;
+  delivered : int;
+  dropped : int;
+  backlog : int;
+  loss : float;
+}
+
+let window_to_json w =
+  Json.Obj
+    [
+      ("i", Json.Int w.index);
+      ("s", Json.Int w.start_slot);
+      ("e", Json.Int w.end_slot);
+      ("jain", Json.of_float_ext w.jain);
+      ("gap", Json.of_float_ext w.gap);
+      ("arr", Json.Int w.arrivals);
+      ("del", Json.Int w.delivered);
+      ("drop", Json.Int w.dropped);
+      ("bkl", Json.Int w.backlog);
+      ("loss", Json.of_float_ext w.loss);
+    ]
+
+let window_of_json v =
+  let ( let* ) = Option.bind in
+  let int key = Option.bind (Json.member key v) Json.to_int in
+  let fl key = Option.bind (Json.member key v) Json.to_float_ext in
+  let* index = int "i" in
+  let* start_slot = int "s" in
+  let* end_slot = int "e" in
+  let* jain = fl "jain" in
+  let* gap = fl "gap" in
+  let* arrivals = int "arr" in
+  let* delivered = int "del" in
+  let* dropped = int "drop" in
+  let* backlog = int "bkl" in
+  let* loss = fl "loss" in
+  Some
+    {
+      index;
+      start_slot;
+      end_slot;
+      jain;
+      gap;
+      arrivals;
+      delivered;
+      dropped;
+      backlog;
+      loss;
+    }
+
+let window_to_string w = Json.to_string ~pretty:false (window_to_json w)
+
+let window_of_string line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok v -> window_of_json v
+
+let feq a b = Float.compare a b = 0
+
+let window_equal a b =
+  a.index = b.index && a.start_slot = b.start_slot && a.end_slot = b.end_slot
+  && feq a.jain b.jain && feq a.gap b.gap && a.arrivals = b.arrivals
+  && a.delivered = b.delivered && a.dropped = b.dropped
+  && a.backlog = b.backlog && feq a.loss b.loss
+
+(* --- collector.
+
+   Tumbling windows over CUMULATIVE metrics snapshots: each [observe]
+   carries the live accumulator, and a window closes on the first
+   observation whose end-exclusive position reaches the next boundary.
+   When observations are sparser than the window length (a topology
+   sampling only at epoch barriers) the closed window's [start_slot] /
+   [end_slot] record the span actually covered — the format never
+   pretends to a resolution the sampling did not have. --- *)
+
+type t = {
+  weights : float array;
+  window : int;
+  mutable next_boundary : int;
+  mutable win_start : int;
+  mutable index : int;
+  mutable base_arr : int;
+  mutable base_del : int;
+  mutable base_drop : int;
+  base_flow_arr : int array;
+  base_flow_del : int array;
+  mutable rev : window list;
+}
+
+let create ~weights ~window =
+  if window < 1 then
+    Error.bad_config ~who:"Windowed.create" "window must be >= 1";
+  if Array.length weights = 0 then
+    Error.bad_config ~who:"Windowed.create" "no flows";
+  Array.iter
+    (fun w ->
+      if not (w > 0.) then
+        Error.bad_config ~who:"Windowed.create" "weights must be > 0")
+    weights;
+  {
+    weights;
+    window;
+    next_boundary = window;
+    win_start = 0;
+    index = 0;
+    base_arr = 0;
+    base_del = 0;
+    base_drop = 0;
+    base_flow_arr = Array.make (Array.length weights) 0;
+    base_flow_del = Array.make (Array.length weights) 0;
+    rev = [];
+  }
+
+let totals metrics n =
+  let arr = ref 0 and del = ref 0 and drop = ref 0 and bkl = ref 0 in
+  for i = 0 to n - 1 do
+    arr := !arr + Metrics.arrivals metrics ~flow:i;
+    del := !del + Metrics.delivered metrics ~flow:i;
+    drop := !drop + Metrics.dropped metrics ~flow:i;
+    bkl := !bkl + Metrics.backlog_remaining metrics ~flow:i
+  done;
+  (!arr, !del, !drop, !bkl)
+
+let close t ~end_slot ~metrics =
+  let n = Array.length t.weights in
+  let arr, del, drop, bkl = totals metrics n in
+  let d_arr = arr - t.base_arr in
+  let d_del = del - t.base_del in
+  let d_drop = drop - t.base_drop in
+  (* Fairness over the window's per-flow normalized service.  The eq-(1)
+     gap is restricted to flows that actually had traffic in the window
+     (an idle flow is not backlogged, so the paper's gap does not apply to
+     it); Jain runs over the same set. *)
+  let norm = ref [] in
+  for i = n - 1 downto 0 do
+    let da = Metrics.arrivals metrics ~flow:i - t.base_flow_arr.(i) in
+    let dd = Metrics.delivered metrics ~flow:i - t.base_flow_del.(i) in
+    let active = da > 0 || dd > 0 || Metrics.backlog_remaining metrics ~flow:i > 0 in
+    if active then norm := (float_of_int dd /. t.weights.(i)) :: !norm;
+    t.base_flow_arr.(i) <- t.base_flow_arr.(i) + da;
+    t.base_flow_del.(i) <- t.base_flow_del.(i) + dd
+  done;
+  let norm = Array.of_list !norm in
+  let jain = Fairness.jain norm in
+  let gap =
+    if Array.length norm < 2 then 0.
+    else
+      let ones = Array.make (Array.length norm) 1. in
+      Fairness.max_normalized_gap ~weights:ones ~service:norm
+  in
+  let w =
+    {
+      index = t.index;
+      start_slot = t.win_start;
+      end_slot;
+      jain;
+      gap;
+      arrivals = d_arr;
+      delivered = d_del;
+      dropped = d_drop;
+      backlog = bkl;
+      loss = (if d_arr = 0 then 0. else float_of_int d_drop /. float_of_int d_arr);
+    }
+  in
+  t.rev <- w :: t.rev;
+  t.index <- t.index + 1;
+  t.win_start <- end_slot;
+  t.base_arr <- arr;
+  t.base_del <- del;
+  t.base_drop <- drop;
+  t.next_boundary <- (((end_slot / t.window) + 1) * t.window)
+
+let observe t ~slot ~metrics =
+  let pos = slot + 1 in
+  if pos >= t.next_boundary && pos > t.win_start then
+    close t ~end_slot:pos ~metrics
+
+let flush t ~slot ~metrics =
+  let pos = slot + 1 in
+  if pos > t.win_start then close t ~end_slot:pos ~metrics
+
+let windows t = List.rev t.rev
+
+let observer t = fun slot metrics -> observe t ~slot ~metrics
+
+(* --- file round-trip (Journal convention). --- *)
+
+type contents = { window : int; windows : window list }
+
+let header_to_string ~window =
+  Json.to_string ~pretty:false
+    (Json.Obj [ ("schema", Json.Str schema); ("window", Json.Int window) ])
+
+let write ~path ~window windows =
+  if window < 1 then Error.bad_config ~who:"Windowed.write" "window must be >= 1";
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (header_to_string ~window);
+      output_char oc '\n';
+      List.iter
+        (fun w ->
+          output_string oc (window_to_string w);
+          output_char oc '\n')
+        windows)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let load ~path =
+  let fail what context =
+    Error
+      (Error.v Error.Bad_spec ~who:"Windowed.load" what
+         ~context:(("path", path) :: context))
+  in
+  match read_lines path with
+  | exception Sys_error msg -> fail msg []
+  | [] -> fail "empty window log (no header)" []
+  | hline :: rest -> (
+      match Json.of_string hline with
+      | Error msg -> fail "unreadable header" [ ("detail", msg) ]
+      | Ok hv -> (
+          match
+            ( Option.bind (Json.member "schema" hv) Json.to_str,
+              Option.bind (Json.member "window" hv) Json.to_int )
+          with
+          | Some s, Some window when String.equal s schema && window >= 1 ->
+              let n = List.length rest in
+              let rec go acc i = function
+                | [] -> Ok { window; windows = List.rev acc }
+                | line :: tl -> (
+                    match window_of_string line with
+                    | Some w -> go (w :: acc) (i + 1) tl
+                    | None ->
+                        if i = n - 1 then Ok { window; windows = List.rev acc }
+                        else
+                          fail "corrupt window before end of log"
+                            [ ("line", string_of_int (i + 2)) ])
+              in
+              go [] 0 rest
+          | _, _ -> fail "header is not a wfs-windows/1 header" []))

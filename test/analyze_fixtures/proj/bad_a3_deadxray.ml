@@ -1,0 +1,22 @@
+(* An xray causality instrument taxonomy whose event kinds no test ever
+   constructs or matches: the lib-side [label] consumer covers every
+   constructor, but A3's dead-kind audit keys on *test-role* references —
+   an event kind only a lib printer touches has no replay coverage, so
+   every constructor below must be flagged.  The type must be named
+   [event] and live under a [Causality] module path to enter the audited
+   taxonomy. *)
+
+module Causality = struct
+  type event =
+    | Fixture_move of { flow : int; src : int; dst : int }
+    | Fixture_rehome of { flow : int; dst : int }
+    | Fixture_orphan of { cell : int; flows : int }
+end
+
+let label = function
+  | Causality.Fixture_move { flow; src; dst } ->
+      Printf.sprintf "move flow=%d %d>%d" flow src dst
+  | Causality.Fixture_rehome { flow; dst } ->
+      Printf.sprintf "rehome flow=%d dst=%d" flow dst
+  | Causality.Fixture_orphan { cell; flows } ->
+      Printf.sprintf "orphan cell=%d flows=%d" cell flows

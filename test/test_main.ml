@@ -20,5 +20,6 @@ let () =
       ("perf_opt", Test_perf_opt.suite);
       ("integration", Test_integration.suite);
       ("obs", Test_obs.suite);
+      ("xray", Test_xray.suite);
       ("analysis_kit", Test_analysis_kit.suite);
     ]

@@ -396,7 +396,23 @@ let check_a3 m ~allow ~sink =
                    cannot be exercising this failure path"
                   cstr ty)
              loc))
-    m.fault_kinds
+    m.fault_kinds;
+  (* Dead xray event kinds: the same standard for the Causality instrument
+     taxonomy — a handoff/fault event nobody ever builds or matches in a
+     test means the causality replay suite has a blind spot. *)
+  List.iter
+    (fun (ty, cstr, loc) ->
+      if not (Hashtbl.mem exercised (ty ^ "." ^ cstr)) then
+        emit ~allow ~sink
+          (Diag.of_location ~rule:Analyze_rules.a3
+             ~message:
+               (Printf.sprintf
+                  "event kind %s of %s is never constructed or matched by \
+                   any test-role definition; the xray causality replay \
+                   suite cannot be exercising this instrument path"
+                  cstr ty)
+             loc))
+    m.event_kinds
 
 let run m ~allow ~sink =
   check_a1 m ~allow ~sink;

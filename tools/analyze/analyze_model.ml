@@ -76,6 +76,10 @@ type model = {
       (* (type full name, constructor, decl location) for every variant
          type named [fault] declared under a Chaos module — the fault
          taxonomy A3's dead-kind audit covers, in declaration order *)
+  event_kinds : (string * string * Location.t) list;
+      (* same shape for every variant type named [event] declared under a
+         Causality module — the xray instrument taxonomy the A3 audit
+         holds to the same never-dead standard *)
 }
 
 exception Fail of string
@@ -302,7 +306,7 @@ let decl_kind_of (td : Types.type_declaration) =
   | _ -> (
       match td.type_manifest with Some t -> Some (Alias t) | None -> None)
 
-let rec collect_decls ~decls ~faults ~mpath str =
+let rec collect_decls ~decls ~faults ~events ~mpath str =
   List.iter
     (fun item ->
       match item.str_desc with
@@ -326,22 +330,32 @@ let rec collect_decls ~decls ~faults ~mpath str =
                         (ty, Ident.name c.Types.cd_id, c.Types.cd_loc)
                         :: !faults)
                     cstrs
+              | Type_variant (cstrs, _)
+                when String.equal (Ident.name td.typ_id) "event"
+                     && List.exists (String.equal "Causality") mpath ->
+                  let ty = name_of_segs (mpath @ [ Ident.name td.typ_id ]) in
+                  List.iter
+                    (fun c ->
+                      events :=
+                        (ty, Ident.name c.Types.cd_id, c.Types.cd_loc)
+                        :: !events)
+                    cstrs
               | _ -> ())
             tds
-      | Tstr_module mb -> collect_decls_module ~decls ~faults ~mpath mb
+      | Tstr_module mb -> collect_decls_module ~decls ~faults ~events ~mpath mb
       | Tstr_recmodule mbs ->
-          List.iter (collect_decls_module ~decls ~faults ~mpath) mbs
+          List.iter (collect_decls_module ~decls ~faults ~events ~mpath) mbs
       | _ -> ())
     str.str_items
 
-and collect_decls_module ~decls ~faults ~mpath mb =
+and collect_decls_module ~decls ~faults ~events ~mpath mb =
   let name =
     match mb.mb_name.txt with Some n -> n | None -> "_"
   in
   let rec go me =
     match me.mod_desc with
     | Tmod_structure s ->
-        collect_decls ~decls ~faults ~mpath:(mpath @ [ name ]) s
+        collect_decls ~decls ~faults ~events ~mpath:(mpath @ [ name ]) s
     | Tmod_constraint (me, _, _, _) -> go me
     | _ -> ()
   in
@@ -782,9 +796,10 @@ let load inputs =
   (* Pass 1: declarations from every unit, so cross-module type references
      classify correctly during extraction. *)
   let faults = ref [] in
+  let events = ref [] in
   List.iter
     (fun (modname, _, str, _) ->
-      collect_decls ~decls ~faults ~mpath:(split_mangled modname) str)
+      collect_decls ~decls ~faults ~events ~mpath:(split_mangled modname) str)
     read;
   (* Pass 2: definitions. *)
   let units =
@@ -813,4 +828,9 @@ let load inputs =
         u)
       read
   in
-  { units; decls; fault_kinds = List.rev !faults }
+  {
+    units;
+    decls;
+    fault_kinds = List.rev !faults;
+    event_kinds = List.rev !events;
+  }
